@@ -1,0 +1,150 @@
+//! End-to-end wall-clock comparison of the paper's algorithms and the
+//! baselines on the in-memory backend, at a shared `N` where their
+//! capacities overlap. Wall-clock here tracks total I/O volume plus
+//! internal sorting work — the pass counts are the model-level result
+//! (see the `experiments` binary); this bench shows the constant factors.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pdm_bench::data;
+use pdm_model::prelude::*;
+
+const B: usize = 32; // M = 1024
+
+fn machine() -> Pdm<u64> {
+    Pdm::new(PdmConfig::square(4, B)).unwrap()
+}
+
+fn bench_at_m_sqrt_m(c: &mut Criterion) {
+    let n = B * B * B; // M√M = 32768
+    let input = data::permutation(n, 77);
+    let mut g = c.benchmark_group("sort_m_sqrt_m");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(20);
+
+    type Runner = fn(&mut Pdm<u64>, &Region, usize) -> Region;
+    let runners: Vec<(&str, Runner)> = vec![
+        ("three_pass1", |pdm, r, n| {
+            pdm_sort::three_pass1(pdm, r, n).unwrap().output
+        }),
+        ("three_pass2", |pdm, r, n| {
+            pdm_sort::three_pass2(pdm, r, n).unwrap().output
+        }),
+        ("expected_two_pass", |pdm, r, n| {
+            pdm_sort::expected_two_pass(pdm, r, n).unwrap().output
+        }),
+        ("multiway_mergesort", |pdm, r, n| {
+            pdm_baseline::merge_sort(pdm, r, n).unwrap().0
+        }),
+    ];
+    for (name, f) in runners {
+        g.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+            b.iter(|| {
+                let mut pdm = machine();
+                let reg = pdm.alloc_region_for_keys(n).unwrap();
+                pdm.ingest(&reg, &input).unwrap();
+                black_box(f(&mut pdm, &reg, n))
+            });
+        });
+    }
+    // CC columnsort runs on its own B = M^{1/3} geometry
+    g.bench_with_input(BenchmarkId::new("cc_columnsort", n), &n, |b, &n| {
+        let m = B * B;
+        let bcc = 1usize << (m.trailing_zeros() / 3);
+        let nn = n.min(pdm_baseline::cc_columnsort::capacity(&PdmConfig::new(4, bcc, m)));
+        b.iter(|| {
+            let mut pdm: Pdm<u64> = Pdm::new(PdmConfig::new(4, bcc, m)).unwrap();
+            let reg = pdm.alloc_region_for_keys(nn).unwrap();
+            pdm.ingest(&reg, &input[..nn]).unwrap();
+            black_box(pdm_baseline::cc_columnsort(&mut pdm, &reg, nn).unwrap().output)
+        });
+    });
+    g.finish();
+}
+
+fn bench_at_m_squared(c: &mut Criterion) {
+    let b = 16usize;
+    let m = b * b;
+    let n = m * m; // 65536
+    let input = data::permutation(n, 78);
+    let mut g = c.benchmark_group("sort_m_squared");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(15);
+    g.bench_function("seven_pass", |bch| {
+        bch.iter(|| {
+            let mut pdm: Pdm<u64> = Pdm::new(PdmConfig::square(4, b)).unwrap();
+            let reg = pdm.alloc_region_for_keys(n).unwrap();
+            pdm.ingest(&reg, &input).unwrap();
+            black_box(pdm_sort::seven_pass(&mut pdm, &reg, n).unwrap().output)
+        });
+    });
+    g.bench_function("expected_six_pass", |bch| {
+        // six-pass capacity is below M²; bench at its own maximum
+        let n6 = pdm_sort::seven_pass::capacity_six(m, 2.0).min(n);
+        bch.iter(|| {
+            let mut pdm: Pdm<u64> = Pdm::new(PdmConfig::square(4, b)).unwrap();
+            let reg = pdm.alloc_region_for_keys(n6).unwrap();
+            pdm.ingest(&reg, &input[..n6]).unwrap();
+            black_box(
+                pdm_sort::expected_six_pass(&mut pdm, &reg, n6, 2.0)
+                    .unwrap()
+                    .output,
+            )
+        });
+    });
+    g.bench_function("multiway_mergesort", |bch| {
+        bch.iter(|| {
+            let mut pdm: Pdm<u64> = Pdm::new(PdmConfig::square(4, b)).unwrap();
+            let reg = pdm.alloc_region_for_keys(n).unwrap();
+            pdm.ingest(&reg, &input).unwrap();
+            black_box(pdm_baseline::merge_sort(&mut pdm, &reg, n).unwrap().0)
+        });
+    });
+    g.finish();
+}
+
+fn bench_integer(c: &mut Criterion) {
+    let n = 1 << 16;
+    let mut g = c.benchmark_group("integer_sort");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(20);
+    let input = data::uniform(n, B as u64, 79);
+    for mode in [pdm_sort::FlushMode::PerPhase, pdm_sort::FlushMode::Packed] {
+        g.bench_function(format!("bounded_{mode:?}"), |bch| {
+            bch.iter(|| {
+                let mut pdm = machine();
+                let reg = pdm.alloc_region_for_keys(n).unwrap();
+                pdm.ingest(&reg, &input).unwrap();
+                black_box(
+                    pdm_sort::integer_sort::integer_sort_with(&mut pdm, &reg, n, B as u64, mode)
+                        .unwrap()
+                        .output,
+                )
+            });
+        });
+    }
+    let wide = data::uniform(n, u64::MAX, 80);
+    g.bench_function("radix_64bit", |bch| {
+        bch.iter(|| {
+            let mut pdm = machine();
+            let reg = pdm.alloc_region_for_keys(n).unwrap();
+            pdm.ingest(&reg, &wide).unwrap();
+            black_box(
+                pdm_sort::radix_sort(&mut pdm, &reg, n, 64)
+                    .unwrap()
+                    .report
+                    .output,
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_at_m_sqrt_m, bench_at_m_squared, bench_integer
+}
+criterion_main!(benches);

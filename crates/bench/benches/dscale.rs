@@ -1,0 +1,82 @@
+//! Disk-parallel wall-clock scaling on the thread-per-disk backend.
+//!
+//! The PDM cost model says an algorithm with full striping parallelism
+//! speeds up `D×` when the disks are the bottleneck. The threaded backend
+//! services each disk on its own OS thread with an emulated per-block
+//! latency, so `ThreePass2`'s wall clock should drop roughly linearly in
+//! `D` — the "full parallelism" claim of Theorem 3.1's proof and [23],
+//! measured rather than asserted.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pdm_bench::data;
+use pdm_model::prelude::*;
+use std::time::Duration;
+
+fn bench_dscale(c: &mut Criterion) {
+    let b = 16usize; // M = 256, N = M√M = 4096
+    let n = b * b * b;
+    let input = data::permutation(n, 90);
+    let latency = Duration::from_micros(30);
+    let mut g = c.benchmark_group("three_pass2_dscale");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    for d in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(d), &d, |bch, &d| {
+            bch.iter(|| {
+                let storage = ThreadedStorage::<u64>::with_latency(d, b, latency);
+                let mut pdm = Pdm::with_storage(PdmConfig::square(d, b), storage).unwrap();
+                let reg = pdm.alloc_region_for_keys(n).unwrap();
+                pdm.ingest(&reg, &input).unwrap();
+                black_box(pdm_sort::three_pass2(&mut pdm, &reg, n).unwrap().output)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_backends(c: &mut Criterion) {
+    // same algorithm across the three storage backends, D = 4
+    let b = 16usize;
+    let n = b * b * b;
+    let input = data::permutation(n, 91);
+    let mut g = c.benchmark_group("backends_three_pass2");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    g.bench_function("memory", |bch| {
+        bch.iter(|| {
+            let mut pdm: Pdm<u64> = Pdm::new(PdmConfig::square(4, b)).unwrap();
+            let reg = pdm.alloc_region_for_keys(n).unwrap();
+            pdm.ingest(&reg, &input).unwrap();
+            black_box(pdm_sort::three_pass2(&mut pdm, &reg, n).unwrap().output)
+        });
+    });
+    g.bench_function("file", |bch| {
+        bch.iter(|| {
+            let storage = FileStorage::<u64>::create_temp(4, b).unwrap();
+            let mut pdm = Pdm::with_storage(PdmConfig::square(4, b), storage).unwrap();
+            let reg = pdm.alloc_region_for_keys(n).unwrap();
+            pdm.ingest(&reg, &input).unwrap();
+            black_box(pdm_sort::three_pass2(&mut pdm, &reg, n).unwrap().output)
+        });
+    });
+    g.bench_function("threaded", |bch| {
+        bch.iter(|| {
+            let storage = ThreadedStorage::<u64>::new(4, b);
+            let mut pdm = Pdm::with_storage(PdmConfig::square(4, b), storage).unwrap();
+            let reg = pdm.alloc_region_for_keys(n).unwrap();
+            pdm.ingest(&reg, &input).unwrap();
+            black_box(pdm_sort::three_pass2(&mut pdm, &reg, n).unwrap().output)
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_dscale, bench_backends
+}
+criterion_main!(benches);

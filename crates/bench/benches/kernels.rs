@@ -1,0 +1,118 @@
+//! Criterion benches for the in-memory kernels underlying the PDM
+//! algorithms: run-formation sorts, the (l,m)-merge, mesh phases, network
+//! application, and the cleanup window.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pdm_bench::data;
+
+fn bench_merge_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge_kernels");
+    for &n in &[1usize << 14, 1 << 17] {
+        g.throughput(Throughput::Elements(n as u64));
+        // sort of a whole run (the run-formation kernel)
+        g.bench_with_input(BenchmarkId::new("run_sort", n), &n, |b, &n| {
+            let base = data::permutation(n, 1);
+            b.iter(|| {
+                let mut v = base.clone();
+                v.sort_unstable();
+                black_box(v.len())
+            });
+        });
+        // k-way merge of 64 sorted segments (the column-merge kernel)
+        g.bench_with_input(BenchmarkId::new("kway_merge_64", n), &n, |b, &n| {
+            let part = n / 64;
+            let mut buf = data::permutation(n, 2);
+            for seg in buf.chunks_mut(part) {
+                seg.sort_unstable();
+            }
+            let mut out = Vec::with_capacity(n);
+            b.iter(|| {
+                pdm_sort::common::merge_equal_segments(&buf, part, &mut out);
+                black_box(out.len())
+            });
+        });
+        // the LMM local cleanup of a displaced sequence
+        g.bench_with_input(BenchmarkId::new("cleanup_displaced", n), &n, |b, &n| {
+            let base = data::nearly_sorted(n, n / 64, 3);
+            b.iter(|| {
+                let mut v = base.clone();
+                pdm_lmm::cleanup_displaced(&mut v, n / 64);
+                black_box(v.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_mesh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mesh");
+    for &side in &[64usize, 256] {
+        let n = side * side;
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("shearsort", side), &side, |b, &side| {
+            let base = data::permutation(side * side, 5);
+            b.iter(|| {
+                let mut m = pdm_mesh::Mesh::from_vec(side, side, base.clone());
+                pdm_mesh::shearsort::shearsort(&mut m);
+                black_box(m.into_vec().len())
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("columnsort", side), &side, |b, &side| {
+            let r = side * side / 4;
+            let s = 4;
+            let base = data::permutation(r * s, 6);
+            b.iter(|| {
+                let mut m = pdm_mesh::Mesh::from_vec(r, s, base.clone());
+                pdm_mesh::columnsort::columnsort(&mut m);
+                black_box(m.into_vec().len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_networks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("networks");
+    for &n in &[64usize, 256, 1024] {
+        let net = pdm_theory::odd_even_merge_sort(n);
+        g.throughput(Throughput::Elements(net.size() as u64));
+        g.bench_with_input(BenchmarkId::new("batcher_apply", n), &n, |b, &n| {
+            let base = data::permutation(n, 7);
+            b.iter(|| {
+                let mut v = base.clone();
+                net.apply(&mut v);
+                black_box(v[0])
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_shuffle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shuffling_lemma");
+    for &n in &[1usize << 14, 1 << 16] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("trial", n), &n, |b, &n| {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+            b.iter(|| {
+                black_box(pdm_theory::shuffling::trial_max_displacement(
+                    n,
+                    n >> 6,
+                    &mut rng,
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_merge_kernels, bench_mesh, bench_networks, bench_shuffle
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Experiment runner: regenerates the paper's quantitative claims.
+//!
+//! ```text
+//! experiments all        # run E1–E13
+//! experiments e5 e12     # run a subset
+//! experiments list       # list experiments
+//! ```
+
+use pdm_bench::{run_experiment, EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        eprintln!("usage: experiments [all | list | e1 .. e13]");
+        std::process::exit(2);
+    }
+    if args[0] == "list" {
+        for e in EXPERIMENTS {
+            println!("{e}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args[0] == "all" {
+        EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let mut failed = false;
+    for id in ids {
+        if !run_experiment(id) {
+            eprintln!("unknown experiment: {id}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

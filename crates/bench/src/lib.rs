@@ -1,0 +1,19 @@
+//! # pdm-bench — experiment harness
+//!
+//! Regenerates every quantitative claim of the paper as experiments
+//! E1–E13 (see `DESIGN.md` for the index and `EXPERIMENTS.md` for recorded
+//! results). Run with:
+//!
+//! ```text
+//! cargo run --release -p pdm-bench --bin experiments -- all
+//! cargo run --release -p pdm-bench --bin experiments -- e5 e6
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod data;
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{run_experiment, EXPERIMENTS};

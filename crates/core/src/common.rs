@@ -1,0 +1,520 @@
+//! Shared machinery for the paper's algorithms: the sort report, the
+//! streaming cleanup engine, capacity formulas, and in-memory kernels.
+
+use pdm_model::prelude::*;
+
+/// Which algorithm produced a result (for reports and the dispatcher).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// §3.1 mesh-based three-pass sort.
+    ThreePass1,
+    /// §3.2 expected two-pass mesh sort.
+    ExpTwoPassMesh,
+    /// §4 LMM-based three-pass sort.
+    ThreePass2,
+    /// §5 expected two-pass sort.
+    ExpectedTwoPass,
+    /// §6 expected three-pass sort.
+    ExpectedThreePass,
+    /// §6.1 seven-pass sort of `M²` keys.
+    SevenPass,
+    /// §6.2 expected six-pass sort.
+    ExpectedSixPass,
+    /// §7 bucket sort of bounded integers.
+    IntegerSort,
+    /// §7 forward radix sort.
+    RadixSort,
+    /// Input fit in internal memory; sorted in one read + one write pass.
+    InMemory,
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Algorithm::ThreePass1 => "ThreePass1",
+            Algorithm::ExpTwoPassMesh => "ExpTwoPassMesh",
+            Algorithm::ThreePass2 => "ThreePass2",
+            Algorithm::ExpectedTwoPass => "ExpectedTwoPass",
+            Algorithm::ExpectedThreePass => "ExpectedThreePass",
+            Algorithm::SevenPass => "SevenPass",
+            Algorithm::ExpectedSixPass => "ExpectedSixPass",
+            Algorithm::IntegerSort => "IntegerSort",
+            Algorithm::RadixSort => "RadixSort",
+            Algorithm::InMemory => "InMemory",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Result of a PDM sort: where the output lives and what it cost.
+#[derive(Debug, Clone)]
+pub struct SortReport {
+    /// Region holding the sorted output (first `n` keys).
+    pub output: Region,
+    /// Number of keys sorted.
+    pub n: usize,
+    /// Algorithm that produced the output.
+    pub algorithm: Algorithm,
+    /// Read passes consumed, by the parallel-step metric.
+    pub read_passes: f64,
+    /// Write passes consumed.
+    pub write_passes: f64,
+    /// Peak internal-memory residency in keys.
+    pub peak_mem: usize,
+    /// Whether an expected-case algorithm detected failure and fell back
+    /// to its deterministic alternative.
+    pub fell_back: bool,
+}
+
+impl SortReport {
+    /// Assemble a report from the machine's counters (call right after the
+    /// algorithm finishes, before other I/O).
+    pub fn from_stats<K: PdmKey, S: Storage<K>>(
+        pdm: &Pdm<K, S>,
+        output: Region,
+        n: usize,
+        algorithm: Algorithm,
+        fell_back: bool,
+    ) -> Self {
+        let d = pdm.cfg().num_disks;
+        let b = pdm.cfg().block_size;
+        Self {
+            output,
+            n,
+            algorithm,
+            read_passes: pdm.stats().read_passes(n, d, b),
+            write_passes: pdm.stats().write_passes(n, d, b),
+            peak_mem: pdm.mem().peak(),
+            fell_back,
+        }
+    }
+}
+
+/// Validate the paper's standing assumptions for the `B = √M` algorithms:
+/// `M` a perfect square, `B = √M`, and `D | √M` so stripe math is exact.
+/// Returns `b = √M`.
+pub fn require_square_cfg(cfg: &PdmConfig) -> Result<usize> {
+    let b = cfg.sqrt_m()?;
+    if cfg.block_size != b {
+        return Err(PdmError::BadConfig(format!(
+            "algorithm requires B = √M (B = {}, √M = {b})",
+            cfg.block_size
+        )));
+    }
+    if b % cfg.num_disks != 0 {
+        return Err(PdmError::BadConfig(format!(
+            "algorithm requires D | √M (D = {}, √M = {b})",
+            cfg.num_disks
+        )));
+    }
+    Ok(b)
+}
+
+/// The §5 capacity: `ExpectedTwoPass` sorts `M√M / √((α+2)·ln M + 2)` keys.
+pub fn capacity_expected_two_pass(m: usize, alpha: f64) -> usize {
+    let mf = m as f64;
+    (mf * mf.sqrt() / ((alpha + 2.0) * mf.ln() + 2.0).sqrt()) as usize
+}
+
+/// The §6 capacity: `ExpectedThreePass` sorts
+/// `M^1.75 / ((α+2)·ln M + 2)^{3/4}` keys.
+pub fn capacity_expected_three_pass(m: usize, alpha: f64) -> usize {
+    let mf = m as f64;
+    (mf.powf(1.75) / ((alpha + 2.0) * mf.ln() + 2.0).powf(0.75)) as usize
+}
+
+/// The §6.2 capacity: `ExpectedSixPass` sorts
+/// `M² / √((α+2)·ln M + 2)` keys.
+pub fn capacity_expected_six_pass(m: usize, alpha: f64) -> usize {
+    let mf = m as f64;
+    (mf * mf / ((alpha + 2.0) * mf.ln() + 2.0).sqrt()) as usize
+}
+
+/// Expected pass count of an expected-case algorithm: succeeds with
+/// `p_ok` passes on `≥ 1 − M^{−α}` of inputs and pays `p_fallback` on the
+/// rest — `p_ok·(1 − M^{−α}) + p_fallback·M^{−α}` (proofs of Theorems
+/// 5.1/6.1). The paper's running example: `M = 10^8, α = 2` gives
+/// `ExpectedTwoPass` exactly `2 + 3·10^{−16}`.
+pub fn expected_passes(p_ok: f64, p_fallback: f64, m: usize, alpha: f64) -> f64 {
+    let fail = (m as f64).powf(-alpha);
+    p_ok * (1.0 - fail) + p_fallback * fail
+}
+
+/// Theorem 3.2 capacity for the mesh expected-two-pass variant:
+/// `M√M / (c·α·ln M)` keys with the calibration constant `c`.
+pub fn capacity_exp_two_pass_mesh(m: usize, alpha: f64, c: f64) -> usize {
+    let mf = m as f64;
+    (mf * mf.sqrt() / (c * alpha.max(1.0) * mf.ln())) as usize
+}
+
+/// Allocate `count` regions of `blocks_each` blocks, region `i` starting on
+/// disk `i mod D`. Staggered starts make "one block into each region"
+/// batches hit every disk evenly — the striping discipline behind the
+/// paper's full-parallelism claims (Theorem 3.1 proof, \[23\]).
+pub fn alloc_staggered<K: PdmKey, S: Storage<K>>(
+    pdm: &mut Pdm<K, S>,
+    count: usize,
+    blocks_each: usize,
+) -> Result<Vec<Region>> {
+    let d = pdm.cfg().num_disks;
+    (0..count)
+        .map(|i| pdm.alloc_region_at(blocks_each, i % d))
+        .collect()
+}
+
+/// Like [`alloc_staggered`], but region `i` starts on disk
+/// `(i·stride) mod D` — used when consumers write `stride`-block chunks
+/// into consecutive regions, so one batch still walks the disks evenly.
+pub fn alloc_staggered_stride<K: PdmKey, S: Storage<K>>(
+    pdm: &mut Pdm<K, S>,
+    count: usize,
+    blocks_each: usize,
+    stride: usize,
+) -> Result<Vec<Region>> {
+    let d = pdm.cfg().num_disks;
+    (0..count)
+        .map(|i| pdm.alloc_region_at(blocks_each, (i * stride) % d))
+        .collect()
+}
+
+/// The largest run length `m'·M ≤` the Theorem 5.1 expected-two-pass
+/// capacity, with `m'` a divisor of `√M` (the layout divisibility the
+/// expected three- and six-pass algorithms need).
+pub(crate) fn expected_run_len(m: usize, b: usize, alpha: f64) -> usize {
+    let cap = capacity_expected_two_pass(m, alpha);
+    let m_prime_max = (cap / m).max(1).min(b);
+    let m_prime = (1..=m_prime_max).rev().find(|x| b % x == 0).unwrap_or(1);
+    m_prime * m
+}
+
+/// Merge `l` equal-length sorted segments laid back-to-back in `buf`
+/// (`buf.len() = l·part_len`) into `out` (cleared first).
+pub fn merge_equal_segments<K: PdmKey>(buf: &[K], part_len: usize, out: &mut Vec<K>) {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    assert!(part_len > 0 && buf.len() % part_len == 0);
+    let l = buf.len() / part_len;
+    out.clear();
+    let mut heap: BinaryHeap<Reverse<(K, usize, usize)>> = (0..l)
+        .map(|i| Reverse((buf[i * part_len], i, 0)))
+        .collect();
+    while let Some(Reverse((k, i, j))) = heap.pop() {
+        out.push(k);
+        if j + 1 < part_len {
+            heap.push(Reverse((buf[i * part_len + j + 1], i, j + 1)));
+        }
+    }
+}
+
+/// The streaming cleanup engine shared by every shuffle-then-clean phase
+/// (ThreePass2 pass 3, ExpectedTwoPass pass 2, SevenPass steps 4–5, …).
+///
+/// Feed it windows of `w` keys; it holds the running carry, sorts
+/// carry+window (`≤ 2w` resident keys — the paper's "two successive `Z_i`'s
+/// in memory"), emits the smallest `w` once warmed up, and *verifies* the
+/// emitted stream: the paper's abort check ("the smallest key currently
+/// being shipped out is smaller than the largest key shipped out in the
+/// previous I/O") maps to [`Cleaner::clean`] going false.
+pub struct Cleaner<K: PdmKey> {
+    buf: TrackedBuf<K>,
+    w: usize,
+    last_max: Option<K>,
+    clean: bool,
+    emitted: usize,
+}
+
+impl<K: PdmKey> Cleaner<K> {
+    /// A cleaner with window `w` (peak residency `2w`).
+    pub fn new<S: Storage<K>>(pdm: &Pdm<K, S>, w: usize) -> Result<Self> {
+        Ok(Self {
+            buf: pdm.alloc_buf(2 * w)?,
+            w,
+            last_max: None,
+            clean: true,
+            emitted: 0,
+        })
+    }
+
+    /// Whether the emitted stream has stayed globally sorted so far.
+    pub fn clean(&self) -> bool {
+        self.clean
+    }
+
+    /// Keys emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Read the given blocks of `region` straight into the cleanup buffer.
+    pub fn feed_blocks<S: Storage<K>>(
+        &mut self,
+        pdm: &mut Pdm<K, S>,
+        region: &Region,
+        indices: &[usize],
+    ) -> Result<()> {
+        pdm.read_blocks(region, indices, self.buf.as_vec_mut())
+    }
+
+    /// Append keys directly (for in-memory feeds).
+    pub fn feed_keys(&mut self, keys: &[K]) {
+        self.buf.extend_from_slice(keys);
+    }
+
+    /// Sort the resident keys and, if more than one window is resident,
+    /// emit the smallest `w` through `emit`. Call once per fed window.
+    pub fn process<S: Storage<K>>(
+        &mut self,
+        pdm: &mut Pdm<K, S>,
+        emit: &mut dyn FnMut(&mut Pdm<K, S>, &[K]) -> Result<()>,
+    ) -> Result<()> {
+        self.buf.sort_unstable();
+        if self.buf.len() > self.w {
+            self.emit_front(pdm, self.w, emit)?;
+        }
+        Ok(())
+    }
+
+    fn emit_front<S: Storage<K>>(
+        &mut self,
+        pdm: &mut Pdm<K, S>,
+        count: usize,
+        emit: &mut dyn FnMut(&mut Pdm<K, S>, &[K]) -> Result<()>,
+    ) -> Result<()> {
+        if count == 0 {
+            return Ok(());
+        }
+        if let Some(prev) = self.last_max {
+            if self.buf[0] < prev {
+                self.clean = false;
+            }
+        }
+        self.last_max = Some(self.buf[count - 1]);
+        emit(pdm, &self.buf[..count])?;
+        self.emitted += count;
+        self.buf.drain(..count);
+        Ok(())
+    }
+
+    /// Flush whatever remains (already sorted from the last `process`).
+    pub fn finish<S: Storage<K>>(
+        mut self,
+        pdm: &mut Pdm<K, S>,
+        emit: &mut dyn FnMut(&mut Pdm<K, S>, &[K]) -> Result<()>,
+    ) -> Result<(usize, bool)> {
+        self.buf.sort_unstable();
+        let rest = self.buf.len();
+        self.emit_front(pdm, rest, emit)?;
+        Ok((self.emitted, self.clean))
+    }
+}
+
+/// An emitter that appends emitted keys to an output region sequentially,
+/// block-aligned. Emitted slices must be whole blocks (all cleanup windows
+/// in this crate are block multiples).
+pub struct RegionEmitter {
+    region: Region,
+    next_block: usize,
+}
+
+impl RegionEmitter {
+    /// Emit into `region` from block 0.
+    pub fn new(region: Region) -> Self {
+        Self { region, next_block: 0 }
+    }
+
+    /// Blocks written so far.
+    pub fn blocks_written(&self) -> usize {
+        self.next_block
+    }
+
+    /// The emit callback.
+    pub fn emit<K: PdmKey, S: Storage<K>>(
+        &mut self,
+        pdm: &mut Pdm<K, S>,
+        keys: &[K],
+    ) -> Result<()> {
+        let b = self.region.block_size();
+        assert_eq!(keys.len() % b, 0, "emit must be block-aligned");
+        let nblocks = keys.len() / b;
+        let idx: Vec<usize> = (self.next_block..self.next_block + nblocks).collect();
+        pdm.write_blocks(&self.region, &idx, keys)?;
+        self.next_block += nblocks;
+        Ok(())
+    }
+}
+
+/// Sort `n` keys that fit in internal memory: one read pass + one write
+/// pass. The trivial case of the dispatcher.
+pub fn in_memory_sort<K: PdmKey, S: Storage<K>>(
+    pdm: &mut Pdm<K, S>,
+    input: &Region,
+    n: usize,
+) -> Result<SortReport> {
+    if n > pdm.cfg().mem_capacity {
+        return Err(PdmError::UnsupportedInput(format!(
+            "in_memory_sort: n = {n} exceeds M = {}",
+            pdm.cfg().mem_capacity
+        )));
+    }
+    let mut buf = pdm.alloc_buf(input.len_keys())?;
+    pdm.read_region(input, buf.as_vec_mut())?;
+    buf.truncate(n);
+    buf.sort_unstable();
+    let out = pdm.alloc_region_for_keys(n)?;
+    pdm.write_region(&out, &buf)?;
+    Ok(SortReport::from_stats(pdm, out, n, Algorithm::InMemory, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Pdm<u64> {
+        Pdm::new(PdmConfig::square(4, 8)).unwrap() // D=4, B=8, M=64
+    }
+
+    #[test]
+    fn require_square_cfg_accepts_and_rejects() {
+        assert_eq!(require_square_cfg(&PdmConfig::square(4, 8)).unwrap(), 8);
+        // B != sqrt(M)
+        assert!(require_square_cfg(&PdmConfig::new(4, 4, 64)).is_err());
+        // D does not divide sqrt(M)
+        assert!(require_square_cfg(&PdmConfig::square(3, 8)).is_err());
+        // M not a perfect square
+        assert!(require_square_cfg(&PdmConfig::new(2, 10, 1000)).is_err());
+    }
+
+    #[test]
+    fn capacities_are_monotone_and_sane() {
+        let m = 1 << 16;
+        let c2 = capacity_expected_two_pass(m, 2.0);
+        let c3 = capacity_expected_three_pass(m, 2.0);
+        let c6 = capacity_expected_six_pass(m, 2.0);
+        let m15 = ((m as f64).powf(1.5)) as usize;
+        let m2 = m * m;
+        assert!(c2 < m15, "c2 {c2} < M^1.5 {m15}");
+        assert!(c3 > c2, "c3 {c3} should exceed c2 {c2}");
+        assert!(c6 > c3 && c6 < m2);
+        // the M^1.75 capacity overtakes M^1.5 once M is large enough
+        let big = 1usize << 20;
+        let m15_big = ((big as f64).powf(1.5)) as usize;
+        assert!(capacity_expected_three_pass(big, 2.0) > m15_big);
+        // higher alpha shrinks capacity
+        assert!(capacity_expected_two_pass(m, 3.0) < c2);
+    }
+
+    #[test]
+    fn papers_running_example_is_reproduced_exactly() {
+        // §5: "when M = 10^8 and α = 2, the expected number of passes is
+        // 2 + 3 × 10^−16"
+        let e = expected_passes(2.0, 5.0, 100_000_000, 2.0);
+        assert!((e - (2.0 + 3e-16)).abs() < 1e-18, "got {e:.20}");
+        // §6: ExpectedThreePass → 3(1−M^−α) + 7·M^−α ≈ 3
+        let e3 = expected_passes(3.0, 7.0, 100_000_000, 2.0);
+        assert!((e3 - 3.0).abs() < 1e-14);
+        // §1's fraction claim: at most 10^-14 % of inputs take more passes
+        let fail_pct = 100.0 * (100_000_000f64).powf(-2.0);
+        assert!((fail_pct - 1e-14).abs() < 1e-28);
+    }
+
+    #[test]
+    fn merge_equal_segments_merges() {
+        let buf = vec![1u64, 4, 7, 2, 5, 8, 3, 6, 9];
+        let mut out = Vec::new();
+        merge_equal_segments(&buf, 3, &mut out);
+        assert_eq!(out, (1..=9).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn merge_with_duplicates() {
+        let buf = vec![1u64, 1, 2, 1, 1, 2];
+        let mut out = Vec::new();
+        merge_equal_segments(&buf, 3, &mut out);
+        assert_eq!(out, vec![1, 1, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn cleaner_streams_sorted_windows() {
+        let mut pdm = machine();
+        let out_reg = pdm.alloc_region_for_keys(64).unwrap();
+        let mut emitter = RegionEmitter::new(out_reg);
+        let mut cleaner = Cleaner::new(&pdm, 16).unwrap();
+        // windows deliberately straddle: values interleaved across windows
+        // but displaced < 16
+        let data: Vec<u64> = (0..64).collect();
+        for chunk in data.chunks(16) {
+            let mut w: Vec<u64> = chunk.to_vec();
+            w.reverse();
+            cleaner.feed_keys(&w);
+            cleaner
+                .process(&mut pdm, &mut |p, ks| emitter.emit(p, ks))
+                .unwrap();
+        }
+        let (n, clean) = cleaner
+            .finish(&mut pdm, &mut |p, ks| emitter.emit(p, ks))
+            .unwrap();
+        assert_eq!(n, 64);
+        assert!(clean);
+        assert_eq!(pdm.inspect_prefix(&out_reg, 64).unwrap(), data);
+    }
+
+    #[test]
+    fn cleaner_detects_excessive_displacement() {
+        let mut pdm = machine();
+        let out_reg = pdm.alloc_region_for_keys(64).unwrap();
+        let mut emitter = RegionEmitter::new(out_reg);
+        let mut cleaner = Cleaner::new(&pdm, 8).unwrap();
+        // key 0 arrives three windows late: displacement 3w > w
+        let windows: Vec<Vec<u64>> = vec![
+            (8..16).collect(),
+            (16..24).collect(),
+            (24..32).collect(),
+            vec![0, 32, 33, 34, 35, 36, 37, 38],
+        ];
+        for w in &windows {
+            cleaner.feed_keys(w);
+            cleaner
+                .process(&mut pdm, &mut |p, ks| emitter.emit(p, ks))
+                .unwrap();
+        }
+        let (_, clean) = cleaner
+            .finish(&mut pdm, &mut |p, ks| emitter.emit(p, ks))
+            .unwrap();
+        assert!(!clean, "cleanup should have flagged the late key");
+    }
+
+    #[test]
+    fn cleaner_memory_stays_at_two_windows() {
+        let pdm = machine();
+        let before = pdm.mem().current();
+        let _cleaner: Cleaner<u64> = Cleaner::new(&pdm, 32).unwrap();
+        assert_eq!(pdm.mem().current(), before + 64);
+    }
+
+    #[test]
+    fn in_memory_sort_small_input() {
+        let mut pdm = machine();
+        let data: Vec<u64> = (0..50).rev().collect();
+        let r = pdm.alloc_region_for_keys(50).unwrap();
+        pdm.ingest(&r, &data).unwrap();
+        let rep = in_memory_sort(&mut pdm, &r, 50).unwrap();
+        assert_eq!(rep.algorithm, Algorithm::InMemory);
+        let got = pdm.inspect_prefix(&rep.output, 50).unwrap();
+        assert_eq!(got, (0..50).collect::<Vec<u64>>());
+        assert!(rep.read_passes <= 1.5, "read passes {}", rep.read_passes);
+        assert!(!rep.fell_back);
+    }
+
+    #[test]
+    fn in_memory_sort_rejects_oversized() {
+        let mut pdm = machine();
+        let r = pdm.alloc_region_for_keys(100).unwrap();
+        assert!(in_memory_sort(&mut pdm, &r, 100).is_err());
+    }
+
+    #[test]
+    fn algorithm_display_names() {
+        assert_eq!(Algorithm::ThreePass2.to_string(), "ThreePass2");
+        assert_eq!(Algorithm::RadixSort.to_string(), "RadixSort");
+    }
+}

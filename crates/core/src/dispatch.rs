@@ -1,0 +1,171 @@
+//! Front-end dispatcher: pick the cheapest of the paper's algorithms for a
+//! given input size, as §8's conclusions suggest.
+//!
+//! | `N` | Choice | Expected passes |
+//! |---|---|---|
+//! | `≤ M` | in-memory | 1 |
+//! | `≤ cap₂(M, α)` | `ExpectedTwoPass` | 2 |
+//! | `≤ M√M` | `ThreePass2` | 3 |
+//! | `≤ cap₃ᵉᶠᶠ(M, α)` | `ExpectedThreePass` | 3 |
+//! | `≤ cap₆(M, α)` | `ExpectedSixPass` | 6 |
+//! | `≤ M²` | `SevenPass` | 7 |
+//!
+//! Integer keys with a known bounded domain should use
+//! [`crate::integer_sort`] / [`crate::radix_sort`] directly — the
+//! dispatcher is comparison-based and makes no assumption on key values.
+
+use crate::common::{
+    capacity_expected_two_pass, in_memory_sort, require_square_cfg, SortReport,
+};
+use crate::expected_three_pass::{self, expected_three_pass};
+use crate::expected_two_pass::expected_two_pass;
+use crate::seven_pass::{self, expected_six_pass, seven_pass};
+use crate::three_pass2::three_pass2;
+use pdm_model::prelude::*;
+
+/// Default confidence parameter: failure probability `≤ M^{−2}` (the
+/// paper's running example uses `α = 2`).
+pub const DEFAULT_ALPHA: f64 = 2.0;
+
+/// Which algorithm [`pdm_sort`] would choose for `n` keys (without running
+/// anything).
+pub fn choose(cfg: &PdmConfig, n: usize, alpha: f64) -> Result<crate::Algorithm> {
+    use crate::Algorithm::*;
+    let b = require_square_cfg(cfg)?;
+    let m = cfg.mem_capacity;
+    if n == 0 {
+        return Err(PdmError::UnsupportedInput("empty input".into()));
+    }
+    Ok(if n <= m {
+        InMemory
+    } else if n <= capacity_expected_two_pass(m, alpha) {
+        ExpectedTwoPass
+    } else if n <= m * b {
+        ThreePass2
+    } else if n <= expected_three_pass::effective_capacity(m, alpha) {
+        ExpectedThreePass
+    } else if n <= seven_pass::capacity_six(m, alpha) {
+        ExpectedSixPass
+    } else if n <= m * m {
+        SevenPass
+    } else {
+        return Err(PdmError::UnsupportedInput(format!(
+            "N = {n} exceeds M² = {}; the paper targets N ≤ M²",
+            m * m
+        )));
+    })
+}
+
+/// Sort `n` keys with the cheapest applicable algorithm (α = 2).
+pub fn pdm_sort<K: PdmKey, S: Storage<K>>(
+    pdm: &mut Pdm<K, S>,
+    input: &Region,
+    n: usize,
+) -> Result<SortReport> {
+    pdm_sort_with_alpha(pdm, input, n, DEFAULT_ALPHA)
+}
+
+/// [`pdm_sort`] with an explicit confidence parameter `α`.
+pub fn pdm_sort_with_alpha<K: PdmKey, S: Storage<K>>(
+    pdm: &mut Pdm<K, S>,
+    input: &Region,
+    n: usize,
+    alpha: f64,
+) -> Result<SortReport> {
+    use crate::Algorithm::*;
+    match choose(pdm.cfg(), n, alpha)? {
+        InMemory => in_memory_sort(pdm, input, n),
+        ExpectedTwoPass => expected_two_pass(pdm, input, n),
+        ThreePass2 => three_pass2(pdm, input, n),
+        ExpectedThreePass => expected_three_pass(pdm, input, n, alpha),
+        ExpectedSixPass => expected_six_pass(pdm, input, n, alpha),
+        SevenPass => seven_pass(pdm, input, n),
+        other => unreachable!("dispatcher never picks {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Algorithm;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    #[test]
+    fn choose_ladder_is_monotone() {
+        let cfg = PdmConfig::square(4, 64); // M = 4096
+        let m = 4096usize;
+        assert_eq!(choose(&cfg, 100, 2.0).unwrap(), Algorithm::InMemory);
+        assert_eq!(choose(&cfg, m, 2.0).unwrap(), Algorithm::InMemory);
+        assert_eq!(choose(&cfg, m + 1, 2.0).unwrap(), Algorithm::ExpectedTwoPass);
+        let cap2 = capacity_expected_two_pass(m, 2.0);
+        assert_eq!(choose(&cfg, cap2, 2.0).unwrap(), Algorithm::ExpectedTwoPass);
+        assert_eq!(choose(&cfg, cap2 + 1, 2.0).unwrap(), Algorithm::ThreePass2);
+        assert_eq!(choose(&cfg, m * 64, 2.0).unwrap(), Algorithm::ThreePass2);
+        // at M = 4096 the effective three-pass capacity sits below M√M, so
+        // the next tier up is the expected six-pass algorithm (the theorem
+        // capacity only overtakes M^1.5 for M ≳ 2^20)
+        let next = choose(&cfg, m * 64 + 1, 2.0).unwrap();
+        assert!(
+            next == Algorithm::ExpectedThreePass || next == Algorithm::ExpectedSixPass,
+            "unexpected tier {next}"
+        );
+        assert_eq!(choose(&cfg, m * m, 2.0).unwrap(), Algorithm::SevenPass);
+        assert!(choose(&cfg, m * m + 1, 2.0).is_err());
+        assert!(choose(&cfg, 0, 2.0).is_err());
+    }
+
+    #[test]
+    fn alpha_moves_the_expected_tier_boundaries() {
+        let cfg = PdmConfig::square(4, 64);
+        let m = 4096usize;
+        // higher α shrinks the expected-two-pass capacity, so a mid-band N
+        // dispatches differently under α = 1 vs α = 4
+        let n = capacity_expected_two_pass(m, 1.0);
+        assert_eq!(choose(&cfg, n, 1.0).unwrap(), Algorithm::ExpectedTwoPass);
+        assert_eq!(choose(&cfg, n, 4.0).unwrap(), Algorithm::ThreePass2);
+    }
+
+    #[test]
+    fn dispatched_sorts_are_correct_at_each_tier() {
+        let mut rng = StdRng::seed_from_u64(101);
+        // M = 256: tiers at 256, ~830, 4096, …
+        for n in [200usize, 500, 2000, 4096, 6000] {
+            let mut pdm: Pdm<u64> = Pdm::new(PdmConfig::square(2, 16)).unwrap();
+            let mut data: Vec<u64> = (0..n as u64).collect();
+            data.shuffle(&mut rng);
+            let input = pdm.alloc_region_for_keys(n).unwrap();
+            pdm.ingest(&input, &data).unwrap();
+            let rep = pdm_sort(&mut pdm, &input, n).unwrap();
+            let got = pdm.inspect_prefix(&rep.output, n).unwrap();
+            let mut want = data.clone();
+            want.sort_unstable();
+            assert_eq!(got, want, "n = {n} via {}", rep.algorithm);
+            assert_eq!(rep.algorithm, choose(pdm.cfg(), n, 2.0).unwrap());
+        }
+    }
+
+    #[test]
+    fn bigger_inputs_cost_more_passes() {
+        let mut rng = StdRng::seed_from_u64(102);
+        let mut last_passes = 0.0f64;
+        for n in [256usize, 800, 4000, 16384] {
+            let mut pdm: Pdm<u64> = Pdm::new(PdmConfig::square(2, 16)).unwrap();
+            let mut data: Vec<u64> = (0..n as u64).collect();
+            data.shuffle(&mut rng);
+            let input = pdm.alloc_region_for_keys(n).unwrap();
+            pdm.ingest(&input, &data).unwrap();
+            pdm.reset_stats();
+            let rep = pdm_sort(&mut pdm, &input, n).unwrap();
+            if !rep.fell_back {
+                assert!(
+                    rep.read_passes + 1e-9 >= last_passes,
+                    "passes regressed at n = {n}: {} < {last_passes}",
+                    rep.read_passes
+                );
+                last_passes = rep.read_passes;
+            }
+        }
+    }
+}

@@ -1,0 +1,3 @@
+//! Wiring crate: hosts the workspace-level integration tests
+//! (`/tests/*.rs`) and runnable examples (`/examples/*.rs`). See those
+//! directories; this library is intentionally empty.

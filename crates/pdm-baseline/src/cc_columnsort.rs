@@ -1,0 +1,533 @@
+//! Chaudhry–Cormen three-pass out-of-core columnsort — the paper's main
+//! comparison baseline (Observations 4.1 and 5.1).
+//!
+//! Leighton's eight steps packed into three PDM passes over an `r × s`
+//! matrix with `r = M` (one column per memory load) and `r ≥ 2(s−1)²`:
+//!
+//! * **Pass 1** (steps 1–2): sort each column, scatter through the
+//!   transpose permutation. Element `k` of sorted column `j` belongs to
+//!   transposed column `k mod s`; within-column order is absorbed by the
+//!   next pass's sort, so each residue class is written as one contiguous
+//!   chunk of `M/s` keys.
+//! * **Pass 2** (steps 3–4): sort each transposed column, scatter through
+//!   the untranspose — chunk `jj` of the sorted column (`M/s` contiguous
+//!   keys) returns to original column `jj`.
+//! * **Pass 3** (steps 5–8): sort each column (step 5) and stream its
+//!   halves through a `M/2` cleanup window — the half-column shift
+//!   (steps 6–8) is exactly a sliding merge of adjacent sorted halves.
+//!
+//! Capacity `N = M·s ≈ M√M/√2` (Observation 4.1; power-of-two rounding of
+//! `s` may halve it). Block size is free — the paper's comparison uses
+//! `B = Θ(M^{1/3})` for this baseline vs `B = √M` for its own algorithms.
+//!
+//! [`cc_columnsort_skip12`] is Observation 5.1's expected two-pass variant:
+//! skip pass 1, treat the input as the already-transposed matrix, verify
+//! online, and fall back to the full three passes on failure.
+
+use pdm_model::prelude::*;
+
+/// Statistics returned by the columnsort baselines.
+#[derive(Debug, Clone)]
+pub struct CcReport {
+    /// Region holding the sorted output.
+    pub output: Region,
+    /// Keys sorted.
+    pub n: usize,
+    /// Read passes by the parallel-step metric.
+    pub read_passes: f64,
+    /// Write passes.
+    pub write_passes: f64,
+    /// Whether the expected variant fell back to the full algorithm.
+    pub fell_back: bool,
+}
+
+/// Largest legal column count for memory `m`: the biggest power of two `s`
+/// with `2(s−1)² ≤ m` that divides `m / block_size`.
+pub fn plan_cols(cfg: &PdmConfig) -> usize {
+    let m = cfg.mem_capacity;
+    let mut s = 1usize;
+    while 2 * (2 * s - 1).pow(2) <= m && (m / cfg.block_size) % (2 * s) == 0 {
+        s *= 2;
+    }
+    s
+}
+
+/// Keys the three-pass baseline sorts: `M · plan_cols` (≈ `M√M/√2`).
+pub fn capacity(cfg: &PdmConfig) -> usize {
+    cfg.mem_capacity * plan_cols(cfg)
+}
+
+/// Observation 5.1's capacity for the skip-steps-1-2 variant:
+/// `M√M / (4(α+2)·ln M + 2)`.
+pub fn capacity_skip12(m: usize, alpha: f64) -> usize {
+    let mf = m as f64;
+    (mf * mf.sqrt() / (4.0 * (alpha + 2.0) * mf.ln() + 2.0)) as usize
+}
+
+pub(crate) struct Dims {
+    pub(crate) s: usize,
+    pub(crate) m: usize,
+    pub(crate) col_blocks: usize,
+    pub(crate) chunk: usize,
+}
+
+pub(crate) fn dims<K: PdmKey, S: Storage<K>>(pdm: &Pdm<K, S>, n: usize) -> Result<Dims> {
+    let cfg = pdm.cfg();
+    let m = cfg.mem_capacity;
+    let b = cfg.block_size;
+    if n == 0 {
+        return Err(PdmError::UnsupportedInput("empty input".into()));
+    }
+    if m % b != 0 {
+        return Err(PdmError::BadConfig("columnsort needs B | M".into()));
+    }
+    let s_max = plan_cols(cfg);
+    // smallest legal power-of-two column count covering n
+    let want = n.div_ceil(m);
+    let mut s = 1usize;
+    while s < want {
+        s *= 2;
+    }
+    if s > s_max {
+        return Err(PdmError::UnsupportedInput(format!(
+            "cc_columnsort sorts at most M·s = {} keys here; got {n}",
+            m * s_max
+        )));
+    }
+    let chunk = m / s;
+    if chunk % b != 0 {
+        return Err(PdmError::BadConfig(format!(
+            "column chunk M/s = {chunk} is not block aligned (B = {b})"
+        )));
+    }
+    Ok(Dims {
+        s,
+        m,
+        col_blocks: m / b,
+        chunk,
+    })
+}
+
+/// Read column `j` of the matrix held in `src` (or `K::MAX` padding past
+/// `n`), returning it sorted in `buf`.
+pub(crate) fn load_sorted_col<K: PdmKey, S: Storage<K>>(
+    pdm: &mut Pdm<K, S>,
+    src: &Region,
+    n: usize,
+    j: usize,
+    col_blocks: usize,
+    m: usize,
+    buf: &mut TrackedBuf<K>,
+) -> Result<()> {
+    buf.clear();
+    let in_blocks = src.len_blocks();
+    let lo = j * col_blocks;
+    let hi = ((j + 1) * col_blocks).min(in_blocks);
+    if lo < hi {
+        let idx: Vec<usize> = (lo..hi).collect();
+        pdm.read_blocks(src, &idx, buf.as_vec_mut())?;
+    }
+    buf.truncate(n.saturating_sub(lo * (m / col_blocks)).min(m));
+    buf.resize(m, K::MAX);
+    buf.sort_unstable();
+    Ok(())
+}
+
+/// Pass 1: transpose-scatter each sorted input column (residue classes).
+pub(crate) fn pass1_transpose<K: PdmKey, S: Storage<K>>(
+    pdm: &mut Pdm<K, S>,
+    input: &Region,
+    n: usize,
+    d: &Dims,
+    tcols: &[Region],
+) -> Result<()> {
+    let b = pdm.cfg().block_size;
+    let chunk_blocks = d.chunk / b;
+    for j in 0..d.s {
+        let mut buf = pdm.alloc_buf(d.m)?;
+        load_sorted_col(pdm, input, n, j, d.col_blocks, d.m, &mut buf)?;
+        // gather residue classes: target c takes k ≡ c (mod s)
+        let mut wbuf = pdm.alloc_buf(d.m)?;
+        {
+            let v = wbuf.as_vec_mut();
+            for c in 0..d.s {
+                for t in 0..d.chunk {
+                    v.push(buf[t * d.s + c]);
+                }
+            }
+        }
+        let mut targets = Vec::with_capacity(d.col_blocks);
+        for (c, tc) in tcols.iter().enumerate() {
+            debug_assert!(c < d.s);
+            let _ = c;
+            for cb in 0..chunk_blocks {
+                targets.push((*tc, j * chunk_blocks + cb));
+            }
+        }
+        pdm.write_blocks_multi(&targets, &wbuf)?;
+    }
+    Ok(())
+}
+
+/// Pass 2: sort each transposed column, untranspose-scatter (contiguous
+/// `M/s` chunks back to the original columns).
+pub(crate) fn pass2_untranspose<K: PdmKey, S: Storage<K>>(
+    pdm: &mut Pdm<K, S>,
+    src_cols: &[Region],
+    src_n: usize,
+    d: &Dims,
+    ocols: &[Region],
+) -> Result<()> {
+    let b = pdm.cfg().block_size;
+    let chunk_blocks = d.chunk / b;
+    for (c, tc) in src_cols.iter().enumerate() {
+        let mut buf = pdm.alloc_buf(d.m)?;
+        load_sorted_col(pdm, tc, src_n.min(d.s * d.m), 0, d.col_blocks, d.m, &mut buf)?;
+        let _ = c;
+        let mut targets = Vec::with_capacity(d.col_blocks);
+        for (jj, oc) in ocols.iter().enumerate() {
+            debug_assert!(jj < d.s);
+            let _ = jj;
+            for cb in 0..chunk_blocks {
+                targets.push((*oc, c * chunk_blocks + cb));
+            }
+        }
+        pdm.write_blocks_multi(&targets, &buf)?;
+    }
+    Ok(())
+}
+
+/// Pass 3: sort each column and stream halves through the shift window
+/// (steps 5–8). Returns whether the stream stayed sorted.
+pub(crate) fn pass3_shift_merge<K: PdmKey, S: Storage<K>>(
+    pdm: &mut Pdm<K, S>,
+    ocols: &[Region],
+    d: &Dims,
+    out: Region,
+) -> Result<bool> {
+    pass3_shift_merge_window(pdm, ocols, d, out, d.m / 2)
+}
+
+/// [`pass3_shift_merge`] with an explicit sliding-window width `w`
+/// (`M/2` = the faithful half-column shift of steps 6–8; `M` = a
+/// full-column window using the same 2M workspace as the paper's own
+/// algorithms, needed by the subblock variant whose oblivious conversion
+/// leaves a dirty band of ~`s` elements instead of CCH's `2√s` rows).
+pub(crate) fn pass3_shift_merge_window<K: PdmKey, S: Storage<K>>(
+    pdm: &mut Pdm<K, S>,
+    ocols: &[Region],
+    d: &Dims,
+    out: Region,
+    w: usize,
+) -> Result<bool> {
+    let b = pdm.cfg().block_size;
+    debug_assert!(w % b == 0 && d.m % w == 0);
+    let mut carry: TrackedBuf<K> = pdm.alloc_buf(2 * w)?;
+    let mut next_block = 0usize;
+    let mut last_max: Option<K> = None;
+    let mut clean = true;
+    let emit = |pdm: &mut Pdm<K, S>,
+                    carry: &mut TrackedBuf<K>,
+                    count: usize,
+                    next_block: &mut usize,
+                    last_max: &mut Option<K>,
+                    clean: &mut bool|
+     -> Result<()> {
+        if count == 0 {
+            return Ok(());
+        }
+        if let Some(prev) = *last_max {
+            if carry[0] < prev {
+                *clean = false;
+            }
+        }
+        *last_max = Some(carry[count - 1]);
+        let nblocks = count / b;
+        let idx: Vec<usize> = (*next_block..*next_block + nblocks).collect();
+        pdm.write_blocks(&out, &idx, &carry[..count])?;
+        *next_block += nblocks;
+        carry.drain(..count);
+        Ok(())
+    };
+    let full_column = w == d.m;
+    for (j, oc) in ocols.iter().enumerate() {
+        let _ = j;
+        if full_column {
+            // window = whole column: reading it into the carry and sorting
+            // subsumes the step-5 column sort; peak stays at 2M
+            let idx: Vec<usize> = (0..d.col_blocks).collect();
+            pdm.read_blocks(oc, &idx, carry.as_vec_mut())?;
+            carry.sort_unstable();
+            if carry.len() > w {
+                emit(pdm, &mut carry, w, &mut next_block, &mut last_max, &mut clean)?;
+            }
+        } else {
+            let mut buf = pdm.alloc_buf(d.m)?;
+            let idx: Vec<usize> = (0..d.col_blocks).collect();
+            pdm.read_blocks(oc, &idx, buf.as_vec_mut())?;
+            buf.sort_unstable(); // step 5
+            // feed windows: sorting carry+window = the step-7 sort of a
+            // shifted column (tail of col j−1 + head of col j)
+            for piece in buf.chunks(w) {
+                carry.extend_from_slice(piece);
+                carry.sort_unstable();
+                if carry.len() > w {
+                    emit(pdm, &mut carry, w, &mut next_block, &mut last_max, &mut clean)?;
+                }
+            }
+        }
+    }
+    let rest = carry.len();
+    carry.sort_unstable();
+    emit(pdm, &mut carry, rest, &mut next_block, &mut last_max, &mut clean)?;
+    Ok(clean)
+}
+
+/// Sort `n ≤ capacity(cfg)` keys in three passes (Observation 4.1 baseline).
+pub fn cc_columnsort<K: PdmKey, S: Storage<K>>(
+    pdm: &mut Pdm<K, S>,
+    input: &Region,
+    n: usize,
+) -> Result<CcReport> {
+    let d = dims(pdm, n)?;
+    let dd = pdm.cfg().num_disks;
+    let tcols: Vec<Region> = (0..d.s)
+        .map(|i| pdm.alloc_region_at(d.col_blocks, i % dd))
+        .collect::<Result<_>>()?;
+    let ocols: Vec<Region> = (0..d.s)
+        .map(|i| pdm.alloc_region_at(d.col_blocks, i % dd))
+        .collect::<Result<_>>()?;
+    let out = pdm.alloc_region(d.s * d.col_blocks)?;
+
+    pdm.stats_mut().begin_phase("CC: steps 1-2");
+    pass1_transpose(pdm, input, n, &d, &tcols)?;
+    pdm.stats_mut().begin_phase("CC: steps 3-4");
+    pass2_untranspose(pdm, &tcols, d.s * d.m, &d, &ocols)?;
+    pdm.stats_mut().begin_phase("CC: steps 5-8");
+    let clean = pass3_shift_merge(pdm, &ocols, &d, out)?;
+    pdm.stats_mut().end_phase();
+    if !clean {
+        return Err(PdmError::UnsupportedInput(
+            "columnsort shift-merge produced an inversion — dims violate r ≥ 2(s−1)²".into(),
+        ));
+    }
+    let (db, bb) = (pdm.cfg().num_disks, pdm.cfg().block_size);
+    Ok(CcReport {
+        output: out,
+        n,
+        read_passes: pdm.stats().read_passes(n, db, bb),
+        write_passes: pdm.stats().write_passes(n, db, bb),
+        fell_back: false,
+    })
+}
+
+/// Observation 5.1: columnsort with steps 1–2 skipped — expected two
+/// passes, verified online, falling back to [`cc_columnsort`].
+pub fn cc_columnsort_skip12<K: PdmKey, S: Storage<K>>(
+    pdm: &mut Pdm<K, S>,
+    input: &Region,
+    n: usize,
+) -> Result<CcReport> {
+    let d = dims(pdm, n)?;
+    let dd = pdm.cfg().num_disks;
+    let ocols: Vec<Region> = (0..d.s)
+        .map(|i| pdm.alloc_region_at(d.col_blocks, i % dd))
+        .collect::<Result<_>>()?;
+    let out = pdm.alloc_region(d.s * d.col_blocks)?;
+
+    // Pass A = steps 3-4 on the input read as the transposed matrix.
+    pdm.stats_mut().begin_phase("CCskip: steps 3-4");
+    let in_cols: Vec<Region> = (0..d.s)
+        .map(|j| {
+            let lo = (j * d.col_blocks).min(input.len_blocks());
+            let len = d.col_blocks.min(input.len_blocks() - lo);
+            input.sub(lo, len)
+        })
+        .collect::<Result<_>>()?;
+    // reuse pass2 with per-column n accounting: pad by loading with global n
+    {
+        let b = pdm.cfg().block_size;
+        let chunk_blocks = d.chunk / b;
+        for (c, tc) in in_cols.iter().enumerate() {
+            let mut buf = pdm.alloc_buf(d.m)?;
+            buf.clear();
+            if tc.len_blocks() > 0 {
+                let idx: Vec<usize> = (0..tc.len_blocks()).collect();
+                pdm.read_blocks(tc, &idx, buf.as_vec_mut())?;
+            }
+            buf.truncate(n.saturating_sub(c * d.m).min(d.m));
+            buf.resize(d.m, K::MAX);
+            buf.sort_unstable();
+            let mut targets = Vec::with_capacity(d.col_blocks);
+            for oc in &ocols {
+                for cb in 0..chunk_blocks {
+                    targets.push((*oc, c * chunk_blocks + cb));
+                }
+            }
+            pdm.write_blocks_multi(&targets, &buf)?;
+        }
+    }
+    // Pass B = steps 5-8 with verification.
+    pdm.stats_mut().begin_phase("CCskip: steps 5-8");
+    let clean = pass3_shift_merge(pdm, &ocols, &d, out)?;
+    pdm.stats_mut().end_phase();
+    let (db, bb) = (pdm.cfg().num_disks, pdm.cfg().block_size);
+    if clean {
+        return Ok(CcReport {
+            output: out,
+            n,
+            read_passes: pdm.stats().read_passes(n, db, bb),
+            write_passes: pdm.stats().write_passes(n, db, bb),
+            fell_back: false,
+        });
+    }
+    pdm.stats_mut().begin_phase("CCskip: fallback full");
+    let rep = cc_columnsort(pdm, input, n)?;
+    pdm.stats_mut().end_phase();
+    Ok(CcReport {
+        fell_back: true,
+        read_passes: pdm.stats().read_passes(n, db, bb),
+        write_passes: pdm.stats().write_passes(n, db, bb),
+        ..rep
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+
+    /// CC-style machine: B = M^{1/3}.
+    fn machine(d: usize, b: usize) -> Pdm<u64> {
+        Pdm::new(PdmConfig::new(d, b, b * b * b)).unwrap()
+    }
+
+    fn sort_and_check(pdm: &mut Pdm<u64>, data: &[u64]) -> CcReport {
+        let input = pdm.alloc_region_for_keys(data.len()).unwrap();
+        pdm.ingest(&input, data).unwrap();
+        pdm.reset_stats();
+        let rep = cc_columnsort(pdm, &input, data.len()).unwrap();
+        let mut want = data.to_vec();
+        want.sort_unstable();
+        assert_eq!(pdm.inspect_prefix(&rep.output, data.len()).unwrap(), want);
+        rep
+    }
+
+    #[test]
+    fn plan_cols_respects_columnsort_condition() {
+        for b in [8usize, 16, 32] {
+            let cfg = PdmConfig::new(2, b, b * b * b);
+            let s = plan_cols(&cfg);
+            let m = b * b * b;
+            assert!(2 * (s - 1).pow(2) <= m, "B={b}: s={s}");
+            assert_eq!((m / b) % s, 0);
+            assert!(
+                2 * (2 * s - 1).pow(2) > m || (m / b) % (2 * s) != 0,
+                "s not maximal for B={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_near_m_sqrt_m_over_sqrt2() {
+        // M = 4096 (B = 16): s = 32, N = 131072 = M^1.5/2 — within the
+        // power-of-two rounding of Observation 4.1's M^1.5/√2.
+        let cfg = PdmConfig::new(2, 16, 4096);
+        assert_eq!(plan_cols(&cfg), 32);
+        assert_eq!(capacity(&cfg), 131072);
+    }
+
+    #[test]
+    fn sorts_random_inputs_in_three_passes() {
+        let mut pdm = machine(2, 8); // M = 512, s = 8, capacity 4096
+        let mut rng = StdRng::seed_from_u64(121);
+        let n = 4096;
+        let mut data: Vec<u64> = (0..n as u64).collect();
+        data.shuffle(&mut rng);
+        let rep = sort_and_check(&mut pdm, &data);
+        assert!((rep.read_passes - 3.0).abs() < 1e-9, "read {}", rep.read_passes);
+        assert!((rep.write_passes - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sorts_adversarial_and_binary_inputs() {
+        let mut rng = StdRng::seed_from_u64(122);
+        for data in [
+            (0..4096u64).rev().collect::<Vec<_>>(),
+            vec![3u64; 4096],
+            {
+                let mut v: Vec<u64> = (0..4096).map(|i| u64::from(i >= 1234)).collect();
+                v.shuffle(&mut rng);
+                v
+            },
+        ] {
+            let mut pdm = machine(2, 8);
+            sort_and_check(&mut pdm, &data);
+        }
+    }
+
+    #[test]
+    fn partial_inputs_pad() {
+        let mut rng = StdRng::seed_from_u64(123);
+        for n in [10usize, 512, 700, 3000] {
+            let mut pdm = machine(2, 8);
+            let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..100_000)).collect();
+            sort_and_check(&mut pdm, &data);
+        }
+    }
+
+    #[test]
+    fn rejects_oversized() {
+        let mut pdm = machine(2, 8);
+        let cap = capacity(pdm.cfg());
+        let input = pdm.alloc_region_for_keys(64).unwrap();
+        assert!(cc_columnsort(&mut pdm, &input, cap + 1).is_err());
+    }
+
+    #[test]
+    fn skip12_two_passes_on_random_input() {
+        let mut pdm = machine(2, 8); // M = 512
+        let mut rng = StdRng::seed_from_u64(124);
+        // stay well under the Obs 5.1 capacity: M√M/(4·4·ln M+2) ≈ 115 →
+        // tiny; empirically random inputs succeed far beyond it, use 1024
+        let mut data: Vec<u64> = (0..1024).collect();
+        data.shuffle(&mut rng);
+        let input = pdm.alloc_region_for_keys(data.len()).unwrap();
+        pdm.ingest(&input, &data).unwrap();
+        pdm.reset_stats();
+        let rep = cc_columnsort_skip12(&mut pdm, &input, data.len()).unwrap();
+        let mut want = data.clone();
+        want.sort_unstable();
+        assert_eq!(pdm.inspect_prefix(&rep.output, data.len()).unwrap(), want);
+        if !rep.fell_back {
+            assert!((rep.read_passes - 2.0).abs() < 1e-9, "read {}", rep.read_passes);
+        }
+    }
+
+    #[test]
+    fn skip12_falls_back_on_adversarial_input() {
+        let mut pdm = machine(2, 8);
+        let data: Vec<u64> = (0..4096u64).rev().collect();
+        let input = pdm.alloc_region_for_keys(data.len()).unwrap();
+        pdm.ingest(&input, &data).unwrap();
+        let rep = cc_columnsort_skip12(&mut pdm, &input, data.len()).unwrap();
+        let mut want = data.clone();
+        want.sort_unstable();
+        assert_eq!(pdm.inspect_prefix(&rep.output, data.len()).unwrap(), want);
+        assert!(rep.fell_back);
+    }
+
+    #[test]
+    fn obs51_capacity_is_quarter_of_expected_two_pass() {
+        let m = 1 << 12;
+        let c = capacity_skip12(m, 2.0);
+        assert!(c > 0);
+        // ~4x smaller than Theorem 5.1's M√M/√((α+2)lnM+2)… both shapes
+        // only match asymptotically; just sanity-check the ordering
+        let mf = m as f64;
+        let thm51 = mf * mf.sqrt() / ((2.0 + 2.0) * mf.ln() + 2.0).sqrt();
+        assert!((c as f64) < thm51);
+    }
+}

@@ -1,0 +1,28 @@
+//! # pdm-baseline — comparison baselines
+//!
+//! The systems the paper compares against, re-implemented on the same PDM
+//! simulator so capacity/pass comparisons are apples-to-apples:
+//!
+//! * [`cc_columnsort`] — Chaudhry–Cormen three-pass out-of-core columnsort
+//!   (Observation 4.1 comparator; capacity `≈ M√M/√2`), plus the
+//!   skip-steps-1-2 expected two-pass variant of Observation 5.1;
+//! * [`subblock`] — subblock columnsort (Observation 6.1: four passes,
+//!   `≈ M^{5/3}/4^{2/3}` keys);
+//! * [`mergesort`] — general multiway external mergesort (the
+//!   asymptotically optimal yardstick for arbitrary `N`);
+//! * [`srm`] — Simple Randomized Mergesort (Barve–Grove–Vitter, the
+//!   paper's \[5\]): memory-frugal merging whose disk parallelism comes from
+//!   randomized striping + forecasting.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cc_columnsort;
+pub mod mergesort;
+pub mod srm;
+pub mod subblock;
+
+pub use cc_columnsort::{cc_columnsort, cc_columnsort_skip12, CcReport};
+pub use mergesort::merge_sort;
+pub use srm::{srm_merge_sort, SrmReport, Striping};
+pub use subblock::subblock_columnsort;

@@ -1,0 +1,207 @@
+//! General multiway external mergesort — the asymptotically optimal
+//! yardstick (Aggarwal–Vitter bound; the synchronous skeleton of
+//! Dementiev–Sanders' sorter).
+//!
+//! Run formation (one pass) followed by `⌈log_f(N/M)⌉` merge passes with
+//! fan-in `f ≈ M/(2·D·B) − 1`. Unlike the paper's algorithms it works for
+//! any `N`, but needs more passes than them exactly when `N ≤ M²` — the
+//! comparison experiments quantify that gap.
+
+use pdm_model::prelude::*;
+
+/// Largest merge fan-in for a machine: reader buffers (one stripe each)
+/// plus the writer stripe must fit in `M`.
+pub fn max_fanin(cfg: &PdmConfig) -> usize {
+    let stripe = cfg.num_disks * cfg.block_size;
+    (cfg.mem_capacity / stripe).saturating_sub(1).max(2)
+}
+
+/// Predicted passes: `1 + ⌈log_f(⌈N/M⌉)⌉`.
+pub fn predicted_passes(cfg: &PdmConfig, n: usize) -> usize {
+    let runs = n.div_ceil(cfg.mem_capacity).max(1);
+    let f = max_fanin(cfg) as f64;
+    1 + (runs as f64).log(f).ceil().max(0.0) as usize
+}
+
+/// Sort `n` keys of `input` by multiway external mergesort. Any `n ≥ 1`.
+///
+/// # Example
+///
+/// ```
+/// use pdm_model::prelude::*;
+/// let mut pdm: Pdm<u64> = Pdm::new(PdmConfig::new(2, 16, 256)).unwrap();
+/// let data: Vec<u64> = (0..2000u64).rev().collect();
+/// let input = pdm.alloc_region_for_keys(data.len()).unwrap();
+/// pdm.ingest(&input, &data).unwrap();
+/// let (out, read_passes, _) = pdm_baseline::merge_sort(&mut pdm, &input, data.len()).unwrap();
+/// assert!(read_passes >= 2.0); // run formation + ≥1 merge level
+/// assert!(pdm.inspect_prefix(&out, 2000).unwrap().windows(2).all(|w| w[0] <= w[1]));
+/// ```
+pub fn merge_sort<K: PdmKey, S: Storage<K>>(
+    pdm: &mut Pdm<K, S>,
+    input: &Region,
+    n: usize,
+) -> Result<(Region, f64, f64)> {
+    if n == 0 {
+        return Err(PdmError::UnsupportedInput("empty input".into()));
+    }
+    let cfg = *pdm.cfg();
+    let (m, b, d) = (cfg.mem_capacity, cfg.block_size, cfg.num_disks);
+
+    // Pass 1: run formation.
+    pdm.stats_mut().begin_phase("MS: run formation");
+    let mut runs: Vec<(Region, usize)> = Vec::new();
+    let in_blocks = input.len_blocks();
+    let run_blocks = m / b;
+    let mut blk = 0usize;
+    let mut remaining = n;
+    while remaining > 0 {
+        let take = run_blocks.min(in_blocks - blk);
+        let mut buf = pdm.alloc_buf(m)?;
+        let idx: Vec<usize> = (blk..blk + take).collect();
+        pdm.read_blocks(input, &idx, buf.as_vec_mut())?;
+        let valid = (take * b).min(remaining);
+        buf.truncate(valid);
+        buf.sort_unstable();
+        let reg = pdm.alloc_region_for_keys(valid)?;
+        pdm.write_region(&reg, &buf)?;
+        runs.push((reg, valid));
+        remaining -= valid;
+        blk += take;
+    }
+
+    // Merge passes.
+    let fanin = max_fanin(&cfg);
+    let mut level = 0usize;
+    while runs.len() > 1 {
+        level += 1;
+        pdm.stats_mut().begin_phase(format!("MS: merge level {level}"));
+        let mut next: Vec<(Region, usize)> = Vec::new();
+        for group in runs.chunks(fanin) {
+            if group.len() == 1 {
+                next.push(group[0]);
+                continue;
+            }
+            let total: usize = group.iter().map(|(_, len)| len).sum();
+            let out = pdm.alloc_region_for_keys(total)?;
+            let mut readers = Vec::with_capacity(group.len());
+            for (reg, len) in group {
+                readers.push(RunReader::new(pdm, *reg, *len, d)?);
+            }
+            let mut writer = RunWriter::striped(pdm, out)?;
+            kway_merge(pdm, readers, &mut writer)?;
+            let written = writer.finish(pdm)?;
+            debug_assert_eq!(written, total);
+            next.push((out, total));
+        }
+        runs = next;
+    }
+    pdm.stats_mut().end_phase();
+
+    let (out, total) = runs[0];
+    debug_assert_eq!(total, n);
+    Ok((
+        out,
+        pdm.stats().read_passes(n, d, b),
+        pdm.stats().write_passes(n, d, b),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+
+    fn machine(d: usize, b: usize, m: usize) -> Pdm<u64> {
+        Pdm::new(PdmConfig::new(d, b, m)).unwrap()
+    }
+
+    fn sort_and_check(pdm: &mut Pdm<u64>, data: &[u64]) -> (f64, f64) {
+        let input = pdm.alloc_region_for_keys(data.len()).unwrap();
+        pdm.ingest(&input, data).unwrap();
+        pdm.reset_stats();
+        let (out, rp, wp) = merge_sort(pdm, &input, data.len()).unwrap();
+        let mut want = data.to_vec();
+        want.sort_unstable();
+        assert_eq!(pdm.inspect_prefix(&out, data.len()).unwrap(), want);
+        (rp, wp)
+    }
+
+    #[test]
+    fn fanin_formula() {
+        // M = 256, D = 2, B = 16 → stripe 32 → f = 7
+        assert_eq!(max_fanin(&PdmConfig::new(2, 16, 256)), 7);
+        // tiny memory clamps to 2
+        assert_eq!(max_fanin(&PdmConfig::new(2, 16, 64)), 2);
+    }
+
+    #[test]
+    fn sorts_random_inputs_various_sizes() {
+        let mut rng = StdRng::seed_from_u64(111);
+        for n in [1usize, 63, 64, 100, 1000, 5000, 20000] {
+            let mut pdm = machine(2, 16, 256);
+            let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1u64 << 40)).collect();
+            sort_and_check(&mut pdm, &data);
+        }
+    }
+
+    #[test]
+    fn single_run_costs_one_pass_each_way() {
+        let mut pdm = machine(2, 16, 256);
+        let mut rng = StdRng::seed_from_u64(112);
+        let mut data: Vec<u64> = (0..256).collect();
+        data.shuffle(&mut rng);
+        let (rp, wp) = sort_and_check(&mut pdm, &data);
+        assert!((rp - 1.0).abs() < 1e-9, "read passes {rp}");
+        assert!((wp - 1.0).abs() < 1e-9, "write passes {wp}");
+    }
+
+    #[test]
+    fn pass_count_tracks_prediction() {
+        let mut rng = StdRng::seed_from_u64(113);
+        let cfg = PdmConfig::new(2, 16, 256);
+        for n in [2048usize, 16384, 65536] {
+            let mut pdm = machine(2, 16, 256);
+            let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1u64 << 40)).collect();
+            let (rp, _) = sort_and_check(&mut pdm, &data);
+            let pred = predicted_passes(&cfg, n) as f64;
+            assert!(
+                rp <= pred + 0.6,
+                "n = {n}: measured {rp} vs predicted {pred}"
+            );
+            assert!(rp >= pred - 1.0);
+        }
+    }
+
+    #[test]
+    fn needs_more_passes_than_three_pass2_at_m_sqrt_m() {
+        // The comparison the paper's Conclusions make: at N = M√M the LMM
+        // algorithm does 3 passes; plain mergesort needs ⌈log_f(√M)⌉ + 1.
+        let mut rng = StdRng::seed_from_u64(114);
+        let n = 4096; // M√M for M = 256
+        let mut pdm = machine(2, 16, 256);
+        let mut data: Vec<u64> = (0..n as u64).collect();
+        data.shuffle(&mut rng);
+        let (rp, _) = sort_and_check(&mut pdm, &data);
+        // f = 7, 16 runs → 2 merge levels → 3 passes: comparable here; the
+        // gap appears at N = M² (see E13) — assert sane bounds only.
+        assert!(rp >= 2.0 && rp <= 4.0, "read passes {rp}");
+    }
+
+    #[test]
+    fn duplicates_and_sorted_inputs() {
+        let mut pdm = machine(2, 8, 64);
+        sort_and_check(&mut pdm, &vec![7u64; 1000]);
+        let mut pdm = machine(2, 8, 64);
+        sort_and_check(&mut pdm, &(0..1000u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let mut pdm = machine(2, 8, 64);
+        let input = pdm.alloc_region_for_keys(8).unwrap();
+        assert!(merge_sort(&mut pdm, &input, 0).is_err());
+    }
+}

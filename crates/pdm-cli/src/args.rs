@@ -1,0 +1,385 @@
+//! Hand-rolled argument parsing (no external CLI dependency).
+
+use std::fmt;
+
+/// Machine geometry flags shared by `sort` and `info`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Number of disks `D`.
+    pub disks: usize,
+    /// `√M` (block size; memory is `b²`).
+    pub b: usize,
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Self { disks: 4, b: 64 }
+    }
+}
+
+/// Input distributions `gen` can synthesize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dist {
+    /// Uniform random u64 (half range, so `MAX` stays a sentinel).
+    Random,
+    /// A random permutation of `0..n`.
+    Permutation,
+    /// Reverse-sorted `n-1..=0`.
+    Reversed,
+    /// Already sorted `0..n`.
+    Sorted,
+    /// Skewed: 80 % of keys from the bottom 20 % of a 32-bit range.
+    Zipf,
+}
+
+impl std::str::FromStr for Dist {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "random" => Ok(Dist::Random),
+            "permutation" => Ok(Dist::Permutation),
+            "reversed" => Ok(Dist::Reversed),
+            "sorted" => Ok(Dist::Sorted),
+            "zipf" => Ok(Dist::Zipf),
+            other => Err(format!(
+                "unknown distribution '{other}' (random|permutation|reversed|sorted|zipf)"
+            )),
+        }
+    }
+}
+
+/// Which sorting entry point `sort` should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Let the dispatcher choose by `N` (default).
+    Auto,
+    /// Force `ThreePass1`.
+    ThreePass1,
+    /// Force `ThreePass2`.
+    ThreePass2,
+    /// Force `ExpectedTwoPass`.
+    ExpectedTwoPass,
+    /// Force `SevenPass`.
+    SevenPass,
+    /// Force `RadixSort` (64-bit keys).
+    Radix,
+    /// Force the multiway-mergesort baseline.
+    Mergesort,
+}
+
+impl std::str::FromStr for Algo {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "auto" => Ok(Algo::Auto),
+            "three-pass1" => Ok(Algo::ThreePass1),
+            "three-pass2" => Ok(Algo::ThreePass2),
+            "expected-two-pass" => Ok(Algo::ExpectedTwoPass),
+            "seven-pass" => Ok(Algo::SevenPass),
+            "radix" => Ok(Algo::Radix),
+            "mergesort" => Ok(Algo::Mergesort),
+            other => Err(format!(
+                "unknown algorithm '{other}' (auto|three-pass1|three-pass2|expected-two-pass|seven-pass|radix|mergesort)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Algo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Algo::Auto => "auto",
+            Algo::ThreePass1 => "three-pass1",
+            Algo::ThreePass2 => "three-pass2",
+            Algo::ExpectedTwoPass => "expected-two-pass",
+            Algo::SevenPass => "seven-pass",
+            Algo::Radix => "radix",
+            Algo::Mergesort => "mergesort",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `pdmsort gen <n> <out> [--dist D] [--seed S]`
+    Gen {
+        /// Keys to generate.
+        n: usize,
+        /// Output path.
+        out: String,
+        /// Distribution.
+        dist: Dist,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// `pdmsort sort <in> <out> [--disks D] [--b B] [--algo A] [--scratch DIR]`
+    Sort {
+        /// Input key file.
+        input: String,
+        /// Output key file.
+        out: String,
+        /// Machine geometry.
+        geo: Geometry,
+        /// Algorithm selection.
+        algo: Algo,
+        /// Scratch directory for the simulated disks (default: temp dir).
+        scratch: Option<String>,
+        /// Optional path to write machine stats as JSON.
+        stats: Option<String>,
+    },
+    /// `pdmsort compare <in> [--disks D] [--b B]` — run every applicable
+    /// algorithm on the same input and tabulate passes.
+    Compare {
+        /// Input key file.
+        input: String,
+        /// Machine geometry.
+        geo: Geometry,
+    },
+    /// `pdmsort verify <file>`
+    Verify {
+        /// Key file to check.
+        file: String,
+    },
+    /// `pdmsort info [--disks D] [--b B]`
+    Info {
+        /// Machine geometry.
+        geo: Geometry,
+    },
+    /// `pdmsort help`
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+pdmsort — out-of-core sorting on a simulated parallel-disk machine
+
+USAGE:
+  pdmsort gen <n> <out.keys> [--dist random|permutation|reversed|sorted|zipf] [--seed S]
+  pdmsort sort <in.keys> <out.keys> [--disks D] [--b SQRT_M] [--algo A]
+               [--scratch DIR] [--stats FILE.json]
+  pdmsort compare <in.keys> [--disks D] [--b SQRT_M]
+  pdmsort verify <file.keys>
+  pdmsort info [--disks D] [--b SQRT_M]
+
+Key files are flat little-endian u64. Defaults: --disks 4 --b 64 (M = 4096
+keys), --algo auto. The sorter stages data through D real files (one per
+simulated disk) and reports the pass counts of the chosen algorithm.";
+
+fn parse_flag<T: std::str::FromStr>(
+    args: &[String],
+    i: &mut usize,
+    name: &str,
+) -> Result<T, String>
+where
+    T::Err: fmt::Display,
+{
+    *i += 1;
+    let v = args
+        .get(*i)
+        .ok_or_else(|| format!("{name} needs a value"))?;
+    v.parse::<T>().map_err(|e| format!("bad {name}: {e}"))
+}
+
+/// Parse a command line (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "gen" => {
+            let mut pos = Vec::new();
+            let mut dist = Dist::Random;
+            let mut seed = 42u64;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--dist" => dist = parse_flag(args, &mut i, "--dist")?,
+                    "--seed" => seed = parse_flag(args, &mut i, "--seed")?,
+                    other => pos.push(other.to_string()),
+                }
+                i += 1;
+            }
+            if pos.len() != 2 {
+                return Err("gen needs <n> <out>".into());
+            }
+            let n: usize = pos[0].parse().map_err(|e| format!("bad n: {e}"))?;
+            Ok(Command::Gen {
+                n,
+                out: pos[1].clone(),
+                dist,
+                seed,
+            })
+        }
+        "sort" => {
+            let mut pos = Vec::new();
+            let mut geo = Geometry::default();
+            let mut algo = Algo::Auto;
+            let mut scratch = None;
+            let mut stats = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--disks" => geo.disks = parse_flag(args, &mut i, "--disks")?,
+                    "--b" => geo.b = parse_flag(args, &mut i, "--b")?,
+                    "--algo" => algo = parse_flag(args, &mut i, "--algo")?,
+                    "--scratch" => {
+                        scratch = Some(parse_flag::<String>(args, &mut i, "--scratch")?)
+                    }
+                    "--stats" => stats = Some(parse_flag::<String>(args, &mut i, "--stats")?),
+                    other => pos.push(other.to_string()),
+                }
+                i += 1;
+            }
+            if pos.len() != 2 {
+                return Err("sort needs <in> <out>".into());
+            }
+            Ok(Command::Sort {
+                input: pos[0].clone(),
+                out: pos[1].clone(),
+                geo,
+                algo,
+                scratch,
+                stats,
+            })
+        }
+        "compare" => {
+            let mut pos = Vec::new();
+            let mut geo = Geometry::default();
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--disks" => geo.disks = parse_flag(args, &mut i, "--disks")?,
+                    "--b" => geo.b = parse_flag(args, &mut i, "--b")?,
+                    other => pos.push(other.to_string()),
+                }
+                i += 1;
+            }
+            if pos.len() != 1 {
+                return Err("compare needs <in>".into());
+            }
+            Ok(Command::Compare {
+                input: pos[0].clone(),
+                geo,
+            })
+        }
+        "verify" => {
+            if args.len() != 2 {
+                return Err("verify needs <file>".into());
+            }
+            Ok(Command::Verify {
+                file: args[1].clone(),
+            })
+        }
+        "info" => {
+            let mut geo = Geometry::default();
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--disks" => geo.disks = parse_flag(args, &mut i, "--disks")?,
+                    "--b" => geo.b = parse_flag(args, &mut i, "--b")?,
+                    other => return Err(format!("unknown flag {other}")),
+                }
+                i += 1;
+            }
+            Ok(Command::Info { geo })
+        }
+        other => Err(format!("unknown command '{other}'; try pdmsort help")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_gen() {
+        let c = parse(&v(&["gen", "1000", "x.keys", "--dist", "zipf", "--seed", "7"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Gen {
+                n: 1000,
+                out: "x.keys".into(),
+                dist: Dist::Zipf,
+                seed: 7
+            }
+        );
+    }
+
+    #[test]
+    fn parses_sort_with_defaults_and_flags() {
+        let c = parse(&v(&["sort", "a", "b"])).unwrap();
+        match c {
+            Command::Sort { geo, algo, scratch, stats, .. } => {
+                assert_eq!(geo, Geometry::default());
+                assert_eq!(algo, Algo::Auto);
+                assert!(scratch.is_none());
+                assert!(stats.is_none());
+            }
+            _ => panic!(),
+        }
+        let c = parse(&v(&[
+            "sort", "a", "b", "--disks", "8", "--b", "32", "--algo", "seven-pass", "--scratch",
+            "/tmp/x", "--stats", "s.json",
+        ]))
+        .unwrap();
+        match c {
+            Command::Sort { geo, algo, scratch, stats, .. } => {
+                assert_eq!(geo, Geometry { disks: 8, b: 32 });
+                assert_eq!(algo, Algo::SevenPass);
+                assert_eq!(scratch.as_deref(), Some("/tmp/x"));
+                assert_eq!(stats.as_deref(), Some("s.json"));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_verify_info_help() {
+        assert_eq!(
+            parse(&v(&["verify", "f"])).unwrap(),
+            Command::Verify { file: "f".into() }
+        );
+        assert!(matches!(parse(&v(&["info"])).unwrap(), Command::Info { .. }));
+        assert!(matches!(
+            parse(&v(&["compare", "f", "--b", "16"])).unwrap(),
+            Command::Compare { .. }
+        ));
+        assert!(parse(&v(&["compare"])).is_err());
+        assert_eq!(parse(&v(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&v(&["gen", "x.keys"])).is_err());
+        assert!(parse(&v(&["gen", "ten", "x"])).is_err());
+        assert!(parse(&v(&["sort", "a"])).is_err());
+        assert!(parse(&v(&["sort", "a", "b", "--algo", "bogosort"])).is_err());
+        assert!(parse(&v(&["frobnicate"])).is_err());
+        assert!(parse(&v(&["gen", "1", "x", "--dist"])).is_err());
+    }
+
+    #[test]
+    fn dist_and_algo_round_trip_strings() {
+        for s in ["random", "permutation", "reversed", "sorted", "zipf"] {
+            assert!(s.parse::<Dist>().is_ok());
+        }
+        for s in [
+            "auto",
+            "three-pass1",
+            "three-pass2",
+            "expected-two-pass",
+            "seven-pass",
+            "radix",
+            "mergesort",
+        ] {
+            let a: Algo = s.parse().unwrap();
+            assert_eq!(a.to_string(), s);
+        }
+    }
+}

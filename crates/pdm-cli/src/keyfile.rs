@@ -1,0 +1,195 @@
+//! Flat little-endian `u64` key files: streaming read/write with bounded
+//! buffers (the CLI must not slurp a file the simulator is proud of
+//! sorting out-of-core).
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Keys per I/O buffer while streaming files.
+pub const STREAM_KEYS: usize = 1 << 16;
+
+/// Number of keys in a key file (errors if the size is not a multiple of 8).
+pub fn count_keys(path: impl AsRef<Path>) -> io::Result<usize> {
+    let len = std::fs::metadata(path)?.len();
+    if len % 8 != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("file size {len} is not a multiple of 8 bytes"),
+        ));
+    }
+    Ok((len / 8) as usize)
+}
+
+/// Stream a key file through `f` in chunks of at most [`STREAM_KEYS`] keys.
+pub fn for_each_chunk(
+    path: impl AsRef<Path>,
+    mut f: impl FnMut(&[u64]) -> io::Result<()>,
+) -> io::Result<usize> {
+    let file = File::open(path)?;
+    let mut rd = BufReader::new(file);
+    let mut bytes = vec![0u8; STREAM_KEYS * 8];
+    let mut keys = vec![0u64; STREAM_KEYS];
+    let mut total = 0usize;
+    loop {
+        let mut filled = 0usize;
+        // read_exact-ish loop tolerating short reads at EOF
+        while filled < bytes.len() {
+            match rd.read(&mut bytes[filled..])? {
+                0 => break,
+                k => filled += k,
+            }
+        }
+        if filled == 0 {
+            break;
+        }
+        if filled % 8 != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trailing partial key",
+            ));
+        }
+        let n = filled / 8;
+        for i in 0..n {
+            keys[i] = u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
+        }
+        f(&keys[..n])?;
+        total += n;
+        if filled < bytes.len() {
+            break;
+        }
+    }
+    Ok(total)
+}
+
+/// An incremental key-file writer.
+pub struct KeyFileWriter {
+    w: BufWriter<File>,
+    written: usize,
+}
+
+impl KeyFileWriter {
+    /// Create/truncate `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self {
+            w: BufWriter::new(File::create(path)?),
+            written: 0,
+        })
+    }
+
+    /// Append keys.
+    pub fn write_keys(&mut self, keys: &[u64]) -> io::Result<()> {
+        for k in keys {
+            self.w.write_all(&k.to_le_bytes())?;
+        }
+        self.written += keys.len();
+        Ok(())
+    }
+
+    /// Flush and return the key count.
+    pub fn finish(mut self) -> io::Result<usize> {
+        self.w.flush()?;
+        Ok(self.written)
+    }
+}
+
+/// Whether the file's keys are non-decreasing; returns
+/// `(sorted, key_count, first_violation_index)`.
+pub fn check_sorted(path: impl AsRef<Path>) -> io::Result<(bool, usize, Option<usize>)> {
+    let mut prev: Option<u64> = None;
+    let mut idx = 0usize;
+    let mut violation = None;
+    let total = for_each_chunk(path, |keys| {
+        for &k in keys {
+            if violation.is_none() {
+                if let Some(p) = prev {
+                    if k < p {
+                        violation = Some(idx);
+                    }
+                }
+            }
+            prev = Some(k);
+            idx += 1;
+        }
+        Ok(())
+    })?;
+    Ok((violation.is_none(), total, violation))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("pdmcli-{}-{}", std::process::id(), name))
+    }
+
+    #[test]
+    fn round_trip_small() {
+        let p = tmp("rt");
+        let mut w = KeyFileWriter::create(&p).unwrap();
+        w.write_keys(&[3, 1, 4, 1, 5]).unwrap();
+        assert_eq!(w.finish().unwrap(), 5);
+        assert_eq!(count_keys(&p).unwrap(), 5);
+        let mut got = Vec::new();
+        let n = for_each_chunk(&p, |ks| {
+            got.extend_from_slice(ks);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(got, vec![3, 1, 4, 1, 5]);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn round_trip_larger_than_buffer() {
+        let p = tmp("big");
+        let data: Vec<u64> = (0..(STREAM_KEYS * 2 + 17) as u64).collect();
+        let mut w = KeyFileWriter::create(&p).unwrap();
+        for chunk in data.chunks(1000) {
+            w.write_keys(chunk).unwrap();
+        }
+        w.finish().unwrap();
+        let mut got = Vec::new();
+        for_each_chunk(&p, |ks| {
+            got.extend_from_slice(ks);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(got, data);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn check_sorted_detects_violations() {
+        let p = tmp("sorted");
+        let mut w = KeyFileWriter::create(&p).unwrap();
+        w.write_keys(&[1, 2, 3, 4]).unwrap();
+        w.finish().unwrap();
+        assert_eq!(check_sorted(&p).unwrap(), (true, 4, None));
+
+        let mut w = KeyFileWriter::create(&p).unwrap();
+        w.write_keys(&[1, 2, 0, 4]).unwrap();
+        w.finish().unwrap();
+        assert_eq!(check_sorted(&p).unwrap(), (false, 4, Some(2)));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn ragged_file_rejected() {
+        let p = tmp("ragged");
+        std::fs::write(&p, [1u8, 2, 3]).unwrap();
+        assert!(count_keys(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn empty_file_is_fine() {
+        let p = tmp("empty");
+        std::fs::write(&p, []).unwrap();
+        assert_eq!(count_keys(&p).unwrap(), 0);
+        assert_eq!(check_sorted(&p).unwrap(), (true, 0, None));
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,22 @@
+//! # pdm-cli — out-of-core sorting from the command line
+//!
+//! `pdmsort` sorts flat binary files of little-endian `u64` keys through
+//! the PDM simulator's file-backed disks, so the whole pipeline — input
+//! file → striped disk files → sorted output file — really runs
+//! out-of-core with the paper's pass budgets. Subcommands:
+//!
+//! * `gen` — synthesize a key file (random / reversed / sorted / zipf);
+//! * `sort` — sort a key file, printing the algorithm, passes, and I/O
+//!   statistics;
+//! * `verify` — check a key file is sorted;
+//! * `info` — print the capacity ladder for a machine configuration.
+//!
+//! Library surface (used by the binary and its tests): argument parsing in
+//! [`args`], file I/O in [`keyfile`], and the orchestration in [`run`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod keyfile;
+pub mod run;

@@ -1,0 +1,15 @@
+//! `pdmsort` binary entry point.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match pdm_cli::args::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", pdm_cli::args::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout();
+    std::process::exit(pdm_cli::run::run(cmd, &mut stdout));
+}

@@ -1,0 +1,575 @@
+//! Orchestration: wire key files through the file-backed PDM machine.
+
+use crate::args::{Algo, Command, Dist, Geometry};
+use crate::keyfile;
+use pdm_model::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::io::Write;
+
+/// Top-level driver; returns a process exit code.
+pub fn run(cmd: Command, out: &mut dyn Write) -> i32 {
+    match dispatch(cmd, out) {
+        Ok(code) => code,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            1
+        }
+    }
+}
+
+fn dispatch(cmd: Command, out: &mut dyn Write) -> std::result::Result<i32, Box<dyn std::error::Error>> {
+    match cmd {
+        Command::Help => {
+            writeln!(out, "{}", crate::args::USAGE)?;
+            Ok(0)
+        }
+        Command::Gen { n, out: path, dist, seed } => {
+            gen(n, &path, dist, seed)?;
+            writeln!(out, "wrote {n} keys to {path}")?;
+            Ok(0)
+        }
+        Command::Compare { input, geo } => {
+            compare(&input, geo, out)?;
+            Ok(0)
+        }
+        Command::Verify { file } => {
+            let (ok, n, violation) = keyfile::check_sorted(&file)?;
+            if ok {
+                writeln!(out, "{file}: {n} keys, sorted ✓")?;
+                Ok(0)
+            } else {
+                writeln!(
+                    out,
+                    "{file}: {n} keys, NOT sorted (first violation at index {})",
+                    violation.unwrap()
+                )?;
+                Ok(1)
+            }
+        }
+        Command::Info { geo } => {
+            info(geo, out)?;
+            Ok(0)
+        }
+        Command::Sort { input, out: output, geo, algo, scratch, stats } => {
+            sort(&input, &output, geo, algo, scratch.as_deref(), stats.as_deref(), out)?;
+            Ok(0)
+        }
+    }
+}
+
+fn gen(n: usize, path: &str, dist: Dist, seed: u64) -> std::io::Result<()> {
+    let mut w = keyfile::KeyFileWriter::create(path)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    match dist {
+        Dist::Random => {
+            let mut buf = vec![0u64; keyfile::STREAM_KEYS];
+            let mut left = n;
+            while left > 0 {
+                let take = left.min(buf.len());
+                for k in &mut buf[..take] {
+                    *k = rng.gen::<u64>() >> 1;
+                }
+                w.write_keys(&buf[..take])?;
+                left -= take;
+            }
+        }
+        Dist::Permutation => {
+            // a permutation needs global state; cap at memory-friendly sizes
+            let mut v: Vec<u64> = (0..n as u64).collect();
+            v.shuffle(&mut rng);
+            for chunk in v.chunks(keyfile::STREAM_KEYS) {
+                w.write_keys(chunk)?;
+            }
+        }
+        Dist::Reversed => {
+            let mut buf = Vec::with_capacity(keyfile::STREAM_KEYS);
+            let mut next = n as u64;
+            while next > 0 {
+                buf.clear();
+                let take = (next as usize).min(keyfile::STREAM_KEYS);
+                for _ in 0..take {
+                    next -= 1;
+                    buf.push(next);
+                }
+                w.write_keys(&buf)?;
+            }
+        }
+        Dist::Sorted => {
+            let mut buf = Vec::with_capacity(keyfile::STREAM_KEYS);
+            let mut next = 0u64;
+            while (next as usize) < n {
+                buf.clear();
+                let take = (n - next as usize).min(keyfile::STREAM_KEYS);
+                for _ in 0..take {
+                    buf.push(next);
+                    next += 1;
+                }
+                w.write_keys(&buf)?;
+            }
+        }
+        Dist::Zipf => {
+            let mut buf = vec![0u64; keyfile::STREAM_KEYS];
+            let mut left = n;
+            while left > 0 {
+                let take = left.min(buf.len());
+                for k in &mut buf[..take] {
+                    *k = if rng.gen_bool(0.8) {
+                        rng.gen_range(0..(1u64 << 30))
+                    } else {
+                        rng.gen_range(0..(1u64 << 32))
+                    };
+                }
+                w.write_keys(&buf[..take])?;
+                left -= take;
+            }
+        }
+    }
+    w.finish()?;
+    Ok(())
+}
+
+fn info(geo: Geometry, out: &mut dyn Write) -> std::io::Result<()> {
+    let cfg = PdmConfig::square(geo.disks, geo.b);
+    let m = cfg.mem_capacity;
+    writeln!(
+        out,
+        "machine: D = {}, B = √M = {}, M = {m} keys ({} bytes of u64)",
+        geo.disks,
+        geo.b,
+        m * 8
+    )?;
+    writeln!(out, "capacity ladder (α = 2):")?;
+    writeln!(out, "  in-memory:          N ≤ {m}")?;
+    writeln!(
+        out,
+        "  expected two-pass:  N ≤ {}",
+        pdm_sort::expected_two_pass::capacity(m, 2.0)
+    )?;
+    writeln!(out, "  three-pass:         N ≤ {}", m * geo.b)?;
+    writeln!(
+        out,
+        "  expected three-pass: N ≤ {} (effective)",
+        pdm_sort::expected_three_pass::effective_capacity(m, 2.0)
+    )?;
+    writeln!(
+        out,
+        "  expected six-pass:  N ≤ {}",
+        pdm_sort::seven_pass::capacity_six(m, 2.0)
+    )?;
+    writeln!(out, "  seven-pass:         N ≤ {}", m * m)?;
+    writeln!(
+        out,
+        "lower bound: {:.2} passes at N = M√M, {:.2} at N = M²",
+        pdm_theory::av_min_passes(m * geo.b, m, geo.b),
+        pdm_theory::av_min_passes(m * m, m, geo.b)
+    )?;
+    Ok(())
+}
+
+fn sort(
+    input: &str,
+    output: &str,
+    geo: Geometry,
+    algo: Algo,
+    scratch: Option<&str>,
+    stats_path: Option<&str>,
+    out: &mut dyn Write,
+) -> std::result::Result<(), Box<dyn std::error::Error>> {
+    let n = keyfile::count_keys(input)?;
+    if n == 0 {
+        keyfile::KeyFileWriter::create(output)?.finish()?;
+        writeln!(out, "0 keys: wrote empty {output}")?;
+        return Ok(());
+    }
+    let cfg = PdmConfig::square(geo.disks, geo.b);
+    cfg.validate()?;
+
+    // Simulated disks live in real files.
+    let storage = match scratch {
+        Some(dir) => FileStorage::<u64>::create(dir, geo.disks, geo.b)?,
+        None => FileStorage::<u64>::create_temp(geo.disks, geo.b)?,
+    };
+    let mut pdm = Pdm::with_storage(cfg, storage)?;
+    let region = pdm.alloc_region_for_keys(n)?;
+
+    // Stage the input file onto the disks (the model's "input resides on
+    // the disks"; not charged).
+    {
+        let mut off_blocks = 0usize;
+        let b = cfg.block_size;
+        let mut pending: Vec<u64> = Vec::with_capacity(keyfile::STREAM_KEYS + b);
+        keyfile::for_each_chunk(input, |keys| {
+            pending.extend_from_slice(keys);
+            let full = pending.len() / b * b;
+            if full > 0 {
+                let sub = region
+                    .sub(off_blocks, full / b)
+                    .map_err(std::io::Error::other)?;
+                pdm.ingest(&sub, &pending[..full]).map_err(std::io::Error::other)?;
+                off_blocks += full / b;
+                pending.drain(..full);
+            }
+            Ok(())
+        })?;
+        if !pending.is_empty() {
+            let sub = region.sub(off_blocks, 1)?;
+            pdm.ingest(&sub, &pending)?;
+        }
+    }
+
+    let t0 = std::time::Instant::now();
+    let (out_region, label) = match algo {
+        Algo::Auto => {
+            let rep = pdm_sort::pdm_sort(&mut pdm, &region, n)?;
+            writeln!(out, "algorithm: {} (auto)", rep.algorithm)?;
+            report(out, &rep, &pdm)?;
+            (rep.output, rep.algorithm.to_string())
+        }
+        Algo::ThreePass1 => {
+            let rep = pdm_sort::three_pass1(&mut pdm, &region, n)?;
+            report(out, &rep, &pdm)?;
+            (rep.output, "ThreePass1".into())
+        }
+        Algo::ThreePass2 => {
+            let rep = pdm_sort::three_pass2(&mut pdm, &region, n)?;
+            report(out, &rep, &pdm)?;
+            (rep.output, "ThreePass2".into())
+        }
+        Algo::ExpectedTwoPass => {
+            let rep = pdm_sort::expected_two_pass(&mut pdm, &region, n)?;
+            report(out, &rep, &pdm)?;
+            (rep.output, "ExpectedTwoPass".into())
+        }
+        Algo::SevenPass => {
+            let rep = pdm_sort::seven_pass(&mut pdm, &region, n)?;
+            report(out, &rep, &pdm)?;
+            (rep.output, "SevenPass".into())
+        }
+        Algo::Radix => {
+            let rep = pdm_sort::radix_sort(&mut pdm, &region, n, 64)?;
+            writeln!(
+                out,
+                "rounds: {} (predicted {:.2}), segments: {}",
+                rep.max_rounds,
+                pdm_sort::radix_sort::predicted_rounds(&cfg, n, 64),
+                rep.segments_sorted
+            )?;
+            report(out, &rep.report, &pdm)?;
+            (rep.report.output, "RadixSort".into())
+        }
+        Algo::Mergesort => {
+            let (o, rp, wp) = pdm_baseline::merge_sort(&mut pdm, &region, n)?;
+            writeln!(out, "read passes:  {rp:.3}")?;
+            writeln!(out, "write passes: {wp:.3}")?;
+            (o, "mergesort".into())
+        }
+    };
+    let elapsed = t0.elapsed();
+
+    // Stream the sorted region back out to the output file.
+    let mut w = keyfile::KeyFileWriter::create(output)?;
+    {
+        let b = cfg.block_size;
+        let mut remaining = n;
+        let mut blk = 0usize;
+        let mut buf: Vec<u64> = Vec::new();
+        let chunk_blocks = (keyfile::STREAM_KEYS / b).max(1);
+        while remaining > 0 {
+            buf.clear();
+            let take = chunk_blocks.min(out_region.len_blocks() - blk);
+            let sub = out_region.sub(blk, take)?;
+            buf = pdm.inspect(&sub)?;
+            let valid = remaining.min(take * b);
+            w.write_keys(&buf[..valid])?;
+            remaining -= valid;
+            blk += take;
+        }
+    }
+    let written = w.finish()?;
+    writeln!(
+        out,
+        "{label}: {written} keys → {output} in {:.2?} (simulation wall clock)",
+        elapsed
+    )?;
+    if let Some(path) = stats_path {
+        #[derive(serde::Serialize)]
+        struct StatsDump<'a> {
+            algorithm: &'a str,
+            n: usize,
+            config: &'a PdmConfig,
+            peak_mem_keys: usize,
+            stats: &'a IoStats,
+        }
+        let dump = StatsDump {
+            algorithm: &label,
+            n,
+            config: &cfg,
+            peak_mem_keys: pdm.mem().peak(),
+            stats: pdm.stats(),
+        };
+        std::fs::write(path, serde_json::to_string_pretty(&dump)?)?;
+        writeln!(out, "stats written to {path}")?;
+    }
+    Ok(())
+}
+
+/// Stage a key file into a fresh file-backed machine.
+fn stage(
+    input: &str,
+    geo: Geometry,
+) -> std::result::Result<(Pdm<u64, FileStorage<u64>>, Region, usize), Box<dyn std::error::Error>> {
+    let n = keyfile::count_keys(input)?;
+    let cfg = PdmConfig::square(geo.disks, geo.b);
+    cfg.validate()?;
+    let storage = FileStorage::<u64>::create_temp(geo.disks, geo.b)?;
+    let mut pdm = Pdm::with_storage(cfg, storage)?;
+    let region = pdm.alloc_region_for_keys(n.max(1))?;
+    let b = cfg.block_size;
+    let mut off_blocks = 0usize;
+    let mut pending: Vec<u64> = Vec::with_capacity(keyfile::STREAM_KEYS + b);
+    keyfile::for_each_chunk(input, |keys| {
+        pending.extend_from_slice(keys);
+        let full = pending.len() / b * b;
+        if full > 0 {
+            let sub = region
+                .sub(off_blocks, full / b)
+                .map_err(std::io::Error::other)?;
+            pdm.ingest(&sub, &pending[..full]).map_err(std::io::Error::other)?;
+            off_blocks += full / b;
+            pending.drain(..full);
+        }
+        Ok(())
+    })?;
+    if !pending.is_empty() {
+        let sub = region.sub(off_blocks, 1)?;
+        pdm.ingest(&sub, &pending)?;
+    }
+    Ok((pdm, region, n))
+}
+
+fn compare(
+    input: &str,
+    geo: Geometry,
+    out: &mut dyn Write,
+) -> std::result::Result<(), Box<dyn std::error::Error>> {
+    let n = keyfile::count_keys(input)?;
+    if n == 0 {
+        writeln!(out, "empty input")?;
+        return Ok(());
+    }
+    let m = geo.b * geo.b;
+    writeln!(
+        out,
+        "comparing algorithms on {n} keys (D = {}, B = √M = {}, M = {m}):",
+        geo.disks, geo.b
+    )?;
+    writeln!(
+        out,
+        "{:<20} {:>12} {:>13} {:>10} {:>10}",
+        "algorithm", "read passes", "write passes", "peak mem", "wall"
+    )?;
+    type Entry = (
+        &'static str,
+        fn(&mut Pdm<u64, FileStorage<u64>>, &Region, usize) -> pdm_model::Result<(f64, f64, usize)>,
+    );
+    let candidates: Vec<Entry> = vec![
+        ("auto (dispatcher)", |p, r, n| {
+            pdm_sort::pdm_sort(p, r, n).map(|rep| (rep.read_passes, rep.write_passes, rep.peak_mem))
+        }),
+        ("three-pass1", |p, r, n| {
+            pdm_sort::three_pass1(p, r, n)
+                .map(|rep| (rep.read_passes, rep.write_passes, rep.peak_mem))
+        }),
+        ("three-pass2", |p, r, n| {
+            pdm_sort::three_pass2(p, r, n)
+                .map(|rep| (rep.read_passes, rep.write_passes, rep.peak_mem))
+        }),
+        ("expected-two-pass", |p, r, n| {
+            pdm_sort::expected_two_pass(p, r, n)
+                .map(|rep| (rep.read_passes, rep.write_passes, rep.peak_mem))
+        }),
+        ("seven-pass", |p, r, n| {
+            pdm_sort::seven_pass(p, r, n)
+                .map(|rep| (rep.read_passes, rep.write_passes, rep.peak_mem))
+        }),
+        ("radix (64-bit)", |p, r, n| {
+            pdm_sort::radix_sort(p, r, n, 64)
+                .map(|rep| (rep.report.read_passes, rep.report.write_passes, rep.report.peak_mem))
+        }),
+        ("mergesort", |p, r, n| {
+            pdm_baseline::merge_sort(p, r, n).map(|(_, rp, wp)| (rp, wp, 0))
+        }),
+    ];
+    for (name, f) in candidates {
+        let (mut pdm, region, n) = stage(input, geo)?;
+        pdm.reset_stats();
+        let t0 = std::time::Instant::now();
+        match f(&mut pdm, &region, n) {
+            Ok((rp, wp, peak)) => {
+                writeln!(
+                    out,
+                    "{:<20} {:>12.3} {:>13.3} {:>10} {:>9.0?}",
+                    name,
+                    rp,
+                    wp,
+                    if peak == 0 { "-".to_string() } else { peak.to_string() },
+                    t0.elapsed()
+                )?;
+            }
+            Err(e) => {
+                writeln!(out, "{:<20} not applicable ({e})", name)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn report(
+    out: &mut dyn Write,
+    rep: &pdm_sort::SortReport,
+    pdm: &Pdm<u64, FileStorage<u64>>,
+) -> std::io::Result<()> {
+    writeln!(out, "read passes:  {:.3}", rep.read_passes)?;
+    writeln!(out, "write passes: {:.3}", rep.write_passes)?;
+    writeln!(
+        out,
+        "peak memory:  {} keys (limit {})",
+        rep.peak_mem,
+        pdm.cfg().mem_limit()
+    )?;
+    if rep.fell_back {
+        writeln!(out, "note: online check detected a bad input; deterministic fallback ran")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("pdmcli-run-{}-{}", std::process::id(), name))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    fn run_args(args: &[&str]) -> (i32, String) {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let cmd = parse(&argv).unwrap();
+        let mut buf = Vec::new();
+        let code = run(cmd, &mut buf);
+        (code, String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn gen_sort_verify_pipeline() {
+        let inp = tmp("in.keys");
+        let outp = tmp("out.keys");
+        let (c, _) = run_args(&["gen", "5000", &inp, "--dist", "permutation"]);
+        assert_eq!(c, 0);
+        let (c, log) = run_args(&["sort", &inp, &outp, "--disks", "2", "--b", "16"]);
+        assert_eq!(c, 0, "{log}");
+        assert!(log.contains("read passes"), "{log}");
+        let (c, log) = run_args(&["verify", &outp]);
+        assert_eq!(c, 0, "{log}");
+        assert!(log.contains("sorted ✓"));
+        // and the input, being a permutation, is almost surely not sorted
+        let (c, _) = run_args(&["verify", &inp]);
+        assert_eq!(c, 1);
+        std::fs::remove_file(&inp).ok();
+        std::fs::remove_file(&outp).ok();
+    }
+
+    #[test]
+    fn forced_algorithms_agree() {
+        let inp = tmp("in2.keys");
+        let (c, _) = run_args(&["gen", "4096", &inp, "--dist", "random", "--seed", "9"]);
+        assert_eq!(c, 0);
+        let mut outputs = Vec::new();
+        for algo in ["three-pass1", "three-pass2", "seven-pass", "radix", "mergesort"] {
+            let outp = tmp(&format!("out-{algo}.keys"));
+            let (c, log) =
+                run_args(&["sort", &inp, &outp, "--disks", "2", "--b", "16", "--algo", algo]);
+            assert_eq!(c, 0, "{algo}: {log}");
+            outputs.push(std::fs::read(&outp).unwrap());
+            std::fs::remove_file(&outp).ok();
+        }
+        for o in &outputs[1..] {
+            assert_eq!(o, &outputs[0]);
+        }
+        std::fs::remove_file(&inp).ok();
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let inp = tmp("empty.keys");
+        let outp = tmp("empty-out.keys");
+        std::fs::write(&inp, []).unwrap();
+        let (c, log) = run_args(&["sort", &inp, &outp]);
+        assert_eq!(c, 0, "{log}");
+        assert_eq!(std::fs::metadata(&outp).unwrap().len(), 0);
+        std::fs::remove_file(&inp).ok();
+        std::fs::remove_file(&outp).ok();
+    }
+
+    #[test]
+    fn stats_json_is_written_and_parses() {
+        let inp = tmp("sj-in.keys");
+        let outp = tmp("sj-out.keys");
+        let statsp = tmp("sj.json");
+        run_args(&["gen", "2000", &inp, "--dist", "permutation"]);
+        let (c, log) = run_args(&[
+            "sort", &inp, &outp, "--disks", "2", "--b", "16", "--stats", &statsp,
+        ]);
+        assert_eq!(c, 0, "{log}");
+        let txt = std::fs::read_to_string(&statsp).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&txt).unwrap();
+        assert_eq!(v["n"], 2000);
+        assert!(v["stats"]["blocks_read"].as_u64().unwrap() > 0);
+        assert_eq!(v["config"]["block_size"], 16);
+        for f in [&inp, &outp, &statsp] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn info_prints_ladder() {
+        let (c, log) = run_args(&["info", "--disks", "2", "--b", "16"]);
+        assert_eq!(c, 0);
+        assert!(log.contains("capacity ladder"));
+        assert!(log.contains("seven-pass"));
+    }
+
+    #[test]
+    fn missing_file_reports_error() {
+        let (c, log) = run_args(&["verify", "/nonexistent/nope.keys"]);
+        assert_eq!(c, 1);
+        assert!(log.contains("error"));
+    }
+
+    #[test]
+    fn gen_distributions_have_right_shape() {
+        let cases: Vec<(&str, fn(&[u64]) -> bool)> = vec![
+            ("sorted", |v| v.windows(2).all(|w| w[0] <= w[1])),
+            ("reversed", |v| v.windows(2).all(|w| w[0] >= w[1])),
+        ];
+        for (dist, check) in cases {
+            let p = tmp(&format!("dist-{dist}.keys"));
+            let (c, _) = run_args(&["gen", "1000", &p, "--dist", dist]);
+            assert_eq!(c, 0);
+            let mut got = Vec::new();
+            keyfile::for_each_chunk(&p, |ks| {
+                got.extend_from_slice(ks);
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(got.len(), 1000);
+            assert!(check(&got), "{dist} shape wrong");
+            std::fs::remove_file(&p).ok();
+        }
+    }
+}

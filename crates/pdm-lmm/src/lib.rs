@@ -1,0 +1,25 @@
+//! # pdm-lmm — the `(l, m)`-merge sort framework
+//!
+//! In-memory reference implementation of Rajasekaran's LMM sort \[23\], the
+//! framework the paper specializes into its three- and seven-pass PDM
+//! algorithms (§4, §6.1). Provides:
+//!
+//! * [`lmm::lmm_sort`] / [`lmm::lmm_merge`] — the recursive
+//!   unshuffle → merge → shuffle → cleanup scheme;
+//! * [`lmm::cleanup_displaced`] — Observation 4.2's windowed local sort for
+//!   `d`-displaced sequences (shared with the expected-pass algorithms'
+//!   cleanup phases);
+//! * [`lmm::dirty_bound`] — the `l·m` dirty-sequence bound;
+//! * [`lmm::direct_merge`] — the k-way base-case merge.
+//!
+//! Batcher's odd-even merge sort is the `l = m = 2` instance, Thompson–Kung
+//! `s²-way` merge sort the `l = m = s` instance.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lmm;
+pub mod special_cases;
+
+pub use lmm::{cleanup_displaced, direct_merge, dirty_bound, lmm_merge, lmm_sort};
+pub use special_cases::{odd_even_merge_sort_lmm, s2_way_merge_sort, three_pass2_reference};

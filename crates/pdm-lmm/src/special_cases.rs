@@ -1,0 +1,80 @@
+//! The classical algorithms the paper names as LMM special cases
+//! (§4: "Columnsort algorithm, odd-even merge sort, and the s²-way merge
+//! sort algorithms are all special cases of LMM sort").
+//!
+//! Each constructor fixes the `(l, m)` parameters; the tests demonstrate
+//! the structural claims — e.g. that `l = m = 2` LMM performs the same
+//! merge recursion as Batcher's odd-even merge sort, down to matching the
+//! comparator network's output on every input.
+
+use crate::lmm::lmm_sort;
+
+/// Batcher's odd-even merge sort as LMM: `l = m = 2`, recursion to pairs.
+pub fn odd_even_merge_sort_lmm<K: Ord + Copy>(xs: &[K]) -> Vec<K> {
+    lmm_sort(xs, 2, 2, 2)
+}
+
+/// Thompson–Kung `s²-way` merge sort as LMM: `l = m = s`.
+pub fn s2_way_merge_sort<K: Ord + Copy>(xs: &[K], s: usize) -> Vec<K> {
+    lmm_sort(xs, s.max(2), s.max(2), s.max(2) * s.max(2))
+}
+
+/// The paper's PDM specialization parameters (ThreePass2): `l = N/M ≤ √M`,
+/// `m = √M`, base = `M` (merges of `M` keys happen in memory). In-memory
+/// reference for differential testing against the out-of-core version.
+pub fn three_pass2_reference<K: Ord + Copy>(xs: &[K], m_mem: usize) -> Vec<K> {
+    let b = (m_mem as f64).sqrt().round() as usize;
+    let l = xs.len().div_ceil(m_mem).max(2);
+    lmm_sort(xs, l, b.max(2), m_mem.max(4))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_theory::odd_even_merge_sort as batcher_network;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn odd_even_lmm_matches_the_batcher_network_exactly() {
+        // Not just "both sort": on power-of-two sizes the l=m=2 LMM and the
+        // Batcher comparator network compute the same function (identical
+        // outputs), because they are the same recursion.
+        let mut rng = StdRng::seed_from_u64(1);
+        for exp in 2..=7u32 {
+            let n = 1usize << exp;
+            let net = batcher_network(n);
+            for _ in 0..20 {
+                let data: Vec<u32> = (0..n).map(|_| rng.gen_range(0..64)).collect();
+                let via_lmm = odd_even_merge_sort_lmm(&data);
+                let mut via_net = data.clone();
+                net.apply(&mut via_net);
+                assert_eq!(via_lmm, via_net, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn s2_way_sorts_for_various_s() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for s in [2usize, 3, 4, 8] {
+            for n in [64usize, 256, 1000] {
+                let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..10_000)).collect();
+                let mut want = data.clone();
+                want.sort_unstable();
+                assert_eq!(s2_way_merge_sort(&data, s), want, "s = {s}, n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn three_pass2_reference_sorts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for (m, n) in [(64usize, 512usize), (256, 4096), (256, 1000)] {
+            let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1u64 << 40)).collect();
+            let mut want = data.clone();
+            want.sort_unstable();
+            assert_eq!(three_pass2_reference(&data, m), want, "m = {m}, n = {n}");
+        }
+    }
+}

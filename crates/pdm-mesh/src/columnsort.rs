@@ -1,0 +1,206 @@
+//! Leighton's columnsort: eight steps sorting an `r × s` mesh (with
+//! `s | r` and `r ≥ 2(s−1)²`) into column-major order.
+//!
+//! Steps 1, 3, 5, 7 sort columns; steps 2, 4, 6, 8 apply fixed permutations
+//! (transpose-reshape, its inverse, and a half-column shift with ±∞ padding).
+//! Chaudhry–Cormen's out-of-core variants (the paper's comparison baseline,
+//! Observations 4.1/5.1) pack these steps into three PDM passes; the mesh
+//! kernel here is that algorithm's in-memory core and also the reference
+//! implementation tests compare against.
+
+use crate::mesh::Mesh;
+
+/// Sentinel-wrapped key so the shift step can pad with ±∞ for any `Ord` key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Sent<K: Ord> {
+    /// −∞ padding (top of the first shifted column).
+    Min,
+    /// A real key.
+    Val(K),
+    /// +∞ padding (bottom of the last shifted column).
+    Max,
+}
+
+/// Does `(r, s)` satisfy columnsort's requirements `s | r`, `r ≥ 2(s−1)²`?
+pub fn dims_ok(r: usize, s: usize) -> bool {
+    r > 0 && s > 0 && r % s == 0 && r >= 2 * (s.saturating_sub(1)).pow(2)
+}
+
+/// Largest legal `s` for a given `r` (`r ≥ 2(s−1)²` ⇒ `s ≤ √(r/2) + 1`),
+/// additionally rounded down to a divisor of `r`.
+pub fn max_cols(r: usize) -> usize {
+    let mut s = ((r / 2) as f64).sqrt() as usize + 1;
+    while s > 1 && !dims_ok(r, s) {
+        s -= 1;
+    }
+    s.max(1)
+}
+
+/// Steps 6–8: shift every column down by `r/2` into an `r × (s+1)` matrix
+/// padded with ±∞, sort the augmented columns, and unshift.
+fn shift_sort_unshift<K: Ord + Copy + Send + Sync>(mesh: &mut Mesh<K>) {
+    let (r, s) = (mesh.rows(), mesh.cols());
+    let half = r / 2;
+    // Augmented column-major buffer of s+1 columns: leading half column of
+    // −∞, the data (column-major), trailing half column of +∞. Writing the
+    // column-major pickup at offset `half` is exactly "shift each column
+    // down by r/2 into the next column".
+    let mut aug: Vec<Sent<K>> = Vec::with_capacity((s + 1) * r);
+    aug.resize(half, Sent::Min);
+    for c in 0..s {
+        for row in 0..r {
+            aug.push(Sent::Val(mesh.get(row, c)));
+        }
+    }
+    aug.resize((s + 1) * r, Sent::Max);
+
+    // Step 7: sort each augmented column (contiguous in this layout).
+    use rayon::prelude::*;
+    aug.par_chunks_mut(r).for_each(|col| col.sort_unstable());
+
+    // Step 8: unshift — drop sentinels, deposit back in column-major order.
+    let mut it = aug.into_iter().filter_map(|x| match x {
+        Sent::Val(k) => Some(k),
+        _ => None,
+    });
+    for c in 0..s {
+        for row in 0..r {
+            let k = it.next().expect("sentinel count mismatch");
+            mesh.set(row, c, k);
+        }
+    }
+    debug_assert!(it.next().is_none());
+}
+
+/// Run full eight-step columnsort. Panics if `(r, s)` violates
+/// [`dims_ok`] — callers size the mesh with [`max_cols`].
+pub fn columnsort<K: Ord + Copy + Send + Sync>(mesh: &mut Mesh<K>) {
+    assert!(
+        dims_ok(mesh.rows(), mesh.cols()),
+        "columnsort requires s | r and r >= 2(s-1)^2; got r = {}, s = {}",
+        mesh.rows(),
+        mesh.cols()
+    );
+    mesh.sort_columns(); // 1
+    mesh.transpose_reshape(); // 2
+    mesh.sort_columns(); // 3
+    mesh.untranspose_reshape(); // 4
+    mesh.sort_columns(); // 5
+    shift_sort_unshift(mesh); // 6-8
+}
+
+/// Columnsort with steps 1–2 skipped — the paper's Observation 5.1 expected
+/// two-pass variant. Sorts only with high probability on random inputs;
+/// returns whether the result came out sorted (column-major).
+pub fn columnsort_skip12<K: Ord + Copy + Send + Sync>(mesh: &mut Mesh<K>) -> bool {
+    mesh.sort_columns(); // 3
+    mesh.untranspose_reshape(); // 4
+    mesh.sort_columns(); // 5
+    shift_sort_unshift(mesh); // 6-8
+    mesh.is_sorted_col_major()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng_vec(n: usize, seed: u64) -> Vec<u64> {
+        let mut s = seed.max(1);
+        (0..n)
+            .map(|_| {
+                s ^= s >> 12;
+                s ^= s << 25;
+                s ^= s >> 27;
+                s.wrapping_mul(0x2545_F491_4F6C_DD1D)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dims_check() {
+        assert!(dims_ok(8, 2)); // 8 >= 2*1
+        assert!(dims_ok(18, 3)); // 18 >= 2*4 = 8, 3 | 18
+        assert!(!dims_ok(8, 3)); // 3 does not divide 8
+        assert!(!dims_ok(4, 4)); // 4 < 2*9
+        assert!(!dims_ok(0, 1));
+    }
+
+    #[test]
+    fn max_cols_is_legal_and_maximal_divisor() {
+        for r in [8usize, 16, 32, 64, 128, 256] {
+            let s = max_cols(r);
+            assert!(dims_ok(r, s), "r={r} s={s}");
+        }
+        assert_eq!(max_cols(2), 2); // 2 >= 2*(2-1)^2, 2 | 2
+    }
+
+    #[test]
+    fn sorts_random_inputs_column_major() {
+        for (r, s, seed) in [(8usize, 2usize, 1u64), (18, 3, 2), (32, 4, 3), (50, 5, 4)] {
+            let data = rng_vec(r * s, seed);
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            let mut m = Mesh::from_vec(r, s, data);
+            columnsort(&mut m);
+            assert!(m.is_sorted_col_major(), "{r}x{s} failed");
+            assert_eq!(m.col_major_vec(), expect);
+        }
+    }
+
+    #[test]
+    fn sorts_all_binary_inputs_exhaustively() {
+        // 8x2 mesh: 2^16 binary inputs — the 0-1 principle then gives
+        // correctness for arbitrary inputs of this shape.
+        for bits in 0u32..(1 << 16) {
+            let data: Vec<u8> = (0..16).map(|i| ((bits >> i) & 1) as u8).collect();
+            let mut m = Mesh::from_vec(8, 2, data);
+            columnsort(&mut m);
+            assert!(m.is_sorted_col_major(), "failed on {bits:#x}");
+        }
+    }
+
+    #[test]
+    fn sorts_adversarial_patterns() {
+        let r = 32;
+        let s = 4;
+        for data in [
+            (0..r * s).rev().map(|x| x as u64).collect::<Vec<_>>(),
+            (0..r * s).map(|x| (x % 7) as u64).collect::<Vec<_>>(),
+            vec![42u64; r * s],
+        ] {
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            let mut m = Mesh::from_vec(r, s, data);
+            columnsort(&mut m);
+            assert_eq!(m.col_major_vec(), expect);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "columnsort requires")]
+    fn rejects_illegal_dims() {
+        let mut m = Mesh::from_vec(4, 4, (0..16u32).collect());
+        columnsort(&mut m);
+    }
+
+    #[test]
+    fn skip12_variant_usually_sorts_random_inputs() {
+        // Observation 5.1: skipping steps 1-2 still sorts with high
+        // probability on random inputs (capacity reduced ~4x). At this
+        // small scale we just require a decent success rate and, on
+        // success, a correct result.
+        let (r, s) = (128usize, 4usize);
+        let mut successes = 0;
+        for seed in 1..=20u64 {
+            let data = rng_vec(r * s, seed);
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            let mut m = Mesh::from_vec(r, s, data);
+            if columnsort_skip12(&mut m) {
+                successes += 1;
+                assert_eq!(m.col_major_vec(), expect);
+            }
+        }
+        assert!(successes >= 10, "only {successes}/20 sorted");
+    }
+}

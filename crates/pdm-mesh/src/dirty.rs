@@ -1,0 +1,149 @@
+//! Dirty-row / dirty-band analysis for 0-1 inputs.
+//!
+//! Central to the paper's correctness proofs (and to Shearsort, columnsort,
+//! and Revsort) is the notion of *dirty* rows/blocks: a row is dirty if it
+//! contains a mixture of 0's and 1's (Definition in §3.1). These helpers
+//! measure dirtiness so tests and experiments can check the structural
+//! claims directly — e.g. "after Step 1 every `√M × √M` submesh has at most
+//! one dirty row", or "the dirty band after column sorting has length
+//! `O(√(n log n))`".
+
+use crate::mesh::Mesh;
+
+/// Whether a slice is a 0-1 sequence under the convention that the two
+/// distinct values present are "zero" (the smaller) and "one" (the larger).
+/// A constant sequence is trivially binary.
+pub fn is_binary<K: Ord + Copy>(xs: &[K]) -> bool {
+    let mut distinct: Vec<K> = Vec::with_capacity(2);
+    for &x in xs {
+        if !distinct.contains(&x) {
+            distinct.push(x);
+            if distinct.len() > 2 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether a slice mixes both values of a binary domain ("dirty").
+pub fn is_dirty<K: Ord + Copy>(xs: &[K], zero: K, one: K) -> bool {
+    let has_zero = xs.iter().any(|&x| x == zero);
+    let has_one = xs.iter().any(|&x| x == one);
+    has_zero && has_one
+}
+
+/// Indices of the dirty rows of a 0-1 mesh.
+pub fn dirty_rows<K: Ord + Copy + Send + Sync>(mesh: &Mesh<K>, zero: K, one: K) -> Vec<usize> {
+    (0..mesh.rows())
+        .filter(|&r| is_dirty(mesh.row(r), zero, one))
+        .collect()
+}
+
+/// Number of dirty rows of a 0-1 mesh.
+pub fn dirty_row_count<K: Ord + Copy + Send + Sync>(mesh: &Mesh<K>, zero: K, one: K) -> usize {
+    dirty_rows(mesh, zero, one).len()
+}
+
+/// The *dirty band* of a 0-1 sequence: the index range `[lo, hi)` spanning
+/// from the first `one` to just past the last `zero`. Empty (`lo >= hi`)
+/// iff the sequence is sorted (all zeros before all ones).
+pub fn dirty_band<K: Ord + Copy>(xs: &[K], zero: K, one: K) -> (usize, usize) {
+    let first_one = xs.iter().position(|&x| x == one);
+    let last_zero = xs.iter().rposition(|&x| x == zero);
+    match (first_one, last_zero) {
+        (Some(f), Some(l)) if f <= l => (f, l + 1),
+        _ => (0, 0),
+    }
+}
+
+/// Length of the dirty band of a 0-1 sequence.
+pub fn dirty_band_len<K: Ord + Copy>(xs: &[K], zero: K, one: K) -> usize {
+    let (lo, hi) = dirty_band(xs, zero, one);
+    hi.saturating_sub(lo)
+}
+
+/// Maximum displacement of any key from its sorted position: for general
+/// sequences, `max_i |pos(x_i) - sorted_pos(x_i)|` computed by stable rank.
+/// This is the quantity bounded by the shuffling lemma (Lemma 4.2).
+pub fn max_displacement<K: Ord + Copy>(xs: &[K]) -> usize {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    // stable sort by key: ties keep original order, giving each occurrence
+    // a well-defined sorted slot
+    idx.sort_by_key(|&i| (xs[i], i));
+    idx.iter()
+        .enumerate()
+        .map(|(sorted_pos, &orig_pos)| sorted_pos.abs_diff(orig_pos))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Whether every key of `xs` is within `d` positions of its sorted position.
+pub fn is_d_displaced<K: Ord + Copy>(xs: &[K], d: usize) -> bool {
+    max_displacement(xs) <= d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::Mesh;
+
+    #[test]
+    fn binary_detection() {
+        assert!(is_binary(&[0u8, 1, 0, 1]));
+        assert!(is_binary(&[5u8, 5, 5]));
+        assert!(is_binary(&[] as &[u8]));
+        assert!(!is_binary(&[0u8, 1, 2]));
+    }
+
+    #[test]
+    fn dirtiness_of_slices() {
+        assert!(is_dirty(&[0u8, 1], 0, 1));
+        assert!(!is_dirty(&[0u8, 0], 0, 1));
+        assert!(!is_dirty(&[1u8, 1], 0, 1));
+    }
+
+    #[test]
+    fn dirty_rows_of_mesh() {
+        let m = Mesh::from_vec(3, 2, vec![0u8, 0, 0, 1, 1, 1]);
+        assert_eq!(dirty_rows(&m, 0, 1), vec![1]);
+        assert_eq!(dirty_row_count(&m, 0, 1), 1);
+    }
+
+    #[test]
+    fn dirty_band_of_sequences() {
+        // sorted → empty band
+        assert_eq!(dirty_band(&[0u8, 0, 1, 1], 0, 1), (0, 0));
+        assert_eq!(dirty_band_len(&[0u8, 0, 1, 1], 0, 1), 0);
+        // one inversion: 1 at index 1, last 0 at index 2 → band [1,3)
+        assert_eq!(dirty_band(&[0u8, 1, 0, 1], 0, 1), (1, 3));
+        assert_eq!(dirty_band_len(&[1u8, 0], 0, 1), 2);
+        // all zeros / all ones → clean
+        assert_eq!(dirty_band_len(&[0u8, 0], 0, 1), 0);
+        assert_eq!(dirty_band_len(&[1u8, 1], 0, 1), 0);
+    }
+
+    #[test]
+    fn displacement_zero_iff_sorted() {
+        assert_eq!(max_displacement(&[1u32, 2, 3]), 0);
+        assert_eq!(max_displacement(&[] as &[u32]), 0);
+        assert!(is_d_displaced(&[1u32, 2, 3], 0));
+    }
+
+    #[test]
+    fn displacement_of_swap_and_rotation() {
+        // swapping neighbors displaces by 1
+        assert_eq!(max_displacement(&[2u32, 1, 3]), 1);
+        // moving the max to the front displaces it n-1
+        assert_eq!(max_displacement(&[9u32, 1, 2, 3]), 3);
+        assert!(is_d_displaced(&[2u32, 1, 4, 3], 1));
+        assert!(!is_d_displaced(&[3u32, 1, 2], 1));
+    }
+
+    #[test]
+    fn displacement_handles_duplicates_stably() {
+        // all-equal input is sorted regardless of arrangement
+        assert_eq!(max_displacement(&[7u32, 7, 7, 7]), 0);
+        assert_eq!(max_displacement(&[1u32, 7, 7, 0]), 3);
+    }
+}

@@ -1,0 +1,29 @@
+//! # pdm-mesh — mesh-sorting machinery
+//!
+//! In-memory mesh (2-D grid) sorting substrate for the PDM reproduction:
+//!
+//! * [`mesh::Mesh`] — an `r × c` grid with parallel row/column sorts, the
+//!   snake (boustrophedon) order, and columnsort's reshape permutations;
+//! * [`shearsort`] — Shearsort and its dirty-row-halving principle, used in
+//!   the proof of the paper's `ThreePass1` (Theorem 3.1);
+//! * [`columnsort`] — Leighton's eight-step columnsort (the in-memory core
+//!   of the Chaudhry–Cormen baselines) plus the skip-steps-1-2 expected
+//!   variant of Observation 5.1;
+//! * [`revsort`] — Revsort-style bit-reversal rotation rounds (Schnorr &
+//!   Shamir), the mechanism behind subblock columnsort (Observation 6.1);
+//! * [`dirty`] — dirty rows / dirty bands / displacement measurement for
+//!   0-1 analysis, shared by tests and experiments.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod columnsort;
+pub mod dirty;
+pub mod mesh;
+pub mod revsort;
+pub mod shearsort;
+
+pub use dirty::{
+    dirty_band, dirty_band_len, dirty_row_count, dirty_rows, is_binary, is_dirty, max_displacement,
+};
+pub use mesh::{layout_sorted_rows, Direction, Mesh};

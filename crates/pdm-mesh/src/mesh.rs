@@ -1,0 +1,408 @@
+//! A two-dimensional mesh of keys with the row/column operations used by
+//! mesh-based sorting algorithms (Shearsort, columnsort, Revsort, and the
+//! paper's `ThreePass1`).
+//!
+//! The mesh is row-major in memory. Row sorts of all rows run in parallel
+//! via rayon (rows are independent), matching the "local computation is
+//! cheap, I/O is the cost" PDM setting where internal work should still be
+//! efficient.
+
+use rayon::prelude::*;
+
+/// Sort direction for a row or column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Non-decreasing, left-to-right / top-to-bottom.
+    Asc,
+    /// Non-increasing.
+    Desc,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flip(self) -> Self {
+        match self {
+            Direction::Asc => Direction::Desc,
+            Direction::Desc => Direction::Asc,
+        }
+    }
+
+    /// `Asc` for even `i`, `Desc` for odd — the snake (boustrophedon)
+    /// pattern.
+    pub fn snake(i: usize) -> Self {
+        if i % 2 == 0 {
+            Direction::Asc
+        } else {
+            Direction::Desc
+        }
+    }
+}
+
+/// An `r × c` mesh of keys, row-major.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mesh<K> {
+    rows: usize,
+    cols: usize,
+    data: Vec<K>,
+}
+
+impl<K: Ord + Copy + Send + Sync> Mesh<K> {
+    /// Build from a row-major vector; `data.len()` must equal `rows·cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<K>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "mesh data length {} != {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    pub fn get(&self, r: usize, c: usize) -> K {
+        self.data[r * self.cols + c]
+    }
+
+    /// Set element at `(r, c)`.
+    pub fn set(&mut self, r: usize, c: usize, v: K) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[K] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [K] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Column `c` copied into a vector.
+    pub fn col(&self, c: usize) -> Vec<K> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Overwrite column `c`.
+    pub fn set_col(&mut self, c: usize, v: &[K]) {
+        assert_eq!(v.len(), self.rows);
+        for (r, &k) in v.iter().enumerate() {
+            self.set(r, c, k);
+        }
+    }
+
+    /// The underlying row-major data.
+    pub fn as_slice(&self) -> &[K] {
+        &self.data
+    }
+
+    /// Consume into the underlying row-major vector.
+    pub fn into_vec(self) -> Vec<K> {
+        self.data
+    }
+
+    /// Sort one row in the given direction.
+    pub fn sort_row(&mut self, r: usize, dir: Direction) {
+        let row = self.row_mut(r);
+        row.sort_unstable();
+        if dir == Direction::Desc {
+            row.reverse();
+        }
+    }
+
+    /// Sort every row in direction `dir`, rows in parallel.
+    pub fn sort_all_rows(&mut self, dir: Direction) {
+        let cols = self.cols;
+        self.data.par_chunks_mut(cols).for_each(|row| {
+            row.sort_unstable();
+            if dir == Direction::Desc {
+                row.reverse();
+            }
+        });
+    }
+
+    /// Sort rows in the snake pattern: row `i` in `Direction::snake(i)`.
+    pub fn sort_rows_snake(&mut self) {
+        let cols = self.cols;
+        self.data
+            .par_chunks_mut(cols)
+            .enumerate()
+            .for_each(|(i, row)| {
+                row.sort_unstable();
+                if Direction::snake(i) == Direction::Desc {
+                    row.reverse();
+                }
+            });
+    }
+
+    /// Sort rows with per-row directions chosen by `dir_of(row_index)`.
+    pub fn sort_rows_by(&mut self, dir_of: impl Fn(usize) -> Direction + Sync) {
+        let cols = self.cols;
+        self.data
+            .par_chunks_mut(cols)
+            .enumerate()
+            .for_each(|(i, row)| {
+                row.sort_unstable();
+                if dir_of(i) == Direction::Desc {
+                    row.reverse();
+                }
+            });
+    }
+
+    /// Sort every column top-to-bottom (ascending downward).
+    pub fn sort_columns(&mut self) {
+        // Transpose into column-major scratch so each column is contiguous,
+        // sort columns in parallel, transpose back. O(rc) moves beat the
+        // strided in-place sorts for any non-trivial mesh.
+        let (r, c) = (self.rows, self.cols);
+        let mut scratch: Vec<K> = Vec::with_capacity(r * c);
+        for cc in 0..c {
+            for rr in 0..r {
+                scratch.push(self.get(rr, cc));
+            }
+        }
+        scratch.par_chunks_mut(r).for_each(|col| col.sort_unstable());
+        for (cc, col) in scratch.chunks(r).enumerate() {
+            for (rr, &k) in col.iter().enumerate() {
+                self.set(rr, cc, k);
+            }
+        }
+    }
+
+    /// Whether the mesh is sorted in row-major order (row `i` entirely ≤
+    /// row `i+1`, rows ascending).
+    pub fn is_sorted_row_major(&self) -> bool {
+        self.data.windows(2).all(|w| w[0] <= w[1])
+    }
+
+    /// Whether the mesh is sorted in column-major order.
+    pub fn is_sorted_col_major(&self) -> bool {
+        let mut prev: Option<K> = None;
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                let v = self.get(r, c);
+                if let Some(p) = prev {
+                    if p > v {
+                        return false;
+                    }
+                }
+                prev = Some(v);
+            }
+        }
+        true
+    }
+
+    /// Whether the mesh is sorted in snake (boustrophedon) row order.
+    pub fn is_sorted_snake(&self) -> bool {
+        let mut prev: Option<K> = None;
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let iter: Box<dyn Iterator<Item = &K>> = if Direction::snake(r) == Direction::Asc {
+                Box::new(row.iter())
+            } else {
+                Box::new(row.iter().rev())
+            };
+            for &v in iter {
+                if let Some(p) = prev {
+                    if p > v {
+                        return false;
+                    }
+                }
+                prev = Some(v);
+            }
+        }
+        true
+    }
+
+    /// The mesh contents read in snake order.
+    pub fn snake_vec(&self) -> Vec<K> {
+        let mut out = Vec::with_capacity(self.rows * self.cols);
+        for r in 0..self.rows {
+            if Direction::snake(r) == Direction::Asc {
+                out.extend_from_slice(self.row(r));
+            } else {
+                out.extend(self.row(r).iter().rev().copied());
+            }
+        }
+        out
+    }
+
+    /// The mesh contents read in column-major order.
+    pub fn col_major_vec(&self) -> Vec<K> {
+        let mut out = Vec::with_capacity(self.rows * self.cols);
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                out.push(self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Leighton's columnsort "transpose" permutation: read the mesh in
+    /// column-major order and lay the values back down in row-major order
+    /// (same `r × c` shape).
+    pub fn transpose_reshape(&mut self) {
+        let v = self.col_major_vec();
+        self.data = v;
+    }
+
+    /// Inverse of [`Mesh::transpose_reshape`]: read row-major, lay down
+    /// column-major.
+    pub fn untranspose_reshape(&mut self) {
+        let (r, c) = (self.rows, self.cols);
+        let mut out = vec![self.data[0]; r * c];
+        let mut it = self.data.iter();
+        for cc in 0..c {
+            for rr in 0..r {
+                out[rr * c + cc] = *it.next().unwrap();
+            }
+        }
+        self.data = out;
+    }
+}
+
+/// Arrange an (already sorted ascending) slice into row-major rows of width
+/// `cols` where each row's direction follows `dir_of(row)` — used by
+/// `ThreePass1` to lay submeshes out with alternating row directions.
+pub fn layout_sorted_rows<K: Ord + Copy + Send + Sync>(
+    sorted: &[K],
+    cols: usize,
+    dir_of: impl Fn(usize) -> Direction,
+) -> Vec<K> {
+    assert_eq!(sorted.len() % cols, 0);
+    let mut out = Vec::with_capacity(sorted.len());
+    for (i, chunk) in sorted.chunks(cols).enumerate() {
+        match dir_of(i) {
+            Direction::Asc => out.extend_from_slice(chunk),
+            Direction::Desc => out.extend(chunk.iter().rev().copied()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Mesh<u32> {
+        Mesh::from_vec(3, 4, vec![9, 2, 7, 4, 1, 8, 3, 6, 5, 0, 11, 10])
+    }
+
+    #[test]
+    fn accessors() {
+        let m = sample();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.get(0, 0), 9);
+        assert_eq!(m.get(2, 3), 10);
+        assert_eq!(m.row(1), &[1, 8, 3, 6]);
+        assert_eq!(m.col(2), vec![7, 3, 11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mesh data length")]
+    fn from_vec_checks_length() {
+        let _ = Mesh::from_vec(2, 2, vec![1u32, 2, 3]);
+    }
+
+    #[test]
+    fn row_sorts_in_both_directions() {
+        let mut m = sample();
+        m.sort_row(0, Direction::Asc);
+        assert_eq!(m.row(0), &[2, 4, 7, 9]);
+        m.sort_row(0, Direction::Desc);
+        assert_eq!(m.row(0), &[9, 7, 4, 2]);
+    }
+
+    #[test]
+    fn snake_sort_alternates() {
+        let mut m = sample();
+        m.sort_rows_snake();
+        assert_eq!(m.row(0), &[2, 4, 7, 9]);
+        assert_eq!(m.row(1), &[8, 6, 3, 1]);
+        assert_eq!(m.row(2), &[0, 5, 10, 11]);
+    }
+
+    #[test]
+    fn column_sort_sorts_each_column() {
+        let mut m = sample();
+        m.sort_columns();
+        for c in 0..4 {
+            let col = m.col(c);
+            assert!(col.windows(2).all(|w| w[0] <= w[1]));
+        }
+        // multiset preserved
+        let mut v = m.into_vec();
+        v.sort_unstable();
+        assert_eq!(v, (0..12).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn sortedness_predicates() {
+        let m = Mesh::from_vec(2, 3, vec![0u32, 1, 2, 3, 4, 5]);
+        assert!(m.is_sorted_row_major());
+        assert!(!m.is_sorted_col_major());
+        let snake = Mesh::from_vec(2, 3, vec![0u32, 1, 2, 5, 4, 3]);
+        assert!(snake.is_sorted_snake());
+        assert!(!snake.is_sorted_row_major());
+        let cm = Mesh::from_vec(2, 3, vec![0u32, 2, 4, 1, 3, 5]);
+        assert!(cm.is_sorted_col_major());
+    }
+
+    #[test]
+    fn snake_vec_reverses_odd_rows() {
+        let m = Mesh::from_vec(2, 3, vec![0u32, 1, 2, 5, 4, 3]);
+        assert_eq!(m.snake_vec(), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn transpose_reshape_round_trips() {
+        let mut m = sample();
+        let orig = m.clone();
+        m.transpose_reshape();
+        assert_ne!(m, orig);
+        m.untranspose_reshape();
+        assert_eq!(m, orig);
+    }
+
+    #[test]
+    fn transpose_reshape_is_column_major_pickup() {
+        let mut m = Mesh::from_vec(2, 2, vec![1u32, 2, 3, 4]);
+        // column-major read: 1,3,2,4 → laid row-major
+        m.transpose_reshape();
+        assert_eq!(m.as_slice(), &[1, 3, 2, 4]);
+    }
+
+    #[test]
+    fn layout_sorted_rows_alternating() {
+        let sorted: Vec<u32> = (0..8).collect();
+        let out = layout_sorted_rows(&sorted, 4, Direction::snake);
+        assert_eq!(out, vec![0, 1, 2, 3, 7, 6, 5, 4]);
+    }
+
+    #[test]
+    fn sort_rows_by_custom_directions() {
+        let mut m = sample();
+        m.sort_rows_by(|_| Direction::Desc);
+        for r in 0..3 {
+            assert!(m.row(r).windows(2).all(|w| w[0] >= w[1]));
+        }
+    }
+
+    #[test]
+    fn direction_helpers() {
+        assert_eq!(Direction::Asc.flip(), Direction::Desc);
+        assert_eq!(Direction::snake(0), Direction::Asc);
+        assert_eq!(Direction::snake(3), Direction::Desc);
+    }
+}

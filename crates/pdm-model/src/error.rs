@@ -1,0 +1,139 @@
+//! Error type for PDM simulator operations.
+
+use std::fmt;
+
+/// Errors raised by the PDM machine and its storage backends.
+#[derive(Debug)]
+pub enum PdmError {
+    /// An algorithm attempted to hold more keys in internal memory than the
+    /// machine allows (`workspace_factor * mem_capacity`).
+    MemoryExceeded {
+        /// Keys requested to be resident after the failing allocation.
+        requested: usize,
+        /// The enforced limit in keys.
+        limit: usize,
+    },
+    /// A block address referenced a disk outside `0..num_disks`.
+    BadDisk {
+        /// The offending disk index.
+        disk: usize,
+        /// Number of disks in the machine.
+        num_disks: usize,
+    },
+    /// A block address referenced a slot that was never allocated.
+    BadSlot {
+        /// Disk the slot was addressed on.
+        disk: usize,
+        /// The offending slot index.
+        slot: usize,
+        /// Number of allocated slots on that disk.
+        allocated: usize,
+    },
+    /// A buffer passed to a block read/write had the wrong length.
+    BadBlockLen {
+        /// Length supplied.
+        got: usize,
+        /// Block size `B` expected.
+        expected: usize,
+    },
+    /// A region operation addressed a logical block outside the region.
+    RegionOutOfBounds {
+        /// Logical block index requested.
+        index: usize,
+        /// Region length in blocks.
+        len: usize,
+    },
+    /// The machine configuration is internally inconsistent.
+    BadConfig(String),
+    /// The input size is not supported by the selected algorithm
+    /// (e.g. exceeds its capacity formula or is not properly divisible).
+    UnsupportedInput(String),
+    /// An underlying file-backed storage operation failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for PdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdmError::MemoryExceeded { requested, limit } => write!(
+                f,
+                "internal memory exceeded: {requested} keys requested, limit {limit}"
+            ),
+            PdmError::BadDisk { disk, num_disks } => {
+                write!(f, "disk index {disk} out of range (D = {num_disks})")
+            }
+            PdmError::BadSlot {
+                disk,
+                slot,
+                allocated,
+            } => write!(
+                f,
+                "slot {slot} on disk {disk} out of range ({allocated} allocated)"
+            ),
+            PdmError::BadBlockLen { got, expected } => {
+                write!(f, "block buffer length {got}, expected B = {expected}")
+            }
+            PdmError::RegionOutOfBounds { index, len } => {
+                write!(f, "logical block {index} out of region bounds ({len} blocks)")
+            }
+            PdmError::BadConfig(msg) => write!(f, "bad PDM configuration: {msg}"),
+            PdmError::UnsupportedInput(msg) => write!(f, "unsupported input: {msg}"),
+            PdmError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PdmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PdmError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PdmError {
+    fn from(e: std::io::Error) -> Self {
+        PdmError::Io(e)
+    }
+}
+
+/// Convenience result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, PdmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = PdmError::MemoryExceeded {
+            requested: 100,
+            limit: 64,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("64"));
+
+        let e = PdmError::BadDisk { disk: 9, num_disks: 4 };
+        assert!(e.to_string().contains("9"));
+
+        let e = PdmError::BadBlockLen { got: 3, expected: 8 };
+        assert!(e.to_string().contains("B = 8"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let e: PdmError = io.into();
+        assert!(matches!(e, PdmError::Io(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn non_io_errors_have_no_source() {
+        use std::error::Error;
+        let e = PdmError::BadConfig("x".into());
+        assert!(e.source().is_none());
+    }
+}

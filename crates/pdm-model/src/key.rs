@@ -1,0 +1,240 @@
+//! The key (record) trait stored on simulated disks.
+//!
+//! PDM algorithms are comparison-based (except the integer sorts, which
+//! additionally need a bounded integer *rank*), so the trait is mostly
+//! `Ord + Copy`. File-backed storage needs a fixed-width byte encoding.
+
+use std::fmt::Debug;
+
+/// A fixed-width, totally ordered record usable on a simulated PDM disk.
+///
+/// `MIN`/`MAX` act as padding sentinels for non-full blocks: algorithms pad
+/// with `MAX` so padding sorts to the end (or `MIN` for the reverse).
+pub trait PdmKey: Copy + Ord + Send + Sync + Debug + 'static {
+    /// Encoded width in bytes (used by the file-backed storage).
+    const WIDTH: usize;
+    /// Smallest value of the type.
+    const MIN: Self;
+    /// Largest value of the type (used to pad non-full blocks).
+    const MAX: Self;
+
+    /// Serialize into exactly `WIDTH` bytes (little-endian convention).
+    fn write_bytes(&self, out: &mut [u8]);
+    /// Deserialize from exactly `WIDTH` bytes.
+    fn read_bytes(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_int_key {
+    ($($t:ty),*) => {$(
+        impl PdmKey for $t {
+            const WIDTH: usize = std::mem::size_of::<$t>();
+            const MIN: Self = <$t>::MIN;
+            const MAX: Self = <$t>::MAX;
+
+            fn write_bytes(&self, out: &mut [u8]) {
+                out[..Self::WIDTH].copy_from_slice(&self.to_le_bytes());
+            }
+
+            fn read_bytes(bytes: &[u8]) -> Self {
+                let mut buf = [0u8; std::mem::size_of::<$t>()];
+                buf.copy_from_slice(&bytes[..Self::WIDTH]);
+                <$t>::from_le_bytes(buf)
+            }
+        }
+    )*};
+}
+
+impl_int_key!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128);
+
+/// A key–payload record: ordered by `key` alone, carrying an opaque 64-bit
+/// payload (e.g. a pointer into a record store). This is the usual shape for
+/// out-of-core sorting benchmarks where full records are sorted indirectly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tagged {
+    /// Sort key.
+    pub key: u64,
+    /// Carried payload, ignored by comparisons.
+    pub payload: u64,
+}
+
+impl Tagged {
+    /// Construct a record.
+    pub fn new(key: u64, payload: u64) -> Self {
+        Self { key, payload }
+    }
+}
+
+impl PartialOrd for Tagged {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Tagged {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Payload participates only as a tiebreaker so that `Ord` stays
+        // consistent with `Eq` (a requirement for sound sorting).
+        (self.key, self.payload).cmp(&(other.key, other.payload))
+    }
+}
+
+impl PdmKey for Tagged {
+    const WIDTH: usize = 16;
+    const MIN: Self = Tagged { key: 0, payload: 0 };
+    const MAX: Self = Tagged {
+        key: u64::MAX,
+        payload: u64::MAX,
+    };
+
+    fn write_bytes(&self, out: &mut [u8]) {
+        out[..8].copy_from_slice(&self.key.to_le_bytes());
+        out[8..16].copy_from_slice(&self.payload.to_le_bytes());
+    }
+
+    fn read_bytes(bytes: &[u8]) -> Self {
+        let mut k = [0u8; 8];
+        let mut p = [0u8; 8];
+        k.copy_from_slice(&bytes[..8]);
+        p.copy_from_slice(&bytes[8..16]);
+        Tagged {
+            key: u64::from_le_bytes(k),
+            payload: u64::from_le_bytes(p),
+        }
+    }
+}
+
+/// An integer key whose *rank* in a bounded range is known — required by the
+/// paper's `IntegerSort`/`RadixSort` (§7), which bucket keys by value.
+pub trait RankedKey: PdmKey {
+    /// The key as an unsigned integer rank.
+    fn rank(&self) -> u64;
+    /// Extract `bits` bits starting `shift` bits from the least-significant
+    /// end — used by forward radix sort on MSB digit groups.
+    fn digit(&self, shift: u32, bits: u32) -> u64 {
+        if bits == 0 {
+            return 0;
+        }
+        let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        (self.rank() >> shift) & mask
+    }
+    /// Total number of significant bits in the key domain.
+    fn domain_bits() -> u32;
+}
+
+macro_rules! impl_ranked {
+    ($($t:ty => $bits:expr),*) => {$(
+        impl RankedKey for $t {
+            fn rank(&self) -> u64 {
+                *self as u64
+            }
+            fn domain_bits() -> u32 {
+                $bits
+            }
+        }
+    )*};
+}
+
+impl_ranked!(u8 => 8, u16 => 16, u32 => 32, u64 => 64);
+
+/// Signed integers rank by an order-preserving bias (flip the sign bit):
+/// `i::MIN → 0`, `-1 → 2^{w-1}-1`, `0 → 2^{w-1}`, `i::MAX → 2^w - 1` —
+/// so radix/bucket sorting by rank sorts signed keys correctly.
+macro_rules! impl_ranked_signed {
+    ($($t:ty : $u:ty => $bits:expr),*) => {$(
+        impl RankedKey for $t {
+            fn rank(&self) -> u64 {
+                ((*self as $u) ^ (1 << ($bits - 1))) as u64
+            }
+            fn domain_bits() -> u32 {
+                $bits
+            }
+        }
+    )*};
+}
+
+impl_ranked_signed!(i8 : u8 => 8, i16 : u16 => 16, i32 : u32 => 32, i64 : u64 => 64);
+
+impl RankedKey for Tagged {
+    fn rank(&self) -> u64 {
+        self.key
+    }
+    fn domain_bits() -> u32 {
+        64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_round_trip() {
+        let mut buf = [0u8; 16];
+        for v in [0u64, 1, 42, u64::MAX] {
+            v.write_bytes(&mut buf);
+            assert_eq!(u64::read_bytes(&buf), v);
+        }
+        for v in [i32::MIN, -1, 0, 7, i32::MAX] {
+            v.write_bytes(&mut buf);
+            assert_eq!(i32::read_bytes(&buf), v);
+        }
+    }
+
+    #[test]
+    fn tagged_orders_by_key_then_payload() {
+        let a = Tagged::new(1, 99);
+        let b = Tagged::new(2, 0);
+        let c = Tagged::new(1, 100);
+        assert!(a < b);
+        assert!(a < c);
+        assert!(c < b);
+    }
+
+    #[test]
+    fn tagged_round_trip() {
+        let mut buf = [0u8; 16];
+        let t = Tagged::new(0xdead_beef, 0x1234_5678_9abc_def0);
+        t.write_bytes(&mut buf);
+        assert_eq!(Tagged::read_bytes(&buf), t);
+    }
+
+    #[test]
+    fn sentinels_bound_the_domain() {
+        assert!(u32::MIN <= 7u32 && 7u32 <= <u32 as PdmKey>::MAX);
+        let t = Tagged::new(5, 5);
+        assert!(<Tagged as PdmKey>::MIN <= t && t <= <Tagged as PdmKey>::MAX);
+    }
+
+    #[test]
+    fn digit_extraction() {
+        let k = 0b1011_0110u8;
+        assert_eq!(k.digit(0, 4), 0b0110);
+        assert_eq!(k.digit(4, 4), 0b1011);
+        assert_eq!(k.digit(0, 8), 0b1011_0110);
+        assert_eq!(k.digit(0, 0), 0);
+        let big = u64::MAX;
+        assert_eq!(big.digit(0, 64), u64::MAX);
+    }
+
+    #[test]
+    fn signed_ranks_preserve_order() {
+        let samples = [i64::MIN, -1_000_000, -1, 0, 1, 7, i64::MAX];
+        for w in samples.windows(2) {
+            assert!(w[0].rank() < w[1].rank(), "{} !< {}", w[0], w[1]);
+        }
+        assert_eq!(i64::MIN.rank(), 0);
+        assert_eq!(i64::MAX.rank(), u64::MAX);
+        assert_eq!(0i64.rank(), 1u64 << 63);
+        // and for narrow types
+        assert_eq!(i8::MIN.rank(), 0);
+        assert_eq!(i8::MAX.rank(), 255);
+        assert!((-5i16).rank() < 5i16.rank());
+    }
+
+    #[test]
+    fn domain_bits_match_types() {
+        assert_eq!(<u8 as RankedKey>::domain_bits(), 8);
+        assert_eq!(<u64 as RankedKey>::domain_bits(), 64);
+        assert_eq!(<Tagged as RankedKey>::domain_bits(), 64);
+    }
+}

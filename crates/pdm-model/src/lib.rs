@@ -1,0 +1,80 @@
+//! # pdm-model — a Parallel Disk Model simulator
+//!
+//! Substrate for reproducing *Rajasekaran & Sen, "PDM Sorting Algorithms
+//! That Take A Small Number Of Passes" (IPPS 2005)*.
+//!
+//! The **Parallel Disk Model** (Vitter–Shriver) has a computer with internal
+//! memory of `M` keys attached to `D` independent disks; one parallel I/O
+//! step transfers at most one block of `B` keys per disk. Algorithm cost is
+//! the number of parallel I/O steps; the paper's unit is the *pass* —
+//! `N/(D·B)` read steps plus the same number of write steps.
+//!
+//! This crate simulates such a machine faithfully at the cost-model level:
+//!
+//! * [`machine::Pdm`] — the machine: striped regions, batch block I/O with
+//!   exact step accounting, and a capacity-enforced internal memory.
+//! * [`storage`] — pluggable backends: in-memory ([`storage::MemStorage`]),
+//!   file-backed ([`storage_file::FileStorage`], one host file per disk),
+//!   and thread-per-disk ([`storage_threaded::ThreadedStorage`]) for real
+//!   wall-clock disk parallelism.
+//! * [`stream`] — stripe-aligned sequential readers/writers and the k-way
+//!   merge kernel, all charging their staging buffers to internal memory.
+//! * [`stats::IoStats`] — per-disk and total block/step counters, phase
+//!   bracketing, and the pass metrics used in every experiment.
+//!
+//! ## Example
+//!
+//! ```
+//! use pdm_model::prelude::*;
+//!
+//! // A machine with D = 4 disks, B = √M = 16, M = 256 keys.
+//! let mut pdm: Pdm<u64> = Pdm::new(PdmConfig::square(4, 16)).unwrap();
+//!
+//! // The input resides on disk (ingest is not charged I/O).
+//! let input: Vec<u64> = (0..1024).rev().collect();
+//! let region = pdm.alloc_region_for_keys(input.len()).unwrap();
+//! pdm.ingest(&region, &input).unwrap();
+//!
+//! // Stream it back in one pass: 64 blocks over 4 disks = 16 steps.
+//! let mut reader = RunReader::striped(&pdm, region).unwrap();
+//! let mut buf = Vec::new();
+//! reader.take_into(&mut pdm, 1024, &mut buf).unwrap();
+//! assert_eq!(pdm.stats().read_steps, 16);
+//! assert_eq!(pdm.stats().read_passes(1024, 4, 16), 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod error;
+pub mod key;
+pub mod layout;
+pub mod machine;
+pub mod mem;
+pub mod overlap;
+pub mod stats;
+pub mod storage;
+pub mod storage_file;
+pub mod storage_flaky;
+pub mod storage_threaded;
+pub mod stream;
+
+/// Convenient re-exports of the types nearly every consumer needs.
+pub mod prelude {
+    pub use crate::config::PdmConfig;
+    pub use crate::error::{PdmError, Result};
+    pub use crate::key::{PdmKey, RankedKey, Tagged};
+    pub use crate::layout::{BlockAddr, Region};
+    pub use crate::machine::Pdm;
+    pub use crate::mem::{MemGuard, MemTracker, TrackedBuf};
+    pub use crate::stats::{IoStats, PhaseStats};
+    pub use crate::storage::{MemStorage, Storage};
+    pub use crate::storage_file::FileStorage;
+    pub use crate::storage_flaky::{FailMode, FlakyStorage};
+    pub use crate::storage_threaded::ThreadedStorage;
+    pub use crate::overlap::{FlushBehindWriter, OverlapStorage, OverlapWriteStorage, PendingRead, PendingWrite, PrefetchReader};
+    pub use crate::stream::{kway_merge, RunReader, RunWriter};
+}
+
+pub use prelude::*;

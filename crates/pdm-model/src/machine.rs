@@ -1,0 +1,605 @@
+//! The PDM machine: storage + I/O accounting + tracked internal memory.
+//!
+//! [`Pdm`] is what algorithms program against. It exposes:
+//!
+//! * region allocation on the striped disks ([`Pdm::alloc_region`]),
+//! * **accounted** batch block I/O ([`Pdm::read_blocks`] /
+//!   [`Pdm::write_blocks`]) — every call updates [`IoStats`] with block
+//!   counts and parallel-step costs,
+//! * **tracked** internal-memory buffers ([`Pdm::alloc_buf`]),
+//! * unaccounted `ingest`/`inspect` escape hatches for placing the input on
+//!   disk and verifying the output (the input "already resides on the
+//!   disks" in the model, so materializing it must not count as I/O).
+
+use crate::config::PdmConfig;
+use crate::error::{PdmError, Result};
+use crate::key::PdmKey;
+use crate::layout::Region;
+use crate::mem::{MemTracker, TrackedBuf};
+use crate::stats::IoStats;
+use crate::storage::{MemStorage, Storage};
+use std::sync::Arc;
+
+/// A simulated parallel-disk machine over storage backend `S`.
+pub struct Pdm<K: PdmKey, S: Storage<K> = MemStorage<K>> {
+    cfg: PdmConfig,
+    storage: S,
+    stats: IoStats,
+    mem: Arc<MemTracker>,
+    /// Allocation frontier, identical on every disk (lockstep levels).
+    next_slot: usize,
+    /// Scratch: per-disk multiplicities of the current batch.
+    disk_counts: Vec<u64>,
+    /// Scratch: physical addresses of the current batch.
+    addr_buf: Vec<(usize, usize)>,
+    _key: std::marker::PhantomData<K>,
+}
+
+impl<K: PdmKey> Pdm<K, MemStorage<K>> {
+    /// A machine with the default in-memory backend.
+    pub fn new(cfg: PdmConfig) -> Result<Self> {
+        let storage = MemStorage::new(cfg.num_disks, cfg.block_size);
+        Self::with_storage(cfg, storage)
+    }
+}
+
+impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
+    /// A machine over an explicit storage backend (file-backed, threaded, …).
+    pub fn with_storage(cfg: PdmConfig, storage: S) -> Result<Self> {
+        cfg.validate()?;
+        if storage.num_disks() != cfg.num_disks || storage.block_size() != cfg.block_size {
+            return Err(PdmError::BadConfig(format!(
+                "storage geometry ({} disks, B = {}) does not match config ({} disks, B = {})",
+                storage.num_disks(),
+                storage.block_size(),
+                cfg.num_disks,
+                cfg.block_size
+            )));
+        }
+        Ok(Self {
+            stats: IoStats::new(cfg.num_disks),
+            mem: MemTracker::new(cfg.mem_limit()),
+            next_slot: 0,
+            disk_counts: vec![0; cfg.num_disks],
+            addr_buf: Vec::new(),
+            cfg,
+            storage,
+            _key: std::marker::PhantomData,
+        })
+    }
+
+    /// Machine configuration.
+    pub fn cfg(&self) -> &PdmConfig {
+        &self.cfg
+    }
+
+    /// Cumulative I/O counters.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Mutable access to the counters (for phase bracketing).
+    pub fn stats_mut(&mut self) -> &mut IoStats {
+        &mut self.stats
+    }
+
+    /// Reset all I/O counters (memory peak included).
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::new(self.cfg.num_disks);
+        self.mem.reset_peak();
+    }
+
+    /// The internal-memory accountant.
+    pub fn mem(&self) -> &Arc<MemTracker> {
+        &self.mem
+    }
+
+    /// Allocate a tracked working buffer of `cap` keys.
+    pub fn alloc_buf(&self, cap: usize) -> Result<TrackedBuf<K>> {
+        TrackedBuf::with_capacity(&self.mem, cap)
+    }
+
+    /// Allocate a striped region of `num_blocks` blocks starting on disk 0.
+    pub fn alloc_region(&mut self, num_blocks: usize) -> Result<Region> {
+        self.alloc_region_at(num_blocks, 0)
+    }
+
+    /// Allocate a striped region whose logical block 0 lands on `start_disk`
+    /// (diagonal striping for layouts that need rotated starts).
+    pub fn alloc_region_at(&mut self, num_blocks: usize, start_disk: usize) -> Result<Region> {
+        if start_disk >= self.cfg.num_disks {
+            return Err(PdmError::BadDisk {
+                disk: start_disk,
+                num_disks: self.cfg.num_disks,
+            });
+        }
+        let region = Region::new(
+            self.next_slot,
+            start_disk,
+            num_blocks,
+            self.cfg.num_disks,
+            self.cfg.block_size,
+        );
+        let new_top = region.max_slot() + 1;
+        for d in 0..self.cfg.num_disks {
+            self.storage.ensure_capacity(d, new_top)?;
+        }
+        self.next_slot = new_top.max(self.next_slot);
+        Ok(region)
+    }
+
+    /// Allocate a region just large enough for `n` keys (the last block is
+    /// implicitly padded with `K::MAX`).
+    pub fn alloc_region_for_keys(&mut self, n: usize) -> Result<Region> {
+        self.alloc_region(self.cfg.blocks_for(n))
+    }
+
+    fn gather_addrs(&mut self, region: &Region, indices: &[usize]) -> Result<()> {
+        self.addr_buf.clear();
+        self.disk_counts.iter_mut().for_each(|c| *c = 0);
+        for &i in indices {
+            let a = region.addr(i)?;
+            self.addr_buf.push((a.disk, a.slot));
+            self.disk_counts[a.disk] += 1;
+        }
+        Ok(())
+    }
+
+    /// Read the given logical blocks of `region`, appending `B` keys per
+    /// block to `out` in request order. Accounted: the batch costs
+    /// `max(per-disk block count)` parallel read steps.
+    pub fn read_blocks(&mut self, region: &Region, indices: &[usize], out: &mut Vec<K>) -> Result<()> {
+        self.gather_addrs(region, indices)?;
+        let b = self.cfg.block_size;
+        let start = out.len();
+        out.resize(start + indices.len() * b, K::MAX);
+        self.storage.read_batch(&self.addr_buf, &mut out[start..])?;
+        self.stats.record_read_batch(&self.disk_counts);
+        Ok(())
+    }
+
+    /// Write `data` (exactly `indices.len() × B` keys) to the given logical
+    /// blocks of `region`. Accounted like [`Pdm::read_blocks`].
+    pub fn write_blocks(&mut self, region: &Region, indices: &[usize], data: &[K]) -> Result<()> {
+        if data.len() != indices.len() * self.cfg.block_size {
+            return Err(PdmError::BadBlockLen {
+                got: data.len(),
+                expected: indices.len() * self.cfg.block_size,
+            });
+        }
+        self.gather_addrs(region, indices)?;
+        self.storage.write_batch(&self.addr_buf, data)?;
+        self.stats.record_write_batch(&self.disk_counts);
+        Ok(())
+    }
+
+    fn gather_addrs_multi(&mut self, targets: &[(Region, usize)]) -> Result<()> {
+        self.addr_buf.clear();
+        self.disk_counts.iter_mut().for_each(|c| *c = 0);
+        for &(region, i) in targets {
+            let a = region.addr(i)?;
+            self.addr_buf.push((a.disk, a.slot));
+            self.disk_counts[a.disk] += 1;
+        }
+        Ok(())
+    }
+
+    /// Read one batch of blocks drawn from *multiple* regions —
+    /// `sources[i]` is `(region, logical_block)`. Accounted as a single
+    /// batch (steps = max per-disk multiplicity), which is how algorithms
+    /// writing one block to each of many staggered regions keep full disk
+    /// parallelism.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pdm_model::prelude::*;
+    /// let mut pdm: Pdm<u64> = Pdm::new(PdmConfig::new(4, 8, 64)).unwrap();
+    /// // four regions staggered across the four disks
+    /// let regions: Vec<Region> = (0..4)
+    ///     .map(|i| pdm.alloc_region_at(2, i).unwrap())
+    ///     .collect();
+    /// let targets: Vec<(Region, usize)> = regions.iter().map(|r| (*r, 0)).collect();
+    /// pdm.write_blocks_multi(&targets, &vec![7u64; 32]).unwrap();
+    /// // block 0 of each region is on a distinct disk → one parallel step
+    /// assert_eq!(pdm.stats().write_steps, 1);
+    /// let mut out = Vec::new();
+    /// pdm.read_blocks_multi(&targets, &mut out).unwrap();
+    /// assert_eq!(pdm.stats().read_steps, 1);
+    /// ```
+    pub fn read_blocks_multi(
+        &mut self,
+        sources: &[(Region, usize)],
+        out: &mut Vec<K>,
+    ) -> Result<()> {
+        self.gather_addrs_multi(sources)?;
+        let b = self.cfg.block_size;
+        let start = out.len();
+        out.resize(start + sources.len() * b, K::MAX);
+        self.storage.read_batch(&self.addr_buf, &mut out[start..])?;
+        self.stats.record_read_batch(&self.disk_counts);
+        Ok(())
+    }
+
+    /// Write one batch of blocks into multiple regions (see
+    /// [`Pdm::read_blocks_multi`]).
+    pub fn write_blocks_multi(&mut self, targets: &[(Region, usize)], data: &[K]) -> Result<()> {
+        if data.len() != targets.len() * self.cfg.block_size {
+            return Err(PdmError::BadBlockLen {
+                got: data.len(),
+                expected: targets.len() * self.cfg.block_size,
+            });
+        }
+        self.gather_addrs_multi(targets)?;
+        self.storage.write_batch(&self.addr_buf, data)?;
+        self.stats.record_write_batch(&self.disk_counts);
+        Ok(())
+    }
+
+    /// Read logical blocks `start..start + count` of `region` (a *stripe
+    /// read*: consecutive blocks hit all `D` disks round-robin, so `count`
+    /// blocks cost `⌈count/D⌉` steps when `count` is stripe-aligned).
+    pub fn read_range(
+        &mut self,
+        region: &Region,
+        start: usize,
+        count: usize,
+        out: &mut Vec<K>,
+    ) -> Result<()> {
+        let idx: Vec<usize> = (start..start + count).collect();
+        self.read_blocks(region, &idx, out)
+    }
+
+    /// Write `data` to logical blocks `start..` of `region`; `data` must be
+    /// block-aligned (whole blocks).
+    pub fn write_range(&mut self, region: &Region, start: usize, data: &[K]) -> Result<()> {
+        let b = self.cfg.block_size;
+        if data.len() % b != 0 {
+            return Err(PdmError::BadBlockLen {
+                got: data.len(),
+                expected: (data.len() / b + 1) * b,
+            });
+        }
+        let count = data.len() / b;
+        let idx: Vec<usize> = (start..start + count).collect();
+        self.write_blocks(region, &idx, data)
+    }
+
+    /// Read the entire region (accounted). The caller is responsible for the
+    /// result fitting in internal memory; pair with [`Pdm::alloc_buf`].
+    pub fn read_region(&mut self, region: &Region, out: &mut Vec<K>) -> Result<()> {
+        self.read_range(region, 0, region.len_blocks(), out)
+    }
+
+    /// Write an entire region (accounted); `data` is padded to a whole number
+    /// of blocks with `K::MAX`.
+    pub fn write_region(&mut self, region: &Region, data: &[K]) -> Result<()> {
+        let total = region.len_keys();
+        if data.len() > total {
+            return Err(PdmError::RegionOutOfBounds {
+                index: data.len(),
+                len: total,
+            });
+        }
+        if data.len() == total {
+            return self.write_range(region, 0, data);
+        }
+        let mut padded = Vec::with_capacity(total);
+        padded.extend_from_slice(data);
+        padded.resize(total, K::MAX);
+        self.write_range(region, 0, &padded)
+    }
+
+    /// Place input data into a region **without** I/O accounting: in the PDM
+    /// the input already resides on the disks. Pads the final block with
+    /// `K::MAX`.
+    pub fn ingest(&mut self, region: &Region, data: &[K]) -> Result<()> {
+        let b = self.cfg.block_size;
+        if data.len() > region.len_keys() {
+            return Err(PdmError::RegionOutOfBounds {
+                index: data.len(),
+                len: region.len_keys(),
+            });
+        }
+        let mut block = vec![K::MAX; b];
+        for i in 0..region.len_blocks() {
+            let lo = i * b;
+            let hi = ((i + 1) * b).min(data.len());
+            if lo >= data.len() {
+                block.iter_mut().for_each(|k| *k = K::MAX);
+            } else {
+                block[..hi - lo].copy_from_slice(&data[lo..hi]);
+                block[hi - lo..].iter_mut().for_each(|k| *k = K::MAX);
+            }
+            let a = region.addr(i)?;
+            self.storage.write_block(a.disk, a.slot, &block)?;
+        }
+        Ok(())
+    }
+
+    /// Read back a region **without** I/O accounting (verification only).
+    pub fn inspect(&mut self, region: &Region) -> Result<Vec<K>> {
+        let b = self.cfg.block_size;
+        let mut out = vec![K::MAX; region.len_keys()];
+        for i in 0..region.len_blocks() {
+            let a = region.addr(i)?;
+            self.storage.read_block(a.disk, a.slot, &mut out[i * b..(i + 1) * b])?;
+        }
+        Ok(out)
+    }
+
+    /// Read back the first `n` keys of a region without accounting (drops
+    /// `K::MAX` padding of the tail).
+    pub fn inspect_prefix(&mut self, region: &Region, n: usize) -> Result<Vec<K>> {
+        let mut v = self.inspect(region)?;
+        v.truncate(n);
+        Ok(v)
+    }
+
+    /// Issue a batch of block reads without waiting for the data (see
+    /// [`crate::overlap`]). The parallel-step cost is charged now, with
+    /// the same batch rule as [`Pdm::read_blocks`]; the returned token
+    /// yields the blocks when waited on.
+    pub fn start_read_blocks(
+        &mut self,
+        region: &Region,
+        indices: &[usize],
+    ) -> Result<Box<dyn crate::overlap::PendingRead<K> + Send>>
+    where
+        S: crate::overlap::OverlapStorage<K>,
+    {
+        self.gather_addrs(region, indices)?;
+        let pending = self.storage.start_read_batch(&self.addr_buf)?;
+        self.stats.record_read_batch(&self.disk_counts);
+        Ok(pending)
+    }
+
+    /// Issue a batch of block writes without waiting for completion (see
+    /// [`crate::overlap`]). Step cost charged at issue.
+    pub fn start_write_blocks(
+        &mut self,
+        region: &Region,
+        indices: &[usize],
+        data: &[K],
+    ) -> Result<Box<dyn crate::overlap::PendingWrite + Send>>
+    where
+        S: crate::overlap::OverlapWriteStorage<K>,
+    {
+        if data.len() != indices.len() * self.cfg.block_size {
+            return Err(PdmError::BadBlockLen {
+                got: data.len(),
+                expected: indices.len() * self.cfg.block_size,
+            });
+        }
+        self.gather_addrs(region, indices)?;
+        let pending = self.storage.start_write_batch(&self.addr_buf, data)?;
+        self.stats.record_write_batch(&self.disk_counts);
+        Ok(pending)
+    }
+
+    /// Open an I/O scheduling group (see [`IoStats::begin_group`]): until
+    /// [`Pdm::end_io_group`], block batches are charged as one concurrent
+    /// window — `max(per-disk blocks)` parallel steps at close.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pdm_model::prelude::*;
+    /// let mut pdm: Pdm<u64> = Pdm::new(PdmConfig::new(4, 8, 64)).unwrap();
+    /// let r = pdm.alloc_region(4).unwrap();
+    /// let block = vec![1u64; 8];
+    /// pdm.begin_io_group();
+    /// for i in 0..4 {
+    ///     // four single-block writes — ungrouped they would cost 4 steps
+    ///     pdm.write_blocks(&r, &[i], &block).unwrap();
+    /// }
+    /// pdm.end_io_group();
+    /// // striped round-robin, issued concurrently: one parallel step
+    /// assert_eq!(pdm.stats().write_steps, 1);
+    /// ```
+    pub fn begin_io_group(&mut self) {
+        self.stats.begin_group();
+    }
+
+    /// Close the open I/O group, charging its deferred step cost.
+    pub fn end_io_group(&mut self) {
+        self.stats.end_group();
+    }
+
+    /// Flush the storage backend.
+    pub fn sync(&mut self) -> Result<()> {
+        self.storage.sync()
+    }
+
+    /// Consume the machine, returning backend and final counters.
+    pub fn into_parts(self) -> (S, IoStats) {
+        (self.storage, self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Pdm<u64> {
+        // D = 4, B = 8, M = 64 (limit 128 with default workspace factor 2)
+        Pdm::new(PdmConfig::new(4, 8, 64)).unwrap()
+    }
+
+    #[test]
+    fn geometry_mismatch_is_rejected() {
+        let cfg = PdmConfig::new(4, 8, 64);
+        let bad = MemStorage::<u64>::new(2, 8);
+        assert!(Pdm::with_storage(cfg, bad).is_err());
+    }
+
+    #[test]
+    fn ingest_then_read_region_counts_only_reads() {
+        let mut pdm = machine();
+        let data: Vec<u64> = (0..64).collect();
+        let r = pdm.alloc_region_for_keys(64).unwrap();
+        pdm.ingest(&r, &data).unwrap();
+        assert_eq!(pdm.stats().blocks_read, 0);
+        assert_eq!(pdm.stats().blocks_written, 0);
+
+        let mut out = Vec::new();
+        pdm.read_region(&r, &mut out).unwrap();
+        assert_eq!(out, data);
+        // 8 blocks over 4 disks, striped → 2 parallel steps
+        assert_eq!(pdm.stats().blocks_read, 8);
+        assert_eq!(pdm.stats().read_steps, 2);
+    }
+
+    #[test]
+    fn one_full_stripe_is_one_step() {
+        let mut pdm = machine();
+        let r = pdm.alloc_region(4).unwrap();
+        let mut out = Vec::new();
+        pdm.read_range(&r, 0, 4, &mut out).unwrap();
+        assert_eq!(pdm.stats().read_steps, 1);
+        assert_eq!(pdm.stats().blocks_read, 4);
+    }
+
+    #[test]
+    fn same_disk_batch_costs_multiple_steps() {
+        let mut pdm = machine();
+        let r = pdm.alloc_region(8).unwrap();
+        // blocks 0 and 4 both live on disk 0
+        let mut out = Vec::new();
+        pdm.read_blocks(&r, &[0, 4], &mut out).unwrap();
+        assert_eq!(pdm.stats().read_steps, 2);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut pdm = machine();
+        let r = pdm.alloc_region(4).unwrap();
+        let data: Vec<u64> = (100..132).collect();
+        pdm.write_region(&r, &data).unwrap();
+        let mut out = Vec::new();
+        pdm.read_region(&r, &mut out).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(pdm.stats().write_steps, 1);
+    }
+
+    #[test]
+    fn write_region_pads_with_max() {
+        let mut pdm = machine();
+        let r = pdm.alloc_region_for_keys(10).unwrap(); // 2 blocks = 16 keys
+        pdm.write_region(&r, &(0..10).collect::<Vec<u64>>()).unwrap();
+        let all = pdm.inspect(&r).unwrap();
+        assert_eq!(&all[..10], &(0..10).collect::<Vec<u64>>()[..]);
+        assert!(all[10..].iter().all(|&k| k == u64::MAX));
+        let pre = pdm.inspect_prefix(&r, 10).unwrap();
+        assert_eq!(pre.len(), 10);
+    }
+
+    #[test]
+    fn ingest_pads_partial_final_block() {
+        let mut pdm = machine();
+        let r = pdm.alloc_region_for_keys(9).unwrap();
+        pdm.ingest(&r, &[1u64; 9]).unwrap();
+        let all = pdm.inspect(&r).unwrap();
+        assert_eq!(all.len(), 16);
+        assert!(all[9..].iter().all(|&k| k == u64::MAX));
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let mut pdm = machine();
+        let r1 = pdm.alloc_region(5).unwrap();
+        let r2 = pdm.alloc_region(5).unwrap();
+        pdm.ingest(&r1, &[7u64; 40]).unwrap();
+        pdm.ingest(&r2, &[9u64; 40]).unwrap();
+        assert!(pdm.inspect(&r1).unwrap().iter().all(|&k| k == 7));
+        assert!(pdm.inspect(&r2).unwrap().iter().all(|&k| k == 9));
+    }
+
+    #[test]
+    fn alloc_region_at_rotates_start_disk() {
+        let mut pdm = machine();
+        let r = pdm.alloc_region_at(4, 2).unwrap();
+        assert_eq!(r.addr(0).unwrap().disk, 2);
+        assert_eq!(r.addr(2).unwrap().disk, 0);
+        assert!(pdm.alloc_region_at(1, 99).is_err());
+    }
+
+    #[test]
+    fn multi_region_batch_counts_one_step_when_staggered() {
+        let mut pdm = machine();
+        // four regions staggered across the four disks; block 0 of each
+        // lands on a distinct disk → one parallel step for the batch
+        let regions: Vec<_> = (0..4)
+            .map(|i| pdm.alloc_region_at(2, i).unwrap())
+            .collect();
+        let data: Vec<u64> = (0..32).collect();
+        let targets: Vec<_> = regions.iter().map(|r| (*r, 0usize)).collect();
+        pdm.write_blocks_multi(&targets, &data).unwrap();
+        assert_eq!(pdm.stats().write_steps, 1);
+        assert_eq!(pdm.stats().blocks_written, 4);
+        let mut out = Vec::new();
+        pdm.read_blocks_multi(&targets, &mut out).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(pdm.stats().read_steps, 1);
+    }
+
+    #[test]
+    fn multi_region_unstaggered_loses_parallelism() {
+        let mut pdm = machine();
+        let regions: Vec<_> = (0..4).map(|_| pdm.alloc_region(2).unwrap()).collect();
+        let targets: Vec<_> = regions.iter().map(|r| (*r, 0usize)).collect();
+        // every region's block 0 is on disk 0 → 4 steps
+        let data: Vec<u64> = (0..32).collect();
+        pdm.write_blocks_multi(&targets, &data).unwrap();
+        assert_eq!(pdm.stats().write_steps, 4);
+    }
+
+    #[test]
+    fn write_blocks_multi_rejects_ragged_data() {
+        let mut pdm = machine();
+        let r = pdm.alloc_region(2).unwrap();
+        assert!(pdm.write_blocks_multi(&[(r, 0)], &[1u64; 5]).is_err());
+    }
+
+    #[test]
+    fn buffers_enforce_memory_limit() {
+        let pdm = machine();
+        let limit = pdm.cfg().mem_limit(); // 2*64 + 2*4*8 = 192
+        assert_eq!(limit, 192);
+        let b1 = pdm.alloc_buf(limit - 10).unwrap();
+        assert!(pdm.alloc_buf(11).is_err());
+        drop(b1);
+        assert!(pdm.alloc_buf(limit).is_ok());
+        assert_eq!(pdm.mem().peak(), limit);
+    }
+
+    #[test]
+    fn write_range_rejects_ragged_data() {
+        let mut pdm = machine();
+        let r = pdm.alloc_region(2).unwrap();
+        assert!(pdm.write_range(&r, 0, &[1u64; 5]).is_err());
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let mut pdm = machine();
+        let r = pdm.alloc_region(4).unwrap();
+        let mut out = Vec::new();
+        pdm.read_region(&r, &mut out).unwrap();
+        pdm.reset_stats();
+        assert_eq!(pdm.stats().blocks_read, 0);
+        assert_eq!(pdm.stats().read_steps, 0);
+    }
+
+    #[test]
+    fn phase_bracketing_via_stats_mut() {
+        let mut pdm = machine();
+        let r = pdm.alloc_region(4).unwrap();
+        pdm.stats_mut().begin_phase("p1");
+        let mut out = Vec::new();
+        pdm.read_region(&r, &mut out).unwrap();
+        pdm.stats_mut().end_phase();
+        assert_eq!(pdm.stats().phases.len(), 1);
+        assert_eq!(pdm.stats().phases[0].blocks_read, 4);
+    }
+}

@@ -1,0 +1,404 @@
+//! I/O accounting: block counts, parallel-step counts, and passes.
+//!
+//! The PDM cost model charges one unit per *parallel I/O step*, during which
+//! each of the `D` disks may transfer at most one block. The paper measures
+//! algorithms in *passes*: one pass over `N` keys is `N/(D·B)` parallel read
+//! steps plus the same number of write steps.
+//!
+//! [`IoStats`] tracks, per disk and in total, block reads/writes and the
+//! parallel steps actually consumed (a batch touching one disk `k` times
+//! costs `k` steps — lost parallelism is visible, not hidden).
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative I/O counters for a PDM machine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoStats {
+    /// Total blocks read.
+    pub blocks_read: u64,
+    /// Total blocks written.
+    pub blocks_written: u64,
+    /// Parallel read steps consumed.
+    pub read_steps: u64,
+    /// Parallel write steps consumed.
+    pub write_steps: u64,
+    /// Per-disk block read counts (length `D`).
+    pub per_disk_reads: Vec<u64>,
+    /// Per-disk block write counts (length `D`).
+    pub per_disk_writes: Vec<u64>,
+    /// Completed named phases, in order.
+    pub phases: Vec<PhaseStats>,
+    open_phase: Option<(String, Snapshot)>,
+    /// Open I/O group accumulators (reads, writes), when grouping.
+    group: Option<(Vec<u64>, Vec<u64>)>,
+    /// Per-batch trace, when enabled (capped; see [`IoStats::enable_trace`]).
+    pub trace: Option<Vec<BatchTrace>>,
+}
+
+/// One recorded I/O batch (trace mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchTrace {
+    /// Whether this batch wrote (vs read).
+    pub write: bool,
+    /// Blocks moved.
+    pub blocks: u32,
+    /// Parallel steps charged (`max` per-disk multiplicity).
+    pub steps: u32,
+}
+
+impl BatchTrace {
+    /// Stripe efficiency of the batch: `blocks / (steps · D)`.
+    pub fn efficiency(&self, num_disks: usize) -> f64 {
+        if self.steps == 0 {
+            return 1.0;
+        }
+        self.blocks as f64 / (self.steps as f64 * num_disks as f64)
+    }
+}
+
+/// Counter deltas attributed to one named algorithm phase.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Phase label supplied by the algorithm.
+    pub name: String,
+    /// Blocks read during the phase.
+    pub blocks_read: u64,
+    /// Blocks written during the phase.
+    pub blocks_written: u64,
+    /// Parallel read steps during the phase.
+    pub read_steps: u64,
+    /// Parallel write steps during the phase.
+    pub write_steps: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Snapshot {
+    blocks_read: u64,
+    blocks_written: u64,
+    read_steps: u64,
+    write_steps: u64,
+}
+
+impl IoStats {
+    /// Fresh counters for a machine with `num_disks` disks.
+    pub fn new(num_disks: usize) -> Self {
+        Self {
+            blocks_read: 0,
+            blocks_written: 0,
+            read_steps: 0,
+            write_steps: 0,
+            per_disk_reads: vec![0; num_disks],
+            per_disk_writes: vec![0; num_disks],
+            phases: Vec::new(),
+            open_phase: None,
+            group: None,
+            trace: None,
+        }
+    }
+
+    /// Record every subsequent batch into `trace` (up to `cap` entries, to
+    /// bound memory; older entries are retained, new ones dropped past the
+    /// cap). Intended for visualization and debugging, not for hot paths.
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.trace = Some(Vec::with_capacity(cap.min(1 << 20)));
+    }
+
+    fn push_trace(&mut self, write: bool, blocks: u64, steps: u64) {
+        if let Some(t) = &mut self.trace {
+            if t.len() < t.capacity() {
+                t.push(BatchTrace {
+                    write,
+                    blocks: blocks as u32,
+                    steps: steps as u32,
+                });
+            }
+        }
+    }
+
+    /// Render the trace as an ASCII efficiency sparkline (one char per
+    /// batch: `█` full stripes … `.` ≤ 12.5 %), chunked to `width` columns.
+    pub fn trace_sparkline(&self, num_disks: usize, width: usize) -> String {
+        let Some(trace) = &self.trace else {
+            return String::new();
+        };
+        const LEVELS: [char; 8] = ['.', '▁', '▂', '▃', '▄', '▅', '▆', '█'];
+        let mut out = String::new();
+        for (i, b) in trace.iter().enumerate() {
+            if i > 0 && i % width.max(1) == 0 {
+                out.push('\n');
+            }
+            let eff = b.efficiency(num_disks);
+            let lvl = ((eff * 8.0).ceil() as usize).clamp(1, 8) - 1;
+            out.push(LEVELS[lvl]);
+        }
+        out
+    }
+
+    /// Open an *I/O group*: until [`IoStats::end_group`], batches accumulate
+    /// into one scheduling window and the parallel-step cost is charged once
+    /// at close as `max(per-disk blocks)` — modeling a controller with a
+    /// deep command queue that schedules all queued blocks disk-parallel
+    /// ("as few parallel write steps as possible", paper §7). Block and
+    /// per-disk counters still update per batch. Groups do not nest.
+    pub fn begin_group(&mut self) {
+        assert!(self.group.is_none(), "I/O groups do not nest");
+        let d = self.per_disk_reads.len();
+        self.group = Some((vec![0; d], vec![0; d]));
+    }
+
+    /// Close the open I/O group, charging its deferred step cost.
+    pub fn end_group(&mut self) {
+        if let Some((reads, writes)) = self.group.take() {
+            self.read_steps += reads.iter().copied().max().unwrap_or(0);
+            self.write_steps += writes.iter().copied().max().unwrap_or(0);
+        }
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            blocks_read: self.blocks_read,
+            blocks_written: self.blocks_written,
+            read_steps: self.read_steps,
+            write_steps: self.write_steps,
+        }
+    }
+
+    /// Record a batch of block reads whose per-disk multiplicities are given
+    /// in `disk_counts`; the batch costs `max(disk_counts)` parallel steps
+    /// (deferred to [`IoStats::end_group`] while a group is open).
+    pub fn record_read_batch(&mut self, disk_counts: &[u64]) {
+        let mut total = 0;
+        let mut max = 0;
+        for (d, &c) in disk_counts.iter().enumerate() {
+            self.per_disk_reads[d] += c;
+            total += c;
+            max = max.max(c);
+        }
+        self.blocks_read += total;
+        self.push_trace(false, total, max);
+        if let Some((reads, _)) = &mut self.group {
+            for (g, &c) in reads.iter_mut().zip(disk_counts) {
+                *g += c;
+            }
+        } else {
+            self.read_steps += max;
+        }
+    }
+
+    /// Record a batch of block writes (see [`IoStats::record_read_batch`]).
+    pub fn record_write_batch(&mut self, disk_counts: &[u64]) {
+        let mut total = 0;
+        let mut max = 0;
+        for (d, &c) in disk_counts.iter().enumerate() {
+            self.per_disk_writes[d] += c;
+            total += c;
+            max = max.max(c);
+        }
+        self.blocks_written += total;
+        self.push_trace(true, total, max);
+        if let Some((_, writes)) = &mut self.group {
+            for (g, &c) in writes.iter_mut().zip(disk_counts) {
+                *g += c;
+            }
+        } else {
+            self.write_steps += max;
+        }
+    }
+
+    /// Open a named phase; counter deltas until [`IoStats::end_phase`] are
+    /// attributed to it. Phases may not nest; opening a new phase closes the
+    /// previous one.
+    pub fn begin_phase(&mut self, name: impl Into<String>) {
+        self.end_phase();
+        self.open_phase = Some((name.into(), self.snapshot()));
+    }
+
+    /// Close the open phase, if any, pushing its deltas onto `phases`.
+    pub fn end_phase(&mut self) {
+        if let Some((name, snap)) = self.open_phase.take() {
+            self.phases.push(PhaseStats {
+                name,
+                blocks_read: self.blocks_read - snap.blocks_read,
+                blocks_written: self.blocks_written - snap.blocks_written,
+                read_steps: self.read_steps - snap.read_steps,
+                write_steps: self.write_steps - snap.write_steps,
+            });
+        }
+    }
+
+    /// Read passes over `n` keys: `read_steps / (n / (D·B))`.
+    ///
+    /// This is the paper's pass metric; an algorithm achieving full disk
+    /// parallelism and reading the data `p` times reports exactly `p`.
+    pub fn read_passes(&self, n: usize, num_disks: usize, block_size: usize) -> f64 {
+        let steps_per_pass = (n as f64) / (num_disks as f64 * block_size as f64);
+        self.read_steps as f64 / steps_per_pass
+    }
+
+    /// Write passes over `n` keys (see [`IoStats::read_passes`]).
+    pub fn write_passes(&self, n: usize, num_disks: usize, block_size: usize) -> f64 {
+        let steps_per_pass = (n as f64) / (num_disks as f64 * block_size as f64);
+        self.write_steps as f64 / steps_per_pass
+    }
+
+    /// Pass count by the *block volume* metric: `blocks_read·B / n`. Equal to
+    /// [`IoStats::read_passes`] when every step keeps all `D` disks busy;
+    /// smaller when parallelism is lost.
+    pub fn read_volume_passes(&self, n: usize, block_size: usize) -> f64 {
+        self.blocks_read as f64 * block_size as f64 / n as f64
+    }
+
+    /// Fraction of read-step disk capacity actually used:
+    /// `blocks_read / (read_steps · D)`. 1.0 means full striping parallelism.
+    pub fn read_parallel_efficiency(&self, num_disks: usize) -> f64 {
+        if self.read_steps == 0 {
+            return 1.0;
+        }
+        self.blocks_read as f64 / (self.read_steps as f64 * num_disks as f64)
+    }
+
+    /// Fraction of write-step disk capacity actually used.
+    pub fn write_parallel_efficiency(&self, num_disks: usize) -> f64 {
+        if self.write_steps == 0 {
+            return 1.0;
+        }
+        self.blocks_written as f64 / (self.write_steps as f64 * num_disks as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_step_cost_is_max_per_disk() {
+        let mut s = IoStats::new(4);
+        // 4 blocks spread one per disk: one step.
+        s.record_read_batch(&[1, 1, 1, 1]);
+        assert_eq!(s.read_steps, 1);
+        assert_eq!(s.blocks_read, 4);
+        // 4 blocks all on disk 0: four steps.
+        s.record_read_batch(&[4, 0, 0, 0]);
+        assert_eq!(s.read_steps, 5);
+        assert_eq!(s.blocks_read, 8);
+        assert_eq!(s.per_disk_reads, vec![5, 1, 1, 1]);
+    }
+
+    #[test]
+    fn passes_metric_matches_definition() {
+        let mut s = IoStats::new(2);
+        // N = 64 keys, D = 2, B = 8 → one pass = 4 steps.
+        for _ in 0..4 {
+            s.record_read_batch(&[1, 1]);
+        }
+        assert!((s.read_passes(64, 2, 8) - 1.0).abs() < 1e-12);
+        assert!((s.read_volume_passes(64, 8) - 1.0).abs() < 1e-12);
+        assert!((s.read_parallel_efficiency(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lost_parallelism_inflates_step_passes_only() {
+        let mut s = IoStats::new(2);
+        // 8 blocks, all on disk 0: 8 steps instead of 4.
+        s.record_read_batch(&[8, 0]);
+        assert!((s.read_passes(64, 2, 8) - 2.0).abs() < 1e-12);
+        assert!((s.read_volume_passes(64, 8) - 1.0).abs() < 1e-12);
+        assert!((s.read_parallel_efficiency(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phases_record_deltas() {
+        let mut s = IoStats::new(2);
+        s.begin_phase("a");
+        s.record_read_batch(&[1, 1]);
+        s.begin_phase("b"); // implicitly closes "a"
+        s.record_write_batch(&[2, 2]);
+        s.end_phase();
+        assert_eq!(s.phases.len(), 2);
+        assert_eq!(s.phases[0].name, "a");
+        assert_eq!(s.phases[0].blocks_read, 2);
+        assert_eq!(s.phases[0].blocks_written, 0);
+        assert_eq!(s.phases[1].name, "b");
+        assert_eq!(s.phases[1].blocks_written, 4);
+        assert_eq!(s.phases[1].write_steps, 2);
+    }
+
+    #[test]
+    fn trace_records_batches_and_caps() {
+        let mut s = IoStats::new(4);
+        s.enable_trace(3);
+        s.record_read_batch(&[1, 1, 1, 1]);
+        s.record_write_batch(&[2, 0, 0, 0]);
+        s.record_read_batch(&[1, 0, 0, 0]);
+        s.record_read_batch(&[1, 0, 0, 0]); // beyond cap: dropped
+        let t = s.trace.as_ref().unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0], BatchTrace { write: false, blocks: 4, steps: 1 });
+        assert!((t[0].efficiency(4) - 1.0).abs() < 1e-12);
+        assert_eq!(t[1], BatchTrace { write: true, blocks: 2, steps: 2 });
+        assert!((t[1].efficiency(4) - 0.25).abs() < 1e-12);
+        let spark = s.trace_sparkline(4, 2);
+        assert_eq!(spark.chars().filter(|&c| c != '\n').count(), 3);
+        assert!(spark.contains('█'));
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let mut s = IoStats::new(2);
+        s.record_read_batch(&[1, 1]);
+        assert!(s.trace.is_none());
+        assert_eq!(s.trace_sparkline(2, 10), "");
+    }
+
+    #[test]
+    fn io_group_defers_and_merges_step_cost() {
+        let mut s = IoStats::new(4);
+        s.begin_group();
+        // three separate single-block batches on distinct disks: without a
+        // group they'd cost 3 steps; grouped they cost 1.
+        s.record_write_batch(&[1, 0, 0, 0]);
+        s.record_write_batch(&[0, 1, 0, 0]);
+        s.record_write_batch(&[0, 0, 1, 0]);
+        assert_eq!(s.write_steps, 0, "steps deferred while group open");
+        s.end_group();
+        assert_eq!(s.write_steps, 1);
+        assert_eq!(s.blocks_written, 3);
+        // imbalance inside a group is still charged
+        s.begin_group();
+        s.record_read_batch(&[3, 1, 0, 0]);
+        s.record_read_batch(&[2, 0, 0, 0]);
+        s.end_group();
+        assert_eq!(s.read_steps, 5);
+    }
+
+    #[test]
+    fn empty_group_is_free() {
+        let mut s = IoStats::new(2);
+        s.begin_group();
+        s.end_group();
+        assert_eq!(s.read_steps + s.write_steps, 0);
+        s.end_group(); // double close is a no-op
+    }
+
+    #[test]
+    #[should_panic(expected = "do not nest")]
+    fn groups_do_not_nest() {
+        let mut s = IoStats::new(2);
+        s.begin_group();
+        s.begin_group();
+    }
+
+    #[test]
+    fn end_phase_without_open_is_noop() {
+        let mut s = IoStats::new(1);
+        s.end_phase();
+        assert!(s.phases.is_empty());
+    }
+
+    #[test]
+    fn efficiency_with_no_io_is_one() {
+        let s = IoStats::new(3);
+        assert_eq!(s.read_parallel_efficiency(3), 1.0);
+        assert_eq!(s.write_parallel_efficiency(3), 1.0);
+    }
+}

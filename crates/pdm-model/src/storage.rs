@@ -1,0 +1,218 @@
+//! Storage backends: where simulated disk blocks actually live.
+//!
+//! The trait is deliberately synchronous and block-granular — all policy
+//! (batching, step accounting, memory enforcement) lives in the machine
+//! layer. Backends only move bytes.
+
+use crate::error::{PdmError, Result};
+use crate::key::PdmKey;
+
+/// A physical store of `D` disks, each an array of block slots of `B` keys.
+pub trait Storage<K: PdmKey>: Send {
+    /// Number of disks.
+    fn num_disks(&self) -> usize;
+
+    /// Block size in keys.
+    fn block_size(&self) -> usize;
+
+    /// Grow disk `disk` to at least `slots` block slots (zero/`MAX`-filled).
+    fn ensure_capacity(&mut self, disk: usize, slots: usize) -> Result<()>;
+
+    /// Read block `(disk, slot)` into `out` (`out.len() == B`).
+    fn read_block(&mut self, disk: usize, slot: usize, out: &mut [K]) -> Result<()>;
+
+    /// Write `data` (`data.len() == B`) to block `(disk, slot)`.
+    fn write_block(&mut self, disk: usize, slot: usize, data: &[K]) -> Result<()>;
+
+    /// Read a batch of blocks; `reqs[i]` is `(disk, slot)` and fills
+    /// `out[i*B..(i+1)*B]`. Backends with real per-disk parallelism override
+    /// this to service different disks concurrently.
+    fn read_batch(&mut self, reqs: &[(usize, usize)], out: &mut [K]) -> Result<()> {
+        let b = self.block_size();
+        debug_assert_eq!(out.len(), reqs.len() * b);
+        for (i, &(disk, slot)) in reqs.iter().enumerate() {
+            self.read_block(disk, slot, &mut out[i * b..(i + 1) * b])?;
+        }
+        Ok(())
+    }
+
+    /// Write a batch of blocks; `reqs[i]` is `(disk, slot)` taking
+    /// `data[i*B..(i+1)*B]`.
+    fn write_batch(&mut self, reqs: &[(usize, usize)], data: &[K]) -> Result<()> {
+        let b = self.block_size();
+        debug_assert_eq!(data.len(), reqs.len() * b);
+        for (i, &(disk, slot)) in reqs.iter().enumerate() {
+            self.write_block(disk, slot, &data[i * b..(i + 1) * b])?;
+        }
+        Ok(())
+    }
+
+    /// Flush any buffered state to the underlying medium.
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// In-memory backend: each disk is a flat `Vec<K>` of block slots.
+///
+/// This is the default backend for experiments — it is exact with respect to
+/// the PDM *cost model* (the machine layer counts steps identically for all
+/// backends) while being fast enough for large parameter sweeps.
+#[derive(Debug)]
+pub struct MemStorage<K: PdmKey> {
+    disks: Vec<Vec<K>>,
+    block_size: usize,
+}
+
+impl<K: PdmKey> MemStorage<K> {
+    /// An empty store of `num_disks` disks with block size `block_size`.
+    pub fn new(num_disks: usize, block_size: usize) -> Self {
+        Self {
+            disks: vec![Vec::new(); num_disks],
+            block_size,
+        }
+    }
+
+    fn check_disk(&self, disk: usize) -> Result<()> {
+        if disk >= self.disks.len() {
+            return Err(PdmError::BadDisk {
+                disk,
+                num_disks: self.disks.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_slot(&self, disk: usize, slot: usize) -> Result<()> {
+        let allocated = self.disks[disk].len() / self.block_size;
+        if slot >= allocated {
+            return Err(PdmError::BadSlot {
+                disk,
+                slot,
+                allocated,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl<K: PdmKey> Storage<K> for MemStorage<K> {
+    fn num_disks(&self) -> usize {
+        self.disks.len()
+    }
+
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn ensure_capacity(&mut self, disk: usize, slots: usize) -> Result<()> {
+        self.check_disk(disk)?;
+        let want = slots * self.block_size;
+        if self.disks[disk].len() < want {
+            self.disks[disk].resize(want, K::MAX);
+        }
+        Ok(())
+    }
+
+    fn read_block(&mut self, disk: usize, slot: usize, out: &mut [K]) -> Result<()> {
+        self.check_disk(disk)?;
+        self.check_slot(disk, slot)?;
+        if out.len() != self.block_size {
+            return Err(PdmError::BadBlockLen {
+                got: out.len(),
+                expected: self.block_size,
+            });
+        }
+        let off = slot * self.block_size;
+        out.copy_from_slice(&self.disks[disk][off..off + self.block_size]);
+        Ok(())
+    }
+
+    fn write_block(&mut self, disk: usize, slot: usize, data: &[K]) -> Result<()> {
+        self.check_disk(disk)?;
+        self.check_slot(disk, slot)?;
+        if data.len() != self.block_size {
+            return Err(PdmError::BadBlockLen {
+                got: data.len(),
+                expected: self.block_size,
+            });
+        }
+        let off = slot * self.block_size;
+        self.disks[disk][off..off + self.block_size].copy_from_slice(data);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_block() {
+        let mut s: MemStorage<u64> = MemStorage::new(2, 4);
+        s.ensure_capacity(1, 3).unwrap();
+        s.write_block(1, 2, &[5, 6, 7, 8]).unwrap();
+        let mut out = [0u64; 4];
+        s.read_block(1, 2, &mut out).unwrap();
+        assert_eq!(out, [5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn fresh_blocks_read_as_max_padding() {
+        let mut s: MemStorage<u32> = MemStorage::new(1, 2);
+        s.ensure_capacity(0, 1).unwrap();
+        let mut out = [0u32; 2];
+        s.read_block(0, 0, &mut out).unwrap();
+        assert_eq!(out, [u32::MAX, u32::MAX]);
+    }
+
+    #[test]
+    fn bad_addresses_are_rejected() {
+        let mut s: MemStorage<u64> = MemStorage::new(2, 4);
+        s.ensure_capacity(0, 1).unwrap();
+        let mut out = [0u64; 4];
+        assert!(matches!(
+            s.read_block(5, 0, &mut out),
+            Err(PdmError::BadDisk { .. })
+        ));
+        assert!(matches!(
+            s.read_block(0, 9, &mut out),
+            Err(PdmError::BadSlot { .. })
+        ));
+        let mut small = [0u64; 3];
+        assert!(matches!(
+            s.read_block(0, 0, &mut small),
+            Err(PdmError::BadBlockLen { .. })
+        ));
+        assert!(matches!(
+            s.write_block(0, 0, &[1, 2, 3]),
+            Err(PdmError::BadBlockLen { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_default_impl_round_trips() {
+        let mut s: MemStorage<u64> = MemStorage::new(3, 2);
+        for d in 0..3 {
+            s.ensure_capacity(d, 2).unwrap();
+        }
+        let reqs = [(0, 0), (1, 0), (2, 1)];
+        let data = [10u64, 11, 20, 21, 30, 31];
+        s.write_batch(&reqs, &data).unwrap();
+        let mut out = [0u64; 6];
+        s.read_batch(&reqs, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn ensure_capacity_is_monotone() {
+        let mut s: MemStorage<u64> = MemStorage::new(1, 4);
+        s.ensure_capacity(0, 2).unwrap();
+        s.write_block(0, 1, &[1, 2, 3, 4]).unwrap();
+        // shrinking request must not lose data
+        s.ensure_capacity(0, 1).unwrap();
+        let mut out = [0u64; 4];
+        s.read_block(0, 1, &mut out).unwrap();
+        assert_eq!(out, [1, 2, 3, 4]);
+    }
+}

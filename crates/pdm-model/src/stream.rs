@@ -1,0 +1,420 @@
+//! Sequential block streams over striped regions.
+//!
+//! [`RunReader`] and [`RunWriter`] turn a striped [`Region`] into a
+//! key-granular sequential stream while doing block-granular, stripe-aligned
+//! I/O underneath (default batch: one full stripe of `D` blocks per parallel
+//! step). Their staging buffers are registered against the machine's
+//! internal memory, so holding `l` open readers costs `l · D · B` tracked
+//! keys — exactly the memory a real multiway merge would pin.
+//!
+//! [`kway_merge`] is the workhorse used by every merge phase in the paper's
+//! algorithms.
+
+use crate::error::Result;
+use crate::key::PdmKey;
+use crate::layout::Region;
+use crate::machine::Pdm;
+use crate::mem::TrackedBuf;
+use crate::storage::Storage;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Buffered sequential writer into a region.
+pub struct RunWriter<K: PdmKey> {
+    region: Region,
+    next_block: usize,
+    buf: TrackedBuf<K>,
+    batch_keys: usize,
+    written: usize,
+}
+
+impl<K: PdmKey> RunWriter<K> {
+    /// Writer over `region` staging `batch_blocks` blocks (default: pass
+    /// `pdm.cfg().num_disks` for one-stripe batches).
+    pub fn new<S: Storage<K>>(pdm: &Pdm<K, S>, region: Region, batch_blocks: usize) -> Result<Self> {
+        let b = pdm.cfg().block_size;
+        let batch_keys = batch_blocks.max(1) * b;
+        Ok(Self {
+            region,
+            next_block: 0,
+            buf: pdm.alloc_buf(batch_keys)?,
+            batch_keys,
+            written: 0,
+        })
+    }
+
+    /// Writer with the default one-stripe batch.
+    pub fn striped<S: Storage<K>>(pdm: &Pdm<K, S>, region: Region) -> Result<Self> {
+        let d = pdm.cfg().num_disks;
+        Self::new(pdm, region, d)
+    }
+
+    /// Keys pushed so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// The region being written.
+    pub fn region(&self) -> &Region {
+        &self.region
+    }
+
+    fn flush_full_blocks<S: Storage<K>>(&mut self, pdm: &mut Pdm<K, S>) -> Result<()> {
+        let b = self.region.block_size();
+        let full = self.buf.len() / b;
+        if full == 0 {
+            return Ok(());
+        }
+        let idx: Vec<usize> = (self.next_block..self.next_block + full).collect();
+        pdm.write_blocks(&self.region, &idx, &self.buf[..full * b])?;
+        self.next_block += full;
+        let rem = self.buf.len() - full * b;
+        // move the ragged tail to the front
+        let tail: Vec<K> = self.buf[full * b..].to_vec();
+        self.buf.clear();
+        self.buf.extend_from_slice(&tail);
+        debug_assert_eq!(self.buf.len(), rem);
+        Ok(())
+    }
+
+    /// Append one key, flushing staged full blocks when the batch fills.
+    pub fn push<S: Storage<K>>(&mut self, pdm: &mut Pdm<K, S>, k: K) -> Result<()> {
+        self.buf.push(k);
+        self.written += 1;
+        if self.buf.len() >= self.batch_keys {
+            self.flush_full_blocks(pdm)?;
+        }
+        Ok(())
+    }
+
+    /// Append a slice of keys.
+    pub fn push_slice<S: Storage<K>>(&mut self, pdm: &mut Pdm<K, S>, ks: &[K]) -> Result<()> {
+        for chunk in ks.chunks(self.batch_keys) {
+            self.buf.extend_from_slice(chunk);
+            self.written += chunk.len();
+            if self.buf.len() >= self.batch_keys {
+                self.flush_full_blocks(pdm)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush remaining keys, padding the final partial block with `K::MAX`,
+    /// and return the number of *keys* written (padding excluded).
+    pub fn finish<S: Storage<K>>(mut self, pdm: &mut Pdm<K, S>) -> Result<usize> {
+        let b = self.region.block_size();
+        let rem = self.buf.len() % b;
+        if rem != 0 {
+            for _ in rem..b {
+                self.buf.push(K::MAX);
+            }
+        }
+        self.flush_full_blocks(pdm)?;
+        Ok(self.written)
+    }
+}
+
+/// Buffered sequential reader over the first `total_keys` keys of a region.
+pub struct RunReader<K: PdmKey> {
+    region: Region,
+    next_block: usize,
+    buf: TrackedBuf<K>,
+    pos: usize,
+    batch_blocks: usize,
+    remaining: usize,
+}
+
+impl<K: PdmKey> RunReader<K> {
+    /// Reader over the first `total_keys` keys of `region`, staging
+    /// `batch_blocks` blocks per refill.
+    pub fn new<S: Storage<K>>(
+        pdm: &Pdm<K, S>,
+        region: Region,
+        total_keys: usize,
+        batch_blocks: usize,
+    ) -> Result<Self> {
+        let b = pdm.cfg().block_size;
+        let batch_blocks = batch_blocks.max(1);
+        Ok(Self {
+            region,
+            next_block: 0,
+            buf: pdm.alloc_buf(batch_blocks * b)?,
+            pos: 0,
+            batch_blocks,
+            remaining: total_keys,
+        })
+    }
+
+    /// Reader with the default one-stripe batch over the whole region.
+    pub fn striped<S: Storage<K>>(pdm: &Pdm<K, S>, region: Region) -> Result<Self> {
+        let d = pdm.cfg().num_disks;
+        let keys = region.len_keys();
+        Self::new(pdm, region, keys, d)
+    }
+
+    /// Keys not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Whether the stream is exhausted.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining == 0
+    }
+
+    fn refill<S: Storage<K>>(&mut self, pdm: &mut Pdm<K, S>) -> Result<()> {
+        debug_assert!(self.pos >= self.buf.len());
+        let blocks_left = self.region.len_blocks() - self.next_block;
+        let take = self.batch_blocks.min(blocks_left);
+        self.buf.clear();
+        self.pos = 0;
+        if take == 0 {
+            return Ok(());
+        }
+        let idx: Vec<usize> = (self.next_block..self.next_block + take).collect();
+        let v = self.buf.as_vec_mut();
+        pdm.read_blocks(&self.region, &idx, v)?;
+        self.next_block += take;
+        Ok(())
+    }
+
+    /// The next key without consuming it.
+    pub fn peek<S: Storage<K>>(&mut self, pdm: &mut Pdm<K, S>) -> Result<Option<K>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        if self.pos >= self.buf.len() {
+            self.refill(pdm)?;
+            if self.buf.is_empty() {
+                self.remaining = 0;
+                return Ok(None);
+            }
+        }
+        Ok(Some(self.buf[self.pos]))
+    }
+
+    /// Consume and return the next key.
+    pub fn next_key<S: Storage<K>>(&mut self, pdm: &mut Pdm<K, S>) -> Result<Option<K>> {
+        let k = self.peek(pdm)?;
+        if k.is_some() {
+            self.pos += 1;
+            self.remaining -= 1;
+        }
+        Ok(k)
+    }
+
+    /// Consume up to `n` keys, appending them to `out`.
+    pub fn take_into<S: Storage<K>>(
+        &mut self,
+        pdm: &mut Pdm<K, S>,
+        n: usize,
+        out: &mut Vec<K>,
+    ) -> Result<usize> {
+        let mut taken = 0;
+        while taken < n {
+            if self.remaining == 0 {
+                break;
+            }
+            if self.pos >= self.buf.len() {
+                self.refill(pdm)?;
+                if self.buf.is_empty() {
+                    self.remaining = 0;
+                    break;
+                }
+            }
+            let avail = (self.buf.len() - self.pos).min(n - taken).min(self.remaining);
+            out.extend_from_slice(&self.buf[self.pos..self.pos + avail]);
+            self.pos += avail;
+            self.remaining -= avail;
+            taken += avail;
+        }
+        Ok(taken)
+    }
+}
+
+/// Merge `readers` (each individually sorted) into `writer`.
+///
+/// Memory held: each reader's staging buffer plus the `l`-entry heap. This is
+/// the merge kernel for the `(l, m)`-merge phases; with `l` readers batching
+/// one block each, it matches the paper's "merge `l` sequences using memory
+/// `l·B`" discipline.
+pub fn kway_merge<K: PdmKey, S: Storage<K>>(
+    pdm: &mut Pdm<K, S>,
+    mut readers: Vec<RunReader<K>>,
+    writer: &mut RunWriter<K>,
+) -> Result<()> {
+    let mut heap: BinaryHeap<Reverse<(K, usize)>> = BinaryHeap::with_capacity(readers.len());
+    for (i, r) in readers.iter_mut().enumerate() {
+        if let Some(k) = r.next_key(pdm)? {
+            heap.push(Reverse((k, i)));
+        }
+    }
+    while let Some(Reverse((k, i))) = heap.pop() {
+        writer.push(pdm, k)?;
+        if let Some(nk) = readers[i].next_key(pdm)? {
+            heap.push(Reverse((nk, i)));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PdmConfig;
+
+    fn machine() -> Pdm<u64> {
+        Pdm::new(PdmConfig::new(4, 8, 256)).unwrap()
+    }
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let mut pdm = machine();
+        let r = pdm.alloc_region_for_keys(100).unwrap();
+        let mut w = RunWriter::striped(&pdm, r).unwrap();
+        for i in 0..100u64 {
+            w.push(&mut pdm, i).unwrap();
+        }
+        assert_eq!(w.finish(&mut pdm).unwrap(), 100);
+
+        let mut rd = RunReader::new(&pdm, r, 100, 4).unwrap();
+        let mut got = Vec::new();
+        while let Some(k) = rd.next_key(&mut pdm).unwrap() {
+            got.push(k);
+        }
+        assert_eq!(got, (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn push_slice_matches_push() {
+        let mut pdm = machine();
+        let data: Vec<u64> = (0..75).rev().collect();
+        let r1 = pdm.alloc_region_for_keys(75).unwrap();
+        let r2 = pdm.alloc_region_for_keys(75).unwrap();
+        let mut w1 = RunWriter::striped(&pdm, r1).unwrap();
+        let mut w2 = RunWriter::striped(&pdm, r2).unwrap();
+        for &k in &data {
+            w1.push(&mut pdm, k).unwrap();
+        }
+        w2.push_slice(&mut pdm, &data).unwrap();
+        w1.finish(&mut pdm).unwrap();
+        w2.finish(&mut pdm).unwrap();
+        assert_eq!(pdm.inspect(&r1).unwrap(), pdm.inspect(&r2).unwrap());
+    }
+
+    #[test]
+    fn writer_pads_with_max() {
+        let mut pdm = machine();
+        let r = pdm.alloc_region_for_keys(10).unwrap();
+        let mut w = RunWriter::striped(&pdm, r).unwrap();
+        w.push_slice(&mut pdm, &[1u64; 10]).unwrap();
+        w.finish(&mut pdm).unwrap();
+        let all = pdm.inspect(&r).unwrap();
+        assert!(all[10..].iter().all(|&k| k == u64::MAX));
+    }
+
+    #[test]
+    fn reader_take_into_bulk() {
+        let mut pdm = machine();
+        let r = pdm.alloc_region_for_keys(64).unwrap();
+        pdm.ingest(&r, &(0..64).collect::<Vec<u64>>()).unwrap();
+        let mut rd = RunReader::new(&pdm, r, 64, 2).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(rd.take_into(&mut pdm, 40, &mut out).unwrap(), 40);
+        assert_eq!(rd.remaining(), 24);
+        assert_eq!(rd.take_into(&mut pdm, 100, &mut out).unwrap(), 24);
+        assert!(rd.is_exhausted());
+        assert_eq!(out, (0..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn reader_respects_total_keys_not_region_padding() {
+        let mut pdm = machine();
+        let r = pdm.alloc_region_for_keys(10).unwrap(); // 2 blocks = 16 slots
+        pdm.ingest(&r, &(0..10).collect::<Vec<u64>>()).unwrap();
+        let mut rd = RunReader::new(&pdm, r, 10, 4).unwrap();
+        let mut got = Vec::new();
+        while let Some(k) = rd.next_key(&mut pdm).unwrap() {
+            got.push(k);
+        }
+        assert_eq!(got.len(), 10);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut pdm = machine();
+        let r = pdm.alloc_region_for_keys(8).unwrap();
+        pdm.ingest(&r, &[3u64, 1, 4, 1, 5, 9, 2, 6]).unwrap();
+        let mut rd = RunReader::striped(&pdm, r).unwrap();
+        assert_eq!(rd.peek(&mut pdm).unwrap(), Some(3));
+        assert_eq!(rd.peek(&mut pdm).unwrap(), Some(3));
+        assert_eq!(rd.next_key(&mut pdm).unwrap(), Some(3));
+        assert_eq!(rd.peek(&mut pdm).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn kway_merge_produces_sorted_output() {
+        let mut pdm = machine();
+        let runs: Vec<Vec<u64>> = vec![
+            (0..32).map(|i| i * 3).collect(),
+            (0..32).map(|i| i * 3 + 1).collect(),
+            (0..32).map(|i| i * 3 + 2).collect(),
+        ];
+        let mut readers = Vec::new();
+        for run in &runs {
+            let reg = pdm.alloc_region_for_keys(run.len()).unwrap();
+            pdm.ingest(&reg, run).unwrap();
+            readers.push(RunReader::new(&pdm, reg, run.len(), 1).unwrap());
+        }
+        let out_reg = pdm.alloc_region_for_keys(96).unwrap();
+        let mut w = RunWriter::striped(&pdm, out_reg).unwrap();
+        kway_merge(&mut pdm, readers, &mut w).unwrap();
+        assert_eq!(w.finish(&mut pdm).unwrap(), 96);
+        let got = pdm.inspect_prefix(&out_reg, 96).unwrap();
+        assert_eq!(got, (0..96).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn kway_merge_handles_unequal_and_empty_runs() {
+        let mut pdm = machine();
+        let runs: Vec<Vec<u64>> = vec![vec![5, 10, 15], vec![], vec![1], vec![2, 3, 4, 6, 7]];
+        let total: usize = runs.iter().map(|r| r.len()).sum();
+        let mut readers = Vec::new();
+        for run in &runs {
+            let reg = pdm.alloc_region_for_keys(run.len().max(1)).unwrap();
+            pdm.ingest(&reg, run).unwrap();
+            readers.push(RunReader::new(&pdm, reg, run.len(), 1).unwrap());
+        }
+        let out_reg = pdm.alloc_region_for_keys(total).unwrap();
+        let mut w = RunWriter::striped(&pdm, out_reg).unwrap();
+        kway_merge(&mut pdm, readers, &mut w).unwrap();
+        w.finish(&mut pdm).unwrap();
+        let got = pdm.inspect_prefix(&out_reg, total).unwrap();
+        assert_eq!(got, vec![1, 2, 3, 4, 5, 6, 7, 10, 15]);
+    }
+
+    #[test]
+    fn streams_account_memory() {
+        let pdm = machine();
+        // B = 8, batch 4 blocks → 32 keys per stream buffer
+        let before = pdm.mem().current();
+        {
+            let r = Region::new(0, 0, 4, 4, 8);
+            let _rd = RunReader::new(&pdm, r, 32, 4).unwrap();
+            assert_eq!(pdm.mem().current(), before + 32);
+        }
+        assert_eq!(pdm.mem().current(), before);
+    }
+
+    #[test]
+    fn sequential_stream_achieves_full_parallelism() {
+        let mut pdm = machine();
+        let n = 256;
+        let r = pdm.alloc_region_for_keys(n).unwrap();
+        pdm.ingest(&r, &(0..n as u64).collect::<Vec<u64>>()).unwrap();
+        let mut rd = RunReader::striped(&pdm, r).unwrap();
+        let mut out = Vec::new();
+        rd.take_into(&mut pdm, n, &mut out).unwrap();
+        assert!((pdm.stats().read_parallel_efficiency(4) - 1.0).abs() < 1e-9);
+    }
+}

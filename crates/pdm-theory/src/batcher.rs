@@ -1,0 +1,134 @@
+//! Batcher's odd-even merge sort network.
+//!
+//! The LMM sort that powers the paper's `ThreePass2`/`SevenPass` is a
+//! generalization of Batcher's odd-even merge (paper §4 and \[23\]); this
+//! module provides the classical network both as a reference point and as
+//! the correct "large" network the generalized-0-1 experiments truncate.
+//!
+//! Construction: the standard recursive power-of-two network, built for
+//! `n.next_power_of_two()` wires and restricted to the first `n` — valid
+//! because the dropped wires can be imagined carrying `+∞`, in which case
+//! every dropped comparator is a no-op.
+
+use crate::network::Network;
+
+fn merge(net: &mut Network, n: usize, lo: usize, count: usize, stride: usize) {
+    let step = stride * 2;
+    if step < count {
+        merge(net, n, lo, count, step);
+        merge(net, n, lo + stride, count, step);
+        let mut i = lo + stride;
+        while i + stride < lo + count {
+            if i + stride < n && i < n {
+                net.push(i, i + stride);
+            }
+            i += step;
+        }
+    } else if lo + stride < n {
+        net.push(lo, lo + stride);
+    }
+}
+
+fn sort(net: &mut Network, n: usize, lo: usize, count: usize) {
+    if count > 1 {
+        let m = count / 2;
+        sort(net, n, lo, m);
+        sort(net, n, lo + m, m);
+        merge(net, n, lo, count, 1);
+    }
+}
+
+/// Batcher's odd-even merge sort network over `n` wires (any `n ≥ 1`).
+///
+/// # Example
+///
+/// ```
+/// let net = pdm_theory::odd_even_merge_sort(8);
+/// let mut data = [5u32, 3, 8, 1, 9, 2, 7, 4];
+/// net.apply(&mut data);
+/// assert_eq!(data, [1, 2, 3, 4, 5, 7, 8, 9]);
+/// assert!(net.sorts_all_binary()); // the 0-1 principle certificate
+/// ```
+pub fn odd_even_merge_sort(n: usize) -> Network {
+    let mut net = Network::new(n.max(1));
+    let p = n.next_power_of_two();
+    sort(&mut net, n, 0, p);
+    net
+}
+
+/// The odd-even *merge* network alone: merges two sorted halves of a
+/// `2k`-wire input (wires `0..k` and `k..2k` each sorted).
+pub fn odd_even_merge(k: usize) -> Network {
+    let n = 2 * k;
+    let mut net = Network::new(n.max(1));
+    let p = n.next_power_of_two();
+    merge(&mut net, n, 0, p, 1);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_all_binary_for_many_sizes() {
+        for n in 1..=16 {
+            let net = odd_even_merge_sort(n);
+            assert!(net.sorts_all_binary(), "Batcher({n}) fails binary check");
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_sizes_sort_arbitrary_data() {
+        for n in [3usize, 5, 6, 7, 11, 13] {
+            let net = odd_even_merge_sort(n);
+            let mut data: Vec<u32> = (0..n as u32).rev().collect();
+            net.apply(&mut data);
+            assert_eq!(data, (0..n as u32).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn size_matches_theory_for_powers_of_two() {
+        // Batcher's network has (p/4)(log²p − log p + 4) − 1 comparators
+        // for p a power of two; spot-check the known values.
+        assert_eq!(odd_even_merge_sort(2).size(), 1);
+        assert_eq!(odd_even_merge_sort(4).size(), 5);
+        assert_eq!(odd_even_merge_sort(8).size(), 19);
+        assert_eq!(odd_even_merge_sort(16).size(), 63);
+    }
+
+    #[test]
+    fn depth_is_log_squared_order() {
+        // depth of Batcher on 2^k wires is k(k+1)/2
+        assert_eq!(odd_even_merge_sort(4).depth(), 3);
+        assert_eq!(odd_even_merge_sort(8).depth(), 6);
+        assert_eq!(odd_even_merge_sort(16).depth(), 10);
+    }
+
+    #[test]
+    fn merge_network_merges_sorted_halves() {
+        for k in [1usize, 2, 4, 8] {
+            let net = odd_even_merge(k);
+            let mut data: Vec<u32> = Vec::new();
+            data.extend((0..k as u32).map(|i| i * 2)); // evens, sorted
+            data.extend((0..k as u32).map(|i| i * 2 + 1)); // odds, sorted
+            net.apply(&mut data);
+            assert!(
+                data.windows(2).all(|w| w[0] <= w[1]),
+                "merge({k}) failed: {data:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_network_does_not_necessarily_sort_unsorted_halves() {
+        // sanity: the merge network is weaker than the sort network
+        let net = odd_even_merge(4);
+        let mut data = [7u32, 0, 5, 2, 6, 1, 4, 3];
+        net.apply(&mut data);
+        // merging garbage gives garbage at least once
+        let sorted = data.windows(2).all(|w| w[0] <= w[1]);
+        assert!(!sorted || data == [0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+}

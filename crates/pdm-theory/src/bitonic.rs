@@ -1,0 +1,94 @@
+//! Batcher's bitonic sorting network — the second classical
+//! `O(log² n)`-depth network, included alongside odd-even merge sort as a
+//! reference oblivious sorter (both descend from Batcher \[6\], which the
+//! LMM framework generalizes).
+
+use crate::network::Network;
+
+fn bitonic_merge(net: &mut Network, n: usize, lo: usize, count: usize, ascending: bool) {
+    if count <= 1 {
+        return;
+    }
+    let half = count / 2;
+    for i in lo..lo + half {
+        if i + half < n {
+            if ascending {
+                net.push(i, i + half);
+            } else {
+                net.push(i + half, i);
+            }
+        }
+    }
+    bitonic_merge(net, n, lo, half, ascending);
+    bitonic_merge(net, n, lo + half, half, ascending);
+}
+
+fn bitonic_sort(net: &mut Network, n: usize, lo: usize, count: usize, ascending: bool) {
+    if count <= 1 {
+        return;
+    }
+    let half = count / 2;
+    bitonic_sort(net, n, lo, half, true);
+    bitonic_sort(net, n, lo + half, half, false);
+    bitonic_merge(net, n, lo, count, ascending);
+}
+
+/// The bitonic sorting network over `n` wires. Unlike
+/// [`crate::batcher::odd_even_merge_sort`], the padding-restriction trick
+/// is unsound for bitonic (descending sub-merges move real keys toward
+/// dropped `+∞` wires), so `n` must be a power of two.
+pub fn bitonic(n: usize) -> Network {
+    assert!(
+        n.is_power_of_two(),
+        "bitonic network requires a power-of-two size, got {n}"
+    );
+    let mut net = Network::new(n);
+    bitonic_sort(&mut net, n, 0, n, true);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_all_binary_for_powers_of_two() {
+        for n in [1usize, 2, 4, 8, 16] {
+            assert!(bitonic(n).sorts_all_binary(), "bitonic({n})");
+        }
+    }
+
+    #[test]
+    fn power_of_two_sizes_sort_arbitrary_data() {
+        for n in [2usize, 4, 8, 16, 32, 64] {
+            let net = bitonic(n);
+            let mut data: Vec<u32> = (0..n as u32).rev().collect();
+            net.apply(&mut data);
+            assert_eq!(data, (0..n as u32).collect::<Vec<_>>(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn size_matches_theory() {
+        // bitonic on 2^k wires has 2^{k-1}·k(k+1)/2 comparators
+        assert_eq!(bitonic(4).size(), 2 * 3);
+        assert_eq!(bitonic(8).size(), 4 * 6);
+        assert_eq!(bitonic(16).size(), 8 * 10);
+    }
+
+    #[test]
+    fn depth_is_k_times_k_plus_one_over_two() {
+        assert_eq!(bitonic(8).depth(), 6);
+        assert_eq!(bitonic(16).depth(), 10);
+    }
+
+    #[test]
+    fn comparable_size_to_odd_even_merge_sort() {
+        // both are O(n log² n); odd-even is slightly smaller
+        for n in [8usize, 16] {
+            let b = bitonic(n).size();
+            let oe = crate::batcher::odd_even_merge_sort(n).size();
+            assert!(oe <= b, "n = {n}: odd-even {oe} vs bitonic {b}");
+        }
+    }
+}

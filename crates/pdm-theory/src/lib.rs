@@ -1,0 +1,37 @@
+//! # pdm-theory — the paper's analysis toolkit
+//!
+//! The two lemmas the paper presents "of independent interest", plus the
+//! supporting machinery:
+//!
+//! * [`network`] / [`batcher`] — comparator networks (odd-even
+//!   transposition, bubble, Batcher's odd-even merge sort) and the
+//!   [`network::Oblivious`] abstraction the 0-1 principles quantify over;
+//! * [`zero_one`] — the classic 0-1 principle check and the paper's
+//!   **generalized 0-1 principle** (Theorem 3.3): per-`k`-set binary success
+//!   fractions, the `1 − (1−α)(n+1)` permutation bound, and Lemma A.1's
+//!   monotone-map equivalence;
+//! * [`shuffling`] — the **shuffling lemma** (Lemma 4.2): the displacement
+//!   bound `d(n, q, α)` after interleaving sorted parts, with Monte-Carlo
+//!   trials;
+//! * [`lower_bound`] — Lemma 2.1's pass lower bound via the
+//!   Arge–Knudsen–Larsen inequality (2 passes for `M√M` keys, 3 for `M²`,
+//!   at `B = √M`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batcher;
+pub mod bitonic;
+pub mod lower_bound;
+pub mod network;
+pub mod shuffling;
+pub mod zero_one;
+
+pub use batcher::{odd_even_merge, odd_even_merge_sort};
+pub use bitonic::bitonic;
+pub use lower_bound::{av_min_passes, min_io_ops, min_passes, min_passes_ceil};
+pub use network::{bubble, odd_even_transposition, Comparator, Network, Oblivious};
+pub use shuffling::{
+    displacement_bound, displacement_bound_simple, max_displacement, shuffle_parts, unshuffle,
+};
+pub use zero_one::{alpha_exhaustive, binary_fractions_exhaustive, generalized_bound};

@@ -1,0 +1,289 @@
+//! The classic and *generalized* 0-1 principles (paper §3 / Theorem 3.3 and
+//! Appendix A), with the estimation machinery the experiments use.
+//!
+//! **Classic principle:** if an oblivious algorithm sorts all `2^n` binary
+//! sequences, it sorts all sequences.
+//!
+//! **Generalized principle (Theorem 3.3):** let `S_k` be the length-`n`
+//! binary strings with exactly `k` zeros. If a sorting circuit sorts at
+//! least an `α` fraction of `S_k` *for every* `k`, then it sorts at least a
+//! `1 − (1−α)(n+1)` fraction of all input permutations.
+//!
+//! This module measures both sides: per-`k` binary success fractions
+//! (exhaustively for small `n`, by sampling otherwise) and the permutation
+//! success fraction, so experiment E12 can verify the bound — and the
+//! Appendix corollary that it cannot be strengthened to "sorts most binary
+//! strings ⇒ sorts most permutations".
+
+use crate::network::Oblivious;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+fn is_sorted(xs: &[u8]) -> bool {
+    xs.windows(2).all(|w| w[0] <= w[1])
+}
+
+/// Monotone map `f_k` from the Appendix: ranks `1..=k` (of `n`) map to 0,
+/// the rest to 1. `perm` holds distinct ranks in `1..=n`.
+pub fn f_k(perm: &[usize], k: usize) -> Vec<u8> {
+    perm.iter().map(|&p| u8::from(p > k)).collect()
+}
+
+/// Per-`k` success fractions over all `2^n` binary strings, computed
+/// exhaustively (`n ≤ 22`). Returns `frac[k]` = fraction of `S_k` sorted,
+/// for `k = 0..=n` (`k` counts **zeros**, as in the paper).
+pub fn binary_fractions_exhaustive(alg: &impl Oblivious) -> Vec<f64> {
+    let n = alg.lines();
+    assert!(n <= 22, "exhaustive enumeration infeasible for n = {n}");
+    let mut sorted_count = vec![0u64; n + 1];
+    let mut total_count = vec![0u64; n + 1];
+    let mut buf = vec![0u8; n];
+    for mask in 0u64..(1u64 << n) {
+        let mut zeros = 0usize;
+        for (i, b) in buf.iter_mut().enumerate() {
+            let bit = ((mask >> i) & 1) as u8;
+            *b = bit;
+            zeros += usize::from(bit == 0);
+        }
+        alg.apply_u8(&mut buf);
+        total_count[zeros] += 1;
+        if is_sorted(&buf) {
+            sorted_count[zeros] += 1;
+        }
+    }
+    sorted_count
+        .iter()
+        .zip(&total_count)
+        .map(|(&s, &t)| s as f64 / t as f64)
+        .collect()
+}
+
+/// Estimate the fraction of `S_k` the algorithm sorts, by sampling
+/// `samples` uniform `k`-strings.
+pub fn binary_fraction_sampled(
+    alg: &impl Oblivious,
+    k: usize,
+    samples: usize,
+    rng: &mut impl Rng,
+) -> f64 {
+    let n = alg.lines();
+    assert!(k <= n);
+    let mut template: Vec<u8> = (0..n).map(|i| u8::from(i >= k)).collect();
+    let mut ok = 0usize;
+    let mut buf = vec![0u8; n];
+    for _ in 0..samples {
+        template.shuffle(rng);
+        buf.copy_from_slice(&template);
+        alg.apply_u8(&mut buf);
+        ok += usize::from(is_sorted(&buf));
+    }
+    ok as f64 / samples as f64
+}
+
+/// The minimum per-`k` fraction — the `α` of Theorem 3.3.
+pub fn alpha_exhaustive(alg: &impl Oblivious) -> f64 {
+    binary_fractions_exhaustive(alg)
+        .into_iter()
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Theorem 3.3's guarantee: a circuit with per-`k` binary success `≥ α`
+/// sorts at least this fraction of permutations (clamped to `[0, 1]`).
+pub fn generalized_bound(alpha: f64, n: usize) -> f64 {
+    (1.0 - (1.0 - alpha) * (n as f64 + 1.0)).clamp(0.0, 1.0)
+}
+
+/// Estimate the fraction of permutations the algorithm sorts, applying it to
+/// `samples` uniform random permutations of `1..=n` (mapped through any
+/// strictly increasing embedding — values are compared as `u8` ranks when
+/// `n < 256`, otherwise via two-byte split; here `n ≤ 255` is asserted for
+/// the `u8` wire type).
+pub fn permutation_fraction_sampled(
+    alg: &impl Oblivious,
+    samples: usize,
+    rng: &mut impl Rng,
+) -> f64 {
+    let n = alg.lines();
+    assert!(n <= 255, "u8 wire encoding limits n to 255");
+    let mut perm: Vec<u8> = (1..=n as u8).collect();
+    let mut buf = vec![0u8; n];
+    let mut ok = 0usize;
+    for _ in 0..samples {
+        perm.shuffle(rng);
+        buf.copy_from_slice(&perm);
+        alg.apply_u8(&mut buf);
+        ok += usize::from(is_sorted(&buf));
+    }
+    ok as f64 / samples as f64
+}
+
+/// Exhaustive permutation success fraction (for `n ≤ 9`; `9! = 362880`).
+pub fn permutation_fraction_exhaustive(alg: &impl Oblivious) -> f64 {
+    let n = alg.lines();
+    assert!(n <= 9, "exhaustive permutations infeasible for n = {n}");
+    let mut perm: Vec<u8> = (1..=n as u8).collect();
+    let mut ok = 0u64;
+    let mut total = 0u64;
+    // Heap's algorithm, iterative
+    let mut c = vec![0usize; n];
+    let check = |p: &[u8]| {
+        let mut buf = p.to_vec();
+        alg.apply_u8(&mut buf);
+        u64::from(is_sorted(&buf))
+    };
+    ok += check(&perm);
+    total += 1;
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(c[i], i);
+            }
+            ok += check(&perm);
+            total += 1;
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    ok as f64 / total as f64
+}
+
+/// Lemma A.1 (converse direction), checkable form: a circuit sorts the
+/// permutation `σ` iff it sorts `f_k(σ)` for all `k`. Returns whether the
+/// equivalence holds for the given permutation.
+pub fn lemma_a1_holds(alg: &impl Oblivious, perm: &[usize]) -> bool {
+    let n = alg.lines();
+    assert_eq!(perm.len(), n);
+    let mut buf: Vec<u8> = perm.iter().map(|&p| p as u8).collect();
+    alg.apply_u8(&mut buf);
+    let sorts_perm = is_sorted(&buf);
+    let sorts_all_fk = (0..=n).all(|k| {
+        let mut b = f_k(perm, k);
+        alg.apply_u8(&mut b);
+        is_sorted(&b)
+    });
+    sorts_perm == sorts_all_fk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{odd_even_transposition, Network};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn f_k_is_the_monotone_threshold_map() {
+        let perm = [3usize, 1, 4, 2];
+        assert_eq!(f_k(&perm, 0), vec![1, 1, 1, 1]);
+        assert_eq!(f_k(&perm, 2), vec![1, 0, 1, 0]);
+        assert_eq!(f_k(&perm, 4), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn correct_network_has_alpha_one_and_sorts_all_perms() {
+        let net = odd_even_transposition(6);
+        let fr = binary_fractions_exhaustive(&net);
+        assert_eq!(fr.len(), 7);
+        assert!(fr.iter().all(|&f| f == 1.0));
+        assert_eq!(alpha_exhaustive(&net), 1.0);
+        assert_eq!(permutation_fraction_exhaustive(&net), 1.0);
+    }
+
+    #[test]
+    fn truncated_network_violates_binary_somewhere() {
+        let net = odd_even_transposition(6).truncated(3);
+        let alpha = alpha_exhaustive(&net);
+        assert!(alpha < 1.0);
+    }
+
+    #[test]
+    fn theorem_3_3_bound_holds_for_truncated_networks() {
+        // For a family of almost-sorting circuits, the measured permutation
+        // success fraction must be ≥ 1 − (1−α)(n+1).
+        for cut in 1..=6usize {
+            let net = odd_even_transposition(7).truncated(cut);
+            let alpha = alpha_exhaustive(&net);
+            let bound = generalized_bound(alpha, 7);
+            let actual = permutation_fraction_exhaustive(&net);
+            assert!(
+                actual + 1e-12 >= bound,
+                "cut={cut}: actual {actual} < bound {bound} (alpha={alpha})"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_a1_equivalence_on_random_permutations() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for cut in [0usize, 2, 5] {
+            let net = odd_even_transposition(8).truncated(cut);
+            for _ in 0..50 {
+                let mut perm: Vec<usize> = (1..=8).collect();
+                perm.shuffle(&mut rng);
+                assert!(lemma_a1_holds(&net, &perm));
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_fractions_agree_with_exhaustive() {
+        let net = odd_even_transposition(8).truncated(4);
+        let exact = binary_fractions_exhaustive(&net);
+        let mut rng = StdRng::seed_from_u64(42);
+        for k in 0..=8usize {
+            let est = binary_fraction_sampled(&net, k, 4000, &mut rng);
+            assert!(
+                (est - exact[k]).abs() < 0.05,
+                "k={k}: sampled {est} vs exact {}",
+                exact[k]
+            );
+        }
+    }
+
+    #[test]
+    fn generalized_bound_clamps() {
+        assert_eq!(generalized_bound(1.0, 10), 1.0);
+        assert_eq!(generalized_bound(0.0, 10), 0.0);
+        let b = generalized_bound(0.999, 9);
+        assert!((b - (1.0 - 0.001 * 10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corollary_strengthening_fails() {
+        // Appendix corollary context: a circuit can sort MOST binary strings
+        // (the popcount-balanced ones dominate) while failing badly on
+        // permutations. Build a circuit that only fixes the middle: sorts
+        // strings whose zero-count is ~n/2 but no others.
+        let n = 8usize;
+        let mut net = Network::new(n);
+        // A full sorter on the middle 6 wires only — extreme k-sets break.
+        for round in 0..6 {
+            let mut i = 1 + round % 2;
+            while i + 1 < n - 1 {
+                net.push(i, i + 1);
+                i += 2;
+            }
+        }
+        let fr = binary_fractions_exhaustive(&net);
+        // Weighted total fraction over all 2^n strings:
+        let mut total_sorted = 0.0;
+        let mut total = 0.0;
+        for (k, &f) in fr.iter().enumerate() {
+            let binom = (0..k).fold(1.0, |acc, i| acc * (n - i) as f64 / (i + 1) as f64);
+            total_sorted += f * binom;
+            total += binom;
+        }
+        let overall_binary = total_sorted / total;
+        let perm_fraction = permutation_fraction_exhaustive(&net);
+        // It sorts a noticeable share of binary strings but almost no
+        // permutations — most binary ≠ most permutations.
+        assert!(overall_binary > 0.2, "binary fraction {overall_binary}");
+        assert!(perm_fraction < 0.05, "perm fraction {perm_fraction}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Watch the 0-1 dirty band shrink — the structural invariant behind
+//! every correctness proof in the paper (Theorem 3.1's "at most √M/2
+//! dirty rows", the shuffling lemma's displacement window, Shearsort's
+//! halving).
+//!
+//! Builds a 0-1 mesh, runs Shearsort phase by phase printing the dirty-row
+//! count, then shows the same contraction inside `ThreePass1`'s pipeline
+//! and the shuffling lemma's displacement measurement.
+//!
+//! ```text
+//! cargo run --release -p pdm-integration --example dirty_bands
+//! ```
+
+use pdm_mesh::{dirty_row_count, Mesh};
+use pdm_model::prelude::*;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+fn main() -> Result<()> {
+    let mut rng = rand::thread_rng();
+
+    // 1. Shearsort's halving principle on a 64×64 0-1 mesh.
+    let side = 64usize;
+    let k = rng.gen_range(0..side * side);
+    let mut bits: Vec<u8> = (0..side * side).map(|i| u8::from(i >= k)).collect();
+    bits.shuffle(&mut rng);
+    let mut mesh = Mesh::from_vec(side, side, bits);
+    println!("Shearsort on a {side}x{side} 0-1 mesh ({k} zeros):");
+    println!("  start: {} dirty rows", dirty_row_count(&mesh, 0, 1));
+    for phase in 1..=pdm_mesh::shearsort::phases_needed(side) {
+        pdm_mesh::shearsort::shear_phase(&mut mesh);
+        println!(
+            "  after phase {phase}: {} dirty rows (halving principle)",
+            dirty_row_count(&mesh, 0, 1)
+        );
+    }
+
+    // 2. ThreePass1's invariant: ≤ √M/2 dirty rows entering the cleanup.
+    let b = 32usize;
+    let n = b * b * b;
+    let k = rng.gen_range(1..n);
+    let mut data: Vec<u64> = (0..n).map(|i| u64::from(i >= k)).collect();
+    data.shuffle(&mut rng);
+    let mut pdm: Pdm<u64> = Pdm::new(PdmConfig::square(4, b))?;
+    let input = pdm.alloc_region_for_keys(n)?;
+    pdm.ingest(&input, &data)?;
+    for alternate in [true, false] {
+        let mut pdm: Pdm<u64> = Pdm::new(PdmConfig::square(4, b))?;
+        let input = pdm.alloc_region_for_keys(n)?;
+        pdm.ingest(&input, &data)?;
+        let d = pdm_sort::three_pass1::dirty_rows_after_pass2(
+            &mut pdm,
+            &input,
+            n,
+            pdm_sort::three_pass1::Options {
+                alternate_directions: alternate,
+            },
+            0,
+            1,
+        )?;
+        println!(
+            "\nThreePass1 (N = M√M = {n}, alternating = {alternate}): {d} dirty rows after pass 2 (bound: √M/2 = {})",
+            b / 2
+        );
+    }
+
+    // 3. The shuffling lemma's displacement window.
+    let (sn, q) = (1usize << 16, 1usize << 8);
+    let trial = pdm_theory::shuffling::trial_max_displacement(sn, q, &mut rng);
+    let bound = pdm_theory::displacement_bound(sn, q, 2.0);
+    println!(
+        "\nShuffling lemma (n = {sn}, q = {q}): measured max displacement {trial}, bound {bound:.0}"
+    );
+    println!("(the expected-pass algorithms pick N so this window fits one memory load)");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Integer sorting of 32-bit keys — the paper's §7 motivation:
+//! "weather data, market data … the key size is no more than 32 bits.
+//! The same is true for personal data kept by governments."
+//!
+//! Generates a synthetic weather-station archive (station id · hour
+//! packed into a 32-bit key, with a payload handle), sorts it with
+//! `RadixSort`, and compares against the general-purpose comparison path.
+//!
+//! ```text
+//! cargo run --release -p pdm-integration --example weather_keys
+//! ```
+
+use pdm_model::prelude::*;
+use rand::Rng;
+
+fn main() -> Result<()> {
+    let cfg = PdmConfig::square(4, 64); // M = 4096, B = 64, R = M/B = 64
+    let n = 2_000_000usize;
+    println!("synthesizing {n} weather observations (32-bit keys + payload)…");
+    let mut rng = rand::thread_rng();
+    let data: Vec<Tagged> = (0..n as u64)
+        .map(|i| {
+            let station: u32 = rng.gen_range(0..50_000);
+            let hour: u32 = rng.gen_range(0..87_600); // 10 years hourly
+            let key = ((station as u64) << 17) | hour as u64; // 32-ish bits
+            Tagged::new(key, i) // payload = record locator
+        })
+        .collect();
+
+    // RadixSort: passes grow like log(N/M)/log(M/B), independent of key
+    // comparisons.
+    let mut pdm: Pdm<Tagged> = Pdm::new(cfg)?;
+    let input = pdm.alloc_region_for_keys(n)?;
+    pdm.ingest(&input, &data)?;
+    pdm.reset_stats();
+    let rep = pdm_sort::radix_sort(&mut pdm, &input, n, 34)?;
+    println!(
+        "RadixSort:   {:>6.3} read passes, {:>6.3} write passes, {} rounds, {} in-memory segments",
+        rep.report.read_passes, rep.report.write_passes, rep.max_rounds, rep.segments_sorted
+    );
+    let sorted = pdm.inspect_prefix(&rep.report.output, n)?;
+    assert!(sorted.windows(2).all(|w| w[0].key <= w[1].key));
+
+    // The comparison-based route for the same data (SevenPass territory —
+    // n exceeds M√M here).
+    let mut pdm2: Pdm<Tagged> = Pdm::new(cfg)?;
+    let input2 = pdm2.alloc_region_for_keys(n)?;
+    pdm2.ingest(&input2, &data)?;
+    pdm2.reset_stats();
+    let rep2 = pdm_sort::pdm_sort(&mut pdm2, &input2, n)?;
+    println!(
+        "{}:   {:>6.3} read passes, {:>6.3} write passes",
+        rep2.algorithm, rep2.read_passes, rep2.write_passes
+    );
+    let sorted2 = pdm2.inspect_prefix(&rep2.output, n)?;
+    assert_eq!(sorted, sorted2, "both paths must agree");
+    println!("both paths verified identical ✓");
+    println!(
+        "(the paper's §7 point: for bounded integer keys the radix route beats\n the comparison route once N ≫ M√M — Theorem 7.2's pass count has no\n log(N!)-style comparison term)"
+    );
+    Ok(())
+}

@@ -1,0 +1,176 @@
+//! Cross-algorithm consistency: different algorithms, one truth.
+//!
+//! All of the paper's sorters and all baselines must produce the *same*
+//! output on the same input; pass counts must respect the paper's
+//! ordering; capacity formulas must nest the way §8 describes.
+
+use pdm_model::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn run_all_at_m_sqrt_m(data: &[u64], b: usize) -> Vec<(&'static str, Vec<u64>, f64)> {
+    let n = data.len();
+    let mut results = Vec::new();
+    macro_rules! go {
+        ($name:literal, $f:expr) => {{
+            let mut pdm: Pdm<u64> = Pdm::new(PdmConfig::square(4, b)).unwrap();
+            let input = pdm.alloc_region_for_keys(n).unwrap();
+            pdm.ingest(&input, data).unwrap();
+            pdm.reset_stats();
+            #[allow(clippy::redundant_closure_call)]
+            let (out, passes) = $f(&mut pdm, &input, n);
+            let got = pdm.inspect_prefix(&out, n).unwrap();
+            results.push(($name, got, passes));
+        }};
+    }
+    go!("three_pass1", |p: &mut Pdm<u64>, r: &Region, n| {
+        let rep = pdm_sort::three_pass1(p, r, n).unwrap();
+        (rep.output, rep.read_passes)
+    });
+    go!("three_pass2", |p: &mut Pdm<u64>, r: &Region, n| {
+        let rep = pdm_sort::three_pass2(p, r, n).unwrap();
+        (rep.output, rep.read_passes)
+    });
+    go!("expected_two_pass", |p: &mut Pdm<u64>, r: &Region, n| {
+        let rep = pdm_sort::expected_two_pass(p, r, n).unwrap();
+        (rep.output, rep.read_passes)
+    });
+    go!("exp_two_pass_mesh", |p: &mut Pdm<u64>, r: &Region, n| {
+        let rep = pdm_sort::exp_two_pass_mesh(p, r, n).unwrap();
+        (rep.output, rep.read_passes)
+    });
+    go!("seven_pass", |p: &mut Pdm<u64>, r: &Region, n| {
+        let rep = pdm_sort::seven_pass(p, r, n).unwrap();
+        (rep.output, rep.read_passes)
+    });
+    go!("mergesort", |p: &mut Pdm<u64>, r: &Region, n| {
+        let (out, rp, _) = pdm_baseline::merge_sort(p, r, n).unwrap();
+        (out, rp)
+    });
+    results
+}
+
+#[test]
+fn every_algorithm_agrees_on_the_same_input() {
+    let b = 16usize;
+    let n = b * b * b;
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut data: Vec<u64> = (0..n as u64).map(|i| i % 977).collect();
+    data.shuffle(&mut rng);
+    let results = run_all_at_m_sqrt_m(&data, b);
+    let reference = &results[0].1;
+    for (name, got, _) in &results {
+        assert_eq!(got, reference, "{name} disagrees");
+    }
+}
+
+#[test]
+fn pass_counts_respect_the_paper_ordering() {
+    // On a random permutation at N = M√M: expected-2 < deterministic-3,
+    // and SevenPass (made for M², wasteful here) costs the most.
+    let b = 16usize;
+    let n = b * b * b;
+    let mut rng = StdRng::seed_from_u64(12);
+    let mut data: Vec<u64> = (0..n as u64).collect();
+    data.shuffle(&mut rng);
+    let results = run_all_at_m_sqrt_m(&data, b);
+    let get = |name: &str| {
+        results
+            .iter()
+            .find(|(n2, _, _)| *n2 == name)
+            .map(|(_, _, p)| *p)
+            .unwrap()
+    };
+    let e2p = get("expected_two_pass");
+    let tp1 = get("three_pass1");
+    let tp2 = get("three_pass2");
+    let sp = get("seven_pass");
+    // this permutation should not trip the fallback at N = M√M… unless it
+    // does, in which case e2p = 5; accept but require the common case
+    if e2p < 4.0 {
+        assert!(e2p < tp1, "expected two pass {e2p} !< three pass {tp1}");
+    }
+    assert_eq!(tp1, tp2, "both three-pass algorithms cost the same");
+    assert!(sp > tp2, "seven pass {sp} should exceed three pass {tp2}");
+}
+
+#[test]
+fn capacity_formulas_nest_correctly() {
+    // §8's story: cap(E2P) < M√M = cap(3P) < cap(E3P struct) ≤ cap(E6P) < M²
+    for b in [32usize, 64] {
+        let m = b * b;
+        let c2 = pdm_sort::expected_two_pass::capacity(m, 2.0);
+        let c3 = pdm_sort::three_pass2::capacity(m);
+        let c3e = pdm_sort::expected_three_pass::structural_capacity(m, 2.0);
+        let c6 = pdm_sort::seven_pass::capacity_six(m, 2.0);
+        let c7 = pdm_sort::seven_pass::capacity(m);
+        assert!(c2 < c3, "b={b}");
+        assert!(c3 <= c3e, "b={b}");
+        assert!(c3e <= c6, "b={b}: {c3e} > {c6}");
+        assert!(c6 < c7, "b={b}");
+        // and the baselines: cc < 3P2 at the same memory
+        let bcc = 1usize << (m.trailing_zeros() / 3);
+        let ccc = pdm_baseline::cc_columnsort::capacity(&PdmConfig::new(4, bcc, m));
+        assert!(ccc < c3, "b={b}: cc {ccc} !< 3P2 {c3}");
+        // subblock beats cc (that is its reason to exist)
+        let csb = pdm_baseline::subblock::capacity(&PdmConfig::new(4, bcc, m));
+        assert!(csb >= ccc, "b={b}: subblock {csb} < cc {ccc}");
+    }
+}
+
+#[test]
+fn expected_algorithms_never_lose_correctness_to_fallback() {
+    // adversarial inputs: fallback path must still agree with reference
+    let b = 16usize;
+    let n = b * b * b;
+    let data: Vec<u64> = (0..n as u64).rev().collect();
+    let mut want = data.clone();
+    want.sort_unstable();
+    for algo in ["expected_two_pass", "exp_two_pass_mesh"] {
+        let mut pdm: Pdm<u64> = Pdm::new(PdmConfig::square(2, b)).unwrap();
+        let input = pdm.alloc_region_for_keys(n).unwrap();
+        pdm.ingest(&input, &data).unwrap();
+        let rep = match algo {
+            "expected_two_pass" => pdm_sort::expected_two_pass(&mut pdm, &input, n).unwrap(),
+            _ => pdm_sort::exp_two_pass_mesh(&mut pdm, &input, n).unwrap(),
+        };
+        assert!(rep.fell_back, "{algo} must fall back on reverse input");
+        assert_eq!(pdm.inspect_prefix(&rep.output, n).unwrap(), want);
+    }
+}
+
+#[test]
+fn lower_bound_is_respected_by_every_measured_run() {
+    let b = 16usize;
+    let m = b * b;
+    let n = b * b * b;
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut data: Vec<u64> = (0..n as u64).collect();
+    data.shuffle(&mut rng);
+    let lb = pdm_theory::min_passes(n, m, b);
+    for (name, _, passes) in run_all_at_m_sqrt_m(&data, b) {
+        assert!(
+            passes + 1e-9 >= lb,
+            "{name} measured {passes} beats the lower bound {lb}"
+        );
+    }
+}
+
+#[test]
+fn in_memory_lmm_reference_agrees_with_pdm_three_pass2() {
+    // the out-of-core ThreePass2 is the PDM specialization of lmm_sort
+    let b = 16usize;
+    let n = b * b * b;
+    let mut rng = StdRng::seed_from_u64(14);
+    let mut data: Vec<u64> = (0..n as u64).collect();
+    data.shuffle(&mut rng);
+
+    let in_memory = pdm_lmm::lmm_sort(&data, b, b, b * b);
+
+    let mut pdm: Pdm<u64> = Pdm::new(PdmConfig::square(4, b)).unwrap();
+    let input = pdm.alloc_region_for_keys(n).unwrap();
+    pdm.ingest(&input, &data).unwrap();
+    let rep = pdm_sort::three_pass2(&mut pdm, &input, n).unwrap();
+    assert_eq!(pdm.inspect_prefix(&rep.output, n).unwrap(), in_memory);
+}

@@ -1,0 +1,156 @@
+//! Fault injection: every algorithm must turn a storage failure into a
+//! clean `Err` — no panic, no corrupted-but-Ok output, and no leaked
+//! tracked memory (all `MemGuard`s released on the error path).
+
+use pdm_model::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+type FlakyPdm = Pdm<u64, FlakyStorage<MemStorage<u64>>>;
+
+fn machine(mode: FailMode, d: usize, b: usize) -> FlakyPdm {
+    let inner = MemStorage::new(d, b);
+    Pdm::with_storage(PdmConfig::square(d, b), FlakyStorage::new(inner, mode)).unwrap()
+}
+
+fn workload(n: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut v: Vec<u64> = (0..n as u64).collect();
+    v.shuffle(&mut rng);
+    v
+}
+
+/// Run `algo` against a machine that fails the `k`-th read; the result must
+/// be either a clean success (fault landed outside the algorithm's reads —
+/// possible for later k) or a clean error. Either way the memory tracker
+/// must drain back to zero.
+fn check_fault_at<F>(k: u64, algo: F)
+where
+    F: FnOnce(&mut FlakyPdm, &Region, usize) -> Result<Region>,
+{
+    let b = 8usize;
+    let n = 512usize;
+    let data = workload(n);
+    let mut pdm = machine(FailMode::NthRead(k), 2, b);
+    let input = pdm.alloc_region_for_keys(n).unwrap();
+    pdm.ingest(&input, &data).unwrap();
+    let result = algo(&mut pdm, &input, n);
+    match result {
+        Ok(out) => {
+            // fault didn't hit this run's reads — output must still be right
+            let got = pdm.inspect_prefix(&out, n).unwrap();
+            let mut want = data.clone();
+            want.sort_unstable();
+            assert_eq!(got, want, "fault at read {k} silently corrupted output");
+        }
+        Err(e) => {
+            assert!(
+                matches!(e, PdmError::Io(_)),
+                "fault at read {k} surfaced as unexpected error: {e}"
+            );
+        }
+    }
+    assert_eq!(
+        pdm.mem().current(),
+        0,
+        "fault at read {k} leaked tracked memory"
+    );
+}
+
+#[test]
+fn three_pass2_fails_cleanly_at_any_read() {
+    // sweep fault positions across all three passes (192 block reads total)
+    for k in [0u64, 1, 30, 64, 100, 128, 170, 191, 10_000] {
+        check_fault_at(k, |pdm, r, n| {
+            pdm_sort::three_pass2(pdm, r, n).map(|rep| rep.output)
+        });
+    }
+}
+
+#[test]
+fn three_pass1_fails_cleanly_at_any_read() {
+    for k in [0u64, 40, 90, 150, 191] {
+        check_fault_at(k, |pdm, r, n| {
+            pdm_sort::three_pass1(pdm, r, n).map(|rep| rep.output)
+        });
+    }
+}
+
+#[test]
+fn expected_two_pass_fails_cleanly_at_any_read() {
+    for k in [0u64, 50, 100, 127] {
+        check_fault_at(k, |pdm, r, n| {
+            pdm_sort::expected_two_pass(pdm, r, n).map(|rep| rep.output)
+        });
+    }
+}
+
+#[test]
+fn seven_pass_fails_cleanly_at_any_read() {
+    for k in [0u64, 100, 300, 447] {
+        check_fault_at(k, |pdm, r, n| {
+            pdm_sort::seven_pass(pdm, r, n).map(|rep| rep.output)
+        });
+    }
+}
+
+#[test]
+fn radix_and_integer_sorts_fail_cleanly() {
+    for k in [0u64, 64, 130] {
+        check_fault_at(k, |pdm, r, n| {
+            pdm_sort::radix_sort(pdm, r, n, 64).map(|rep| rep.report.output)
+        });
+    }
+    let b = 8usize;
+    let n = 512usize;
+    let data: Vec<u64> = (0..n).map(|i| (i % 8) as u64).collect();
+    let mut pdm = machine(FailMode::NthRead(20), 2, b);
+    let input = pdm.alloc_region_for_keys(n).unwrap();
+    pdm.ingest(&input, &data).unwrap();
+    let res = pdm_sort::integer_sort(&mut pdm, &input, n, 8);
+    assert!(res.is_err() || pdm.mem().current() == 0);
+    assert_eq!(pdm.mem().current(), 0);
+}
+
+#[test]
+fn write_faults_fail_cleanly_too() {
+    let b = 8usize;
+    let n = 512usize;
+    let data = workload(n);
+    for k in [0u64, 32, 100, 180] {
+        let inner = MemStorage::new(2, b);
+        let mut pdm: FlakyPdm =
+            Pdm::with_storage(PdmConfig::square(2, b), FlakyStorage::new(inner, FailMode::NthWrite(k)))
+                .unwrap();
+        let input = pdm.alloc_region_for_keys(n).unwrap();
+        // the ingest itself writes; skip configs where it eats the fault
+        if pdm.ingest(&input, &data).is_err() {
+            continue;
+        }
+        let res = pdm_sort::three_pass2(&mut pdm, &input, n);
+        assert!(res.is_err(), "write fault at {k} was swallowed");
+        assert_eq!(pdm.mem().current(), 0, "write fault at {k} leaked memory");
+    }
+}
+
+#[test]
+fn dead_disk_fails_every_algorithm_cleanly() {
+    let b = 8usize;
+    let n = 512usize;
+    let data = workload(n);
+    let mut pdm = machine(FailMode::Disk(1), 2, b);
+    let input = pdm.alloc_region_for_keys(n).unwrap();
+    // ingest hits disk 1 immediately
+    assert!(pdm.ingest(&input, &data).is_err());
+    assert_eq!(pdm.mem().current(), 0);
+}
+
+#[test]
+fn baseline_mergesort_fails_cleanly() {
+    for k in [0u64, 64, 128] {
+        check_fault_at(k, |pdm, r, n| {
+            pdm_baseline::merge_sort(pdm, r, n).map(|(out, _, _)| out)
+        });
+    }
+}

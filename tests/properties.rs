@@ -1,0 +1,260 @@
+//! Property-based tests (proptest): sortedness + multiset preservation for
+//! every algorithm under arbitrary inputs, plus the analysis lemmas'
+//! invariants.
+
+use pdm_model::prelude::*;
+use proptest::prelude::*;
+
+fn check_sorts(
+    data: &[u64],
+    f: impl FnOnce(&mut Pdm<u64>, &Region, usize) -> Region,
+    d: usize,
+    b: usize,
+) {
+    let n = data.len();
+    let mut pdm: Pdm<u64> = Pdm::new(PdmConfig::square(d, b)).unwrap();
+    let input = pdm.alloc_region_for_keys(n).unwrap();
+    pdm.ingest(&input, data).unwrap();
+    let out = f(&mut pdm, &input, n);
+    let got = pdm.inspect_prefix(&out, n).unwrap();
+    let mut want = data.to_vec();
+    want.sort_unstable();
+    assert_eq!(got, want);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn three_pass1_sorts_anything(data in prop::collection::vec(any::<u64>(), 1..512)) {
+        check_sorts(&data, |p, r, n| pdm_sort::three_pass1(p, r, n).unwrap().output, 2, 8);
+    }
+
+    #[test]
+    fn three_pass2_sorts_anything(data in prop::collection::vec(any::<u64>(), 1..512)) {
+        check_sorts(&data, |p, r, n| pdm_sort::three_pass2(p, r, n).unwrap().output, 2, 8);
+    }
+
+    #[test]
+    fn expected_two_pass_sorts_anything(data in prop::collection::vec(any::<u64>(), 1..512)) {
+        check_sorts(&data, |p, r, n| pdm_sort::expected_two_pass(p, r, n).unwrap().output, 2, 8);
+    }
+
+    #[test]
+    fn exp_two_pass_mesh_sorts_anything(data in prop::collection::vec(any::<u64>(), 1..512)) {
+        check_sorts(&data, |p, r, n| pdm_sort::exp_two_pass_mesh(p, r, n).unwrap().output, 2, 8);
+    }
+
+    #[test]
+    fn seven_pass_sorts_anything(data in prop::collection::vec(any::<u64>(), 1..2048)) {
+        check_sorts(&data, |p, r, n| pdm_sort::seven_pass(p, r, n).unwrap().output, 2, 8);
+    }
+
+    #[test]
+    fn dispatcher_sorts_anything(data in prop::collection::vec(any::<u64>(), 1..3000)) {
+        check_sorts(&data, |p, r, n| pdm_sort::pdm_sort(p, r, n).unwrap().output, 2, 8);
+    }
+
+    #[test]
+    fn radix_sort_sorts_any_integers(data in prop::collection::vec(any::<u64>(), 1..1500)) {
+        check_sorts(&data, |p, r, n| pdm_sort::radix_sort(p, r, n, 64).unwrap().report.output, 2, 8);
+    }
+
+    #[test]
+    fn integer_sort_sorts_bounded(data in prop::collection::vec(0u64..8, 1..1500)) {
+        check_sorts(&data, |p, r, n| pdm_sort::integer_sort(p, r, n, 8).unwrap().output, 2, 8);
+    }
+
+    #[test]
+    fn mergesort_baseline_sorts_anything(data in prop::collection::vec(any::<u64>(), 1..2000)) {
+        check_sorts(&data, |p, r, n| pdm_baseline::merge_sort(p, r, n).unwrap().0, 2, 8);
+    }
+
+    #[test]
+    fn cc_columnsort_sorts_anything(data in prop::collection::vec(any::<u64>(), 1..2000)) {
+        // B = 8 = M^{1/3}, M = 512; capacity = 2048
+        let n = data.len();
+        let mut pdm: Pdm<u64> = Pdm::new(PdmConfig::new(2, 8, 512)).unwrap();
+        let input = pdm.alloc_region_for_keys(n).unwrap();
+        pdm.ingest(&input, &data).unwrap();
+        let rep = pdm_baseline::cc_columnsort(&mut pdm, &input, n).unwrap();
+        let got = pdm.inspect_prefix(&rep.output, n).unwrap();
+        let mut want = data.clone();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    // ---- analysis invariants ----
+
+    #[test]
+    fn lmm_sort_equals_std_sort(data in prop::collection::vec(any::<u32>(), 0..2000),
+                                l in 2usize..6, m in 2usize..6) {
+        let got = pdm_lmm::lmm_sort(&data, l, m, 32);
+        let mut want = data.clone();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn cleanup_fixes_any_window_shuffle(perm_seed in 0u64..1000, d_exp in 2u32..6) {
+        use rand::SeedableRng;
+        use rand::seq::SliceRandom;
+        let d = 1usize << d_exp;
+        let n = d * 16;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(perm_seed);
+        let mut xs: Vec<u32> = (0..n as u32).collect();
+        for w in xs.chunks_mut(d) {
+            w.shuffle(&mut rng);
+        }
+        pdm_lmm::cleanup_displaced(&mut xs, d);
+        prop_assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn shuffle_unshuffle_roundtrip(data in prop::collection::vec(any::<u32>(), 1..512),
+                                   m in 1usize..8) {
+        let n = data.len() - data.len() % m;
+        if n == 0 { return Ok(()); }
+        let parts = pdm_theory::unshuffle(&data[..n], m);
+        let z = pdm_theory::shuffle_parts(&parts);
+        prop_assert_eq!(&z[..], &data[..n]);
+    }
+
+    #[test]
+    fn batcher_network_sorts_random(data in prop::collection::vec(any::<u16>(), 1..64)) {
+        let net = pdm_theory::odd_even_merge_sort(data.len());
+        let mut v = data.clone();
+        net.apply(&mut v);
+        prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn displacement_bound_after_shuffle(seed in 0u64..500) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (n, q) = (1usize << 12, 1usize << 6);
+        let d = pdm_theory::shuffling::trial_max_displacement(n, q, &mut rng);
+        let bound = pdm_theory::displacement_bound(n, q, 2.0);
+        // probability of violation ≤ n^-2 per trial — treat as never
+        prop_assert!((d as f64) <= bound, "displacement {} > bound {}", d, bound);
+    }
+
+    #[test]
+    fn mem_tracker_never_exceeds_limit(ops in prop::collection::vec((1usize..64, any::<bool>()), 0..64)) {
+        let t = pdm_model::mem::MemTracker::new(256);
+        let mut guards = Vec::new();
+        for (sz, release) in ops {
+            if release && !guards.is_empty() {
+                guards.pop();
+            } else if let Ok(g) = t.acquire(sz) {
+                guards.push(g);
+            }
+            prop_assert!(t.current() <= 256);
+            prop_assert!(t.peak() <= 256);
+        }
+    }
+
+    #[test]
+    fn region_addressing_is_a_bijection(nb in 1usize..64, d in 1usize..8, start in 0usize..8) {
+        let start = start % d;
+        let r = pdm_model::Region::new(0, start, nb, d, 4);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..nb {
+            let a = r.addr(i).unwrap();
+            prop_assert!(a.disk < d);
+            prop_assert!(seen.insert((a.disk, a.slot)), "duplicate physical address");
+        }
+    }
+
+    #[test]
+    fn distribute_preserves_multiset_and_occupancy(data in prop::collection::vec(0u64..8, 1..2000),
+                                                   packed in any::<bool>()) {
+        use pdm_sort::integer_sort::{distribute, FlushMode, Source};
+        let mode = if packed { FlushMode::Packed } else { FlushMode::PerPhase };
+        let mut pdm: Pdm<u64> = Pdm::new(PdmConfig::square(2, 8)).unwrap();
+        let input = pdm.alloc_region_for_keys(data.len()).unwrap();
+        pdm.ingest(&input, &data).unwrap();
+        let src = Source::Region(&input, data.len());
+        let buckets = distribute(&mut pdm, &src, 8, mode, |k| *k as usize).unwrap();
+        // per-bucket totals match the histogram
+        let mut hist = [0usize; 8];
+        for &k in &data { hist[k as usize] += 1; }
+        prop_assert_eq!(buckets.total, data.len());
+        for (v, run) in buckets.runs.iter().enumerate() {
+            prop_assert_eq!(run.total, hist[v], "bucket {}", v);
+            // block occupancy sums to the run total, each ≤ B
+            let occ: usize = run.block_keys.iter().sum();
+            prop_assert_eq!(occ, run.total);
+            prop_assert!(run.block_keys.iter().all(|&c| c <= 8 && c > 0));
+        }
+        // reading the runs back yields exactly the keys of each bucket
+        for (v, run) in buckets.runs.iter().enumerate() {
+            let mut got = Vec::new();
+            let rsrc = Source::Run(run);
+            rsrc.for_each_chunk(&mut pdm, 64, |_p, ks| { got.extend_from_slice(ks); Ok(()) }).unwrap();
+            prop_assert_eq!(got.len(), hist[v]);
+            prop_assert!(got.iter().all(|&k| k == v as u64));
+        }
+    }
+
+    #[test]
+    fn cleaner_is_exactly_a_sorter_for_small_displacement(
+        windows in prop::collection::vec(prop::collection::vec(any::<u16>(), 8..9), 1..12)
+    ) {
+        // Feed w-key windows of a sequence where every key is within w of
+        // its sorted position (constructed by sorting then window-local
+        // shuffles): the cleaner must emit the global sort.
+        use pdm_sort::common::{Cleaner, RegionEmitter};
+        let w = 8usize;
+        let mut all: Vec<u64> = windows.iter().flatten().map(|&x| x as u64).collect();
+        all.sort_unstable();
+        // local shuffle within windows (displacement < w)
+        let mut local = all.clone();
+        for chunk in local.chunks_mut(w) { chunk.reverse(); }
+        let n = local.len();
+
+        let mut pdm: Pdm<u64> = Pdm::new(PdmConfig::square(2, 8)).unwrap();
+        let out = pdm.alloc_region_for_keys(n.next_multiple_of(w)).unwrap();
+        let mut em = RegionEmitter::new(out);
+        let mut cleaner = Cleaner::new(&pdm, w).unwrap();
+        for chunk in local.chunks(w) {
+            let mut padded = chunk.to_vec();
+            padded.resize(w, u64::MAX);
+            cleaner.feed_keys(&padded);
+            cleaner.process(&mut pdm, &mut |p, ks| em.emit(p, ks)).unwrap();
+        }
+        let (emitted, clean) = cleaner.finish(&mut pdm, &mut |p, ks| em.emit(p, ks)).unwrap();
+        prop_assert!(clean);
+        let got = pdm.inspect_prefix(&out, n).unwrap();
+        prop_assert_eq!(&got[..], &all[..]);
+        prop_assert!(emitted >= n);
+    }
+
+    #[test]
+    fn region_split_partitions_physical_blocks(nb in 1usize..96, parts in 1usize..8) {
+        prop_assume!(nb % parts == 0);
+        let r = pdm_model::Region::new(0, 0, nb, 4, 8);
+        let subs = r.split(parts).unwrap();
+        let mut all: Vec<_> = Vec::new();
+        for s in &subs {
+            for i in 0..s.len_blocks() {
+                all.push(s.addr(i).unwrap());
+            }
+        }
+        let direct: Vec<_> = (0..nb).map(|i| r.addr(i).unwrap()).collect();
+        prop_assert_eq!(all, direct);
+    }
+
+    #[test]
+    fn stream_roundtrip_any_data(data in prop::collection::vec(any::<u64>(), 0..600)) {
+        let mut pdm: Pdm<u64> = Pdm::new(PdmConfig::new(2, 8, 128)).unwrap();
+        let r = pdm.alloc_region_for_keys(data.len().max(1)).unwrap();
+        let mut w = RunWriter::striped(&pdm, r).unwrap();
+        w.push_slice(&mut pdm, &data).unwrap();
+        w.finish(&mut pdm).unwrap();
+        let mut rd = RunReader::new(&pdm, r, data.len(), 2).unwrap();
+        let mut got = Vec::new();
+        rd.take_into(&mut pdm, data.len(), &mut got).unwrap();
+        prop_assert_eq!(got, data);
+    }
+}
