@@ -434,6 +434,8 @@ pub fn e8_seven_pass() {
     let mut t = Table::new(&[
         "b=√M", "N = M²", "read passes", "write passes", "parallel eff", "sorted", "claim",
     ]);
+    let mut breakdown: Vec<PhaseStats> = Vec::new();
+    let mut breakdown_n = 0usize;
     for b in [8usize, 16, 32] {
         let m = b * b;
         let n = m * m;
@@ -451,6 +453,31 @@ pub fn e8_seven_pass() {
             f3(pdm.stats().read_parallel_efficiency(4)),
             sorted_ok(&mut pdm, &rep.output, &input).to_string(),
             "7".into(),
+        ]);
+        if b == 32 {
+            breakdown = rep.phases.clone();
+            breakdown_n = n;
+        }
+    }
+    t.print();
+    print_phase_breakdown("b = 32", breakdown_n, 4, 32, &breakdown);
+}
+
+/// Print the per-phase pass breakdown a [`pdm_sort::SortReport`] now
+/// carries: where each of the budgeted passes went.
+fn print_phase_breakdown(label: &str, n: usize, d: usize, b: usize, phases: &[PhaseStats]) {
+    if phases.is_empty() {
+        return;
+    }
+    println!("per-phase passes ({label}):");
+    let pass_steps = (n.max(1) as f64 / (d * b) as f64).max(1e-9);
+    let mut t = Table::new(&["phase", "read passes", "write passes", "mem peak"]);
+    for p in phases {
+        t.row(&[
+            p.name.clone(),
+            f3(p.read_steps as f64 / pass_steps),
+            f3(p.write_steps as f64 / pass_steps),
+            int(p.mem_peak),
         ]);
     }
     t.print();

@@ -64,6 +64,9 @@ pub struct SortReport {
     /// Whether an expected-case algorithm detected failure and fell back
     /// to its deterministic alternative.
     pub fell_back: bool,
+    /// Per-phase counter breakdown (a snapshot of the machine's completed
+    /// [`PhaseStats`] at report time), for waterfall-style reporting.
+    pub phases: Vec<PhaseStats>,
 }
 
 impl SortReport {
@@ -86,6 +89,7 @@ impl SortReport {
             write_passes: pdm.stats().write_passes(n, d, b),
             peak_mem: pdm.mem().peak(),
             fell_back,
+            phases: pdm.stats().phases.clone(),
         }
     }
 }
@@ -221,6 +225,29 @@ pub struct Cleaner<K: PdmKey> {
     last_max: Option<K>,
     clean: bool,
     emitted: usize,
+    telemetry: CleanerTelemetry,
+}
+
+/// Observational counters for one [`Cleaner`] run: how hard the cleanup
+/// phase actually worked, and how close it came to the abort threshold —
+/// the paper's `1 − M^{−α}` success bound made observable. Gauges are also
+/// streamed into the machine's probe (as `cleaner.margin` /
+/// `cleaner.carry`) when one is enabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CleanerTelemetry {
+    /// Emissions performed (windows shipped out).
+    pub emissions: u64,
+    /// Emissions that violated the boundary check (stream went unsorted).
+    pub violations: u64,
+    /// Largest carry occupancy (keys still resident) right after an
+    /// emission; bounded by `w` when the input satisfies the displacement
+    /// bound.
+    pub max_carry: usize,
+    /// Smallest boundary margin observed: `min(head − prev_max)` across
+    /// emissions, via [`PdmKey::gauge_distance`]. Negative means at least
+    /// one boundary check failed; small positive means a near-abort.
+    /// `None` until a second emission happens.
+    pub min_margin: Option<i64>,
 }
 
 impl<K: PdmKey> Cleaner<K> {
@@ -232,6 +259,7 @@ impl<K: PdmKey> Cleaner<K> {
             last_max: None,
             clean: true,
             emitted: 0,
+            telemetry: CleanerTelemetry::default(),
         })
     }
 
@@ -243,6 +271,12 @@ impl<K: PdmKey> Cleaner<K> {
     /// Keys emitted so far.
     pub fn emitted(&self) -> usize {
         self.emitted
+    }
+
+    /// Telemetry gathered so far (read before [`Cleaner::finish`], which
+    /// consumes the cleaner; the same data also streams into the probe).
+    pub fn telemetry(&self) -> CleanerTelemetry {
+        self.telemetry
     }
 
     /// Read the given blocks of `region` straight into the cleanup buffer.
@@ -284,14 +318,23 @@ impl<K: PdmKey> Cleaner<K> {
             return Ok(());
         }
         if let Some(prev) = self.last_max {
+            let margin = self.buf[0].gauge_distance(&prev);
             if self.buf[0] < prev {
                 self.clean = false;
+                self.telemetry.violations += 1;
             }
+            self.telemetry.min_margin =
+                Some(self.telemetry.min_margin.map_or(margin, |m| m.min(margin)));
+            pdm.stats_mut().probe_gauge("cleaner.margin", margin);
         }
         self.last_max = Some(self.buf[count - 1]);
         emit(pdm, &self.buf[..count])?;
         self.emitted += count;
         self.buf.drain(..count);
+        self.telemetry.emissions += 1;
+        let carry = self.buf.len();
+        self.telemetry.max_carry = self.telemetry.max_carry.max(carry);
+        pdm.stats_mut().probe_gauge("cleaner.carry", carry as i64);
         Ok(())
     }
 
@@ -357,11 +400,14 @@ pub fn in_memory_sort<K: PdmKey, S: Storage<K>>(
         )));
     }
     let mut buf = pdm.alloc_buf(input.len_keys())?;
+    pdm.begin_phase("IM: read+sort");
     pdm.read_region(input, buf.as_vec_mut())?;
     buf.truncate(n);
     buf.sort_unstable();
+    pdm.begin_phase("IM: write");
     let out = pdm.alloc_region_for_keys(n)?;
     pdm.write_region(&out, &buf)?;
+    pdm.end_phase();
     Ok(SortReport::from_stats(pdm, out, n, Algorithm::InMemory, false))
 }
 
@@ -481,6 +527,69 @@ mod tests {
             .finish(&mut pdm, &mut |p, ks| emitter.emit(p, ks))
             .unwrap();
         assert!(!clean, "cleanup should have flagged the late key");
+    }
+
+    #[test]
+    fn cleaner_telemetry_tracks_margins_and_carry() {
+        let mut pdm = machine();
+        pdm.enable_probe(1 << 10);
+        let out_reg = pdm.alloc_region_for_keys(64).unwrap();
+        let mut emitter = RegionEmitter::new(out_reg);
+        let mut cleaner = Cleaner::new(&pdm, 16).unwrap();
+        for chunk in (0..64u64).collect::<Vec<_>>().chunks(16) {
+            let mut w: Vec<u64> = chunk.to_vec();
+            w.reverse();
+            cleaner.feed_keys(&w);
+            cleaner
+                .process(&mut pdm, &mut |p, ks| emitter.emit(p, ks))
+                .unwrap();
+        }
+        let t = cleaner.telemetry();
+        assert_eq!(t.emissions, 3, "4 windows fed, first buffers");
+        assert_eq!(t.violations, 0);
+        assert!(t.max_carry <= 16, "carry bounded by one window");
+        // windows are disjoint ranges, so every boundary margin is +1
+        assert_eq!(t.min_margin, Some(1));
+        cleaner
+            .finish(&mut pdm, &mut |p, ks| emitter.emit(p, ks))
+            .unwrap();
+        // gauges streamed into the probe alongside the telemetry struct
+        let gauges = pdm
+            .stats()
+            .probe()
+            .unwrap()
+            .events()
+            .iter()
+            .filter(|e| matches!(e, ProbeEvent::Gauge { .. }))
+            .count();
+        assert!(gauges >= 6, "margin + carry per emission, got {gauges}");
+    }
+
+    #[test]
+    fn cleaner_telemetry_counts_violations_with_negative_margin() {
+        let mut pdm = machine();
+        let out_reg = pdm.alloc_region_for_keys(64).unwrap();
+        let mut emitter = RegionEmitter::new(out_reg);
+        let mut cleaner = Cleaner::new(&pdm, 8).unwrap();
+        let windows: Vec<Vec<u64>> = vec![
+            (8..16).collect(),
+            (16..24).collect(),
+            (24..32).collect(),
+            vec![0, 32, 33, 34, 35, 36, 37, 38],
+        ];
+        for w in &windows {
+            cleaner.feed_keys(w);
+            cleaner
+                .process(&mut pdm, &mut |p, ks| emitter.emit(p, ks))
+                .unwrap();
+        }
+        let t = cleaner.telemetry();
+        assert!(t.violations >= 1);
+        assert!(t.min_margin.unwrap() < 0, "violated boundary has negative margin");
+        let (_, clean) = cleaner
+            .finish(&mut pdm, &mut |p, ks| emitter.emit(p, ks))
+            .unwrap();
+        assert!(!clean);
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub fn exp_two_pass_mesh<K: PdmKey, S: Storage<K>>(
     let in_blocks = input.len_blocks();
 
     // Pass 1: sort columns (column c = input positions [c·rows, (c+1)·rows)).
-    pdm.stats_mut().begin_phase("E2PM: column sorts");
+    pdm.begin_phase("E2PM: column sorts");
     for c in 0..b {
         let mut buf = pdm.alloc_buf(rows)?;
         let lo = c * col_blocks;
@@ -74,7 +74,7 @@ pub fn exp_two_pass_mesh<K: PdmKey, S: Storage<K>>(
     }
 
     // Pass 2: streaming cleanup with online verification.
-    pdm.stats_mut().begin_phase("E2PM: cleanup+verify");
+    pdm.begin_phase("E2PM: cleanup+verify");
     let mut cleaner = Cleaner::new(pdm, m)?;
     let mut emitter = RegionEmitter::new(out);
     let mut emit = |pd: &mut Pdm<K, S>, ks: &[K]| emitter.emit(pd, ks);
@@ -95,7 +95,7 @@ pub fn exp_two_pass_mesh<K: PdmKey, S: Storage<K>>(
         let (_, c) = cleaner.finish(pdm, &mut emit)?;
         c
     };
-    pdm.stats_mut().end_phase();
+    pdm.end_phase();
 
     if clean {
         return Ok(SortReport::from_stats(
@@ -106,9 +106,9 @@ pub fn exp_two_pass_mesh<K: PdmKey, S: Storage<K>>(
             false,
         ));
     }
-    pdm.stats_mut().begin_phase("E2PM: fallback ThreePass2");
+    pdm.begin_phase("E2PM: fallback ThreePass2");
     let rep = three_pass2::three_pass2(pdm, input, n)?;
-    pdm.stats_mut().end_phase();
+    pdm.end_phase();
     Ok(SortReport {
         algorithm: Algorithm::ExpTwoPassMesh,
         fell_back: true,

@@ -152,11 +152,11 @@ pub fn expected_three_pass<K: PdmKey, S: Storage<K>>(
         let mut need_deterministic = run_len.saturating_sub(seg_n) > m;
         if !need_deterministic {
             let inner_wins = alloc_staggered(pdm, rp.windows, rp.b)?;
-            pdm.stats_mut().begin_phase("E3P: run formation");
+            pdm.begin_phase("E3P: run formation");
             pass1_runs_shuffled(pdm, &seg, seg_n, &rp, &inner_wins)?;
             let (_, clean) =
                 pass2_stream(pdm, &rp, &inner_wins, &mut |pd, ks| emitter.emit(pd, ks))?;
-            pdm.stats_mut().end_phase();
+            pdm.end_phase();
             if !clean {
                 fell_back = true;
                 emitter.reset();
@@ -166,10 +166,10 @@ pub fn expected_three_pass<K: PdmKey, S: Storage<K>>(
         if need_deterministic {
             // Plan for the full run length so the emitter covers every
             // chunk the layout expects (short segments pad inside).
-            pdm.stats_mut().begin_phase("E3P: run fallback 3P2");
+            pdm.begin_phase("E3P: run fallback 3P2");
             let (emitted, clean2) =
                 three_pass2_core(pdm, &seg, run_len, &mut |pd, ks| emitter.emit(pd, ks))?;
-            pdm.stats_mut().end_phase();
+            pdm.end_phase();
             debug_assert_eq!(emitted, run_len);
             if !clean2 {
                 return Err(PdmError::UnsupportedInput(
@@ -180,7 +180,7 @@ pub fn expected_three_pass<K: PdmKey, S: Storage<K>>(
     }
 
     // Pass 3: shuffle + cleanup.
-    pdm.stats_mut().begin_phase("E3P: final cleanup");
+    pdm.begin_phase("E3P: final cleanup");
     let mut cleaner = Cleaner::new(pdm, m)?;
     let mut emitter = RegionEmitter::new(out);
     let mut emit = |pd: &mut Pdm<K, S>, ks: &[K]| emitter.emit(pd, ks);
@@ -199,7 +199,7 @@ pub fn expected_three_pass<K: PdmKey, S: Storage<K>>(
         drop(cleaner); // release the 2M window before the fallback runs
         false
     };
-    pdm.stats_mut().end_phase();
+    pdm.end_phase();
 
     if clean {
         return Ok(SortReport {
@@ -208,9 +208,9 @@ pub fn expected_three_pass<K: PdmKey, S: Storage<K>>(
         });
     }
     // The paper's prescribed alternate for a detected bad input: SevenPass.
-    pdm.stats_mut().begin_phase("E3P: fallback SevenPass");
+    pdm.begin_phase("E3P: fallback SevenPass");
     let rep = seven_pass(pdm, input, n)?;
-    pdm.stats_mut().end_phase();
+    pdm.end_phase();
     Ok(SortReport {
         algorithm: Algorithm::ExpectedThreePass,
         fell_back: true,

@@ -161,12 +161,12 @@ pub fn expected_two_pass<K: PdmKey, S: Storage<K>>(
     let windows = alloc_staggered(pdm, p.windows, p.b)?;
     let out = pdm.alloc_region_for_keys(p.n1 * p.run_len)?;
 
-    pdm.stats_mut().begin_phase("E2P: runs+shuffle");
+    pdm.begin_phase("E2P: runs+shuffle");
     pass1_runs_shuffled(pdm, input, n, &p, &windows)?;
-    pdm.stats_mut().begin_phase("E2P: stream+verify");
+    pdm.begin_phase("E2P: stream+verify");
     let mut emitter = RegionEmitter::new(out);
     let (_, clean) = pass2_stream(pdm, &p, &windows, &mut |pd, ks| emitter.emit(pd, ks))?;
-    pdm.stats_mut().end_phase();
+    pdm.end_phase();
 
     if clean {
         return Ok(SortReport::from_stats(
@@ -178,9 +178,9 @@ pub fn expected_two_pass<K: PdmKey, S: Storage<K>>(
         ));
     }
     // Bad input detected: abort and fall back (paper: +3 passes).
-    pdm.stats_mut().begin_phase("E2P: fallback ThreePass2");
+    pdm.begin_phase("E2P: fallback ThreePass2");
     let rep = three_pass2::three_pass2(pdm, input, n)?;
-    pdm.stats_mut().end_phase();
+    pdm.end_phase();
     Ok(SortReport {
         algorithm: Algorithm::ExpectedTwoPass,
         fell_back: true,

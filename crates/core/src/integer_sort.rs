@@ -342,15 +342,15 @@ pub fn integer_sort_with<K: PdmKey + RankedKey, S: Storage<K>>(
     if n == 0 {
         return Err(PdmError::UnsupportedInput("empty input".into()));
     }
-    pdm.stats_mut().begin_phase("IS: distribute");
+    pdm.begin_phase("IS: distribute");
     let src = Source::Region(input, n);
     let buckets = distribute(pdm, &src, range as usize, mode, |k| k.rank() as usize)?;
-    pdm.stats_mut().begin_phase("IS: gather (step A)");
+    pdm.begin_phase("IS: gather (step A)");
     let out = pdm.alloc_region_for_keys(n)?;
     let mut writer = RunWriter::striped(pdm, out)?;
     gather(pdm, &buckets, &mut writer)?;
     let written = writer.finish(pdm)?;
-    pdm.stats_mut().end_phase();
+    pdm.end_phase();
     debug_assert_eq!(written, n);
     Ok(SortReport::from_stats(pdm, out, n, Algorithm::IntegerSort, false))
 }

@@ -179,11 +179,12 @@ pub fn radix_sort_with<K: PdmKey + RankedKey, S: Storage<K>>(
         max_rounds: 0,
         segments_sorted: 0,
     };
-    pdm.stats_mut().begin_phase("RS: refine");
+    pdm.begin_phase("RS: refine");
     refine(pdm, Seg::Reg(*input, n), 0, 0, &mut ctx)?;
-    pdm.stats_mut().end_phase();
     let (max_rounds, segments_sorted) = (ctx.max_rounds, ctx.segments_sorted);
+    // the writer's final flush is still refine-phase I/O
     let written = writer.finish(pdm)?;
+    pdm.end_phase();
     debug_assert_eq!(written, n);
     Ok(RadixReport {
         report: SortReport::from_stats(pdm, out, n, Algorithm::RadixSort, false),

@@ -222,12 +222,12 @@ fn outer_merge_sort<K: PdmKey, S: Storage<K>>(
             let rp = runs_plan(pdm, run_len)?;
             debug_assert_eq!(rp.n1 * rp.run_len, run_len);
             let windows = alloc_staggered(pdm, rp.windows, rp.b)?;
-            pdm.stats_mut().begin_phase("6P: E2P runs");
+            pdm.begin_phase("6P: E2P runs");
             pass1_runs_shuffled(pdm, &seg, seg_n.max(1), &rp, &windows)?;
-            pdm.stats_mut().begin_phase("6P: E2P stream");
+            pdm.begin_phase("6P: E2P stream");
             let (_, clean) =
                 pass2_stream(pdm, &rp, &windows, &mut |pd, ks| emitter.emit(pd, ks))?;
-            pdm.stats_mut().end_phase();
+            pdm.end_phase();
             if !clean {
                 // Per-run fallback (paper: the aborted run is re-sorted
                 // deterministically, +3 passes for this run's data).
@@ -237,10 +237,10 @@ fn outer_merge_sort<K: PdmKey, S: Storage<K>>(
             }
         }
         if need_deterministic {
-            pdm.stats_mut().begin_phase("7P: run formation 3P2");
+            pdm.begin_phase("7P: run formation 3P2");
             let (emitted, clean) =
                 three_pass2_core(pdm, &seg, run_len, &mut |pd, ks| emitter.emit(pd, ks))?;
-            pdm.stats_mut().end_phase();
+            pdm.end_phase();
             debug_assert_eq!(emitted, run_len);
             if !clean {
                 return Err(PdmError::UnsupportedInput(
@@ -251,7 +251,7 @@ fn outer_merge_sort<K: PdmKey, S: Storage<K>>(
     }
 
     // Step 4 (pass 4): inner unshuffle of each L_i^j into m' pieces.
-    pdm.stats_mut().begin_phase("7P: inner unshuffle");
+    pdm.begin_phase("7P: inner unshuffle");
     let part_len = run_len / b;
     for (i, run_parts) in parts.iter().enumerate() {
         for (j, part) in run_parts.iter().enumerate() {
@@ -279,7 +279,7 @@ fn outer_merge_sort<K: PdmKey, S: Storage<K>>(
     // When l < D a single sub-merge cannot fill a stripe, so sub-merges
     // are batched ⌊D/l⌋ at a time, picking u-indices spaced l apart — their
     // staggered disk ranges (u+i mod D) then tile the disks exactly.
-    pdm.stats_mut().begin_phase("7P: sub-merges");
+    pdm.begin_phase("7P: sub-merges");
     let d = pdm.cfg().num_disks;
     let group_max = (d / l).clamp(1, m_prime);
     for j in 0..b {
@@ -327,7 +327,7 @@ fn outer_merge_sort<K: PdmKey, S: Storage<K>>(
 
     // Step 6 (pass 6): inner shuffle + cleanup per j, scattering Q_j chunks
     // into the final windows (outer shuffle fold).
-    pdm.stats_mut().begin_phase("7P: inner cleanup");
+    pdm.begin_phase("7P: inner cleanup");
     let inner_window_keys = m_prime * b;
     for j in 0..b {
         let mut cleaner = Cleaner::new(pdm, inner_window_keys)?;
@@ -363,7 +363,7 @@ fn outer_merge_sort<K: PdmKey, S: Storage<K>>(
     }
 
     // Step 7 (pass 7): outer cleanup into the output region.
-    pdm.stats_mut().begin_phase("7P: outer cleanup");
+    pdm.begin_phase("7P: outer cleanup");
     let mut cleaner = Cleaner::new(pdm, m)?;
     let mut emitter = RegionEmitter::new(out);
     let mut emit = |pd: &mut Pdm<K, S>, ks: &[K]| emitter.emit(pd, ks);
@@ -373,7 +373,7 @@ fn outer_merge_sort<K: PdmKey, S: Storage<K>>(
         cleaner.process(pdm, &mut emit)?;
     }
     let (emitted, clean) = cleaner.finish(pdm, &mut emit)?;
-    pdm.stats_mut().end_phase();
+    pdm.end_phase();
     debug_assert_eq!(emitted, l * run_len);
     if !clean {
         return Err(PdmError::UnsupportedInput(

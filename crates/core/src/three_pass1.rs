@@ -98,7 +98,7 @@ pub fn three_pass1_with<K: PdmKey, S: Storage<K>>(
     let in_blocks = input.len_blocks();
 
     // Pass 1: sort submeshes, write column-major blocks.
-    pdm.stats_mut().begin_phase("3P1: submesh sorts");
+    pdm.begin_phase("3P1: submesh sorts");
     for s in 0..s_count {
         let mut buf = pdm.alloc_buf(m)?;
         let lo = s * b;
@@ -132,7 +132,7 @@ pub fn three_pass1_with<K: PdmKey, S: Storage<K>>(
     }
 
     // Pass 2: sort full columns vertically, scatter band segments.
-    pdm.stats_mut().begin_phase("3P1: column sorts");
+    pdm.begin_phase("3P1: column sorts");
     let col_len = s_count * b;
     for (c, col) in cols.iter().enumerate() {
         let mut buf = pdm.alloc_buf(col_len)?;
@@ -145,7 +145,7 @@ pub fn three_pass1_with<K: PdmKey, S: Storage<K>>(
     }
 
     // Pass 3: stream bands through the cleanup window.
-    pdm.stats_mut().begin_phase("3P1: cleanup");
+    pdm.begin_phase("3P1: cleanup");
     let mut cleaner = Cleaner::new(pdm, m)?;
     let mut emitter = RegionEmitter::new(out);
     let all_blocks: Vec<usize> = (0..b).collect();
@@ -155,7 +155,7 @@ pub fn three_pass1_with<K: PdmKey, S: Storage<K>>(
         cleaner.process(pdm, &mut emit)?;
     }
     let (emitted, clean) = cleaner.finish(pdm, &mut emit)?;
-    pdm.stats_mut().end_phase();
+    pdm.end_phase();
 
     debug_assert_eq!(emitted, s_count * m);
     if !clean {

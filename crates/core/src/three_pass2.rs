@@ -152,13 +152,13 @@ pub(crate) fn three_pass2_core<K: PdmKey, S: Storage<K>>(
     let p = plan(pdm, n)?;
     let cols = alloc_staggered(pdm, p.b, p.l)?;
     let windows = alloc_staggered(pdm, p.l, p.b)?;
-    pdm.stats_mut().begin_phase("3P2: runs+unshuffle");
+    pdm.begin_phase("3P2: runs+unshuffle");
     pass1_runs_unshuffled(pdm, input, n, &p, &cols)?;
-    pdm.stats_mut().begin_phase("3P2: column merges");
+    pdm.begin_phase("3P2: column merges");
     pass2_column_merges(pdm, &p, &cols, &windows)?;
-    pdm.stats_mut().begin_phase("3P2: shuffle+cleanup");
+    pdm.begin_phase("3P2: shuffle+cleanup");
     let res = pass3_cleanup(pdm, &p, &windows, emit)?;
-    pdm.stats_mut().end_phase();
+    pdm.end_phase();
     Ok(res)
 }
 

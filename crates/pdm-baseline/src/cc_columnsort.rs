@@ -299,13 +299,13 @@ pub fn cc_columnsort<K: PdmKey, S: Storage<K>>(
         .collect::<Result<_>>()?;
     let out = pdm.alloc_region(d.s * d.col_blocks)?;
 
-    pdm.stats_mut().begin_phase("CC: steps 1-2");
+    pdm.begin_phase("CC: steps 1-2");
     pass1_transpose(pdm, input, n, &d, &tcols)?;
-    pdm.stats_mut().begin_phase("CC: steps 3-4");
+    pdm.begin_phase("CC: steps 3-4");
     pass2_untranspose(pdm, &tcols, d.s * d.m, &d, &ocols)?;
-    pdm.stats_mut().begin_phase("CC: steps 5-8");
+    pdm.begin_phase("CC: steps 5-8");
     let clean = pass3_shift_merge(pdm, &ocols, &d, out)?;
-    pdm.stats_mut().end_phase();
+    pdm.end_phase();
     if !clean {
         return Err(PdmError::UnsupportedInput(
             "columnsort shift-merge produced an inversion — dims violate r ≥ 2(s−1)²".into(),
@@ -336,7 +336,7 @@ pub fn cc_columnsort_skip12<K: PdmKey, S: Storage<K>>(
     let out = pdm.alloc_region(d.s * d.col_blocks)?;
 
     // Pass A = steps 3-4 on the input read as the transposed matrix.
-    pdm.stats_mut().begin_phase("CCskip: steps 3-4");
+    pdm.begin_phase("CCskip: steps 3-4");
     let in_cols: Vec<Region> = (0..d.s)
         .map(|j| {
             let lo = (j * d.col_blocks).min(input.len_blocks());
@@ -368,9 +368,9 @@ pub fn cc_columnsort_skip12<K: PdmKey, S: Storage<K>>(
         }
     }
     // Pass B = steps 5-8 with verification.
-    pdm.stats_mut().begin_phase("CCskip: steps 5-8");
+    pdm.begin_phase("CCskip: steps 5-8");
     let clean = pass3_shift_merge(pdm, &ocols, &d, out)?;
-    pdm.stats_mut().end_phase();
+    pdm.end_phase();
     let (db, bb) = (pdm.cfg().num_disks, pdm.cfg().block_size);
     if clean {
         return Ok(CcReport {
@@ -381,9 +381,9 @@ pub fn cc_columnsort_skip12<K: PdmKey, S: Storage<K>>(
             fell_back: false,
         });
     }
-    pdm.stats_mut().begin_phase("CCskip: fallback full");
+    pdm.begin_phase("CCskip: fallback full");
     let rep = cc_columnsort(pdm, input, n)?;
-    pdm.stats_mut().end_phase();
+    pdm.end_phase();
     Ok(CcReport {
         fell_back: true,
         read_passes: pdm.stats().read_passes(n, db, bb),

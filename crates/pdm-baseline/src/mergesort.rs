@@ -49,7 +49,7 @@ pub fn merge_sort<K: PdmKey, S: Storage<K>>(
     let (m, b, d) = (cfg.mem_capacity, cfg.block_size, cfg.num_disks);
 
     // Pass 1: run formation.
-    pdm.stats_mut().begin_phase("MS: run formation");
+    pdm.begin_phase("MS: run formation");
     let mut runs: Vec<(Region, usize)> = Vec::new();
     let in_blocks = input.len_blocks();
     let run_blocks = m / b;
@@ -75,7 +75,7 @@ pub fn merge_sort<K: PdmKey, S: Storage<K>>(
     let mut level = 0usize;
     while runs.len() > 1 {
         level += 1;
-        pdm.stats_mut().begin_phase(format!("MS: merge level {level}"));
+        pdm.begin_phase(format!("MS: merge level {level}"));
         let mut next: Vec<(Region, usize)> = Vec::new();
         for group in runs.chunks(fanin) {
             if group.len() == 1 {
@@ -96,7 +96,7 @@ pub fn merge_sort<K: PdmKey, S: Storage<K>>(
         }
         runs = next;
     }
-    pdm.stats_mut().end_phase();
+    pdm.end_phase();
 
     let (out, total) = runs[0];
     debug_assert_eq!(total, n);

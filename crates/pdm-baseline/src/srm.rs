@@ -84,7 +84,7 @@ pub fn srm_merge_sort<S: Storage<u64>>(
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Pass 1: run formation with randomized (or aligned) striping.
-    pdm.stats_mut().begin_phase("SRM: run formation");
+    pdm.begin_phase("SRM: run formation");
     let mut runs: Vec<(Region, usize)> = Vec::new();
     let in_blocks = input.len_blocks();
     let run_blocks = m / b;
@@ -114,7 +114,7 @@ pub fn srm_merge_sort<S: Storage<u64>>(
     let mut level = 0usize;
     while runs.len() > 1 {
         level += 1;
-        pdm.stats_mut().begin_phase(format!("SRM: merge level {level}"));
+        pdm.begin_phase(format!("SRM: merge level {level}"));
         let mut next: Vec<(Region, usize)> = Vec::new();
         let groups: Vec<Vec<(Region, usize)>> =
             runs.chunks(fanin).map(|c| c.to_vec()).collect();
@@ -134,7 +134,7 @@ pub fn srm_merge_sort<S: Storage<u64>>(
         }
         runs = next;
     }
-    pdm.stats_mut().end_phase();
+    pdm.end_phase();
 
     let (out, total) = runs[0];
     debug_assert_eq!(total, n);

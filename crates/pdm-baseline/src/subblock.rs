@@ -103,11 +103,11 @@ pub fn subblock_columnsort<K: PdmKey, S: Storage<K>>(
     let out = pdm.alloc_region(s * d.col_blocks)?;
 
     // Pass 1: steps 1-2.
-    pdm.stats_mut().begin_phase("SB: steps 1-2");
+    pdm.begin_phase("SB: steps 1-2");
     pass1_transpose(pdm, input, n, &d, &tcols)?;
 
     // Pass 2: step 3 + subblock conversion.
-    pdm.stats_mut().begin_phase("SB: step 3 + subblock");
+    pdm.begin_phase("SB: step 3 + subblock");
     {
         let _tail_guard = pdm.mem().acquire(s * b)?;
         let mut tails: Vec<Vec<K>> = vec![Vec::with_capacity(b); s];
@@ -145,16 +145,16 @@ pub fn subblock_columnsort<K: PdmKey, S: Storage<K>>(
     }
 
     // Pass 3: sort converted columns + step 4 untranspose.
-    pdm.stats_mut().begin_phase("SB: subblock sort + step 4");
+    pdm.begin_phase("SB: subblock sort + step 4");
     pass2_untranspose(pdm, &ccols, s * m, &d, &ocols)?;
 
     // Pass 4: steps 5-8, with a full-column sliding window: our oblivious
     // subblock conversion balances zeros to ~s elements per column (CCH's
     // exact conversion reaches 2√s rows), so the cleanup needs the same 2M
     // workspace the paper's own algorithms use.
-    pdm.stats_mut().begin_phase("SB: steps 5-8");
+    pdm.begin_phase("SB: steps 5-8");
     let clean = pass3_shift_merge_window(pdm, &ocols, &d, out, m)?;
-    pdm.stats_mut().end_phase();
+    pdm.end_phase();
     if !clean {
         return Err(PdmError::UnsupportedInput(
             "subblock columnsort shift-merge produced an inversion".into(),

@@ -128,6 +128,15 @@ pub enum Command {
         scratch: Option<String>,
         /// Optional path to write machine stats as JSON.
         stats: Option<String>,
+        /// Optional path to dump the probe's structured event stream as
+        /// JSONL (one event per line).
+        events: Option<String>,
+    },
+    /// `pdmsort report <stats.json>` — render phase table, per-disk
+    /// heatmap, sparkline, and pass-budget waterfall from a stats artifact.
+    Report {
+        /// Stats JSON written by `pdmsort sort --stats`.
+        stats: String,
     },
     /// `pdmsort compare <in> [--disks D] [--b B]` — run every applicable
     /// algorithm on the same input and tabulate passes.
@@ -158,7 +167,8 @@ pdmsort — out-of-core sorting on a simulated parallel-disk machine
 USAGE:
   pdmsort gen <n> <out.keys> [--dist random|permutation|reversed|sorted|zipf] [--seed S]
   pdmsort sort <in.keys> <out.keys> [--disks D] [--b SQRT_M] [--algo A]
-               [--scratch DIR] [--stats FILE.json]
+               [--scratch DIR] [--stats FILE.json] [--events FILE.jsonl]
+  pdmsort report <stats.json>
   pdmsort compare <in.keys> [--disks D] [--b SQRT_M]
   pdmsort verify <file.keys>
   pdmsort info [--disks D] [--b SQRT_M]
@@ -217,6 +227,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut algo = Algo::Auto;
             let mut scratch = None;
             let mut stats = None;
+            let mut events = None;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -227,6 +238,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         scratch = Some(parse_flag::<String>(args, &mut i, "--scratch")?)
                     }
                     "--stats" => stats = Some(parse_flag::<String>(args, &mut i, "--stats")?),
+                    "--events" => events = Some(parse_flag::<String>(args, &mut i, "--events")?),
                     other => pos.push(other.to_string()),
                 }
                 i += 1;
@@ -241,6 +253,15 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 algo,
                 scratch,
                 stats,
+                events,
+            })
+        }
+        "report" => {
+            if args.len() != 2 {
+                return Err("report needs <stats.json>".into());
+            }
+            Ok(Command::Report {
+                stats: args[1].clone(),
             })
         }
         "compare" => {
@@ -324,18 +345,28 @@ mod tests {
         }
         let c = parse(&v(&[
             "sort", "a", "b", "--disks", "8", "--b", "32", "--algo", "seven-pass", "--scratch",
-            "/tmp/x", "--stats", "s.json",
+            "/tmp/x", "--stats", "s.json", "--events", "e.jsonl",
         ]))
         .unwrap();
         match c {
-            Command::Sort { geo, algo, scratch, stats, .. } => {
+            Command::Sort { geo, algo, scratch, stats, events, .. } => {
                 assert_eq!(geo, Geometry { disks: 8, b: 32 });
                 assert_eq!(algo, Algo::SevenPass);
                 assert_eq!(scratch.as_deref(), Some("/tmp/x"));
                 assert_eq!(stats.as_deref(), Some("s.json"));
+                assert_eq!(events.as_deref(), Some("e.jsonl"));
             }
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn parses_report() {
+        assert_eq!(
+            parse(&v(&["report", "s.json"])).unwrap(),
+            Command::Report { stats: "s.json".into() }
+        );
+        assert!(parse(&v(&["report"])).is_err());
     }
 
     #[test]

@@ -9,14 +9,18 @@
 //! * `sort` — sort a key file, printing the algorithm, passes, and I/O
 //!   statistics;
 //! * `verify` — check a key file is sorted;
-//! * `info` — print the capacity ladder for a machine configuration.
+//! * `info` — print the capacity ladder for a machine configuration;
+//! * `report` — render a `--stats` JSON artifact as per-phase tables,
+//!   per-disk heatmaps, and a pass-budget waterfall.
 //!
 //! Library surface (used by the binary and its tests): argument parsing in
-//! [`args`], file I/O in [`keyfile`], and the orchestration in [`run`].
+//! [`args`], file I/O in [`keyfile`], the orchestration in [`run`], and
+//! the stats renderer in [`report`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod args;
 pub mod keyfile;
+pub mod report;
 pub mod run;

@@ -1,0 +1,412 @@
+//! The `pdmsort report` renderer.
+//!
+//! `pdmsort sort --stats s.json` writes a [`StatsArtifact`]; this module
+//! reads one back and renders the observability views: a per-phase
+//! pass/efficiency table, a per-disk read/write heatmap, the stripe
+//! efficiency sparkline (when a batch trace was recorded), and a
+//! pass-budget waterfall comparing the measured passes against the
+//! paper's budget for the algorithm.
+
+use pdm_model::prelude::*;
+use pdm_model::stats::BatchTrace;
+use std::io::Write;
+
+/// The JSON artifact written by `pdmsort sort --stats` and consumed by
+/// `pdmsort report`. The `fell_back` / `read_passes` / `write_passes`
+/// fields default when absent so artifacts from older builds still load.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct StatsArtifact {
+    /// Algorithm label (e.g. `ThreePass2`, `mergesort`).
+    pub algorithm: String,
+    /// Number of keys sorted.
+    pub n: usize,
+    /// Machine geometry the run used.
+    pub config: PdmConfig,
+    /// Peak internal-memory residency in keys.
+    pub peak_mem_keys: usize,
+    /// Whether an expected-case algorithm detected a bad input and fell
+    /// back to its deterministic alternative.
+    #[serde(default)]
+    pub fell_back: bool,
+    /// Read passes consumed, by the parallel-step metric.
+    #[serde(default)]
+    pub read_passes: f64,
+    /// Write passes consumed.
+    #[serde(default)]
+    pub write_passes: f64,
+    /// Full I/O counters: totals, per-disk splits, completed phases,
+    /// overlap counters, and the batch trace when one was recorded.
+    pub stats: IoStats,
+}
+
+/// The paper's pass budget for `algorithm`, if it states one. Expected
+/// two-pass gets its fallback budget (2 + three-pass) when the run fell
+/// back; baselines (mergesort, radix, …) are measured-only.
+pub fn pass_budget(algorithm: &str, fell_back: bool) -> Option<f64> {
+    Some(match algorithm {
+        "ThreePass1" | "ThreePass2" | "ExpectedThreePass" => 3.0,
+        "ExpectedTwoPass" => {
+            if fell_back {
+                5.0
+            } else {
+                2.0
+            }
+        }
+        "ExpectedSixPass" => 6.0,
+        "SevenPass" => 7.0,
+        "InMemory" => 1.0,
+        _ => return None,
+    })
+}
+
+/// Load a `--stats` artifact from `path` and render it to `out`.
+pub fn report_cmd(
+    path: &str,
+    out: &mut dyn Write,
+) -> std::result::Result<(), Box<dyn std::error::Error>> {
+    let txt = std::fs::read_to_string(path)?;
+    let art: StatsArtifact = serde_json::from_str(&txt)?;
+    render_report(&art, out)?;
+    Ok(())
+}
+
+/// Render the full report for `art` to `out`.
+pub fn render_report(art: &StatsArtifact, out: &mut dyn Write) -> std::io::Result<()> {
+    let cfg = &art.config;
+    let d = cfg.num_disks.max(1);
+    // One pass is N/(D·B) parallel steps.
+    let pass_steps = (art.n.max(1) as f64 / (d * cfg.block_size.max(1)) as f64).max(1e-9);
+    let s = &art.stats;
+
+    writeln!(
+        out,
+        "pdmsort report — {} on {} keys (D = {}, B = {}, M = {})",
+        art.algorithm, art.n, cfg.num_disks, cfg.block_size, cfg.mem_capacity
+    )?;
+    writeln!(
+        out,
+        "totals: {} blocks read / {} written in {} + {} parallel steps \
+         ({:.3} read passes, {:.3} write passes)",
+        s.blocks_read,
+        s.blocks_written,
+        s.read_steps,
+        s.write_steps,
+        s.read_steps as f64 / pass_steps,
+        s.write_steps as f64 / pass_steps,
+    )?;
+    writeln!(
+        out,
+        "peak memory: {} keys (limit {})",
+        art.peak_mem_keys,
+        cfg.mem_limit()
+    )?;
+    if art.fell_back {
+        writeln!(out, "note: expected-case check failed; deterministic fallback ran")?;
+    }
+    let ov = &s.overlap;
+    if ov.prefetch_batches + ov.flush_batches > 0 {
+        writeln!(
+            out,
+            "overlap: prefetch {} batches ({} hits / {} stalls), \
+             flush-behind {} batches ({} hits / {} stalls)",
+            ov.prefetch_batches,
+            ov.prefetch_hits,
+            ov.prefetch_stalls,
+            ov.flush_batches,
+            ov.flush_hits,
+            ov.flush_stalls,
+        )?;
+    }
+
+    // --- per-phase pass/efficiency table -------------------------------
+    if s.phases.is_empty() {
+        writeln!(out, "\nno phases recorded")?;
+    } else {
+        writeln!(out, "\nper-phase breakdown:")?;
+        writeln!(
+            out,
+            "  {:<26} {:>9} {:>9} {:>8} {:>8} {:>5}  {}",
+            "phase", "rd steps", "wr steps", "rd pass", "wr pass", "eff", "mem begin→end (peak)"
+        )?;
+        for p in &s.phases {
+            let steps = p.read_steps + p.write_steps;
+            let blocks = p.blocks_read + p.blocks_written;
+            let eff = if steps == 0 {
+                1.0
+            } else {
+                blocks as f64 / (steps as f64 * d as f64)
+            };
+            writeln!(
+                out,
+                "  {:<26} {:>9} {:>9} {:>8.3} {:>8.3} {:>4.0}%  {}→{} ({})",
+                truncate(&p.name, 26),
+                p.read_steps,
+                p.write_steps,
+                p.read_steps as f64 / pass_steps,
+                p.write_steps as f64 / pass_steps,
+                eff * 100.0,
+                p.mem_begin,
+                p.mem_end,
+                p.mem_peak,
+            )?;
+        }
+    }
+
+    // --- per-disk read/write heatmap -----------------------------------
+    writeln!(out, "\nper-disk I/O (blocks):")?;
+    let max_rw = s
+        .per_disk_reads
+        .iter()
+        .chain(s.per_disk_writes.iter())
+        .copied()
+        .max()
+        .unwrap_or(0)
+        .max(1) as f64;
+    for i in 0..cfg.num_disks {
+        let r = s.per_disk_reads.get(i).copied().unwrap_or(0);
+        let w = s.per_disk_writes.get(i).copied().unwrap_or(0);
+        writeln!(
+            out,
+            "  disk {i:>2}  R {:<20} {:>8}   W {:<20} {:>8}",
+            bar(r as f64, max_rw, 20),
+            r,
+            bar(w as f64, max_rw, 20),
+            w
+        )?;
+    }
+    writeln!(
+        out,
+        "  imbalance (max/mean): reads {:.3}, writes {:.3}",
+        imbalance(&s.per_disk_reads),
+        imbalance(&s.per_disk_writes)
+    )?;
+
+    // --- stripe efficiency sparkline -----------------------------------
+    if let Some(trace) = &s.trace {
+        if !trace.is_empty() {
+            writeln!(
+                out,
+                "\nstripe efficiency over time ({} traced batches):",
+                trace.len()
+            )?;
+            writeln!(out, "  {}", sparkline(trace, d, 60))?;
+        }
+        if s.trace_dropped > 0 {
+            writeln!(
+                out,
+                "  ({} batches past the trace cap were not recorded)",
+                s.trace_dropped
+            )?;
+        }
+    }
+
+    // --- pass-budget waterfall -----------------------------------------
+    writeln!(out, "\npass-budget waterfall (read+write passes per phase):")?;
+    let total_passes = (s.read_steps + s.write_steps) as f64 / pass_steps;
+    let mut cum = 0.0;
+    for p in &s.phases {
+        let pp = (p.read_steps + p.write_steps) as f64 / pass_steps;
+        cum += pp;
+        writeln!(
+            out,
+            "  {:<26} {:<20} {:>6.3} (cum {:>6.3})",
+            truncate(&p.name, 26),
+            bar(pp, total_passes.max(1e-9), 20),
+            pp,
+            cum
+        )?;
+    }
+    match pass_budget(&art.algorithm, art.fell_back) {
+        Some(b) => {
+            let verdict = if art.read_passes <= b + 1e-9 {
+                "within budget"
+            } else {
+                "OVER budget"
+            };
+            writeln!(
+                out,
+                "  budget: {b:.0} read passes — measured {:.3} read + {:.3} write ({verdict})",
+                art.read_passes, art.write_passes
+            )?;
+        }
+        None => writeln!(out, "  budget: none (measured-only baseline)")?,
+    }
+    Ok(())
+}
+
+/// A left-aligned bar of `value` scaled to `max` over `width` cells.
+fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || value <= 0.0 {
+        return String::new();
+    }
+    let filled = ((value / max) * width as f64).round() as usize;
+    "█".repeat(filled.clamp(1, width))
+}
+
+/// Max over mean of `counts` (1.0 = perfectly balanced; 0 when empty/idle).
+fn imbalance(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if counts.is_empty() || total == 0 {
+        return 0.0;
+    }
+    let mean = total as f64 / counts.len() as f64;
+    *counts.iter().max().unwrap() as f64 / mean
+}
+
+/// Bucket the batch trace into at most `width` cells and render each
+/// bucket's mean stripe efficiency on the unicode block ramp.
+fn sparkline(trace: &[BatchTrace], num_disks: usize, width: usize) -> String {
+    const RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if trace.is_empty() {
+        return String::new();
+    }
+    let buckets = width.min(trace.len()).max(1);
+    let mut out = String::with_capacity(buckets * 3);
+    for i in 0..buckets {
+        let lo = i * trace.len() / buckets;
+        let hi = (((i + 1) * trace.len()) / buckets).max(lo + 1);
+        let sum: f64 = trace[lo..hi].iter().map(|t| t.efficiency(num_disks)).sum();
+        let avg = sum / (hi - lo) as f64;
+        let idx = ((avg * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+        out.push(RAMP[idx]);
+    }
+    out
+}
+
+/// Truncate a label to `width` characters, marking the cut with `…`.
+fn truncate(s: &str, width: usize) -> String {
+    if s.chars().count() <= width {
+        return s.to_string();
+    }
+    let mut t: String = s.chars().take(width.saturating_sub(1)).collect();
+    t.push('…');
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_artifact() -> StatsArtifact {
+        let mut stats = IoStats::new(4);
+        stats.blocks_read = 128;
+        stats.blocks_written = 128;
+        stats.read_steps = 32;
+        stats.write_steps = 32;
+        stats.per_disk_reads = vec![32, 32, 32, 32];
+        stats.per_disk_writes = vec![40, 32, 32, 24];
+        stats.phases = vec![
+            PhaseStats {
+                name: "3P2: form runs".into(),
+                blocks_read: 64,
+                blocks_written: 64,
+                read_steps: 16,
+                write_steps: 16,
+                mem_begin: 0,
+                mem_end: 0,
+                mem_peak: 200,
+            },
+            PhaseStats {
+                name: "3P2: merge".into(),
+                blocks_read: 64,
+                blocks_written: 64,
+                read_steps: 16,
+                write_steps: 16,
+                mem_begin: 0,
+                mem_end: 0,
+                mem_peak: 256,
+            },
+        ];
+        stats.trace = Some(vec![
+            BatchTrace { write: false, blocks: 4, steps: 1 },
+            BatchTrace { write: true, blocks: 2, steps: 1 },
+            BatchTrace { write: false, blocks: 4, steps: 1 },
+        ]);
+        StatsArtifact {
+            algorithm: "ThreePass2".into(),
+            n: 2048,
+            config: PdmConfig::square(4, 16),
+            peak_mem_keys: 256,
+            fell_back: false,
+            read_passes: 1.0,
+            write_passes: 1.0,
+            stats,
+        }
+    }
+
+    #[test]
+    fn pass_budget_matches_the_paper() {
+        assert_eq!(pass_budget("ThreePass1", false), Some(3.0));
+        assert_eq!(pass_budget("ThreePass2", false), Some(3.0));
+        assert_eq!(pass_budget("ExpectedThreePass", false), Some(3.0));
+        assert_eq!(pass_budget("ExpectedTwoPass", false), Some(2.0));
+        assert_eq!(pass_budget("ExpectedTwoPass", true), Some(5.0));
+        assert_eq!(pass_budget("ExpectedSixPass", false), Some(6.0));
+        assert_eq!(pass_budget("SevenPass", false), Some(7.0));
+        assert_eq!(pass_budget("InMemory", false), Some(1.0));
+        assert_eq!(pass_budget("mergesort", false), None);
+        assert_eq!(pass_budget("RadixSort", false), None);
+    }
+
+    #[test]
+    fn render_shows_phases_heatmap_sparkline_and_budget() {
+        let art = sample_artifact();
+        let mut buf = Vec::new();
+        render_report(&art, &mut buf).unwrap();
+        let txt = String::from_utf8(buf).unwrap();
+        assert!(txt.contains("per-phase breakdown"), "{txt}");
+        assert!(txt.contains("3P2: form runs"), "{txt}");
+        assert!(txt.contains("per-disk I/O"), "{txt}");
+        assert!(txt.contains("disk  0"), "{txt}");
+        assert!(txt.contains("stripe efficiency over time"), "{txt}");
+        assert!(txt.contains("pass-budget waterfall"), "{txt}");
+        assert!(txt.contains("within budget"), "{txt}");
+        // 32 steps on a 2048-key machine with D·B = 64 is exactly one pass.
+        assert!(txt.contains("1.000 read passes"), "{txt}");
+    }
+
+    #[test]
+    fn render_flags_measured_only_baselines_and_dropped_trace() {
+        let mut art = sample_artifact();
+        art.algorithm = "mergesort".into();
+        art.stats.trace_dropped = 7;
+        let mut buf = Vec::new();
+        render_report(&art, &mut buf).unwrap();
+        let txt = String::from_utf8(buf).unwrap();
+        assert!(txt.contains("measured-only baseline"), "{txt}");
+        assert!(txt.contains("7 batches past the trace cap"), "{txt}");
+    }
+
+    #[test]
+    fn artifact_round_trips_through_json() {
+        let art = sample_artifact();
+        let js = serde_json::to_string(&art).unwrap();
+        let back: StatsArtifact = serde_json::from_str(&js).unwrap();
+        assert_eq!(back.algorithm, art.algorithm);
+        assert_eq!(back.n, art.n);
+        assert_eq!(back.stats, art.stats);
+        // older artifacts without the new fields still load
+        let legacy = r#"{"algorithm":"ThreePass1","n":8,
+            "config":{"num_disks":1,"block_size":2,"mem_capacity":4},
+            "peak_mem_keys":4,
+            "stats":{"blocks_read":0,"blocks_written":0,"read_steps":0,
+                     "write_steps":0,"per_disk_reads":[0],"per_disk_writes":[0],
+                     "phases":[],"open_phase":null,"group":null,"trace":null}}"#;
+        let old: StatsArtifact = serde_json::from_str(legacy).unwrap();
+        assert!(!old.fell_back);
+        assert_eq!(old.read_passes, 0.0);
+    }
+
+    #[test]
+    fn bars_and_sparklines_are_bounded() {
+        assert_eq!(bar(0.0, 10.0, 20), "");
+        assert_eq!(bar(10.0, 10.0, 20).chars().count(), 20);
+        assert_eq!(bar(0.001, 10.0, 20).chars().count(), 1, "nonzero shows a cell");
+        let t = vec![BatchTrace { write: false, blocks: 4, steps: 1 }; 500];
+        assert_eq!(sparkline(&t, 4, 60).chars().count(), 60);
+        assert!(sparkline(&[], 4, 60).is_empty());
+        assert_eq!(imbalance(&[2, 2, 2, 2]), 1.0);
+        assert_eq!(imbalance(&[]), 0.0);
+        assert_eq!(truncate("abcdef", 4), "abc…");
+    }
+}

@@ -52,8 +52,21 @@ fn dispatch(cmd: Command, out: &mut dyn Write) -> std::result::Result<i32, Box<d
             info(geo, out)?;
             Ok(0)
         }
-        Command::Sort { input, out: output, geo, algo, scratch, stats } => {
-            sort(&input, &output, geo, algo, scratch.as_deref(), stats.as_deref(), out)?;
+        Command::Sort { input, out: output, geo, algo, scratch, stats, events } => {
+            sort(
+                &input,
+                &output,
+                geo,
+                algo,
+                scratch.as_deref(),
+                stats.as_deref(),
+                events.as_deref(),
+                out,
+            )?;
+            Ok(0)
+        }
+        Command::Report { stats } => {
+            crate::report::report_cmd(&stats, out)?;
             Ok(0)
         }
     }
@@ -168,6 +181,7 @@ fn info(geo: Geometry, out: &mut dyn Write) -> std::io::Result<()> {
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn sort(
     input: &str,
     output: &str,
@@ -175,6 +189,7 @@ fn sort(
     algo: Algo,
     scratch: Option<&str>,
     stats_path: Option<&str>,
+    events_path: Option<&str>,
     out: &mut dyn Write,
 ) -> std::result::Result<(), Box<dyn std::error::Error>> {
     let n = keyfile::count_keys(input)?;
@@ -192,6 +207,12 @@ fn sort(
         None => FileStorage::<u64>::create_temp(geo.disks, geo.b)?,
     };
     let mut pdm = Pdm::with_storage(cfg, storage)?;
+    if stats_path.is_some() {
+        pdm.stats_mut().enable_trace(8192);
+    }
+    if events_path.is_some() {
+        pdm.enable_probe(1 << 20);
+    }
     let region = pdm.alloc_region_for_keys(n)?;
 
     // Stage the input file onto the disks (the model's "input resides on
@@ -220,32 +241,32 @@ fn sort(
     }
 
     let t0 = std::time::Instant::now();
-    let (out_region, label) = match algo {
+    let (out_region, label, fell_back, read_passes, write_passes) = match algo {
         Algo::Auto => {
             let rep = pdm_sort::pdm_sort(&mut pdm, &region, n)?;
             writeln!(out, "algorithm: {} (auto)", rep.algorithm)?;
             report(out, &rep, &pdm)?;
-            (rep.output, rep.algorithm.to_string())
+            (rep.output, rep.algorithm.to_string(), rep.fell_back, rep.read_passes, rep.write_passes)
         }
         Algo::ThreePass1 => {
             let rep = pdm_sort::three_pass1(&mut pdm, &region, n)?;
             report(out, &rep, &pdm)?;
-            (rep.output, "ThreePass1".into())
+            (rep.output, "ThreePass1".into(), rep.fell_back, rep.read_passes, rep.write_passes)
         }
         Algo::ThreePass2 => {
             let rep = pdm_sort::three_pass2(&mut pdm, &region, n)?;
             report(out, &rep, &pdm)?;
-            (rep.output, "ThreePass2".into())
+            (rep.output, "ThreePass2".into(), rep.fell_back, rep.read_passes, rep.write_passes)
         }
         Algo::ExpectedTwoPass => {
             let rep = pdm_sort::expected_two_pass(&mut pdm, &region, n)?;
             report(out, &rep, &pdm)?;
-            (rep.output, "ExpectedTwoPass".into())
+            (rep.output, "ExpectedTwoPass".into(), rep.fell_back, rep.read_passes, rep.write_passes)
         }
         Algo::SevenPass => {
             let rep = pdm_sort::seven_pass(&mut pdm, &region, n)?;
             report(out, &rep, &pdm)?;
-            (rep.output, "SevenPass".into())
+            (rep.output, "SevenPass".into(), rep.fell_back, rep.read_passes, rep.write_passes)
         }
         Algo::Radix => {
             let rep = pdm_sort::radix_sort(&mut pdm, &region, n, 64)?;
@@ -257,13 +278,19 @@ fn sort(
                 rep.segments_sorted
             )?;
             report(out, &rep.report, &pdm)?;
-            (rep.report.output, "RadixSort".into())
+            (
+                rep.report.output,
+                "RadixSort".into(),
+                rep.report.fell_back,
+                rep.report.read_passes,
+                rep.report.write_passes,
+            )
         }
         Algo::Mergesort => {
             let (o, rp, wp) = pdm_baseline::merge_sort(&mut pdm, &region, n)?;
             writeln!(out, "read passes:  {rp:.3}")?;
             writeln!(out, "write passes: {wp:.3}")?;
-            (o, "mergesort".into())
+            (o, "mergesort".into(), false, rp, wp)
         }
     };
     let elapsed = t0.elapsed();
@@ -294,23 +321,36 @@ fn sort(
         elapsed
     )?;
     if let Some(path) = stats_path {
-        #[derive(serde::Serialize)]
-        struct StatsDump<'a> {
-            algorithm: &'a str,
-            n: usize,
-            config: &'a PdmConfig,
-            peak_mem_keys: usize,
-            stats: &'a IoStats,
-        }
-        let dump = StatsDump {
-            algorithm: &label,
+        let artifact = crate::report::StatsArtifact {
+            algorithm: label.clone(),
             n,
-            config: &cfg,
+            config: cfg,
             peak_mem_keys: pdm.mem().peak(),
-            stats: pdm.stats(),
+            fell_back,
+            read_passes,
+            write_passes,
+            stats: pdm.stats().clone(),
         };
-        std::fs::write(path, serde_json::to_string_pretty(&dump)?)?;
-        writeln!(out, "stats written to {path}")?;
+        std::fs::write(path, serde_json::to_string_pretty(&artifact)?)?;
+        writeln!(out, "stats written to {path} (render with `pdmsort report {path}`)")?;
+    }
+    if let Some(path) = events_path {
+        let probe = pdm
+            .stats()
+            .probe()
+            .ok_or("probe unexpectedly disabled")?;
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        for ev in probe.events() {
+            serde_json::to_writer(&mut f, ev)?;
+            writeln!(f)?;
+        }
+        f.flush()?;
+        writeln!(
+            out,
+            "{} events written to {path} ({} dropped past the cap)",
+            probe.events().len(),
+            probe.dropped
+        )?;
     }
     Ok(())
 }
@@ -531,6 +571,91 @@ mod tests {
         assert_eq!(v["n"], 2000);
         assert!(v["stats"]["blocks_read"].as_u64().unwrap() > 0);
         assert_eq!(v["config"]["block_size"], 16);
+        for f in [&inp, &outp, &statsp] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn events_stream_is_written_and_replays_to_the_stats_counters() {
+        let inp = tmp("ev-in.keys");
+        let outp = tmp("ev-out.keys");
+        let statsp = tmp("ev.json");
+        let eventsp = tmp("ev.jsonl");
+        run_args(&["gen", "2000", &inp, "--dist", "permutation", "--seed", "3"]);
+        let (c, log) = run_args(&[
+            "sort", &inp, &outp, "--disks", "4", "--b", "16", "--stats", &statsp, "--events",
+            &eventsp,
+        ]);
+        assert_eq!(c, 0, "{log}");
+        assert!(log.contains("events written"), "{log}");
+
+        // every line is one tagged JSON event; the stream replays to the
+        // exact aggregate counters the stats artifact recorded
+        let txt = std::fs::read_to_string(&eventsp).unwrap();
+        let events: Vec<ProbeEvent> = txt
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert!(!events.is_empty());
+        let art: crate::report::StatsArtifact =
+            serde_json::from_str(&std::fs::read_to_string(&statsp).unwrap()).unwrap();
+        let rep = replay(&events, art.config.num_disks);
+        assert_eq!(rep.blocks_read, art.stats.blocks_read);
+        assert_eq!(rep.blocks_written, art.stats.blocks_written);
+        assert_eq!(rep.read_steps, art.stats.read_steps);
+        assert_eq!(rep.write_steps, art.stats.write_steps);
+        assert_eq!(rep.per_disk_reads, art.stats.per_disk_reads);
+        assert_eq!(rep.per_disk_writes, art.stats.per_disk_writes);
+        for f in [&inp, &outp, &statsp, &eventsp] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn report_renders_tables_for_every_forced_algorithm() {
+        let inp = tmp("rp-in.keys");
+        run_args(&["gen", "4096", &inp, "--dist", "random", "--seed", "5"]);
+        for algo in ["three-pass1", "three-pass2", "seven-pass", "radix", "mergesort"] {
+            let outp = tmp(&format!("rp-out-{algo}.keys"));
+            let statsp = tmp(&format!("rp-{algo}.json"));
+            let (c, log) = run_args(&[
+                "sort", &inp, &outp, "--disks", "2", "--b", "16", "--algo", algo, "--stats",
+                &statsp,
+            ]);
+            assert_eq!(c, 0, "{algo}: {log}");
+            let (c, rendered) = run_args(&["report", &statsp]);
+            assert_eq!(c, 0, "{algo}: {rendered}");
+            assert!(rendered.contains("pdmsort report"), "{algo}: {rendered}");
+            assert!(rendered.contains("per-disk I/O"), "{algo}: {rendered}");
+            assert!(rendered.contains("pass-budget waterfall"), "{algo}: {rendered}");
+            if algo != "mergesort" {
+                assert!(rendered.contains("per-phase breakdown"), "{algo}: {rendered}");
+            }
+            std::fs::remove_file(&outp).ok();
+            std::fs::remove_file(&statsp).ok();
+        }
+        std::fs::remove_file(&inp).ok();
+    }
+
+    #[test]
+    fn stats_artifact_exposes_the_sort_report_fields() {
+        let inp = tmp("sa-in.keys");
+        let outp = tmp("sa-out.keys");
+        let statsp = tmp("sa.json");
+        run_args(&["gen", "2000", &inp, "--dist", "permutation"]);
+        let (c, log) = run_args(&[
+            "sort", &inp, &outp, "--disks", "2", "--b", "16", "--stats", &statsp,
+        ]);
+        assert_eq!(c, 0, "{log}");
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&statsp).unwrap()).unwrap();
+        assert!(v["algorithm"].is_string());
+        assert!(v["read_passes"].as_f64().unwrap() > 0.0);
+        assert!(v["write_passes"].as_f64().unwrap() > 0.0);
+        assert!(v["fell_back"].is_boolean());
+        assert!(v["peak_mem_keys"].as_u64().unwrap() > 0);
+        assert!(!v["stats"]["phases"].as_array().unwrap().is_empty());
         for f in [&inp, &outp, &statsp] {
             std::fs::remove_file(f).ok();
         }

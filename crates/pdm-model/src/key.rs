@@ -22,6 +22,14 @@ pub trait PdmKey: Copy + Ord + Send + Sync + Debug + 'static {
     fn write_bytes(&self, out: &mut [u8]);
     /// Deserialize from exactly `WIDTH` bytes.
     fn read_bytes(bytes: &[u8]) -> Self;
+
+    /// Signed distance gauge `self − other` for telemetry: positive when
+    /// `self > other`, saturating at `±i64::MAX`. Purely observational —
+    /// algorithms must never branch on it. The default (always 0) is
+    /// correct for key types with no meaningful numeric distance.
+    fn gauge_distance(&self, _other: &Self) -> i64 {
+        0
+    }
 }
 
 macro_rules! impl_int_key {
@@ -39,6 +47,13 @@ macro_rules! impl_int_key {
                 let mut buf = [0u8; std::mem::size_of::<$t>()];
                 buf.copy_from_slice(&bytes[..Self::WIDTH]);
                 <$t>::from_le_bytes(buf)
+            }
+
+            fn gauge_distance(&self, other: &Self) -> i64 {
+                // abs_diff works uniformly for signed and unsigned widths
+                // (including 128-bit, where `as` casts would wrap)
+                let mag = i64::try_from(self.abs_diff(*other)).unwrap_or(i64::MAX);
+                if *self >= *other { mag } else { -mag }
             }
         }
     )*};
@@ -100,6 +115,10 @@ impl PdmKey for Tagged {
             key: u64::from_le_bytes(k),
             payload: u64::from_le_bytes(p),
         }
+    }
+
+    fn gauge_distance(&self, other: &Self) -> i64 {
+        self.key.gauge_distance(&other.key)
     }
 }
 
@@ -229,6 +248,18 @@ mod tests {
         assert_eq!(i8::MIN.rank(), 0);
         assert_eq!(i8::MAX.rank(), 255);
         assert!((-5i16).rank() < 5i16.rank());
+    }
+
+    #[test]
+    fn gauge_distance_is_signed_and_saturating() {
+        assert_eq!(10u64.gauge_distance(&3), 7);
+        assert_eq!(3u64.gauge_distance(&10), -7);
+        assert_eq!(5u32.gauge_distance(&5), 0);
+        assert_eq!((-4i64).gauge_distance(&4), -8);
+        assert_eq!(u64::MAX.gauge_distance(&0), i64::MAX, "saturates");
+        assert_eq!(u128::MAX.gauge_distance(&0), i64::MAX);
+        assert_eq!(i128::MIN.gauge_distance(&i128::MAX), i64::MIN + 1);
+        assert_eq!(Tagged::new(9, 0).gauge_distance(&Tagged::new(2, 7)), 7);
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod layout;
 pub mod machine;
 pub mod mem;
 pub mod overlap;
+pub mod probe;
 pub mod stats;
 pub mod storage;
 pub mod storage_file;
@@ -68,7 +69,8 @@ pub mod prelude {
     pub use crate::layout::{BlockAddr, Region};
     pub use crate::machine::Pdm;
     pub use crate::mem::{MemGuard, MemTracker, TrackedBuf};
-    pub use crate::stats::{IoStats, PhaseStats};
+    pub use crate::probe::{replay, Probe, ProbeEvent, ReplayedPhase, ReplayedStats};
+    pub use crate::stats::{IoStats, OverlapCounters, PhaseStats};
     pub use crate::storage::{MemStorage, Storage};
     pub use crate::storage_file::FileStorage;
     pub use crate::storage_flaky::{FailMode, FlakyStorage};

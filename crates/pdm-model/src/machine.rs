@@ -83,10 +83,41 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
         &mut self.stats
     }
 
-    /// Reset all I/O counters (memory peak included).
+    /// Reset all I/O counters (memory peak included). Trace and probe
+    /// enablement survive the reset with their original caps, so callers
+    /// that reset between staging and measurement keep observability on.
     pub fn reset_stats(&mut self) {
+        let trace_cap = self.stats.trace_capacity();
+        let probe_cap = self.stats.probe_capacity();
         self.stats = IoStats::new(self.cfg.num_disks);
+        if let Some(cap) = trace_cap {
+            self.stats.enable_trace(cap);
+        }
+        if let Some(cap) = probe_cap {
+            self.stats.enable_probe(cap);
+        }
         self.mem.reset_peak();
+    }
+
+    /// Open a named phase, sampling memory gauges from the machine's
+    /// [`MemTracker`] at the boundary (see [`IoStats::begin_phase_gauged`]).
+    /// Algorithms should prefer this over `stats_mut().begin_phase` so that
+    /// per-phase residency shows up in reports and probe streams.
+    pub fn begin_phase(&mut self, name: impl Into<String>) {
+        let (cur, peak) = (self.mem.current(), self.mem.peak());
+        self.stats.begin_phase_gauged(name, cur, peak);
+    }
+
+    /// Close the open phase with memory gauges sampled at the boundary.
+    pub fn end_phase(&mut self) {
+        let (cur, peak) = (self.mem.current(), self.mem.peak());
+        self.stats.end_phase_gauged(cur, peak);
+    }
+
+    /// Attach a structured event probe to the machine's counters (see
+    /// [`IoStats::enable_probe`]).
+    pub fn enable_probe(&mut self, cap: usize) {
+        self.stats.enable_probe(cap);
     }
 
     /// The internal-memory accountant.
@@ -601,5 +632,67 @@ mod tests {
         pdm.stats_mut().end_phase();
         assert_eq!(pdm.stats().phases.len(), 1);
         assert_eq!(pdm.stats().phases[0].blocks_read, 4);
+    }
+
+    #[test]
+    fn machine_phases_sample_memory_gauges() {
+        let mut pdm = machine();
+        let r = pdm.alloc_region(4).unwrap();
+        let buf = pdm.alloc_buf(32).unwrap();
+        pdm.begin_phase("with-buf");
+        let mut out = Vec::new();
+        pdm.read_region(&r, &mut out).unwrap();
+        pdm.end_phase();
+        drop(buf);
+        pdm.begin_phase("after-drop");
+        pdm.end_phase();
+        let ph = &pdm.stats().phases;
+        assert_eq!(ph[0].mem_begin, 32);
+        assert_eq!(ph[0].mem_end, 32);
+        assert!(ph[0].mem_peak >= 32);
+        assert_eq!(ph[1].mem_begin, 0);
+        assert!(ph[1].mem_peak >= 32, "peak is a high-water mark");
+    }
+
+    #[test]
+    fn reset_stats_preserves_trace_and_probe_enablement() {
+        let mut pdm = machine();
+        pdm.stats_mut().enable_trace(128);
+        pdm.enable_probe(256);
+        let r = pdm.alloc_region(4).unwrap();
+        let mut out = Vec::new();
+        pdm.read_region(&r, &mut out).unwrap();
+        pdm.reset_stats();
+        assert_eq!(pdm.stats().blocks_read, 0);
+        assert_eq!(pdm.stats().trace.as_ref().map(|t| t.len()), Some(0));
+        assert_eq!(pdm.stats().probe().map(|p| p.events().len()), Some(0));
+        out.clear();
+        pdm.read_region(&r, &mut out).unwrap();
+        assert_eq!(pdm.stats().trace.as_ref().unwrap().len(), 1);
+        assert_eq!(pdm.stats().probe().unwrap().events().len(), 1);
+    }
+
+    #[test]
+    fn probe_stream_matches_machine_accounting() {
+        let mut pdm = machine();
+        pdm.enable_probe(1 << 12);
+        let r = pdm.alloc_region(8).unwrap();
+        pdm.begin_phase("write");
+        pdm.write_region(&r, &(0..64u64).collect::<Vec<_>>()).unwrap();
+        pdm.begin_phase("grouped");
+        let block = vec![1u64; 8];
+        pdm.begin_io_group();
+        for i in 0..4 {
+            pdm.write_blocks(&r, &[i], &block).unwrap();
+        }
+        pdm.end_io_group();
+        pdm.end_phase();
+        let replayed =
+            crate::probe::replay(pdm.stats().probe().unwrap().events(), pdm.cfg().num_disks);
+        assert_eq!(replayed.write_steps, pdm.stats().write_steps);
+        assert_eq!(replayed.blocks_written, pdm.stats().blocks_written);
+        assert_eq!(replayed.per_disk_writes, pdm.stats().per_disk_writes);
+        assert_eq!(replayed.phases.len(), 2);
+        assert_eq!(replayed.phases[1].write_steps, 1, "grouped stripe is one step");
     }
 }

@@ -31,6 +31,13 @@ pub trait PendingRead<K> {
     /// Block until every request completes, writing the blocks (in request
     /// order) into `out`, which must hold exactly `requests × B` keys.
     fn wait(self: Box<Self>, out: &mut [K]) -> Result<()>;
+
+    /// Whether every request has already completed, so `wait` would not
+    /// block. Purely observational (feeds the overlap hit/stall counters in
+    /// [`crate::stats::OverlapCounters`]); eager backends are always ready.
+    fn is_ready(&self) -> bool {
+        true
+    }
 }
 
 /// Storage that can issue reads without blocking on their completion.
@@ -108,6 +115,10 @@ impl<K: PdmKey> PendingRead<K> for ThreadedPending<K> {
         }
         Ok(())
     }
+
+    fn is_ready(&self) -> bool {
+        self.replies.iter().all(|rx| !rx.is_empty())
+    }
 }
 
 impl<K: PdmKey> OverlapStorage<K> for ThreadedStorage<K> {
@@ -127,6 +138,12 @@ impl<K: PdmKey> OverlapStorage<K> for ThreadedStorage<K> {
 pub trait PendingWrite {
     /// Block until every write completes.
     fn wait(self: Box<Self>) -> Result<()>;
+
+    /// Whether every write has already retired (see
+    /// [`PendingRead::is_ready`]).
+    fn is_ready(&self) -> bool {
+        true
+    }
 }
 
 /// Write-side extension of [`OverlapStorage`].
@@ -184,6 +201,10 @@ impl PendingWrite for ThreadedWritePending {
         }
         Ok(())
     }
+
+    fn is_ready(&self) -> bool {
+        self.replies.iter().all(|rx| !rx.is_empty())
+    }
 }
 
 impl<K: PdmKey> OverlapWriteStorage<K> for ThreadedStorage<K> {
@@ -238,6 +259,12 @@ impl<K: PdmKey> FlushBehindWriter<K> {
         debug_assert_eq!(self.filling.len() % self.region.block_size(), 0);
         // retire the previous in-flight batch before reusing its buffer
         if let Some(p) = self.inflight.take() {
+            let ov = &mut pdm.stats_mut().overlap;
+            if p.is_ready() {
+                ov.flush_hits += 1;
+            } else {
+                ov.flush_stalls += 1;
+            }
             p.wait()?;
         }
         std::mem::swap(&mut self.filling, &mut self.inflight_data);
@@ -245,6 +272,7 @@ impl<K: PdmKey> FlushBehindWriter<K> {
         let nblocks = self.inflight_data.len() / self.region.block_size();
         let idx: Vec<usize> = (self.next_block..self.next_block + nblocks).collect();
         let pending = pdm.start_write_blocks(&self.region, &idx, &self.inflight_data)?;
+        pdm.stats_mut().overlap.flush_batches += 1;
         self.next_block += nblocks;
         self.inflight = Some(pending);
         Ok(())
@@ -278,6 +306,12 @@ impl<K: PdmKey> FlushBehindWriter<K> {
         }
         self.flush_filling(pdm)?;
         if let Some(p) = self.inflight.take() {
+            let ov = &mut pdm.stats_mut().overlap;
+            if p.is_ready() {
+                ov.flush_hits += 1;
+            } else {
+                ov.flush_stalls += 1;
+            }
             p.wait()?;
         }
         Ok(self.written)
@@ -334,6 +368,7 @@ impl<K: PdmKey> PrefetchReader<K> {
         }
         let idx: Vec<usize> = (self.next_block..self.next_block + take).collect();
         let pending = pdm.start_read_blocks(&self.region, &idx)?;
+        pdm.stats_mut().overlap.prefetch_batches += 1;
         self.next_block += take;
         self.inflight = Some((pending, take));
         Ok(())
@@ -345,6 +380,12 @@ impl<K: PdmKey> PrefetchReader<K> {
         let Some((pending, blocks)) = self.inflight.take() else {
             return Ok(false);
         };
+        let ov = &mut pdm.stats_mut().overlap;
+        if pending.is_ready() {
+            ov.prefetch_hits += 1;
+        } else {
+            ov.prefetch_stalls += 1;
+        }
         let b = self.region.block_size();
         {
             let buf = self.inflight_buf.as_vec_mut();
@@ -583,5 +624,51 @@ mod tests {
         let p = Box::new(EagerPending { data: vec![1u64, 2] });
         let mut small = [0u64; 1];
         assert!(p.wait(&mut small).is_err());
+    }
+
+    #[test]
+    fn overlap_counters_track_batches_hits_and_stalls() {
+        // eager backend: every rotation is a hit, never a stall
+        let mut pdm: Pdm<u64> = Pdm::new(PdmConfig::new(4, 8, 256)).unwrap();
+        let n = 512usize;
+        let data: Vec<u64> = (0..n as u64).collect();
+        let r = pdm.alloc_region_for_keys(n).unwrap();
+        pdm.ingest(&r, &data).unwrap();
+        let mut rd = PrefetchReader::new(&mut pdm, r, n, 4).unwrap();
+        let mut out = Vec::new();
+        while rd.take_into(&mut pdm, 64, &mut out).unwrap() > 0 {}
+        let ov = pdm.stats().overlap;
+        assert_eq!(ov.prefetch_batches, 16, "64 blocks in 4-block batches");
+        assert_eq!(ov.prefetch_hits, 16, "every issued batch rotates in once");
+        assert_eq!(ov.prefetch_stalls, 0, "eager backend never stalls");
+
+        let r2 = pdm.alloc_region_for_keys(n).unwrap();
+        let mut w = FlushBehindWriter::new(&mut pdm, r2, 4).unwrap();
+        w.push_slice(&mut pdm, &data).unwrap();
+        w.finish(&mut pdm).unwrap();
+        let ov = pdm.stats().overlap;
+        assert_eq!(ov.flush_batches, 16);
+        assert_eq!(ov.flush_hits + ov.flush_stalls, 16, "every issued batch retires");
+        assert_eq!(ov.flush_stalls, 0, "eager backend never stalls");
+    }
+
+    #[test]
+    fn overlap_counters_balance_on_threaded_backend() {
+        // hit/stall split is timing-dependent, but every issued batch must
+        // retire exactly once
+        let (d, b) = (4usize, 8usize);
+        let storage = ThreadedStorage::<u64>::new(d, b);
+        let mut pdm = Pdm::with_storage(PdmConfig::new(d, b, 8 * d * b), storage).unwrap();
+        let n = 16 * b;
+        let data: Vec<u64> = (0..n as u64).collect();
+        let r = pdm.alloc_region_for_keys(n).unwrap();
+        pdm.ingest(&r, &data).unwrap();
+        let mut rd = PrefetchReader::new(&mut pdm, r, n, d).unwrap();
+        let mut out = Vec::new();
+        while rd.take_into(&mut pdm, d * b, &mut out).unwrap() > 0 {}
+        assert_eq!(out, data);
+        let ov = pdm.stats().overlap;
+        assert_eq!(ov.prefetch_batches, 4);
+        assert_eq!(ov.prefetch_hits + ov.prefetch_stalls, 4);
     }
 }

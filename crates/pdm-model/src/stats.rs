@@ -11,6 +11,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::probe::Probe;
+
 /// Cumulative I/O counters for a PDM machine.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IoStats {
@@ -33,6 +35,42 @@ pub struct IoStats {
     group: Option<(Vec<u64>, Vec<u64>)>,
     /// Per-batch trace, when enabled (capped; see [`IoStats::enable_trace`]).
     pub trace: Option<Vec<BatchTrace>>,
+    /// Batches not traced because the trace cap was reached.
+    #[serde(default)]
+    pub trace_dropped: u64,
+    #[serde(default)]
+    trace_cap: usize,
+    /// Overlap-layer counters (prefetch / flush-behind), updated by
+    /// [`crate::overlap::PrefetchReader`] and
+    /// [`crate::overlap::FlushBehindWriter`].
+    #[serde(default)]
+    pub overlap: OverlapCounters,
+    /// Structured event probe, when enabled (see [`IoStats::enable_probe`]).
+    #[serde(skip)]
+    probe: Option<Box<Probe>>,
+}
+
+/// Counters for the asynchronous-overlap layer: how often the double
+/// buffering actually hid latency. `hits` count rotations where the
+/// in-flight I/O had already completed when needed; `stalls` count
+/// rotations that had to wait. On the eager (memory / file) backends
+/// every rotation is a hit; on the threaded backend the split is
+/// timing-dependent, which is why these live outside the probe's
+/// deterministic event stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverlapCounters {
+    /// Read batches issued asynchronously by a prefetch reader.
+    pub prefetch_batches: u64,
+    /// Prefetch rotations where the data was already resident.
+    pub prefetch_hits: u64,
+    /// Prefetch rotations that blocked on the in-flight read.
+    pub prefetch_stalls: u64,
+    /// Write batches issued asynchronously by a flush-behind writer.
+    pub flush_batches: u64,
+    /// Flush rotations where the previous write had already retired.
+    pub flush_hits: u64,
+    /// Flush rotations that blocked on the in-flight write.
+    pub flush_stalls: u64,
 }
 
 /// One recorded I/O batch (trace mode).
@@ -69,6 +107,18 @@ pub struct PhaseStats {
     pub read_steps: u64,
     /// Parallel write steps during the phase.
     pub write_steps: u64,
+    /// Tracked internal-memory residency (keys) when the phase opened.
+    /// Zero unless the phase was opened through a gauge-sampling caller
+    /// such as [`crate::machine::Pdm::begin_phase`].
+    #[serde(default)]
+    pub mem_begin: usize,
+    /// Tracked residency (keys) when the phase closed.
+    #[serde(default)]
+    pub mem_end: usize,
+    /// High-water residency (keys) observed by the phase close — the
+    /// machine-lifetime peak so far, sampled at the boundary.
+    #[serde(default)]
+    pub mem_peak: usize,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -77,6 +127,7 @@ struct Snapshot {
     blocks_written: u64,
     read_steps: u64,
     write_steps: u64,
+    mem_begin: usize,
 }
 
 impl IoStats {
@@ -93,25 +144,73 @@ impl IoStats {
             open_phase: None,
             group: None,
             trace: None,
+            trace_dropped: 0,
+            trace_cap: 0,
+            overlap: OverlapCounters::default(),
+            probe: None,
         }
     }
 
     /// Record every subsequent batch into `trace` (up to `cap` entries, to
     /// bound memory; older entries are retained, new ones dropped past the
-    /// cap). Intended for visualization and debugging, not for hot paths.
+    /// cap and counted in [`IoStats::trace_dropped`]). Intended for
+    /// visualization and debugging, not for hot paths.
     pub fn enable_trace(&mut self, cap: usize) {
-        self.trace = Some(Vec::with_capacity(cap.min(1 << 20)));
+        // `Vec::with_capacity` may over-allocate, so the cap is stored
+        // explicitly rather than inferred from `capacity()`.
+        self.trace_cap = cap.min(1 << 20);
+        self.trace = Some(Vec::with_capacity(self.trace_cap));
+        self.trace_dropped = 0;
+    }
+
+    /// The trace cap, if tracing is enabled (for re-arming after a reset).
+    pub fn trace_capacity(&self) -> Option<usize> {
+        self.trace.as_ref().map(|_| self.trace_cap)
     }
 
     fn push_trace(&mut self, write: bool, blocks: u64, steps: u64) {
         if let Some(t) = &mut self.trace {
-            if t.len() < t.capacity() {
+            if t.len() < self.trace_cap {
                 t.push(BatchTrace {
                     write,
                     blocks: blocks as u32,
                     steps: steps as u32,
                 });
+            } else {
+                self.trace_dropped += 1;
             }
+        }
+    }
+
+    /// Attach a structured event probe retaining at most `cap` events; every
+    /// subsequent batch, phase boundary, group boundary, and gauge sample is
+    /// recorded as a [`crate::probe::ProbeEvent`]. Default-off: when no probe
+    /// is attached the accounting hot path pays one `Option` check.
+    pub fn enable_probe(&mut self, cap: usize) {
+        self.probe = Some(Box::new(Probe::new(cap)));
+    }
+
+    /// The attached probe, if any.
+    pub fn probe(&self) -> Option<&Probe> {
+        self.probe.as_deref()
+    }
+
+    /// The probe's event cap, if a probe is attached.
+    pub fn probe_capacity(&self) -> Option<usize> {
+        self.probe.as_ref().map(|p| p.cap())
+    }
+
+    /// Detach and return the probe (e.g. to serialize its events).
+    pub fn take_probe(&mut self) -> Option<Box<Probe>> {
+        self.probe.take()
+    }
+
+    /// Record a named scalar gauge into the probe (no-op when disabled).
+    /// Used by higher layers for algorithm-specific telemetry such as
+    /// cleanup carry occupancy or boundary-check margins.
+    pub fn probe_gauge(&mut self, name: &str, value: i64) {
+        if let Some(p) = &mut self.probe {
+            p.on_gauge(name, value);
         }
     }
 
@@ -144,22 +243,50 @@ impl IoStats {
         assert!(self.group.is_none(), "I/O groups do not nest");
         let d = self.per_disk_reads.len();
         self.group = Some((vec![0; d], vec![0; d]));
+        if let Some(p) = &mut self.probe {
+            p.on_group_begin();
+        }
     }
 
     /// Close the open I/O group, charging its deferred step cost.
     pub fn end_group(&mut self) {
         if let Some((reads, writes)) = self.group.take() {
-            self.read_steps += reads.iter().copied().max().unwrap_or(0);
-            self.write_steps += writes.iter().copied().max().unwrap_or(0);
+            let r = reads.iter().copied().max().unwrap_or(0);
+            let w = writes.iter().copied().max().unwrap_or(0);
+            self.read_steps += r;
+            self.write_steps += w;
+            if let Some(p) = &mut self.probe {
+                p.on_group_settle(r, w, false);
+            }
         }
     }
 
-    fn snapshot(&self) -> Snapshot {
+    /// Charge the open group's accumulated cost *now*, without closing the
+    /// group: the accumulators reset and keep collecting. Called from
+    /// [`IoStats::end_phase`] so that steps deferred inside a group are
+    /// attributed to the phase that issued them rather than silently leaking
+    /// into whichever phase happens to call `end_group` later.
+    fn settle_open_group(&mut self) {
+        if let Some((reads, writes)) = &mut self.group {
+            let r = reads.iter().copied().max().unwrap_or(0);
+            let w = writes.iter().copied().max().unwrap_or(0);
+            reads.iter_mut().for_each(|c| *c = 0);
+            writes.iter_mut().for_each(|c| *c = 0);
+            self.read_steps += r;
+            self.write_steps += w;
+            if let Some(p) = &mut self.probe {
+                p.on_group_settle(r, w, true);
+            }
+        }
+    }
+
+    fn snapshot(&self, mem_begin: usize) -> Snapshot {
         Snapshot {
             blocks_read: self.blocks_read,
             blocks_written: self.blocks_written,
             read_steps: self.read_steps,
             write_steps: self.write_steps,
+            mem_begin,
         }
     }
 
@@ -176,12 +303,17 @@ impl IoStats {
         }
         self.blocks_read += total;
         self.push_trace(false, total, max);
-        if let Some((reads, _)) = &mut self.group {
+        let grouped = if let Some((reads, _)) = &mut self.group {
             for (g, &c) in reads.iter_mut().zip(disk_counts) {
                 *g += c;
             }
+            true
         } else {
             self.read_steps += max;
+            false
+        };
+        if let Some(p) = &mut self.probe {
+            p.on_batch(false, total, if grouped { 0 } else { max }, disk_counts);
         }
     }
 
@@ -196,32 +328,68 @@ impl IoStats {
         }
         self.blocks_written += total;
         self.push_trace(true, total, max);
-        if let Some((_, writes)) = &mut self.group {
+        let grouped = if let Some((_, writes)) = &mut self.group {
             for (g, &c) in writes.iter_mut().zip(disk_counts) {
                 *g += c;
             }
+            true
         } else {
             self.write_steps += max;
+            false
+        };
+        if let Some(p) = &mut self.probe {
+            p.on_batch(true, total, if grouped { 0 } else { max }, disk_counts);
         }
     }
 
     /// Open a named phase; counter deltas until [`IoStats::end_phase`] are
     /// attributed to it. Phases may not nest; opening a new phase closes the
-    /// previous one.
+    /// previous one. Memory gauges record as zero — use
+    /// [`crate::machine::Pdm::begin_phase`] (or
+    /// [`IoStats::begin_phase_gauged`]) to sample real residency.
     pub fn begin_phase(&mut self, name: impl Into<String>) {
-        self.end_phase();
-        self.open_phase = Some((name.into(), self.snapshot()));
+        self.begin_phase_gauged(name, 0, 0);
+    }
+
+    /// [`IoStats::begin_phase`] with memory gauges sampled by the caller:
+    /// `mem_current`/`mem_peak` are tracked residency and high-water (keys)
+    /// at the boundary, typically from [`crate::mem::MemTracker`].
+    pub fn begin_phase_gauged(&mut self, name: impl Into<String>, mem_current: usize, mem_peak: usize) {
+        self.end_phase_gauged(mem_current, mem_peak);
+        let name = name.into();
+        if let Some(p) = &mut self.probe {
+            p.on_phase_begin(&name, mem_current as u64, mem_peak as u64);
+        }
+        self.open_phase = Some((name, self.snapshot(mem_current)));
     }
 
     /// Close the open phase, if any, pushing its deltas onto `phases`.
+    ///
+    /// If an I/O group is still open, its deferred steps are charged here
+    /// (and the group keeps collecting), so the phase that issued grouped
+    /// batches is the phase billed for them.
     pub fn end_phase(&mut self) {
+        self.end_phase_gauged(0, 0);
+    }
+
+    /// [`IoStats::end_phase`] with caller-sampled memory gauges.
+    pub fn end_phase_gauged(&mut self, mem_current: usize, mem_peak: usize) {
+        if self.open_phase.is_some() {
+            self.settle_open_group();
+        }
         if let Some((name, snap)) = self.open_phase.take() {
+            if let Some(p) = &mut self.probe {
+                p.on_phase_end(mem_current as u64, mem_peak as u64);
+            }
             self.phases.push(PhaseStats {
                 name,
                 blocks_read: self.blocks_read - snap.blocks_read,
                 blocks_written: self.blocks_written - snap.blocks_written,
                 read_steps: self.read_steps - snap.read_steps,
                 write_steps: self.write_steps - snap.write_steps,
+                mem_begin: snap.mem_begin,
+                mem_end: mem_current,
+                mem_peak,
             });
         }
     }
@@ -393,6 +561,126 @@ mod tests {
         let mut s = IoStats::new(1);
         s.end_phase();
         assert!(s.phases.is_empty());
+    }
+
+    #[test]
+    fn trace_cap_is_exact_and_drops_are_counted() {
+        // regression: push_trace used to gate on Vec::capacity(), which
+        // with_capacity may over-allocate — the cap must be the one asked for
+        let mut s = IoStats::new(2);
+        s.enable_trace(5);
+        for _ in 0..9 {
+            s.record_read_batch(&[1, 1]);
+        }
+        assert_eq!(s.trace.as_ref().unwrap().len(), 5);
+        assert_eq!(s.trace_dropped, 4);
+    }
+
+    #[test]
+    fn phase_closed_over_open_group_keeps_its_deferred_steps() {
+        // regression: steps deferred in an open I/O group used to be charged
+        // only at end_group, so a phase boundary inside the group lost them
+        let mut s = IoStats::new(4);
+        s.begin_phase("early");
+        s.begin_group();
+        s.record_write_batch(&[1, 0, 0, 0]);
+        s.record_write_batch(&[0, 1, 0, 0]);
+        s.begin_phase("late"); // closes "early" while the group is open
+        s.record_write_batch(&[0, 0, 1, 0]);
+        s.end_group();
+        s.end_phase();
+        assert_eq!(s.phases[0].name, "early");
+        assert_eq!(s.phases[0].write_steps, 1, "early phase keeps its grouped step");
+        assert_eq!(s.phases[1].name, "late");
+        assert_eq!(s.phases[1].write_steps, 1);
+        assert_eq!(s.write_steps, 2);
+        assert_eq!(s.blocks_written, 3);
+    }
+
+    #[test]
+    fn phase_group_split_does_not_change_ungrouped_totals() {
+        // a group wholly inside one phase is charged identically with and
+        // without the settlement path
+        let mut s = IoStats::new(4);
+        s.begin_phase("p");
+        s.begin_group();
+        s.record_write_batch(&[1, 0, 0, 0]);
+        s.record_write_batch(&[0, 1, 0, 0]);
+        s.end_group();
+        s.end_phase();
+        assert_eq!(s.write_steps, 1);
+        assert_eq!(s.phases[0].write_steps, 1);
+    }
+
+    #[test]
+    fn probe_stream_replays_to_aggregate_counters() {
+        let mut s = IoStats::new(4);
+        s.enable_probe(1 << 12);
+        s.begin_phase("a");
+        s.record_read_batch(&[1, 1, 1, 1]);
+        s.record_write_batch(&[3, 0, 1, 0]);
+        s.begin_phase("b");
+        s.begin_group();
+        s.record_write_batch(&[1, 0, 0, 0]);
+        s.record_write_batch(&[0, 1, 0, 0]);
+        s.end_group();
+        s.record_read_batch(&[2, 2, 2, 2]);
+        s.end_phase();
+        let p = s.probe().unwrap();
+        let r = crate::probe::replay(p.events(), 4);
+        assert_eq!(r.blocks_read, s.blocks_read);
+        assert_eq!(r.blocks_written, s.blocks_written);
+        assert_eq!(r.read_steps, s.read_steps);
+        assert_eq!(r.write_steps, s.write_steps);
+        assert_eq!(r.per_disk_reads, s.per_disk_reads);
+        assert_eq!(r.per_disk_writes, s.per_disk_writes);
+        assert_eq!(r.phases.len(), s.phases.len());
+        for (rp, sp) in r.phases.iter().zip(&s.phases) {
+            assert_eq!(rp.name, sp.name);
+            assert_eq!(rp.blocks_read, sp.blocks_read);
+            assert_eq!(rp.blocks_written, sp.blocks_written);
+            assert_eq!(rp.read_steps, sp.read_steps);
+            assert_eq!(rp.write_steps, sp.write_steps);
+        }
+    }
+
+    #[test]
+    fn probe_replays_phase_split_groups_exactly() {
+        // the settlement path must also round-trip through replay
+        let mut s = IoStats::new(2);
+        s.enable_probe(1 << 10);
+        s.begin_phase("early");
+        s.begin_group();
+        s.record_write_batch(&[1, 0]);
+        s.begin_phase("late");
+        s.record_write_batch(&[0, 1]);
+        s.end_group();
+        s.end_phase();
+        let r = crate::probe::replay(s.probe().unwrap().events(), 2);
+        assert_eq!(r.write_steps, s.write_steps);
+        assert_eq!(r.phases[0].write_steps, s.phases[0].write_steps);
+        assert_eq!(r.phases[1].write_steps, s.phases[1].write_steps);
+    }
+
+    #[test]
+    fn phase_memory_gauges_record_boundary_samples() {
+        let mut s = IoStats::new(2);
+        s.begin_phase_gauged("a", 128, 256);
+        s.record_read_batch(&[1, 1]);
+        s.end_phase_gauged(64, 300);
+        assert_eq!(s.phases[0].mem_begin, 128);
+        assert_eq!(s.phases[0].mem_end, 64);
+        assert_eq!(s.phases[0].mem_peak, 300);
+    }
+
+    #[test]
+    fn probe_gauge_is_noop_when_disabled() {
+        let mut s = IoStats::new(2);
+        s.probe_gauge("cleaner.carry", 7);
+        assert!(s.probe().is_none());
+        s.enable_probe(8);
+        s.probe_gauge("cleaner.carry", 7);
+        assert_eq!(s.probe().unwrap().events().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Golden pass-count regression gate.
+
+Runs `pdmsort sort --stats` for every case in results/golden_passes.json
+and checks the measured read passes against the recorded expectation:
+an exact value (± tol) for deterministic algorithms, a [min, max] band
+for expected-case algorithms and baselines.
+
+Usage:
+    scripts/check_golden.py [--binary target/release/pdmsort]
+                            [--golden results/golden_passes.json]
+                            [--update]
+
+--update rewrites the `exact` values in the golden file to the measured
+ones (bands are left alone) — review the diff before committing it.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run_case(binary, case, workdir):
+    inp = os.path.join(workdir, "in.keys")
+    outp = os.path.join(workdir, "out.keys")
+    stats = os.path.join(workdir, "stats.json")
+    subprocess.run(
+        [binary, "gen", str(case["n"]), inp,
+         "--dist", case["dist"], "--seed", str(case["seed"])],
+        check=True, capture_output=True, text=True,
+    )
+    subprocess.run(
+        [binary, "sort", inp, outp,
+         "--disks", str(case["disks"]), "--b", str(case["b"]),
+         "--algo", case["algo"], "--stats", stats],
+        check=True, capture_output=True, text=True,
+    )
+    subprocess.run([binary, "verify", outp], check=True,
+                   capture_output=True, text=True)
+    with open(stats) as f:
+        return json.load(f)
+
+
+def check(expect, measured):
+    """Return (ok, description-of-expectation)."""
+    if "exact" in expect:
+        tol = expect.get("tol", 0.01)
+        return (abs(measured - expect["exact"]) <= tol,
+                f"= {expect['exact']} ± {tol}")
+    return (expect["min"] <= measured <= expect["max"],
+            f"in [{expect['min']}, {expect['max']}]")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--binary", default="target/release/pdmsort")
+    ap.add_argument("--golden", default="results/golden_passes.json")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite exact expectations to the measured values")
+    args = ap.parse_args()
+
+    with open(args.golden) as f:
+        golden = json.load(f)
+
+    failures = 0
+    for case in golden["cases"]:
+        with tempfile.TemporaryDirectory(prefix="pdm-golden-") as wd:
+            try:
+                artifact = run_case(args.binary, case, wd)
+            except subprocess.CalledProcessError as e:
+                print(f"FAIL {case['name']}: pdmsort exited "
+                      f"{e.returncode}\n{e.stderr}")
+                failures += 1
+                continue
+        measured = artifact["read_passes"]
+        expect = case["read_passes"]
+        ok, desc = check(expect, measured)
+        status = "ok  " if ok else "FAIL"
+        print(f"{status} {case['name']}: read passes {measured:.3f} "
+              f"(expected {desc}, fell_back={artifact.get('fell_back')})")
+        if not ok:
+            failures += 1
+        if args.update and "exact" in expect:
+            expect["exact"] = round(measured, 3)
+
+    if args.update:
+        with open(args.golden, "w") as f:
+            json.dump(golden, f, indent=2)
+            f.write("\n")
+        print(f"updated {args.golden}")
+
+    if failures:
+        print(f"{failures} golden case(s) failed")
+        return 1
+    print("all golden cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

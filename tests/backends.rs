@@ -58,6 +58,70 @@ fn all_backends_agree_bit_for_bit_and_step_for_step() {
     assert_eq!(peak_mem, peak_thr);
 }
 
+fn run_probed<S: Storage<u64>>(storage: S, data: &[u64], b: usize) -> (IoStats, Box<Probe>) {
+    let n = data.len();
+    let mut pdm = Pdm::with_storage(PdmConfig::square(4, b), storage).unwrap();
+    let input = pdm.alloc_region_for_keys(n).unwrap();
+    pdm.ingest(&input, data).unwrap();
+    pdm.reset_stats();
+    pdm.enable_probe(1 << 20);
+    pdm_sort::three_pass2(&mut pdm, &input, n).unwrap();
+    let (_, mut stats) = pdm.into_parts();
+    let probe = stats.take_probe().expect("probe was enabled");
+    (stats, probe)
+}
+
+#[test]
+fn probe_event_streams_are_identical_across_backends_and_replay_exactly() {
+    let b = 16usize;
+    let n = b * b * b;
+    let data = workload(n);
+
+    let (stats_mem, probe_mem) = run_probed(MemStorage::new(4, b), &data, b);
+    let (stats_file, probe_file) =
+        run_probed(FileStorage::<u64>::create_temp(4, b).unwrap(), &data, b);
+    let (stats_thr, probe_thr) = run_probed(ThreadedStorage::<u64>::new(4, b), &data, b);
+
+    // The structured event stream carries no wall-clock, so it must be
+    // identical — event for event — on every backend.
+    assert_eq!(probe_mem.dropped, 0, "cap should be ample for this run");
+    assert_eq!(probe_mem, probe_file, "file backend event stream differs");
+    assert_eq!(probe_mem, probe_thr, "threaded backend event stream differs");
+
+    // Replaying the stream reconstructs the aggregate counters exactly.
+    let rep = replay(probe_mem.events(), 4);
+    assert_eq!(rep.blocks_read, stats_mem.blocks_read);
+    assert_eq!(rep.blocks_written, stats_mem.blocks_written);
+    assert_eq!(rep.read_steps, stats_mem.read_steps);
+    assert_eq!(rep.write_steps, stats_mem.write_steps);
+    assert_eq!(rep.per_disk_reads, stats_mem.per_disk_reads);
+    assert_eq!(rep.per_disk_writes, stats_mem.per_disk_writes);
+
+    // ... and the per-phase attribution, including grouped batches.
+    assert_eq!(rep.phases.len(), stats_mem.phases.len());
+    for (got, want) in rep.phases.iter().zip(&stats_mem.phases) {
+        assert_eq!(got.name, want.name);
+        assert_eq!(got.read_steps, want.read_steps, "phase {}", want.name);
+        assert_eq!(got.write_steps, want.write_steps, "phase {}", want.name);
+        assert_eq!(got.blocks_read, want.blocks_read, "phase {}", want.name);
+        assert_eq!(got.blocks_written, want.blocks_written, "phase {}", want.name);
+    }
+
+    // Overlap counters: batch counts are deterministic everywhere; the
+    // hit/stall split is timing-dependent on the threaded backend, but
+    // every rotation is exactly one of the two.
+    for s in [&stats_file, &stats_thr] {
+        let (a, b) = (&stats_mem.overlap, &s.overlap);
+        assert_eq!(a.prefetch_batches, b.prefetch_batches);
+        assert_eq!(a.flush_batches, b.flush_batches);
+        assert_eq!(
+            a.prefetch_hits + a.prefetch_stalls,
+            b.prefetch_hits + b.prefetch_stalls
+        );
+        assert_eq!(a.flush_hits + a.flush_stalls, b.flush_hits + b.flush_stalls);
+    }
+}
+
 #[test]
 fn file_backend_survives_every_algorithm() {
     let b = 8usize;
