@@ -131,6 +131,19 @@ pub enum Command {
         /// Optional path to dump the probe's structured event stream as
         /// JSONL (one event per line).
         events: Option<String>,
+        /// Directory to write pass-level checkpoint manifests into.
+        checkpoint_dir: Option<String>,
+        /// Resume from the latest checkpoint in `checkpoint_dir` (requires
+        /// `--scratch` so the partial run's disks survive).
+        resume: bool,
+        /// Fault-injection spec (see `parse_inject` in run.rs), e.g.
+        /// `transient:42:10000` or `nth-read:100`.
+        inject: Option<String>,
+        /// Enable transient-fault retrying with this many attempts per
+        /// block operation.
+        retry: Option<u32>,
+        /// Simulated backoff steps charged per retry (linear).
+        backoff: u64,
     },
     /// `pdmsort report <stats.json>` — render phase table, per-disk
     /// heatmap, sparkline, and pass-budget waterfall from a stats artifact.
@@ -168,6 +181,8 @@ USAGE:
   pdmsort gen <n> <out.keys> [--dist random|permutation|reversed|sorted|zipf] [--seed S]
   pdmsort sort <in.keys> <out.keys> [--disks D] [--b SQRT_M] [--algo A]
                [--scratch DIR] [--stats FILE.json] [--events FILE.jsonl]
+               [--checkpoint-dir DIR] [--resume] [--inject SPEC]
+               [--retry N] [--backoff STEPS]
   pdmsort report <stats.json>
   pdmsort compare <in.keys> [--disks D] [--b SQRT_M]
   pdmsort verify <file.keys>
@@ -175,7 +190,19 @@ USAGE:
 
 Key files are flat little-endian u64. Defaults: --disks 4 --b 64 (M = 4096
 keys), --algo auto. The sorter stages data through D real files (one per
-simulated disk) and reports the pass counts of the chosen algorithm.";
+simulated disk) and reports the pass counts of the chosen algorithm.
+
+Fault tolerance:
+  --checkpoint-dir DIR   write an atomic manifest after every completed pass
+  --resume               skip passes the latest manifest records as complete
+                         (needs --scratch from the interrupted run; only
+                         deterministic algorithms: three-pass1, three-pass2,
+                         seven-pass)
+  --inject SPEC          inject storage faults: nth-read:K | nth-write:K |
+                         disk:D | disk-after:D:N | transient:SEED:RATE_PPM |
+                         every-nth:N
+  --retry N              retry transient faults up to N attempts per block op
+  --backoff STEPS        simulated steps charged per retry (default 1)";
 
 fn parse_flag<T: std::str::FromStr>(
     args: &[String],
@@ -228,6 +255,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut scratch = None;
             let mut stats = None;
             let mut events = None;
+            let mut checkpoint_dir = None;
+            let mut resume = false;
+            let mut inject = None;
+            let mut retry = None;
+            let mut backoff = 1u64;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -239,12 +271,28 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     }
                     "--stats" => stats = Some(parse_flag::<String>(args, &mut i, "--stats")?),
                     "--events" => events = Some(parse_flag::<String>(args, &mut i, "--events")?),
+                    "--checkpoint-dir" => {
+                        checkpoint_dir =
+                            Some(parse_flag::<String>(args, &mut i, "--checkpoint-dir")?)
+                    }
+                    "--resume" => resume = true,
+                    "--inject" => inject = Some(parse_flag::<String>(args, &mut i, "--inject")?),
+                    "--retry" => retry = Some(parse_flag(args, &mut i, "--retry")?),
+                    "--backoff" => backoff = parse_flag(args, &mut i, "--backoff")?,
                     other => pos.push(other.to_string()),
                 }
                 i += 1;
             }
             if pos.len() != 2 {
                 return Err("sort needs <in> <out>".into());
+            }
+            if resume && checkpoint_dir.is_none() {
+                return Err("--resume needs --checkpoint-dir".into());
+            }
+            if resume && scratch.is_none() {
+                return Err(
+                    "--resume needs --scratch (the interrupted run's disk files)".into(),
+                );
             }
             Ok(Command::Sort {
                 input: pos[0].clone(),
@@ -254,6 +302,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 scratch,
                 stats,
                 events,
+                checkpoint_dir,
+                resume,
+                inject,
+                retry,
+                backoff,
             })
         }
         "report" => {
@@ -358,6 +411,31 @@ mod tests {
             }
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn parses_fault_tolerance_flags() {
+        let c = parse(&v(&[
+            "sort", "a", "b", "--checkpoint-dir", "/tmp/ck", "--scratch", "/tmp/sc", "--resume",
+            "--inject", "transient:42:10000", "--retry", "5", "--backoff", "3",
+        ]))
+        .unwrap();
+        match c {
+            Command::Sort { checkpoint_dir, resume, inject, retry, backoff, .. } => {
+                assert_eq!(checkpoint_dir.as_deref(), Some("/tmp/ck"));
+                assert!(resume);
+                assert_eq!(inject.as_deref(), Some("transient:42:10000"));
+                assert_eq!(retry, Some(5));
+                assert_eq!(backoff, 3);
+            }
+            _ => panic!(),
+        }
+        // --resume without its prerequisites is rejected up front
+        assert!(parse(&v(&["sort", "a", "b", "--resume"])).is_err());
+        assert!(parse(&v(&["sort", "a", "b", "--resume", "--scratch", "/tmp/x"])).is_err());
+        assert!(
+            parse(&v(&["sort", "a", "b", "--resume", "--checkpoint-dir", "/tmp/ck"])).is_err()
+        );
     }
 
     #[test]

@@ -103,6 +103,16 @@ pub fn render_report(art: &StatsArtifact, out: &mut dyn Write) -> std::io::Resul
     if art.fell_back {
         writeln!(out, "note: expected-case check failed; deterministic fallback ran")?;
     }
+    let rt = &s.retry;
+    if rt.total_retries() + rt.exhausted > 0 {
+        writeln!(
+            out,
+            "fault tolerance: {} reads + {} writes reissued after transient \
+             faults, {} exhausted retry budgets, {} simulated backoff steps \
+             (charged beside the pass counters)",
+            rt.reads_retried, rt.writes_retried, rt.exhausted, rt.backoff_steps,
+        )?;
+    }
     let ov = &s.overlap;
     if ov.prefetch_batches + ov.flush_batches > 0 {
         writeln!(

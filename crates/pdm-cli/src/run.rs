@@ -52,17 +52,35 @@ fn dispatch(cmd: Command, out: &mut dyn Write) -> std::result::Result<i32, Box<d
             info(geo, out)?;
             Ok(0)
         }
-        Command::Sort { input, out: output, geo, algo, scratch, stats, events } => {
-            sort(
-                &input,
-                &output,
+        Command::Sort {
+            input,
+            out: output,
+            geo,
+            algo,
+            scratch,
+            stats,
+            events,
+            checkpoint_dir,
+            resume,
+            inject,
+            retry,
+            backoff,
+        } => {
+            let job = SortJob {
+                input: &input,
+                output: &output,
                 geo,
                 algo,
-                scratch.as_deref(),
-                stats.as_deref(),
-                events.as_deref(),
-                out,
-            )?;
+                scratch: scratch.as_deref(),
+                stats_path: stats.as_deref(),
+                events_path: events.as_deref(),
+                checkpoint_dir: checkpoint_dir.as_deref(),
+                resume,
+                inject: inject.as_deref(),
+                retry,
+                backoff,
+            };
+            sort(job, out)?;
             Ok(0)
         }
         Command::Report { stats } => {
@@ -181,17 +199,82 @@ fn info(geo: Geometry, out: &mut dyn Write) -> std::io::Result<()> {
     Ok(())
 }
 
-#[allow(clippy::too_many_arguments)]
-fn sort(
-    input: &str,
-    output: &str,
+/// Everything `pdmsort sort` needs, bundled so the fault-tolerance flags
+/// don't balloon the argument list.
+struct SortJob<'a> {
+    input: &'a str,
+    output: &'a str,
     geo: Geometry,
     algo: Algo,
-    scratch: Option<&str>,
-    stats_path: Option<&str>,
-    events_path: Option<&str>,
+    scratch: Option<&'a str>,
+    stats_path: Option<&'a str>,
+    events_path: Option<&'a str>,
+    checkpoint_dir: Option<&'a str>,
+    resume: bool,
+    inject: Option<&'a str>,
+    retry: Option<u32>,
+    backoff: u64,
+}
+
+/// Parse an `--inject` spec into a [`FailMode`].
+fn parse_inject(spec: &str) -> std::result::Result<FailMode, String> {
+    let bad = || {
+        format!(
+            "bad --inject '{spec}' (nth-read:K | nth-write:K | disk:D | \
+             disk-after:D:N | transient:SEED:RATE_PPM | every-nth:N | never)"
+        )
+    };
+    let mut parts = spec.split(':');
+    let kind = parts.next().ok_or_else(bad)?;
+    let mut num = |_: &str| -> std::result::Result<u64, String> {
+        parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())
+    };
+    let mode = match kind {
+        "nth-read" => FailMode::NthRead(num("k")?),
+        "nth-write" => FailMode::NthWrite(num("k")?),
+        "disk" => FailMode::Disk(num("d")? as usize),
+        "disk-after" => FailMode::DiskAfter(num("d")? as usize, num("n")?),
+        "transient" => FailMode::TransientRate {
+            seed: num("seed")?,
+            rate_ppm: num("rate")? as u32,
+        },
+        "every-nth" => FailMode::EveryNth(num("n")?),
+        "never" => FailMode::Never,
+        _ => return Err(bad()),
+    };
+    if parts.next().is_some() {
+        return Err(bad());
+    }
+    Ok(mode)
+}
+
+/// Algorithms whose control flow, phase structure, and allocation order
+/// are data-independent — the only ones checkpoint *resume* is sound for
+/// (replayed reads return filler; see `pdm_model::checkpoint`).
+fn algo_is_resumable(algo: Algo) -> bool {
+    matches!(algo, Algo::ThreePass1 | Algo::ThreePass2 | Algo::SevenPass)
+}
+
+/// FNV-1a over a file's raw bytes, chunked.
+fn digest_file(path: &str) -> std::io::Result<u64> {
+    use std::io::Read;
+    let mut f = std::fs::File::open(path)?;
+    let mut buf = vec![0u8; 1 << 16];
+    let mut h = FNV_OFFSET;
+    loop {
+        let got = f.read(&mut buf)?;
+        if got == 0 {
+            return Ok(h);
+        }
+        h = fnv1a(h, &buf[..got]);
+    }
+}
+
+fn sort(
+    job: SortJob<'_>,
     out: &mut dyn Write,
 ) -> std::result::Result<(), Box<dyn std::error::Error>> {
+    let SortJob { input, output, geo, algo, .. } = job;
     let n = keyfile::count_keys(input)?;
     if n == 0 {
         keyfile::KeyFileWriter::create(output)?.finish()?;
@@ -201,23 +284,84 @@ fn sort(
     let cfg = PdmConfig::square(geo.disks, geo.b);
     cfg.validate()?;
 
-    // Simulated disks live in real files.
-    let storage = match scratch {
-        Some(dir) => FileStorage::<u64>::create(dir, geo.disks, geo.b)?,
-        None => FileStorage::<u64>::create_temp(geo.disks, geo.b)?,
+    // Checkpoint identity: fresh manifest, or the one the crashed run left.
+    let algo_label = algo.to_string();
+    let ckpt: Option<(CheckpointStore, Manifest)> = match job.checkpoint_dir {
+        Some(dir) => {
+            let store = CheckpointStore::create(dir)?;
+            let digest = digest_file(input)?;
+            let manifest = if job.resume {
+                if !algo_is_resumable(algo) {
+                    return Err(format!(
+                        "--resume is only sound for the deterministic algorithms \
+                         (three-pass1|three-pass2|seven-pass), not '{algo_label}'"
+                    )
+                    .into());
+                }
+                let m = store
+                    .load_latest()?
+                    .ok_or("no checkpoint found to resume from")?;
+                m.check_compatible(&algo_label, &cfg, n, digest)?;
+                m
+            } else {
+                Manifest {
+                    algo: algo_label.clone(),
+                    num_disks: cfg.num_disks,
+                    block_size: cfg.block_size,
+                    mem_capacity: cfg.mem_capacity,
+                    num_keys: n,
+                    digest,
+                    completed: 0,
+                    frontier: 0,
+                    phases: Vec::new(),
+                }
+            };
+            Some((store, manifest))
+        }
+        None => None,
     };
+    let resuming = ckpt.as_ref().is_some_and(|(_, m)| m.completed > 0);
+
+    // Storage stack, innermost first: file backend → fault injection →
+    // transient-fault retry, erased to Box<dyn Storage> so every layer is
+    // optional at runtime.
+    let file = match (job.scratch, job.resume) {
+        (Some(dir), true) => FileStorage::<u64>::create_readback(dir, geo.disks, geo.b)?,
+        (Some(dir), false) => FileStorage::<u64>::create(dir, geo.disks, geo.b)?,
+        (None, _) => FileStorage::<u64>::create_temp(geo.disks, geo.b)?,
+    };
+    let mut storage: Box<dyn Storage<u64>> = Box::new(file);
+    if let Some(spec) = job.inject {
+        storage = Box::new(FlakyStorage::new(storage, parse_inject(spec)?));
+    }
+    let mut retry_counters: Option<RetryCounters> = None;
+    if let Some(attempts) = job.retry {
+        let layer = RetryingStorage::new(
+            storage,
+            RetryPolicy {
+                max_attempts: attempts,
+                backoff_steps: job.backoff,
+            },
+        );
+        retry_counters = Some(layer.counters());
+        storage = Box::new(layer);
+    }
+
     let mut pdm = Pdm::with_storage(cfg, storage)?;
-    if stats_path.is_some() {
+    if let Some(c) = &retry_counters {
+        pdm.attach_retry_counters(c.clone());
+    }
+    if job.stats_path.is_some() {
         pdm.stats_mut().enable_trace(8192);
     }
-    if events_path.is_some() {
+    if job.events_path.is_some() {
         pdm.enable_probe(1 << 20);
     }
     let region = pdm.alloc_region_for_keys(n)?;
 
     // Stage the input file onto the disks (the model's "input resides on
-    // the disks"; not charged).
-    {
+    // the disks"; not charged). On resume the disks already hold it.
+    if !resuming {
         let mut off_blocks = 0usize;
         let b = cfg.block_size;
         let mut pending: Vec<u64> = Vec::with_capacity(keyfile::STREAM_KEYS + b);
@@ -239,6 +383,19 @@ fn sort(
             pdm.ingest(&sub, &pending)?;
         }
     }
+
+    if let Some((store, manifest)) = ckpt {
+        if resuming {
+            writeln!(
+                out,
+                "resuming: {} pass(es) already complete ({}); replaying without I/O",
+                manifest.completed,
+                manifest.phases.join(", ")
+            )?;
+        }
+        pdm.attach_checkpoint(store, manifest);
+    }
+    let checkpointing = job.checkpoint_dir.is_some();
 
     let t0 = std::time::Instant::now();
     let (out_region, label, fell_back, read_passes, write_passes) = match algo {
@@ -295,6 +452,33 @@ fn sort(
     };
     let elapsed = t0.elapsed();
 
+    // A deferred checkpoint failure (manifest write error, or frontier
+    // drift on resume) makes the recovery state — and on drift, the output
+    // itself — untrustworthy. Surface it before writing anything.
+    if let Some(e) = pdm.take_checkpoint_error() {
+        return Err(format!("checkpoint failure: {e}").into());
+    }
+    if checkpointing {
+        writeln!(
+            out,
+            "checkpoint: {} pass(es) recorded complete ({} replayed, {} executed live)",
+            pdm.completed_phases(),
+            pdm.skipped_phases(),
+            pdm.stats().phases.len()
+        )?;
+    }
+    if let Some(c) = &retry_counters {
+        let snap = c.snapshot();
+        if snap.total_retries() + snap.exhausted > 0 {
+            writeln!(
+                out,
+                "retries: {} reads + {} writes reissued, {} exhausted, \
+                 {} simulated backoff steps",
+                snap.reads_retried, snap.writes_retried, snap.exhausted, snap.backoff_steps
+            )?;
+        }
+    }
+
     // Stream the sorted region back out to the output file.
     let mut w = keyfile::KeyFileWriter::create(output)?;
     {
@@ -320,7 +504,7 @@ fn sort(
         "{label}: {written} keys → {output} in {:.2?} (simulation wall clock)",
         elapsed
     )?;
-    if let Some(path) = stats_path {
+    if let Some(path) = job.stats_path {
         let artifact = crate::report::StatsArtifact {
             algorithm: label.clone(),
             n,
@@ -334,7 +518,7 @@ fn sort(
         std::fs::write(path, serde_json::to_string_pretty(&artifact)?)?;
         writeln!(out, "stats written to {path} (render with `pdmsort report {path}`)")?;
     }
-    if let Some(path) = events_path {
+    if let Some(path) = job.events_path {
         let probe = pdm
             .stats()
             .probe()
@@ -466,10 +650,10 @@ fn compare(
     Ok(())
 }
 
-fn report(
+fn report<S: Storage<u64>>(
     out: &mut dyn Write,
     rep: &pdm_sort::SortReport,
-    pdm: &Pdm<u64, FileStorage<u64>>,
+    pdm: &Pdm<u64, S>,
 ) -> std::io::Result<()> {
     writeln!(out, "read passes:  {:.3}", rep.read_passes)?;
     writeln!(out, "write passes: {:.3}", rep.write_passes)?;
@@ -659,6 +843,116 @@ mod tests {
         for f in [&inp, &outp, &statsp] {
             std::fs::remove_file(f).ok();
         }
+    }
+
+    #[test]
+    fn inject_specs_parse_and_reject() {
+        assert_eq!(parse_inject("nth-read:3").unwrap(), FailMode::NthRead(3));
+        assert_eq!(parse_inject("nth-write:0").unwrap(), FailMode::NthWrite(0));
+        assert_eq!(parse_inject("disk:1").unwrap(), FailMode::Disk(1));
+        assert_eq!(
+            parse_inject("disk-after:2:100").unwrap(),
+            FailMode::DiskAfter(2, 100)
+        );
+        assert_eq!(
+            parse_inject("transient:42:10000").unwrap(),
+            FailMode::TransientRate { seed: 42, rate_ppm: 10_000 }
+        );
+        assert_eq!(parse_inject("every-nth:7").unwrap(), FailMode::EveryNth(7));
+        assert_eq!(parse_inject("never").unwrap(), FailMode::Never);
+        for bad in ["", "disk", "disk:x", "transient:1", "nth-read:1:2", "bogus:3"] {
+            assert!(parse_inject(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        let a = tmp("dg-a.keys");
+        let b = tmp("dg-b.keys");
+        std::fs::write(&a, [1, 2, 3, 4]).unwrap();
+        std::fs::write(&b, [1, 2, 3, 5]).unwrap();
+        assert_eq!(digest_file(&a).unwrap(), digest_file(&a).unwrap());
+        assert_ne!(digest_file(&a).unwrap(), digest_file(&b).unwrap());
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn transient_faults_heal_under_retry_and_output_matches_clean_run() {
+        let inp = tmp("rt-in.keys");
+        let clean = tmp("rt-clean.keys");
+        let faulty = tmp("rt-faulty.keys");
+        run_args(&["gen", "4096", &inp, "--dist", "random", "--seed", "11"]);
+        let (c, log) =
+            run_args(&["sort", &inp, &clean, "--disks", "2", "--b", "16", "--algo", "three-pass2"]);
+        assert_eq!(c, 0, "{log}");
+        // 1 % transient fault rate, healed by up to 4 attempts per block op.
+        let (c, log) = run_args(&[
+            "sort", &inp, &faulty, "--disks", "2", "--b", "16", "--algo", "three-pass2",
+            "--inject", "transient:42:10000", "--retry", "4",
+        ]);
+        assert_eq!(c, 0, "{log}");
+        assert!(log.contains("retries:"), "retry summary missing: {log}");
+        assert_eq!(
+            std::fs::read(&clean).unwrap(),
+            std::fs::read(&faulty).unwrap(),
+            "retried run must produce byte-identical output"
+        );
+        // Without --retry the same schedule is fatal — but clean, not a panic.
+        let (c, log) = run_args(&[
+            "sort", &inp, &faulty, "--disks", "2", "--b", "16", "--algo", "three-pass2",
+            "--inject", "transient:42:10000",
+        ]);
+        assert_eq!(c, 1, "{log}");
+        assert!(log.contains("error"), "{log}");
+        for f in [&inp, &clean, &faulty] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_to_identical_output() {
+        let inp = tmp("ck-in.keys");
+        let out1 = tmp("ck-out1.keys");
+        let out2 = tmp("ck-out2.keys");
+        let scratch = tmp("ck-scratch");
+        let ckdir = tmp("ck-manifests");
+        run_args(&["gen", "4096", &inp, "--dist", "permutation", "--seed", "13"]);
+        let (c, log) = run_args(&[
+            "sort", &inp, &out1, "--disks", "2", "--b", "16", "--algo", "three-pass1",
+            "--scratch", &scratch, "--checkpoint-dir", &ckdir,
+        ]);
+        assert_eq!(c, 0, "{log}");
+        assert!(log.contains("checkpoint:"), "{log}");
+        assert!(std::path::Path::new(&ckdir).join("latest.ckpt").is_file());
+        // Resume against the completed run: every pass replays, and the
+        // output is rebuilt byte-identically from the settled disks.
+        let (c, log) = run_args(&[
+            "sort", &inp, &out2, "--disks", "2", "--b", "16", "--algo", "three-pass1",
+            "--scratch", &scratch, "--checkpoint-dir", &ckdir, "--resume",
+        ]);
+        assert_eq!(c, 0, "{log}");
+        assert!(log.contains("resuming:"), "{log}");
+        assert!(log.contains("0 executed live"), "{log}");
+        assert_eq!(std::fs::read(&out1).unwrap(), std::fs::read(&out2).unwrap());
+        // Resume under a different algorithm or input is refused.
+        let (c, log) = run_args(&[
+            "sort", &inp, &out2, "--disks", "2", "--b", "16", "--algo", "three-pass2",
+            "--scratch", &scratch, "--checkpoint-dir", &ckdir, "--resume",
+        ]);
+        assert_eq!(c, 1);
+        assert!(log.contains("algorithm"), "{log}");
+        let (c, log) = run_args(&[
+            "sort", &inp, &out2, "--disks", "2", "--b", "16", "--algo", "radix",
+            "--scratch", &scratch, "--checkpoint-dir", &ckdir, "--resume",
+        ]);
+        assert_eq!(c, 1);
+        assert!(log.contains("deterministic"), "{log}");
+        for f in [&inp, &out1, &out2] {
+            std::fs::remove_file(f).ok();
+        }
+        std::fs::remove_dir_all(&scratch).ok();
+        std::fs::remove_dir_all(&ckdir).ok();
     }
 
     #[test]

@@ -50,6 +50,39 @@ pub enum PdmError {
     UnsupportedInput(String),
     /// An underlying file-backed storage operation failed.
     Io(std::io::Error),
+    /// A block read back from storage failed its integrity check (torn
+    /// write or bit flip). Never transient: the data on the medium is
+    /// wrong, so retrying the read returns the same corrupt bytes.
+    Corrupt {
+        /// Disk the corrupt block lives on.
+        disk: usize,
+        /// Slot of the corrupt block.
+        slot: usize,
+        /// What the check observed (expected vs actual checksum).
+        detail: String,
+    },
+}
+
+impl PdmError {
+    /// Whether this failure is *transient* — worth retrying, because the
+    /// operation may succeed if reissued (interrupted syscall, timeout,
+    /// would-block). Everything else is permanent: logic errors
+    /// (`BadDisk`, `BadSlot`, …) would fail identically on retry, and
+    /// [`PdmError::Corrupt`] means the medium itself holds bad bytes.
+    ///
+    /// [`crate::storage_retry::RetryingStorage`] consults this to decide
+    /// whether a failed block operation is reissued.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            PdmError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::WouldBlock
+            ),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for PdmError {
@@ -79,6 +112,9 @@ impl fmt::Display for PdmError {
             PdmError::BadConfig(msg) => write!(f, "bad PDM configuration: {msg}"),
             PdmError::UnsupportedInput(msg) => write!(f, "unsupported input: {msg}"),
             PdmError::Io(e) => write!(f, "I/O error: {e}"),
+            PdmError::Corrupt { disk, slot, detail } => {
+                write!(f, "corrupt block at disk {disk} slot {slot}: {detail}")
+            }
         }
     }
 }
@@ -135,5 +171,28 @@ mod tests {
         use std::error::Error;
         let e = PdmError::BadConfig("x".into());
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn transient_classification_follows_io_kind() {
+        let transient = PdmError::Io(std::io::Error::new(
+            std::io::ErrorKind::Interrupted,
+            "interrupted",
+        ));
+        assert!(transient.is_transient());
+        let timeout =
+            PdmError::Io(std::io::Error::new(std::io::ErrorKind::TimedOut, "timeout"));
+        assert!(timeout.is_transient());
+
+        let permanent = PdmError::Io(std::io::Error::other("device gone"));
+        assert!(!permanent.is_transient());
+        assert!(!PdmError::BadConfig("x".into()).is_transient());
+        let corrupt = PdmError::Corrupt {
+            disk: 0,
+            slot: 3,
+            detail: "checksum mismatch".into(),
+        };
+        assert!(!corrupt.is_transient());
+        assert!(corrupt.to_string().contains("slot 3"));
     }
 }

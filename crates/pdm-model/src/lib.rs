@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod error;
 pub mod key;
@@ -58,11 +59,13 @@ pub mod stats;
 pub mod storage;
 pub mod storage_file;
 pub mod storage_flaky;
+pub mod storage_retry;
 pub mod storage_threaded;
 pub mod stream;
 
 /// Convenient re-exports of the types nearly every consumer needs.
 pub mod prelude {
+    pub use crate::checkpoint::{fnv1a, Checkpoint, CheckpointStore, Manifest, FNV_OFFSET};
     pub use crate::config::PdmConfig;
     pub use crate::error::{PdmError, Result};
     pub use crate::key::{PdmKey, RankedKey, Tagged};
@@ -70,10 +73,11 @@ pub mod prelude {
     pub use crate::machine::Pdm;
     pub use crate::mem::{MemGuard, MemTracker, TrackedBuf};
     pub use crate::probe::{replay, Probe, ProbeEvent, ReplayedPhase, ReplayedStats};
-    pub use crate::stats::{IoStats, OverlapCounters, PhaseStats};
+    pub use crate::stats::{IoStats, OverlapCounters, PhaseStats, RetrySnapshot};
     pub use crate::storage::{MemStorage, Storage};
     pub use crate::storage_file::FileStorage;
     pub use crate::storage_flaky::{FailMode, FlakyStorage};
+    pub use crate::storage_retry::{RetryCounters, RetryPolicy, RetryingStorage};
     pub use crate::storage_threaded::ThreadedStorage;
     pub use crate::overlap::{FlushBehindWriter, OverlapStorage, OverlapWriteStorage, PendingRead, PendingWrite, PrefetchReader};
     pub use crate::stream::{kway_merge, RunReader, RunWriter};

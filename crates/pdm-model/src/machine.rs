@@ -11,6 +11,7 @@
 //!   disk and verifying the output (the input "already resides on the
 //!   disks" in the model, so materializing it must not count as I/O).
 
+use crate::checkpoint::{Checkpoint, CheckpointStore, Manifest};
 use crate::config::PdmConfig;
 use crate::error::{PdmError, Result};
 use crate::key::PdmKey;
@@ -19,6 +20,27 @@ use crate::mem::{MemTracker, TrackedBuf};
 use crate::stats::IoStats;
 use crate::storage::{MemStorage, Storage};
 use std::sync::Arc;
+
+/// Checkpoint wiring of a machine: the store manifests are written to,
+/// how many phases to replay without I/O, and bookkeeping carried between
+/// the infallible phase boundaries.
+struct CheckpointState {
+    store: CheckpointStore,
+    /// Identity of the run, filled into every emitted manifest.
+    base: Manifest,
+    /// Phases to replay without storage I/O (from the resume manifest).
+    skip_phases: usize,
+    /// Expected allocation frontier at the skip→live transition.
+    resume_frontier: usize,
+    /// Phases begun so far (replayed and live).
+    phases_seen: usize,
+    /// Names of completed phases (carried over on resume, then appended).
+    completed_names: Vec<String>,
+    /// First error deferred from an infallible boundary (manifest write
+    /// failure or frontier drift). Surfaced via
+    /// [`Checkpoint::take_checkpoint_error`].
+    deferred: Option<PdmError>,
+}
 
 /// A simulated parallel-disk machine over storage backend `S`.
 pub struct Pdm<K: PdmKey, S: Storage<K> = MemStorage<K>> {
@@ -32,6 +54,11 @@ pub struct Pdm<K: PdmKey, S: Storage<K> = MemStorage<K>> {
     disk_counts: Vec<u64>,
     /// Scratch: physical addresses of the current batch.
     addr_buf: Vec<(usize, usize)>,
+    /// Live view of an attached retry layer's counters, folded into
+    /// `stats.retry` at phase boundaries and sync points.
+    retry: Option<crate::storage_retry::RetryCounters>,
+    /// Checkpoint wiring, when attached (see [`Checkpoint`]).
+    ckpt: Option<Box<CheckpointState>>,
     _key: std::marker::PhantomData<K>,
 }
 
@@ -62,6 +89,8 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
             next_slot: 0,
             disk_counts: vec![0; cfg.num_disks],
             addr_buf: Vec::new(),
+            retry: None,
+            ckpt: None,
             cfg,
             storage,
             _key: std::marker::PhantomData,
@@ -99,19 +128,125 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
         self.mem.reset_peak();
     }
 
+    /// Attach a live view of a [`crate::storage_retry::RetryingStorage`]'s
+    /// counters (obtained from
+    /// [`crate::storage_retry::RetryingStorage::counters`] before the
+    /// storage moves into the machine). The machine folds a snapshot into
+    /// [`IoStats::retry`] — and drops `retry.*` probe gauges when the
+    /// counters moved — at every phase boundary and sync point.
+    pub fn attach_retry_counters(&mut self, counters: crate::storage_retry::RetryCounters) {
+        self.retry = Some(counters);
+    }
+
+    /// Fold the attached retry counters (if any) into `stats.retry`,
+    /// emitting probe gauges when they changed since the last fold.
+    fn refresh_retry_stats(&mut self) {
+        if let Some(c) = &self.retry {
+            let snap = c.snapshot();
+            if snap != self.stats.retry {
+                self.stats.retry = snap;
+                self.stats
+                    .probe_gauge("retry.retries", snap.total_retries() as i64);
+                self.stats.probe_gauge("retry.exhausted", snap.exhausted as i64);
+                self.stats
+                    .probe_gauge("retry.backoff_steps", snap.backoff_steps as i64);
+            }
+        }
+    }
+
+    /// Whether the machine is replaying already-checkpointed phases: block
+    /// I/O and stats are elided until the first incomplete phase opens.
+    fn replaying(&self) -> bool {
+        self.ckpt
+            .as_deref()
+            .is_some_and(|c| c.skip_phases > 0 && c.phases_seen <= c.skip_phases)
+    }
+
     /// Open a named phase, sampling memory gauges from the machine's
     /// [`MemTracker`] at the boundary (see [`IoStats::begin_phase_gauged`]).
     /// Algorithms should prefer this over `stats_mut().begin_phase` so that
-    /// per-phase residency shows up in reports and probe streams.
+    /// per-phase residency shows up in reports and probe streams (and so
+    /// checkpoint replay can count phases).
     pub fn begin_phase(&mut self, name: impl Into<String>) {
+        let frontier = self.next_slot;
+        if let Some(c) = self.ckpt.as_deref_mut() {
+            c.phases_seen += 1;
+            if c.skip_phases > 0 && c.phases_seen <= c.skip_phases {
+                return; // replayed phase: no stats, no storage I/O
+            }
+            // Skip→live transition: the algorithm has now replayed every
+            // allocation the completed phases made, so the frontier must
+            // match the checkpoint's. Drift means the allocation order
+            // was not deterministic and the resumed run would read the
+            // wrong regions.
+            if c.skip_phases > 0
+                && c.phases_seen == c.skip_phases + 1
+                && frontier != c.resume_frontier
+                && c.deferred.is_none()
+            {
+                c.deferred = Some(PdmError::BadConfig(format!(
+                    "resume frontier mismatch: replayed allocations reached slot {frontier}, \
+                     checkpoint recorded {}",
+                    c.resume_frontier
+                )));
+            }
+        }
+        self.refresh_retry_stats();
         let (cur, peak) = (self.mem.current(), self.mem.peak());
         self.stats.begin_phase_gauged(name, cur, peak);
+        // Opening a phase auto-closes the previous one at the stats layer;
+        // checkpoint the just-closed phase so algorithms that bracket with
+        // back-to-back begin_phase calls still checkpoint every pass.
+        self.write_checkpoint();
     }
 
     /// Close the open phase with memory gauges sampled at the boundary.
+    /// With a checkpoint attached, a completed live phase syncs the
+    /// backend and atomically persists a manifest; failures there are
+    /// deferred (see [`Checkpoint::take_checkpoint_error`]) so the phase
+    /// boundary itself stays infallible.
     pub fn end_phase(&mut self) {
+        if self.replaying() {
+            return;
+        }
+        self.refresh_retry_stats();
         let (cur, peak) = (self.mem.current(), self.mem.peak());
         self.stats.end_phase_gauged(cur, peak);
+        self.write_checkpoint();
+    }
+
+    /// Persist a manifest for the just-closed phase, if a checkpoint store
+    /// is attached and a new live phase actually closed.
+    fn write_checkpoint(&mut self) {
+        let Some(c) = self.ckpt.as_deref() else { return };
+        let total = c.skip_phases + self.stats.phases.len();
+        if total <= c.completed_names.len() {
+            return; // end_phase without a newly closed phase
+        }
+        // The manifest asserts the pass's output is settled on disk, so
+        // flush the backend before writing it.
+        let sync_res = self.storage.sync();
+        let frontier = self.next_slot;
+        let phases = &self.stats.phases;
+        let c = self.ckpt.as_deref_mut().expect("checked above");
+        if let Err(e) = sync_res {
+            if c.deferred.is_none() {
+                c.deferred = Some(e);
+            }
+            return;
+        }
+        for p in &phases[(c.completed_names.len() - c.skip_phases)..] {
+            c.completed_names.push(p.name.clone());
+        }
+        let mut m = c.base.clone();
+        m.completed = c.skip_phases + phases.len();
+        m.frontier = frontier;
+        m.phases = c.completed_names.clone();
+        if let Err(e) = c.store.save(&m) {
+            if c.deferred.is_none() {
+                c.deferred = Some(e);
+            }
+        }
     }
 
     /// Attach a structured event probe to the machine's counters (see
@@ -180,6 +315,13 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
     /// block to `out` in request order. Accounted: the batch costs
     /// `max(per-disk block count)` parallel read steps.
     pub fn read_blocks(&mut self, region: &Region, indices: &[usize], out: &mut Vec<K>) -> Result<()> {
+        if self.replaying() {
+            // Checkpoint replay: the phase already ran; hand back `K::MAX`
+            // filler (monotone, so downstream sortedness checks stay
+            // satisfied) without touching storage or stats.
+            out.resize(out.len() + indices.len() * self.cfg.block_size, K::MAX);
+            return Ok(());
+        }
         self.gather_addrs(region, indices)?;
         let b = self.cfg.block_size;
         let start = out.len();
@@ -197,6 +339,9 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
                 got: data.len(),
                 expected: indices.len() * self.cfg.block_size,
             });
+        }
+        if self.replaying() {
+            return Ok(()); // checkpoint replay: the write already happened
         }
         self.gather_addrs(region, indices)?;
         self.storage.write_batch(&self.addr_buf, data)?;
@@ -243,6 +388,10 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
         sources: &[(Region, usize)],
         out: &mut Vec<K>,
     ) -> Result<()> {
+        if self.replaying() {
+            out.resize(out.len() + sources.len() * self.cfg.block_size, K::MAX);
+            return Ok(());
+        }
         self.gather_addrs_multi(sources)?;
         let b = self.cfg.block_size;
         let start = out.len();
@@ -260,6 +409,9 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
                 got: data.len(),
                 expected: targets.len() * self.cfg.block_size,
             });
+        }
+        if self.replaying() {
+            return Ok(()); // checkpoint replay: the write already happened
         }
         self.gather_addrs_multi(targets)?;
         self.storage.write_batch(&self.addr_buf, data)?;
@@ -429,22 +581,58 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
     /// assert_eq!(pdm.stats().write_steps, 1);
     /// ```
     pub fn begin_io_group(&mut self) {
+        if self.replaying() {
+            return;
+        }
         self.stats.begin_group();
     }
 
     /// Close the open I/O group, charging its deferred step cost.
     pub fn end_io_group(&mut self) {
+        if self.replaying() {
+            return;
+        }
         self.stats.end_group();
     }
 
     /// Flush the storage backend.
     pub fn sync(&mut self) -> Result<()> {
+        self.refresh_retry_stats();
         self.storage.sync()
     }
 
     /// Consume the machine, returning backend and final counters.
-    pub fn into_parts(self) -> (S, IoStats) {
+    pub fn into_parts(mut self) -> (S, IoStats) {
+        self.refresh_retry_stats();
         (self.storage, self.stats)
+    }
+}
+
+impl<K: PdmKey, S: Storage<K>> Checkpoint for Pdm<K, S> {
+    fn attach_checkpoint(&mut self, store: CheckpointStore, manifest: Manifest) {
+        self.ckpt = Some(Box::new(CheckpointState {
+            skip_phases: manifest.completed,
+            resume_frontier: manifest.frontier,
+            phases_seen: 0,
+            completed_names: manifest.phases.clone(),
+            deferred: None,
+            base: manifest,
+            store,
+        }));
+    }
+
+    fn take_checkpoint_error(&mut self) -> Option<PdmError> {
+        self.ckpt.as_deref_mut().and_then(|c| c.deferred.take())
+    }
+
+    fn completed_phases(&self) -> usize {
+        self.ckpt
+            .as_deref()
+            .map_or(0, |c| c.completed_names.len())
+    }
+
+    fn skipped_phases(&self) -> usize {
+        self.ckpt.as_deref().map_or(0, |c| c.skip_phases)
     }
 }
 
@@ -694,5 +882,158 @@ mod tests {
         assert_eq!(replayed.per_disk_writes, pdm.stats().per_disk_writes);
         assert_eq!(replayed.phases.len(), 2);
         assert_eq!(replayed.phases[1].write_steps, 1, "grouped stripe is one step");
+    }
+
+    fn fresh_manifest(algo: &str, cfg: &PdmConfig, num_keys: usize) -> Manifest {
+        Manifest {
+            algo: algo.into(),
+            num_disks: cfg.num_disks,
+            block_size: cfg.block_size,
+            mem_capacity: cfg.mem_capacity,
+            num_keys,
+            digest: 0xfeed,
+            completed: 0,
+            frontier: 0,
+            phases: Vec::new(),
+        }
+    }
+
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "pdm-machine-ckpt-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    /// A deterministic two-phase "algorithm": pass 1 materializes data into
+    /// a fresh region, pass 2 reads it back and writes a transformed copy.
+    fn two_phase(pdm: &mut Pdm<u64>) -> Region {
+        pdm.begin_phase("pass-1");
+        let r1 = pdm.alloc_region(4).unwrap();
+        let data: Vec<u64> = (100..132).collect();
+        pdm.write_blocks(&r1, &[0, 1, 2, 3], &data).unwrap();
+        pdm.end_phase();
+
+        pdm.begin_phase("pass-2");
+        let r2 = pdm.alloc_region(4).unwrap();
+        let mut buf = Vec::new();
+        pdm.read_blocks(&r1, &[0, 1, 2, 3], &mut buf).unwrap();
+        let out: Vec<u64> = buf.iter().map(|x| x.wrapping_add(1)).collect();
+        pdm.write_blocks(&r2, &[0, 1, 2, 3], &out).unwrap();
+        pdm.end_phase();
+        r2
+    }
+
+    #[test]
+    fn fresh_run_checkpoints_every_phase() {
+        let dir = ckpt_dir("fresh");
+        let store = CheckpointStore::create(&dir).unwrap();
+        let mut pdm = machine();
+        let m = fresh_manifest("two-phase", pdm.cfg(), 32);
+        pdm.attach_checkpoint(store.clone(), m);
+        let r2 = two_phase(&mut pdm);
+        assert!(pdm.take_checkpoint_error().is_none());
+        assert_eq!(pdm.completed_phases(), 2);
+        assert_eq!(pdm.skipped_phases(), 0);
+        let latest = store.load_latest().unwrap().unwrap();
+        assert_eq!(latest.completed, 2);
+        assert_eq!(latest.phases, vec!["pass-1".to_string(), "pass-2".to_string()]);
+        assert_eq!(latest.frontier, 2, "two 4-block regions, one slot level each");
+        assert!(dir.join("pass-1.ckpt").is_file(), "per-pass history kept");
+        assert!(dir.join("pass-2.ckpt").is_file());
+        let mut check = Vec::new();
+        pdm.read_blocks(&r2, &[0], &mut check).unwrap();
+        assert_eq!(check[0], 101);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_replays_completed_phase_without_io() {
+        let dir = ckpt_dir("resume");
+        let store = CheckpointStore::create(&dir).unwrap();
+        // Run pass 1 only, then "crash": keep the storage, drop the machine.
+        let mut pdm = machine();
+        pdm.attach_checkpoint(store.clone(), fresh_manifest("two-phase", pdm.cfg(), 32));
+        pdm.begin_phase("pass-1");
+        let r1 = pdm.alloc_region(4).unwrap();
+        let data: Vec<u64> = (100..132).collect();
+        pdm.write_blocks(&r1, &[0, 1, 2, 3], &data).unwrap();
+        pdm.end_phase();
+        assert!(pdm.take_checkpoint_error().is_none());
+        let (storage, stats_before) = pdm.into_parts();
+        assert_eq!(stats_before.phases.len(), 1);
+
+        // Resume: same storage, manifest loaded back from the store.
+        let m = store.load_latest().unwrap().unwrap();
+        assert_eq!(m.completed, 1);
+        let mut pdm = Pdm::with_storage(PdmConfig::new(4, 8, 64), storage).unwrap();
+        pdm.attach_checkpoint(store.clone(), m);
+        let r2 = two_phase(&mut pdm);
+        assert!(
+            pdm.take_checkpoint_error().is_none(),
+            "replayed allocations must land on the recorded frontier"
+        );
+        assert_eq!(pdm.skipped_phases(), 1);
+        assert_eq!(pdm.completed_phases(), 2);
+        // Replayed pass 1 cost nothing; only pass 2 executed and counted.
+        assert_eq!(pdm.stats().phases.len(), 1);
+        assert_eq!(pdm.stats().phases[0].name, "pass-2");
+        assert_eq!(pdm.stats().blocks_read, 4);
+        assert_eq!(pdm.stats().blocks_written, 4);
+        // Pass 2 read the *real* pass-1 output out of the resumed storage.
+        let mut check = Vec::new();
+        pdm.read_blocks(&r2, &[0, 1, 2, 3], &mut check).unwrap();
+        let expect: Vec<u64> = (101..133).collect();
+        assert_eq!(check, expect);
+        let latest = store.load_latest().unwrap().unwrap();
+        assert_eq!(latest.completed, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_frontier_drift_is_detected() {
+        let dir = ckpt_dir("drift");
+        let store = CheckpointStore::create(&dir).unwrap();
+        let mut pdm = machine();
+        let mut m = fresh_manifest("two-phase", pdm.cfg(), 32);
+        m.completed = 1;
+        m.frontier = 999; // deliberately wrong
+        m.phases = vec!["pass-1".to_string()];
+        pdm.attach_checkpoint(store, m);
+        let _ = two_phase(&mut pdm);
+        let e = pdm.take_checkpoint_error().expect("drift must be flagged");
+        assert!(e.to_string().contains("frontier mismatch"), "got: {e}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_elides_grouped_and_multi_region_io() {
+        let mut pdm = machine();
+        let mut m = fresh_manifest("x", pdm.cfg(), 0);
+        m.completed = 1;
+        m.frontier = 8;
+        m.phases = vec!["p1".to_string()];
+        // No store needed to exercise replay gating: attach with a store in
+        // a directory we never write to (phase 2 is never reached).
+        let dir = ckpt_dir("gates");
+        pdm.attach_checkpoint(CheckpointStore::create(&dir).unwrap(), m);
+        pdm.begin_phase("p1");
+        let a = pdm.alloc_region(4).unwrap();
+        let b = pdm.alloc_region(4).unwrap();
+        pdm.begin_io_group();
+        let mut buf = Vec::new();
+        pdm.read_blocks_multi(&[(a, 0), (b, 0)], &mut buf).unwrap();
+        assert_eq!(buf.len(), 16, "replay reads still size their buffers");
+        assert!(buf.iter().all(|&k| k == u64::MAX), "replay reads return MAX filler");
+        pdm.write_blocks_multi(&[(a, 1), (b, 1)], &vec![0u64; 16]).unwrap();
+        pdm.end_io_group();
+        pdm.end_phase();
+        assert_eq!(pdm.stats().blocks_read, 0);
+        assert_eq!(pdm.stats().blocks_written, 0);
+        assert_eq!(pdm.stats().read_steps, 0);
+        assert_eq!(pdm.stats().phases.len(), 0, "replayed phase opens no stats phase");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -45,6 +45,13 @@ pub struct IoStats {
     /// [`crate::overlap::FlushBehindWriter`].
     #[serde(default)]
     pub overlap: OverlapCounters,
+    /// Retry-layer counters, refreshed from an attached
+    /// [`crate::storage_retry::RetryCounters`] at phase boundaries and
+    /// sync points. Simulated backoff steps are kept here, *outside*
+    /// `read_steps`/`write_steps`, so pass counts stay comparable with
+    /// and without faults; the report adds them as a separate line.
+    #[serde(default)]
+    pub retry: RetrySnapshot,
     /// Structured event probe, when enabled (see [`IoStats::enable_probe`]).
     #[serde(skip)]
     probe: Option<Box<Probe>>,
@@ -71,6 +78,28 @@ pub struct OverlapCounters {
     pub flush_hits: u64,
     /// Flush rotations that blocked on the in-flight write.
     pub flush_stalls: u64,
+}
+
+/// Point-in-time copy of a retry layer's counters (see
+/// [`crate::storage_retry::RetryCounters::snapshot`]). All zeros when no
+/// retry layer is attached.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetrySnapshot {
+    /// Block reads reissued after a transient failure.
+    pub reads_retried: u64,
+    /// Block writes reissued after a transient failure.
+    pub writes_retried: u64,
+    /// Operations that kept failing until the attempt budget ran out.
+    pub exhausted: u64,
+    /// Simulated backoff parallel steps accumulated across all retries.
+    pub backoff_steps: u64,
+}
+
+impl RetrySnapshot {
+    /// Total reissued operations (reads + writes).
+    pub fn total_retries(&self) -> u64 {
+        self.reads_retried + self.writes_retried
+    }
 }
 
 /// One recorded I/O batch (trace mode).
@@ -147,6 +176,7 @@ impl IoStats {
             trace_dropped: 0,
             trace_cap: 0,
             overlap: OverlapCounters::default(),
+            retry: RetrySnapshot::default(),
             probe: None,
         }
     }

@@ -53,6 +53,43 @@ pub trait Storage<K: PdmKey>: Send {
     }
 }
 
+/// Boxed backends delegate, so a machine can be built over
+/// `Box<dyn Storage<K>>` when the backend stack is chosen at runtime
+/// (e.g. the CLI layering retry and fault injection over a file store).
+impl<K: PdmKey, S: Storage<K> + ?Sized> Storage<K> for Box<S> {
+    fn num_disks(&self) -> usize {
+        (**self).num_disks()
+    }
+
+    fn block_size(&self) -> usize {
+        (**self).block_size()
+    }
+
+    fn ensure_capacity(&mut self, disk: usize, slots: usize) -> Result<()> {
+        (**self).ensure_capacity(disk, slots)
+    }
+
+    fn read_block(&mut self, disk: usize, slot: usize, out: &mut [K]) -> Result<()> {
+        (**self).read_block(disk, slot, out)
+    }
+
+    fn write_block(&mut self, disk: usize, slot: usize, data: &[K]) -> Result<()> {
+        (**self).write_block(disk, slot, data)
+    }
+
+    fn read_batch(&mut self, reqs: &[(usize, usize)], out: &mut [K]) -> Result<()> {
+        (**self).read_batch(reqs, out)
+    }
+
+    fn write_batch(&mut self, reqs: &[(usize, usize)], data: &[K]) -> Result<()> {
+        (**self).write_batch(reqs, data)
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        (**self).sync()
+    }
+}
+
 /// In-memory backend: each disk is a flat `Vec<K>` of block slots.
 ///
 /// This is the default backend for experiments — it is exact with respect to

@@ -6,7 +6,31 @@
 //! tracked internal memory plus one staged batch) and to let the Criterion
 //! benches measure real I/O. Keys are serialized with their fixed-width
 //! little-endian [`PdmKey`] encoding.
+//!
+//! ## Crash consistency
+//!
+//! The backend is the durable half of checkpoint/resume (see
+//! [`crate::checkpoint`]), so its persistence discipline matters:
+//!
+//! * [`Storage::sync`] fsyncs every disk file with `File::sync_all` — not
+//!   `sync_data` — so the file-length metadata from [`Storage::ensure_capacity`]
+//!   growth survives a crash too, then atomically rewrites a `meta.pdm`
+//!   geometry manifest (temp file + fsync + rename + directory fsync). A
+//!   crash at any point leaves either the previous manifest or the new
+//!   one, never a torn file.
+//! * [`FileStorage::create_readback`] validates a found `meta.pdm` against
+//!   the requested geometry and key width and restores the exact per-disk
+//!   allocation from it, falling back to deriving allocation from file
+//!   lengths when no manifest exists (pre-manifest directories).
+//! * With the `block-checksums` feature, every `write_block` also records
+//!   an FNV-1a digest of the encoded block in a `disk-<d>.sum` sidecar and
+//!   every `read_block` verifies it, failing with [`PdmError::Corrupt`] on
+//!   mismatch. A sidecar entry of zero means "never written / unchecked"
+//!   (a real block digesting to zero is a 2⁻⁶⁴ event that merely skips
+//!   verification for that slot).
 
+#[cfg(feature = "block-checksums")]
+use crate::checkpoint::{fnv1a, FNV_OFFSET};
 use crate::error::{PdmError, Result};
 use crate::key::PdmKey;
 use crate::storage::Storage;
@@ -14,14 +38,22 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+/// Magic first line of the `meta.pdm` geometry manifest.
+const META_MAGIC: &str = "pdm-disk-meta-v1";
+
 /// One file per disk, blocks stored back-to-back.
 pub struct FileStorage<K: PdmKey> {
     files: Vec<File>,
     paths: Vec<PathBuf>,
+    dir: PathBuf,
     block_size: usize,
     allocated: Vec<usize>,
     byte_buf: Vec<u8>,
     remove_on_drop: bool,
+    #[cfg(feature = "block-checksums")]
+    sums: Vec<File>,
+    #[cfg(feature = "block-checksums")]
+    sum_paths: Vec<PathBuf>,
     _key: std::marker::PhantomData<K>,
 }
 
@@ -29,8 +61,8 @@ impl<K: PdmKey> FileStorage<K> {
     /// Create disk files `disk-0.pdm … disk-{D-1}.pdm` under `dir`
     /// (truncating existing ones).
     pub fn create(dir: impl AsRef<Path>, num_disks: usize, block_size: usize) -> Result<Self> {
-        let dir = dir.as_ref();
-        std::fs::create_dir_all(dir)?;
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
         let mut files = Vec::with_capacity(num_disks);
         let mut paths = Vec::with_capacity(num_disks);
         for d in 0..num_disks {
@@ -44,26 +76,41 @@ impl<K: PdmKey> FileStorage<K> {
             files.push(f);
             paths.push(path);
         }
+        #[cfg(feature = "block-checksums")]
+        let (sums, sum_paths) = Self::open_sidecars(&dir, num_disks, true)?;
         Ok(Self {
             files,
             paths,
+            dir,
             block_size,
             allocated: vec![0; num_disks],
             byte_buf: vec![0; block_size * K::WIDTH],
             remove_on_drop: false,
+            #[cfg(feature = "block-checksums")]
+            sums,
+            #[cfg(feature = "block-checksums")]
+            sum_paths,
             _key: std::marker::PhantomData,
         })
     }
 
     /// Open existing disk files under `dir` (as written by
     /// [`FileStorage::create`]) without truncating — for reading data back
-    /// in a later process or via a fresh handle.
+    /// in a later process or via a fresh handle. When the directory holds a
+    /// `meta.pdm` manifest (written by [`Storage::sync`]), its geometry and
+    /// key width are validated against the request and the exact per-disk
+    /// allocation is restored from it.
     pub fn create_readback(
         dir: impl AsRef<Path>,
         num_disks: usize,
         block_size: usize,
     ) -> Result<Self> {
-        let dir = dir.as_ref();
+        let dir = dir.as_ref().to_path_buf();
+        let meta_allocated = match std::fs::read_to_string(dir.join("meta.pdm")) {
+            Ok(text) => Some(Self::parse_meta(&text, num_disks, block_size)?),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e.into()),
+        };
         let mut files = Vec::with_capacity(num_disks);
         let mut paths = Vec::with_capacity(num_disks);
         let mut allocated = Vec::with_capacity(num_disks);
@@ -71,18 +118,41 @@ impl<K: PdmKey> FileStorage<K> {
         for d in 0..num_disks {
             let path = dir.join(format!("disk-{d}.pdm"));
             let f = OpenOptions::new().read(true).write(true).open(&path)?;
-            let len = f.metadata()?.len();
-            allocated.push((len / block_bytes) as usize);
+            match &meta_allocated {
+                Some(a) => allocated.push(a[d]),
+                None => {
+                    let len = f.metadata()?.len();
+                    allocated.push((len / block_bytes) as usize);
+                }
+            }
             files.push(f);
             paths.push(path);
         }
+        #[cfg(feature = "block-checksums")]
+        let (sums, sum_paths) = {
+            let (mut sums, sum_paths) = Self::open_sidecars(&dir, num_disks, false)?;
+            // A pre-checksum directory has short or empty sidecars: grow
+            // them (zero-filled = unchecked) so reads never hit EOF.
+            for (f, &a) in sums.iter_mut().zip(&allocated) {
+                let want = a as u64 * 8;
+                if f.metadata()?.len() < want {
+                    f.set_len(want)?;
+                }
+            }
+            (sums, sum_paths)
+        };
         Ok(Self {
             files,
             paths,
+            dir,
             block_size,
             allocated,
             byte_buf: vec![0; block_size * K::WIDTH],
             remove_on_drop: false,
+            #[cfg(feature = "block-checksums")]
+            sums,
+            #[cfg(feature = "block-checksums")]
+            sum_paths,
             _key: std::marker::PhantomData,
         })
     }
@@ -106,6 +176,107 @@ impl<K: PdmKey> FileStorage<K> {
     /// Paths of the disk files.
     pub fn paths(&self) -> &[PathBuf] {
         &self.paths
+    }
+
+    #[cfg(feature = "block-checksums")]
+    fn open_sidecars(
+        dir: &Path,
+        num_disks: usize,
+        truncate: bool,
+    ) -> Result<(Vec<File>, Vec<PathBuf>)> {
+        let mut sums = Vec::with_capacity(num_disks);
+        let mut sum_paths = Vec::with_capacity(num_disks);
+        for d in 0..num_disks {
+            let path = dir.join(format!("disk-{d}.sum"));
+            let f = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(truncate)
+                .open(&path)?;
+            sums.push(f);
+            sum_paths.push(path);
+        }
+        Ok((sums, sum_paths))
+    }
+
+    /// Parse and validate a `meta.pdm` manifest, returning the per-disk
+    /// allocation it records.
+    fn parse_meta(text: &str, num_disks: usize, block_size: usize) -> Result<Vec<usize>> {
+        let bad = |msg: String| PdmError::BadConfig(format!("disk meta manifest: {msg}"));
+        let mut lines = text.lines();
+        if lines.next() != Some(META_MAGIC) {
+            return Err(bad("missing or wrong magic line".into()));
+        }
+        let mut disks = None;
+        let mut block = None;
+        let mut width = None;
+        let mut allocated: Option<Vec<usize>> = None;
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| bad("line without '='".into()))?;
+            let (k, v) = (k.trim(), v.trim());
+            match k {
+                "disks" => disks = Some(v.parse::<usize>().map_err(|_| bad("bad disks".into()))?),
+                "block" => block = Some(v.parse::<usize>().map_err(|_| bad("bad block".into()))?),
+                "width" => width = Some(v.parse::<usize>().map_err(|_| bad("bad width".into()))?),
+                "allocated" => {
+                    let list: std::result::Result<Vec<usize>, _> =
+                        v.split_whitespace().map(str::parse).collect();
+                    allocated = Some(list.map_err(|_| bad("bad allocated list".into()))?);
+                }
+                _ => return Err(bad(format!("unknown key '{k}'"))),
+            }
+        }
+        let disks = disks.ok_or_else(|| bad("missing disks".into()))?;
+        let block = block.ok_or_else(|| bad("missing block".into()))?;
+        let width = width.ok_or_else(|| bad("missing width".into()))?;
+        let allocated = allocated.ok_or_else(|| bad("missing allocated".into()))?;
+        if disks != num_disks || block != block_size || width != K::WIDTH {
+            return Err(bad(format!(
+                "geometry mismatch: manifest has {disks} disks, B = {block}, \
+                 key width {width}; caller wants {num_disks} disks, B = {block_size}, \
+                 key width {}",
+                K::WIDTH
+            )));
+        }
+        if allocated.len() != disks {
+            return Err(bad("allocated list length disagrees with disks".into()));
+        }
+        Ok(allocated)
+    }
+
+    /// Atomically persist the geometry manifest: temp file + fsync +
+    /// rename + directory fsync.
+    fn write_meta(&self) -> Result<()> {
+        let mut text = String::from(META_MAGIC);
+        text.push('\n');
+        text.push_str(&format!(
+            "disks = {}\nblock = {}\nwidth = {}\n",
+            self.files.len(),
+            self.block_size,
+            K::WIDTH
+        ));
+        text.push_str("allocated =");
+        for a in &self.allocated {
+            text.push_str(&format!(" {a}"));
+        }
+        text.push('\n');
+        let tmp = self.dir.join("meta.pdm.tmp");
+        let fin = self.dir.join("meta.pdm");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &fin)?;
+        File::open(&self.dir)?.sync_all()?;
+        Ok(())
     }
 
     fn check(&self, disk: usize, slot: usize) -> Result<()> {
@@ -149,6 +320,8 @@ impl<K: PdmKey> Storage<K> for FileStorage<K> {
         if slots > self.allocated[disk] {
             let want_bytes = slots as u64 * self.block_bytes();
             self.files[disk].set_len(want_bytes)?;
+            #[cfg(feature = "block-checksums")]
+            self.sums[disk].set_len(slots as u64 * 8)?;
             self.allocated[disk] = slots;
         }
         Ok(())
@@ -165,6 +338,23 @@ impl<K: PdmKey> Storage<K> for FileStorage<K> {
         let off = slot as u64 * self.block_bytes();
         self.files[disk].seek(SeekFrom::Start(off))?;
         self.files[disk].read_exact(&mut self.byte_buf)?;
+        #[cfg(feature = "block-checksums")]
+        {
+            let computed = fnv1a(FNV_OFFSET, &self.byte_buf);
+            let mut sum_bytes = [0u8; 8];
+            self.sums[disk].seek(SeekFrom::Start(slot as u64 * 8))?;
+            self.sums[disk].read_exact(&mut sum_bytes)?;
+            let stored = u64::from_le_bytes(sum_bytes);
+            if stored != 0 && stored != computed {
+                return Err(PdmError::Corrupt {
+                    disk,
+                    slot,
+                    detail: format!(
+                        "block checksum mismatch: stored {stored:016x}, computed {computed:016x}"
+                    ),
+                });
+            }
+        }
         for (i, k) in out.iter_mut().enumerate() {
             *k = K::read_bytes(&self.byte_buf[i * K::WIDTH..]);
         }
@@ -185,15 +375,28 @@ impl<K: PdmKey> Storage<K> for FileStorage<K> {
         let off = slot as u64 * self.block_bytes();
         self.files[disk].seek(SeekFrom::Start(off))?;
         self.files[disk].write_all(&self.byte_buf)?;
+        #[cfg(feature = "block-checksums")]
+        {
+            let sum = fnv1a(FNV_OFFSET, &self.byte_buf);
+            self.sums[disk].seek(SeekFrom::Start(slot as u64 * 8))?;
+            self.sums[disk].write_all(&sum.to_le_bytes())?;
+        }
         Ok(())
     }
 
     fn sync(&mut self) -> Result<()> {
         for f in &mut self.files {
             f.flush()?;
-            f.sync_data()?;
+            // sync_all, not sync_data: ensure_capacity growth changes the
+            // file length, which sync_data may not persist.
+            f.sync_all()?;
         }
-        Ok(())
+        #[cfg(feature = "block-checksums")]
+        for f in &mut self.sums {
+            f.flush()?;
+            f.sync_all()?;
+        }
+        self.write_meta()
     }
 }
 
@@ -203,9 +406,13 @@ impl<K: PdmKey> Drop for FileStorage<K> {
             for p in &self.paths {
                 let _ = std::fs::remove_file(p);
             }
-            if let Some(dir) = self.paths.first().and_then(|p| p.parent()) {
-                let _ = std::fs::remove_dir(dir);
+            #[cfg(feature = "block-checksums")]
+            for p in &self.sum_paths {
+                let _ = std::fs::remove_file(p);
             }
+            let _ = std::fs::remove_file(self.dir.join("meta.pdm"));
+            let _ = std::fs::remove_file(self.dir.join("meta.pdm.tmp"));
+            let _ = std::fs::remove_dir(&self.dir);
         }
     }
 }
@@ -216,6 +423,12 @@ mod tests {
     use crate::config::PdmConfig;
     use crate::key::Tagged;
     use crate::machine::Pdm;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("pdm-file-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
 
     #[test]
     fn round_trip_u64_blocks() {
@@ -277,5 +490,102 @@ mod tests {
             assert!(paths.iter().all(|p| p.exists()));
         }
         assert!(paths.iter().all(|p| !p.exists()));
+    }
+
+    #[test]
+    fn sync_persists_geometry_manifest_for_readback() {
+        let dir = scratch_dir("meta");
+        {
+            let mut s: FileStorage<u64> = FileStorage::create(&dir, 2, 4).unwrap();
+            s.ensure_capacity(0, 3).unwrap();
+            s.ensure_capacity(1, 2).unwrap();
+            s.write_block(0, 2, &[5, 5, 5, 5]).unwrap();
+            s.sync().unwrap();
+        }
+        assert!(dir.join("meta.pdm").is_file());
+        assert!(!dir.join("meta.pdm.tmp").exists(), "temp file renamed away");
+        // Exact allocation is restored from the manifest.
+        let mut s: FileStorage<u64> = FileStorage::create_readback(&dir, 2, 4).unwrap();
+        let mut out = [0u64; 4];
+        s.read_block(0, 2, &mut out).unwrap();
+        assert_eq!(out, [5, 5, 5, 5]);
+        assert!(
+            matches!(s.read_block(0, 3, &mut out), Err(PdmError::BadSlot { .. })),
+            "allocation boundary survives reopen"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn readback_refuses_mismatched_geometry() {
+        let dir = scratch_dir("meta-mismatch");
+        {
+            let mut s: FileStorage<u64> = FileStorage::create(&dir, 2, 4).unwrap();
+            s.ensure_capacity(0, 1).unwrap();
+            s.sync().unwrap();
+        }
+        let wrong_block = FileStorage::<u64>::create_readback(&dir, 2, 8);
+        assert!(matches!(wrong_block, Err(PdmError::BadConfig(_))));
+        let wrong_disks = FileStorage::<u64>::create_readback(&dir, 4, 4);
+        assert!(matches!(wrong_disks, Err(PdmError::BadConfig(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn readback_without_manifest_derives_allocation_from_lengths() {
+        let dir = scratch_dir("no-meta");
+        {
+            let mut s: FileStorage<u64> = FileStorage::create(&dir, 1, 4).unwrap();
+            s.ensure_capacity(0, 2).unwrap();
+            s.write_block(0, 1, &[1, 2, 3, 4]).unwrap();
+            // No sync: no meta.pdm is ever written.
+        }
+        assert!(!dir.join("meta.pdm").exists());
+        let mut s: FileStorage<u64> = FileStorage::create_readback(&dir, 1, 4).unwrap();
+        let mut out = [0u64; 4];
+        s.read_block(0, 1, &mut out).unwrap();
+        assert_eq!(out, [1, 2, 3, 4]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(feature = "block-checksums")]
+    #[test]
+    fn bit_rot_is_detected_and_rewrites_heal() {
+        let mut s: FileStorage<u64> = FileStorage::create_temp(1, 4).unwrap();
+        s.ensure_capacity(0, 2).unwrap();
+        s.write_block(0, 0, &[1, 2, 3, 4]).unwrap();
+        s.write_block(0, 1, &[5, 6, 7, 8]).unwrap();
+        s.sync().unwrap();
+        // Flip a byte of slot 1 behind the backend's back.
+        {
+            let mut f = OpenOptions::new().write(true).open(&s.paths()[0]).unwrap();
+            f.seek(SeekFrom::Start(4 * 8 + 3)).unwrap();
+            f.write_all(&[0xFF]).unwrap();
+        }
+        let mut out = [0u64; 4];
+        s.read_block(0, 0, &mut out).unwrap();
+        assert_eq!(out, [1, 2, 3, 4], "untouched block still verifies");
+        let err = s.read_block(0, 1, &mut out).unwrap_err();
+        assert!(
+            matches!(err, PdmError::Corrupt { disk: 0, slot: 1, .. }),
+            "got: {err}"
+        );
+        assert!(!err.is_transient(), "corruption must not be retried");
+        // Rewriting the block refreshes the checksum.
+        s.write_block(0, 1, &[5, 6, 7, 8]).unwrap();
+        s.read_block(0, 1, &mut out).unwrap();
+        assert_eq!(out, [5, 6, 7, 8]);
+    }
+
+    #[cfg(feature = "block-checksums")]
+    #[test]
+    fn never_written_slots_are_unchecked_not_corrupt() {
+        let mut s: FileStorage<u64> = FileStorage::create_temp(1, 4).unwrap();
+        s.ensure_capacity(0, 2).unwrap();
+        let mut out = [0u64; 4];
+        // Slot 0 was allocated (zero-filled) but never written: readable,
+        // sidecar entry is the zero sentinel.
+        s.read_block(0, 0, &mut out).unwrap();
+        assert_eq!(out, [0, 0, 0, 0]);
     }
 }

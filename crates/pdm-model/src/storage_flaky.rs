@@ -1,11 +1,25 @@
 //! Fault-injecting storage wrapper for robustness testing.
 //!
-//! [`FlakyStorage`] wraps any backend and fails the `k`-th block operation
-//! (or every operation matching a disk), letting tests prove that every
-//! algorithm propagates storage errors as `Err` instead of panicking,
-//! corrupting its output, or leaking tracked memory. Deterministic — the
-//! failure schedule is a plain counter, not a coin flip — so failures are
+//! [`FlakyStorage`] wraps any backend and fails block operations per a
+//! deterministic schedule, letting tests prove that every algorithm
+//! propagates storage errors as `Err` instead of panicking, corrupting its
+//! output, or leaking tracked memory. All schedules — including the
+//! probabilistic-looking [`FailMode::TransientRate`] — are pure functions
+//! of a counter (and a seed), never a live coin flip, so failures are
 //! reproducible and shrinkable.
+//!
+//! Two fault *classes* are injected:
+//!
+//! * **transient** ([`FailMode::TransientRate`], [`FailMode::EveryNth`]) —
+//!   the error kind is `Interrupted`, so [`PdmError::is_transient`] is
+//!   true. Because the operation counter advances on every attempt, the
+//!   reissued operation draws a fresh schedule slot and (for any
+//!   `EveryNth(n)` with `n > 1`, and with high probability for
+//!   `TransientRate`) succeeds: faults *heal on retry*, which is what
+//!   makes [`crate::storage_retry::RetryingStorage`] testable end-to-end.
+//! * **permanent** ([`FailMode::NthRead`], [`FailMode::NthWrite`],
+//!   [`FailMode::Disk`], [`FailMode::DiskAfter`]) — the error kind is
+//!   `Other`; retry layers must give up immediately.
 
 use crate::error::{PdmError, Result};
 use crate::key::PdmKey;
@@ -20,6 +34,26 @@ pub enum FailMode {
     NthWrite(u64),
     /// Fail every operation touching the given disk.
     Disk(usize),
+    /// Fail every operation touching disk `.0` from combined operation
+    /// index `.1` onward (0-based over reads + writes): the disk works,
+    /// then dies for good — a permanent mid-run failure, unlike the
+    /// heal-on-retry transient modes.
+    DiskAfter(usize, u64),
+    /// Fail each operation independently with probability `rate_ppm` per
+    /// million, drawn deterministically from `seed` and the combined
+    /// operation index. Failures are transient (`Interrupted`): the retry
+    /// is a new operation index and draws afresh.
+    TransientRate {
+        /// Seed mixed into every per-operation draw.
+        seed: u64,
+        /// Failure probability in parts per million (1% = 10_000).
+        rate_ppm: u32,
+    },
+    /// Fail every `n`-th combined operation (indices `0, n, 2n, …`;
+    /// `n = 0` is treated as `Never`). Transient: the retry lands on a
+    /// non-multiple index and succeeds — except `n = 1`, which fails
+    /// every attempt and so exercises retry *exhaustion*.
+    EveryNth(u64),
     /// Never fail (pass-through; useful as a control).
     Never,
 }
@@ -33,6 +67,15 @@ pub struct FlakyStorage<S> {
     writes: u64,
     /// Operations failed so far.
     pub injected: u64,
+}
+
+/// SplitMix64 finalizer: a well-mixed pure hash of one word, good enough
+/// to turn (seed, op index) into an independent uniform draw.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl<S> FlakyStorage<S> {
@@ -56,6 +99,32 @@ impl<S> FlakyStorage<S> {
         self.injected += 1;
         PdmError::Io(std::io::Error::other("injected fault"))
     }
+
+    fn fail_transient(&mut self) -> PdmError {
+        self.injected += 1;
+        PdmError::Io(std::io::Error::new(
+            std::io::ErrorKind::Interrupted,
+            "injected transient fault",
+        ))
+    }
+
+    /// Apply the disk-independent schedules that count reads and writes
+    /// together; `op` is the combined 0-based operation index.
+    fn check_combined(&mut self, disk: usize, op: u64) -> Result<()> {
+        match self.mode {
+            FailMode::Disk(d) if d == disk => Err(self.fail()),
+            FailMode::DiskAfter(d, n) if d == disk && op >= n => Err(self.fail()),
+            FailMode::TransientRate { seed, rate_ppm } => {
+                if splitmix64(seed ^ op) % 1_000_000 < u64::from(rate_ppm) {
+                    Err(self.fail_transient())
+                } else {
+                    Ok(())
+                }
+            }
+            FailMode::EveryNth(n) if n > 0 && op % n == 0 => Err(self.fail_transient()),
+            _ => Ok(()),
+        }
+    }
 }
 
 impl<K: PdmKey, S: Storage<K>> Storage<K> for FlakyStorage<S> {
@@ -73,24 +142,32 @@ impl<K: PdmKey, S: Storage<K>> Storage<K> for FlakyStorage<S> {
 
     fn read_block(&mut self, disk: usize, slot: usize, out: &mut [K]) -> Result<()> {
         let n = self.reads;
+        let op = self.reads + self.writes;
         self.reads += 1;
-        match self.mode {
-            FailMode::NthRead(k) if n == k => return Err(self.fail()),
-            FailMode::Disk(d) if d == disk => return Err(self.fail()),
-            _ => {}
+        if let FailMode::NthRead(k) = self.mode {
+            if n == k {
+                return Err(self.fail());
+            }
         }
+        self.check_combined(disk, op)?;
         self.inner.read_block(disk, slot, out)
     }
 
     fn write_block(&mut self, disk: usize, slot: usize, data: &[K]) -> Result<()> {
         let n = self.writes;
+        let op = self.reads + self.writes;
         self.writes += 1;
-        match self.mode {
-            FailMode::NthWrite(k) if n == k => return Err(self.fail()),
-            FailMode::Disk(d) if d == disk => return Err(self.fail()),
-            _ => {}
+        if let FailMode::NthWrite(k) = self.mode {
+            if n == k {
+                return Err(self.fail());
+            }
         }
+        self.check_combined(disk, op)?;
         self.inner.write_block(disk, slot, data)
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.inner.sync()
     }
 }
 
@@ -148,5 +225,67 @@ mod tests {
         let mut pdm = flaky_machine(FailMode::NthWrite(0));
         let r = pdm.alloc_region_for_keys(16).unwrap();
         assert!(pdm.ingest(&r, &[1u64; 16]).is_err());
+    }
+
+    #[test]
+    fn disk_after_works_then_dies_permanently() {
+        let mut s = FlakyStorage::new(MemStorage::<u64>::new(2, 4), FailMode::DiskAfter(1, 3));
+        s.ensure_capacity(0, 4).unwrap();
+        s.ensure_capacity(1, 4).unwrap();
+        let mut out = [0u64; 4];
+        // ops 0,1,2 on disk 1 succeed; from op 3 the disk is gone for good
+        assert!(s.read_block(1, 0, &mut out).is_ok());
+        assert!(s.read_block(1, 1, &mut out).is_ok());
+        assert!(s.read_block(1, 2, &mut out).is_ok());
+        let e = s.read_block(1, 3, &mut out).unwrap_err();
+        assert!(!e.is_transient(), "DiskAfter faults are permanent");
+        assert!(s.read_block(1, 0, &mut out).is_err());
+        assert!(s.write_block(1, 0, &[0; 4]).is_err());
+        // the other disk is unaffected
+        assert!(s.read_block(0, 0, &mut out).is_ok());
+        assert_eq!(s.injected, 3);
+    }
+
+    #[test]
+    fn transient_rate_is_deterministic_and_transient() {
+        let mk = || {
+            FlakyStorage::new(
+                MemStorage::<u64>::new(1, 4),
+                FailMode::TransientRate {
+                    seed: 42,
+                    rate_ppm: 200_000, // 20%: a few K ops will surely hit
+                },
+            )
+        };
+        let run = |s: &mut FlakyStorage<MemStorage<u64>>| {
+            s.ensure_capacity(0, 8).unwrap();
+            let mut out = [0u64; 4];
+            let mut fails = Vec::new();
+            for i in 0..2_000u64 {
+                if let Err(e) = s.read_block(0, (i % 8) as usize, &mut out) {
+                    assert!(e.is_transient());
+                    fails.push(i);
+                }
+            }
+            fails
+        };
+        let (f1, f2) = (run(&mut mk()), run(&mut mk()));
+        assert_eq!(f1, f2, "same seed, same schedule");
+        assert!(!f1.is_empty(), "20% over 2000 ops must fire");
+        assert!(f1.len() < 1_000, "and must not fire every time");
+    }
+
+    #[test]
+    fn every_nth_heals_on_the_next_attempt() {
+        let mut s = FlakyStorage::new(MemStorage::<u64>::new(1, 4), FailMode::EveryNth(3));
+        s.ensure_capacity(0, 4).unwrap();
+        let mut out = [0u64; 4];
+        // op 0 fails, ops 1,2 succeed, op 3 fails, …
+        let e = s.read_block(0, 0, &mut out).unwrap_err();
+        assert!(e.is_transient());
+        assert!(s.read_block(0, 0, &mut out).is_ok(), "retry heals");
+        assert!(s.write_block(0, 0, &[1; 4]).is_ok());
+        assert!(s.read_block(0, 1, &mut out).is_err());
+        assert_eq!(s.injected, 2);
     }
 }

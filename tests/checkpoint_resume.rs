@@ -1,0 +1,255 @@
+//! Checkpoint/resume torture tests: kill a sort mid-pass (via injected
+//! disk death), then restart against the surviving disk files and the
+//! last checkpoint manifest. The resumed run must replay completed
+//! passes without I/O, re-execute the interrupted pass, and land on
+//! output byte-identical to an uninterrupted run.
+
+use pdm_model::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+const D: usize = 2;
+const B: usize = 8;
+const N: usize = 512;
+
+fn workload() -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(0x0C0FFEE);
+    let mut v: Vec<u64> = (0..N as u64).collect();
+    v.shuffle(&mut rng);
+    v
+}
+
+fn digest_of(data: &[u64]) -> u64 {
+    data.iter()
+        .fold(FNV_OFFSET, |st, k| fnv1a(st, &k.to_le_bytes()))
+}
+
+fn fresh_manifest(cfg: &PdmConfig, digest: u64) -> Manifest {
+    Manifest {
+        algo: "three-pass1".into(),
+        num_disks: cfg.num_disks,
+        block_size: cfg.block_size,
+        mem_capacity: cfg.mem_capacity,
+        num_keys: N,
+        digest,
+        completed: 0,
+        frontier: 0,
+        phases: Vec::new(),
+    }
+}
+
+fn unique_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static C: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "pdm-ckres-{tag}-{}-{}",
+        std::process::id(),
+        C.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Reference: uninterrupted sorted output plus the total pass count.
+fn reference_run(data: &[u64]) -> (Vec<u64>, usize) {
+    let cfg = PdmConfig::square(D, B);
+    let mut pdm: Pdm<u64> = Pdm::new(cfg).unwrap();
+    let input = pdm.alloc_region_for_keys(N).unwrap();
+    pdm.ingest(&input, data).unwrap();
+    let rep = pdm_sort::three_pass1(&mut pdm, &input, N).unwrap();
+    let out = pdm.inspect_prefix(&rep.output, N).unwrap();
+    (out, pdm.stats().phases.len())
+}
+
+/// Run three_pass1 over persistent files with a disk that dies after
+/// `kill_after` block operations, checkpointing each pass. Returns the
+/// completed-pass count recorded by the last durable checkpoint, or
+/// `None` if the run actually survived (fault landed past its I/O).
+fn interrupted_run(
+    scratch: &std::path::Path,
+    ckdir: &std::path::Path,
+    data: &[u64],
+    digest: u64,
+    kill_after: u64,
+) -> Option<usize> {
+    let cfg = PdmConfig::square(D, B);
+    let file = FileStorage::<u64>::create(scratch, D, B).unwrap();
+    let flaky = FlakyStorage::new(file, FailMode::DiskAfter(1, kill_after));
+    let mut pdm = Pdm::with_storage(cfg, flaky).unwrap();
+    let input = pdm.alloc_region_for_keys(N).unwrap();
+    if pdm.ingest(&input, data).is_err() {
+        assert_eq!(pdm.mem().current(), 0, "kill@{kill_after}: ingest leak");
+        return Some(0);
+    }
+    let store = CheckpointStore::create(ckdir).unwrap();
+    pdm.attach_checkpoint(store, fresh_manifest(&cfg, digest));
+    match pdm_sort::three_pass1(&mut pdm, &input, N) {
+        Ok(_) => None,
+        Err(_) => {
+            // The "crash": machine dropped here, disks and manifests stay.
+            assert_eq!(
+                pdm.mem().current(),
+                0,
+                "kill@{kill_after}: error path leaked tracked memory"
+            );
+            let latest = CheckpointStore::create(ckdir)
+                .unwrap()
+                .load_latest()
+                .unwrap();
+            Some(latest.map_or(0, |m| m.completed))
+        }
+    }
+}
+
+/// Restart from the surviving files + manifest and finish the sort.
+fn resumed_run(
+    scratch: &std::path::Path,
+    ckdir: &std::path::Path,
+    digest: u64,
+) -> (Vec<u64>, usize, usize) {
+    let cfg = PdmConfig::square(D, B);
+    let store = CheckpointStore::create(ckdir).unwrap();
+    let manifest = store
+        .load_latest()
+        .unwrap()
+        .expect("interrupted run left no checkpoint");
+    manifest
+        .check_compatible("three-pass1", &cfg, N, digest)
+        .unwrap();
+    let file = FileStorage::<u64>::create_readback(scratch, D, B).unwrap();
+    let mut pdm = Pdm::with_storage(cfg, file).unwrap();
+    let input = pdm.alloc_region_for_keys(N).unwrap();
+    // No ingest: the keys are already on disk from before the crash.
+    let skipped = manifest.completed;
+    pdm.attach_checkpoint(store, manifest);
+    let rep = pdm_sort::three_pass1(&mut pdm, &input, N).unwrap();
+    if let Some(e) = pdm.take_checkpoint_error() {
+        panic!("resume left a deferred checkpoint error: {e}");
+    }
+    let out = pdm.inspect_prefix(&rep.output, N).unwrap();
+    let live = pdm.stats().phases.len();
+    (out, skipped, live)
+}
+
+#[test]
+fn kill_mid_pass_then_resume_is_byte_identical() {
+    let data = workload();
+    let digest = digest_of(&data);
+    let (want, total_passes) = reference_run(&data);
+
+    // Sweep kill points across the whole I/O schedule: early (mid-pass-1),
+    // mid (pass 2), late (pass 3), and past-the-end (run survives).
+    let mut resumed_with_progress = 0usize;
+    for kill_after in [40u64, 120, 200, 260, 320, 100_000] {
+        let scratch = unique_dir("scratch");
+        let ckdir = unique_dir("ck");
+        match interrupted_run(&scratch, &ckdir, &data, digest, kill_after) {
+            None => {
+                // Fault never fired — nothing to resume.
+            }
+            Some(completed) => {
+                assert!(
+                    completed < total_passes,
+                    "kill@{kill_after}: checkpoint claims a finished run that errored"
+                );
+                if completed > 0 {
+                    let (got, skipped, live) = resumed_run(&scratch, &ckdir, digest);
+                    assert_eq!(
+                        got, want,
+                        "kill@{kill_after}: resumed output differs from uninterrupted run"
+                    );
+                    assert_eq!(skipped, completed, "kill@{kill_after}");
+                    assert_eq!(
+                        live,
+                        total_passes - completed,
+                        "kill@{kill_after}: wrong number of live re-executed passes"
+                    );
+                    resumed_with_progress += 1;
+                }
+            }
+        }
+        std::fs::remove_dir_all(&scratch).ok();
+        std::fs::remove_dir_all(&ckdir).ok();
+    }
+    assert!(
+        resumed_with_progress >= 2,
+        "sweep never exercised a genuine mid-run resume — kill points need retuning"
+    );
+}
+
+#[test]
+fn resume_refuses_a_mismatched_manifest() {
+    let data = workload();
+    let digest = digest_of(&data);
+    let scratch = unique_dir("scratch");
+    let ckdir = unique_dir("ck");
+    // Interrupt mid-pass-2 so a real checkpoint exists.
+    let completed = interrupted_run(&scratch, &ckdir, &data, digest, 200)
+        .expect("kill@200 should interrupt the run");
+    assert!(completed > 0, "kill@200 should land after pass 1");
+    let store = CheckpointStore::create(&ckdir).unwrap();
+    let manifest = store.load_latest().unwrap().unwrap();
+    let cfg = PdmConfig::square(D, B);
+    assert!(manifest.check_compatible("three-pass2", &cfg, N, digest).is_err());
+    assert!(manifest
+        .check_compatible("three-pass1", &PdmConfig::square(4, B), N, digest)
+        .is_err());
+    assert!(manifest.check_compatible("three-pass1", &cfg, N - 1, digest).is_err());
+    assert!(manifest
+        .check_compatible("three-pass1", &cfg, N, digest ^ 1)
+        .is_err());
+    assert!(manifest.check_compatible("three-pass1", &cfg, N, digest).is_ok());
+    std::fs::remove_dir_all(&scratch).ok();
+    std::fs::remove_dir_all(&ckdir).ok();
+}
+
+#[test]
+fn full_stack_transient_faults_retry_and_checkpoints_compose() {
+    // The production CLI stack: FileStorage → FlakyStorage(transient) →
+    // RetryingStorage, with checkpoints on. The run must complete
+    // correctly, record every pass, and show healed retries.
+    let data = workload();
+    let digest = digest_of(&data);
+    let (want, total_passes) = reference_run(&data);
+    let scratch = unique_dir("scratch");
+    let ckdir = unique_dir("ck");
+    let cfg = PdmConfig::square(D, B);
+    let file = FileStorage::<u64>::create(&scratch, D, B).unwrap();
+    let flaky = FlakyStorage::new(
+        file,
+        FailMode::TransientRate { seed: 99, rate_ppm: 10_000 },
+    );
+    let retrying = RetryingStorage::new(
+        flaky,
+        RetryPolicy { max_attempts: 6, backoff_steps: 2 },
+    );
+    let counters = retrying.counters();
+    let mut pdm = Pdm::with_storage(cfg, retrying).unwrap();
+    pdm.attach_retry_counters(counters.clone());
+    let input = pdm.alloc_region_for_keys(N).unwrap();
+    pdm.ingest(&input, &data).unwrap();
+    let store = CheckpointStore::create(&ckdir).unwrap();
+    pdm.attach_checkpoint(store, fresh_manifest(&cfg, digest));
+    let rep = pdm_sort::three_pass1(&mut pdm, &input, N).unwrap();
+    assert!(pdm.take_checkpoint_error().is_none());
+    // Snapshot before `inspect_prefix`: the verification reads below go
+    // through the same retrying stack and would advance the live counters
+    // past the machine's last phase-boundary fold.
+    let snap = counters.snapshot();
+    assert!(snap.total_retries() > 0, "1% fault rate never fired");
+    assert_eq!(snap.exhausted, 0);
+    // Retries show up in the machine's own stats at phase boundaries.
+    let folded = pdm.stats().retry;
+    assert_eq!(folded.reads_retried, snap.reads_retried);
+    assert_eq!(folded.writes_retried, snap.writes_retried);
+    assert_eq!(pdm.inspect_prefix(&rep.output, N).unwrap(), want);
+    // Every pass got a durable checkpoint.
+    let latest = CheckpointStore::create(&ckdir)
+        .unwrap()
+        .load_latest()
+        .unwrap()
+        .unwrap();
+    assert_eq!(latest.completed, total_passes);
+    assert_eq!(latest.phases.len(), total_passes);
+    std::fs::remove_dir_all(&scratch).ok();
+    std::fs::remove_dir_all(&ckdir).ok();
+}
