@@ -18,7 +18,9 @@ fn bench_merge_kernels(c: &mut Criterion) {
                 black_box(v.len())
             });
         });
-        // k-way merge of 64 sorted segments (the column-merge kernel)
+        // k-way merge of 64 sorted segments (the column-merge kernel):
+        // loser tree (production) vs BinaryHeap (reference) on identical
+        // input, so the criterion report shows the kernel swap's delta
         g.bench_with_input(BenchmarkId::new("kway_merge_64", n), &n, |b, &n| {
             let part = n / 64;
             let mut buf = data::permutation(n, 2);
@@ -29,6 +31,49 @@ fn bench_merge_kernels(c: &mut Criterion) {
             b.iter(|| {
                 pdm_sort::common::merge_equal_segments(&buf, part, &mut out);
                 black_box(out.len())
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("kway_merge_64_heap", n), &n, |b, &n| {
+            let part = n / 64;
+            let mut buf = data::permutation(n, 2);
+            for seg in buf.chunks_mut(part) {
+                seg.sort_unstable();
+            }
+            let mut out = Vec::with_capacity(n);
+            b.iter(|| {
+                pdm_sort::merge::merge_equal_segments_heap(&buf, part, &mut out);
+                black_box(out.len())
+            });
+        });
+        // the Cleaner's window absorb: sort only the fresh window, then
+        // SymMerge it into the sorted carry — vs re-sorting everything
+        g.bench_with_input(BenchmarkId::new("cleaner_window", n), &n, |b, &n| {
+            let carry = 3 * n / 4;
+            let mut base = data::uniform(carry, u64::MAX >> 1, 3);
+            base.sort_unstable();
+            let fresh = data::uniform(n - carry, u64::MAX >> 1, 4);
+            let mut v: Vec<u64> = Vec::with_capacity(n);
+            b.iter(|| {
+                v.clear();
+                v.extend_from_slice(&base);
+                v.extend_from_slice(&fresh);
+                v[carry..].sort_unstable();
+                pdm_sort::merge::merge_in_place(&mut v, carry);
+                black_box(v.len())
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("cleaner_window_resort", n), &n, |b, &n| {
+            let carry = 3 * n / 4;
+            let mut base = data::uniform(carry, u64::MAX >> 1, 3);
+            base.sort_unstable();
+            let fresh = data::uniform(n - carry, u64::MAX >> 1, 4);
+            let mut v: Vec<u64> = Vec::with_capacity(n);
+            b.iter(|| {
+                v.clear();
+                v.extend_from_slice(&base);
+                v.extend_from_slice(&fresh);
+                v.sort_unstable();
+                black_box(v.len())
             });
         });
         // the LMM local cleanup of a displaced sequence

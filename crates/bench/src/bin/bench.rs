@@ -1,0 +1,398 @@
+//! `pdm-bench` — tracked wall-clock benchmarks for the hot-path kernels.
+//!
+//! Times the in-memory kernels (run-formation sort, k-way merge, cleaner
+//! window maintenance) and whole-algorithm runs on the mem and threaded
+//! backends, then writes a machine-readable JSON artifact. The committed
+//! copy at the repo root (`BENCH_kernels.json`) is the tracked baseline;
+//! `scripts/check_bench.py` validates a fresh run against it.
+//!
+//! ```text
+//! cargo run --release -p pdm-bench --bin pdm-bench              # full suite
+//! cargo run --release -p pdm-bench --bin pdm-bench -- --quick  # CI smoke
+//! cargo run --release -p pdm-bench --bin pdm-bench -- --out f.json
+//! ```
+//!
+//! Criterion stays the tool for statistically careful comparisons
+//! (`cargo bench -p pdm-bench`); this binary is the cheap, dependency-free
+//! tracker that runs everywhere and emits one comparable artifact.
+
+use pdm_model::prelude::*;
+use pdm_sort::{kernels, merge};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Counting allocator: allocation counts are part of the artifact, so the
+// zero-alloc claims about the pooled/recycled hot paths are checkable
+// numbers, not prose.
+// ---------------------------------------------------------------------------
+
+mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    struct Counting;
+
+    // SAFETY: delegates every operation to `System` unchanged; the counter
+    // is a relaxed atomic increment with no other side effects.
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(l)
+        }
+        unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+            System.dealloc(p, l)
+        }
+        unsafe fn realloc(&self, p: *mut u8, l: Layout, new: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(p, l, new)
+        }
+    }
+
+    #[global_allocator]
+    static A: Counting = Counting;
+
+    /// Total heap allocations (allocs + reallocs) since process start.
+    pub fn allocations() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
+/// Run `f` once per rep, returning (best wall nanos, allocations in the
+/// best rep). Best-of-N is the standard microbenchmark estimator here:
+/// the minimum is the run least disturbed by the machine.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> (u64, u64) {
+    let mut best = u64::MAX;
+    let mut best_allocs = u64::MAX;
+    for _ in 0..reps.max(1) {
+        let a0 = alloc_counter::allocations();
+        let t0 = Instant::now();
+        f();
+        let ns = t0.elapsed().as_nanos() as u64;
+        let allocs = alloc_counter::allocations() - a0;
+        if ns < best {
+            best = ns;
+            best_allocs = allocs;
+        }
+    }
+    (best, best_allocs)
+}
+
+// ---------------------------------------------------------------------------
+// Hand-rolled JSON: the artifact is flat and numeric; no serde needed.
+// ---------------------------------------------------------------------------
+
+/// Format a float as JSON (finite, fixed precision).
+fn jf(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.4}")
+    } else {
+        "0.0".into()
+    }
+}
+
+struct KernelRow {
+    name: String,
+    n: usize,
+    ns_per_key: f64,
+    allocs: u64,
+}
+
+struct MergeRow {
+    name: String,
+    n: usize,
+    k: usize,
+    heap_ns_per_key: f64,
+    loser_ns_per_key: f64,
+}
+
+struct AlgoRow {
+    name: String,
+    backend: &'static str,
+    n: usize,
+    wall_ms: f64,
+    read_passes: f64,
+    write_passes: f64,
+    pool_hit_rate: Option<f64>,
+}
+
+fn render_json(
+    quick: bool,
+    kernels_rows: &[KernelRow],
+    merge_rows: &[MergeRow],
+    cleaner: &(usize, usize, f64, f64),
+    algo_rows: &[AlgoRow],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema_version\": 1,\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!(
+        "  \"parallel_build\": {},\n",
+        kernels::PARALLEL_BUILD
+    ));
+    s.push_str("  \"kernels\": [\n");
+    for (i, r) in kernels_rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"ns_per_key\": {}, \"allocs\": {}}}{}\n",
+            r.name,
+            r.n,
+            jf(r.ns_per_key),
+            r.allocs,
+            if i + 1 < kernels_rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"merges\": [\n");
+    for (i, r) in merge_rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"k\": {}, \"heap_ns_per_key\": {}, \
+             \"loser_ns_per_key\": {}, \"speedup\": {}}}{}\n",
+            r.name,
+            r.n,
+            r.k,
+            jf(r.heap_ns_per_key),
+            jf(r.loser_ns_per_key),
+            jf(r.heap_ns_per_key / r.loser_ns_per_key.max(1e-9)),
+            if i + 1 < merge_rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    let (carry, window, resort, incremental) = *cleaner;
+    s.push_str(&format!(
+        "  \"cleaner\": {{\"carry\": {carry}, \"window\": {window}, \
+         \"resort_ns_per_key\": {}, \"incremental_ns_per_key\": {}}},\n",
+        jf(resort),
+        jf(incremental)
+    ));
+    s.push_str("  \"algorithms\": [\n");
+    for (i, r) in algo_rows.iter().enumerate() {
+        let pool = match r.pool_hit_rate {
+            Some(h) => format!(", \"pool_hit_rate\": {}", jf(h)),
+            None => String::new(),
+        };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"backend\": \"{}\", \"n\": {}, \"wall_ms\": {}, \
+             \"read_passes\": {}, \"write_passes\": {}{}}}{}\n",
+            r.name,
+            r.backend,
+            r.n,
+            jf(r.wall_ms),
+            jf(r.read_passes),
+            jf(r.write_passes),
+            pool,
+            if i + 1 < algo_rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Benchmark sections
+// ---------------------------------------------------------------------------
+
+fn bench_sort_kernel(n: usize, reps: usize, rows: &mut Vec<KernelRow>) {
+    let data = pdm_bench::data::permutation(n, 41);
+    let mut scratch = data.clone();
+    kernels::set_parallel(false);
+    let (ns, allocs) = time_best(reps, || {
+        scratch.copy_from_slice(&data);
+        kernels::sort_keys(&mut scratch);
+    });
+    rows.push(KernelRow {
+        name: "run_sort_seq".into(),
+        n,
+        ns_per_key: ns as f64 / n as f64,
+        allocs,
+    });
+    if kernels::PARALLEL_BUILD {
+        let _ = kernels::configure_threads(0);
+        let (ns, allocs) = time_best(reps, || {
+            scratch.copy_from_slice(&data);
+            kernels::sort_keys(&mut scratch);
+        });
+        rows.push(KernelRow {
+            name: "run_sort_par".into(),
+            n,
+            ns_per_key: ns as f64 / n as f64,
+            allocs,
+        });
+        kernels::set_parallel(false);
+    }
+}
+
+fn bench_kway_merge(n: usize, k: usize, reps: usize, rows: &mut Vec<MergeRow>) {
+    // k equal sorted segments totalling n keys — exactly the shape
+    // `merge_equal_segments` sees in the three-pass merge step.
+    let part = n / k;
+    let mut buf = pdm_bench::data::uniform(part * k, u64::MAX >> 1, 42);
+    for seg in buf.chunks_mut(part) {
+        seg.sort_unstable();
+    }
+    let segs: Vec<&[u64]> = buf.chunks(part).collect();
+    let mut out: Vec<u64> = Vec::with_capacity(buf.len());
+    let (heap_ns, _) = time_best(reps, || {
+        merge::kway_merge_heap(&segs, &mut out);
+    });
+    let (loser_ns, _) = time_best(reps, || {
+        merge::kway_merge(&segs, &mut out);
+    });
+    rows.push(MergeRow {
+        name: format!("kway_merge_{k}"),
+        n: part * k,
+        k,
+        heap_ns_per_key: heap_ns as f64 / (part * k) as f64,
+        loser_ns_per_key: loser_ns as f64 / (part * k) as f64,
+    });
+}
+
+/// The Cleaner's buffer maintenance: a sorted carry of `carry` keys plus a
+/// fresh window of `window` keys. Resorting everything vs sorting only the
+/// window and merging in place (what `Cleaner::sort_resident` now does).
+fn bench_cleaner(carry: usize, window: usize, reps: usize) -> (usize, usize, f64, f64) {
+    let mut base = pdm_bench::data::uniform(carry, u64::MAX >> 1, 43);
+    base.sort_unstable();
+    let fresh = pdm_bench::data::uniform(window, u64::MAX >> 1, 44);
+    let mut v: Vec<u64> = Vec::with_capacity(carry + window);
+
+    let (resort_ns, _) = time_best(reps, || {
+        v.clear();
+        v.extend_from_slice(&base);
+        v.extend_from_slice(&fresh);
+        v.sort_unstable();
+    });
+    let (inc_ns, _) = time_best(reps, || {
+        v.clear();
+        v.extend_from_slice(&base);
+        v.extend_from_slice(&fresh);
+        v[carry..].sort_unstable();
+        merge::merge_in_place(&mut v, carry);
+    });
+    let total = (carry + window) as f64;
+    (carry, window, resort_ns as f64 / total, inc_ns as f64 / total)
+}
+
+fn bench_algorithm(
+    name: &'static str,
+    threaded: bool,
+    b: usize,
+    n: usize,
+    rows: &mut Vec<AlgoRow>,
+) {
+    let data = pdm_bench::data::permutation(n, 45);
+    let cfg = PdmConfig::square(4, b);
+    let run = |pdm: &mut Pdm<u64, Box<dyn Storage<u64>>>| -> (f64, f64, f64) {
+        let region = pdm.alloc_region_for_keys(n).unwrap();
+        pdm.ingest(&region, &data).unwrap();
+        pdm.reset_stats();
+        let t0 = Instant::now();
+        let rep = match name {
+            "three_pass2" => pdm_sort::three_pass2(pdm, &region, n).unwrap(),
+            "seven_pass" => pdm_sort::seven_pass(pdm, &region, n).unwrap(),
+            "expected_two_pass" => pdm_sort::expected_two_pass(pdm, &region, n).unwrap(),
+            other => panic!("unknown algorithm {other}"),
+        };
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(!rep.fell_back, "{name}: unexpected fallback in benchmark");
+        (wall, rep.read_passes, rep.write_passes)
+    };
+    let storage: Box<dyn Storage<u64>> = if threaded {
+        Box::new(ThreadedStorage::<u64>::new(cfg.num_disks, cfg.block_size))
+    } else {
+        Box::new(MemStorage::<u64>::new(cfg.num_disks, cfg.block_size))
+    };
+    let mut pdm: Pdm<u64, Box<dyn Storage<u64>>> = Pdm::with_storage(cfg, storage).unwrap();
+    let (wall_ms, read_passes, write_passes) = run(&mut pdm);
+    rows.push(AlgoRow {
+        name: name.into(),
+        backend: if threaded { "threaded" } else { "mem" },
+        n,
+        wall_ms,
+        read_passes,
+        write_passes,
+        pool_hit_rate: pdm.pool_stats().map(|p| p.hit_rate()),
+    });
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_path = "BENCH_kernels.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).expect("--out needs a path").clone();
+            }
+            other => {
+                eprintln!("usage: pdm-bench [--quick] [--out FILE.json] (got '{other}')");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let reps = if quick { 3 } else { 7 };
+
+    let mut kernel_rows = Vec::new();
+    bench_sort_kernel(if quick { 1 << 14 } else { 1 << 17 }, reps, &mut kernel_rows);
+
+    let mut merge_rows = Vec::new();
+    bench_kway_merge(1 << 14, 64, reps, &mut merge_rows);
+    if !quick {
+        bench_kway_merge(1 << 17, 64, reps, &mut merge_rows);
+        bench_kway_merge(1 << 17, 256, reps, &mut merge_rows);
+    }
+
+    let cleaner = if quick {
+        bench_cleaner(3 << 12, 1 << 12, reps)
+    } else {
+        bench_cleaner(3 << 15, 1 << 15, reps)
+    };
+
+    let mut algo_rows = Vec::new();
+    let b = if quick { 16 } else { 32 };
+    let n = b * b * b; // N = M√M, every three-pass sorter's full capacity
+    bench_algorithm("three_pass2", false, b, n, &mut algo_rows);
+    bench_algorithm("seven_pass", false, b, n, &mut algo_rows);
+    bench_algorithm("three_pass2", true, b, n, &mut algo_rows);
+
+    let json = render_json(quick, &kernel_rows, &merge_rows, &cleaner, &algo_rows);
+    std::fs::write(&out_path, &json).expect("write artifact");
+    eprintln!("wrote {out_path}");
+    // Human-readable one-liners for the log.
+    for r in &kernel_rows {
+        eprintln!("  {:<16} n = {:>7}  {:>8.2} ns/key  {} allocs", r.name, r.n, r.ns_per_key, r.allocs);
+    }
+    for r in &merge_rows {
+        eprintln!(
+            "  {:<16} n = {:>7}  heap {:>7.2} vs loser {:>7.2} ns/key ({:.2}x)",
+            r.name,
+            r.n,
+            r.heap_ns_per_key,
+            r.loser_ns_per_key,
+            r.heap_ns_per_key / r.loser_ns_per_key.max(1e-9)
+        );
+    }
+    eprintln!(
+        "  cleaner          carry {} + window {}: resort {:.2} vs incremental {:.2} ns/key",
+        cleaner.0, cleaner.1, cleaner.2, cleaner.3
+    );
+    for r in &algo_rows {
+        eprintln!(
+            "  {:<16} [{}] n = {:>7}  {:>8.2} ms  {:.2}R/{:.2}W passes{}",
+            r.name,
+            r.backend,
+            r.n,
+            r.wall_ms,
+            r.read_passes,
+            r.write_passes,
+            r.pool_hit_rate
+                .map(|h| format!("  pool hit rate {:.1}%", h * 100.0))
+                .unwrap_or_default()
+        );
+    }
+}

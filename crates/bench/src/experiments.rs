@@ -455,7 +455,9 @@ pub fn e8_seven_pass() {
             "7".into(),
         ]);
         if b == 32 {
-            breakdown = rep.phases.clone();
+            // Snapshot straight off the machine: SortReport no longer
+            // carries a phase clone (one per sort was pure waste).
+            breakdown = pdm.stats().phases.clone();
             breakdown_n = n;
         }
     }
@@ -463,8 +465,8 @@ pub fn e8_seven_pass() {
     print_phase_breakdown("b = 32", breakdown_n, 4, 32, &breakdown);
 }
 
-/// Print the per-phase pass breakdown a [`pdm_sort::SortReport`] now
-/// carries: where each of the budgeted passes went.
+/// Print the per-phase pass breakdown from the machine's
+/// [`IoStats::phases`]: where each of the budgeted passes went.
 fn print_phase_breakdown(label: &str, n: usize, d: usize, b: usize, phases: &[PhaseStats]) {
     if phases.is_empty() {
         return;

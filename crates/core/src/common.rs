@@ -64,14 +64,15 @@ pub struct SortReport {
     /// Whether an expected-case algorithm detected failure and fell back
     /// to its deterministic alternative.
     pub fell_back: bool,
-    /// Per-phase counter breakdown (a snapshot of the machine's completed
-    /// [`PhaseStats`] at report time), for waterfall-style reporting.
-    pub phases: Vec<PhaseStats>,
 }
 
 impl SortReport {
     /// Assemble a report from the machine's counters (call right after the
-    /// algorithm finishes, before other I/O).
+    /// algorithm finishes, before other I/O). Deliberately snapshot-free:
+    /// per-phase breakdowns stay in [`IoStats::phases`] on the machine, so
+    /// building a report costs no allocation — consumers that want the
+    /// waterfall read (or take) the phases from the machine they already
+    /// hold instead of paying a `Vec<PhaseStats>` clone per sort.
     pub fn from_stats<K: PdmKey, S: Storage<K>>(
         pdm: &Pdm<K, S>,
         output: Region,
@@ -89,7 +90,6 @@ impl SortReport {
             write_passes: pdm.stats().write_passes(n, d, b),
             peak_mem: pdm.mem().peak(),
             fell_back,
-            phases: pdm.stats().phases.clone(),
         }
     }
 }
@@ -193,35 +193,36 @@ pub(crate) fn expected_run_len(m: usize, b: usize, alpha: f64) -> usize {
 
 /// Merge `l` equal-length sorted segments laid back-to-back in `buf`
 /// (`buf.len() = l·part_len`) into `out` (cleared first).
+///
+/// Runs on the [`crate::merge::LoserTree`] kernel; the previous
+/// `BinaryHeap` implementation survives as
+/// [`crate::merge::merge_equal_segments_heap`] for equivalence tests and
+/// the before/after bench.
 pub fn merge_equal_segments<K: PdmKey>(buf: &[K], part_len: usize, out: &mut Vec<K>) {
-    use std::cmp::Reverse;
-    use std::collections::BinaryHeap;
     assert!(part_len > 0 && buf.len() % part_len == 0);
-    let l = buf.len() / part_len;
     out.clear();
-    let mut heap: BinaryHeap<Reverse<(K, usize, usize)>> = (0..l)
-        .map(|i| Reverse((buf[i * part_len], i, 0)))
-        .collect();
-    while let Some(Reverse((k, i, j))) = heap.pop() {
-        out.push(k);
-        if j + 1 < part_len {
-            heap.push(Reverse((buf[i * part_len + j + 1], i, j + 1)));
-        }
-    }
+    let mut tree = crate::merge::LoserTree::new(buf.chunks(part_len).collect());
+    tree.merge_into(out);
 }
 
 /// The streaming cleanup engine shared by every shuffle-then-clean phase
 /// (ThreePass2 pass 3, ExpectedTwoPass pass 2, SevenPass steps 4–5, …).
 ///
-/// Feed it windows of `w` keys; it holds the running carry, sorts
-/// carry+window (`≤ 2w` resident keys — the paper's "two successive `Z_i`'s
-/// in memory"), emits the smallest `w` once warmed up, and *verifies* the
+/// Feed it windows of `w` keys; it holds the running carry (kept sorted),
+/// sorts each incoming window and merges it in — `≤ 2w` resident keys,
+/// the paper's "two successive `Z_i`'s in memory" — emits the smallest
+/// `w` once warmed up, and *verifies* the
 /// emitted stream: the paper's abort check ("the smallest key currently
 /// being shipped out is smaller than the largest key shipped out in the
 /// previous I/O") maps to [`Cleaner::clean`] going false.
 pub struct Cleaner<K: PdmKey> {
     buf: TrackedBuf<K>,
     w: usize,
+    /// Length of the already-sorted carry prefix of `buf`. Keys fed after
+    /// the last `process` sit behind it unsorted; `process` sorts only
+    /// that tail and merges it into the carry in place — the carry never
+    /// pays a re-sort.
+    sorted: usize,
     last_max: Option<K>,
     clean: bool,
     emitted: usize,
@@ -256,6 +257,7 @@ impl<K: PdmKey> Cleaner<K> {
         Ok(Self {
             buf: pdm.alloc_buf(2 * w)?,
             w,
+            sorted: 0,
             last_max: None,
             clean: true,
             emitted: 0,
@@ -294,18 +296,32 @@ impl<K: PdmKey> Cleaner<K> {
         self.buf.extend_from_slice(keys);
     }
 
-    /// Sort the resident keys and, if more than one window is resident,
-    /// emit the smallest `w` through `emit`. Call once per fed window.
+    /// Sort the newly fed keys, merge them into the already-sorted carry
+    /// (in place — the `2w` budget has no room for scratch), and if more
+    /// than one window is resident, emit the smallest `w` through `emit`.
+    /// Call once per fed window.
     pub fn process<S: Storage<K>>(
         &mut self,
         pdm: &mut Pdm<K, S>,
         emit: &mut dyn FnMut(&mut Pdm<K, S>, &[K]) -> Result<()>,
     ) -> Result<()> {
-        self.buf.sort_unstable();
+        self.sort_resident();
         if self.buf.len() > self.w {
             self.emit_front(pdm, self.w, emit)?;
         }
         Ok(())
+    }
+
+    /// Restore the sorted invariant over everything resident: sort the
+    /// unsorted tail (keys fed since the last call) and symmerge it with
+    /// the sorted carry. Equivalent to — and byte-identical with — the
+    /// old whole-buffer `sort_unstable`, at the cost of one window sort
+    /// plus an O(1)-space merge instead of a `2w` re-sort.
+    fn sort_resident(&mut self) {
+        let mid = self.sorted.min(self.buf.len());
+        crate::kernels::sort_keys(&mut self.buf[mid..]);
+        crate::merge::merge_in_place(self.buf.as_vec_mut(), mid);
+        self.sorted = self.buf.len();
     }
 
     fn emit_front<S: Storage<K>>(
@@ -331,6 +347,7 @@ impl<K: PdmKey> Cleaner<K> {
         emit(pdm, &self.buf[..count])?;
         self.emitted += count;
         self.buf.drain(..count);
+        self.sorted = self.sorted.saturating_sub(count);
         self.telemetry.emissions += 1;
         let carry = self.buf.len();
         self.telemetry.max_carry = self.telemetry.max_carry.max(carry);
@@ -338,13 +355,14 @@ impl<K: PdmKey> Cleaner<K> {
         Ok(())
     }
 
-    /// Flush whatever remains (already sorted from the last `process`).
+    /// Flush whatever remains (sorting any keys fed since the last
+    /// `process`).
     pub fn finish<S: Storage<K>>(
         mut self,
         pdm: &mut Pdm<K, S>,
         emit: &mut dyn FnMut(&mut Pdm<K, S>, &[K]) -> Result<()>,
     ) -> Result<(usize, bool)> {
-        self.buf.sort_unstable();
+        self.sort_resident();
         let rest = self.buf.len();
         self.emit_front(pdm, rest, emit)?;
         Ok((self.emitted, self.clean))
@@ -403,7 +421,7 @@ pub fn in_memory_sort<K: PdmKey, S: Storage<K>>(
     pdm.begin_phase("IM: read+sort");
     pdm.read_region(input, buf.as_vec_mut())?;
     buf.truncate(n);
-    buf.sort_unstable();
+    crate::kernels::sort_keys(buf.as_vec_mut());
     pdm.begin_phase("IM: write");
     let out = pdm.alloc_region_for_keys(n)?;
     pdm.write_region(&out, &buf)?;

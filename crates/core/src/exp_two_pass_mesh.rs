@@ -67,7 +67,7 @@ pub fn exp_two_pass_mesh<K: PdmKey, S: Storage<K>>(
         }
         buf.truncate(n.saturating_sub(lo * b).min(rows));
         buf.resize(rows, K::MAX);
-        buf.sort_unstable();
+        crate::kernels::sort_keys(&mut buf);
         // band t's segment is buf[t*b..(t+1)*b] — contiguous
         let targets: Vec<(Region, usize)> = band_regions.iter().map(|t| (*t, c)).collect();
         pdm.write_blocks_multi(&targets, &buf)?;

@@ -100,7 +100,7 @@ pub(crate) fn pass1_runs_shuffled<K: PdmKey, S: Storage<K>>(
         }
         run.truncate(n.saturating_sub(lo * b).min(run_len));
         run.resize(run_len, K::MAX);
-        run.sort_unstable();
+        crate::kernels::sort_keys(&mut run);
         let mut targets: Vec<(Region, usize)> = Vec::with_capacity(run_blocks);
         for w in windows.iter() {
             for cb in 0..chunk_blocks {

@@ -197,7 +197,7 @@ pub fn distribute<K: PdmKey, S: Storage<K>>(
     src: &Source<'_>,
     buckets: usize,
     mode: FlushMode,
-    bucket_of: impl Fn(&K) -> usize,
+    bucket_of: impl Fn(&K) -> usize + Sync + Send,
 ) -> Result<Buckets> {
     let cfg = *pdm.cfg();
     let (b, d, m) = (cfg.block_size, cfg.num_disks, cfg.mem_capacity);
@@ -238,9 +238,12 @@ pub fn distribute<K: PdmKey, S: Storage<K>>(
     // i.e. max_i ⌈N_i/B⌉ steps. (Read buffer M + resident tails ≤ M stay
     // within the tracked 2M workspace.)
     src.for_each_chunk(pdm, m, |pdm, keys| {
+        // Classification is a pure per-key map, so it lifts out of the
+        // sequential scatter loop — and parallelizes when the kernels are
+        // enabled — without changing bucket contents or write order.
+        let ids = crate::kernels::classify(keys, &bucket_of);
         pdm.begin_io_group();
-        for &k in keys {
-            let v = bucket_of(&k);
+        for (&k, &v) in keys.iter().zip(&ids) {
             if v >= buckets {
                 pdm.end_io_group();
                 return Err(PdmError::UnsupportedInput(format!(

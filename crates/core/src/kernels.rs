@@ -1,0 +1,131 @@
+//! In-memory kernels shared by every algorithm's run-formation and
+//! distribution steps, with optional rayon parallelism.
+//!
+//! Built with the `parallel` cargo feature AND enabled at runtime (CLI
+//! `--threads`, [`configure_threads`]), [`sort_keys`] switches to
+//! `par_sort_unstable` and [`classify`] to a parallel map. Both are
+//! **byte-identical** to the sequential kernels: every `PdmKey` is totally
+//! ordered (ties in `Tagged` break on the payload), so an unstable sort
+//! has exactly one correct output, and classification is a pure per-key
+//! map. Parallelism therefore never changes a single I/O step — the
+//! golden pass-count gate runs with the feature both off and on.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Whether this build carries the parallel kernels at all.
+pub const PARALLEL_BUILD: bool = cfg!(feature = "parallel");
+
+/// Inputs below this size always sort sequentially: rayon's fork-join
+/// overhead dominates small runs, and the PDM working sets that matter
+/// (runs of `M` keys) sit far above it.
+#[cfg(feature = "parallel")]
+const PAR_THRESHOLD: usize = 1 << 13;
+
+static PARALLEL_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable the parallel kernels at runtime. A no-op (stays
+/// sequential) when the `parallel` feature is compiled out.
+pub fn set_parallel(on: bool) {
+    PARALLEL_ENABLED.store(on && PARALLEL_BUILD, Ordering::Relaxed);
+}
+
+/// Whether the parallel kernels are currently active.
+pub fn parallel_enabled() -> bool {
+    PARALLEL_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Configure the kernel thread count: `1` forces sequential kernels, `0`
+/// enables parallelism with rayon's default thread count, `n > 1` builds
+/// an `n`-thread global pool. Errors when the binary was built without
+/// the `parallel` feature and more than one thread is requested.
+pub fn configure_threads(threads: usize) -> std::result::Result<(), String> {
+    if threads == 1 {
+        set_parallel(false);
+        return Ok(());
+    }
+    #[cfg(feature = "parallel")]
+    {
+        if threads > 1 {
+            // A second initialization (tests, repeated calls) fails but
+            // leaves the existing pool serving — safe to ignore.
+            let _ = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build_global();
+        }
+        set_parallel(true);
+        Ok(())
+    }
+    #[cfg(not(feature = "parallel"))]
+    Err(format!(
+        "--threads {threads}: this binary was built without the `parallel` feature \
+         (rebuild with `--features parallel`)"
+    ))
+}
+
+/// The run-formation sort kernel: unstable sort of a key slice, parallel
+/// when enabled and the slice is large enough to pay for fork-join.
+pub fn sort_keys<K: Ord + Send>(v: &mut [K]) {
+    #[cfg(feature = "parallel")]
+    if parallel_enabled() && v.len() >= PAR_THRESHOLD {
+        use rayon::prelude::*;
+        v.par_sort_unstable();
+        return;
+    }
+    v.sort_unstable();
+}
+
+/// The distribution kernel: map every key to its bucket index. Parallel
+/// when enabled (a pure map, so order and output are unaffected).
+pub fn classify<K: Sync>(keys: &[K], bucket_of: impl Fn(&K) -> usize + Sync + Send) -> Vec<usize> {
+    #[cfg(feature = "parallel")]
+    if parallel_enabled() && keys.len() >= PAR_THRESHOLD {
+        use rayon::prelude::*;
+        return keys.par_iter().map(bucket_of).collect();
+    }
+    keys.iter().map(bucket_of).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_keys_matches_sort_unstable() {
+        let mut a: Vec<u64> = (0..20_000u64).map(|i| i.wrapping_mul(0x9E3779B9) >> 7).collect();
+        let mut b = a.clone();
+        sort_keys(&mut a);
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn classify_is_a_pure_map() {
+        let keys: Vec<u64> = (0..100).collect();
+        let ids = classify(&keys, |k| (*k % 7) as usize);
+        assert_eq!(ids, keys.iter().map(|k| (*k % 7) as usize).collect::<Vec<_>>());
+    }
+
+    /// One test owns every transition of the global toggle, so parallel
+    /// test execution never observes a half-configured state.
+    #[test]
+    fn thread_configuration_round_trips() {
+        configure_threads(1).unwrap();
+        assert!(!parallel_enabled());
+        #[cfg(feature = "parallel")]
+        {
+            configure_threads(0).unwrap();
+            assert!(parallel_enabled());
+            let base: Vec<u64> =
+                (0..100_000u64).map(|i| i.wrapping_mul(0x2545F491) >> 3).collect();
+            let mut par = base.clone();
+            sort_keys(&mut par);
+            let ids_par = classify(&par, |k| (*k % 13) as usize);
+            set_parallel(false);
+            let mut seq = base.clone();
+            sort_keys(&mut seq);
+            assert_eq!(par, seq);
+            assert_eq!(ids_par, classify(&seq, |k| (*k % 13) as usize));
+            set_parallel(true);
+        }
+    }
+}

@@ -56,6 +56,8 @@ pub mod exp_two_pass_mesh;
 pub mod expected_three_pass;
 pub mod expected_two_pass;
 pub mod integer_sort;
+pub mod kernels;
+pub mod merge;
 pub mod radix_sort;
 pub mod seven_pass;
 pub mod three_pass1;

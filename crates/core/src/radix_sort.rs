@@ -99,7 +99,7 @@ fn refine<K: PdmKey + RankedKey, S: Storage<K>>(
             })?;
         }
         debug_assert_eq!(buf.len(), n);
-        buf.sort_unstable();
+        crate::kernels::sort_keys(&mut buf);
         ctx.writer.push_slice(pdm, &buf)?;
         ctx.segments_sorted += 1;
         return Ok(());

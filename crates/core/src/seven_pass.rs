@@ -24,8 +24,8 @@
 //!      one streaming window finish the sort.
 
 use crate::common::{
-    alloc_staggered, expected_run_len, merge_equal_segments, require_square_cfg, Algorithm,
-    Cleaner, RegionEmitter, SortReport,
+    alloc_staggered, expected_run_len, require_square_cfg, Algorithm, Cleaner, RegionEmitter,
+    SortReport,
 };
 use crate::expected_two_pass::{pass1_runs_shuffled, pass2_stream, runs_plan};
 use crate::three_pass2::three_pass2_core;
@@ -303,14 +303,15 @@ fn outer_merge_sort<K: PdmKey, S: Storage<K>>(
                 .flat_map(|&u| (0..l).map(move |i| (row[u], i)))
                 .collect();
             pdm.read_blocks_multi(&sources, buf.as_vec_mut())?;
-            // merge each member in memory
+            // merge each member in memory, streaming straight into the
+            // write buffer (no per-member staging copy)
             let mut merged = pdm.alloc_buf(group.len() * l * b)?;
             {
                 let mv = merged.as_vec_mut();
-                let mut seg_out = Vec::with_capacity(l * b);
                 for (gi, _) in group.iter().enumerate() {
-                    merge_equal_segments(&buf[gi * l * b..(gi + 1) * l * b], b, &mut seg_out);
-                    mv.extend_from_slice(&seg_out);
+                    let seg = &buf[gi * l * b..(gi + 1) * l * b];
+                    let mut tree = crate::merge::LoserTree::new(seg.chunks(b).collect());
+                    tree.merge_into(mv);
                 }
             }
             drop(buf);

@@ -109,7 +109,7 @@ pub fn three_pass1_with<K: PdmKey, S: Storage<K>>(
         }
         buf.truncate(n.saturating_sub(lo * b).min(m));
         buf.resize(m, K::MAX);
-        buf.sort_unstable();
+        crate::kernels::sort_keys(&mut buf);
         let dir = if opts.alternate_directions && s % 2 == 1 {
             Direction::Desc
         } else {
@@ -138,7 +138,7 @@ pub fn three_pass1_with<K: PdmKey, S: Storage<K>>(
         let mut buf = pdm.alloc_buf(col_len)?;
         let idx: Vec<usize> = (0..s_count).collect();
         pdm.read_blocks(col, &idx, buf.as_vec_mut())?;
-        buf.sort_unstable();
+        crate::kernels::sort_keys(&mut buf);
         // band t's segment is buf[t*b..(t+1)*b] — already contiguous.
         let targets: Vec<(Region, usize)> = bands.iter().map(|t| (*t, c)).collect();
         pdm.write_blocks_multi(&targets, &buf)?;
@@ -192,7 +192,7 @@ pub fn dirty_rows_after_pass2<K: PdmKey, S: Storage<K>>(
         let hi = ((s + 1) * b).min(in_blocks);
         let idx: Vec<usize> = (lo..hi).collect();
         pdm.read_blocks(input, &idx, buf.as_vec_mut())?;
-        buf.sort_unstable();
+        crate::kernels::sort_keys(&mut buf);
         let dir = if opts.alternate_directions && s % 2 == 1 {
             Direction::Desc
         } else {
@@ -219,7 +219,7 @@ pub fn dirty_rows_after_pass2<K: PdmKey, S: Storage<K>>(
         let mut buf = pdm.alloc_buf(col_len)?;
         let idx: Vec<usize> = (0..s_count).collect();
         pdm.read_blocks(col, &idx, buf.as_vec_mut())?;
-        buf.sort_unstable();
+        crate::kernels::sort_keys(&mut buf);
         sorted_cols.push(buf.as_vec().clone());
         // (measurement only — columns are not written back)
     }

@@ -80,7 +80,7 @@ pub(crate) fn pass1_runs_unshuffled<K: PdmKey, S: Storage<K>>(
         }
         run.truncate(n.saturating_sub(lo * b).min(m));
         run.resize(m, K::MAX);
-        run.sort_unstable();
+        crate::kernels::sort_keys(&mut run);
 
         // Unshuffle: part j gets sorted positions j, j+b, j+2b, … — a b×b
         // transpose into the write buffer (block j contiguous).

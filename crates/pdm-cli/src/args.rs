@@ -144,6 +144,10 @@ pub enum Command {
         retry: Option<u32>,
         /// Simulated backoff steps charged per retry (linear).
         backoff: u64,
+        /// In-memory kernel threads: 1 = sequential (default), 0 = one per
+        /// core, N = exactly N. Values other than 1 need the `parallel`
+        /// build feature. Never changes output or pass counts.
+        threads: usize,
     },
     /// `pdmsort report <stats.json>` — render phase table, per-disk
     /// heatmap, sparkline, and pass-budget waterfall from a stats artifact.
@@ -158,6 +162,8 @@ pub enum Command {
         input: String,
         /// Machine geometry.
         geo: Geometry,
+        /// In-memory kernel threads (see [`Command::Sort::threads`]).
+        threads: usize,
     },
     /// `pdmsort verify <file>`
     Verify {
@@ -182,9 +188,9 @@ USAGE:
   pdmsort sort <in.keys> <out.keys> [--disks D] [--b SQRT_M] [--algo A]
                [--scratch DIR] [--stats FILE.json] [--events FILE.jsonl]
                [--checkpoint-dir DIR] [--resume] [--inject SPEC]
-               [--retry N] [--backoff STEPS]
+               [--retry N] [--backoff STEPS] [--threads N]
   pdmsort report <stats.json>
-  pdmsort compare <in.keys> [--disks D] [--b SQRT_M]
+  pdmsort compare <in.keys> [--disks D] [--b SQRT_M] [--threads N]
   pdmsort verify <file.keys>
   pdmsort info [--disks D] [--b SQRT_M]
 
@@ -202,7 +208,13 @@ Fault tolerance:
                          disk:D | disk-after:D:N | transient:SEED:RATE_PPM |
                          every-nth:N
   --retry N              retry transient faults up to N attempts per block op
-  --backoff STEPS        simulated steps charged per retry (default 1)";
+  --backoff STEPS        simulated steps charged per retry (default 1)
+
+Performance:
+  --threads N            run the in-memory sort/classify kernels on N threads
+                         (0 = one per core, default 1 = sequential). Requires
+                         a binary built with the `parallel` cargo feature;
+                         output and pass counts are identical either way.";
 
 fn parse_flag<T: std::str::FromStr>(
     args: &[String],
@@ -260,6 +272,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut inject = None;
             let mut retry = None;
             let mut backoff = 1u64;
+            let mut threads = 1usize;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -279,6 +292,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--inject" => inject = Some(parse_flag::<String>(args, &mut i, "--inject")?),
                     "--retry" => retry = Some(parse_flag(args, &mut i, "--retry")?),
                     "--backoff" => backoff = parse_flag(args, &mut i, "--backoff")?,
+                    "--threads" => threads = parse_flag(args, &mut i, "--threads")?,
                     other => pos.push(other.to_string()),
                 }
                 i += 1;
@@ -307,6 +321,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 inject,
                 retry,
                 backoff,
+                threads,
             })
         }
         "report" => {
@@ -320,11 +335,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "compare" => {
             let mut pos = Vec::new();
             let mut geo = Geometry::default();
+            let mut threads = 1usize;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
                     "--disks" => geo.disks = parse_flag(args, &mut i, "--disks")?,
                     "--b" => geo.b = parse_flag(args, &mut i, "--b")?,
+                    "--threads" => threads = parse_flag(args, &mut i, "--threads")?,
                     other => pos.push(other.to_string()),
                 }
                 i += 1;
@@ -335,6 +352,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             Ok(Command::Compare {
                 input: pos[0].clone(),
                 geo,
+                threads,
             })
         }
         "verify" => {
@@ -388,11 +406,12 @@ mod tests {
     fn parses_sort_with_defaults_and_flags() {
         let c = parse(&v(&["sort", "a", "b"])).unwrap();
         match c {
-            Command::Sort { geo, algo, scratch, stats, .. } => {
+            Command::Sort { geo, algo, scratch, stats, threads, .. } => {
                 assert_eq!(geo, Geometry::default());
                 assert_eq!(algo, Algo::Auto);
                 assert!(scratch.is_none());
                 assert!(stats.is_none());
+                assert_eq!(threads, 1, "sequential kernels by default");
             }
             _ => panic!(),
         }
@@ -436,6 +455,18 @@ mod tests {
         assert!(
             parse(&v(&["sort", "a", "b", "--resume", "--checkpoint-dir", "/tmp/ck"])).is_err()
         );
+    }
+
+    #[test]
+    fn parses_threads_flag() {
+        let c = parse(&v(&["sort", "a", "b", "--threads", "8"])).unwrap();
+        assert!(matches!(c, Command::Sort { threads: 8, .. }));
+        let c = parse(&v(&["sort", "a", "b", "--threads", "0"])).unwrap();
+        assert!(matches!(c, Command::Sort { threads: 0, .. }));
+        let c = parse(&v(&["compare", "f", "--threads", "4"])).unwrap();
+        assert!(matches!(c, Command::Compare { threads: 4, .. }));
+        assert!(parse(&v(&["sort", "a", "b", "--threads", "lots"])).is_err());
+        assert!(parse(&v(&["sort", "a", "b", "--threads"])).is_err());
     }
 
     #[test]

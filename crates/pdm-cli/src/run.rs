@@ -30,7 +30,8 @@ fn dispatch(cmd: Command, out: &mut dyn Write) -> std::result::Result<i32, Box<d
             writeln!(out, "wrote {n} keys to {path}")?;
             Ok(0)
         }
-        Command::Compare { input, geo } => {
+        Command::Compare { input, geo, threads } => {
+            pdm_sort::kernels::configure_threads(threads)?;
             compare(&input, geo, out)?;
             Ok(0)
         }
@@ -65,7 +66,9 @@ fn dispatch(cmd: Command, out: &mut dyn Write) -> std::result::Result<i32, Box<d
             inject,
             retry,
             backoff,
+            threads,
         } => {
+            pdm_sort::kernels::configure_threads(threads)?;
             let job = SortJob {
                 input: &input,
                 output: &output,
@@ -504,20 +507,6 @@ fn sort(
         "{label}: {written} keys → {output} in {:.2?} (simulation wall clock)",
         elapsed
     )?;
-    if let Some(path) = job.stats_path {
-        let artifact = crate::report::StatsArtifact {
-            algorithm: label.clone(),
-            n,
-            config: cfg,
-            peak_mem_keys: pdm.mem().peak(),
-            fell_back,
-            read_passes,
-            write_passes,
-            stats: pdm.stats().clone(),
-        };
-        std::fs::write(path, serde_json::to_string_pretty(&artifact)?)?;
-        writeln!(out, "stats written to {path} (render with `pdmsort report {path}`)")?;
-    }
     if let Some(path) = job.events_path {
         let probe = pdm
             .stats()
@@ -535,6 +524,25 @@ fn sort(
             probe.events().len(),
             probe.dropped
         )?;
+    }
+    if let Some(path) = job.stats_path {
+        // The machine is finished, so the artifact takes ownership of the
+        // counters — the phase table and trace ring can be large, and
+        // cloning them here used to be the report path's biggest allocation.
+        let peak_mem_keys = pdm.mem().peak();
+        let (_storage, stats) = pdm.into_parts();
+        let artifact = crate::report::StatsArtifact {
+            algorithm: label,
+            n,
+            config: cfg,
+            peak_mem_keys,
+            fell_back,
+            read_passes,
+            write_passes,
+            stats,
+        };
+        std::fs::write(path, serde_json::to_string_pretty(&artifact)?)?;
+        writeln!(out, "stats written to {path} (render with `pdmsort report {path}`)")?;
     }
     Ok(())
 }

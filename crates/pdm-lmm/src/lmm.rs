@@ -44,30 +44,33 @@ pub fn cleanup_displaced<K: Ord + Copy>(xs: &mut [K], d: usize) {
 }
 
 /// Merge consecutive window pairs of width `d` starting at `offset`.
+///
+/// One scratch buffer (at most `2d` keys) serves every pair, so the pass
+/// allocates once instead of once per pair.
 fn merge_adjacent<K: Ord + Copy>(xs: &mut [K], d: usize, offset: usize) {
     let n = xs.len();
+    let mut scratch: Vec<K> = Vec::with_capacity((2 * d).min(n));
     let mut start = offset;
     while start + d < n {
         let end = (start + 2 * d).min(n);
         // two sorted windows [start, start+d) and [start+d, end)
-        let merged = {
+        scratch.clear();
+        {
             let (a, b) = xs[start..end].split_at(d);
-            let mut out = Vec::with_capacity(end - start);
             let (mut i, mut j) = (0, 0);
             while i < a.len() && j < b.len() {
                 if a[i] <= b[j] {
-                    out.push(a[i]);
+                    scratch.push(a[i]);
                     i += 1;
                 } else {
-                    out.push(b[j]);
+                    scratch.push(b[j]);
                     j += 1;
                 }
             }
-            out.extend_from_slice(&a[i..]);
-            out.extend_from_slice(&b[j..]);
-            out
-        };
-        xs[start..end].copy_from_slice(&merged);
+            scratch.extend_from_slice(&a[i..]);
+            scratch.extend_from_slice(&b[j..]);
+        }
+        xs[start..end].copy_from_slice(&scratch);
         start += 2 * d;
     }
 }

@@ -54,6 +54,7 @@ pub mod layout;
 pub mod machine;
 pub mod mem;
 pub mod overlap;
+pub mod pool;
 pub mod probe;
 pub mod stats;
 pub mod storage;
@@ -72,6 +73,7 @@ pub mod prelude {
     pub use crate::layout::{BlockAddr, Region};
     pub use crate::machine::Pdm;
     pub use crate::mem::{MemGuard, MemTracker, TrackedBuf};
+    pub use crate::pool::{BlockPool, PoolStats};
     pub use crate::probe::{replay, Probe, ProbeEvent, ReplayedPhase, ReplayedStats};
     pub use crate::stats::{IoStats, OverlapCounters, PhaseStats, RetrySnapshot};
     pub use crate::storage::{MemStorage, Storage};

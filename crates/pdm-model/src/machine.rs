@@ -57,6 +57,13 @@ pub struct Pdm<K: PdmKey, S: Storage<K> = MemStorage<K>> {
     /// Live view of an attached retry layer's counters, folded into
     /// `stats.retry` at phase boundaries and sync points.
     retry: Option<crate::storage_retry::RetryCounters>,
+    /// When set, block-pool occupancy is sampled into `pool.*` probe
+    /// gauges at phase boundaries. Opt-in: pool traffic depends on the
+    /// backend, and gauges would break probe-stream equality across
+    /// backends for consumers that expect it.
+    pool_gauges: bool,
+    /// Last pool snapshot emitted as gauges, to skip no-change samples.
+    last_pool: crate::pool::PoolStats,
     /// Checkpoint wiring, when attached (see [`Checkpoint`]).
     ckpt: Option<Box<CheckpointState>>,
     _key: std::marker::PhantomData<K>,
@@ -90,6 +97,8 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
             disk_counts: vec![0; cfg.num_disks],
             addr_buf: Vec::new(),
             retry: None,
+            pool_gauges: false,
+            last_pool: crate::pool::PoolStats::default(),
             ckpt: None,
             cfg,
             storage,
@@ -154,6 +163,35 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
         }
     }
 
+    /// Block-buffer pool counters of the backend, when it has a pool
+    /// (currently [`crate::storage_threaded::ThreadedStorage`]).
+    pub fn pool_stats(&self) -> Option<crate::pool::PoolStats> {
+        self.storage.pool_stats()
+    }
+
+    /// Sample `pool.hits` / `pool.misses` / `pool.free` probe gauges at
+    /// phase boundaries. Off by default so probe streams stay byte-equal
+    /// across backends; enable it when pool telemetry matters more.
+    pub fn enable_pool_gauges(&mut self) {
+        self.pool_gauges = true;
+    }
+
+    /// Emit pool gauges if enabled, the backend has a pool, and the
+    /// counters moved since the last sample.
+    fn refresh_pool_stats(&mut self) {
+        if !self.pool_gauges {
+            return;
+        }
+        if let Some(snap) = self.storage.pool_stats() {
+            if snap != self.last_pool {
+                self.last_pool = snap;
+                self.stats.probe_gauge("pool.hits", snap.hits as i64);
+                self.stats.probe_gauge("pool.misses", snap.misses as i64);
+                self.stats.probe_gauge("pool.free", snap.free as i64);
+            }
+        }
+    }
+
     /// Whether the machine is replaying already-checkpointed phases: block
     /// I/O and stats are elided until the first incomplete phase opens.
     fn replaying(&self) -> bool {
@@ -192,6 +230,7 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
             }
         }
         self.refresh_retry_stats();
+        self.refresh_pool_stats();
         let (cur, peak) = (self.mem.current(), self.mem.peak());
         self.stats.begin_phase_gauged(name, cur, peak);
         // Opening a phase auto-closes the previous one at the stats layer;
@@ -210,6 +249,7 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
             return;
         }
         self.refresh_retry_stats();
+        self.refresh_pool_stats();
         let (cur, peak) = (self.mem.current(), self.mem.peak());
         self.stats.end_phase_gauged(cur, peak);
         self.write_checkpoint();

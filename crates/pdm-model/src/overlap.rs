@@ -92,10 +92,12 @@ impl<K: PdmKey> OverlapStorage<K> for crate::storage_file::FileStorage<K> {
 }
 
 /// Genuinely asynchronous pending read: per-request reply channels from
-/// the disk worker threads.
+/// the disk worker threads. Reply buffers are drained into `out` and
+/// returned to the storage's block pool.
 pub struct ThreadedPending<K> {
     replies: Vec<crossbeam::channel::Receiver<Result<Vec<K>>>>,
     block_size: usize,
+    pool: std::sync::Arc<crate::pool::BlockPool<K>>,
 }
 
 impl<K: PdmKey> PendingRead<K> for ThreadedPending<K> {
@@ -112,6 +114,7 @@ impl<K: PdmKey> PendingRead<K> for ThreadedPending<K> {
                 .recv()
                 .map_err(|_| PdmError::BadConfig("disk worker hung up".into()))??;
             out[i * b..(i + 1) * b].copy_from_slice(&data);
+            self.pool.put(data);
         }
         Ok(())
     }
@@ -130,6 +133,7 @@ impl<K: PdmKey> OverlapStorage<K> for ThreadedStorage<K> {
         Ok(Box::new(ThreadedPending {
             replies,
             block_size: self.block_size(),
+            pool: self.pool_handle(),
         }))
     }
 }

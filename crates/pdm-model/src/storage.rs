@@ -51,6 +51,13 @@ pub trait Storage<K: PdmKey>: Send {
     fn sync(&mut self) -> Result<()> {
         Ok(())
     }
+
+    /// Block-buffer pool counters, for backends that recycle block buffers
+    /// (currently the threaded backend). `None` means the backend has no
+    /// pool — not that the pool is idle.
+    fn pool_stats(&self) -> Option<crate::pool::PoolStats> {
+        None
+    }
 }
 
 /// Boxed backends delegate, so a machine can be built over
@@ -87,6 +94,10 @@ impl<K: PdmKey, S: Storage<K> + ?Sized> Storage<K> for Box<S> {
 
     fn sync(&mut self) -> Result<()> {
         (**self).sync()
+    }
+
+    fn pool_stats(&self) -> Option<crate::pool::PoolStats> {
+        (**self).pool_stats()
     }
 }
 

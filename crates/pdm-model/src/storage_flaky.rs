@@ -169,6 +169,10 @@ impl<K: PdmKey, S: Storage<K>> Storage<K> for FlakyStorage<S> {
     fn sync(&mut self) -> Result<()> {
         self.inner.sync()
     }
+
+    fn pool_stats(&self) -> Option<crate::pool::PoolStats> {
+        self.inner.pool_stats()
+    }
 }
 
 #[cfg(test)]

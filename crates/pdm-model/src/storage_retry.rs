@@ -175,6 +175,10 @@ impl<K: PdmKey, S: Storage<K>> Storage<K> for RetryingStorage<S> {
     fn sync(&mut self) -> Result<()> {
         self.with_retry(true, |s| s.sync())
     }
+
+    fn pool_stats(&self) -> Option<crate::pool::PoolStats> {
+        self.inner.pool_stats()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Benchmark baseline gate.
+
+Validates a `pdm-bench` JSON artifact (schema + structural invariants)
+and, when given both a current run and the committed baseline, fails on
+wall-clock regressions beyond a tolerance.
+
+Structural invariants (always checked on the current file):
+  * the loser-tree merge must beat the BinaryHeap reference on every
+    `kway_merge_*` row — the whole point of the kernel;
+  * every threaded-backend algorithm row that reports a block-pool hit
+    rate must stay above 90% (steady state recycles buffers).
+
+Regression check (only for rows whose identity — name plus n/k/backend —
+appears in both files): ns_per_key / loser_ns_per_key / wall_ms may not
+exceed baseline by more than --tolerance (default 25%). Quick-mode runs
+use smaller sizes, so most rows simply don't match the full-mode
+baseline and only the schema + invariants apply.
+
+Usage:
+    scripts/check_bench.py --current out.json [--baseline BENCH_kernels.json]
+                           [--tolerance 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+FAILURES = []
+
+
+def fail(msg):
+    FAILURES.append(msg)
+    print(f"FAIL: {msg}")
+
+
+def require(obj, key, typ, ctx):
+    if key not in obj:
+        fail(f"{ctx}: missing key '{key}'")
+        return None
+    val = obj[key]
+    if typ is float:
+        if not isinstance(val, (int, float)) or isinstance(val, bool):
+            fail(f"{ctx}: '{key}' should be a number, got {type(val).__name__}")
+            return None
+        return float(val)
+    if not isinstance(val, typ):
+        fail(f"{ctx}: '{key}' should be {typ.__name__}, got {type(val).__name__}")
+        return None
+    return val
+
+
+def check_schema(doc, path):
+    require(doc, "schema_version", int, path)
+    require(doc, "quick", bool, path)
+    require(doc, "parallel_build", bool, path)
+    for row in require(doc, "kernels", list, path) or []:
+        ctx = f"{path}:kernels[{row.get('name', '?')}]"
+        require(row, "name", str, ctx)
+        require(row, "n", int, ctx)
+        require(row, "ns_per_key", float, ctx)
+        require(row, "allocs", int, ctx)
+    for row in require(doc, "merges", list, path) or []:
+        ctx = f"{path}:merges[{row.get('name', '?')}]"
+        require(row, "name", str, ctx)
+        require(row, "n", int, ctx)
+        require(row, "k", int, ctx)
+        require(row, "heap_ns_per_key", float, ctx)
+        require(row, "loser_ns_per_key", float, ctx)
+    for row in require(doc, "algorithms", list, path) or []:
+        ctx = f"{path}:algorithms[{row.get('name', '?')}]"
+        require(row, "name", str, ctx)
+        require(row, "backend", str, ctx)
+        require(row, "n", int, ctx)
+        require(row, "wall_ms", float, ctx)
+        require(row, "read_passes", float, ctx)
+        require(row, "write_passes", float, ctx)
+
+
+def check_invariants(doc, path):
+    for row in doc.get("merges", []):
+        name, n = row.get("name", "?"), row.get("n", 0)
+        heap = row.get("heap_ns_per_key", 0.0)
+        loser = row.get("loser_ns_per_key", float("inf"))
+        if not loser < heap:
+            fail(
+                f"{path}: {name} n={n}: loser tree ({loser:.2f} ns/key) does "
+                f"not beat heap ({heap:.2f} ns/key)"
+            )
+        else:
+            print(f"  ok: {name} n={n}: loser {loser:.2f} < heap {heap:.2f} "
+                  f"ns/key ({heap / loser:.2f}x)")
+    for row in doc.get("algorithms", []):
+        rate = row.get("pool_hit_rate")
+        if rate is None:
+            continue
+        ident = f"{row.get('name', '?')}[{row.get('backend', '?')}]"
+        if rate <= 0.9:
+            fail(f"{path}: {ident}: pool hit rate {rate:.3f} <= 0.9")
+        else:
+            print(f"  ok: {ident}: pool hit rate {rate:.3f}")
+
+
+def rows_by_identity(doc):
+    out = {}
+    for row in doc.get("kernels", []):
+        out[("kernel", row.get("name"), row.get("n"))] = ("ns_per_key", row)
+    for row in doc.get("merges", []):
+        out[("merge", row.get("name"), row.get("n"), row.get("k"))] = (
+            "loser_ns_per_key", row)
+    for row in doc.get("algorithms", []):
+        out[("algo", row.get("name"), row.get("backend"), row.get("n"))] = (
+            "wall_ms", row)
+    return out
+
+
+def check_regressions(current, baseline, tolerance):
+    base_rows = rows_by_identity(baseline)
+    cur_rows = rows_by_identity(current)
+    matched = 0
+    for ident, (metric, cur) in cur_rows.items():
+        if ident not in base_rows:
+            continue
+        _, base = base_rows[ident]
+        b, c = base.get(metric), cur.get(metric)
+        if not b or c is None:
+            continue
+        matched += 1
+        ratio = c / b
+        label = "/".join(str(p) for p in ident)
+        if ratio > 1.0 + tolerance:
+            fail(f"{label}: {metric} regressed {ratio:.2f}x "
+                 f"({b:.2f} -> {c:.2f}, tolerance {1.0 + tolerance:.2f}x)")
+        else:
+            print(f"  ok: {label}: {metric} {b:.2f} -> {c:.2f} ({ratio:.2f}x)")
+    print(f"compared {matched} row(s) against baseline")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--current", default="BENCH_kernels.json",
+                    help="bench JSON to validate (default: the baseline itself)")
+    ap.add_argument("--baseline", default=None,
+                    help="committed baseline to diff against (optional)")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed slowdown fraction vs baseline (default 0.25)")
+    args = ap.parse_args()
+
+    with open(args.current) as f:
+        current = json.load(f)
+    check_schema(current, args.current)
+    check_invariants(current, args.current)
+
+    if args.baseline:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        check_schema(baseline, args.baseline)
+        check_regressions(current, baseline, args.tolerance)
+
+    if FAILURES:
+        print(f"\n{len(FAILURES)} check(s) failed")
+        return 1
+    print("\nall bench checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,7 @@ import sys
 import tempfile
 
 
-def run_case(binary, case, workdir):
+def run_case(binary, case, workdir, sort_args=()):
     inp = os.path.join(workdir, "in.keys")
     outp = os.path.join(workdir, "out.keys")
     stats = os.path.join(workdir, "stats.json")
@@ -35,7 +35,7 @@ def run_case(binary, case, workdir):
     subprocess.run(
         [binary, "sort", inp, outp,
          "--disks", str(case["disks"]), "--b", str(case["b"]),
-         "--algo", case["algo"], "--stats", stats],
+         "--algo", case["algo"], "--stats", stats, *sort_args],
         check=True, capture_output=True, text=True,
     )
     subprocess.run([binary, "verify", outp], check=True,
@@ -60,7 +60,12 @@ def main():
     ap.add_argument("--golden", default="results/golden_passes.json")
     ap.add_argument("--update", action="store_true",
                     help="rewrite exact expectations to the measured values")
+    ap.add_argument("--sort-args", default="",
+                    help="extra args appended to every `pdmsort sort` call, "
+                         "e.g. --sort-args='--threads 0' for a binary built "
+                         "with the parallel feature")
     args = ap.parse_args()
+    sort_args = args.sort_args.split()
 
     with open(args.golden) as f:
         golden = json.load(f)
@@ -69,7 +74,7 @@ def main():
     for case in golden["cases"]:
         with tempfile.TemporaryDirectory(prefix="pdm-golden-") as wd:
             try:
-                artifact = run_case(args.binary, case, wd)
+                artifact = run_case(args.binary, case, wd, sort_args)
             except subprocess.CalledProcessError as e:
                 print(f"FAIL {case['name']}: pdmsort exited "
                       f"{e.returncode}\n{e.stderr}")

@@ -1,0 +1,98 @@
+//! crossbeam shim over std::sync::mpsc for offline typechecking.
+//!
+//! Functional where the workspace needs it: `is_empty`/`len` are backed by
+//! a shared depth counter (incremented on send, decremented on successful
+//! recv), so overlap readiness polling behaves like real crossbeam.
+pub mod channel {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    pub struct Sender<T> {
+        tx: mpsc::Sender<T>,
+        depth: Arc<AtomicUsize>,
+    }
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                tx: self.tx.clone(),
+                depth: self.depth.clone(),
+            }
+        }
+    }
+    impl<T> Sender<T> {
+        pub fn send(&self, v: T) -> Result<(), SendError<T>> {
+            // Count before sending so a receiver that observes the message
+            // never observes a depth of zero for it.
+            self.depth.fetch_add(1, Ordering::SeqCst);
+            let r = self.tx.send(v);
+            if r.is_err() {
+                self.depth.fetch_sub(1, Ordering::SeqCst);
+            }
+            r
+        }
+    }
+
+    pub struct Receiver<T> {
+        rx: Arc<Mutex<mpsc::Receiver<T>>>,
+        depth: Arc<AtomicUsize>,
+    }
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                rx: self.rx.clone(),
+                depth: self.depth.clone(),
+            }
+        }
+    }
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let r = self.rx.lock().unwrap().recv();
+            if r.is_ok() {
+                self.depth.fetch_sub(1, Ordering::SeqCst);
+            }
+            r
+        }
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            let r = self.rx.lock().unwrap().try_recv();
+            if r.is_ok() {
+                self.depth.fetch_sub(1, Ordering::SeqCst);
+            }
+            r
+        }
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+        pub fn len(&self) -> usize {
+            self.depth.load(Ordering::SeqCst)
+        }
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter(self)
+        }
+    }
+
+    pub struct Iter<'a, T>(&'a Receiver<T>);
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.0.recv().ok()
+        }
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        let depth = Arc::new(AtomicUsize::new(0));
+        (
+            Sender {
+                tx,
+                depth: depth.clone(),
+            },
+            Receiver {
+                rx: Arc::new(Mutex::new(rx)),
+                depth,
+            },
+        )
+    }
+}

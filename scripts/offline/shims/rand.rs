@@ -1,0 +1,168 @@
+//! rand shim for offline builds AND test execution.
+//!
+//! The container this repo grows in has no network access, so the real
+//! `rand` crate cannot be fetched. This shim is functional: a splitmix64
+//! core backs `gen`/`gen_range`/`gen_bool`/`shuffle`, so every test that
+//! synthesizes inputs actually runs. It is NOT the real StdRng stream —
+//! only determinism-per-seed matters for the offline harness. CI with
+//! network uses the real crate via Cargo; nothing in the repo's committed
+//! results depends on the exact stream.
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Integer / float generation, mirroring the subset of `rand::distributions`
+/// the workspace uses.
+pub trait FromRng: Sized + Copy {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    /// Uniform in `[lo, hi)`; `hi > lo` is the caller's obligation.
+    fn from_span<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// The next value up, saturating: used to widen `..=hi` into `..hi+1`.
+    fn succ(self) -> Self;
+}
+
+macro_rules! from_rng_int {
+    ($($t:ty),*) => {$(
+        impl FromRng for $t {
+            fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+            fn from_span<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = hi.wrapping_sub(lo) as u64;
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+            fn succ(self) -> Self {
+                self.saturating_add(1)
+            }
+        }
+    )*};
+}
+from_rng_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl FromRng for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+    fn from_span<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + Self::from_rng(rng) * (hi - lo)
+    }
+    fn succ(self) -> Self {
+        self
+    }
+}
+
+impl FromRng for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+    fn from_span<R: RngCore + ?Sized>(_rng: &mut R, lo: Self, _hi: Self) -> Self {
+        lo
+    }
+    fn succ(self) -> Self {
+        self
+    }
+}
+
+/// Both `lo..hi` and `lo..=hi` work with `gen_range`, as in real rand 0.8.
+pub trait SampleRange<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: FromRng> SampleRange<T> for std::ops::Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::from_span(rng, self.start, self.end)
+    }
+}
+
+impl<T: FromRng> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::from_span(rng, lo, hi.succ())
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+    fn gen_range<T: FromRng, S: SampleRange<T>>(&mut self, r: S) -> T {
+        r.sample(self)
+    }
+    fn gen_bool(&mut self, p: f64) -> bool {
+        <f64 as FromRng>::from_rng(self) < p
+    }
+}
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            super::splitmix64(&mut self.state)
+        }
+    }
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed ^ 0xA076_1D64_78BD_642F }
+        }
+    }
+
+    pub mod mock {
+        /// Arithmetic-progression RNG, same contract as rand's mock StepRng.
+        pub struct StepRng {
+            v: u64,
+            step: u64,
+        }
+        impl StepRng {
+            pub fn new(initial: u64, increment: u64) -> Self {
+                StepRng { v: initial, step: increment }
+            }
+        }
+        impl crate::RngCore for StepRng {
+            fn next_u64(&mut self) -> u64 {
+                let out = self.v;
+                self.v = self.v.wrapping_add(self.step);
+                out
+            }
+        }
+    }
+}
+
+/// Process-local "entropy": good enough for examples; tests seed explicitly.
+pub fn thread_rng() -> rngs::StdRng {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5EED);
+    rngs::StdRng { state: nanos ^ (std::process::id() as u64) << 32 }
+}
+
+pub mod seq {
+    pub trait SliceRandom {
+        fn shuffle<R: super::Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: super::Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() as usize) % (i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}

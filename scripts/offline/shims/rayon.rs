@@ -1,0 +1,232 @@
+//! rayon shim for offline builds.
+//!
+//! The hot entry points the workspace actually leans on for speed —
+//! `par_sort_unstable` and `par_chunks_mut(..).for_each(..)` — are
+//! genuinely parallel here (std::thread::scope over worker chunks), so
+//! offline benchmark numbers reflect real concurrency. Everything else
+//! (`par_iter`, `into_par_iter` on ranges) degrades to the std sequential
+//! iterator, which is API-compatible for the combinators the workspace
+//! uses (`map`, `filter`, `enumerate`, `min`, `max`, `collect`, ...).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static POOL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn effective_threads() -> usize {
+    let configured = POOL_THREADS.load(Ordering::Relaxed);
+    if configured != 0 {
+        return configured;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Returns the number of threads parallel operations will fan out to.
+pub fn current_num_threads() -> usize {
+    effective_threads()
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "global pool already built")
+    }
+}
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        POOL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+pub mod prelude {
+    use super::effective_threads;
+
+    // ---- parallel sort ----------------------------------------------------
+
+    pub trait ParallelSliceMut<T: Send> {
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord;
+        fn par_chunks_mut(&mut self, n: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            let threads = effective_threads();
+            let n = self.len();
+            if threads <= 1 || n < 2 * threads {
+                self.sort_unstable();
+                return;
+            }
+            // Sort `threads` nearly-equal chunks concurrently, then merge
+            // pairs bottom-up. The final content is the unique sorted
+            // permutation of the input, so output is byte-identical to
+            // sort_unstable regardless of thread count.
+            let chunk = n.div_ceil(threads);
+            std::thread::scope(|s| {
+                for piece in self.chunks_mut(chunk) {
+                    s.spawn(|| piece.sort_unstable());
+                }
+            });
+            let mut width = chunk;
+            while width < n {
+                let mut start = 0;
+                while start + width < n {
+                    let end = (start + 2 * width).min(n);
+                    merge_runs(&mut self[start..end], width);
+                    start = end;
+                }
+                width *= 2;
+            }
+        }
+
+        fn par_chunks_mut(&mut self, n: usize) -> ParChunksMut<'_, T> {
+            ParChunksMut { slice: self, chunk: n }
+        }
+    }
+
+    /// Classic scratch-buffer merge of `v[..mid]` and `v[mid..]`. The left
+    /// run is staged in raw storage and bitwise-moved back, which keeps the
+    /// bound at `T: Ord` like rayon's own merge (keys here are plain ints).
+    fn merge_runs<T: Ord>(v: &mut [T], mid: usize) {
+        let len = v.len();
+        if mid == 0 || mid == len || v[mid - 1] <= v[mid] {
+            return;
+        }
+        let mut tmp: Vec<T> = Vec::with_capacity(mid);
+        // SAFETY: tmp's capacity is `mid`; we bitwise-copy the left run in
+        // and never set its length, so no element is dropped twice. Every
+        // write below lands at index k <= j with k < j while j is unread,
+        // so no live element is overwritten before it is consumed.
+        unsafe {
+            std::ptr::copy_nonoverlapping(v.as_ptr(), tmp.as_mut_ptr(), mid);
+            let t = tmp.as_ptr();
+            let p = v.as_mut_ptr();
+            let (mut i, mut j, mut k) = (0usize, mid, 0usize);
+            while i < mid && j < len {
+                if *p.add(j) < *t.add(i) {
+                    std::ptr::copy(p.add(j), p.add(k), 1);
+                    j += 1;
+                } else {
+                    std::ptr::copy(t.add(i), p.add(k), 1);
+                    i += 1;
+                }
+                k += 1;
+            }
+            while i < mid {
+                std::ptr::copy(t.add(i), p.add(k), 1);
+                i += 1;
+                k += 1;
+            }
+        }
+    }
+
+    pub struct ParChunksMut<'a, T: Send> {
+        slice: &'a mut [T],
+        chunk: usize,
+    }
+
+    impl<'a, T: Send> ParChunksMut<'a, T> {
+        /// Runs `f` over every chunk, distributing chunks across threads
+        /// round-robin (chunks here are uniform rows, so this balances).
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'a mut [T]) + Send + Sync,
+        {
+            let threads = effective_threads();
+            if threads <= 1 {
+                for c in self.slice.chunks_mut(self.chunk) {
+                    f(c);
+                }
+                return;
+            }
+            let mut buckets: Vec<Vec<&'a mut [T]>> =
+                (0..threads).map(|_| Vec::new()).collect();
+            for (i, c) in self.slice.chunks_mut(self.chunk).enumerate() {
+                buckets[i % threads].push(c);
+            }
+            std::thread::scope(|s| {
+                for bucket in buckets {
+                    let f = &f;
+                    s.spawn(move || {
+                        for c in bucket {
+                            f(c);
+                        }
+                    });
+                }
+            });
+        }
+
+        /// Sequential fallback that yields `(index, chunk)` like rayon's
+        /// enumerate; combinator chains beyond `for_each` are cold paths.
+        pub fn enumerate(self) -> std::iter::Enumerate<std::slice::ChunksMut<'a, T>> {
+            self.slice.chunks_mut(self.chunk).enumerate()
+        }
+    }
+
+    // ---- parallel iterators (sequential stand-ins) ------------------------
+
+    /// `into_par_iter()` hands back the std iterator: every combinator the
+    /// workspace chains on it (`map`, `filter`, `min`, `max`, `collect`)
+    /// then resolves to the sequential std implementation.
+    pub trait IntoParallelIterator {
+        type Iter;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for std::ops::Range<T>
+    where
+        std::ops::Range<T>: Iterator,
+    {
+        type Iter = std::ops::Range<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter()` likewise degrades to the std shared-slice iterator.
+    pub trait IntoParallelRefIterator<'a> {
+        type Iter;
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.as_slice().iter()
+        }
+    }
+}

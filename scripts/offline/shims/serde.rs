@@ -1,0 +1,5 @@
+//! serde shim: traits exist but carry no obligations; derives are no-ops.
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Ser {}
+impl<T: ?Sized> Ser for T {}

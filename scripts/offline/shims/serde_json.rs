@@ -1,0 +1,96 @@
+//! serde_json shim for offline typechecking. Bodies diverge; never run.
+use std::fmt;
+
+#[derive(Debug)]
+pub struct Error;
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shim")
+    }
+}
+impl std::error::Error for Error {}
+impl From<Error> for std::io::Error {
+    fn from(_: Error) -> Self {
+        std::io::Error::other("shim")
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_string<T: ?Sized>(_v: &T) -> Result<String> {
+    unimplemented!()
+}
+pub fn to_string_pretty<T: ?Sized>(_v: &T) -> Result<String> {
+    unimplemented!()
+}
+pub fn to_writer<W, T: ?Sized>(_w: W, _v: &T) -> Result<()> {
+    unimplemented!()
+}
+pub fn from_str<T>(_s: &str) -> Result<T> {
+    unimplemented!()
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Value;
+impl Value {
+    pub fn as_str(&self) -> Option<&str> {
+        unimplemented!()
+    }
+    pub fn as_u64(&self) -> Option<u64> {
+        unimplemented!()
+    }
+    pub fn as_i64(&self) -> Option<i64> {
+        unimplemented!()
+    }
+    pub fn as_f64(&self) -> Option<f64> {
+        unimplemented!()
+    }
+    pub fn as_bool(&self) -> Option<bool> {
+        unimplemented!()
+    }
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        unimplemented!()
+    }
+    pub fn get<I>(&self, _index: I) -> Option<&Value> {
+        unimplemented!()
+    }
+    pub fn is_null(&self) -> bool {
+        unimplemented!()
+    }
+    pub fn is_string(&self) -> bool {
+        unimplemented!()
+    }
+    pub fn is_boolean(&self) -> bool {
+        unimplemented!()
+    }
+    pub fn is_number(&self) -> bool {
+        unimplemented!()
+    }
+    pub fn is_object(&self) -> bool {
+        unimplemented!()
+    }
+    pub fn is_array(&self) -> bool {
+        unimplemented!()
+    }
+}
+impl<I> std::ops::Index<I> for Value {
+    type Output = Value;
+    fn index(&self, _index: I) -> &Value {
+        unimplemented!()
+    }
+}
+impl fmt::Display for Value {
+    fn fmt(&self, _f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        unimplemented!()
+    }
+}
+impl PartialEq<&str> for Value {
+    fn eq(&self, _other: &&str) -> bool {
+        unimplemented!()
+    }
+}
+impl PartialEq<u64> for Value {
+    fn eq(&self, _other: &u64) -> bool {
+        unimplemented!()
+    }
+}

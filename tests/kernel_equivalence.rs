@@ -1,0 +1,225 @@
+//! Cross-kernel equivalence: the hot-path kernels are drop-in replacements.
+//!
+//! The loser-tree k-way merge, the (optionally parallel) run-formation
+//! sort, and the parallel bucket classifier all replaced slower reference
+//! implementations on the hot path. Nothing about the PDM cost model may
+//! notice: outputs must be byte-identical and pass counts unchanged, on
+//! friendly and adversarial inputs alike. The whole file runs in both
+//! feature legs — `cargo test --test kernel_equivalence` and the same with
+//! `--features parallel` — and the parallel toggles are no-ops in the
+//! sequential build, so every assertion is exercised either way.
+
+use pdm_model::prelude::*;
+use pdm_sort::kernels;
+use pdm_sort::merge;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+
+/// `kernels::set_parallel` flips a process-wide switch; tests that toggle
+/// it serialize here so the test harness's thread pool can't interleave a
+/// sequential-mode assertion with another test's parallel window.
+static PARALLEL_TOGGLE: Mutex<()> = Mutex::new(());
+
+/// The adversarial input families the kernels must agree on.
+fn input_families(n: usize, seed: u64) -> Vec<(&'static str, Vec<u64>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut permutation: Vec<u64> = (0..n as u64).collect();
+    permutation.shuffle(&mut rng);
+    let duplicates: Vec<u64> = (0..n).map(|_| rng.gen_range(0..7u64)).collect();
+    let mut nearly_sorted: Vec<u64> = (0..n as u64).collect();
+    for _ in 0..n / 16 {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        nearly_sorted.swap(i, j);
+    }
+    // The 0-1 principle says oblivious sorters live or die on these.
+    let zero_one: Vec<u64> = (0..n).map(|_| u64::from(rng.gen_bool(0.5))).collect();
+    let mut front_loaded = vec![1u64; n];
+    front_loaded[n / 2..].fill(0);
+    vec![
+        ("permutation", permutation),
+        ("duplicates", duplicates),
+        ("nearly_sorted", nearly_sorted),
+        ("zero_one", zero_one),
+        ("adversarial_0_1", front_loaded),
+    ]
+}
+
+#[test]
+fn loser_tree_merge_matches_heap_merge() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for trial in 0..40 {
+        let k = rng.gen_range(1..18usize);
+        let segs: Vec<Vec<u64>> = (0..k)
+            .map(|_| {
+                let len = rng.gen_range(0..65usize);
+                let mut s: Vec<u64> = (0..len).map(|_| rng.gen_range(0..100)).collect();
+                s.sort_unstable();
+                s
+            })
+            .collect();
+        let refs: Vec<&[u64]> = segs.iter().map(Vec::as_slice).collect();
+        let (mut tree_out, mut heap_out) = (Vec::new(), Vec::new());
+        merge::kway_merge(&refs, &mut tree_out);
+        merge::kway_merge_heap(&refs, &mut heap_out);
+        assert_eq!(tree_out, heap_out, "trial {trial}: k = {k}");
+        assert!(tree_out.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(tree_out.len(), segs.iter().map(Vec::len).sum::<usize>());
+    }
+}
+
+#[test]
+fn equal_segment_merge_agrees_between_tree_and_heap() {
+    let mut rng = StdRng::seed_from_u64(8);
+    for &(k, part) in &[(1usize, 16usize), (4, 1), (7, 33), (16, 64), (33, 8)] {
+        let mut buf: Vec<u64> = (0..k * part).map(|_| rng.gen_range(0..50)).collect();
+        for seg in buf.chunks_mut(part) {
+            seg.sort_unstable();
+        }
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        pdm_sort::common::merge_equal_segments(&buf, part, &mut a);
+        merge::merge_equal_segments_heap(&buf, part, &mut b);
+        assert_eq!(a, b, "k = {k}, part = {part}");
+    }
+}
+
+#[test]
+fn streaming_merge_chunks_reassemble_the_full_merge() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let segs: Vec<Vec<u64>> = (0..9)
+        .map(|_| {
+            let mut s: Vec<u64> = (0..rng.gen_range(1..80usize))
+                .map(|_| rng.gen_range(0..1000))
+                .collect();
+            s.sort_unstable();
+            s
+        })
+        .collect();
+    let refs: Vec<&[u64]> = segs.iter().map(Vec::as_slice).collect();
+    let mut whole = Vec::new();
+    merge::kway_merge(&refs, &mut whole);
+
+    let mut tree = merge::LoserTree::new(refs);
+    let mut streamed = Vec::new();
+    let mut chunk = Vec::new();
+    loop {
+        chunk.clear();
+        if tree.next_chunk(&mut chunk, 13) == 0 {
+            break;
+        }
+        streamed.extend_from_slice(&chunk);
+    }
+    assert_eq!(streamed, whole);
+    assert!(tree.is_empty());
+}
+
+#[test]
+fn in_place_merge_matches_sorting_the_concatenation() {
+    let mut rng = StdRng::seed_from_u64(10);
+    for _ in 0..30 {
+        let la = rng.gen_range(0..120usize);
+        let lb = rng.gen_range(0..120usize);
+        let mut a: Vec<u64> = (0..la).map(|_| rng.gen_range(0..40)).collect();
+        let mut b: Vec<u64> = (0..lb).map(|_| rng.gen_range(0..40)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        let mut v = a.clone();
+        v.extend_from_slice(&b);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        merge::merge_in_place(&mut v, la);
+        assert_eq!(v, expect, "la = {la}, lb = {lb}");
+    }
+}
+
+#[test]
+fn sort_kernel_matches_reference_in_both_modes() {
+    let _guard = PARALLEL_TOGGLE.lock().unwrap();
+    // Past the parallel threshold so the rayon path actually runs when the
+    // feature is on.
+    for (name, data) in input_families(1 << 16, 21) {
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        for par in [false, true] {
+            kernels::set_parallel(par);
+            let mut got = data.clone();
+            kernels::sort_keys(&mut got);
+            assert_eq!(got, expect, "{name}, parallel = {par}");
+        }
+    }
+    kernels::set_parallel(false);
+}
+
+#[test]
+fn classify_kernel_matches_scalar_map_in_both_modes() {
+    let _guard = PARALLEL_TOGGLE.lock().unwrap();
+    let (_, keys) = &input_families(1 << 16, 22)[0];
+    let bucket_of = |k: &u64| (k % 11) as usize;
+    let expect: Vec<usize> = keys.iter().map(bucket_of).collect();
+    for par in [false, true] {
+        kernels::set_parallel(par);
+        assert_eq!(kernels::classify(keys, bucket_of), expect, "parallel = {par}");
+    }
+    kernels::set_parallel(false);
+}
+
+/// Run one algorithm on one input, returning output keys and pass counts.
+fn run_algo(
+    name: &str,
+    data: &[u64],
+    b: usize,
+) -> (Vec<u64>, f64, f64) {
+    let n = data.len();
+    let mut pdm: Pdm<u64> = Pdm::new(PdmConfig::square(4, b)).unwrap();
+    let region = pdm.alloc_region_for_keys(n).unwrap();
+    pdm.ingest(&region, data).unwrap();
+    pdm.reset_stats();
+    let rep = match name {
+        "three_pass1" => pdm_sort::three_pass1(&mut pdm, &region, n).unwrap(),
+        "three_pass2" => pdm_sort::three_pass2(&mut pdm, &region, n).unwrap(),
+        "expected_two_pass" => pdm_sort::expected_two_pass(&mut pdm, &region, n).unwrap(),
+        "seven_pass" => pdm_sort::seven_pass(&mut pdm, &region, n).unwrap(),
+        other => panic!("unknown algorithm {other}"),
+    };
+    let out = pdm.inspect_prefix(&rep.output, n).unwrap();
+    (out, rep.read_passes, rep.write_passes)
+}
+
+/// The tentpole invariant: switching the kernels to parallel mode changes
+/// neither a single output byte nor a single pass count, for every
+/// algorithm on every input family. In the sequential build the second leg
+/// re-runs sequentially, which also pins determinism across repeat runs.
+#[test]
+fn algorithms_are_bit_identical_with_parallel_kernels() {
+    let _guard = PARALLEL_TOGGLE.lock().unwrap();
+    let b = 16usize;
+    let n = b * b * b; // N = M√M, in range for every three-pass sorter
+    for (family, data) in input_families(n, 23) {
+        for algo in ["three_pass1", "three_pass2", "expected_two_pass", "seven_pass"] {
+            kernels::set_parallel(false);
+            let (seq_out, seq_rp, seq_wp) = run_algo(algo, &data, b);
+            kernels::set_parallel(true);
+            let (par_out, par_rp, par_wp) = run_algo(algo, &data, b);
+            kernels::set_parallel(false);
+            assert_eq!(seq_out, par_out, "{algo} on {family}: output changed");
+            assert_eq!(
+                (seq_rp, seq_wp),
+                (par_rp, par_wp),
+                "{algo} on {family}: pass counts changed"
+            );
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            assert_eq!(seq_out, expect, "{algo} on {family}: not sorted");
+        }
+    }
+}
+
+#[test]
+fn configure_threads_one_is_always_accepted() {
+    let _guard = PARALLEL_TOGGLE.lock().unwrap();
+    // --threads 1 must work in every build; it means "sequential".
+    kernels::configure_threads(1).unwrap();
+    assert!(!kernels::parallel_enabled());
+}
