@@ -117,6 +117,21 @@ struct AlgoRow {
     pool_hit_rate: Option<f64>,
 }
 
+struct OverlapRow {
+    name: String,
+    n: usize,
+    latency_us: u64,
+    wall_ms_blocking: f64,
+    wall_ms_overlap: f64,
+    improvement: f64,
+    read_passes: f64,
+    write_passes: f64,
+    prefetch_batches: u64,
+    prefetch_stalls: u64,
+    flush_batches: u64,
+    flush_stalls: u64,
+}
+
 fn render_json(
     quick: bool,
     kernels_rows: &[KernelRow],
@@ -183,6 +198,41 @@ fn render_json(
             jf(r.write_passes),
             pool,
             if i + 1 < algo_rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// `BENCH_overlap.json`: the overlap A/B artifact. Separate file from the
+/// kernel artifact so the latency-injected legs (seconds, not micros) can
+/// be run and gated independently.
+fn render_overlap_json(quick: bool, rows: &[OverlapRow]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema_version\": 1,\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str("  \"overlap\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"latency_us\": {}, \
+             \"wall_ms_blocking\": {}, \"wall_ms_overlap\": {}, \"improvement\": {}, \
+             \"read_passes\": {}, \"write_passes\": {}, \
+             \"prefetch_batches\": {}, \"prefetch_stalls\": {}, \
+             \"flush_batches\": {}, \"flush_stalls\": {}}}{}\n",
+            r.name,
+            r.n,
+            r.latency_us,
+            jf(r.wall_ms_blocking),
+            jf(r.wall_ms_overlap),
+            jf(r.improvement),
+            jf(r.read_passes),
+            jf(r.write_passes),
+            r.prefetch_batches,
+            r.prefetch_stalls,
+            r.flush_batches,
+            r.flush_stalls,
+            if i + 1 < rows.len() { "," } else { "" }
         ));
     }
     s.push_str("  ]\n}\n");
@@ -316,10 +366,63 @@ fn bench_algorithm(
     });
 }
 
+/// A/B one algorithm on the threaded backend with per-batch disk latency:
+/// blocking I/O vs read-ahead + write-behind. The pass counters must be
+/// byte-identical across the legs — overlap may only move wall-clock.
+fn bench_overlap(name: &'static str, b: usize, n: usize, latency_us: u64, rows: &mut Vec<OverlapRow>) {
+    let data = pdm_bench::data::permutation(n, 46);
+    let cfg = PdmConfig::square(4, b);
+    let latency = std::time::Duration::from_micros(latency_us);
+    let leg = |overlap: bool| {
+        let storage: Box<dyn Storage<u64>> = Box::new(ThreadedStorage::<u64>::with_latency(
+            cfg.num_disks,
+            cfg.block_size,
+            latency,
+        ));
+        let mut pdm: Pdm<u64, Box<dyn Storage<u64>>> = Pdm::with_storage(cfg, storage).unwrap();
+        pdm.set_overlap(overlap);
+        let region = pdm.alloc_region_for_keys(n).unwrap();
+        pdm.ingest(&region, &data).unwrap();
+        pdm.reset_stats();
+        let t0 = Instant::now();
+        let rep = match name {
+            "three_pass2" => pdm_sort::three_pass2(&mut pdm, &region, n).unwrap(),
+            "seven_pass" => pdm_sort::seven_pass(&mut pdm, &region, n).unwrap(),
+            other => panic!("unknown algorithm {other}"),
+        };
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(!rep.fell_back, "{name}: unexpected fallback in overlap benchmark");
+        (wall, rep.read_passes, rep.write_passes, pdm.stats().overlap)
+    };
+    let (wall_blocking, rp0, wp0, ov0) = leg(false);
+    let (wall_overlap, rp1, wp1, ov1) = leg(true);
+    assert_eq!((rp0, wp0), (rp1, wp1), "{name}: overlap changed the pass counts");
+    assert_eq!(
+        ov0.prefetch_batches + ov0.flush_batches,
+        0,
+        "{name}: blocking leg issued overlapped batches"
+    );
+    rows.push(OverlapRow {
+        name: name.into(),
+        n,
+        latency_us,
+        wall_ms_blocking: wall_blocking,
+        wall_ms_overlap: wall_overlap,
+        improvement: (wall_blocking - wall_overlap) / wall_blocking.max(1e-9),
+        read_passes: rp0,
+        write_passes: wp0,
+        prefetch_batches: ov1.prefetch_batches,
+        prefetch_stalls: ov1.prefetch_stalls,
+        flush_batches: ov1.flush_batches,
+        flush_stalls: ov1.flush_stalls,
+    });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut out_path = "BENCH_kernels.json".to_string();
+    let mut overlap_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -328,8 +431,15 @@ fn main() {
                 i += 1;
                 out_path = args.get(i).expect("--out needs a path").clone();
             }
+            "--overlap-out" => {
+                i += 1;
+                overlap_out = Some(args.get(i).expect("--overlap-out needs a path").clone());
+            }
             other => {
-                eprintln!("usage: pdm-bench [--quick] [--out FILE.json] (got '{other}')");
+                eprintln!(
+                    "usage: pdm-bench [--quick] [--out FILE.json] [--overlap-out FILE.json] \
+                     (got '{other}')"
+                );
                 std::process::exit(2);
             }
         }
@@ -360,6 +470,22 @@ fn main() {
     bench_algorithm("seven_pass", false, b, n, &mut algo_rows);
     bench_algorithm("three_pass2", true, b, n, &mut algo_rows);
 
+    let mut overlap_rows = Vec::new();
+    if let Some(path) = &overlap_out {
+        // Overlap hides disk latency behind compute and behind the *other*
+        // I/O direction: the duplex threaded backend services a disk's
+        // prefetch stream and flush stream concurrently, which blocking
+        // callers (read, compute, write, strictly in turn) can never
+        // exploit. B = 64 makes each batch carry M = 4096 keys (~100µs of
+        // kernel work) beside 100µs of emulated per-batch disk latency —
+        // both material, neither drowning the other.
+        let ob = 64;
+        bench_overlap("seven_pass", ob, ob * ob * ob, 100, &mut overlap_rows);
+        bench_overlap("three_pass2", ob, ob * ob * ob, 100, &mut overlap_rows);
+        std::fs::write(path, render_overlap_json(quick, &overlap_rows)).expect("write artifact");
+        eprintln!("wrote {path}");
+    }
+
     let json = render_json(quick, &kernel_rows, &merge_rows, &cleaner, &algo_rows);
     std::fs::write(&out_path, &json).expect("write artifact");
     eprintln!("wrote {out_path}");
@@ -381,6 +507,22 @@ fn main() {
         "  cleaner          carry {} + window {}: resort {:.2} vs incremental {:.2} ns/key",
         cleaner.0, cleaner.1, cleaner.2, cleaner.3
     );
+    for r in &overlap_rows {
+        eprintln!(
+            "  {:<16} [threaded +{}µs] n = {:>7}  blocking {:>8.2} ms vs overlap {:>8.2} ms \
+             ({:.1}% better; prefetch {}/{} stalls, flush {}/{} stalls)",
+            r.name,
+            r.latency_us,
+            r.n,
+            r.wall_ms_blocking,
+            r.wall_ms_overlap,
+            r.improvement * 100.0,
+            r.prefetch_stalls,
+            r.prefetch_batches,
+            r.flush_stalls,
+            r.flush_batches,
+        );
+    }
     for r in &algo_rows {
         eprintln!(
             "  {:<16} [{}] n = {:>7}  {:>8.2} ms  {:.2}R/{:.2}W passes{}",

@@ -291,6 +291,17 @@ impl<K: PdmKey> Cleaner<K> {
         pdm.read_blocks(region, indices, self.buf.as_vec_mut())
     }
 
+    /// Pull the next read-ahead batch straight into the cleanup buffer
+    /// (the prefetched data lands in the `2w` budget — no extra staging).
+    /// Returns false when the schedule is exhausted.
+    pub fn feed_from<S: Storage<K>>(
+        &mut self,
+        pdm: &mut Pdm<K, S>,
+        ra: &mut ReadAhead<K>,
+    ) -> Result<bool> {
+        ra.next_into(pdm, self.buf.as_vec_mut())
+    }
+
     /// Append keys directly (for in-memory feeds).
     pub fn feed_keys(&mut self, keys: &[K]) {
         self.buf.extend_from_slice(keys);
@@ -399,6 +410,24 @@ impl RegionEmitter {
         let nblocks = keys.len() / b;
         let idx: Vec<usize> = (self.next_block..self.next_block + nblocks).collect();
         pdm.write_blocks(&self.region, &idx, keys)?;
+        self.next_block += nblocks;
+        Ok(())
+    }
+
+    /// Like [`RegionEmitter::emit`], but routed through a [`WriteBehind`]
+    /// so the write retires while the producer keeps computing (the
+    /// payload is copied at issue — `keys` is immediately reusable).
+    pub fn emit_behind<K: PdmKey, S: Storage<K>>(
+        &mut self,
+        pdm: &mut Pdm<K, S>,
+        wb: &mut WriteBehind,
+        keys: &[K],
+    ) -> Result<()> {
+        let b = self.region.block_size();
+        assert_eq!(keys.len() % b, 0, "emit must be block-aligned");
+        let nblocks = keys.len() / b;
+        let idx: Vec<usize> = (self.next_block..self.next_block + nblocks).collect();
+        wb.write(pdm, &self.region, &idx, keys)?;
         self.next_block += nblocks;
         Ok(())
     }

@@ -90,13 +90,24 @@ pub(crate) fn pass1_runs_shuffled<K: PdmKey, S: Storage<K>>(
     debug_assert_eq!(windows.len(), p.windows);
     let in_blocks = input.len_blocks();
     let run_blocks = run_len / b;
+    // Reads run one run ahead and chunk writes retire behind. Tail runs
+    // can be pure padding (no real blocks) — schedule read-ahead only
+    // where the blocking path reads, mirroring the `lo < hi` guard.
+    let steps: Vec<Vec<(Region, usize)>> = (0..n1)
+        .filter_map(|i| {
+            let lo = i * run_blocks;
+            let hi = ((i + 1) * run_blocks).min(in_blocks);
+            (lo < hi).then(|| (lo..hi).map(|j| (*input, j)).collect())
+        })
+        .collect();
+    let mut ra = ReadAhead::new(pdm, steps)?;
+    let mut wb = WriteBehind::new(pdm);
     for i in 0..n1 {
         let mut run = pdm.alloc_buf(run_len)?;
         let lo = i * run_blocks;
         let hi = ((i + 1) * run_blocks).min(in_blocks);
         if lo < hi {
-            let idx: Vec<usize> = (lo..hi).collect();
-            pdm.read_blocks(input, &idx, run.as_vec_mut())?;
+            ra.next_into(pdm, run.as_vec_mut())?;
         }
         run.truncate(n.saturating_sub(lo * b).min(run_len));
         run.resize(run_len, K::MAX);
@@ -107,9 +118,9 @@ pub(crate) fn pass1_runs_shuffled<K: PdmKey, S: Storage<K>>(
                 targets.push((*w, i * chunk_blocks + cb));
             }
         }
-        pdm.write_blocks_multi(&targets, &run)?;
+        wb.write_multi(pdm, &targets, &run)?;
     }
-    Ok(())
+    wb.finish(pdm) // drain before the caller's phase boundary
 }
 
 /// Outcome of the streaming pass: emitted count and whether it stayed clean.
@@ -163,9 +174,16 @@ pub fn expected_two_pass<K: PdmKey, S: Storage<K>>(
 
     pdm.begin_phase("E2P: runs+shuffle");
     pass1_runs_shuffled(pdm, input, n, &p, &windows)?;
+    // Pass 2's reads stay blocking: its data-dependent early abort would
+    // make read-ahead issue batches the blocking path never charges. The
+    // emission, however, is issued at the same points either way, so it
+    // rides a write-behind safely — even on an aborted run.
     pdm.begin_phase("E2P: stream+verify");
     let mut emitter = RegionEmitter::new(out);
-    let (_, clean) = pass2_stream(pdm, &p, &windows, &mut |pd, ks| emitter.emit(pd, ks))?;
+    let mut wb = WriteBehind::new(pdm);
+    let (_, clean) =
+        pass2_stream(pdm, &p, &windows, &mut |pd, ks| emitter.emit_behind(pd, &mut wb, ks))?;
+    wb.finish(pdm)?;
     pdm.end_phase();
 
     if clean {
@@ -305,6 +323,33 @@ mod tests {
         data[511] = 1;
         let rep = run_sort(&mut pdm, &data);
         check_sorted(&mut pdm, &rep, &data);
+    }
+
+    #[test]
+    fn overlap_changes_nothing_but_wall_clock() {
+        // Clean two-pass path and the abort→fallback path must both be
+        // byte-identical in output and accounting with overlap on or off.
+        let mut rng = StdRng::seed_from_u64(34);
+        let mut shuffled: Vec<u64> = (0..512).collect();
+        shuffled.shuffle(&mut rng);
+        let reversed: Vec<u64> = (0..4096u64).rev().collect();
+        for data in [&shuffled, &reversed] {
+            let run = |overlap: bool| {
+                let mut pdm = machine(4, 16);
+                pdm.set_overlap(overlap);
+                let input = pdm.alloc_region_for_keys(data.len()).unwrap();
+                pdm.ingest(&input, data).unwrap();
+                pdm.reset_stats();
+                let rep = expected_two_pass(&mut pdm, &input, data.len()).unwrap();
+                assert_eq!(pdm.pending_io(), 0, "phases must drain all overlap I/O");
+                let got = pdm.inspect_prefix(&rep.output, data.len()).unwrap();
+                let s = pdm.stats();
+                (got, rep.fell_back, s.blocks_read, s.blocks_written, s.read_steps, s.write_steps)
+            };
+            let on = run(true);
+            let off = run(false);
+            assert_eq!(on, off, "overlap must be invisible to output and accounting");
+        }
     }
 
     #[test]

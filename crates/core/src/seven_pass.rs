@@ -58,6 +58,7 @@ struct UnshuffleEmitter<'a, K: PdmKey> {
     parts: &'a [Region],
     next_idx: usize,
     scratch: TrackedBuf<K>,
+    wb: WriteBehind,
     b: usize,
     d: usize,
 }
@@ -70,6 +71,7 @@ impl<'a, K: PdmKey> UnshuffleEmitter<'a, K> {
             parts,
             next_idx: 0,
             scratch: pdm.alloc_buf(d * b)?,
+            wb: WriteBehind::new(pdm),
             b,
             d,
         })
@@ -78,6 +80,13 @@ impl<'a, K: PdmKey> UnshuffleEmitter<'a, K> {
     /// Reset to block 0 (for deterministic overwrite after a fallback).
     fn reset(&mut self) {
         self.next_idx = 0;
+    }
+
+    /// Retire the in-flight part write. The emitter survives phase
+    /// boundaries (fallback re-runs it), so callers drain it before every
+    /// `end_phase`.
+    fn drain<S: Storage<K>>(&mut self, pdm: &mut Pdm<K, S>) -> Result<()> {
+        self.wb.drain(pdm)
     }
 
     fn emit<S: Storage<K>>(&mut self, pdm: &mut Pdm<K, S>, ks: &[K]) -> Result<()> {
@@ -99,7 +108,9 @@ impl<'a, K: PdmKey> UnshuffleEmitter<'a, K> {
                 let targets: Vec<(Region, usize)> = (group..ge)
                     .map(|j| (self.parts[j], self.next_idx))
                     .collect();
-                pdm.write_blocks_multi(&targets, &self.scratch)?;
+                // Write-behind: the scratch payload is copied at issue, so
+                // refilling it for the next group is safe immediately.
+                self.wb.write_multi(pdm, &targets, &self.scratch)?;
             }
             self.next_idx += 1;
         }
@@ -227,6 +238,7 @@ fn outer_merge_sort<K: PdmKey, S: Storage<K>>(
             pdm.begin_phase("6P: E2P stream");
             let (_, clean) =
                 pass2_stream(pdm, &rp, &windows, &mut |pd, ks| emitter.emit(pd, ks))?;
+            emitter.drain(pdm)?; // settle part writes before the boundary
             pdm.end_phase();
             if !clean {
                 // Per-run fallback (paper: the aborted run is re-sorted
@@ -240,6 +252,7 @@ fn outer_merge_sort<K: PdmKey, S: Storage<K>>(
             pdm.begin_phase("7P: run formation 3P2");
             let (emitted, clean) =
                 three_pass2_core(pdm, &seg, run_len, &mut |pd, ks| emitter.emit(pd, ks))?;
+            emitter.drain(pdm)?; // settle part writes before the boundary
             pdm.end_phase();
             debug_assert_eq!(emitted, run_len);
             if !clean {
@@ -251,13 +264,23 @@ fn outer_merge_sort<K: PdmKey, S: Storage<K>>(
     }
 
     // Step 4 (pass 4): inner unshuffle of each L_i^j into m' pieces.
+    // Reads run one part ahead; piece writes retire behind.
     pdm.begin_phase("7P: inner unshuffle");
     let part_len = run_len / b;
-    for (i, run_parts) in parts.iter().enumerate() {
-        for (j, part) in run_parts.iter().enumerate() {
+    let steps: Vec<Vec<(Region, usize)>> = parts
+        .iter()
+        .flat_map(|run_parts| {
+            run_parts
+                .iter()
+                .map(|part| (0..part_blocks).map(|k| (*part, k)).collect())
+        })
+        .collect();
+    let mut ra = ReadAhead::new(pdm, steps)?;
+    let mut wb = WriteBehind::new(pdm);
+    for i in 0..l {
+        for j in 0..b {
             let mut buf = pdm.alloc_buf(part_len)?;
-            let idx: Vec<usize> = (0..part_blocks).collect();
-            pdm.read_blocks(part, &idx, buf.as_vec_mut())?;
+            ra.next_into(pdm, buf.as_vec_mut())?;
             // piece u of L_i^j: positions ≡ u (mod m'), length b = 1 block
             let mut wbuf = pdm.alloc_buf(part_len)?;
             {
@@ -271,9 +294,10 @@ fn outer_merge_sort<K: PdmKey, S: Storage<K>>(
             }
             let targets: Vec<(Region, usize)> =
                 (0..m_prime).map(|u| (submerge[j][u], i)).collect();
-            pdm.write_blocks_multi(&targets, &wbuf)?;
+            wb.write_multi(pdm, &targets, &wbuf)?;
         }
     }
+    wb.finish(pdm)?;
 
     // Step 5 (pass 5): the b·m' sub-merges, each l blocks ≤ M keys.
     // When l < D a single sub-merge cannot fill a stripe, so sub-merges
@@ -282,6 +306,9 @@ fn outer_merge_sort<K: PdmKey, S: Storage<K>>(
     pdm.begin_phase("7P: sub-merges");
     let d = pdm.cfg().num_disks;
     let group_max = (d / l).clamp(1, m_prime);
+    // Precompute the (j, group) schedule so the read batches can run one
+    // group ahead of the in-memory merges.
+    let mut sched: Vec<(usize, Vec<usize>)> = Vec::new();
     for j in 0..b {
         let mut processed = vec![false; m_prime];
         for r in 0..m_prime {
@@ -295,46 +322,68 @@ fn outer_merge_sort<K: PdmKey, S: Storage<K>>(
                 processed[u] = true;
                 u += l;
             }
-            // one read batch covering every group member's l blocks
-            let mut buf = pdm.alloc_buf(group.len() * l * b)?;
-            let row = &submerge[j];
-            let sources: Vec<(Region, usize)> = group
-                .iter()
-                .flat_map(|&u| (0..l).map(move |i| (row[u], i)))
-                .collect();
-            pdm.read_blocks_multi(&sources, buf.as_vec_mut())?;
-            // merge each member in memory, streaming straight into the
-            // write buffer (no per-member staging copy)
-            let mut merged = pdm.alloc_buf(group.len() * l * b)?;
-            {
-                let mv = merged.as_vec_mut();
-                for (gi, _) in group.iter().enumerate() {
-                    let seg = &buf[gi * l * b..(gi + 1) * l * b];
-                    let mut tree = crate::merge::LoserTree::new(seg.chunks(b).collect());
-                    tree.merge_into(mv);
-                }
-            }
-            drop(buf);
-            // one write batch: chunk t of L'_u (b keys) → inner window
-            // (j, t), block u — same disk tiling as the reads
-            let wins_row = &inner_win[j];
-            let targets: Vec<(Region, usize)> = group
-                .iter()
-                .flat_map(|&u| (0..l).map(move |t| (wins_row[t], u)))
-                .collect();
-            pdm.write_blocks_multi(&targets, &merged)?;
+            sched.push((j, group));
         }
     }
+    // one read batch per group, covering every member's l blocks
+    let steps: Vec<Vec<(Region, usize)>> = sched
+        .iter()
+        .map(|(j, group)| {
+            let row = &submerge[*j];
+            group
+                .iter()
+                .flat_map(|&u| (0..l).map(move |i| (row[u], i)))
+                .collect()
+        })
+        .collect();
+    let mut ra = ReadAhead::new(pdm, steps)?;
+    let mut wb = WriteBehind::new(pdm);
+    for (j, group) in &sched {
+        let mut buf = pdm.alloc_buf(group.len() * l * b)?;
+        ra.next_into(pdm, buf.as_vec_mut())?;
+        // merge each member in memory, streaming straight into the
+        // write buffer (no per-member staging copy)
+        let mut merged = pdm.alloc_buf(group.len() * l * b)?;
+        {
+            let mv = merged.as_vec_mut();
+            for (gi, _) in group.iter().enumerate() {
+                let seg = &buf[gi * l * b..(gi + 1) * l * b];
+                let mut tree = crate::merge::LoserTree::new(seg.chunks(b).collect());
+                tree.merge_into(mv);
+            }
+        }
+        drop(buf);
+        // one write batch: chunk t of L'_u (b keys) → inner window
+        // (j, t), block u — same disk tiling as the reads
+        let wins_row = &inner_win[*j];
+        let targets: Vec<(Region, usize)> = group
+            .iter()
+            .flat_map(|&u| (0..l).map(move |t| (wins_row[t], u)))
+            .collect();
+        wb.write_multi(pdm, &targets, &merged)?;
+    }
+    wb.finish(pdm)?;
 
     // Step 6 (pass 6): inner shuffle + cleanup per j, scattering Q_j chunks
     // into the final windows (outer shuffle fold).
     pdm.begin_phase("7P: inner cleanup");
     let inner_window_keys = m_prime * b;
+    // One read-ahead schedule spans all b merges — the windows are
+    // disjoint, so prefetching across a j boundary is safe.
+    let iw = &inner_win;
+    let steps: Vec<Vec<(Region, usize)>> = (0..b)
+        .flat_map(|j| {
+            (0..l).map(move |t| (0..m_prime).map(|u| (iw[j][t], u)).collect())
+        })
+        .collect();
+    let mut ra = ReadAhead::new(pdm, steps)?;
+    let mut wb = WriteBehind::new(pdm);
     for j in 0..b {
         let mut cleaner = Cleaner::new(pdm, inner_window_keys)?;
         let mut next_chunk = 0usize; // global b-key chunk counter of Q_j
         let wins = &final_wins;
         let d = pdm.cfg().num_disks;
+        let wbr = &mut wb;
         let mut emit = |pd: &mut Pdm<K, S>, ks: &[K]| -> Result<()> {
             debug_assert_eq!(ks.len() % b, 0);
             let chunks = ks.len() / b;
@@ -344,15 +393,14 @@ fn outer_merge_sort<K: PdmKey, S: Storage<K>>(
                 let targets: Vec<(Region, usize)> = (c0..c1)
                     .map(|c| (wins[next_chunk + c], j))
                     .collect();
-                pd.write_blocks_multi(&targets, &ks[c0 * b..c1 * b])?;
+                wbr.write_multi(pd, &targets, &ks[c0 * b..c1 * b])?;
                 c0 = c1;
             }
             next_chunk += chunks;
             Ok(())
         };
-        let blocks: Vec<usize> = (0..m_prime).collect();
-        for t in 0..l {
-            cleaner.feed_blocks(pdm, &inner_win[j][t], &blocks)?;
+        for _ in 0..l {
+            cleaner.feed_from(pdm, &mut ra)?;
             cleaner.process(pdm, &mut emit)?;
         }
         let (_, clean) = cleaner.finish(pdm, &mut emit)?;
@@ -362,18 +410,25 @@ fn outer_merge_sort<K: PdmKey, S: Storage<K>>(
             ));
         }
     }
+    wb.finish(pdm)?;
 
     // Step 7 (pass 7): outer cleanup into the output region.
     pdm.begin_phase("7P: outer cleanup");
     let mut cleaner = Cleaner::new(pdm, m)?;
     let mut emitter = RegionEmitter::new(out);
-    let mut emit = |pd: &mut Pdm<K, S>, ks: &[K]| emitter.emit(pd, ks);
-    let blocks: Vec<usize> = (0..b).collect();
-    for w in &final_wins {
-        cleaner.feed_blocks(pdm, w, &blocks)?;
+    let steps: Vec<Vec<(Region, usize)>> = final_wins
+        .iter()
+        .map(|w| (0..b).map(|i| (*w, i)).collect())
+        .collect();
+    let mut ra = ReadAhead::new(pdm, steps)?;
+    let mut wb = WriteBehind::new(pdm);
+    let mut emit = |pd: &mut Pdm<K, S>, ks: &[K]| emitter.emit_behind(pd, &mut wb, ks);
+    for _ in 0..final_wins.len() {
+        cleaner.feed_from(pdm, &mut ra)?;
         cleaner.process(pdm, &mut emit)?;
     }
     let (emitted, clean) = cleaner.finish(pdm, &mut emit)?;
+    wb.finish(pdm)?;
     pdm.end_phase();
     debug_assert_eq!(emitted, l * run_len);
     if !clean {
@@ -581,6 +636,52 @@ mod tests {
                 rep7.read_passes
             );
         }
+    }
+
+    #[test]
+    fn overlap_changes_nothing_but_wall_clock() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let n = 4096;
+        let mut data: Vec<u64> = (0..n as u64).collect();
+        data.shuffle(&mut rng);
+        let run = |overlap: bool| {
+            let mut pdm = machine(4, 8);
+            pdm.set_overlap(overlap);
+            let input = pdm.alloc_region_for_keys(n).unwrap();
+            pdm.ingest(&input, &data).unwrap();
+            pdm.reset_stats();
+            let rep = seven_pass(&mut pdm, &input, n).unwrap();
+            assert_eq!(pdm.pending_io(), 0, "phases must drain all overlap I/O");
+            let got = pdm.inspect_prefix(&rep.output, n).unwrap();
+            let s = pdm.stats();
+            (got, s.blocks_read, s.blocks_written, s.read_steps, s.write_steps)
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on, off, "overlap must be invisible to output and accounting");
+    }
+
+    #[test]
+    fn overlap_is_invisible_to_expected_six_pass() {
+        let mut rng = StdRng::seed_from_u64(48);
+        let n = capacity_six(256, 2.0).min(4096);
+        let mut data: Vec<u64> = (0..n as u64).collect();
+        data.shuffle(&mut rng);
+        let run = |overlap: bool| {
+            let mut pdm = machine(2, 16);
+            pdm.set_overlap(overlap);
+            let input = pdm.alloc_region_for_keys(n).unwrap();
+            pdm.ingest(&input, &data).unwrap();
+            pdm.reset_stats();
+            let rep = expected_six_pass(&mut pdm, &input, n, 2.0).unwrap();
+            assert_eq!(pdm.pending_io(), 0, "phases must drain all overlap I/O");
+            let got = pdm.inspect_prefix(&rep.output, n).unwrap();
+            let s = pdm.stats();
+            (got, rep.fell_back, s.blocks_read, s.blocks_written, s.read_steps, s.write_steps)
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on, off, "overlap must be invisible to output and accounting");
     }
 
     #[test]

@@ -97,16 +97,24 @@ pub fn three_pass1_with<K: PdmKey, S: Storage<K>>(
     let out = pdm.alloc_region_for_keys(s_count * m)?;
     let in_blocks = input.len_blocks();
 
-    // Pass 1: sort submeshes, write column-major blocks.
+    // Pass 1: sort submeshes, write column-major blocks. Reads run one
+    // submesh ahead and column writes retire behind (input and column
+    // regions are disjoint, so the reorder is safe); with overlap off
+    // both helpers degenerate to the blocking batches.
     pdm.begin_phase("3P1: submesh sorts");
+    let steps: Vec<Vec<(Region, usize)>> = (0..s_count)
+        .map(|s| {
+            let lo = s * b;
+            let hi = ((s + 1) * b).min(in_blocks);
+            (lo..hi).map(|i| (*input, i)).collect()
+        })
+        .collect();
+    let mut ra = ReadAhead::new(pdm, steps)?;
+    let mut wb = WriteBehind::new(pdm);
     for s in 0..s_count {
         let mut buf = pdm.alloc_buf(m)?;
         let lo = s * b;
-        let hi = ((s + 1) * b).min(in_blocks);
-        if lo < hi {
-            let idx: Vec<usize> = (lo..hi).collect();
-            pdm.read_blocks(input, &idx, buf.as_vec_mut())?;
-        }
+        ra.next_into(pdm, buf.as_vec_mut())?;
         buf.truncate(n.saturating_sub(lo * b).min(m));
         buf.resize(m, K::MAX);
         crate::kernels::sort_keys(&mut buf);
@@ -128,33 +136,46 @@ pub fn three_pass1_with<K: PdmKey, S: Storage<K>>(
             }
         }
         let targets: Vec<(Region, usize)> = cols.iter().map(|c| (*c, s)).collect();
-        pdm.write_blocks_multi(&targets, &wbuf)?;
+        wb.write_multi(pdm, &targets, &wbuf)?;
     }
+    wb.finish(pdm)?; // drain before the phase boundary
 
     // Pass 2: sort full columns vertically, scatter band segments.
     pdm.begin_phase("3P1: column sorts");
     let col_len = s_count * b;
-    for (c, col) in cols.iter().enumerate() {
+    let steps: Vec<Vec<(Region, usize)>> = cols
+        .iter()
+        .map(|col| (0..s_count).map(|i| (*col, i)).collect())
+        .collect();
+    let mut ra = ReadAhead::new(pdm, steps)?;
+    let mut wb = WriteBehind::new(pdm);
+    for c in 0..cols.len() {
         let mut buf = pdm.alloc_buf(col_len)?;
-        let idx: Vec<usize> = (0..s_count).collect();
-        pdm.read_blocks(col, &idx, buf.as_vec_mut())?;
+        ra.next_into(pdm, buf.as_vec_mut())?;
         crate::kernels::sort_keys(&mut buf);
         // band t's segment is buf[t*b..(t+1)*b] — already contiguous.
         let targets: Vec<(Region, usize)> = bands.iter().map(|t| (*t, c)).collect();
-        pdm.write_blocks_multi(&targets, &buf)?;
+        wb.write_multi(pdm, &targets, &buf)?;
     }
+    wb.finish(pdm)?;
 
     // Pass 3: stream bands through the cleanup window.
     pdm.begin_phase("3P1: cleanup");
     let mut cleaner = Cleaner::new(pdm, m)?;
     let mut emitter = RegionEmitter::new(out);
-    let all_blocks: Vec<usize> = (0..b).collect();
-    let mut emit = |pd: &mut Pdm<K, S>, ks: &[K]| emitter.emit(pd, ks);
-    for band in &bands {
-        cleaner.feed_blocks(pdm, band, &all_blocks)?;
+    let steps: Vec<Vec<(Region, usize)>> = bands
+        .iter()
+        .map(|band| (0..b).map(|i| (*band, i)).collect())
+        .collect();
+    let mut ra = ReadAhead::new(pdm, steps)?;
+    let mut wb = WriteBehind::new(pdm);
+    let mut emit = |pd: &mut Pdm<K, S>, ks: &[K]| emitter.emit_behind(pd, &mut wb, ks);
+    for _ in 0..bands.len() {
+        cleaner.feed_from(pdm, &mut ra)?;
         cleaner.process(pdm, &mut emit)?;
     }
     let (emitted, clean) = cleaner.finish(pdm, &mut emit)?;
+    wb.finish(pdm)?;
     pdm.end_phase();
 
     debug_assert_eq!(emitted, s_count * m);
@@ -379,6 +400,27 @@ mod tests {
         let mut pdm = machine(2, 8);
         let input = pdm.alloc_region_for_keys(513).unwrap();
         assert!(three_pass1(&mut pdm, &input, 513).is_err());
+    }
+
+    #[test]
+    fn overlap_changes_nothing_but_wall_clock() {
+        let mut rng = StdRng::seed_from_u64(27);
+        let data: Vec<u64> = (0..512).map(|_| rng.gen_range(0..1u64 << 40)).collect();
+        let run = |overlap: bool| {
+            let mut pdm = machine(4, 8);
+            pdm.set_overlap(overlap);
+            let input = pdm.alloc_region_for_keys(data.len()).unwrap();
+            pdm.ingest(&input, &data).unwrap();
+            pdm.reset_stats();
+            let rep = three_pass1(&mut pdm, &input, data.len()).unwrap();
+            assert_eq!(pdm.pending_io(), 0, "phases must drain all overlap I/O");
+            let got = pdm.inspect_prefix(&rep.output, data.len()).unwrap();
+            let s = pdm.stats();
+            (got, s.blocks_read, s.blocks_written, s.read_steps, s.write_steps)
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on, off, "overlap must be invisible to output and accounting");
     }
 
     #[test]

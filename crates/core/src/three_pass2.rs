@@ -70,13 +70,25 @@ pub(crate) fn pass1_runs_unshuffled<K: PdmKey, S: Storage<K>>(
 ) -> Result<()> {
     let Plan { b, l, m } = *p;
     let in_blocks = input.len_blocks();
+    // Reads run one submesh ahead and the column writes retire behind
+    // (input and columns are disjoint regions, so the reorder is safe).
+    // SevenPass hands short (even empty) segments whose tail runs are all
+    // padding — schedule read-ahead only where the blocking path reads.
+    let steps: Vec<Vec<(Region, usize)>> = (0..l)
+        .filter_map(|i| {
+            let lo = i * b;
+            let hi = ((i + 1) * b).min(in_blocks);
+            (lo < hi).then(|| (lo..hi).map(|j| (*input, j)).collect())
+        })
+        .collect();
+    let mut ra = ReadAhead::new(pdm, steps)?;
+    let mut wb = WriteBehind::new(pdm);
     for i in 0..l {
         let mut run = pdm.alloc_buf(m)?;
         let lo = i * b;
         let hi = ((i + 1) * b).min(in_blocks);
         if lo < hi {
-            let idx: Vec<usize> = (lo..hi).collect();
-            pdm.read_blocks(input, &idx, run.as_vec_mut())?;
+            ra.next_into(pdm, run.as_vec_mut())?;
         }
         run.truncate(n.saturating_sub(lo * b).min(m));
         run.resize(m, K::MAX);
@@ -95,9 +107,9 @@ pub(crate) fn pass1_runs_unshuffled<K: PdmKey, S: Storage<K>>(
             }
         }
         let targets: Vec<(Region, usize)> = cols.iter().map(|c| (*c, i)).collect();
-        pdm.write_blocks_multi(&targets, &wbuf)?;
+        wb.write_multi(pdm, &targets, &wbuf)?;
     }
-    Ok(())
+    wb.finish(pdm) // drain before the caller's phase boundary
 }
 
 /// Pass 2: merge each column's `l` sorted blocks into `L_j` and scatter its
@@ -109,17 +121,22 @@ pub(crate) fn pass2_column_merges<K: PdmKey, S: Storage<K>>(
     windows: &[Region],
 ) -> Result<()> {
     let Plan { b, l, .. } = *p;
-    for (j, col) in cols.iter().enumerate() {
+    let steps: Vec<Vec<(Region, usize)>> = cols
+        .iter()
+        .map(|col| (0..l).map(|i| (*col, i)).collect())
+        .collect();
+    let mut ra = ReadAhead::new(pdm, steps)?;
+    let mut wb = WriteBehind::new(pdm);
+    for j in 0..cols.len() {
         let mut buf = pdm.alloc_buf(l * b)?;
-        let idx: Vec<usize> = (0..l).collect();
-        pdm.read_blocks(col, &idx, buf.as_vec_mut())?;
+        ra.next_into(pdm, buf.as_vec_mut())?;
         let mut merged = pdm.alloc_buf(l * b)?;
         merge_equal_segments(&buf, b, merged.as_vec_mut());
         drop(buf);
         let targets: Vec<(Region, usize)> = windows.iter().map(|w| (*w, j)).collect();
-        pdm.write_blocks_multi(&targets, &merged)?;
+        wb.write_multi(pdm, &targets, &merged)?;
     }
-    Ok(())
+    wb.finish(pdm)
 }
 
 /// Pass 3: stream the windows through the cleanup engine into `out`.
@@ -132,9 +149,13 @@ pub(crate) fn pass3_cleanup<K: PdmKey, S: Storage<K>>(
 ) -> Result<(usize, bool)> {
     let Plan { b, m, .. } = *p;
     let mut cleaner = Cleaner::new(pdm, m)?;
-    let all_blocks: Vec<usize> = (0..b).collect();
-    for w in windows {
-        cleaner.feed_blocks(pdm, w, &all_blocks)?;
+    let steps: Vec<Vec<(Region, usize)>> = windows
+        .iter()
+        .map(|w| (0..b).map(|i| (*w, i)).collect())
+        .collect();
+    let mut ra = ReadAhead::new(pdm, steps)?;
+    for _ in 0..windows.len() {
+        cleaner.feed_from(pdm, &mut ra)?;
         cleaner.process(pdm, emit)?;
     }
     cleaner.finish(pdm, emit)
@@ -143,6 +164,11 @@ pub(crate) fn pass3_cleanup<K: PdmKey, S: Storage<K>>(
 /// The three passes with a caller-supplied emitter for the final sorted
 /// stream (emitted in `M`-key slices) — `SevenPass` folds its outer
 /// unshuffle into this emission. Returns `(keys_emitted, clean)`.
+///
+/// The final phase is left *open*: the caller must drain whatever
+/// write-behind its emitter holds and then call
+/// [`Pdm::end_phase`](pdm_model::machine::Pdm::end_phase), so the
+/// checkpoint boundary only ever sees settled output.
 pub(crate) fn three_pass2_core<K: PdmKey, S: Storage<K>>(
     pdm: &mut Pdm<K, S>,
     input: &Region,
@@ -157,9 +183,7 @@ pub(crate) fn three_pass2_core<K: PdmKey, S: Storage<K>>(
     pdm.begin_phase("3P2: column merges");
     pass2_column_merges(pdm, &p, &cols, &windows)?;
     pdm.begin_phase("3P2: shuffle+cleanup");
-    let res = pass3_cleanup(pdm, &p, &windows, emit)?;
-    pdm.end_phase();
-    Ok(res)
+    pass3_cleanup(pdm, &p, &windows, emit)
 }
 
 /// Sort `n ≤ M√M` keys from `input` in three passes (Lemma 4.1). The output
@@ -185,7 +209,11 @@ pub fn three_pass2<K: PdmKey, S: Storage<K>>(
     let p = plan(pdm, n)?;
     let out = pdm.alloc_region_for_keys(p.l * p.m)?;
     let mut emitter = RegionEmitter::new(out);
-    let (emitted, clean) = three_pass2_core(pdm, input, n, &mut |pd, ks| emitter.emit(pd, ks))?;
+    let mut wb = WriteBehind::new(pdm);
+    let (emitted, clean) =
+        three_pass2_core(pdm, input, n, &mut |pd, ks| emitter.emit_behind(pd, &mut wb, ks))?;
+    wb.finish(pdm)?;
+    pdm.end_phase();
 
     debug_assert_eq!(emitted, p.l * p.m);
     if !clean {
@@ -359,6 +387,27 @@ mod tests {
         for ph in &pdm.stats().phases {
             assert_eq!(ph.blocks_read, 64, "phase {} blocks", ph.name);
         }
+    }
+
+    #[test]
+    fn overlap_changes_nothing_but_wall_clock() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let data: Vec<u64> = (0..512).map(|_| rng.gen_range(0..1u64 << 40)).collect();
+        let run = |overlap: bool| {
+            let mut pdm = machine(4, 8);
+            pdm.set_overlap(overlap);
+            let input = pdm.alloc_region_for_keys(data.len()).unwrap();
+            pdm.ingest(&input, &data).unwrap();
+            pdm.reset_stats();
+            let rep = three_pass2(&mut pdm, &input, data.len()).unwrap();
+            assert_eq!(pdm.pending_io(), 0, "phases must drain all overlap I/O");
+            let got = pdm.inspect_prefix(&rep.output, data.len()).unwrap();
+            let s = pdm.stats();
+            (got, s.blocks_read, s.blocks_written, s.read_steps, s.write_steps)
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on, off, "overlap must be invisible to output and accounting");
     }
 
     #[test]

@@ -100,6 +100,42 @@ impl fmt::Display for Algo {
     }
 }
 
+/// Overlapped-I/O switch for `sort`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Overlap {
+    /// Enable when the storage backend natively supports overlap
+    /// (currently the threaded backend) — the default.
+    #[default]
+    Auto,
+    /// Force overlap on; backends without native support fall back to
+    /// eager completion (same accounting, no wall-clock gain).
+    On,
+    /// Force overlap off: every batch blocks.
+    Off,
+}
+
+impl std::str::FromStr for Overlap {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "auto" => Ok(Overlap::Auto),
+            "on" => Ok(Overlap::On),
+            "off" => Ok(Overlap::Off),
+            other => Err(format!("unknown overlap mode '{other}' (auto|on|off)")),
+        }
+    }
+}
+
+impl fmt::Display for Overlap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Overlap::Auto => "auto",
+            Overlap::On => "on",
+            Overlap::Off => "off",
+        })
+    }
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -148,6 +184,9 @@ pub enum Command {
         /// core, N = exactly N. Values other than 1 need the `parallel`
         /// build feature. Never changes output or pass counts.
         threads: usize,
+        /// Overlapped I/O (read-ahead + write-behind). Never changes
+        /// output or pass counts — only wall-clock.
+        overlap: Overlap,
     },
     /// `pdmsort report <stats.json>` — render phase table, per-disk
     /// heatmap, sparkline, and pass-budget waterfall from a stats artifact.
@@ -188,7 +227,7 @@ USAGE:
   pdmsort sort <in.keys> <out.keys> [--disks D] [--b SQRT_M] [--algo A]
                [--scratch DIR] [--stats FILE.json] [--events FILE.jsonl]
                [--checkpoint-dir DIR] [--resume] [--inject SPEC]
-               [--retry N] [--backoff STEPS] [--threads N]
+               [--retry N] [--backoff STEPS] [--threads N] [--overlap auto|on|off]
   pdmsort report <stats.json>
   pdmsort compare <in.keys> [--disks D] [--b SQRT_M] [--threads N]
   pdmsort verify <file.keys>
@@ -214,7 +253,13 @@ Performance:
   --threads N            run the in-memory sort/classify kernels on N threads
                          (0 = one per core, default 1 = sequential). Requires
                          a binary built with the `parallel` cargo feature;
-                         output and pass counts are identical either way.";
+                         output and pass counts are identical either way.
+  --overlap auto|on|off  overlapped I/O: read-ahead feeds each pass one batch
+                         early and writes retire behind the compute. `auto`
+                         (default) enables it when the backend natively
+                         overlaps (threaded); `on` forces the wiring on any
+                         backend (eager completion elsewhere). Output and
+                         pass counts are identical in every mode.";
 
 fn parse_flag<T: std::str::FromStr>(
     args: &[String],
@@ -273,6 +318,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut retry = None;
             let mut backoff = 1u64;
             let mut threads = 1usize;
+            let mut overlap = Overlap::Auto;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -293,6 +339,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--retry" => retry = Some(parse_flag(args, &mut i, "--retry")?),
                     "--backoff" => backoff = parse_flag(args, &mut i, "--backoff")?,
                     "--threads" => threads = parse_flag(args, &mut i, "--threads")?,
+                    "--overlap" => overlap = parse_flag(args, &mut i, "--overlap")?,
                     other => pos.push(other.to_string()),
                 }
                 i += 1;
@@ -322,6 +369,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 retry,
                 backoff,
                 threads,
+                overlap,
             })
         }
         "report" => {
@@ -467,6 +515,22 @@ mod tests {
         assert!(matches!(c, Command::Compare { threads: 4, .. }));
         assert!(parse(&v(&["sort", "a", "b", "--threads", "lots"])).is_err());
         assert!(parse(&v(&["sort", "a", "b", "--threads"])).is_err());
+    }
+
+    #[test]
+    fn parses_overlap_flag() {
+        let c = parse(&v(&["sort", "a", "b"])).unwrap();
+        assert!(matches!(c, Command::Sort { overlap: Overlap::Auto, .. }));
+        let c = parse(&v(&["sort", "a", "b", "--overlap", "on"])).unwrap();
+        assert!(matches!(c, Command::Sort { overlap: Overlap::On, .. }));
+        let c = parse(&v(&["sort", "a", "b", "--overlap", "off"])).unwrap();
+        assert!(matches!(c, Command::Sort { overlap: Overlap::Off, .. }));
+        assert!(parse(&v(&["sort", "a", "b", "--overlap", "maybe"])).is_err());
+        assert!(parse(&v(&["sort", "a", "b", "--overlap"])).is_err());
+        for s in ["auto", "on", "off"] {
+            let o: Overlap = s.parse().unwrap();
+            assert_eq!(o.to_string(), s);
+        }
     }
 
     #[test]

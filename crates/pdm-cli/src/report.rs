@@ -100,6 +100,13 @@ pub fn render_report(art: &StatsArtifact, out: &mut dyn Write) -> std::io::Resul
         art.peak_mem_keys,
         cfg.mem_limit()
     )?;
+    if s.blocks_read + s.blocks_written == 0 {
+        writeln!(
+            out,
+            "no I/O: the run touched no disk blocks (empty input or a fully \
+             in-memory sort); pass and efficiency figures below are vacuous"
+        )?;
+    }
     if art.fell_back {
         writeln!(out, "note: expected-case check failed; deterministic fallback ran")?;
     }
@@ -125,6 +132,22 @@ pub fn render_report(art: &StatsArtifact, out: &mut dyn Write) -> std::io::Resul
             ov.flush_batches,
             ov.flush_hits,
             ov.flush_stalls,
+        )?;
+        // Hit rate = batches already settled when the consumer asked for
+        // them; 100% means the compute side never waited on the disks.
+        let rate = |hits: u64, total: u64| {
+            if total == 0 {
+                100.0
+            } else {
+                hits as f64 / total as f64 * 100.0
+            }
+        };
+        writeln!(
+            out,
+            "overlap efficiency: {:.0}% of prefetches and {:.0}% of flushes \
+             completed before they were needed",
+            rate(ov.prefetch_hits, ov.prefetch_batches),
+            rate(ov.flush_hits, ov.flush_batches),
         )?;
     }
 
@@ -385,6 +408,48 @@ mod tests {
         let txt = String::from_utf8(buf).unwrap();
         assert!(txt.contains("measured-only baseline"), "{txt}");
         assert!(txt.contains("7 batches past the trace cap"), "{txt}");
+    }
+
+    #[test]
+    fn render_survives_zero_io_artifact() {
+        // Regression: a run that never touched the disks (empty input, or a
+        // sort that fit in memory) must render a "no I/O" note instead of
+        // dividing by zero anywhere in the efficiency/imbalance math.
+        let mut art = sample_artifact();
+        art.n = 0;
+        art.peak_mem_keys = 0;
+        art.stats = IoStats::new(4);
+        let mut buf = Vec::new();
+        render_report(&art, &mut buf).unwrap();
+        let txt = String::from_utf8(buf).unwrap();
+        assert!(txt.contains("no I/O"), "{txt}");
+        assert!(txt.contains("no phases recorded"), "{txt}");
+        assert!(txt.contains("imbalance (max/mean): reads 0.000, writes 0.000"), "{txt}");
+        assert!(!txt.contains("NaN") && !txt.contains("inf"), "{txt}");
+    }
+
+    #[test]
+    fn render_shows_overlap_efficiency_when_batches_overlap() {
+        let mut art = sample_artifact();
+        art.stats.overlap.prefetch_batches = 8;
+        art.stats.overlap.prefetch_hits = 6;
+        art.stats.overlap.prefetch_stalls = 2;
+        art.stats.overlap.flush_batches = 4;
+        art.stats.overlap.flush_hits = 4;
+        let mut buf = Vec::new();
+        render_report(&art, &mut buf).unwrap();
+        let txt = String::from_utf8(buf).unwrap();
+        assert!(txt.contains("overlap: prefetch 8 batches (6 hits / 2 stalls)"), "{txt}");
+        assert!(
+            txt.contains("overlap efficiency: 75% of prefetches and 100% of flushes"),
+            "{txt}"
+        );
+        // ...and the line is absent entirely when nothing overlapped
+        let quiet = sample_artifact();
+        let mut buf = Vec::new();
+        render_report(&quiet, &mut buf).unwrap();
+        let txt = String::from_utf8(buf).unwrap();
+        assert!(!txt.contains("overlap"), "{txt}");
     }
 
     #[test]

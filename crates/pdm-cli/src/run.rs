@@ -1,6 +1,6 @@
 //! Orchestration: wire key files through the file-backed PDM machine.
 
-use crate::args::{Algo, Command, Dist, Geometry};
+use crate::args::{Algo, Command, Dist, Geometry, Overlap};
 use crate::keyfile;
 use pdm_model::prelude::*;
 use rand::rngs::StdRng;
@@ -67,6 +67,7 @@ fn dispatch(cmd: Command, out: &mut dyn Write) -> std::result::Result<i32, Box<d
             retry,
             backoff,
             threads,
+            overlap,
         } => {
             pdm_sort::kernels::configure_threads(threads)?;
             let job = SortJob {
@@ -82,6 +83,7 @@ fn dispatch(cmd: Command, out: &mut dyn Write) -> std::result::Result<i32, Box<d
                 inject: inject.as_deref(),
                 retry,
                 backoff,
+                overlap,
             };
             sort(job, out)?;
             Ok(0)
@@ -217,6 +219,7 @@ struct SortJob<'a> {
     inject: Option<&'a str>,
     retry: Option<u32>,
     backoff: u64,
+    overlap: Overlap,
 }
 
 /// Parse an `--inject` spec into a [`FailMode`].
@@ -350,7 +353,18 @@ fn sort(
         storage = Box::new(layer);
     }
 
+    // Overlap resolves against the *assembled* stack: wrapper layers
+    // (injection, retry) report no native overlap, so `auto` only turns it
+    // on when every layer genuinely completes I/O asynchronously. `on`
+    // still works anywhere — backends without support complete eagerly,
+    // with identical accounting and output.
+    let native_overlap = storage.supports_overlap();
     let mut pdm = Pdm::with_storage(cfg, storage)?;
+    pdm.set_overlap(match job.overlap {
+        Overlap::Auto => native_overlap,
+        Overlap::On => true,
+        Overlap::Off => false,
+    });
     if let Some(c) = &retry_counters {
         pdm.attach_retry_counters(c.clone());
     }
@@ -956,6 +970,67 @@ mod tests {
         ]);
         assert_eq!(c, 1);
         assert!(log.contains("deterministic"), "{log}");
+        for f in [&inp, &out1, &out2] {
+            std::fs::remove_file(f).ok();
+        }
+        std::fs::remove_dir_all(&scratch).ok();
+        std::fs::remove_dir_all(&ckdir).ok();
+    }
+
+    #[test]
+    fn overlap_flag_is_invisible_to_output_and_pass_counts() {
+        let inp = tmp("ov-in.keys");
+        run_args(&["gen", "4096", &inp, "--dist", "random", "--seed", "17"]);
+        // Compare the sorted bytes and the logged pass counts, not the
+        // stats JSON — this test must run in serde-less builds too.
+        let passes = |log: &str| -> Vec<String> {
+            log.lines()
+                .filter(|l| l.contains("passes"))
+                .map(|l| l.to_string())
+                .collect()
+        };
+        for algo in ["three-pass1", "three-pass2", "expected-two-pass", "seven-pass"] {
+            let mut legs = Vec::new();
+            for mode in ["off", "on", "auto"] {
+                let outp = tmp(&format!("ov-out-{algo}-{mode}.keys"));
+                let (c, log) = run_args(&[
+                    "sort", &inp, &outp, "--disks", "2", "--b", "16", "--algo", algo,
+                    "--overlap", mode,
+                ]);
+                assert_eq!(c, 0, "{algo}/{mode}: {log}");
+                legs.push((std::fs::read(&outp).unwrap(), passes(&log)));
+                std::fs::remove_file(&outp).ok();
+            }
+            assert_eq!(legs[0], legs[1], "{algo}: --overlap on changed output or passes");
+            assert_eq!(legs[0], legs[2], "{algo}: --overlap auto changed output or passes");
+        }
+        std::fs::remove_file(&inp).ok();
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_with_overlap_enabled() {
+        // Overlap composes with the robustness stack: a checkpointed run
+        // with forced overlap drains at every boundary, so its manifests
+        // stay valid and a resume replays to byte-identical output.
+        let inp = tmp("ovck-in.keys");
+        let out1 = tmp("ovck-out1.keys");
+        let out2 = tmp("ovck-out2.keys");
+        let scratch = tmp("ovck-scratch");
+        let ckdir = tmp("ovck-manifests");
+        run_args(&["gen", "4096", &inp, "--dist", "permutation", "--seed", "19"]);
+        let (c, log) = run_args(&[
+            "sort", &inp, &out1, "--disks", "2", "--b", "16", "--algo", "seven-pass",
+            "--scratch", &scratch, "--checkpoint-dir", &ckdir, "--overlap", "on",
+        ]);
+        assert_eq!(c, 0, "{log}");
+        assert!(log.contains("checkpoint:"), "{log}");
+        let (c, log) = run_args(&[
+            "sort", &inp, &out2, "--disks", "2", "--b", "16", "--algo", "seven-pass",
+            "--scratch", &scratch, "--checkpoint-dir", &ckdir, "--resume", "--overlap", "on",
+        ]);
+        assert_eq!(c, 0, "{log}");
+        assert!(log.contains("0 executed live"), "{log}");
+        assert_eq!(std::fs::read(&out1).unwrap(), std::fs::read(&out2).unwrap());
         for f in [&inp, &out1, &out2] {
             std::fs::remove_file(f).ok();
         }

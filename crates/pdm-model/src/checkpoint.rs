@@ -270,13 +270,16 @@ pub trait Checkpoint {
     /// holds the completed passes' on-disk state. Replay returns `K::MAX`
     /// filler from reads, so it is only sound for algorithms whose
     /// control flow, phase structure, and allocation order are
-    /// data-independent (and that never issue overlap I/O, which is not
-    /// replayed).
+    /// data-independent. Overlap I/O composes: replayed phases hand out
+    /// filler tokens, and live phases must drain every pending
+    /// read/write before the phase ends or the boundary defers
+    /// [`PdmError::PendingIo`] instead of persisting a stale manifest.
     fn attach_checkpoint(&mut self, store: CheckpointStore, manifest: Manifest);
 
     /// A checkpoint failure deferred from an infallible phase boundary
-    /// (manifest write error, or frontier drift detected at the
-    /// skip→live transition). Sorting is unaffected; callers decide
+    /// (manifest write error, frontier drift detected at the skip→live
+    /// transition, or overlap I/O still pending at the boundary —
+    /// [`PdmError::PendingIo`]). Sorting is unaffected; callers decide
     /// whether a failed checkpoint is fatal. Clears on read.
     fn take_checkpoint_error(&mut self) -> Option<PdmError>;
 

@@ -50,6 +50,28 @@ pub enum PdmError {
     UnsupportedInput(String),
     /// An underlying file-backed storage operation failed.
     Io(std::io::Error),
+    /// Overlapped (asynchronous) I/O was still in flight at a point that
+    /// requires a settled disk image — a checkpoint boundary, or a resume
+    /// into a phase with an unretired write. The manifest is *not* written
+    /// in this state; draining pending reads/writes before the phase ends
+    /// clears it.
+    PendingIo {
+        /// Number of overlap operations still in flight.
+        pending: usize,
+    },
+    /// A read addressed a slot that still has an unretired overlapped
+    /// write in flight. The full-duplex threaded backend services reads
+    /// and writes on independent workers, so such a read could observe the
+    /// pre-write bytes; the pipeline discipline (drain write-behind before
+    /// re-reading a region) makes this unreachable in correct code, and
+    /// the backend turns a violation into this error instead of silently
+    /// returning stale data.
+    ReadDuringFlush {
+        /// Disk the contended slot lives on.
+        disk: usize,
+        /// The slot with a write still in flight.
+        slot: usize,
+    },
     /// A block read back from storage failed its integrity check (torn
     /// write or bit flip). Never transient: the data on the medium is
     /// wrong, so retrying the read returns the same corrupt bytes.
@@ -112,6 +134,18 @@ impl fmt::Display for PdmError {
             PdmError::BadConfig(msg) => write!(f, "bad PDM configuration: {msg}"),
             PdmError::UnsupportedInput(msg) => write!(f, "unsupported input: {msg}"),
             PdmError::Io(e) => write!(f, "I/O error: {e}"),
+            PdmError::PendingIo { pending } => write!(
+                f,
+                "{pending} overlap I/O operation(s) still in flight at a \
+                 checkpoint boundary; drain pending reads/writes before the \
+                 phase ends"
+            ),
+            PdmError::ReadDuringFlush { disk, slot } => write!(
+                f,
+                "read of disk {disk} slot {slot} while a write-behind to the \
+                 same slot is still in flight; drain the writer before \
+                 re-reading the region"
+            ),
             PdmError::Corrupt { disk, slot, detail } => {
                 write!(f, "corrupt block at disk {disk} slot {slot}: {detail}")
             }
@@ -186,6 +220,9 @@ mod tests {
 
         let permanent = PdmError::Io(std::io::Error::other("device gone"));
         assert!(!permanent.is_transient());
+        let pending = PdmError::PendingIo { pending: 2 };
+        assert!(!pending.is_transient(), "pending I/O is a logic error, not transient");
+        assert!(pending.to_string().contains("2 overlap"));
         assert!(!PdmError::BadConfig("x".into()).is_transient());
         let corrupt = PdmError::Corrupt {
             disk: 0,

@@ -81,7 +81,10 @@ pub mod prelude {
     pub use crate::storage_flaky::{FailMode, FlakyStorage};
     pub use crate::storage_retry::{RetryCounters, RetryPolicy, RetryingStorage};
     pub use crate::storage_threaded::ThreadedStorage;
-    pub use crate::overlap::{FlushBehindWriter, OverlapStorage, OverlapWriteStorage, PendingRead, PendingWrite, PrefetchReader};
+    pub use crate::overlap::{
+        FlushBehindWriter, PendingRead, PendingWrite, PrefetchReader, ReadAhead, TrackedRead,
+        TrackedWrite, WriteBehind,
+    };
     pub use crate::stream::{kway_merge, RunReader, RunWriter};
 }
 

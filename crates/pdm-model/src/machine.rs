@@ -17,8 +17,10 @@ use crate::error::{PdmError, Result};
 use crate::key::PdmKey;
 use crate::layout::Region;
 use crate::mem::{MemTracker, TrackedBuf};
+use crate::overlap::{PendingGuard, TrackedRead, TrackedWrite};
 use crate::stats::IoStats;
 use crate::storage::{MemStorage, Storage};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Checkpoint wiring of a machine: the store manifests are written to,
@@ -66,6 +68,14 @@ pub struct Pdm<K: PdmKey, S: Storage<K> = MemStorage<K>> {
     last_pool: crate::pool::PoolStats,
     /// Checkpoint wiring, when attached (see [`Checkpoint`]).
     ckpt: Option<Box<CheckpointState>>,
+    /// Whether algorithm pipelines should issue overlapped I/O
+    /// (see [`Pdm::set_overlap`]). Off by default: overlap changes
+    /// wall-clock only, never the accounted pass counts.
+    overlap: bool,
+    /// Overlap tokens issued but not yet retired. Checkpoint boundaries
+    /// refuse to persist a manifest while this is non-zero — a pending
+    /// write means the disks are not settled.
+    pending_io: Arc<AtomicUsize>,
     _key: std::marker::PhantomData<K>,
 }
 
@@ -100,6 +110,8 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
             pool_gauges: false,
             last_pool: crate::pool::PoolStats::default(),
             ckpt: None,
+            overlap: false,
+            pending_io: Arc::new(AtomicUsize::new(0)),
             cfg,
             storage,
             _key: std::marker::PhantomData,
@@ -263,8 +275,18 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
         if total <= c.completed_names.len() {
             return; // end_phase without a newly closed phase
         }
-        // The manifest asserts the pass's output is settled on disk, so
-        // flush the backend before writing it.
+        // The manifest asserts the pass's output is settled on disk; an
+        // unretired overlap read/write means it is not. Refuse to persist a
+        // manifest in that state rather than record a stale frontier.
+        let pending = self.pending_io.load(Ordering::Relaxed);
+        if pending > 0 {
+            let c = self.ckpt.as_deref_mut().expect("checked above");
+            if c.deferred.is_none() {
+                c.deferred = Some(PdmError::PendingIo { pending });
+            }
+            return;
+        }
+        // Flush the backend before writing the manifest.
         let sync_res = self.storage.sync();
         let frontier = self.next_slot;
         let phases = &self.stats.phases;
@@ -559,45 +581,150 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
         Ok(v)
     }
 
+    /// Ask algorithm pipelines to drive the disks with overlapped I/O
+    /// (prefetch read-ahead and flush-behind writes) instead of blocking
+    /// batches. Purely a wall-clock lever: the step and pass accounting of
+    /// every batch is charged at issue time with the same rules, so
+    /// enabling overlap never changes the counted quantities. Defaults
+    /// off; callers typically enable it when
+    /// [`Storage::supports_overlap`] reports a genuinely asynchronous
+    /// backend.
+    pub fn set_overlap(&mut self, on: bool) {
+        self.overlap = on;
+    }
+
+    /// Whether algorithm pipelines should issue overlapped I/O.
+    pub fn overlap(&self) -> bool {
+        self.overlap
+    }
+
+    /// Overlap operations issued but not yet retired (reads and writes).
+    pub fn pending_io(&self) -> usize {
+        self.pending_io.load(Ordering::Relaxed)
+    }
+
     /// Issue a batch of block reads without waiting for the data (see
     /// [`crate::overlap`]). The parallel-step cost is charged now, with
     /// the same batch rule as [`Pdm::read_blocks`]; the returned token
-    /// yields the blocks when waited on.
+    /// yields the blocks when retired via [`Pdm::finish_read_blocks`].
+    /// During checkpoint replay the token is a filler: retiring it yields
+    /// `K::MAX` keys and no storage or stats are touched.
     pub fn start_read_blocks(
         &mut self,
         region: &Region,
         indices: &[usize],
-    ) -> Result<Box<dyn crate::overlap::PendingRead<K> + Send>>
-    where
-        S: crate::overlap::OverlapStorage<K>,
-    {
+    ) -> Result<TrackedRead<K>> {
+        let expected = indices.len() * self.cfg.block_size;
+        if self.replaying() {
+            return Ok(TrackedRead::replay(expected, PendingGuard::new(&self.pending_io)));
+        }
         self.gather_addrs(region, indices)?;
+        self.issue_read(expected)
+    }
+
+    /// [`Pdm::start_read_blocks`] over multiple regions — `sources[i]` is
+    /// `(region, logical_block)`, accounted as a single batch like
+    /// [`Pdm::read_blocks_multi`].
+    pub fn start_read_blocks_multi(
+        &mut self,
+        sources: &[(Region, usize)],
+    ) -> Result<TrackedRead<K>> {
+        let expected = sources.len() * self.cfg.block_size;
+        if self.replaying() {
+            return Ok(TrackedRead::replay(expected, PendingGuard::new(&self.pending_io)));
+        }
+        self.gather_addrs_multi(sources)?;
+        self.issue_read(expected)
+    }
+
+    fn issue_read(&mut self, expected: usize) -> Result<TrackedRead<K>> {
         let pending = self.storage.start_read_batch(&self.addr_buf)?;
         self.stats.record_read_batch(&self.disk_counts);
-        Ok(pending)
+        let id = self.stats.overlap_issue(false, self.addr_buf.len() as u64);
+        Ok(TrackedRead::live(
+            pending,
+            expected,
+            id,
+            PendingGuard::new(&self.pending_io),
+        ))
+    }
+
+    /// Retire an overlapped read, writing its blocks (request order) into
+    /// `out`, which must hold exactly the issued `blocks × B` keys.
+    /// Records the hit/stall split in [`crate::stats::OverlapCounters`]
+    /// and emits the paired `OverlapComplete` probe event.
+    pub fn finish_read_blocks(&mut self, pending: TrackedRead<K>, out: &mut [K]) -> Result<()> {
+        let live = !pending.is_replay();
+        let stalled = !pending.is_ready();
+        let id = pending.id();
+        pending.wait(out)?;
+        if live {
+            self.stats.overlap_complete(false, id, stalled);
+        }
+        Ok(())
     }
 
     /// Issue a batch of block writes without waiting for completion (see
-    /// [`crate::overlap`]). Step cost charged at issue.
+    /// [`crate::overlap`]). Step cost is charged at issue, and so is the
+    /// data hand-off: [`Storage::start_write_batch`] copies (or writes)
+    /// the payload before returning, so `data`'s buffer is immediately
+    /// reusable. Retire the token with [`Pdm::finish_write_blocks`].
     pub fn start_write_blocks(
         &mut self,
         region: &Region,
         indices: &[usize],
         data: &[K],
-    ) -> Result<Box<dyn crate::overlap::PendingWrite + Send>>
-    where
-        S: crate::overlap::OverlapWriteStorage<K>,
-    {
+    ) -> Result<TrackedWrite> {
         if data.len() != indices.len() * self.cfg.block_size {
             return Err(PdmError::BadBlockLen {
                 got: data.len(),
                 expected: indices.len() * self.cfg.block_size,
             });
         }
+        if self.replaying() {
+            return Ok(TrackedWrite::replay(PendingGuard::new(&self.pending_io)));
+        }
         self.gather_addrs(region, indices)?;
+        self.issue_write(data)
+    }
+
+    /// [`Pdm::start_write_blocks`] into multiple regions (see
+    /// [`Pdm::write_blocks_multi`]).
+    pub fn start_write_blocks_multi(
+        &mut self,
+        targets: &[(Region, usize)],
+        data: &[K],
+    ) -> Result<TrackedWrite> {
+        if data.len() != targets.len() * self.cfg.block_size {
+            return Err(PdmError::BadBlockLen {
+                got: data.len(),
+                expected: targets.len() * self.cfg.block_size,
+            });
+        }
+        if self.replaying() {
+            return Ok(TrackedWrite::replay(PendingGuard::new(&self.pending_io)));
+        }
+        self.gather_addrs_multi(targets)?;
+        self.issue_write(data)
+    }
+
+    fn issue_write(&mut self, data: &[K]) -> Result<TrackedWrite> {
         let pending = self.storage.start_write_batch(&self.addr_buf, data)?;
         self.stats.record_write_batch(&self.disk_counts);
-        Ok(pending)
+        let id = self.stats.overlap_issue(true, self.addr_buf.len() as u64);
+        Ok(TrackedWrite::live(pending, id, PendingGuard::new(&self.pending_io)))
+    }
+
+    /// Retire an overlapped write (see [`Pdm::finish_read_blocks`]).
+    pub fn finish_write_blocks(&mut self, pending: TrackedWrite) -> Result<()> {
+        let live = !pending.is_replay();
+        let stalled = !pending.is_ready();
+        let id = pending.id();
+        pending.wait()?;
+        if live {
+            self.stats.overlap_complete(true, id, stalled);
+        }
+        Ok(())
     }
 
     /// Open an I/O scheduling group (see [`IoStats::begin_group`]): until

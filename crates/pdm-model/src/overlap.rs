@@ -2,21 +2,40 @@
 //! "a sorting algorithm based on multi-way merge that overlaps I/O and
 //! computation optimally").
 //!
-//! The synchronous [`Storage`] trait makes every read blocking; real disk
-//! controllers let you *issue* a batch and keep computing until you need
-//! the data. [`OverlapStorage`] adds exactly that: `start_read_batch`
-//! dispatches the requests and returns a [`PendingRead`] token;
-//! `PendingRead::wait` blocks only for whatever hasn't completed yet.
+//! The synchronous [`Storage`] batch calls make every read blocking; real
+//! disk controllers let you *issue* a batch and keep computing until you
+//! need the data. [`Storage::start_read_batch`] /
+//! [`Storage::start_write_batch`] add exactly that: they dispatch the
+//! requests and return a [`PendingRead`] / [`PendingWrite`] token whose
+//! `wait` blocks only for whatever hasn't completed yet. Synchronous
+//! backends fall back to eager completion (correct, no latency hiding);
+//! [`crate::storage_threaded::ThreadedStorage`] services the token from
+//! its per-disk workers.
 //!
-//! [`PrefetchReader`] builds the classic double-buffered sequential
-//! scanner on top: while the consumer chews on stripe `k`, stripe `k+1`
-//! is already in flight. On [`crate::storage_threaded::ThreadedStorage`]
-//! (per-disk worker threads with emulated latency) this hides the disk
-//! time behind computation — measured by the `overlap` bench and tests.
+//! Algorithms do not touch storage tokens directly — they go through
+//! [`Pdm::start_read_blocks`](crate::machine::Pdm::start_read_blocks) and
+//! friends, which wrap the token in a [`TrackedRead`] / [`TrackedWrite`].
+//! The tracked wrappers carry the machine's in-flight counter (checkpoint
+//! boundaries refuse to persist a manifest while it is non-zero) and the
+//! probe-event id pairing each `OverlapComplete` with its `OverlapIssue`.
+//!
+//! Pipeline-facing helpers, all gated on
+//! [`Pdm::overlap`](crate::machine::Pdm::overlap):
+//!
+//! - [`ReadAhead`]: runs a precomputed schedule of read batches one batch
+//!   ahead of the consumer. Each schedule entry is exactly one blocking
+//!   batch, so the step accounting is identical with overlap on or off.
+//! - [`WriteBehind`]: issues each write batch asynchronously and retires
+//!   it when the next one is ready (or at `finish`).
+//! - [`PrefetchReader`] / [`FlushBehindWriter`]: double-buffered
+//!   sequential stream variants of the same ideas.
 //!
 //! Accounting note: parallel-step costs are charged at *issue* time with
 //! the same batch rule as blocking reads, so overlap changes wall-clock
 //! only, never the pass counts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use crate::error::{PdmError, Result};
 use crate::key::PdmKey;
@@ -24,7 +43,6 @@ use crate::layout::Region;
 use crate::machine::Pdm;
 use crate::mem::TrackedBuf;
 use crate::storage::Storage;
-use crate::storage_threaded::ThreadedStorage;
 
 /// A handle to an in-flight batch of block reads.
 pub trait PendingRead<K> {
@@ -40,18 +58,18 @@ pub trait PendingRead<K> {
     }
 }
 
-/// Storage that can issue reads without blocking on their completion.
-pub trait OverlapStorage<K: PdmKey>: Storage<K> {
-    /// Dispatch a batch of `(disk, slot)` reads; returns a completion token.
-    fn start_read_batch(&mut self, reqs: &[(usize, usize)])
-        -> Result<Box<dyn PendingRead<K> + Send>>;
-}
-
-/// Trivial implementation for any synchronous storage: the "pending" read
-/// completed eagerly. Lets pipeline code run unchanged (just without the
+/// Trivial pending read for any synchronous storage: the read completed
+/// eagerly at issue. Lets pipeline code run unchanged (just without the
 /// wall-clock benefit) on the memory and file backends.
 pub struct EagerPending<K> {
     data: Vec<K>,
+}
+
+impl<K> EagerPending<K> {
+    /// Wrap an eagerly-read payload.
+    pub fn new(data: Vec<K>) -> Self {
+        Self { data }
+    }
 }
 
 impl<K: PdmKey> PendingRead<K> for EagerPending<K> {
@@ -67,37 +85,27 @@ impl<K: PdmKey> PendingRead<K> for EagerPending<K> {
     }
 }
 
-impl<K: PdmKey> OverlapStorage<K> for crate::storage::MemStorage<K> {
-    fn start_read_batch(
-        &mut self,
-        reqs: &[(usize, usize)],
-    ) -> Result<Box<dyn PendingRead<K> + Send>> {
-        let b = self.block_size();
-        let mut data = vec![K::MAX; reqs.len() * b];
-        self.read_batch(reqs, &mut data)?;
-        Ok(Box::new(EagerPending { data }))
-    }
-}
-
-impl<K: PdmKey> OverlapStorage<K> for crate::storage_file::FileStorage<K> {
-    fn start_read_batch(
-        &mut self,
-        reqs: &[(usize, usize)],
-    ) -> Result<Box<dyn PendingRead<K> + Send>> {
-        let b = self.block_size();
-        let mut data = vec![K::MAX; reqs.len() * b];
-        self.read_batch(reqs, &mut data)?;
-        Ok(Box::new(EagerPending { data }))
-    }
-}
-
 /// Genuinely asynchronous pending read: per-request reply channels from
 /// the disk worker threads. Reply buffers are drained into `out` and
 /// returned to the storage's block pool.
 pub struct ThreadedPending<K> {
     replies: Vec<crossbeam::channel::Receiver<Result<Vec<K>>>>,
     block_size: usize,
-    pool: std::sync::Arc<crate::pool::BlockPool<K>>,
+    pool: Arc<crate::pool::BlockPool<K>>,
+}
+
+impl<K> ThreadedPending<K> {
+    pub(crate) fn new(
+        replies: Vec<crossbeam::channel::Receiver<Result<Vec<K>>>>,
+        block_size: usize,
+        pool: Arc<crate::pool::BlockPool<K>>,
+    ) -> Self {
+        Self {
+            replies,
+            block_size,
+            pool,
+        }
+    }
 }
 
 impl<K: PdmKey> PendingRead<K> for ThreadedPending<K> {
@@ -124,20 +132,6 @@ impl<K: PdmKey> PendingRead<K> for ThreadedPending<K> {
     }
 }
 
-impl<K: PdmKey> OverlapStorage<K> for ThreadedStorage<K> {
-    fn start_read_batch(
-        &mut self,
-        reqs: &[(usize, usize)],
-    ) -> Result<Box<dyn PendingRead<K> + Send>> {
-        let replies = self.dispatch_reads(reqs)?;
-        Ok(Box::new(ThreadedPending {
-            replies,
-            block_size: self.block_size(),
-            pool: self.pool_handle(),
-        }))
-    }
-}
-
 /// A handle to an in-flight batch of block writes.
 pub trait PendingWrite {
     /// Block until every write completes.
@@ -150,17 +144,6 @@ pub trait PendingWrite {
     }
 }
 
-/// Write-side extension of [`OverlapStorage`].
-pub trait OverlapWriteStorage<K: PdmKey>: OverlapStorage<K> {
-    /// Dispatch a batch of `(disk, slot)` writes taking `requests × B` keys
-    /// of `data`; returns a completion token.
-    fn start_write_batch(
-        &mut self,
-        reqs: &[(usize, usize)],
-        data: &[K],
-    ) -> Result<Box<dyn PendingWrite + Send>>;
-}
-
 /// Eagerly-completed write (synchronous backends).
 pub struct EagerWriteDone;
 
@@ -170,31 +153,15 @@ impl PendingWrite for EagerWriteDone {
     }
 }
 
-impl<K: PdmKey> OverlapWriteStorage<K> for crate::storage::MemStorage<K> {
-    fn start_write_batch(
-        &mut self,
-        reqs: &[(usize, usize)],
-        data: &[K],
-    ) -> Result<Box<dyn PendingWrite + Send>> {
-        self.write_batch(reqs, data)?;
-        Ok(Box::new(EagerWriteDone))
-    }
-}
-
-impl<K: PdmKey> OverlapWriteStorage<K> for crate::storage_file::FileStorage<K> {
-    fn start_write_batch(
-        &mut self,
-        reqs: &[(usize, usize)],
-        data: &[K],
-    ) -> Result<Box<dyn PendingWrite + Send>> {
-        self.write_batch(reqs, data)?;
-        Ok(Box::new(EagerWriteDone))
-    }
-}
-
 /// Asynchronous write completion from the per-disk workers.
 pub struct ThreadedWritePending {
     replies: Vec<crossbeam::channel::Receiver<Result<()>>>,
+}
+
+impl ThreadedWritePending {
+    pub(crate) fn new(replies: Vec<crossbeam::channel::Receiver<Result<()>>>) -> Self {
+        Self { replies }
+    }
 }
 
 impl PendingWrite for ThreadedWritePending {
@@ -211,34 +178,370 @@ impl PendingWrite for ThreadedWritePending {
     }
 }
 
-impl<K: PdmKey> OverlapWriteStorage<K> for ThreadedStorage<K> {
-    fn start_write_batch(
+/// RAII increment of the machine's in-flight operation counter. Created
+/// at issue, released when the owning token is waited on *or* abandoned —
+/// either way the count returns to zero, so a leak-free error path never
+/// wedges the checkpoint guard. (An abandoned token may still have
+/// physical I/O in flight on the threaded backend; abandonment only
+/// happens on error propagation, where no manifest is written anyway.)
+pub(crate) struct PendingGuard {
+    ctr: Arc<AtomicUsize>,
+}
+
+impl PendingGuard {
+    pub(crate) fn new(ctr: &Arc<AtomicUsize>) -> Self {
+        ctr.fetch_add(1, Ordering::Relaxed);
+        Self {
+            ctr: Arc::clone(ctr),
+        }
+    }
+}
+
+impl Drop for PendingGuard {
+    fn drop(&mut self) {
+        self.ctr.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// An in-flight read issued through
+/// [`Pdm::start_read_blocks`](crate::machine::Pdm::start_read_blocks);
+/// retire it with
+/// [`Pdm::finish_read_blocks`](crate::machine::Pdm::finish_read_blocks).
+///
+/// During checkpoint replay the token carries no storage operation at
+/// all: retiring it yields `K::MAX` filler, mirroring the blocking replay
+/// path.
+pub struct TrackedRead<K> {
+    inner: Option<Box<dyn PendingRead<K> + Send>>,
+    expected: usize,
+    id: u64,
+    _guard: PendingGuard,
+}
+
+impl<K: PdmKey> TrackedRead<K> {
+    pub(crate) fn live(
+        inner: Box<dyn PendingRead<K> + Send>,
+        expected: usize,
+        id: u64,
+        guard: PendingGuard,
+    ) -> Self {
+        Self {
+            inner: Some(inner),
+            expected,
+            id,
+            _guard: guard,
+        }
+    }
+
+    pub(crate) fn replay(expected: usize, guard: PendingGuard) -> Self {
+        Self {
+            inner: None,
+            expected,
+            id: 0,
+            _guard: guard,
+        }
+    }
+
+    pub(crate) fn is_replay(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    pub(crate) fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether waiting would not block (replay fillers are always ready).
+    pub fn is_ready(&self) -> bool {
+        self.inner.as_ref().is_none_or(|p| p.is_ready())
+    }
+
+    /// Keys this read will deliver.
+    pub fn expected_keys(&self) -> usize {
+        self.expected
+    }
+
+    pub(crate) fn wait(self, out: &mut [K]) -> Result<()> {
+        if out.len() != self.expected {
+            return Err(PdmError::BadBlockLen {
+                got: out.len(),
+                expected: self.expected,
+            });
+        }
+        match self.inner {
+            Some(p) => p.wait(out),
+            None => {
+                out.fill(K::MAX);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// An in-flight write issued through
+/// [`Pdm::start_write_blocks`](crate::machine::Pdm::start_write_blocks);
+/// retire it with
+/// [`Pdm::finish_write_blocks`](crate::machine::Pdm::finish_write_blocks).
+/// The payload was copied (or written) at issue, so only completion is
+/// outstanding.
+pub struct TrackedWrite {
+    inner: Option<Box<dyn PendingWrite + Send>>,
+    id: u64,
+    _guard: PendingGuard,
+}
+
+impl TrackedWrite {
+    pub(crate) fn live(inner: Box<dyn PendingWrite + Send>, id: u64, guard: PendingGuard) -> Self {
+        Self {
+            inner: Some(inner),
+            id,
+            _guard: guard,
+        }
+    }
+
+    pub(crate) fn replay(guard: PendingGuard) -> Self {
+        Self {
+            inner: None,
+            id: 0,
+            _guard: guard,
+        }
+    }
+
+    pub(crate) fn is_replay(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    pub(crate) fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether waiting would not block.
+    pub fn is_ready(&self) -> bool {
+        self.inner.as_ref().is_none_or(|p| p.is_ready())
+    }
+
+    pub(crate) fn wait(self) -> Result<()> {
+        match self.inner {
+            Some(p) => p.wait(),
+            None => Ok(()),
+        }
+    }
+}
+
+/// How many batches the pipeline helpers keep in flight. Depth 1 (classic
+/// double buffering) only overlaps a batch with the compute *beside* it;
+/// a deeper window also lets batches that touch disjoint disk subsets
+/// service concurrently — crucial for the fine-grained sub-batch writes in
+/// `seven_pass`, where consecutive batches rarely stripe the full array —
+/// and keeps both directions of a duplex disk busy at once. Completion is
+/// still awaited in FIFO issue order, and writes to the same slot stay
+/// ordered (each disk's write stream is one FIFO queue), so deepening
+/// changes wall-clock only.
+pub(crate) const OVERLAP_DEPTH: usize = 4;
+
+/// Batch-schedule read-ahead: runs a precomputed list of read batches a
+/// small window ahead of the consumer. Each schedule entry is issued as
+/// exactly one machine batch (same shape a blocking pipeline would use),
+/// so pass and step accounting are byte-identical with overlap on or off —
+/// the only difference is *when* the data movement happens relative to
+/// compute.
+///
+/// With overlap disabled ([`Pdm::overlap`](crate::machine::Pdm::overlap)
+/// is false) every `next_into` degenerates to a blocking
+/// `read_blocks_multi`, so pipelines wire this in unconditionally.
+///
+/// Memory note: `next_into` resizes the *caller's* buffer and waits the
+/// pending read directly into its tail — the helper itself stages
+/// nothing, so a pipeline's tracked peak is unchanged by enabling
+/// overlap. In-flight data lives in backend-owned (untracked) buffers.
+pub struct ReadAhead<K: PdmKey> {
+    steps: Vec<Vec<(Region, usize)>>,
+    next: usize,
+    inflight: std::collections::VecDeque<(TrackedRead<K>, usize)>,
+    depth: usize,
+    enabled: bool,
+}
+
+impl<K: PdmKey> ReadAhead<K> {
+    /// Schedule `steps`, issuing the leading window immediately when the
+    /// machine has overlap enabled. Every step must be non-empty, so that
+    /// each `next_into` call maps to exactly one schedule entry in both
+    /// the overlapped and the blocking mode.
+    pub fn new<S: Storage<K>>(
+        pdm: &mut Pdm<K, S>,
+        steps: Vec<Vec<(Region, usize)>>,
+    ) -> Result<Self> {
+        debug_assert!(steps.iter().all(|s| !s.is_empty()), "empty read-ahead step");
+        let mut ra = Self {
+            steps,
+            next: 0,
+            inflight: std::collections::VecDeque::new(),
+            depth: OVERLAP_DEPTH,
+            enabled: pdm.overlap(),
+        };
+        if ra.enabled {
+            ra.top_up(pdm)?;
+        }
+        Ok(ra)
+    }
+
+    fn top_up<S: Storage<K>>(&mut self, pdm: &mut Pdm<K, S>) -> Result<()> {
+        while self.inflight.len() < self.depth && self.next < self.steps.len() {
+            let keys = self.steps[self.next].len() * pdm.cfg().block_size;
+            let pending = pdm.start_read_blocks_multi(&self.steps[self.next])?;
+            self.inflight.push_back((pending, keys));
+            self.next += 1;
+        }
+        Ok(())
+    }
+
+    /// Batches in the schedule.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Append the next batch's keys to `out` and keep the read-ahead
+    /// window full. Returns false when the schedule is exhausted (every
+    /// issued batch has then been retired — nothing is left pending).
+    pub fn next_into<S: Storage<K>>(
         &mut self,
-        reqs: &[(usize, usize)],
+        pdm: &mut Pdm<K, S>,
+        out: &mut Vec<K>,
+    ) -> Result<bool> {
+        if !self.enabled {
+            if self.next >= self.steps.len() {
+                return Ok(false);
+            }
+            pdm.read_blocks_multi(&self.steps[self.next], out)?;
+            self.next += 1;
+            return Ok(true);
+        }
+        let Some((pending, keys)) = self.inflight.pop_front() else {
+            return Ok(false);
+        };
+        let base = out.len();
+        out.resize(base + keys, K::MAX);
+        pdm.finish_read_blocks(pending, &mut out[base..])?;
+        self.top_up(pdm)?;
+        Ok(true)
+    }
+}
+
+/// Write-behind for batch-shaped writers: each `write` issues
+/// asynchronously, retiring the oldest in-flight batch only once the
+/// window ([`OVERLAP_DEPTH`]) is full; `finish` drains the rest. The
+/// payload is copied at issue ([`Storage::start_write_batch`]'s contract),
+/// so the caller's buffer is immediately reusable and the helper holds no
+/// data. Batches retire in FIFO issue order, and each disk worker services
+/// its queue in order, so two windowed writes to the same block still land
+/// in program order.
+///
+/// With overlap disabled every call degenerates to the blocking
+/// `write_blocks` / `write_blocks_multi`.
+pub struct WriteBehind {
+    inflight: std::collections::VecDeque<TrackedWrite>,
+    depth: usize,
+    enabled: bool,
+}
+
+impl WriteBehind {
+    /// A writer gated on the machine's overlap switch.
+    pub fn new<K: PdmKey, S: Storage<K>>(pdm: &Pdm<K, S>) -> Self {
+        Self {
+            inflight: std::collections::VecDeque::new(),
+            depth: OVERLAP_DEPTH,
+            enabled: pdm.overlap(),
+        }
+    }
+
+    fn retire_oldest<K: PdmKey, S: Storage<K>>(&mut self, pdm: &mut Pdm<K, S>) -> Result<()> {
+        if let Some(p) = self.inflight.pop_front() {
+            pdm.finish_write_blocks(p)?;
+        }
+        Ok(())
+    }
+
+    fn make_room<K: PdmKey, S: Storage<K>>(&mut self, pdm: &mut Pdm<K, S>) -> Result<()> {
+        while self.inflight.len() >= self.depth {
+            self.retire_oldest(pdm)?;
+        }
+        Ok(())
+    }
+
+    /// Write one batch into `region` (see
+    /// [`Pdm::write_blocks`](crate::machine::Pdm::write_blocks)).
+    pub fn write<K: PdmKey, S: Storage<K>>(
+        &mut self,
+        pdm: &mut Pdm<K, S>,
+        region: &Region,
+        indices: &[usize],
         data: &[K],
-    ) -> Result<Box<dyn PendingWrite + Send>> {
-        let replies = self.dispatch_writes(reqs, data)?;
-        Ok(Box::new(ThreadedWritePending { replies }))
+    ) -> Result<()> {
+        if !self.enabled {
+            return pdm.write_blocks(region, indices, data);
+        }
+        self.make_room(pdm)?;
+        let pending = pdm.start_write_blocks(region, indices, data)?;
+        self.inflight.push_back(pending);
+        Ok(())
+    }
+
+    /// Write one batch across multiple regions (see
+    /// [`Pdm::write_blocks_multi`](crate::machine::Pdm::write_blocks_multi)).
+    pub fn write_multi<K: PdmKey, S: Storage<K>>(
+        &mut self,
+        pdm: &mut Pdm<K, S>,
+        targets: &[(Region, usize)],
+        data: &[K],
+    ) -> Result<()> {
+        if !self.enabled {
+            return pdm.write_blocks_multi(targets, data);
+        }
+        self.make_room(pdm)?;
+        let pending = pdm.start_write_blocks_multi(targets, data)?;
+        self.inflight.push_back(pending);
+        Ok(())
+    }
+
+    /// Retire every in-flight batch without consuming the writer — for
+    /// writers that live across a phase boundary and keep emitting after
+    /// it. Must be called before the phase ends so the checkpoint boundary
+    /// sees a settled disk image.
+    pub fn drain<K: PdmKey, S: Storage<K>>(&mut self, pdm: &mut Pdm<K, S>) -> Result<()> {
+        while !self.inflight.is_empty() {
+            self.retire_oldest(pdm)?;
+        }
+        Ok(())
+    }
+
+    /// Retire every remaining in-flight batch. Must be called before the
+    /// phase ends so the checkpoint boundary sees a settled disk image.
+    pub fn finish<K: PdmKey, S: Storage<K>>(mut self, pdm: &mut Pdm<K, S>) -> Result<()> {
+        self.drain(pdm)
     }
 }
 
 /// Write-behind sequential writer: flushes each full batch asynchronously
 /// and only waits for it when the *next* batch is ready (or at `finish`),
-/// so block serialization overlaps the producer's computation.
+/// so block serialization overlaps the producer's computation. One
+/// tracked buffer — the payload is copied at issue, so no second staging
+/// buffer is needed.
 pub struct FlushBehindWriter<K: PdmKey> {
     region: Region,
     next_block: usize,
     batch_keys: usize,
     filling: TrackedBuf<K>,
-    inflight_data: TrackedBuf<K>,
-    inflight: Option<Box<dyn PendingWrite + Send>>,
+    inflight: Option<TrackedWrite>,
     written: usize,
 }
 
 impl<K: PdmKey> FlushBehindWriter<K> {
-    /// Writer over `region` with `batch_blocks`-block flush units (two
-    /// tracked buffers: one filling, one in flight).
-    pub fn new<S: OverlapWriteStorage<K>>(
+    /// Writer over `region` with `batch_blocks`-block flush units.
+    pub fn new<S: Storage<K>>(
         pdm: &mut Pdm<K, S>,
         region: Region,
         batch_blocks: usize,
@@ -250,44 +553,31 @@ impl<K: PdmKey> FlushBehindWriter<K> {
             next_block: 0,
             batch_keys,
             filling: pdm.alloc_buf(batch_keys)?,
-            inflight_data: pdm.alloc_buf(batch_keys)?,
             inflight: None,
             written: 0,
         })
     }
 
-    fn flush_filling<S: OverlapWriteStorage<K>>(&mut self, pdm: &mut Pdm<K, S>) -> Result<()> {
+    fn flush_filling<S: Storage<K>>(&mut self, pdm: &mut Pdm<K, S>) -> Result<()> {
         if self.filling.is_empty() {
             return Ok(());
         }
         debug_assert_eq!(self.filling.len() % self.region.block_size(), 0);
-        // retire the previous in-flight batch before reusing its buffer
+        // retire the previous in-flight batch before issuing the next
         if let Some(p) = self.inflight.take() {
-            let ov = &mut pdm.stats_mut().overlap;
-            if p.is_ready() {
-                ov.flush_hits += 1;
-            } else {
-                ov.flush_stalls += 1;
-            }
-            p.wait()?;
+            pdm.finish_write_blocks(p)?;
         }
-        std::mem::swap(&mut self.filling, &mut self.inflight_data);
-        self.filling.clear();
-        let nblocks = self.inflight_data.len() / self.region.block_size();
+        let nblocks = self.filling.len() / self.region.block_size();
         let idx: Vec<usize> = (self.next_block..self.next_block + nblocks).collect();
-        let pending = pdm.start_write_blocks(&self.region, &idx, &self.inflight_data)?;
-        pdm.stats_mut().overlap.flush_batches += 1;
+        let pending = pdm.start_write_blocks(&self.region, &idx, &self.filling)?;
+        self.filling.clear();
         self.next_block += nblocks;
         self.inflight = Some(pending);
         Ok(())
     }
 
     /// Append keys, flushing asynchronously as batches fill.
-    pub fn push_slice<S: OverlapWriteStorage<K>>(
-        &mut self,
-        pdm: &mut Pdm<K, S>,
-        ks: &[K],
-    ) -> Result<()> {
+    pub fn push_slice<S: Storage<K>>(&mut self, pdm: &mut Pdm<K, S>, ks: &[K]) -> Result<()> {
         for &k in ks {
             self.filling.push(k);
             self.written += 1;
@@ -300,7 +590,7 @@ impl<K: PdmKey> FlushBehindWriter<K> {
 
     /// Pad the final block with `K::MAX`, flush everything, wait for
     /// completion, and return the key count written (padding excluded).
-    pub fn finish<S: OverlapWriteStorage<K>>(mut self, pdm: &mut Pdm<K, S>) -> Result<usize> {
+    pub fn finish<S: Storage<K>>(mut self, pdm: &mut Pdm<K, S>) -> Result<usize> {
         let b = self.region.block_size();
         let rem = self.filling.len() % b;
         if rem != 0 {
@@ -310,13 +600,7 @@ impl<K: PdmKey> FlushBehindWriter<K> {
         }
         self.flush_filling(pdm)?;
         if let Some(p) = self.inflight.take() {
-            let ov = &mut pdm.stats_mut().overlap;
-            if p.is_ready() {
-                ov.flush_hits += 1;
-            } else {
-                ov.flush_stalls += 1;
-            }
-            p.wait()?;
+            pdm.finish_write_blocks(p)?;
         }
         Ok(self.written)
     }
@@ -332,7 +616,7 @@ pub struct PrefetchReader<K: PdmKey> {
     yielded: usize,
     current: TrackedBuf<K>,
     pos: usize,
-    inflight: Option<(Box<dyn PendingRead<K> + Send>, usize)>,
+    inflight: Option<(TrackedRead<K>, usize)>,
     inflight_buf: TrackedBuf<K>,
 }
 
@@ -340,7 +624,7 @@ impl<K: PdmKey> PrefetchReader<K> {
     /// Reader over the first `total_keys` keys of `region`, prefetching
     /// `batch_blocks` blocks ahead. Charges `2 × batch_blocks × B` keys of
     /// internal memory (two buffers — that is the price of overlap).
-    pub fn new<S: OverlapStorage<K>>(
+    pub fn new<S: Storage<K>>(
         pdm: &mut Pdm<K, S>,
         region: Region,
         total_keys: usize,
@@ -363,7 +647,7 @@ impl<K: PdmKey> PrefetchReader<K> {
         Ok(rd)
     }
 
-    fn issue_next<S: OverlapStorage<K>>(&mut self, pdm: &mut Pdm<K, S>) -> Result<()> {
+    fn issue_next<S: Storage<K>>(&mut self, pdm: &mut Pdm<K, S>) -> Result<()> {
         debug_assert!(self.inflight.is_none());
         let blocks_left = self.region.len_blocks().saturating_sub(self.next_block);
         let take = self.batch_blocks.min(blocks_left);
@@ -372,7 +656,6 @@ impl<K: PdmKey> PrefetchReader<K> {
         }
         let idx: Vec<usize> = (self.next_block..self.next_block + take).collect();
         let pending = pdm.start_read_blocks(&self.region, &idx)?;
-        pdm.stats_mut().overlap.prefetch_batches += 1;
         self.next_block += take;
         self.inflight = Some((pending, take));
         Ok(())
@@ -380,22 +663,16 @@ impl<K: PdmKey> PrefetchReader<K> {
 
     /// Rotate: wait for the in-flight batch, make it current, and issue the
     /// next one. Returns false when the stream is exhausted.
-    fn rotate<S: OverlapStorage<K>>(&mut self, pdm: &mut Pdm<K, S>) -> Result<bool> {
+    fn rotate<S: Storage<K>>(&mut self, pdm: &mut Pdm<K, S>) -> Result<bool> {
         let Some((pending, blocks)) = self.inflight.take() else {
             return Ok(false);
         };
-        let ov = &mut pdm.stats_mut().overlap;
-        if pending.is_ready() {
-            ov.prefetch_hits += 1;
-        } else {
-            ov.prefetch_stalls += 1;
-        }
         let b = self.region.block_size();
         {
             let buf = self.inflight_buf.as_vec_mut();
             buf.clear();
             buf.resize(blocks * b, K::MAX);
-            pending.wait(buf)?;
+            pdm.finish_read_blocks(pending, &mut buf[..])?;
         }
         std::mem::swap(&mut self.current, &mut self.inflight_buf);
         self.pos = 0;
@@ -409,7 +686,7 @@ impl<K: PdmKey> PrefetchReader<K> {
     }
 
     /// Pull up to `n` keys into `out`; returns how many were delivered.
-    pub fn take_into<S: OverlapStorage<K>>(
+    pub fn take_into<S: Storage<K>>(
         &mut self,
         pdm: &mut Pdm<K, S>,
         n: usize,
@@ -441,6 +718,7 @@ impl<K: PdmKey> PrefetchReader<K> {
 mod tests {
     use super::*;
     use crate::config::PdmConfig;
+    use crate::storage_threaded::ThreadedStorage;
     use std::time::{Duration, Instant};
 
     #[test]
@@ -674,5 +952,88 @@ mod tests {
         let ov = pdm.stats().overlap;
         assert_eq!(ov.prefetch_batches, 4);
         assert_eq!(ov.prefetch_hits + ov.prefetch_stalls, 4);
+    }
+
+    #[test]
+    fn read_ahead_matches_blocking_path_exactly() {
+        let n = 512usize;
+        let data: Vec<u64> = (0..n as u64).map(|i| i * 7 % 509).collect();
+        let run = |overlap: bool| {
+            let mut pdm: Pdm<u64> = Pdm::new(PdmConfig::new(4, 8, 256)).unwrap();
+            pdm.set_overlap(overlap);
+            let r = pdm.alloc_region_for_keys(n).unwrap();
+            pdm.ingest(&r, &data).unwrap();
+            let steps: Vec<Vec<(Region, usize)>> = (0..r.len_blocks())
+                .step_by(4)
+                .map(|s| (s..(s + 4).min(r.len_blocks())).map(|i| (r, i)).collect())
+                .collect();
+            let mut ra = ReadAhead::new(&mut pdm, steps).unwrap();
+            let mut out = Vec::new();
+            while ra.next_into(&mut pdm, &mut out).unwrap() {}
+            assert_eq!(pdm.pending_io(), 0, "schedule exhausted → nothing pending");
+            (out, pdm)
+        };
+        let (on, pdm_on) = run(true);
+        let (off, pdm_off) = run(false);
+        assert_eq!(on, data);
+        assert_eq!(on, off);
+        // identical accounting with overlap on or off
+        assert_eq!(pdm_on.stats().blocks_read, pdm_off.stats().blocks_read);
+        assert_eq!(pdm_on.stats().read_steps, pdm_off.stats().read_steps);
+        // the overlap leg actually went through the async machinery
+        let ov = pdm_on.stats().overlap;
+        assert_eq!(ov.prefetch_batches, 16);
+        assert_eq!(ov.prefetch_hits + ov.prefetch_stalls, 16);
+        assert_eq!(pdm_off.stats().overlap.prefetch_batches, 0);
+    }
+
+    #[test]
+    fn write_behind_matches_blocking_path_exactly() {
+        let n = 256usize;
+        let data: Vec<u64> = (0..n as u64).map(|i| i * 11 % 251).collect();
+        let run = |overlap: bool| {
+            let mut pdm: Pdm<u64> = Pdm::new(PdmConfig::new(4, 8, 256)).unwrap();
+            pdm.set_overlap(overlap);
+            let r = pdm.alloc_region_for_keys(n).unwrap();
+            let mut wb = WriteBehind::new(&pdm);
+            for (step, chunk) in data.chunks(4 * 8).enumerate() {
+                let idx: Vec<usize> = (step * 4..step * 4 + 4).collect();
+                wb.write(&mut pdm, &r, &idx, chunk).unwrap();
+            }
+            wb.finish(&mut pdm).unwrap();
+            assert_eq!(pdm.pending_io(), 0, "finish drains the last batch");
+            (pdm.inspect(&r).unwrap(), pdm)
+        };
+        let (on, pdm_on) = run(true);
+        let (off, pdm_off) = run(false);
+        assert_eq!(on, off);
+        assert_eq!(pdm_on.stats().blocks_written, pdm_off.stats().blocks_written);
+        assert_eq!(pdm_on.stats().write_steps, pdm_off.stats().write_steps);
+        let ov = pdm_on.stats().overlap;
+        assert_eq!(ov.flush_batches, 8);
+        assert_eq!(ov.flush_hits + ov.flush_stalls, 8);
+        assert_eq!(pdm_off.stats().overlap.flush_batches, 0);
+    }
+
+    #[test]
+    fn pending_io_counter_tracks_tokens() {
+        let mut pdm: Pdm<u64> = Pdm::new(PdmConfig::new(2, 4, 64)).unwrap();
+        let n = 8usize;
+        let data: Vec<u64> = (0..n as u64).collect();
+        let r = pdm.alloc_region_for_keys(n).unwrap();
+        pdm.ingest(&r, &data).unwrap();
+
+        let tok = pdm.start_read_blocks(&r, &[0, 1]).unwrap();
+        assert_eq!(pdm.pending_io(), 1);
+        let mut out = vec![0u64; 8];
+        pdm.finish_read_blocks(tok, &mut out).unwrap();
+        assert_eq!(pdm.pending_io(), 0);
+        assert_eq!(out, data);
+
+        // abandoned tokens (error-path teardown) also release their slot
+        let tok = pdm.start_write_blocks(&r, &[0], &[9u64; 4]).unwrap();
+        assert_eq!(pdm.pending_io(), 1);
+        drop(tok);
+        assert_eq!(pdm.pending_io(), 0);
     }
 }

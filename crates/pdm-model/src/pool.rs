@@ -50,21 +50,37 @@ pub struct BlockPool<K> {
     /// via [`BlockPool::reserve_retained`] as callers observe how many
     /// buffers a dispatch actually keeps in flight.
     max_retained: AtomicUsize,
+    /// The one buffer capacity this pool recycles; 0 until the first `get`
+    /// pins it (or [`BlockPool::for_blocks`] sets it up front). A `put` of a
+    /// buffer with any other capacity drops it instead of retaining it, so
+    /// two machines with different block sizes sharing a process can never
+    /// hand each other mis-sized blocks or over-retain memory.
+    expected: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
     returns: AtomicU64,
 }
 
 impl<K> BlockPool<K> {
-    /// Pool retaining at most `max_retained` idle buffers.
+    /// Pool retaining at most `max_retained` idle buffers. The recycled
+    /// capacity is pinned by the first `get`.
     pub fn new(max_retained: usize) -> Self {
         Self {
             free: Mutex::new(Vec::new()),
             max_retained: AtomicUsize::new(max_retained),
+            expected: AtomicUsize::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             returns: AtomicU64::new(0),
         }
+    }
+
+    /// Pool retaining at most `max_retained` idle buffers, all of exactly
+    /// `block_capacity` keys. Mis-sized buffers are dropped on `put`.
+    pub fn for_blocks(max_retained: usize, block_capacity: usize) -> Self {
+        let pool = Self::new(max_retained);
+        pool.expected.store(block_capacity, Ordering::Relaxed);
+        pool
     }
 
     /// Grow the retention cap to at least `n` buffers (never shrinks).
@@ -80,13 +96,17 @@ impl<K> BlockPool<K> {
     /// Take an empty buffer with at least `capacity` reserved. Served from
     /// the free list when possible; the returned buffer always has len 0.
     pub fn get(&self, capacity: usize) -> Vec<K> {
+        // First caller pins the recycled capacity for the pool's lifetime.
+        let _ = self
+            .expected
+            .compare_exchange(0, capacity, Ordering::Relaxed, Ordering::Relaxed);
         let recycled = self.free.lock().expect("pool lock").pop();
         match recycled {
             Some(mut v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 v.clear();
                 if v.capacity() < capacity {
-                    v.reserve(capacity - v.len());
+                    v.reserve_exact(capacity - v.len());
                 }
                 v
             }
@@ -98,10 +118,15 @@ impl<K> BlockPool<K> {
     }
 
     /// Return a buffer to the free list (cleared), or drop it if the list
-    /// is already at `max_retained`.
+    /// is already at `max_retained` or the buffer's capacity doesn't match
+    /// the pool's pinned block capacity (a foreign-geometry buffer).
     pub fn put(&self, mut v: Vec<K>) {
         self.returns.fetch_add(1, Ordering::Relaxed);
         v.clear();
+        let exp = self.expected.load(Ordering::Relaxed);
+        if exp != 0 && v.capacity() != exp {
+            return;
+        }
         let mut free = self.free.lock().expect("pool lock");
         if free.len() < self.max_retained.load(Ordering::Relaxed) {
             free.push(v);
@@ -159,6 +184,39 @@ mod tests {
             pool.put(b);
         }
         assert_eq!(pool.stats().free, 3, "cap grew to 3 and stayed there");
+    }
+
+    #[test]
+    fn foreign_geometry_buffers_are_dropped_on_put() {
+        // A pool pinned to 64-key blocks must not retain a buffer from a
+        // machine with a different B: recycling it would hand an oversized
+        // (or undersized) block to the next get and over-retain memory.
+        let pool = BlockPool::<u64>::for_blocks(8, 64);
+        let native = pool.get(64);
+        assert_eq!(native.capacity(), 64);
+        pool.put(native);
+        assert_eq!(pool.stats().free, 1);
+
+        let foreign = Vec::with_capacity(128);
+        pool.put(foreign);
+        let st = pool.stats();
+        assert_eq!(st.free, 1, "mis-sized buffer must be dropped, not retained");
+        assert_eq!(st.returns, 2, "drops still count as returns");
+
+        // And the surviving buffer keeps its exact pinned capacity.
+        assert_eq!(pool.get(64).capacity(), 64);
+    }
+
+    #[test]
+    fn legacy_pool_pins_capacity_on_first_get() {
+        let pool = BlockPool::<u64>::new(4);
+        let a = pool.get(16);
+        assert_eq!(a.capacity(), 16);
+        pool.put(a);
+        assert_eq!(pool.stats().free, 1);
+        // A later, differently-sized buffer is rejected.
+        pool.put(Vec::with_capacity(32));
+        assert_eq!(pool.stats().free, 1);
     }
 
     #[test]

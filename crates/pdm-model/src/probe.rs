@@ -92,6 +92,34 @@ pub enum ProbeEvent {
         /// Deferred write steps charged.
         write_steps: u64,
     },
+    /// An overlapped (asynchronous) I/O batch was issued. The matching
+    /// accounting lives in the `Io` event recorded at the same step —
+    /// overlap charges step costs at issue time — so this pair only adds
+    /// the *identity* needed to measure latency hiding: a completion with
+    /// the same `id` follows when the batch is retired.
+    OverlapIssue {
+        /// Step clock at issue (after the batch's charge).
+        step: u64,
+        /// Write batch (vs read).
+        write: bool,
+        /// Blocks in flight.
+        blocks: u64,
+        /// Token id pairing this issue with its completion.
+        id: u64,
+    },
+    /// An overlapped batch retired. `stalled` records whether the consumer
+    /// had to wait (the data was not yet resident) — the per-event form of
+    /// the [`crate::stats::OverlapCounters`] hit/stall split.
+    OverlapComplete {
+        /// Step clock at retirement (overlap completion charges no steps).
+        step: u64,
+        /// Write batch (vs read).
+        write: bool,
+        /// Token id pairing this completion with its issue.
+        id: u64,
+        /// Whether retiring the batch had to block.
+        stalled: bool,
+    },
     /// A named scalar gauge from a higher layer (e.g. `cleaner.margin`).
     Gauge {
         /// Step clock when sampled.
@@ -224,6 +252,26 @@ impl Probe {
         if reopen {
             self.on_group_begin();
         }
+    }
+
+    pub(crate) fn on_overlap_issue(&mut self, write: bool, blocks: u64, id: u64) {
+        let ev = ProbeEvent::OverlapIssue {
+            step: self.step,
+            write,
+            blocks,
+            id,
+        };
+        self.push(ev);
+    }
+
+    pub(crate) fn on_overlap_complete(&mut self, write: bool, id: u64, stalled: bool) {
+        let ev = ProbeEvent::OverlapComplete {
+            step: self.step,
+            write,
+            id,
+            stalled,
+        };
+        self.push(ev);
     }
 
     pub(crate) fn on_gauge(&mut self, name: &str, value: i64) {
@@ -361,7 +409,13 @@ pub fn replay(events: &[ProbeEvent], num_disks: usize) -> ReplayedStats {
                     p.write_steps += write_steps;
                 }
             }
-            ProbeEvent::GroupBegin { .. } | ProbeEvent::Gauge { .. } => {}
+            // Overlap issue/completion pairs are pure identity events: the
+            // step charge of an overlapped batch is carried by its `Io`
+            // event, so replay ignores them like gauges.
+            ProbeEvent::GroupBegin { .. }
+            | ProbeEvent::Gauge { .. }
+            | ProbeEvent::OverlapIssue { .. }
+            | ProbeEvent::OverlapComplete { .. } => {}
         }
     }
     if let Some((_, p)) = open.take() {

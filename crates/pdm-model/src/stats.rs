@@ -40,11 +40,15 @@ pub struct IoStats {
     pub trace_dropped: u64,
     #[serde(default)]
     trace_cap: usize,
-    /// Overlap-layer counters (prefetch / flush-behind), updated by
-    /// [`crate::overlap::PrefetchReader`] and
-    /// [`crate::overlap::FlushBehindWriter`].
+    /// Overlap-layer counters (prefetch / flush-behind), updated centrally
+    /// by the machine's overlap issue/retire paths
+    /// ([`crate::machine::Pdm::start_read_blocks`] and friends).
     #[serde(default)]
     pub overlap: OverlapCounters,
+    /// Next overlap token id (pairs `OverlapIssue`/`OverlapComplete` probe
+    /// events). Not serialized: artifacts carry the counters, not the ids.
+    #[serde(skip)]
+    next_overlap_id: u64,
     /// Retry-layer counters, refreshed from an attached
     /// [`crate::storage_retry::RetryCounters`] at phase boundaries and
     /// sync points. Simulated backoff steps are kept here, *outside*
@@ -176,8 +180,44 @@ impl IoStats {
             trace_dropped: 0,
             trace_cap: 0,
             overlap: OverlapCounters::default(),
+            next_overlap_id: 0,
             retry: RetrySnapshot::default(),
             probe: None,
+        }
+    }
+
+    /// Record an overlapped batch issue (read when `write` is false),
+    /// returning the token id that pairs it with its completion. Bumps the
+    /// issued-batch overlap counter and emits an `OverlapIssue` probe
+    /// event; the batch's block/step accounting is recorded separately by
+    /// `record_read_batch`/`record_write_batch` at the same instant.
+    pub(crate) fn overlap_issue(&mut self, write: bool, blocks: u64) -> u64 {
+        let id = self.next_overlap_id;
+        self.next_overlap_id += 1;
+        if write {
+            self.overlap.flush_batches += 1;
+        } else {
+            self.overlap.prefetch_batches += 1;
+        }
+        if let Some(p) = &mut self.probe {
+            p.on_overlap_issue(write, blocks, id);
+        }
+        id
+    }
+
+    /// Record an overlapped batch retiring: a hit when the I/O had already
+    /// completed, a stall when the consumer had to wait. Emits the paired
+    /// `OverlapComplete` probe event.
+    pub(crate) fn overlap_complete(&mut self, write: bool, id: u64, stalled: bool) {
+        let c = &mut self.overlap;
+        match (write, stalled) {
+            (false, false) => c.prefetch_hits += 1,
+            (false, true) => c.prefetch_stalls += 1,
+            (true, false) => c.flush_hits += 1,
+            (true, true) => c.flush_stalls += 1,
+        }
+        if let Some(p) = &mut self.probe {
+            p.on_overlap_complete(write, id, stalled);
         }
     }
 

@@ -58,6 +58,47 @@ pub trait Storage<K: PdmKey>: Send {
     fn pool_stats(&self) -> Option<crate::pool::PoolStats> {
         None
     }
+
+    /// Whether this backend can genuinely overlap I/O with computation.
+    ///
+    /// The default `false` means [`Storage::start_read_batch`] /
+    /// [`Storage::start_write_batch`] fall back to the eager (blocking)
+    /// paths — correct but with no latency hiding. The threaded backend
+    /// overrides this; wrapper layers (fault injection, retry) keep the
+    /// default so their per-block policies apply at issue time.
+    fn supports_overlap(&self) -> bool {
+        false
+    }
+
+    /// Begin an asynchronous batch read; the returned token is redeemed
+    /// with [`crate::overlap::PendingRead::wait`]. The default performs the
+    /// read eagerly via [`Storage::read_batch`] — wrapper backends (retry,
+    /// fault injection) thereby apply their per-operation policy at *issue*
+    /// time, so transient classification and retries cover overlap I/O too.
+    fn start_read_batch(
+        &mut self,
+        reqs: &[(usize, usize)],
+    ) -> Result<Box<dyn crate::overlap::PendingRead<K> + Send>> {
+        let b = self.block_size();
+        let mut data = vec![K::MAX; reqs.len() * b];
+        self.read_batch(reqs, &mut data)?;
+        Ok(Box::new(crate::overlap::EagerPending::new(data)))
+    }
+
+    /// Begin an asynchronous batch write of `data` (`reqs.len() * B` keys).
+    ///
+    /// Contract: the borrow of `data` ends when this returns, so every
+    /// implementation must have copied (or written) the payload by then —
+    /// the caller's buffer is immediately reusable. The default writes
+    /// eagerly via [`Storage::write_batch`].
+    fn start_write_batch(
+        &mut self,
+        reqs: &[(usize, usize)],
+        data: &[K],
+    ) -> Result<Box<dyn crate::overlap::PendingWrite + Send>> {
+        self.write_batch(reqs, data)?;
+        Ok(Box::new(crate::overlap::EagerWriteDone))
+    }
 }
 
 /// Boxed backends delegate, so a machine can be built over
@@ -98,6 +139,25 @@ impl<K: PdmKey, S: Storage<K> + ?Sized> Storage<K> for Box<S> {
 
     fn pool_stats(&self) -> Option<crate::pool::PoolStats> {
         (**self).pool_stats()
+    }
+
+    fn supports_overlap(&self) -> bool {
+        (**self).supports_overlap()
+    }
+
+    fn start_read_batch(
+        &mut self,
+        reqs: &[(usize, usize)],
+    ) -> Result<Box<dyn crate::overlap::PendingRead<K> + Send>> {
+        (**self).start_read_batch(reqs)
+    }
+
+    fn start_write_batch(
+        &mut self,
+        reqs: &[(usize, usize)],
+        data: &[K],
+    ) -> Result<Box<dyn crate::overlap::PendingWrite + Send>> {
+        (**self).start_write_batch(reqs, data)
     }
 }
 

@@ -1,21 +1,36 @@
-//! Threaded storage: one worker thread per disk, so batch I/O really does
-//! proceed disk-parallel in wall-clock time.
+//! Threaded storage: each disk is serviced by a *read worker* and a
+//! *write worker* thread (a full-duplex disk), so batch I/O really does
+//! proceed disk-parallel in wall-clock time and — with overlap enabled —
+//! prefetches and flush-behinds on the same disk service concurrently
+//! instead of convoying in a single queue.
 //!
 //! The logical cost model is identical across backends (the machine layer
 //! does all accounting); this backend exists so the Criterion benches can
 //! demonstrate the *wall-clock* `D`-way scaling that the PDM's parallel-step
 //! metric predicts — the property the paper's "full parallelism" claims
-//! (Thm 3.1 proof, §7) are about. Each worker owns its disk's data and an
-//! optional per-block service latency to emulate disk access cost; requests
-//! travel over crossbeam channels.
+//! (Thm 3.1 proof, §7) are about. The two workers of a disk share its data
+//! array behind a mutex, but the emulated access latency is slept *outside*
+//! the lock, so a disk's read stream and write stream genuinely overlap.
+//! Synchronous callers can't tell: a blocking batch is all-reads or
+//! all-writes and waits for every reply before returning, so duplexing only
+//! shows up once the overlap layer keeps both streams in flight.
+//!
+//! Duplexing makes read-overtakes-write *possible* in the raw backend, so
+//! the dispatch path tracks in-flight write slots and refuses a read of a
+//! slot whose write has not retired ([`PdmError::ReadDuringFlush`]) rather
+//! than returning whichever bytes win the race. The pipeline discipline
+//! (write-behind drained before its region is re-read, enforced at every
+//! phase boundary by the checkpoint guard) keeps correct code off that
+//! path entirely.
 
 use crate::error::{PdmError, Result};
 use crate::key::PdmKey;
 use crate::pool::{BlockPool, PoolStats};
 use crate::storage::Storage;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -38,22 +53,33 @@ enum Request<K> {
     Shutdown,
 }
 
-struct DiskWorker<K: PdmKey> {
+/// One disk's backing array, shared by its read and write workers. Only
+/// the (cheap) copy in/out holds the lock; latency is slept before taking
+/// it.
+struct DiskData<K> {
     data: Vec<K>,
-    block_size: usize,
     allocated: usize,
+}
+
+struct DiskWorker<K: PdmKey> {
+    disk: Arc<Mutex<DiskData<K>>>,
+    block_size: usize,
     latency: Duration,
     rx: Receiver<Request<K>>,
     /// Shared with the owning [`ThreadedStorage`]: read replies are drawn
     /// from here, retired write payloads go back here.
     pool: Arc<BlockPool<K>>,
-    /// Cumulative wall-clock service time (ns) for this disk, shared with
+    /// Cumulative wall-clock service time (ns) for this disk, shared by
+    /// both of its workers and with
     /// [`ThreadedStorage::per_disk_service_nanos`].
     busy_nanos: Arc<AtomicU64>,
+    /// In-flight write slots for this disk (slot → outstanding count);
+    /// the write worker decrements *after* committing, before replying.
+    pending_writes: Arc<Mutex<HashMap<usize, usize>>>,
 }
 
 impl<K: PdmKey> DiskWorker<K> {
-    fn run(mut self) {
+    fn run(self) {
         while let Ok(req) = self.rx.recv() {
             match req {
                 Request::Read { slot, charge_latency, reply } => {
@@ -69,12 +95,24 @@ impl<K: PdmKey> DiskWorker<K> {
                     self.busy_nanos
                         .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     self.pool.put(data);
+                    // Retire the hazard entry only once the bytes are
+                    // committed, so a racing read check can never pass
+                    // while stale data is still visible.
+                    let mut pending = self.pending_writes.lock().unwrap();
+                    if let Some(count) = pending.get_mut(&slot) {
+                        *count -= 1;
+                        if *count == 0 {
+                            pending.remove(&slot);
+                        }
+                    }
+                    drop(pending);
                     let _ = reply.send(res);
                 }
                 Request::Ensure { slots, reply } => {
-                    if slots > self.allocated {
-                        self.data.resize(slots * self.block_size, K::MAX);
-                        self.allocated = slots;
+                    let mut disk = self.disk.lock().unwrap();
+                    if slots > disk.allocated {
+                        disk.data.resize(slots * self.block_size, K::MAX);
+                        disk.allocated = slots;
                     }
                     let _ = reply.send(Ok(()));
                 }
@@ -89,29 +127,23 @@ impl<K: PdmKey> DiskWorker<K> {
         }
     }
 
-    fn read(&mut self, slot: usize, charge_latency: bool) -> Result<Vec<K>> {
-        if slot >= self.allocated {
+    fn read(&self, slot: usize, charge_latency: bool) -> Result<Vec<K>> {
+        self.simulate_latency(charge_latency);
+        let disk = self.disk.lock().unwrap();
+        if slot >= disk.allocated {
             return Err(PdmError::BadSlot {
                 disk: usize::MAX,
                 slot,
-                allocated: self.allocated,
+                allocated: disk.allocated,
             });
         }
-        self.simulate_latency(charge_latency);
         let off = slot * self.block_size;
         let mut buf = self.pool.get(self.block_size);
-        buf.extend_from_slice(&self.data[off..off + self.block_size]);
+        buf.extend_from_slice(&disk.data[off..off + self.block_size]);
         Ok(buf)
     }
 
-    fn write(&mut self, slot: usize, data: &[K], charge_latency: bool) -> Result<()> {
-        if slot >= self.allocated {
-            return Err(PdmError::BadSlot {
-                disk: usize::MAX,
-                slot,
-                allocated: self.allocated,
-            });
-        }
+    fn write(&self, slot: usize, data: &[K], charge_latency: bool) -> Result<()> {
         if data.len() != self.block_size {
             return Err(PdmError::BadBlockLen {
                 got: data.len(),
@@ -119,63 +151,92 @@ impl<K: PdmKey> DiskWorker<K> {
             });
         }
         self.simulate_latency(charge_latency);
+        let mut disk = self.disk.lock().unwrap();
+        if slot >= disk.allocated {
+            return Err(PdmError::BadSlot {
+                disk: usize::MAX,
+                slot,
+                allocated: disk.allocated,
+            });
+        }
         let off = slot * self.block_size;
-        self.data[off..off + self.block_size].copy_from_slice(data);
+        disk.data[off..off + self.block_size].copy_from_slice(data);
         Ok(())
     }
 }
 
-/// Storage whose `D` disks are serviced by `D` independent worker threads.
+/// Storage whose `D` disks are serviced by `2D` worker threads: one read
+/// worker and one write worker per disk (a full-duplex disk model).
 pub struct ThreadedStorage<K: PdmKey> {
-    senders: Vec<Sender<Request<K>>>,
+    read_senders: Vec<Sender<Request<K>>>,
+    write_senders: Vec<Sender<Request<K>>>,
     handles: Vec<JoinHandle<()>>,
     block_size: usize,
     pool: Arc<BlockPool<K>>,
     busy_nanos: Vec<Arc<AtomicU64>>,
+    /// Per-disk in-flight write slots, shared with that disk's write
+    /// worker. Reads consult this before dispatch (see module docs).
+    pending_writes: Vec<Arc<Mutex<HashMap<usize, usize>>>>,
 }
 
 impl<K: PdmKey> ThreadedStorage<K> {
-    /// Spawn `num_disks` workers with zero emulated latency.
+    /// Spawn `num_disks` duplex worker pairs with zero emulated latency.
     pub fn new(num_disks: usize, block_size: usize) -> Self {
         Self::with_latency(num_disks, block_size, Duration::ZERO)
     }
 
-    /// Spawn workers that sleep `latency` per serviced block, emulating a
+    /// Spawn workers that sleep `latency` per serviced batch, emulating a
     /// disk with that access time.
     pub fn with_latency(num_disks: usize, block_size: usize, latency: Duration) -> Self {
-        let mut senders = Vec::with_capacity(num_disks);
-        let mut handles = Vec::with_capacity(num_disks);
+        let mut read_senders = Vec::with_capacity(num_disks);
+        let mut write_senders = Vec::with_capacity(num_disks);
+        let mut handles = Vec::with_capacity(2 * num_disks);
         let mut busy_nanos = Vec::with_capacity(num_disks);
+        let mut pending_writes = Vec::with_capacity(num_disks);
         // Steady state keeps ~2 buffers per disk in flight (one being
         // filled/drained on each side of the channel); 4×D gives slack for
         // the overlap layer's double-buffering without unbounded retention.
-        let pool = Arc::new(BlockPool::new(4 * num_disks.max(1)));
+        // Pinned to this storage's block size so a buffer from a different
+        // geometry can never be recycled into our free list.
+        let pool = Arc::new(BlockPool::for_blocks(4 * num_disks.max(1), block_size));
         for d in 0..num_disks {
-            let (tx, rx) = unbounded();
-            let busy = Arc::new(AtomicU64::new(0));
-            let worker = DiskWorker::<K> {
+            let disk = Arc::new(Mutex::new(DiskData::<K> {
                 data: Vec::new(),
-                block_size,
                 allocated: 0,
-                latency,
-                rx,
-                pool: Arc::clone(&pool),
-                busy_nanos: Arc::clone(&busy),
-            };
-            let h = std::thread::Builder::new()
-                .name(format!("pdm-disk-{d}"))
-                .spawn(move || worker.run())
-                .expect("spawn disk worker");
-            senders.push(tx);
-            handles.push(h);
+            }));
+            let busy = Arc::new(AtomicU64::new(0));
+            let pending = Arc::new(Mutex::new(HashMap::new()));
+            for (kind, senders) in
+                [("r", &mut read_senders), ("w", &mut write_senders)]
+            {
+                let (tx, rx) = unbounded();
+                let worker = DiskWorker::<K> {
+                    disk: Arc::clone(&disk),
+                    block_size,
+                    latency,
+                    rx,
+                    pool: Arc::clone(&pool),
+                    busy_nanos: Arc::clone(&busy),
+                    pending_writes: Arc::clone(&pending),
+                };
+                let h = std::thread::Builder::new()
+                    .name(format!("pdm-disk-{d}{kind}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn disk worker");
+                senders.push(tx);
+                handles.push(h);
+            }
             busy_nanos.push(busy);
+            pending_writes.push(pending);
         }
         Self {
-            senders,
+            read_senders,
+            write_senders,
             handles,
             block_size,
             pool,
             busy_nanos,
+            pending_writes,
         }
     }
 
@@ -205,11 +266,21 @@ impl<K: PdmKey> ThreadedStorage<K> {
     }
 
     fn check_disk(&self, disk: usize) -> Result<()> {
-        if disk >= self.senders.len() {
+        if disk >= self.read_senders.len() {
             return Err(PdmError::BadDisk {
                 disk,
-                num_disks: self.senders.len(),
+                num_disks: self.read_senders.len(),
             });
+        }
+        Ok(())
+    }
+
+    /// The read/write hazard gate (see module docs): a read of a slot whose
+    /// overlapped write has not retired would race the duplex write stream,
+    /// so it is refused outright. `check_disk` must have passed already.
+    fn check_no_write_in_flight(&self, disk: usize, slot: usize) -> Result<()> {
+        if self.pending_writes[disk].lock().unwrap().contains_key(&slot) {
+            return Err(PdmError::ReadDuringFlush { disk, slot });
         }
         Ok(())
     }
@@ -233,14 +304,15 @@ impl<K: PdmKey> ThreadedStorage<K> {
         // overlap enabled, a write batch may be too. Retaining less than
         // that re-allocates the excess on every batch.
         self.pool
-            .reserve_retained(2 * reqs.len() + self.senders.len());
+            .reserve_retained(2 * reqs.len() + self.read_senders.len());
         let mut replies = Vec::with_capacity(reqs.len());
-        let mut seen = vec![false; self.senders.len()];
+        let mut seen = vec![false; self.read_senders.len()];
         for &(disk, slot) in reqs {
             self.check_disk(disk)?;
+            self.check_no_write_in_flight(disk, slot)?;
             let (tx, rx) = unbounded();
             let charge_latency = Self::first_touch(&mut seen, disk);
-            self.senders[disk]
+            self.read_senders[disk]
                 .send(Request::Read { slot, charge_latency, reply: tx })
                 .map_err(|_| PdmError::BadConfig("disk worker hung up".into()))?;
             replies.push(rx);
@@ -260,16 +332,23 @@ impl<K: PdmKey> ThreadedStorage<K> {
         debug_assert_eq!(data.len(), reqs.len() * b);
         // Same in-flight reasoning as dispatch_reads.
         self.pool
-            .reserve_retained(2 * reqs.len() + self.senders.len());
+            .reserve_retained(2 * reqs.len() + self.read_senders.len());
         let mut replies = Vec::with_capacity(reqs.len());
-        let mut seen = vec![false; self.senders.len()];
+        let mut seen = vec![false; self.read_senders.len()];
         for (i, &(disk, slot)) in reqs.iter().enumerate() {
             self.check_disk(disk)?;
             let (tx, rx) = unbounded();
             let mut block = self.pool.get(b);
             block.extend_from_slice(&data[i * b..(i + 1) * b]);
             let charge_latency = Self::first_touch(&mut seen, disk);
-            self.senders[disk]
+            // Register the hazard before the worker can possibly see the
+            // request; its write worker retires the entry after commit.
+            *self.pending_writes[disk]
+                .lock()
+                .unwrap()
+                .entry(slot)
+                .or_insert(0) += 1;
+            self.write_senders[disk]
                 .send(Request::Write {
                     slot,
                     data: block,
@@ -296,7 +375,7 @@ impl<K: PdmKey> ThreadedStorage<K> {
 
 impl<K: PdmKey> Storage<K> for ThreadedStorage<K> {
     fn num_disks(&self) -> usize {
-        self.senders.len()
+        self.read_senders.len()
     }
 
     fn block_size(&self) -> usize {
@@ -306,7 +385,10 @@ impl<K: PdmKey> Storage<K> for ThreadedStorage<K> {
     fn ensure_capacity(&mut self, disk: usize, slots: usize) -> Result<()> {
         self.check_disk(disk)?;
         let (tx, rx) = unbounded();
-        self.senders[disk]
+        // Either worker could resize (the data is behind the shared lock);
+        // routing through the write worker keeps the resize ordered after
+        // any writes already queued for this disk.
+        self.write_senders[disk]
             .send(Request::Ensure { slots, reply: tx })
             .map_err(|_| PdmError::BadConfig("disk worker hung up".into()))?;
         rx.recv()
@@ -321,8 +403,9 @@ impl<K: PdmKey> Storage<K> for ThreadedStorage<K> {
                 expected: self.block_size,
             });
         }
+        self.check_no_write_in_flight(disk, slot)?;
         let (tx, rx) = unbounded();
-        self.senders[disk]
+        self.read_senders[disk]
             .send(Request::Read { slot, charge_latency: true, reply: tx })
             .map_err(|_| PdmError::BadConfig("disk worker hung up".into()))?;
         let data = rx
@@ -339,7 +422,7 @@ impl<K: PdmKey> Storage<K> for ThreadedStorage<K> {
         let (tx, rx) = unbounded();
         let mut block = self.pool.get(data.len());
         block.extend_from_slice(data);
-        self.senders[disk]
+        self.write_senders[disk]
             .send(Request::Write {
                 slot,
                 data: block,
@@ -384,11 +467,40 @@ impl<K: PdmKey> Storage<K> for ThreadedStorage<K> {
     fn pool_stats(&self) -> Option<PoolStats> {
         Some(self.pool.stats())
     }
+
+    /// The worker threads service requests while the caller computes, so
+    /// overlap genuinely hides latency here (unlike the eager defaults).
+    fn supports_overlap(&self) -> bool {
+        true
+    }
+
+    fn start_read_batch(
+        &mut self,
+        reqs: &[(usize, usize)],
+    ) -> Result<Box<dyn crate::overlap::PendingRead<K> + Send>> {
+        let replies = self.dispatch_reads(reqs)?;
+        Ok(Box::new(crate::overlap::ThreadedPending::new(
+            replies,
+            self.block_size,
+            self.pool_handle(),
+        )))
+    }
+
+    fn start_write_batch(
+        &mut self,
+        reqs: &[(usize, usize)],
+        data: &[K],
+    ) -> Result<Box<dyn crate::overlap::PendingWrite + Send>> {
+        // dispatch_writes copies `data` into pooled buffers before
+        // returning, honoring the copy-at-issue contract.
+        let replies = self.dispatch_writes(reqs, data)?;
+        Ok(Box::new(crate::overlap::ThreadedWritePending::new(replies)))
+    }
 }
 
 impl<K: PdmKey> Drop for ThreadedStorage<K> {
     fn drop(&mut self) {
-        for tx in &self.senders {
+        for tx in self.read_senders.iter().chain(&self.write_senders) {
             let _ = tx.send(Request::Shutdown);
         }
         for h in self.handles.drain(..) {
@@ -507,6 +619,53 @@ mod tests {
             ns >= (3 * lat).as_nanos() as u64,
             "3 one-block batches must pay 3 access latencies, logged {ns}ns"
         );
+    }
+
+    #[test]
+    fn duplex_disk_services_reads_and_writes_concurrently() {
+        use std::time::Instant;
+        let lat = Duration::from_millis(20);
+        let mut s = ThreadedStorage::<u64>::with_latency(1, 4, lat);
+        s.ensure_capacity(0, 2).unwrap();
+        let payload = vec![3u64; 4];
+        s.write_batch(&[(0, 0)], &payload).unwrap();
+        // One write and one read in flight on the SAME disk, disjoint
+        // slots: the duplex workers sleep their latencies concurrently,
+        // so both retire in ~1 latency rather than 2.
+        let t = Instant::now();
+        let w = s.start_write_batch(&[(0, 1)], &payload).unwrap();
+        let r = s.start_read_batch(&[(0, 0)]).unwrap();
+        let mut out = vec![0u64; 4];
+        r.wait(&mut out).unwrap();
+        w.wait().unwrap();
+        let both = t.elapsed();
+        assert_eq!(out, payload);
+        assert!(
+            both < lat * 2,
+            "read+write on one duplex disk took {both:?}; a shared queue \
+             would serialize them to ≥ {:?}",
+            lat * 2
+        );
+    }
+
+    #[test]
+    fn read_of_slot_with_write_in_flight_is_refused() {
+        let lat = Duration::from_millis(50);
+        let mut s = ThreadedStorage::<u64>::with_latency(1, 4, lat);
+        s.ensure_capacity(0, 1).unwrap();
+        let payload = vec![9u64; 4];
+        // The write worker sleeps its access latency before committing, so
+        // the hazard entry is reliably still registered when we read.
+        let w = s.start_write_batch(&[(0, 0)], &payload).unwrap();
+        let mut out = vec![0u64; 4];
+        match s.read_batch(&[(0, 0)], &mut out) {
+            Err(PdmError::ReadDuringFlush { disk: 0, slot: 0 }) => {}
+            other => panic!("expected ReadDuringFlush, got {other:?}"),
+        }
+        // Once the write retires, the same read is clean.
+        w.wait().unwrap();
+        s.read_batch(&[(0, 0)], &mut out).unwrap();
+        assert_eq!(out, payload);
     }
 
     #[test]

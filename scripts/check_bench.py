@@ -11,6 +11,19 @@ Structural invariants (always checked on the current file):
   * every threaded-backend algorithm row that reports a block-pool hit
     rate must stay above 90% (steady state recycles buffers).
 
+Overlap artifact (--overlap BENCH_overlap.json): validates the schema of
+the read-ahead/write-behind A/B rows and gates the headline claim —
+`seven_pass` with overlap on the duplex threaded backend must beat
+blocking I/O by at least 20% wall-clock, every row must improve at all,
+and the write-behind stall rate must stay under 75%. A "stall" only
+means the depth-4 window was full and the caller briefly waited on the
+oldest flush — a saturated write worker stalls on most batches while
+still hiding a third of the wall clock, so the gate is set to catch
+near-total serialization (stall rate approaching 100%), not steady-state
+back-pressure. Pass counts in the artifact are
+recorded from legs the bench itself asserts identical, so no cross-leg
+check is needed here.
+
 Regression check (only for rows whose identity — name plus n/k/backend —
 appears in both files): ns_per_key / loser_ns_per_key / wall_ms may not
 exceed baseline by more than --tolerance (default 25%). Quick-mode runs
@@ -19,7 +32,7 @@ baseline and only the schema + invariants apply.
 
 Usage:
     scripts/check_bench.py --current out.json [--baseline BENCH_kernels.json]
-                           [--tolerance 0.25]
+                           [--tolerance 0.25] [--overlap BENCH_overlap.json]
 """
 
 import argparse
@@ -101,6 +114,62 @@ def check_invariants(doc, path):
             print(f"  ok: {ident}: pool hit rate {rate:.3f}")
 
 
+OVERLAP_MIN_IMPROVEMENT = {"seven_pass": 0.20}
+OVERLAP_MAX_FLUSH_STALL_RATE = 0.75
+
+
+def check_overlap_schema(doc, path):
+    require(doc, "schema_version", int, path)
+    require(doc, "quick", bool, path)
+    for row in require(doc, "overlap", list, path) or []:
+        ctx = f"{path}:overlap[{row.get('name', '?')}]"
+        require(row, "name", str, ctx)
+        require(row, "n", int, ctx)
+        require(row, "latency_us", int, ctx)
+        require(row, "wall_ms_blocking", float, ctx)
+        require(row, "wall_ms_overlap", float, ctx)
+        require(row, "improvement", float, ctx)
+        require(row, "read_passes", float, ctx)
+        require(row, "write_passes", float, ctx)
+        require(row, "prefetch_batches", int, ctx)
+        require(row, "prefetch_stalls", int, ctx)
+        require(row, "flush_batches", int, ctx)
+        require(row, "flush_stalls", int, ctx)
+
+
+def check_overlap_invariants(doc, path):
+    rows = doc.get("overlap", [])
+    if not rows:
+        fail(f"{path}: overlap artifact has no rows")
+    names = {row.get("name") for row in rows}
+    for wanted in OVERLAP_MIN_IMPROVEMENT:
+        if wanted not in names:
+            fail(f"{path}: no overlap row for '{wanted}'")
+    for row in rows:
+        name, n = row.get("name", "?"), row.get("n", 0)
+        ident = f"{name} n={n}"
+        imp = row.get("improvement", 0.0)
+        floor = OVERLAP_MIN_IMPROVEMENT.get(name, 0.0)
+        if imp <= floor:
+            fail(f"{path}: {ident}: overlap improvement {imp:.1%} <= "
+                 f"required floor {floor:.0%}")
+        else:
+            print(f"  ok: {ident}: overlap beats blocking by {imp:.1%} "
+                  f"(floor {floor:.0%})")
+        if row.get("read_passes", 0) <= 0 or row.get("write_passes", 0) <= 0:
+            fail(f"{path}: {ident}: pass counters are empty — the A/B "
+                 f"legs did no I/O")
+        batches = row.get("flush_batches", 0)
+        if batches:
+            stall_rate = row.get("flush_stalls", 0) / batches
+            if stall_rate > OVERLAP_MAX_FLUSH_STALL_RATE:
+                fail(f"{path}: {ident}: flush stall rate {stall_rate:.1%} > "
+                     f"{OVERLAP_MAX_FLUSH_STALL_RATE:.0%} — write-behind is "
+                     f"serializing instead of overlapping")
+            else:
+                print(f"  ok: {ident}: flush stall rate {stall_rate:.1%}")
+
+
 def rows_by_identity(doc):
     out = {}
     for row in doc.get("kernels", []):
@@ -144,12 +213,21 @@ def main():
                     help="committed baseline to diff against (optional)")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed slowdown fraction vs baseline (default 0.25)")
+    ap.add_argument("--overlap", default=None,
+                    help="overlap A/B artifact (BENCH_overlap.json) to "
+                         "validate and gate")
     args = ap.parse_args()
 
     with open(args.current) as f:
         current = json.load(f)
     check_schema(current, args.current)
     check_invariants(current, args.current)
+
+    if args.overlap:
+        with open(args.overlap) as f:
+            overlap = json.load(f)
+        check_overlap_schema(overlap, args.overlap)
+        check_overlap_invariants(overlap, args.overlap)
 
     if args.baseline:
         with open(args.baseline) as f:

@@ -105,6 +105,9 @@ for t in end_to_end cross_algorithm backends fault_injection fault_matrix checkp
 done
 # kernel equivalence again, against the parallel-feature core
 step "it:kernel_equivalence(par)" rustc $E $OPT -L dependency=$O --test --crate-name t_kernel_equivalence_par "$REPO/tests/kernel_equivalence.rs" $PM $PSPAR $PB $PMESH $PT $PL $RAND $JSON -o "$O/t_kernel_equivalence_par"
+# determinism again, against the parallel-feature core: the transient-fault
+# schedule test must hold with parallel kernels on and off
+step "it:determinism(par)" rustc $E $OPT -L dependency=$O --test --crate-name t_determinism_par "$REPO/tests/determinism.rs" $PM $PSPAR $PB $PMESH $PT $PL $RAND $JSON -o "$O/t_determinism_par"
 
 echo "BUILD OK"
 [ "$RUN" = 1 ] || exit 0
@@ -127,4 +130,5 @@ for t in end_to_end cross_algorithm backends fault_injection fault_matrix checkp
   run "it:$t" "$O/t_$t" -q $SERDE_SKIPS
 done
 [ -x "$O/t_kernel_equivalence_par" ] && run "it:kernel_equivalence(par)" "$O/t_kernel_equivalence_par" -q
+[ -x "$O/t_determinism_par" ] && run "it:determinism(par)" "$O/t_determinism_par" -q $SERDE_SKIPS
 echo "ALL TESTS OK"

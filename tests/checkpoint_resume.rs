@@ -50,9 +50,10 @@ fn unique_dir(tag: &str) -> std::path::PathBuf {
 }
 
 /// Reference: uninterrupted sorted output plus the total pass count.
-fn reference_run(data: &[u64]) -> (Vec<u64>, usize) {
+fn reference_run(data: &[u64], overlap: bool) -> (Vec<u64>, usize) {
     let cfg = PdmConfig::square(D, B);
     let mut pdm: Pdm<u64> = Pdm::new(cfg).unwrap();
+    pdm.set_overlap(overlap);
     let input = pdm.alloc_region_for_keys(N).unwrap();
     pdm.ingest(&input, data).unwrap();
     let rep = pdm_sort::three_pass1(&mut pdm, &input, N).unwrap();
@@ -70,11 +71,13 @@ fn interrupted_run(
     data: &[u64],
     digest: u64,
     kill_after: u64,
+    overlap: bool,
 ) -> Option<usize> {
     let cfg = PdmConfig::square(D, B);
     let file = FileStorage::<u64>::create(scratch, D, B).unwrap();
     let flaky = FlakyStorage::new(file, FailMode::DiskAfter(1, kill_after));
     let mut pdm = Pdm::with_storage(cfg, flaky).unwrap();
+    pdm.set_overlap(overlap);
     let input = pdm.alloc_region_for_keys(N).unwrap();
     if pdm.ingest(&input, data).is_err() {
         assert_eq!(pdm.mem().current(), 0, "kill@{kill_after}: ingest leak");
@@ -105,6 +108,7 @@ fn resumed_run(
     scratch: &std::path::Path,
     ckdir: &std::path::Path,
     digest: u64,
+    overlap: bool,
 ) -> (Vec<u64>, usize, usize) {
     let cfg = PdmConfig::square(D, B);
     let store = CheckpointStore::create(ckdir).unwrap();
@@ -117,6 +121,7 @@ fn resumed_run(
         .unwrap();
     let file = FileStorage::<u64>::create_readback(scratch, D, B).unwrap();
     let mut pdm = Pdm::with_storage(cfg, file).unwrap();
+    pdm.set_overlap(overlap);
     let input = pdm.alloc_region_for_keys(N).unwrap();
     // No ingest: the keys are already on disk from before the crash.
     let skipped = manifest.completed;
@@ -134,46 +139,59 @@ fn resumed_run(
 fn kill_mid_pass_then_resume_is_byte_identical() {
     let data = workload();
     let digest = digest_of(&data);
-    let (want, total_passes) = reference_run(&data);
 
-    // Sweep kill points across the whole I/O schedule: early (mid-pass-1),
-    // mid (pass 2), late (pass 3), and past-the-end (run survives).
-    let mut resumed_with_progress = 0usize;
-    for kill_after in [40u64, 120, 200, 260, 320, 100_000] {
-        let scratch = unique_dir("scratch");
-        let ckdir = unique_dir("ck");
-        match interrupted_run(&scratch, &ckdir, &data, digest, kill_after) {
-            None => {
-                // Fault never fired — nothing to resume.
-            }
-            Some(completed) => {
-                assert!(
-                    completed < total_passes,
-                    "kill@{kill_after}: checkpoint claims a finished run that errored"
-                );
-                if completed > 0 {
-                    let (got, skipped, live) = resumed_run(&scratch, &ckdir, digest);
-                    assert_eq!(
-                        got, want,
-                        "kill@{kill_after}: resumed output differs from uninterrupted run"
+    // Both overlap legs run the same sweep: with overlap on, the
+    // pipelines' read-ahead/write-behind wrappers are live (eagerly
+    // completed on the file backend), so the drain-before-checkpoint
+    // discipline and the resume path run with in-flight tokens in play,
+    // and must land on the same bytes and pass counts.
+    for overlap in [false, true] {
+        let (want, total_passes) = reference_run(&data, overlap);
+
+        // Sweep kill points across the whole I/O schedule: early
+        // (mid-pass-1), mid (pass 2), late (pass 3), and past-the-end
+        // (run survives).
+        let mut resumed_with_progress = 0usize;
+        for kill_after in [40u64, 120, 200, 260, 320, 100_000] {
+            let scratch = unique_dir("scratch");
+            let ckdir = unique_dir("ck");
+            match interrupted_run(&scratch, &ckdir, &data, digest, kill_after, overlap) {
+                None => {
+                    // Fault never fired — nothing to resume.
+                }
+                Some(completed) => {
+                    assert!(
+                        completed < total_passes,
+                        "kill@{kill_after}: checkpoint claims a finished run that errored"
                     );
-                    assert_eq!(skipped, completed, "kill@{kill_after}");
-                    assert_eq!(
-                        live,
-                        total_passes - completed,
-                        "kill@{kill_after}: wrong number of live re-executed passes"
-                    );
-                    resumed_with_progress += 1;
+                    if completed > 0 {
+                        let (got, skipped, live) =
+                            resumed_run(&scratch, &ckdir, digest, overlap);
+                        assert_eq!(
+                            got, want,
+                            "kill@{kill_after} overlap={overlap}: resumed output \
+                             differs from uninterrupted run"
+                        );
+                        assert_eq!(skipped, completed, "kill@{kill_after}");
+                        assert_eq!(
+                            live,
+                            total_passes - completed,
+                            "kill@{kill_after} overlap={overlap}: wrong number of \
+                             live re-executed passes"
+                        );
+                        resumed_with_progress += 1;
+                    }
                 }
             }
+            std::fs::remove_dir_all(&scratch).ok();
+            std::fs::remove_dir_all(&ckdir).ok();
         }
-        std::fs::remove_dir_all(&scratch).ok();
-        std::fs::remove_dir_all(&ckdir).ok();
+        assert!(
+            resumed_with_progress >= 2,
+            "overlap={overlap}: sweep never exercised a genuine mid-run resume — \
+             kill points need retuning"
+        );
     }
-    assert!(
-        resumed_with_progress >= 2,
-        "sweep never exercised a genuine mid-run resume — kill points need retuning"
-    );
 }
 
 #[test]
@@ -183,7 +201,7 @@ fn resume_refuses_a_mismatched_manifest() {
     let scratch = unique_dir("scratch");
     let ckdir = unique_dir("ck");
     // Interrupt mid-pass-2 so a real checkpoint exists.
-    let completed = interrupted_run(&scratch, &ckdir, &data, digest, 200)
+    let completed = interrupted_run(&scratch, &ckdir, &data, digest, 200, false)
         .expect("kill@200 should interrupt the run");
     assert!(completed > 0, "kill@200 should land after pass 1");
     let store = CheckpointStore::create(&ckdir).unwrap();
@@ -209,7 +227,7 @@ fn full_stack_transient_faults_retry_and_checkpoints_compose() {
     // correctly, record every pass, and show healed retries.
     let data = workload();
     let digest = digest_of(&data);
-    let (want, total_passes) = reference_run(&data);
+    let (want, total_passes) = reference_run(&data, false);
     let scratch = unique_dir("scratch");
     let ckdir = unique_dir("ck");
     let cfg = PdmConfig::square(D, B);
