@@ -109,12 +109,22 @@ struct MergeRow {
 
 struct AlgoRow {
     name: String,
-    backend: &'static str,
+    backend: BackendKind,
     n: usize,
     wall_ms: f64,
     read_passes: f64,
     write_passes: f64,
     pool_hit_rate: Option<f64>,
+}
+
+struct RealDiskRow {
+    name: String,
+    n: usize,
+    wall_ms_blocking: f64,
+    wall_ms_overlap: f64,
+    improvement: f64,
+    read_passes: f64,
+    write_passes: f64,
 }
 
 struct OverlapRow {
@@ -326,7 +336,7 @@ fn bench_cleaner(carry: usize, window: usize, reps: usize) -> (usize, usize, f64
 
 fn bench_algorithm(
     name: &'static str,
-    threaded: bool,
+    backend: BackendKind,
     b: usize,
     n: usize,
     rows: &mut Vec<AlgoRow>,
@@ -348,16 +358,14 @@ fn bench_algorithm(
         assert!(!rep.fell_back, "{name}: unexpected fallback in benchmark");
         (wall, rep.read_passes, rep.write_passes)
     };
-    let storage: Box<dyn Storage<u64>> = if threaded {
-        Box::new(ThreadedStorage::<u64>::new(cfg.num_disks, cfg.block_size))
-    } else {
-        Box::new(MemStorage::<u64>::new(cfg.num_disks, cfg.block_size))
-    };
-    let mut pdm: Pdm<u64, Box<dyn Storage<u64>>> = Pdm::with_storage(cfg, storage).unwrap();
+    let built = StorageBuilder::new(backend, cfg.num_disks, cfg.block_size)
+        .build::<u64>()
+        .unwrap();
+    let mut pdm: Pdm<u64, Box<dyn Storage<u64>>> = Pdm::with_storage(cfg, built.storage).unwrap();
     let (wall_ms, read_passes, write_passes) = run(&mut pdm);
     rows.push(AlgoRow {
         name: name.into(),
-        backend: if threaded { "threaded" } else { "mem" },
+        backend,
         n,
         wall_ms,
         read_passes,
@@ -418,11 +426,180 @@ fn bench_overlap(name: &'static str, b: usize, n: usize, latency_us: u64, rows: 
     });
 }
 
+/// `BENCH_realdisk.json`: A/B the async real-disk backend, overlap on vs
+/// off, plus the naive external-mergesort baseline on the same backend.
+fn render_realdisk_json(
+    quick: bool,
+    direct_io: bool,
+    rows: &[RealDiskRow],
+    baseline: &RealDiskRow,
+) -> String {
+    let row = |r: &RealDiskRow| {
+        format!(
+            "{{\"name\": \"{}\", \"n\": {}, \"wall_ms_blocking\": {}, \
+             \"wall_ms_overlap\": {}, \"improvement\": {}, \
+             \"read_passes\": {}, \"write_passes\": {}}}",
+            r.name,
+            r.n,
+            jf(r.wall_ms_blocking),
+            jf(r.wall_ms_overlap),
+            jf(r.improvement),
+            jf(r.read_passes),
+            jf(r.write_passes),
+        )
+    };
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema_version\": 1,\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str("  \"backend\": \"async-file\",\n");
+    s.push_str(&format!("  \"direct_io\": {direct_io},\n"));
+    s.push_str("  \"real_disk\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {}{}\n",
+            row(r),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!("  \"baseline\": {}\n", row(baseline)));
+    s.push_str("}\n");
+    s
+}
+
+/// One timed run of `name` over a fresh [`AsyncFileStorage`] stack.
+/// Returns (wall ms, read passes, write passes, direct_io in effect).
+fn real_disk_leg(
+    name: &str,
+    b: usize,
+    n: usize,
+    dir: Option<&str>,
+    overlap: bool,
+    data: &[u64],
+) -> (f64, f64, f64, bool) {
+    let cfg = PdmConfig::square(4, b);
+    let mut builder = StorageBuilder::new(BackendKind::AsyncFile, cfg.num_disks, cfg.block_size);
+    if let Some(d) = dir {
+        builder = builder.dir(d);
+    }
+    let built = builder.build::<u64>().expect("async-file storage");
+    let direct_io = built.caps.direct_io;
+    let mut pdm: Pdm<u64, Box<dyn Storage<u64>>> = Pdm::with_storage(cfg, built.storage).unwrap();
+    pdm.set_overlap(overlap);
+    let region = pdm.alloc_region_for_keys(n).unwrap();
+    pdm.ingest(&region, data).unwrap();
+    pdm.reset_stats();
+    let t0 = Instant::now();
+    let (rp, wp) = match name {
+        "seven_pass" => {
+            let rep = pdm_sort::seven_pass(&mut pdm, &region, n).unwrap();
+            assert!(!rep.fell_back, "{name}: unexpected fallback on real disk");
+            (rep.read_passes, rep.write_passes)
+        }
+        "three_pass2" => {
+            let rep = pdm_sort::three_pass2(&mut pdm, &region, n).unwrap();
+            assert!(!rep.fell_back, "{name}: unexpected fallback on real disk");
+            (rep.read_passes, rep.write_passes)
+        }
+        "mergesort" => {
+            let (_, rp, wp) = pdm_baseline::merge_sort(&mut pdm, &region, n).unwrap();
+            (rp, wp)
+        }
+        other => panic!("unknown real-disk algorithm {other}"),
+    };
+    (t0.elapsed().as_secs_f64() * 1e3, rp, wp, direct_io)
+}
+
+/// A/B one algorithm on the real-disk backend: best-of-`reps` per leg,
+/// with the legs alternated so cache warm-up and scheduler noise spread
+/// evenly instead of favoring whichever leg runs second.
+fn bench_real_disk(
+    name: &'static str,
+    b: usize,
+    n: usize,
+    dir: Option<&str>,
+    reps: usize,
+    rows: &mut Vec<RealDiskRow>,
+) -> bool {
+    let data = pdm_bench::data::permutation(n, 47);
+    let mut best_blocking = f64::MAX;
+    let mut best_overlap = f64::MAX;
+    let mut passes = (0.0, 0.0);
+    let mut direct_io = false;
+    for _ in 0..reps.max(1) {
+        let (wall, rp, wp, direct) = real_disk_leg(name, b, n, dir, false, &data);
+        best_blocking = best_blocking.min(wall);
+        let (wall2, rp2, wp2, _) = real_disk_leg(name, b, n, dir, true, &data);
+        best_overlap = best_overlap.min(wall2);
+        assert_eq!(
+            (rp, wp),
+            (rp2, wp2),
+            "{name}: overlap changed the pass counts on real disk"
+        );
+        passes = (rp, wp);
+        direct_io = direct;
+    }
+    rows.push(RealDiskRow {
+        name: name.into(),
+        n,
+        wall_ms_blocking: best_blocking,
+        wall_ms_overlap: best_overlap,
+        improvement: (best_blocking - best_overlap) / best_blocking.max(1e-9),
+        read_passes: passes.0,
+        write_passes: passes.1,
+    });
+    direct_io
+}
+
+fn run_real_disk_suite(quick: bool, dir: Option<&str>, out_path: &str) {
+    let b = if quick { 16 } else { 32 };
+    let n = b * b * b;
+    let reps = if quick { 3 } else { 5 };
+    let mut rows = Vec::new();
+    let mut direct_io = bench_real_disk("seven_pass", b, n, dir, reps, &mut rows);
+    direct_io |= bench_real_disk("three_pass2", b, n, dir, reps, &mut rows);
+    // Naive external mergesort on the same backend, overlap off: the
+    // honest "what a straightforward external sort costs" yardstick.
+    let data = pdm_bench::data::permutation(n, 47);
+    let mut best = f64::MAX;
+    let mut passes = (0.0, 0.0);
+    for _ in 0..reps {
+        let (wall, rp, wp, _) = real_disk_leg("mergesort", b, n, dir, false, &data);
+        best = best.min(wall);
+        passes = (rp, wp);
+    }
+    let baseline = RealDiskRow {
+        name: "mergesort".into(),
+        n,
+        wall_ms_blocking: best,
+        wall_ms_overlap: best,
+        improvement: 0.0,
+        read_passes: passes.0,
+        write_passes: passes.1,
+    };
+    std::fs::write(out_path, render_realdisk_json(quick, direct_io, &rows, &baseline))
+        .expect("write artifact");
+    eprintln!("wrote {out_path} (direct_io: {direct_io})");
+    for r in rows.iter().chain(std::iter::once(&baseline)) {
+        eprintln!(
+            "  {:<16} [async-file] n = {:>7}  blocking {:>8.2} ms vs overlap {:>8.2} ms ({:.1}% better)",
+            r.name,
+            r.n,
+            r.wall_ms_blocking,
+            r.wall_ms_overlap,
+            r.improvement * 100.0,
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut out_path = "BENCH_kernels.json".to_string();
     let mut overlap_out: Option<String> = None;
+    let mut real_disk = false;
+    let mut real_disk_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -435,15 +612,32 @@ fn main() {
                 i += 1;
                 overlap_out = Some(args.get(i).expect("--overlap-out needs a path").clone());
             }
+            "--real-disk" => real_disk = true,
+            "--real-disk-dir" => {
+                i += 1;
+                real_disk_dir = Some(args.get(i).expect("--real-disk-dir needs a path").clone());
+            }
             other => {
                 eprintln!(
                     "usage: pdm-bench [--quick] [--out FILE.json] [--overlap-out FILE.json] \
-                     (got '{other}')"
+                     [--real-disk [--real-disk-dir DIR] [--out FILE.json]] (got '{other}')"
                 );
                 std::process::exit(2);
             }
         }
         i += 1;
+    }
+    if real_disk {
+        // Real-disk mode is its own suite: point --real-disk-dir at the
+        // device under test (default: the temp dir) and --out at the
+        // artifact (default: BENCH_realdisk.json).
+        let out = if out_path == "BENCH_kernels.json" {
+            "BENCH_realdisk.json".to_string()
+        } else {
+            out_path
+        };
+        run_real_disk_suite(quick, real_disk_dir.as_deref(), &out);
+        return;
     }
     let reps = if quick { 3 } else { 7 };
 
@@ -466,9 +660,9 @@ fn main() {
     let mut algo_rows = Vec::new();
     let b = if quick { 16 } else { 32 };
     let n = b * b * b; // N = M√M, every three-pass sorter's full capacity
-    bench_algorithm("three_pass2", false, b, n, &mut algo_rows);
-    bench_algorithm("seven_pass", false, b, n, &mut algo_rows);
-    bench_algorithm("three_pass2", true, b, n, &mut algo_rows);
+    bench_algorithm("three_pass2", BackendKind::Mem, b, n, &mut algo_rows);
+    bench_algorithm("seven_pass", BackendKind::Mem, b, n, &mut algo_rows);
+    bench_algorithm("three_pass2", BackendKind::Threaded, b, n, &mut algo_rows);
 
     let mut overlap_rows = Vec::new();
     if let Some(path) = &overlap_out {

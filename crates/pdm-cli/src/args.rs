@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+pub use pdm_model::BackendKind;
+
 /// Machine geometry flags shared by `sort` and `info`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Geometry {
@@ -187,6 +189,8 @@ pub enum Command {
         /// Overlapped I/O (read-ahead + write-behind). Never changes
         /// output or pass counts — only wall-clock.
         overlap: Overlap,
+        /// Storage backend for the simulated disks (default: `file`).
+        storage: BackendKind,
     },
     /// `pdmsort report <stats.json>` — render phase table, per-disk
     /// heatmap, sparkline, and pass-budget waterfall from a stats artifact.
@@ -225,7 +229,8 @@ pdmsort — out-of-core sorting on a simulated parallel-disk machine
 USAGE:
   pdmsort gen <n> <out.keys> [--dist random|permutation|reversed|sorted|zipf] [--seed S]
   pdmsort sort <in.keys> <out.keys> [--disks D] [--b SQRT_M] [--algo A]
-               [--scratch DIR] [--stats FILE.json] [--events FILE.jsonl]
+               [--storage mem|file|threaded|async-file] [--scratch DIR]
+               [--stats FILE.json] [--events FILE.jsonl]
                [--checkpoint-dir DIR] [--resume] [--inject SPEC]
                [--retry N] [--backoff STEPS] [--threads N] [--overlap auto|on|off]
   pdmsort report <stats.json>
@@ -257,9 +262,14 @@ Performance:
   --overlap auto|on|off  overlapped I/O: read-ahead feeds each pass one batch
                          early and writes retire behind the compute. `auto`
                          (default) enables it when the backend natively
-                         overlaps (threaded); `on` forces the wiring on any
-                         backend (eager completion elsewhere). Output and
-                         pass counts are identical in every mode.";
+                         overlaps (threaded, async-file); `on` forces the
+                         wiring on any backend (eager completion elsewhere).
+                         Output and pass counts are identical in every mode.
+  --storage KIND         disk backend: file (default, synchronous one file
+                         per disk), async-file (duplex worker threads per
+                         disk, io_uring where built in), threaded (RAM with
+                         real thread parallelism), mem (plain RAM reference).
+                         mem and threaded take no --scratch/--resume.";
 
 fn parse_flag<T: std::str::FromStr>(
     args: &[String],
@@ -319,12 +329,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut backoff = 1u64;
             let mut threads = 1usize;
             let mut overlap = Overlap::Auto;
+            let mut storage = BackendKind::File;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
                     "--disks" => geo.disks = parse_flag(args, &mut i, "--disks")?,
                     "--b" => geo.b = parse_flag(args, &mut i, "--b")?,
                     "--algo" => algo = parse_flag(args, &mut i, "--algo")?,
+                    "--storage" => storage = parse_flag(args, &mut i, "--storage")?,
                     "--scratch" => {
                         scratch = Some(parse_flag::<String>(args, &mut i, "--scratch")?)
                     }
@@ -355,6 +367,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--resume needs --scratch (the interrupted run's disk files)".into(),
                 );
             }
+            if !storage.is_file_backed() && (scratch.is_some() || resume) {
+                return Err(format!(
+                    "--storage {storage} keeps the disks in RAM; --scratch/--resume need a \
+                     file-backed backend (file or async-file)"
+                ));
+            }
             Ok(Command::Sort {
                 input: pos[0].clone(),
                 out: pos[1].clone(),
@@ -370,6 +388,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 backoff,
                 threads,
                 overlap,
+                storage,
             })
         }
         "report" => {
@@ -531,6 +550,38 @@ mod tests {
             let o: Overlap = s.parse().unwrap();
             assert_eq!(o.to_string(), s);
         }
+    }
+
+    #[test]
+    fn parses_storage_flag() {
+        let c = parse(&v(&["sort", "a", "b"])).unwrap();
+        assert!(matches!(c, Command::Sort { storage: BackendKind::File, .. }));
+        for (s, kind) in [
+            ("mem", BackendKind::Mem),
+            ("file", BackendKind::File),
+            ("threaded", BackendKind::Threaded),
+            ("async-file", BackendKind::AsyncFile),
+        ] {
+            let c = parse(&v(&["sort", "a", "b", "--storage", s])).unwrap();
+            match c {
+                Command::Sort { storage, .. } => assert_eq!(storage, kind),
+                _ => panic!(),
+            }
+        }
+        assert!(parse(&v(&["sort", "a", "b", "--storage", "floppy"])).is_err());
+        assert!(parse(&v(&["sort", "a", "b", "--storage"])).is_err());
+        // RAM backends cannot take a scratch dir or resume
+        assert!(parse(&v(&["sort", "a", "b", "--storage", "mem", "--scratch", "/tmp/x"])).is_err());
+        assert!(parse(&v(&[
+            "sort", "a", "b", "--storage", "threaded", "--checkpoint-dir", "/tmp/ck",
+            "--scratch", "/tmp/x", "--resume",
+        ]))
+        .is_err());
+        // ...but the file-backed ones can
+        assert!(parse(&v(&[
+            "sort", "a", "b", "--storage", "async-file", "--scratch", "/tmp/x",
+        ]))
+        .is_ok());
     }
 
     #[test]

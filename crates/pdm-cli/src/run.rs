@@ -1,6 +1,6 @@
 //! Orchestration: wire key files through the file-backed PDM machine.
 
-use crate::args::{Algo, Command, Dist, Geometry, Overlap};
+use crate::args::{Algo, BackendKind, Command, Dist, Geometry, Overlap};
 use crate::keyfile;
 use pdm_model::prelude::*;
 use rand::rngs::StdRng;
@@ -68,6 +68,7 @@ fn dispatch(cmd: Command, out: &mut dyn Write) -> std::result::Result<i32, Box<d
             backoff,
             threads,
             overlap,
+            storage,
         } => {
             pdm_sort::kernels::configure_threads(threads)?;
             let job = SortJob {
@@ -84,6 +85,7 @@ fn dispatch(cmd: Command, out: &mut dyn Write) -> std::result::Result<i32, Box<d
                 retry,
                 backoff,
                 overlap,
+                storage,
             };
             sort(job, out)?;
             Ok(0)
@@ -220,6 +222,7 @@ struct SortJob<'a> {
     retry: Option<u32>,
     backoff: u64,
     overlap: Overlap,
+    storage: BackendKind,
 }
 
 /// Parse an `--inject` spec into a [`FailMode`].
@@ -328,38 +331,31 @@ fn sort(
     };
     let resuming = ckpt.as_ref().is_some_and(|(_, m)| m.completed > 0);
 
-    // Storage stack, innermost first: file backend → fault injection →
-    // transient-fault retry, erased to Box<dyn Storage> so every layer is
-    // optional at runtime.
-    let file = match (job.scratch, job.resume) {
-        (Some(dir), true) => FileStorage::<u64>::create_readback(dir, geo.disks, geo.b)?,
-        (Some(dir), false) => FileStorage::<u64>::create(dir, geo.disks, geo.b)?,
-        (None, _) => FileStorage::<u64>::create_temp(geo.disks, geo.b)?,
-    };
-    let mut storage: Box<dyn Storage<u64>> = Box::new(file);
+    // Storage stack, innermost first: base backend → fault injection →
+    // transient-fault retry, assembled by the shared StorageBuilder.
+    let mut builder = StorageBuilder::new(job.storage, geo.disks, geo.b).readback(job.resume);
+    if let Some(dir) = job.scratch {
+        builder = builder.dir(dir);
+    }
     if let Some(spec) = job.inject {
-        storage = Box::new(FlakyStorage::new(storage, parse_inject(spec)?));
+        builder = builder.inject(parse_inject(spec)?);
     }
-    let mut retry_counters: Option<RetryCounters> = None;
     if let Some(attempts) = job.retry {
-        let layer = RetryingStorage::new(
-            storage,
-            RetryPolicy {
-                max_attempts: attempts,
-                backoff_steps: job.backoff,
-            },
-        );
-        retry_counters = Some(layer.counters());
-        storage = Box::new(layer);
+        builder = builder.retry(RetryPolicy {
+            max_attempts: attempts,
+            backoff_steps: job.backoff,
+        });
     }
+    let built = builder.build::<u64>()?;
+    let retry_counters = built.retry_counters;
 
-    // Overlap resolves against the *assembled* stack: wrapper layers
-    // (injection, retry) report no native overlap, so `auto` only turns it
-    // on when every layer genuinely completes I/O asynchronously. `on`
-    // still works anywhere — backends without support complete eagerly,
-    // with identical accounting and output.
-    let native_overlap = storage.supports_overlap();
-    let mut pdm = Pdm::with_storage(cfg, storage)?;
+    // Overlap resolves against the *assembled* stack's caps: wrapper
+    // layers (injection, retry) report no native overlap, so `auto` only
+    // turns it on when every layer genuinely completes I/O asynchronously.
+    // `on` still works anywhere — backends without support complete
+    // eagerly, with identical accounting and output.
+    let native_overlap = built.caps.overlap;
+    let mut pdm = Pdm::with_storage(cfg, built.storage)?;
     pdm.set_overlap(match job.overlap {
         Overlap::Auto => native_overlap,
         Overlap::On => true,
@@ -565,12 +561,13 @@ fn sort(
 fn stage(
     input: &str,
     geo: Geometry,
-) -> std::result::Result<(Pdm<u64, FileStorage<u64>>, Region, usize), Box<dyn std::error::Error>> {
+) -> std::result::Result<(Pdm<u64, Box<dyn Storage<u64>>>, Region, usize), Box<dyn std::error::Error>>
+{
     let n = keyfile::count_keys(input)?;
     let cfg = PdmConfig::square(geo.disks, geo.b);
     cfg.validate()?;
-    let storage = FileStorage::<u64>::create_temp(geo.disks, geo.b)?;
-    let mut pdm = Pdm::with_storage(cfg, storage)?;
+    let built = StorageBuilder::new(BackendKind::File, geo.disks, geo.b).build::<u64>()?;
+    let mut pdm = Pdm::with_storage(cfg, built.storage)?;
     let region = pdm.alloc_region_for_keys(n.max(1))?;
     let b = cfg.block_size;
     let mut off_blocks = 0usize;
@@ -618,7 +615,7 @@ fn compare(
     )?;
     type Entry = (
         &'static str,
-        fn(&mut Pdm<u64, FileStorage<u64>>, &Region, usize) -> pdm_model::Result<(f64, f64, usize)>,
+        fn(&mut Pdm<u64, Box<dyn Storage<u64>>>, &Region, usize) -> pdm_model::Result<(f64, f64, usize)>,
     );
     let candidates: Vec<Entry> = vec![
         ("auto (dispatcher)", |p, r, n| {
@@ -746,6 +743,27 @@ mod tests {
         }
         for o in &outputs[1..] {
             assert_eq!(o, &outputs[0]);
+        }
+        std::fs::remove_file(&inp).ok();
+    }
+
+    #[test]
+    fn every_storage_backend_sorts_to_identical_output() {
+        let inp = tmp("st-in.keys");
+        let (c, _) = run_args(&["gen", "4096", &inp, "--dist", "random", "--seed", "11"]);
+        assert_eq!(c, 0);
+        let mut outputs = Vec::new();
+        for backend in ["file", "mem", "threaded", "async-file"] {
+            let outp = tmp(&format!("st-out-{backend}.keys"));
+            let (c, log) = run_args(&[
+                "sort", &inp, &outp, "--disks", "2", "--b", "16", "--storage", backend,
+            ]);
+            assert_eq!(c, 0, "{backend}: {log}");
+            outputs.push(std::fs::read(&outp).unwrap());
+            std::fs::remove_file(&outp).ok();
+        }
+        for o in &outputs[1..] {
+            assert_eq!(o, &outputs[0], "backends must be interchangeable");
         }
         std::fs::remove_file(&inp).ok();
     }

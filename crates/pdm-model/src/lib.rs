@@ -15,8 +15,12 @@
 //!   exact step accounting, and a capacity-enforced internal memory.
 //! * [`storage`] — pluggable backends: in-memory ([`storage::MemStorage`]),
 //!   file-backed ([`storage_file::FileStorage`], one host file per disk),
-//!   and thread-per-disk ([`storage_threaded::ThreadedStorage`]) for real
-//!   wall-clock disk parallelism.
+//!   thread-per-disk ([`storage_threaded::ThreadedStorage`]) for real
+//!   wall-clock disk parallelism, and asynchronous real-disk
+//!   ([`storage_async_file::AsyncFileStorage`], io_uring behind the `uring`
+//!   feature). Each backend advertises what it can do through
+//!   [`storage::StorageCaps`]; [`storage_builder::StorageBuilder`] stacks
+//!   base backends with the checksum/fault/retry wrappers.
 //! * [`stream`] — stripe-aligned sequential readers/writers and the k-way
 //!   merge kernel, all charging their staging buffers to internal memory.
 //! * [`stats::IoStats`] — per-disk and total block/step counters, phase
@@ -58,6 +62,8 @@ pub mod pool;
 pub mod probe;
 pub mod stats;
 pub mod storage;
+pub mod storage_async_file;
+pub mod storage_builder;
 pub mod storage_file;
 pub mod storage_flaky;
 pub mod storage_retry;
@@ -76,7 +82,9 @@ pub mod prelude {
     pub use crate::pool::{BlockPool, PoolStats};
     pub use crate::probe::{replay, Probe, ProbeEvent, ReplayedPhase, ReplayedStats};
     pub use crate::stats::{IoStats, OverlapCounters, PhaseStats, RetrySnapshot};
-    pub use crate::storage::{MemStorage, Storage};
+    pub use crate::storage::{MemStorage, Storage, StorageCaps};
+    pub use crate::storage_async_file::AsyncFileStorage;
+    pub use crate::storage_builder::{BackendKind, StorageBuilder};
     pub use crate::storage_file::FileStorage;
     pub use crate::storage_flaky::{FailMode, FlakyStorage};
     pub use crate::storage_retry::{RetryCounters, RetryPolicy, RetryingStorage};

@@ -165,12 +165,18 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
         if let Some(c) = &self.retry {
             let snap = c.snapshot();
             if snap != self.stats.retry {
-                self.stats.retry = snap;
                 self.stats
                     .probe_gauge("retry.retries", snap.total_retries() as i64);
                 self.stats.probe_gauge("retry.exhausted", snap.exhausted as i64);
                 self.stats
                     .probe_gauge("retry.backoff_steps", snap.backoff_steps as i64);
+                for (d, &n) in snap.per_disk_retries.iter().enumerate() {
+                    if n > 0 {
+                        self.stats
+                            .probe_gauge(&format!("retry.disk{d}.retries"), n as i64);
+                    }
+                }
+                self.stats.retry = snap;
             }
         }
     }
@@ -586,9 +592,8 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
     /// batches. Purely a wall-clock lever: the step and pass accounting of
     /// every batch is charged at issue time with the same rules, so
     /// enabling overlap never changes the counted quantities. Defaults
-    /// off; callers typically enable it when
-    /// [`Storage::supports_overlap`] reports a genuinely asynchronous
-    /// backend.
+    /// off; callers typically enable it when [`Storage::caps`] reports
+    /// `overlap` — a genuinely asynchronous backend.
     pub fn set_overlap(&mut self, on: bool) {
         self.overlap = on;
     }

@@ -87,7 +87,7 @@ pub struct OverlapCounters {
 /// Point-in-time copy of a retry layer's counters (see
 /// [`crate::storage_retry::RetryCounters::snapshot`]). All zeros when no
 /// retry layer is attached.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RetrySnapshot {
     /// Block reads reissued after a transient failure.
     pub reads_retried: u64,
@@ -97,6 +97,12 @@ pub struct RetrySnapshot {
     pub exhausted: u64,
     /// Simulated backoff parallel steps accumulated across all retries.
     pub backoff_steps: u64,
+    /// Reissued operations charged to the disk that originated them,
+    /// indexed by disk. Batch retries land here too: the retry layer
+    /// reissues batches block by block, so each reissue knows its disk.
+    /// Empty when nothing was retried (the vector grows on demand).
+    #[serde(default)]
+    pub per_disk_retries: Vec<u64>,
 }
 
 impl RetrySnapshot {

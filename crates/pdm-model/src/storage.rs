@@ -7,6 +7,38 @@
 use crate::error::{PdmError, Result};
 use crate::key::PdmKey;
 
+/// What a storage backend can actually do, beyond moving blocks.
+///
+/// A single boolean (`supports_overlap`) could not describe the real-disk
+/// backends: a backend may overlap I/O without duplex queues, use direct
+/// I/O on some mounts but not others, or verify checksums only when the
+/// feature is compiled in. Capabilities are *runtime* facts — e.g.
+/// [`StorageCaps::direct_io`] reflects whether `O_DIRECT` actually opened,
+/// not whether it was requested — so callers can branch on what the stack
+/// in front of them really provides.
+///
+/// Wrapper backends (fault injection, retry) report their inner backend's
+/// capabilities with `overlap` and `duplex` forced off: their per-block
+/// policies must apply at issue time, which requires the eager
+/// `start_*_batch` defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StorageCaps {
+    /// `start_read_batch` / `start_write_batch` return genuinely
+    /// asynchronous tokens — I/O proceeds while the caller computes.
+    pub overlap: bool,
+    /// Reads and writes are serviced by independent per-disk queues, so a
+    /// flush-behind write never queues behind a prefetch read.
+    pub duplex: bool,
+    /// Block transfers bypass the page cache (`O_DIRECT` open succeeded on
+    /// every disk file).
+    pub direct_io: bool,
+    /// Blocks carry persisted checksums verified on read-back.
+    pub checksums: bool,
+    /// The backend recycles block buffers through a [`crate::pool::BlockPool`]
+    /// (and therefore reports [`Storage::pool_stats`]).
+    pub pooled: bool,
+}
+
 /// A physical store of `D` disks, each an array of block slots of `B` keys.
 pub trait Storage<K: PdmKey>: Send {
     /// Number of disks.
@@ -59,15 +91,22 @@ pub trait Storage<K: PdmKey>: Send {
         None
     }
 
-    /// Whether this backend can genuinely overlap I/O with computation.
+    /// What this backend can do (see [`StorageCaps`]).
     ///
-    /// The default `false` means [`Storage::start_read_batch`] /
+    /// The all-false default means [`Storage::start_read_batch`] /
     /// [`Storage::start_write_batch`] fall back to the eager (blocking)
-    /// paths — correct but with no latency hiding. The threaded backend
-    /// overrides this; wrapper layers (fault injection, retry) keep the
-    /// default so their per-block policies apply at issue time.
+    /// paths — correct but with no latency hiding. The threaded and
+    /// async-file backends override this; wrapper layers (fault injection,
+    /// retry) forward their inner backend's caps with `overlap`/`duplex`
+    /// forced off so their per-block policies apply at issue time.
+    fn caps(&self) -> StorageCaps {
+        StorageCaps::default()
+    }
+
+    /// Whether this backend can genuinely overlap I/O with computation.
+    #[deprecated(note = "use `caps().overlap`; `StorageCaps` carries the full capability set")]
     fn supports_overlap(&self) -> bool {
-        false
+        self.caps().overlap
     }
 
     /// Begin an asynchronous batch read; the returned token is redeemed
@@ -141,6 +180,11 @@ impl<K: PdmKey, S: Storage<K> + ?Sized> Storage<K> for Box<S> {
         (**self).pool_stats()
     }
 
+    fn caps(&self) -> StorageCaps {
+        (**self).caps()
+    }
+
+    #[allow(deprecated)]
     fn supports_overlap(&self) -> bool {
         (**self).supports_overlap()
     }

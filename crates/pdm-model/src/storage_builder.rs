@@ -1,0 +1,342 @@
+//! Shared backend assembly: one place that knows how to stack a storage
+//! from a base backend plus the optional wrapper layers.
+//!
+//! The CLI, the bench harness, and the fault-matrix tests all need the
+//! same ladder — base backend (mem / file / threaded / async-file), then
+//! fault injection, then transient-fault retry, each layer optional and
+//! erased to `Box<dyn Storage>` — and each used to hand-roll its own copy.
+//! [`StorageBuilder`] is that ladder, written once:
+//!
+//! ```
+//! use pdm_model::prelude::*;
+//!
+//! let built = StorageBuilder::new(BackendKind::Mem, 2, 8)
+//!     .inject(FailMode::EveryNth(64))
+//!     .retry(RetryPolicy::default())
+//!     .build::<u64>()
+//!     .unwrap();
+//! let mut pdm = Pdm::with_storage(PdmConfig::square(2, 8), built.storage).unwrap();
+//! pdm.set_overlap(built.caps.overlap);
+//! if let Some(c) = built.retry_counters {
+//!     pdm.attach_retry_counters(c);
+//! }
+//! ```
+//!
+//! Overlap is deliberately *not* a builder layer: it is a machine setting,
+//! resolved by the caller from the assembled stack's [`StorageCaps`]
+//! (surfaced in [`BuiltStorage::caps`]) — wrappers force `overlap` off
+//! because they must intercept operations at issue time.
+
+use std::path::{Path, PathBuf};
+
+use crate::error::{PdmError, Result};
+use crate::key::PdmKey;
+use crate::storage::{MemStorage, Storage, StorageCaps};
+use crate::storage_async_file::AsyncFileStorage;
+use crate::storage_file::FileStorage;
+use crate::storage_flaky::{FailMode, FlakyStorage};
+use crate::storage_retry::{RetryCounters, RetryPolicy, RetryingStorage};
+use crate::storage_threaded::ThreadedStorage;
+
+/// Which base backend anchors the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// RAM-backed [`MemStorage`]: the reference cost-model backend.
+    Mem,
+    /// Synchronous one-file-per-disk [`FileStorage`].
+    File,
+    /// Thread-per-disk RAM emulation [`ThreadedStorage`] (duplex workers,
+    /// optional emulated latency).
+    Threaded,
+    /// Asynchronous real-disk [`AsyncFileStorage`] (duplex workers over
+    /// real files; io_uring with the `uring` feature).
+    AsyncFile,
+}
+
+impl BackendKind {
+    /// Whether this backend persists to a host directory (and therefore
+    /// accepts [`StorageBuilder::dir`] / readback).
+    pub fn is_file_backed(self) -> bool {
+        matches!(self, BackendKind::File | BackendKind::AsyncFile)
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "mem" => Ok(BackendKind::Mem),
+            "file" => Ok(BackendKind::File),
+            "threaded" => Ok(BackendKind::Threaded),
+            "async-file" => Ok(BackendKind::AsyncFile),
+            _ => Err(format!(
+                "unknown storage backend '{s}' (mem | file | threaded | async-file)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BackendKind::Mem => "mem",
+            BackendKind::File => "file",
+            BackendKind::Threaded => "threaded",
+            BackendKind::AsyncFile => "async-file",
+        })
+    }
+}
+
+/// The assembled stack plus the handles callers need from its layers.
+pub struct BuiltStorage<K: PdmKey> {
+    /// The full stack, outermost layer first, type-erased.
+    pub storage: Box<dyn Storage<K>>,
+    /// Capabilities of the assembled stack (wrappers already folded in);
+    /// callers resolve machine overlap from `caps.overlap`.
+    pub caps: StorageCaps,
+    /// Live counter handle of the retry layer, when one was stacked.
+    pub retry_counters: Option<RetryCounters>,
+}
+
+impl<K: PdmKey> std::fmt::Debug for BuiltStorage<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuiltStorage")
+            .field("caps", &self.caps)
+            .field("retry", &self.retry_counters.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builder for the standard storage ladder: base backend → fault
+/// injection → retry. See the module docs for the rationale and an
+/// example.
+#[derive(Debug, Clone)]
+pub struct StorageBuilder {
+    kind: BackendKind,
+    num_disks: usize,
+    block_size: usize,
+    dir: Option<PathBuf>,
+    readback: bool,
+    inject: Option<FailMode>,
+    retry: Option<RetryPolicy>,
+}
+
+impl StorageBuilder {
+    /// Start a stack over `kind` with the given geometry.
+    pub fn new(kind: BackendKind, num_disks: usize, block_size: usize) -> Self {
+        Self {
+            kind,
+            num_disks,
+            block_size,
+            dir: None,
+            readback: false,
+            inject: None,
+            retry: None,
+        }
+    }
+
+    /// Put the disk files under `dir` instead of a self-cleaning temp
+    /// directory. Only meaningful for file-backed kinds; [`Self::build`]
+    /// rejects it otherwise.
+    pub fn dir(mut self, dir: impl AsRef<Path>) -> Self {
+        self.dir = Some(dir.as_ref().to_path_buf());
+        self
+    }
+
+    /// Open existing disk files (validated against a `meta.pdm` manifest
+    /// when present) instead of truncating. Requires [`Self::dir`].
+    pub fn readback(mut self, readback: bool) -> Self {
+        self.readback = readback;
+        self
+    }
+
+    /// Stack a [`FlakyStorage`] fault-injection layer over the base.
+    pub fn inject(mut self, mode: FailMode) -> Self {
+        self.inject = Some(mode);
+        self
+    }
+
+    /// Stack a [`RetryingStorage`] transient-fault retry layer (outermost).
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Assemble the stack.
+    pub fn build<K: PdmKey>(self) -> Result<BuiltStorage<K>> {
+        let (d, b) = (self.num_disks, self.block_size);
+        if !self.kind.is_file_backed() {
+            if self.dir.is_some() {
+                return Err(PdmError::BadConfig(format!(
+                    "the '{}' backend is not file-backed and takes no scratch directory",
+                    self.kind
+                )));
+            }
+            if self.readback {
+                return Err(PdmError::BadConfig(format!(
+                    "the '{}' backend is not file-backed and cannot read back",
+                    self.kind
+                )));
+            }
+        }
+        if self.readback && self.dir.is_none() {
+            return Err(PdmError::BadConfig(
+                "readback needs a directory to read back from".into(),
+            ));
+        }
+        let mut storage: Box<dyn Storage<K>> = match (self.kind, &self.dir) {
+            (BackendKind::Mem, _) => Box::new(MemStorage::new(d, b)),
+            (BackendKind::Threaded, _) => Box::new(ThreadedStorage::new(d, b)),
+            (BackendKind::File, Some(dir)) if self.readback => {
+                Box::new(FileStorage::create_readback(dir, d, b)?)
+            }
+            (BackendKind::File, Some(dir)) => Box::new(FileStorage::create(dir, d, b)?),
+            (BackendKind::File, None) => Box::new(FileStorage::create_temp(d, b)?),
+            (BackendKind::AsyncFile, Some(dir)) if self.readback => {
+                Box::new(AsyncFileStorage::create_readback(dir, d, b)?)
+            }
+            (BackendKind::AsyncFile, Some(dir)) => Box::new(AsyncFileStorage::create(dir, d, b)?),
+            (BackendKind::AsyncFile, None) => Box::new(AsyncFileStorage::create_temp(d, b)?),
+        };
+        if let Some(mode) = self.inject {
+            storage = Box::new(FlakyStorage::new(storage, mode));
+        }
+        let mut retry_counters = None;
+        if let Some(policy) = self.retry {
+            let layer = RetryingStorage::new(storage, policy);
+            retry_counters = Some(layer.counters());
+            storage = Box::new(layer);
+        }
+        let caps = storage.caps();
+        Ok(BuiltStorage {
+            storage,
+            caps,
+            retry_counters,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PdmConfig;
+    use crate::machine::Pdm;
+
+    fn round_trip(built: BuiltStorage<u64>) {
+        let mut pdm = Pdm::with_storage(PdmConfig::square(2, 8), built.storage).unwrap();
+        let r = pdm.alloc_region_for_keys(128).unwrap();
+        let data: Vec<u64> = (0..128).rev().collect();
+        pdm.ingest(&r, &data).unwrap();
+        let mut out = Vec::new();
+        pdm.read_region(&r, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn every_backend_kind_builds_and_round_trips() {
+        for kind in [
+            BackendKind::Mem,
+            BackendKind::File,
+            BackendKind::Threaded,
+            BackendKind::AsyncFile,
+        ] {
+            round_trip(StorageBuilder::new(kind, 2, 8).build().unwrap());
+        }
+    }
+
+    #[test]
+    fn caps_reflect_the_assembled_stack() {
+        let bare = StorageBuilder::new(BackendKind::Threaded, 2, 8)
+            .build::<u64>()
+            .unwrap();
+        assert!(bare.caps.overlap, "threaded backend natively overlaps");
+        // Any wrapper forces overlap off: it must see every op at issue.
+        let wrapped = StorageBuilder::new(BackendKind::Threaded, 2, 8)
+            .retry(RetryPolicy::default())
+            .build::<u64>()
+            .unwrap();
+        assert!(!wrapped.caps.overlap);
+        assert!(wrapped.caps.pooled, "inner facts still shine through");
+        assert!(wrapped.retry_counters.is_some());
+        assert!(bare.retry_counters.is_none());
+    }
+
+    #[test]
+    fn faults_heal_under_the_stacked_retry_layer() {
+        let built = StorageBuilder::new(BackendKind::Mem, 2, 8)
+            .inject(FailMode::EveryNth(2))
+            .retry(RetryPolicy::default())
+            .build::<u64>()
+            .unwrap();
+        let counters = built.retry_counters.clone().unwrap();
+        round_trip(built);
+        let snap = counters.snapshot();
+        assert!(snap.total_retries() > 0, "EveryNth(2) must have fired");
+        assert_eq!(snap.exhausted, 0);
+    }
+
+    #[test]
+    fn non_file_kinds_reject_dir_and_readback() {
+        for kind in [BackendKind::Mem, BackendKind::Threaded] {
+            let e = StorageBuilder::new(kind, 2, 8)
+                .dir("/tmp/nope")
+                .build::<u64>()
+                .unwrap_err();
+            assert!(matches!(e, PdmError::BadConfig(_)), "{kind}: {e}");
+            let e = StorageBuilder::new(kind, 2, 8)
+                .readback(true)
+                .build::<u64>()
+                .unwrap_err();
+            assert!(matches!(e, PdmError::BadConfig(_)), "{kind}: {e}");
+        }
+        let e = StorageBuilder::new(BackendKind::File, 2, 8)
+            .readback(true)
+            .build::<u64>()
+            .unwrap_err();
+        assert!(matches!(e, PdmError::BadConfig(_)), "readback without dir");
+    }
+
+    #[test]
+    fn dir_backed_stacks_persist_across_builds() {
+        let dir = std::env::temp_dir().join(format!("pdm-builder-rb-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let built = StorageBuilder::new(BackendKind::File, 2, 8)
+                .dir(&dir)
+                .build::<u64>()
+                .unwrap();
+            let mut s = built.storage;
+            s.ensure_capacity(0, 1).unwrap();
+            s.write_block(0, 0, &[7; 8]).unwrap();
+            s.sync().unwrap();
+        }
+        // Read the same directory back through the *async* backend: the
+        // manifest format is shared.
+        let built = StorageBuilder::new(BackendKind::AsyncFile, 2, 8)
+            .dir(&dir)
+            .readback(true)
+            .build::<u64>()
+            .unwrap();
+        let mut s = built.storage;
+        let mut out = [0u64; 8];
+        s.read_block(0, 0, &mut out).unwrap();
+        assert_eq!(out, [7; 8]);
+        drop(s);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backend_kind_parses_and_displays() {
+        for (text, kind) in [
+            ("mem", BackendKind::Mem),
+            ("file", BackendKind::File),
+            ("threaded", BackendKind::Threaded),
+            ("async-file", BackendKind::AsyncFile),
+        ] {
+            assert_eq!(text.parse::<BackendKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), text);
+        }
+        assert!("floppy".parse::<BackendKind>().is_err());
+    }
+}

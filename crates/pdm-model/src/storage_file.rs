@@ -41,6 +41,93 @@ use std::path::{Path, PathBuf};
 /// Magic first line of the `meta.pdm` geometry manifest.
 const META_MAGIC: &str = "pdm-disk-meta-v1";
 
+/// Parse and validate a `meta.pdm` manifest, returning the per-disk
+/// allocation it records. Shared by every file-backed backend so they all
+/// speak the same manifest format.
+pub(crate) fn parse_meta(
+    text: &str,
+    num_disks: usize,
+    block_size: usize,
+    key_width: usize,
+) -> Result<Vec<usize>> {
+    let bad = |msg: String| PdmError::BadConfig(format!("disk meta manifest: {msg}"));
+    let mut lines = text.lines();
+    if lines.next() != Some(META_MAGIC) {
+        return Err(bad("missing or wrong magic line".into()));
+    }
+    let mut disks = None;
+    let mut block = None;
+    let mut width = None;
+    let mut allocated: Option<Vec<usize>> = None;
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line
+            .split_once('=')
+            .ok_or_else(|| bad("line without '='".into()))?;
+        let (k, v) = (k.trim(), v.trim());
+        match k {
+            "disks" => disks = Some(v.parse::<usize>().map_err(|_| bad("bad disks".into()))?),
+            "block" => block = Some(v.parse::<usize>().map_err(|_| bad("bad block".into()))?),
+            "width" => width = Some(v.parse::<usize>().map_err(|_| bad("bad width".into()))?),
+            "allocated" => {
+                let list: std::result::Result<Vec<usize>, _> =
+                    v.split_whitespace().map(str::parse).collect();
+                allocated = Some(list.map_err(|_| bad("bad allocated list".into()))?);
+            }
+            _ => return Err(bad(format!("unknown key '{k}'"))),
+        }
+    }
+    let disks = disks.ok_or_else(|| bad("missing disks".into()))?;
+    let block = block.ok_or_else(|| bad("missing block".into()))?;
+    let width = width.ok_or_else(|| bad("missing width".into()))?;
+    let allocated = allocated.ok_or_else(|| bad("missing allocated".into()))?;
+    if disks != num_disks || block != block_size || width != key_width {
+        return Err(bad(format!(
+            "geometry mismatch: manifest has {disks} disks, B = {block}, \
+             key width {width}; caller wants {num_disks} disks, B = {block_size}, \
+             key width {key_width}"
+        )));
+    }
+    if allocated.len() != disks {
+        return Err(bad("allocated list length disagrees with disks".into()));
+    }
+    Ok(allocated)
+}
+
+/// Atomically persist a geometry manifest under `dir`: temp file + fsync +
+/// rename + directory fsync. Shared by every file-backed backend.
+pub(crate) fn write_meta(
+    dir: &Path,
+    num_disks: usize,
+    block_size: usize,
+    key_width: usize,
+    allocated: &[usize],
+) -> Result<()> {
+    let mut text = String::from(META_MAGIC);
+    text.push('\n');
+    text.push_str(&format!(
+        "disks = {num_disks}\nblock = {block_size}\nwidth = {key_width}\n"
+    ));
+    text.push_str("allocated =");
+    for a in allocated {
+        text.push_str(&format!(" {a}"));
+    }
+    text.push('\n');
+    let tmp = dir.join("meta.pdm.tmp");
+    let fin = dir.join("meta.pdm");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, &fin)?;
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
 /// One file per disk, blocks stored back-to-back.
 pub struct FileStorage<K: PdmKey> {
     files: Vec<File>,
@@ -107,7 +194,7 @@ impl<K: PdmKey> FileStorage<K> {
     ) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         let meta_allocated = match std::fs::read_to_string(dir.join("meta.pdm")) {
-            Ok(text) => Some(Self::parse_meta(&text, num_disks, block_size)?),
+            Ok(text) => Some(parse_meta(&text, num_disks, block_size, K::WIDTH)?),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
             Err(e) => return Err(e.into()),
         };
@@ -198,85 +285,6 @@ impl<K: PdmKey> FileStorage<K> {
             sum_paths.push(path);
         }
         Ok((sums, sum_paths))
-    }
-
-    /// Parse and validate a `meta.pdm` manifest, returning the per-disk
-    /// allocation it records.
-    fn parse_meta(text: &str, num_disks: usize, block_size: usize) -> Result<Vec<usize>> {
-        let bad = |msg: String| PdmError::BadConfig(format!("disk meta manifest: {msg}"));
-        let mut lines = text.lines();
-        if lines.next() != Some(META_MAGIC) {
-            return Err(bad("missing or wrong magic line".into()));
-        }
-        let mut disks = None;
-        let mut block = None;
-        let mut width = None;
-        let mut allocated: Option<Vec<usize>> = None;
-        for line in lines {
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
-            }
-            let (k, v) = line
-                .split_once('=')
-                .ok_or_else(|| bad("line without '='".into()))?;
-            let (k, v) = (k.trim(), v.trim());
-            match k {
-                "disks" => disks = Some(v.parse::<usize>().map_err(|_| bad("bad disks".into()))?),
-                "block" => block = Some(v.parse::<usize>().map_err(|_| bad("bad block".into()))?),
-                "width" => width = Some(v.parse::<usize>().map_err(|_| bad("bad width".into()))?),
-                "allocated" => {
-                    let list: std::result::Result<Vec<usize>, _> =
-                        v.split_whitespace().map(str::parse).collect();
-                    allocated = Some(list.map_err(|_| bad("bad allocated list".into()))?);
-                }
-                _ => return Err(bad(format!("unknown key '{k}'"))),
-            }
-        }
-        let disks = disks.ok_or_else(|| bad("missing disks".into()))?;
-        let block = block.ok_or_else(|| bad("missing block".into()))?;
-        let width = width.ok_or_else(|| bad("missing width".into()))?;
-        let allocated = allocated.ok_or_else(|| bad("missing allocated".into()))?;
-        if disks != num_disks || block != block_size || width != K::WIDTH {
-            return Err(bad(format!(
-                "geometry mismatch: manifest has {disks} disks, B = {block}, \
-                 key width {width}; caller wants {num_disks} disks, B = {block_size}, \
-                 key width {}",
-                K::WIDTH
-            )));
-        }
-        if allocated.len() != disks {
-            return Err(bad("allocated list length disagrees with disks".into()));
-        }
-        Ok(allocated)
-    }
-
-    /// Atomically persist the geometry manifest: temp file + fsync +
-    /// rename + directory fsync.
-    fn write_meta(&self) -> Result<()> {
-        let mut text = String::from(META_MAGIC);
-        text.push('\n');
-        text.push_str(&format!(
-            "disks = {}\nblock = {}\nwidth = {}\n",
-            self.files.len(),
-            self.block_size,
-            K::WIDTH
-        ));
-        text.push_str("allocated =");
-        for a in &self.allocated {
-            text.push_str(&format!(" {a}"));
-        }
-        text.push('\n');
-        let tmp = self.dir.join("meta.pdm.tmp");
-        let fin = self.dir.join("meta.pdm");
-        {
-            let mut f = File::create(&tmp)?;
-            f.write_all(text.as_bytes())?;
-            f.sync_all()?;
-        }
-        std::fs::rename(&tmp, &fin)?;
-        File::open(&self.dir)?.sync_all()?;
-        Ok(())
     }
 
     fn check(&self, disk: usize, slot: usize) -> Result<()> {
@@ -396,7 +404,22 @@ impl<K: PdmKey> Storage<K> for FileStorage<K> {
             f.flush()?;
             f.sync_all()?;
         }
-        self.write_meta()
+        write_meta(
+            &self.dir,
+            self.files.len(),
+            self.block_size,
+            K::WIDTH,
+            &self.allocated,
+        )
+    }
+
+    /// Synchronous file I/O: no overlap, no pool — but checksums when the
+    /// `block-checksums` feature is compiled in.
+    fn caps(&self) -> crate::storage::StorageCaps {
+        crate::storage::StorageCaps {
+            checksums: cfg!(feature = "block-checksums"),
+            ..Default::default()
+        }
     }
 }
 

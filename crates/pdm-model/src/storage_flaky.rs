@@ -173,6 +173,17 @@ impl<K: PdmKey, S: Storage<K>> Storage<K> for FlakyStorage<S> {
     fn pool_stats(&self) -> Option<crate::pool::PoolStats> {
         self.inner.pool_stats()
     }
+
+    /// Inner caps with `overlap`/`duplex` forced off: fault injection must
+    /// intercept every operation at issue time, which requires the eager
+    /// `start_*_batch` defaults.
+    fn caps(&self) -> crate::storage::StorageCaps {
+        crate::storage::StorageCaps {
+            overlap: false,
+            duplex: false,
+            ..self.inner.caps()
+        }
+    }
 }
 
 #[cfg(test)]

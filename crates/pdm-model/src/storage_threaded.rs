@@ -469,9 +469,17 @@ impl<K: PdmKey> Storage<K> for ThreadedStorage<K> {
     }
 
     /// The worker threads service requests while the caller computes, so
-    /// overlap genuinely hides latency here (unlike the eager defaults).
-    fn supports_overlap(&self) -> bool {
-        true
+    /// overlap genuinely hides latency here (unlike the eager defaults);
+    /// each disk has independent read and write workers (duplex) and block
+    /// buffers recycle through a pool.
+    fn caps(&self) -> crate::storage::StorageCaps {
+        crate::storage::StorageCaps {
+            overlap: true,
+            duplex: true,
+            direct_io: false,
+            checksums: false,
+            pooled: true,
+        }
     }
 
     fn start_read_batch(

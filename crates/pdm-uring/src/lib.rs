@@ -1,0 +1,666 @@
+//! Minimal io_uring driver for batched block I/O — no external crates.
+//!
+//! This crate exists so `pdm-model`'s `AsyncFileStorage` can submit a whole
+//! batch of block reads or writes to the kernel in one `io_uring_enter`
+//! and reap the completions, instead of issuing one synchronous
+//! `pread`/`pwrite` per block. It deliberately wraps only the sliver of
+//! io_uring the sorter needs:
+//!
+//! * [`Ring::new`] sets up one ring (fails cleanly where io_uring is
+//!   unavailable — old kernels, seccomp-filtered containers, non-Linux —
+//!   so callers can fall back to synchronous I/O);
+//! * [`Ring::run`] drives a batch of [`Op`]s to completion, handling
+//!   short reads/writes by resubmitting the remainder, and returns one
+//!   `io::Result` per op.
+//!
+//! All unsafe code in the workspace lives here; `pdm-model` itself stays
+//! `#![forbid(unsafe_code)]`. The implementation speaks the raw syscall
+//! ABI (`io_uring_setup` = 425, `io_uring_enter` = 426, both from the
+//! asm-generic table, plus `mmap` for the shared rings) through the libc
+//! symbols the standard library already links.
+
+#![warn(missing_docs)]
+
+use std::io;
+
+/// One block transfer for [`Ring::run`]. Offsets are absolute file byte
+/// offsets; buffer length is the transfer size.
+pub enum Op<'a> {
+    /// Read `buf.len()` bytes at `offset` from `fd` into `buf`.
+    Read {
+        /// Raw file descriptor (must stay open for the duration of `run`).
+        fd: i32,
+        /// Destination buffer, filled completely on success.
+        buf: &'a mut [u8],
+        /// Absolute byte offset in the file.
+        offset: u64,
+    },
+    /// Write all of `buf` at `offset` to `fd`.
+    Write {
+        /// Raw file descriptor (must stay open for the duration of `run`).
+        fd: i32,
+        /// Source buffer, written completely on success.
+        buf: &'a [u8],
+        /// Absolute byte offset in the file.
+        offset: u64,
+    },
+}
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use super::Op;
+    use std::io;
+    use std::os::raw::{c_int, c_long, c_uint, c_void};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    const SYS_IO_URING_SETUP: c_long = 425;
+    const SYS_IO_URING_ENTER: c_long = 426;
+
+    const IORING_OP_READ: u8 = 22;
+    const IORING_OP_WRITE: u8 = 23;
+    const IORING_ENTER_GETEVENTS: c_uint = 1;
+    const IORING_FEAT_SINGLE_MMAP: u32 = 1;
+
+    const IORING_OFF_SQ_RING: i64 = 0;
+    const IORING_OFF_CQ_RING: i64 = 0x0800_0000;
+    const IORING_OFF_SQES: i64 = 0x1000_0000;
+
+    const PROT_READ_WRITE: c_int = 0x3;
+    const MAP_SHARED_POPULATE: c_int = 0x8001;
+
+    extern "C" {
+        fn syscall(num: c_long, ...) -> c_long;
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    #[repr(C)]
+    #[derive(Default)]
+    struct SqringOffsets {
+        head: u32,
+        tail: u32,
+        ring_mask: u32,
+        ring_entries: u32,
+        flags: u32,
+        dropped: u32,
+        array: u32,
+        resv1: u32,
+        user_addr: u64,
+    }
+
+    #[repr(C)]
+    #[derive(Default)]
+    struct CqringOffsets {
+        head: u32,
+        tail: u32,
+        ring_mask: u32,
+        ring_entries: u32,
+        overflow: u32,
+        cqes: u32,
+        flags: u32,
+        resv1: u32,
+        user_addr: u64,
+    }
+
+    #[repr(C)]
+    #[derive(Default)]
+    struct SetupParams {
+        sq_entries: u32,
+        cq_entries: u32,
+        flags: u32,
+        sq_thread_cpu: u32,
+        sq_thread_idle: u32,
+        features: u32,
+        wq_fd: u32,
+        resv: [u32; 3],
+        sq_off: SqringOffsets,
+        cq_off: CqringOffsets,
+    }
+
+    /// Submission queue entry, 64 bytes (the non-union fields this driver
+    /// uses; the rest stays zeroed).
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct Sqe {
+        opcode: u8,
+        flags: u8,
+        ioprio: u16,
+        fd: i32,
+        off: u64,
+        addr: u64,
+        len: u32,
+        rw_flags: u32,
+        user_data: u64,
+        pad: [u64; 3],
+    }
+
+    /// Completion queue entry, 16 bytes.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct Cqe {
+        user_data: u64,
+        res: i32,
+        flags: u32,
+    }
+
+    struct Mapping {
+        ptr: *mut u8,
+        len: usize,
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            unsafe {
+                munmap(self.ptr.cast(), self.len);
+            }
+        }
+    }
+
+    /// One io_uring instance: a submission ring, a completion ring, and
+    /// the SQE array, all mmap-shared with the kernel.
+    pub struct Ring {
+        fd: i32,
+        // Keep the mappings alive; dropped (munmapped) after use.
+        _sq_map: Mapping,
+        _cq_map: Option<Mapping>,
+        _sqe_map: Mapping,
+        sq_head: *const AtomicU32,
+        sq_tail: *const AtomicU32,
+        sq_mask: u32,
+        sq_entries: u32,
+        sq_array: *mut u32,
+        sqes: *mut Sqe,
+        cq_head: *const AtomicU32,
+        cq_tail: *const AtomicU32,
+        cq_mask: u32,
+        cqes: *const Cqe,
+    }
+
+    // The raw pointers all target the two mmap regions owned by this value,
+    // which live and die with it; the kernel side is inherently
+    // cross-thread. Moving the Ring to another thread is therefore sound
+    // (it is not Sync — all methods take &mut self).
+    unsafe impl Send for Ring {}
+
+    fn map(fd: i32, len: usize, offset: i64) -> io::Result<Mapping> {
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ_WRITE,
+                MAP_SHARED_POPULATE,
+                fd,
+                offset,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mapping {
+            ptr: ptr.cast(),
+            len,
+        })
+    }
+
+    impl Ring {
+        /// Set up a ring with (at least) `entries` submission slots.
+        ///
+        /// Errors instead of panicking when the kernel refuses — ENOSYS on
+        /// pre-5.1 kernels, EPERM under seccomp policies that filter the
+        /// io_uring syscalls (common in container runtimes) — so callers
+        /// can detect unavailability at startup and fall back.
+        pub fn new(entries: u32) -> io::Result<Ring> {
+            let mut p = SetupParams::default();
+            let ret = unsafe {
+                syscall(
+                    SYS_IO_URING_SETUP,
+                    entries as c_long,
+                    &mut p as *mut SetupParams,
+                )
+            };
+            if ret < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let fd = ret as i32;
+            // On any setup failure past this point the fd must not leak.
+            let build = (|| {
+                let sq_len = p.sq_off.array as usize + p.sq_entries as usize * 4;
+                let cq_len =
+                    p.cq_off.cqes as usize + p.cq_entries as usize * std::mem::size_of::<Cqe>();
+                let (sq_map, cq_map) = if p.features & IORING_FEAT_SINGLE_MMAP != 0 {
+                    (map(fd, sq_len.max(cq_len), IORING_OFF_SQ_RING)?, None)
+                } else {
+                    (
+                        map(fd, sq_len, IORING_OFF_SQ_RING)?,
+                        Some(map(fd, cq_len, IORING_OFF_CQ_RING)?),
+                    )
+                };
+                let sqe_map = map(
+                    fd,
+                    p.sq_entries as usize * std::mem::size_of::<Sqe>(),
+                    IORING_OFF_SQES,
+                )?;
+                let sq = sq_map.ptr;
+                let cq = cq_map.as_ref().map_or(sq_map.ptr, |m| m.ptr);
+                // Safety of the pointer arithmetic: every offset in
+                // SetupParams is a kernel-provided offset into the ring
+                // mapping it belongs to, in bounds by construction.
+                let ring = unsafe {
+                    Ring {
+                        fd,
+                        sq_head: sq.add(p.sq_off.head as usize).cast(),
+                        sq_tail: sq.add(p.sq_off.tail as usize).cast(),
+                        sq_mask: *sq.add(p.sq_off.ring_mask as usize).cast::<u32>(),
+                        sq_entries: p.sq_entries,
+                        sq_array: sq.add(p.sq_off.array as usize).cast(),
+                        sqes: sqe_map.ptr.cast(),
+                        cq_head: cq.add(p.cq_off.head as usize).cast(),
+                        cq_tail: cq.add(p.cq_off.tail as usize).cast(),
+                        cq_mask: *cq.add(p.cq_off.ring_mask as usize).cast::<u32>(),
+                        cqes: cq.add(p.cq_off.cqes as usize).cast(),
+                        _sq_map: sq_map,
+                        _cq_map: cq_map,
+                        _sqe_map: sqe_map,
+                    }
+                };
+                Ok(ring)
+            })();
+            match build {
+                Ok(ring) => Ok(ring),
+                Err(e) => {
+                    unsafe {
+                        close(fd);
+                    }
+                    Err(e)
+                }
+            }
+        }
+
+        /// Submission slots in the ring (ops beyond this are queued by
+        /// [`Ring::run`] and submitted as slots free up).
+        pub fn capacity(&self) -> usize {
+            self.sq_entries as usize
+        }
+
+        fn sq_pending(&self) -> u32 {
+            let head = unsafe { (*self.sq_head).load(Ordering::Acquire) };
+            let tail = unsafe { (*self.sq_tail).load(Ordering::Relaxed) };
+            tail.wrapping_sub(head)
+        }
+
+        fn push_sqe(&mut self, sqe: Sqe) -> bool {
+            if self.sq_pending() >= self.sq_entries {
+                return false;
+            }
+            let tail = unsafe { (*self.sq_tail).load(Ordering::Relaxed) };
+            let idx = tail & self.sq_mask;
+            unsafe {
+                self.sqes.add(idx as usize).write(sqe);
+                self.sq_array.add(idx as usize).write(idx);
+                // Publish the SQE before the tail moves, or the kernel may
+                // read a stale entry.
+                (*self.sq_tail).store(tail.wrapping_add(1), Ordering::Release);
+            }
+            true
+        }
+
+        fn pop_cqe(&mut self) -> Option<Cqe> {
+            let head = unsafe { (*self.cq_head).load(Ordering::Relaxed) };
+            let tail = unsafe { (*self.cq_tail).load(Ordering::Acquire) };
+            if head == tail {
+                return None;
+            }
+            let cqe = unsafe { *self.cqes.add((head & self.cq_mask) as usize) };
+            unsafe {
+                // Release the slot back to the kernel only after the copy.
+                (*self.cq_head).store(head.wrapping_add(1), Ordering::Release);
+            }
+            Some(cqe)
+        }
+
+        fn enter(&mut self, to_submit: u32, min_complete: u32) -> io::Result<()> {
+            loop {
+                let ret = unsafe {
+                    syscall(
+                        SYS_IO_URING_ENTER,
+                        self.fd as c_long,
+                        to_submit as c_long,
+                        min_complete as c_long,
+                        IORING_ENTER_GETEVENTS as c_long,
+                        std::ptr::null::<c_void>(),
+                        0usize,
+                    )
+                };
+                if ret >= 0 {
+                    return Ok(());
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            }
+        }
+
+        /// Drive every op to completion. Short transfers are resubmitted
+        /// for the remainder; the result vector is index-aligned with
+        /// `ops`. A transport-level failure of `io_uring_enter` is
+        /// reported on every op still outstanding at that point.
+        pub fn run(&mut self, ops: &mut [Op<'_>]) -> Vec<io::Result<()>> {
+            struct Track {
+                done: usize,
+                err: Option<io::Error>,
+                in_flight: bool,
+            }
+            let mut track: Vec<Track> = ops
+                .iter()
+                .map(|_| Track {
+                    done: 0,
+                    err: None,
+                    in_flight: false,
+                })
+                .collect();
+            let op_len = |op: &Op<'_>| match op {
+                Op::Read { buf, .. } => buf.len(),
+                Op::Write { buf, .. } => buf.len(),
+            };
+            loop {
+                // Fill the submission ring with every op that still has
+                // bytes outstanding and is not already in flight.
+                let mut in_flight = 0u32;
+                for (i, op) in ops.iter_mut().enumerate() {
+                    let t = &mut track[i];
+                    if t.in_flight {
+                        in_flight += 1;
+                        continue;
+                    }
+                    if t.err.is_some() || t.done >= op_len(op) {
+                        continue;
+                    }
+                    let (opcode, fd, addr, len, off) = match op {
+                        Op::Read { fd, buf, offset } => (
+                            IORING_OP_READ,
+                            *fd,
+                            buf[t.done..].as_mut_ptr() as u64,
+                            (buf.len() - t.done) as u32,
+                            *offset + t.done as u64,
+                        ),
+                        Op::Write { fd, buf, offset } => (
+                            IORING_OP_WRITE,
+                            *fd,
+                            buf[t.done..].as_ptr() as u64,
+                            (buf.len() - t.done) as u32,
+                            *offset + t.done as u64,
+                        ),
+                    };
+                    let sqe = Sqe {
+                        opcode,
+                        flags: 0,
+                        ioprio: 0,
+                        fd,
+                        off,
+                        addr,
+                        len,
+                        rw_flags: 0,
+                        user_data: i as u64,
+                        pad: [0; 3],
+                    };
+                    if !self.push_sqe(sqe) {
+                        break; // ring full — the rest submits next round
+                    }
+                    t.in_flight = true;
+                    in_flight += 1;
+                }
+                if in_flight == 0 {
+                    break; // everything completed or errored
+                }
+                if let Err(e) = self.enter(self.sq_pending(), in_flight) {
+                    for (t, op) in track.iter_mut().zip(ops.iter()) {
+                        if t.err.is_none() && t.done < op_len(op) {
+                            t.err = Some(io::Error::new(e.kind(), e.to_string()));
+                        }
+                    }
+                    break;
+                }
+                while let Some(cqe) = self.pop_cqe() {
+                    let i = cqe.user_data as usize;
+                    let t = &mut track[i];
+                    t.in_flight = false;
+                    if cqe.res < 0 {
+                        t.err = Some(io::Error::from_raw_os_error(-cqe.res));
+                    } else if cqe.res == 0 && t.done < op_len(&ops[i]) {
+                        t.err = Some(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "read past end of file",
+                        ));
+                    } else {
+                        t.done += cqe.res as usize;
+                    }
+                }
+            }
+            track
+                .into_iter()
+                .map(|t| match t.err {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                })
+                .collect()
+        }
+    }
+
+    impl Drop for Ring {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.fd);
+            }
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+pub use linux::Ring;
+
+/// Stub ring for non-Linux targets: setup always fails, so callers take
+/// their synchronous fallback path.
+#[cfg(not(target_os = "linux"))]
+pub struct Ring {
+    never: std::convert::Infallible,
+}
+
+#[cfg(not(target_os = "linux"))]
+impl Ring {
+    /// io_uring is Linux-only; always errors here.
+    pub fn new(_entries: u32) -> io::Result<Ring> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "io_uring is only available on Linux",
+        ))
+    }
+
+    /// Unreachable (a stub `Ring` cannot be constructed).
+    pub fn capacity(&self) -> usize {
+        match self.never {}
+    }
+
+    /// Unreachable (a stub `Ring` cannot be constructed).
+    pub fn run(&mut self, _ops: &mut [Op<'_>]) -> Vec<io::Result<()>> {
+        match self.never {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Seek, SeekFrom, Write};
+
+    fn ring_or_skip(entries: u32) -> Option<Ring> {
+        match Ring::new(entries) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                eprintln!("skipping: io_uring unavailable here ({e})");
+                None
+            }
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    fn raw_fd(f: &std::fs::File) -> i32 {
+        use std::os::fd::AsRawFd;
+        f.as_raw_fd()
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    fn raw_fd(_f: &std::fs::File) -> i32 {
+        -1
+    }
+
+    fn temp_file(tag: &str) -> (std::path::PathBuf, std::fs::File) {
+        let path = std::env::temp_dir().join(format!(
+            "pdm-uring-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .unwrap();
+        (path, f)
+    }
+
+    #[test]
+    fn batch_of_writes_then_reads_round_trips() {
+        let Some(mut ring) = ring_or_skip(4) else {
+            return;
+        };
+        let (path, f) = temp_file("rt");
+        let fd = raw_fd(&f);
+        let blocks: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 512]).collect();
+        // 8 ops through a 4-entry ring exercises the queue-as-slots-free path.
+        let mut writes: Vec<Op<'_>> = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| Op::Write {
+                fd,
+                buf: b,
+                offset: i as u64 * 512,
+            })
+            .collect();
+        for r in ring.run(&mut writes) {
+            r.unwrap();
+        }
+        let mut bufs: Vec<Vec<u8>> = (0..8).map(|_| vec![0u8; 512]).collect();
+        let mut reads: Vec<Op<'_>> = bufs
+            .iter_mut()
+            .enumerate()
+            .map(|(i, b)| Op::Read {
+                fd,
+                buf: b,
+                offset: i as u64 * 512,
+            })
+            .collect();
+        for r in ring.run(&mut reads) {
+            r.unwrap();
+        }
+        assert_eq!(bufs, blocks);
+        drop(f);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn ring_io_is_visible_to_ordinary_file_io_and_vice_versa() {
+        let Some(mut ring) = ring_or_skip(8) else {
+            return;
+        };
+        let (path, mut f) = temp_file("mix");
+        f.write_all(&[7u8; 256]).unwrap();
+        f.flush().unwrap();
+        let fd = raw_fd(&f);
+        let mut buf = vec![0u8; 256];
+        let mut ops = vec![Op::Read {
+            fd,
+            buf: &mut buf,
+            offset: 0,
+        }];
+        for r in ring.run(&mut ops) {
+            r.unwrap();
+        }
+        assert_eq!(buf, vec![7u8; 256]);
+        let payload = vec![9u8; 128];
+        let mut ops = vec![Op::Write {
+            fd,
+            buf: &payload,
+            offset: 256,
+        }];
+        for r in ring.run(&mut ops) {
+            r.unwrap();
+        }
+        let mut back = vec![0u8; 128];
+        f.seek(SeekFrom::Start(256)).unwrap();
+        f.read_exact(&mut back).unwrap();
+        assert_eq!(back, payload);
+        drop(f);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn per_op_errors_do_not_poison_the_batch() {
+        let Some(mut ring) = ring_or_skip(8) else {
+            return;
+        };
+        let (path, f) = temp_file("err");
+        let fd = raw_fd(&f);
+        let good = vec![3u8; 64];
+        let mut bad_buf = vec![0u8; 64];
+        let mut ops = vec![
+            Op::Write {
+                fd,
+                buf: &good,
+                offset: 0,
+            },
+            // Reading from a closed descriptor must fail just that op.
+            Op::Read {
+                fd: -1,
+                buf: &mut bad_buf,
+                offset: 0,
+            },
+        ];
+        let res = ring.run(&mut ops);
+        assert!(res[0].is_ok(), "good write failed: {:?}", res[0]);
+        assert!(res[1].is_err(), "bad-fd read unexpectedly succeeded");
+        drop(f);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn read_past_eof_reports_unexpected_eof() {
+        let Some(mut ring) = ring_or_skip(8) else {
+            return;
+        };
+        let (path, f) = temp_file("eof");
+        f.set_len(100).unwrap();
+        let fd = raw_fd(&f);
+        let mut buf = vec![0u8; 256];
+        let mut ops = vec![Op::Read {
+            fd,
+            buf: &mut buf,
+            offset: 0,
+        }];
+        let res = ring.run(&mut ops);
+        match &res[0] {
+            Err(e) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            Ok(()) => panic!("short file read claimed success"),
+        }
+        drop(f);
+        std::fs::remove_file(path).unwrap();
+    }
+}

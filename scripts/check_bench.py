@@ -24,6 +24,16 @@ back-pressure. Pass counts in the artifact are
 recorded from legs the bench itself asserts identical, so no cross-leg
 check is needed here.
 
+Real-disk artifact (--real-disk BENCH_realdisk.json): validates the
+async-file backend A/B artifact and gates the headline real-disk claim —
+`seven_pass` with overlap on must strictly beat overlap off. The smoke
+run lands on tmpfs where I/O latency is tiny, so the gate only demands a
+strict win (improvement > 0), not the 20% floor the latency-simulated
+overlap artifact earns. The mergesort baseline row must be present, and
+every sorter row must stay within the paper's constant pass budget (the
+baseline's own pass count grows with n, so at smoke sizes it is not a
+useful yardstick).
+
 Regression check (only for rows whose identity — name plus n/k/backend —
 appears in both files): ns_per_key / loser_ns_per_key / wall_ms may not
 exceed baseline by more than --tolerance (default 25%). Quick-mode runs
@@ -33,6 +43,7 @@ baseline and only the schema + invariants apply.
 Usage:
     scripts/check_bench.py --current out.json [--baseline BENCH_kernels.json]
                            [--tolerance 0.25] [--overlap BENCH_overlap.json]
+    scripts/check_bench.py --real-disk BENCH_realdisk.json
 """
 
 import argparse
@@ -170,6 +181,81 @@ def check_overlap_invariants(doc, path):
                 print(f"  ok: {ident}: flush stall rate {stall_rate:.1%}")
 
 
+REALDISK_MUST_IMPROVE = {"seven_pass"}
+
+# Largest read-pass count any PDM sorter row may report: the title's "small
+# number of passes" is 7 (seven_pass is the deepest pipeline we bench).
+REALDISK_PASS_BUDGET = 7.0
+
+
+def check_realdisk_row(row, ctx):
+    require(row, "name", str, ctx)
+    require(row, "n", int, ctx)
+    require(row, "wall_ms_blocking", float, ctx)
+    require(row, "wall_ms_overlap", float, ctx)
+    require(row, "improvement", float, ctx)
+    require(row, "read_passes", float, ctx)
+    require(row, "write_passes", float, ctx)
+
+
+def check_realdisk_schema(doc, path):
+    require(doc, "schema_version", int, path)
+    require(doc, "quick", bool, path)
+    backend = require(doc, "backend", str, path)
+    if backend is not None and backend != "async-file":
+        fail(f"{path}: real-disk artifact backend is '{backend}', "
+             f"expected 'async-file'")
+    require(doc, "direct_io", bool, path)
+    for row in require(doc, "real_disk", list, path) or []:
+        check_realdisk_row(row, f"{path}:real_disk[{row.get('name', '?')}]")
+    baseline = require(doc, "baseline", dict, path)
+    if baseline is not None:
+        check_realdisk_row(baseline, f"{path}:baseline")
+
+
+def check_realdisk_invariants(doc, path):
+    rows = doc.get("real_disk", [])
+    if not rows:
+        fail(f"{path}: real-disk artifact has no rows")
+    names = {row.get("name") for row in rows}
+    for wanted in REALDISK_MUST_IMPROVE:
+        if wanted not in names:
+            fail(f"{path}: no real-disk row for '{wanted}'")
+    for row in rows:
+        name, n = row.get("name", "?"), row.get("n", 0)
+        ident = f"{name} n={n}"
+        if row.get("read_passes", 0) <= 0 or row.get("write_passes", 0) <= 0:
+            fail(f"{path}: {ident}: pass counters are empty — the A/B "
+                 f"legs did no I/O")
+        imp = row.get("improvement", 0.0)
+        if name in REALDISK_MUST_IMPROVE:
+            if imp <= 0.0:
+                fail(f"{path}: {ident}: overlap-on ({row.get('wall_ms_overlap')} ms) "
+                     f"does not beat overlap-off "
+                     f"({row.get('wall_ms_blocking')} ms) on real disk")
+            else:
+                print(f"  ok: {ident}: overlap beats blocking by {imp:.1%}")
+        else:
+            print(f"  ok: {ident}: improvement {imp:.1%} (informational)")
+    baseline = doc.get("baseline") or {}
+    if baseline.get("name") != "mergesort":
+        fail(f"{path}: baseline row must be the naive external mergesort")
+        return
+    if baseline.get("read_passes", 0) <= 0 or baseline.get("write_passes", 0) <= 0:
+        fail(f"{path}: mergesort baseline did no I/O")
+    # The paper's currency: every sorter stays within a small constant pass
+    # budget regardless of n. (The mergesort baseline's pass count grows
+    # with n, so it is not a useful yardstick at smoke-test sizes.)
+    for row in rows:
+        rp = row.get("read_passes", float("inf"))
+        if rp > REALDISK_PASS_BUDGET:
+            fail(f"{path}: {row.get('name', '?')}: {rp} read passes exceeds "
+                 f"the paper's {REALDISK_PASS_BUDGET}-pass budget")
+        else:
+            print(f"  ok: {row.get('name', '?')}: {rp} read passes within "
+                  f"the {REALDISK_PASS_BUDGET}-pass budget")
+
+
 def rows_by_identity(doc):
     out = {}
     for row in doc.get("kernels", []):
@@ -216,7 +302,22 @@ def main():
     ap.add_argument("--overlap", default=None,
                     help="overlap A/B artifact (BENCH_overlap.json) to "
                          "validate and gate")
+    ap.add_argument("--real-disk", default=None, dest="real_disk",
+                    help="real-disk A/B artifact (BENCH_realdisk.json) to "
+                         "validate and gate; exclusive mode, mirrors "
+                         "`pdm-bench --real-disk`")
     args = ap.parse_args()
+
+    if args.real_disk:
+        with open(args.real_disk) as f:
+            realdisk = json.load(f)
+        check_realdisk_schema(realdisk, args.real_disk)
+        check_realdisk_invariants(realdisk, args.real_disk)
+        if FAILURES:
+            print(f"\n{len(FAILURES)} check(s) failed")
+            return 1
+        print("\nall real-disk checks passed")
+        return 0
 
     with open(args.current) as f:
         current = json.load(f)

@@ -56,8 +56,13 @@ JSON="--extern serde_json=$O/libserde_json.rlib"
 step() { echo "== $1"; shift; "$@"; }
 
 # ---- library rlibs (sequential leg) ----------------------------------------
+# pdm-uring is dependency-free by design (raw syscalls), so it builds first.
+step pdm-uring rustc $E $OPT --crate-type rlib --crate-name pdm_uring "$R/pdm-uring/src/lib.rs" -o "$O/libpdm_uring.rlib"
+PU="--extern pdm_uring=$O/libpdm_uring.rlib"
 step pdm-model rustc $E $OPT -L dependency=$O --crate-type rlib --crate-name pdm_model "$R/pdm-model/src/lib.rs" $SERDE $XB -o "$O/libpdm_model.rlib"
 PM="--extern pdm_model=$O/libpdm_model.rlib"
+# uring feature leg: io_uring submission path in the async file backend
+step "pdm-model(uring)" rustc $E $OPT -L dependency=$O --crate-type rlib --crate-name pdm_model --cfg 'feature="uring"' "$R/pdm-model/src/lib.rs" $SERDE $XB $PU -o "$O/libpdm_model_uring.rlib"
 step pdm-theory rustc $E $OPT -L dependency=$O --crate-type rlib --crate-name pdm_theory "$R/pdm-theory/src/lib.rs" $PM $RAND -o "$O/libpdm_theory.rlib"
 PT="--extern pdm_theory=$O/libpdm_theory.rlib"
 step pdm-lmm rustc $E $OPT -L dependency=$O --crate-type rlib --crate-name pdm_lmm "$R/pdm-lmm/src/lib.rs" $PM $PT -o "$O/libpdm_lmm.rlib"
@@ -89,7 +94,9 @@ step bench-lib-par rustc $E $OPT3 -L dependency=$O --crate-type rlib --crate-nam
 step bench-bin-par rustc $E $OPT3 -L dependency=$O --crate-name pdm_bench_bin --cfg 'feature="parallel"' "$R/bench/src/bin/bench.rs" --extern pdm_bench="$O/libpdm_bench_par.rlib" $PM $PSPAR $PB $PL $PMESH $PT $RAND $RAYON -o "$O/pdm-bench-par"
 
 # ---- unit-test binaries ------------------------------------------------------
+step ut:pdm-uring rustc $E $OPT --test --crate-name pdm_uring_t "$R/pdm-uring/src/lib.rs" -o "$O/ut_pdm_uring"
 step ut:pdm-model rustc $E $OPT -L dependency=$O --test --crate-name pdm_model_t "$R/pdm-model/src/lib.rs" $SERDE $XB $RAND $JSON -o "$O/ut_pdm_model"
+step ut:pdm-model-uring rustc $E $OPT -L dependency=$O --test --crate-name pdm_model_uring_t --cfg 'feature="uring"' "$R/pdm-model/src/lib.rs" $SERDE $XB $PU $RAND $JSON -o "$O/ut_pdm_model_uring"
 step ut:pdm-sort rustc $E $OPT -L dependency=$O --test --crate-name pdm_sort_t "$R/core/src/lib.rs" $PM $PT $PL $PMESH $RAND -o "$O/ut_pdm_sort"
 step ut:pdm-sort-par rustc $E $OPT -L dependency=$O --test --crate-name pdm_sort_par_t --cfg 'feature="parallel"' "$R/core/src/lib.rs" $PM $PT $PL $PMESH $RAND $RAYON -o "$O/ut_pdm_sort_par"
 step ut:pdm-lmm rustc $E $OPT -L dependency=$O --test --crate-name pdm_lmm_t "$R/pdm-lmm/src/lib.rs" $PM $PT $RAND -o "$O/ut_pdm_lmm"
@@ -117,7 +124,9 @@ echo "BUILD OK"
 SERDE_SKIPS="--skip _json --skip json_round_trip --skip serde_round_trip --skip stats_artifact --skip events_file --skip events_stream --skip report_"
 
 run() { echo "-- run $1"; shift; "$@"; }
+run ut:pdm-uring "$O/ut_pdm_uring" -q
 run ut:pdm-model "$O/ut_pdm_model" -q --skip events_serialize_as_tagged_json
+run ut:pdm-model-uring "$O/ut_pdm_model_uring" -q --skip events_serialize_as_tagged_json
 run ut:pdm-sort "$O/ut_pdm_sort" -q
 run ut:pdm-sort-par "$O/ut_pdm_sort_par" -q
 run ut:pdm-lmm "$O/ut_pdm_lmm" -q

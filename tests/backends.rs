@@ -1,9 +1,9 @@
 //! Backend equivalence: the cost model is backend-independent.
 //!
 //! The same algorithm on the same input must produce identical output AND
-//! identical I/O statistics on the in-memory, file-backed, and
-//! thread-per-disk backends — the backends only change where bytes live,
-//! never what the machine charges for moving them.
+//! identical I/O statistics on the in-memory, file-backed, thread-per-disk,
+//! and async real-disk backends — the backends only change where bytes
+//! live, never what the machine charges for moving them.
 
 use pdm_model::prelude::*;
 use rand::rngs::StdRng;
@@ -56,6 +56,46 @@ fn all_backends_agree_bit_for_bit_and_step_for_step() {
     // identical memory profile
     assert_eq!(peak_mem, peak_file);
     assert_eq!(peak_mem, peak_thr);
+}
+
+#[test]
+fn async_file_backend_matches_mem_on_both_overlap_legs() {
+    // The real-disk async backend is still a cost-model citizen: same
+    // output bytes, same step accounting, same memory profile as the
+    // in-memory reference — with overlap off AND on (overlap may only
+    // move wall-clock, never counters).
+    let b = 16usize;
+    let n = b * b * b;
+    let data = workload(n);
+    let (out_mem, stats_mem, peak_mem) = run_on(MemStorage::new(4, b), &data, b);
+
+    for overlap in [false, true] {
+        let storage = AsyncFileStorage::<u64>::create_temp(4, b).unwrap();
+        let mut pdm = Pdm::with_storage(PdmConfig::square(4, b), storage).unwrap();
+        pdm.set_overlap(overlap);
+        let input = pdm.alloc_region_for_keys(n).unwrap();
+        pdm.ingest(&input, &data).unwrap();
+        pdm.reset_stats();
+        let rep = pdm_sort::three_pass2(&mut pdm, &input, n).unwrap();
+        let out = pdm.inspect_prefix(&rep.output, n).unwrap();
+        let peak = pdm.mem().peak();
+        let (_, stats) = pdm.into_parts();
+
+        assert_eq!(out, out_mem, "async-file output differs (overlap={overlap})");
+        assert_eq!(stats.blocks_read, stats_mem.blocks_read, "overlap={overlap}");
+        assert_eq!(stats.blocks_written, stats_mem.blocks_written, "overlap={overlap}");
+        assert_eq!(stats.read_steps, stats_mem.read_steps, "overlap={overlap}");
+        assert_eq!(stats.write_steps, stats_mem.write_steps, "overlap={overlap}");
+        assert_eq!(stats.per_disk_reads, stats_mem.per_disk_reads, "overlap={overlap}");
+        assert_eq!(stats.per_disk_writes, stats_mem.per_disk_writes, "overlap={overlap}");
+        assert_eq!(peak, peak_mem, "overlap={overlap}");
+        if overlap {
+            assert!(
+                stats.overlap.prefetch_batches + stats.overlap.flush_batches > 0,
+                "overlap leg never actually issued an overlapped batch"
+            );
+        }
+    }
 }
 
 fn run_probed<S: Storage<u64>>(storage: S, data: &[u64], b: usize) -> (IoStats, Box<Probe>) {

@@ -256,7 +256,7 @@ fn full_stack_transient_faults_retry_and_checkpoints_compose() {
     assert!(snap.total_retries() > 0, "1% fault rate never fired");
     assert_eq!(snap.exhausted, 0);
     // Retries show up in the machine's own stats at phase boundaries.
-    let folded = pdm.stats().retry;
+    let folded = pdm.stats().retry.clone();
     assert_eq!(folded.reads_retried, snap.reads_retried);
     assert_eq!(folded.writes_retried, snap.writes_retried);
     assert_eq!(pdm.inspect_prefix(&rep.output, N).unwrap(), want);

@@ -147,6 +147,71 @@ fn dead_disk_fails_every_algorithm_cleanly() {
 }
 
 #[test]
+fn retried_batches_charge_the_originating_disk_in_probe_stream() {
+    // Sort through a flaky + retrying stack with the probe on, then check
+    // that the `retry.disk{d}.retries` gauges account for every retry:
+    // re-issued batch blocks must be charged to the disk that failed, not
+    // dropped on the floor (sync retries carry no disk by design, but
+    // FlakyStorage never injects into sync, so the sums match exactly).
+    let b = 8usize;
+    let n = 512usize;
+    let built = StorageBuilder::new(BackendKind::Mem, 2, b)
+        .inject(FailMode::TransientRate {
+            seed: 0xD15C,
+            rate_ppm: 20_000,
+        })
+        .retry(RetryPolicy {
+            max_attempts: 6,
+            backoff_steps: 1,
+        })
+        .build::<u64>()
+        .unwrap();
+    let counters = built.retry_counters.clone().unwrap();
+    let mut pdm = Pdm::with_storage(PdmConfig::square(2, b), built.storage).unwrap();
+    pdm.attach_retry_counters(counters.clone());
+    pdm.enable_probe(1 << 14);
+    let data = workload(n);
+    let input = pdm.alloc_region_for_keys(n).unwrap();
+    pdm.ingest(&input, &data).unwrap();
+    let rep = pdm_sort::three_pass2(&mut pdm, &input, n).unwrap();
+    // Snapshot before the verification reads below: those go through the
+    // same retrying stack and would advance the counters past the
+    // machine's last phase-boundary fold (and thus past the last gauges).
+    let snap = counters.snapshot();
+    let mut want = data.clone();
+    want.sort_unstable();
+    assert_eq!(pdm.inspect_prefix(&rep.output, n).unwrap(), want);
+    assert!(snap.total_retries() > 0, "2% fault rate never fired");
+    assert_eq!(
+        snap.per_disk_retries.iter().sum::<u64>(),
+        snap.total_retries(),
+        "every retried block op must be attributed to a disk"
+    );
+
+    // The probe stream carries the same attribution: the last
+    // `retry.disk{d}.retries` gauge per disk equals the final counter.
+    let mut last_gauge = [None::<i64>; 2];
+    for ev in pdm.stats().probe().unwrap().events() {
+        if let ProbeEvent::Gauge { name, value, .. } = ev {
+            for (d, slot) in last_gauge.iter_mut().enumerate() {
+                if name == &format!("retry.disk{d}.retries") {
+                    *slot = Some(*value);
+                }
+            }
+        }
+    }
+    for (d, &n_retries) in snap.per_disk_retries.iter().enumerate() {
+        if n_retries > 0 {
+            assert_eq!(
+                last_gauge[d],
+                Some(n_retries as i64),
+                "probe gauge for disk {d} must match the final per-disk count"
+            );
+        }
+    }
+}
+
+#[test]
 fn baseline_mergesort_fails_cleanly() {
     for k in [0u64, 64, 128] {
         check_fault_at(k, |pdm, r, n| {

@@ -198,10 +198,11 @@ fn drive(case: &Case, storage: Box<dyn Storage<u64>>, label: &str) -> bool {
 }
 
 fn flaky(cfg: &PdmConfig, mode: FailMode) -> Box<dyn Storage<u64>> {
-    Box::new(FlakyStorage::new(
-        MemStorage::new(cfg.num_disks, cfg.block_size),
-        mode,
-    ))
+    StorageBuilder::new(BackendKind::Mem, cfg.num_disks, cfg.block_size)
+        .inject(mode)
+        .build::<u64>()
+        .expect("mem + flaky stack")
+        .storage
 }
 
 #[test]
@@ -262,13 +263,13 @@ fn transient_faults_heal_under_retry_for_every_algorithm() {
     let policy = RetryPolicy { max_attempts: 6, backoff_steps: 1 };
     let mut total_retries = 0u64;
     for case in cases() {
-        let inner = FlakyStorage::new(
-            MemStorage::new(case.cfg.num_disks, case.cfg.block_size),
-            FailMode::TransientRate { seed: 0xC0FFEE, rate_ppm: 20_000 },
-        );
-        let retrying = RetryingStorage::new(inner, policy);
-        let counters = retrying.counters();
-        let ok = drive(&case, Box::new(retrying), "transient+retry");
+        let built = StorageBuilder::new(BackendKind::Mem, case.cfg.num_disks, case.cfg.block_size)
+            .inject(FailMode::TransientRate { seed: 0xC0FFEE, rate_ppm: 20_000 })
+            .retry(policy)
+            .build::<u64>()
+            .expect("mem + flaky + retry stack");
+        let counters = built.retry_counters.clone().expect("retry layer present");
+        let ok = drive(&case, built.storage, "transient+retry");
         assert!(
             ok,
             "{}: retry layer failed to heal a 2% transient fault rate",
