@@ -117,6 +117,37 @@ struct AlgoRow {
     pool_hit_rate: Option<f64>,
 }
 
+/// Latency percentiles and stall share folded from the wall-clock
+/// telemetry the backend recorded during a leg (µs units; all zero when
+/// the backend recorded no samples). One sample covers one kernel round
+/// of blocks, not one block — see the recording backend.
+#[derive(Default)]
+struct WallPercentiles {
+    read_p50_us: f64,
+    read_p99_us: f64,
+    write_p50_us: f64,
+    write_p99_us: f64,
+    stall_share: f64,
+}
+
+/// Merge the per-disk histograms of `w` and extract the headline
+/// percentiles for a bench row.
+fn wall_percentiles(w: &WallStats) -> WallPercentiles {
+    let mut read = HistSnapshot::default();
+    let mut write = HistSnapshot::default();
+    for d in &w.disks {
+        read.merge(&d.read);
+        write.merge(&d.write);
+    }
+    WallPercentiles {
+        read_p50_us: read.p50() as f64 / 1e3,
+        read_p99_us: read.p99() as f64 / 1e3,
+        write_p50_us: write.p50() as f64 / 1e3,
+        write_p99_us: write.p99() as f64 / 1e3,
+        stall_share: w.stall_share(),
+    }
+}
+
 struct RealDiskRow {
     name: String,
     n: usize,
@@ -125,6 +156,7 @@ struct RealDiskRow {
     improvement: f64,
     read_passes: f64,
     write_passes: f64,
+    wall: WallPercentiles,
 }
 
 struct OverlapRow {
@@ -140,6 +172,21 @@ struct OverlapRow {
     prefetch_stalls: u64,
     flush_batches: u64,
     flush_stalls: u64,
+    wall: WallPercentiles,
+}
+
+/// The five wall-percentile JSON fields shared by the overlap and
+/// real-disk rows (leading comma-space included).
+fn render_wall_fields(w: &WallPercentiles) -> String {
+    format!(
+        ", \"read_p50_us\": {}, \"read_p99_us\": {}, \
+         \"write_p50_us\": {}, \"write_p99_us\": {}, \"stall_share\": {}",
+        jf(w.read_p50_us),
+        jf(w.read_p99_us),
+        jf(w.write_p50_us),
+        jf(w.write_p99_us),
+        jf(w.stall_share),
+    )
 }
 
 fn render_json(
@@ -229,7 +276,7 @@ fn render_overlap_json(quick: bool, rows: &[OverlapRow]) -> String {
              \"wall_ms_blocking\": {}, \"wall_ms_overlap\": {}, \"improvement\": {}, \
              \"read_passes\": {}, \"write_passes\": {}, \
              \"prefetch_batches\": {}, \"prefetch_stalls\": {}, \
-             \"flush_batches\": {}, \"flush_stalls\": {}}}{}\n",
+             \"flush_batches\": {}, \"flush_stalls\": {}{}}}{}\n",
             r.name,
             r.n,
             r.latency_us,
@@ -242,6 +289,7 @@ fn render_overlap_json(quick: bool, rows: &[OverlapRow]) -> String {
             r.prefetch_stalls,
             r.flush_batches,
             r.flush_stalls,
+            render_wall_fields(&r.wall),
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -398,12 +446,21 @@ fn bench_overlap(name: &'static str, b: usize, n: usize, latency_us: u64, rows: 
             "seven_pass" => pdm_sort::seven_pass(&mut pdm, &region, n).unwrap(),
             other => panic!("unknown algorithm {other}"),
         };
-        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        let el = t0.elapsed();
         assert!(!rep.fell_back, "{name}: unexpected fallback in overlap benchmark");
-        (wall, rep.read_passes, rep.write_passes, pdm.stats().overlap)
+        // Stamp the run wall time so stall_share() has a denominator.
+        pdm.stats_mut().wall.run_nanos = el.as_nanos() as u64;
+        let stats = pdm.stats();
+        (
+            el.as_secs_f64() * 1e3,
+            rep.read_passes,
+            rep.write_passes,
+            stats.overlap,
+            stats.wall.clone(),
+        )
     };
-    let (wall_blocking, rp0, wp0, ov0) = leg(false);
-    let (wall_overlap, rp1, wp1, ov1) = leg(true);
+    let (wall_blocking, rp0, wp0, ov0, _) = leg(false);
+    let (wall_overlap, rp1, wp1, ov1, wall1) = leg(true);
     assert_eq!((rp0, wp0), (rp1, wp1), "{name}: overlap changed the pass counts");
     assert_eq!(
         ov0.prefetch_batches + ov0.flush_batches,
@@ -423,6 +480,7 @@ fn bench_overlap(name: &'static str, b: usize, n: usize, latency_us: u64, rows: 
         prefetch_stalls: ov1.prefetch_stalls,
         flush_batches: ov1.flush_batches,
         flush_stalls: ov1.flush_stalls,
+        wall: wall_percentiles(&wall1),
     });
 }
 
@@ -438,7 +496,7 @@ fn render_realdisk_json(
         format!(
             "{{\"name\": \"{}\", \"n\": {}, \"wall_ms_blocking\": {}, \
              \"wall_ms_overlap\": {}, \"improvement\": {}, \
-             \"read_passes\": {}, \"write_passes\": {}}}",
+             \"read_passes\": {}, \"write_passes\": {}{}}}",
             r.name,
             r.n,
             jf(r.wall_ms_blocking),
@@ -446,6 +504,7 @@ fn render_realdisk_json(
             jf(r.improvement),
             jf(r.read_passes),
             jf(r.write_passes),
+            render_wall_fields(&r.wall),
         )
     };
     let mut s = String::new();
@@ -469,7 +528,8 @@ fn render_realdisk_json(
 }
 
 /// One timed run of `name` over a fresh [`AsyncFileStorage`] stack.
-/// Returns (wall ms, read passes, write passes, direct_io in effect).
+/// Returns (wall ms, read passes, write passes, direct_io in effect,
+/// harvested wall-clock telemetry with `run_nanos` stamped).
 fn real_disk_leg(
     name: &str,
     b: usize,
@@ -477,7 +537,7 @@ fn real_disk_leg(
     dir: Option<&str>,
     overlap: bool,
     data: &[u64],
-) -> (f64, f64, f64, bool) {
+) -> (f64, f64, f64, bool, WallStats) {
     let cfg = PdmConfig::square(4, b);
     let mut builder = StorageBuilder::new(BackendKind::AsyncFile, cfg.num_disks, cfg.block_size);
     if let Some(d) = dir {
@@ -508,7 +568,10 @@ fn real_disk_leg(
         }
         other => panic!("unknown real-disk algorithm {other}"),
     };
-    (t0.elapsed().as_secs_f64() * 1e3, rp, wp, direct_io)
+    let el = t0.elapsed();
+    pdm.stats_mut().wall.run_nanos = el.as_nanos() as u64;
+    let wall = pdm.stats().wall.clone();
+    (el.as_secs_f64() * 1e3, rp, wp, direct_io, wall)
 }
 
 /// A/B one algorithm on the real-disk backend: best-of-`reps` per leg,
@@ -525,13 +588,17 @@ fn bench_real_disk(
     let data = pdm_bench::data::permutation(n, 47);
     let mut best_blocking = f64::MAX;
     let mut best_overlap = f64::MAX;
+    let mut best_wall = WallStats::default();
     let mut passes = (0.0, 0.0);
     let mut direct_io = false;
     for _ in 0..reps.max(1) {
-        let (wall, rp, wp, direct) = real_disk_leg(name, b, n, dir, false, &data);
+        let (wall, rp, wp, direct, _) = real_disk_leg(name, b, n, dir, false, &data);
         best_blocking = best_blocking.min(wall);
-        let (wall2, rp2, wp2, _) = real_disk_leg(name, b, n, dir, true, &data);
-        best_overlap = best_overlap.min(wall2);
+        let (wall2, rp2, wp2, _, w2) = real_disk_leg(name, b, n, dir, true, &data);
+        if wall2 < best_overlap {
+            best_overlap = wall2;
+            best_wall = w2;
+        }
         assert_eq!(
             (rp, wp),
             (rp2, wp2),
@@ -548,6 +615,7 @@ fn bench_real_disk(
         improvement: (best_blocking - best_overlap) / best_blocking.max(1e-9),
         read_passes: passes.0,
         write_passes: passes.1,
+        wall: wall_percentiles(&best_wall),
     });
     direct_io
 }
@@ -563,10 +631,14 @@ fn run_real_disk_suite(quick: bool, dir: Option<&str>, out_path: &str) {
     // honest "what a straightforward external sort costs" yardstick.
     let data = pdm_bench::data::permutation(n, 47);
     let mut best = f64::MAX;
+    let mut best_wall = WallStats::default();
     let mut passes = (0.0, 0.0);
     for _ in 0..reps {
-        let (wall, rp, wp, _) = real_disk_leg("mergesort", b, n, dir, false, &data);
-        best = best.min(wall);
+        let (wall, rp, wp, _, w) = real_disk_leg("mergesort", b, n, dir, false, &data);
+        if wall < best {
+            best = wall;
+            best_wall = w;
+        }
         passes = (rp, wp);
     }
     let baseline = RealDiskRow {
@@ -577,18 +649,26 @@ fn run_real_disk_suite(quick: bool, dir: Option<&str>, out_path: &str) {
         improvement: 0.0,
         read_passes: passes.0,
         write_passes: passes.1,
+        wall: wall_percentiles(&best_wall),
     };
     std::fs::write(out_path, render_realdisk_json(quick, direct_io, &rows, &baseline))
         .expect("write artifact");
     eprintln!("wrote {out_path} (direct_io: {direct_io})");
     for r in rows.iter().chain(std::iter::once(&baseline)) {
         eprintln!(
-            "  {:<16} [async-file] n = {:>7}  blocking {:>8.2} ms vs overlap {:>8.2} ms ({:.1}% better)",
+            "  {:<16} [async-file] n = {:>7}  blocking {:>8.2} ms vs overlap {:>8.2} ms \
+             ({:.1}% better; read p50 {:.0}/p99 {:.0} µs, write p50 {:.0}/p99 {:.0} µs, \
+             {:.1}% stalled)",
             r.name,
             r.n,
             r.wall_ms_blocking,
             r.wall_ms_overlap,
             r.improvement * 100.0,
+            r.wall.read_p50_us,
+            r.wall.read_p99_us,
+            r.wall.write_p50_us,
+            r.wall.write_p99_us,
+            r.wall.stall_share * 100.0,
         );
     }
 }

@@ -169,6 +169,9 @@ pub enum Command {
         /// Optional path to dump the probe's structured event stream as
         /// JSONL (one event per line).
         events: Option<String>,
+        /// Optional path to write a Chrome trace-event JSON file (one
+        /// track per disk worker plus a phase track; load in Perfetto).
+        trace_out: Option<String>,
         /// Directory to write pass-level checkpoint manifests into.
         checkpoint_dir: Option<String>,
         /// Resume from the latest checkpoint in `checkpoint_dir` (requires
@@ -230,7 +233,7 @@ USAGE:
   pdmsort gen <n> <out.keys> [--dist random|permutation|reversed|sorted|zipf] [--seed S]
   pdmsort sort <in.keys> <out.keys> [--disks D] [--b SQRT_M] [--algo A]
                [--storage mem|file|threaded|async-file] [--scratch DIR]
-               [--stats FILE.json] [--events FILE.jsonl]
+               [--stats FILE.json] [--events FILE.jsonl] [--trace-out FILE.json]
                [--checkpoint-dir DIR] [--resume] [--inject SPEC]
                [--retry N] [--backoff STEPS] [--threads N] [--overlap auto|on|off]
   pdmsort report <stats.json>
@@ -269,7 +272,12 @@ Performance:
                          per disk), async-file (duplex worker threads per
                          disk, io_uring where built in), threaded (RAM with
                          real thread parallelism), mem (plain RAM reference).
-                         mem and threaded take no --scratch/--resume.";
+                         mem and threaded take no --scratch/--resume.
+  --trace-out FILE.json  write wall-clock spans (one track per disk worker,
+                         one span per kernel round, plus a phase track) as
+                         Chrome trace-event JSON — open in Perfetto or
+                         chrome://tracing. Timing-only: never changes output,
+                         pass counts, or the --events stream.";
 
 fn parse_flag<T: std::str::FromStr>(
     args: &[String],
@@ -322,6 +330,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut scratch = None;
             let mut stats = None;
             let mut events = None;
+            let mut trace_out = None;
             let mut checkpoint_dir = None;
             let mut resume = false;
             let mut inject = None;
@@ -342,6 +351,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     }
                     "--stats" => stats = Some(parse_flag::<String>(args, &mut i, "--stats")?),
                     "--events" => events = Some(parse_flag::<String>(args, &mut i, "--events")?),
+                    "--trace-out" => {
+                        trace_out = Some(parse_flag::<String>(args, &mut i, "--trace-out")?)
+                    }
                     "--checkpoint-dir" => {
                         checkpoint_dir =
                             Some(parse_flag::<String>(args, &mut i, "--checkpoint-dir")?)
@@ -381,6 +393,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 scratch,
                 stats,
                 events,
+                trace_out,
                 checkpoint_dir,
                 resume,
                 inject,
@@ -582,6 +595,21 @@ mod tests {
             "sort", "a", "b", "--storage", "async-file", "--scratch", "/tmp/x",
         ]))
         .is_ok());
+    }
+
+    #[test]
+    fn parses_trace_out_flag() {
+        let c = parse(&v(&["sort", "a", "b"])).unwrap();
+        match c {
+            Command::Sort { trace_out, .. } => assert!(trace_out.is_none()),
+            _ => panic!(),
+        }
+        let c = parse(&v(&["sort", "a", "b", "--trace-out", "t.json"])).unwrap();
+        match c {
+            Command::Sort { trace_out, .. } => assert_eq!(trace_out.as_deref(), Some("t.json")),
+            _ => panic!(),
+        }
+        assert!(parse(&v(&["sort", "a", "b", "--trace-out"])).is_err());
     }
 
     #[test]

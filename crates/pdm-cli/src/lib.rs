@@ -24,3 +24,4 @@ pub mod args;
 pub mod keyfile;
 pub mod report;
 pub mod run;
+pub mod trace;

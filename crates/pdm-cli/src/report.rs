@@ -214,6 +214,84 @@ pub fn render_report(art: &StatsArtifact, out: &mut dyn Write) -> std::io::Resul
         imbalance(&s.per_disk_writes)
     )?;
 
+    // --- wall-clock telemetry ------------------------------------------
+    // Only rendered when the backend recorded samples (real-disk and
+    // threaded runs); step-clocked artifacts skip it entirely.
+    let wall = &s.wall;
+    if wall.has_samples() || wall.total_stall_nanos() > 0 {
+        writeln!(out, "\nwall-clock latency per disk (one sample per kernel round):")?;
+        writeln!(
+            out,
+            "  {:<5} {:<5} {:>7} {:>9} {:>9} {:>9} {:>9} {:>7}",
+            "disk", "dir", "rounds", "p50", "p95", "p99", "max", "queue≤"
+        )?;
+        for (i, dw) in wall.disks.iter().enumerate() {
+            for (dir, h) in [("read", &dw.read), ("write", &dw.write)] {
+                if h.is_empty() {
+                    continue;
+                }
+                writeln!(
+                    out,
+                    "  {:<5} {:<5} {:>7} {:>9} {:>9} {:>9} {:>9} {:>7}",
+                    i,
+                    dir,
+                    h.count,
+                    fmt_ns(h.p50()),
+                    fmt_ns(h.p95()),
+                    fmt_ns(h.p99()),
+                    fmt_ns(h.max),
+                    dw.queue_high_water
+                )?;
+            }
+        }
+        let u = &wall.uring;
+        if u.submitted_sqes > 0 {
+            writeln!(
+                out,
+                "  io_uring: {} SQEs over {} submits ({:.1}/call), \
+                 {} CQEs over {} reap rounds ({:.1}/round)",
+                u.submitted_sqes,
+                u.submit_calls,
+                u.submitted_sqes as f64 / u.submit_calls.max(1) as f64,
+                u.reaped_cqes,
+                u.reap_rounds,
+                u.reaped_cqes as f64 / u.reap_rounds.max(1) as f64
+            )?;
+        }
+        let stalls = wall.total_stall_nanos();
+        if stalls > 0 {
+            if wall.run_nanos > 0 {
+                writeln!(
+                    out,
+                    "  stalls: {} blocked on in-flight reads + {} on writes \
+                     ({:.1}% of the {} run)",
+                    fmt_ns(wall.read_stall_nanos),
+                    fmt_ns(wall.write_stall_nanos),
+                    wall.stall_share() * 100.0,
+                    fmt_ns(wall.run_nanos)
+                )?;
+            } else {
+                writeln!(
+                    out,
+                    "  stalls: {} blocked on in-flight reads + {} on writes",
+                    fmt_ns(wall.read_stall_nanos),
+                    fmt_ns(wall.write_stall_nanos)
+                )?;
+            }
+            for ps in &wall.phase_stalls {
+                writeln!(
+                    out,
+                    "    {:<26} {} read-wait + {} write-wait",
+                    truncate(&ps.name, 26),
+                    fmt_ns(ps.read_nanos),
+                    fmt_ns(ps.write_nanos)
+                )?;
+            }
+        } else if wall.run_nanos > 0 {
+            writeln!(out, "  stalls: none — compute never waited on in-flight I/O")?;
+        }
+    }
+
     // --- stripe efficiency sparkline -----------------------------------
     if let Some(trace) = &s.trace {
         if !trace.is_empty() {
@@ -265,6 +343,16 @@ pub fn render_report(art: &StatsArtifact, out: &mut dyn Write) -> std::io::Resul
         None => writeln!(out, "  budget: none (measured-only baseline)")?,
     }
     Ok(())
+}
+
+/// Human-readable duration from nanoseconds.
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
 }
 
 /// A left-aligned bar of `value` scaled to `max` over `width` cells.
@@ -450,6 +538,64 @@ mod tests {
         render_report(&quiet, &mut buf).unwrap();
         let txt = String::from_utf8(buf).unwrap();
         assert!(!txt.contains("overlap"), "{txt}");
+    }
+
+    #[test]
+    fn render_shows_wall_latency_table_and_stall_share() {
+        let mut art = sample_artifact();
+        let h = LatencyHist::new();
+        for ns in [50_000u64, 80_000, 120_000] {
+            h.record(ns);
+        }
+        art.stats.wall.disks = vec![DiskWall {
+            read: h.snapshot(),
+            write: HistSnapshot::default(),
+            queue_high_water: 7,
+        }];
+        art.stats.wall.read_stall_nanos = 2_000_000;
+        art.stats.wall.run_nanos = 100_000_000;
+        art.stats.wall.phase_stalls = vec![PhaseStall {
+            name: "3P2: merge".into(),
+            read_nanos: 2_000_000,
+            write_nanos: 0,
+        }];
+        art.stats.wall.uring = UringWall {
+            submit_calls: 4,
+            submitted_sqes: 64,
+            reap_rounds: 8,
+            reaped_cqes: 64,
+        };
+        let mut buf = Vec::new();
+        render_report(&art, &mut buf).unwrap();
+        let txt = String::from_utf8(buf).unwrap();
+        assert!(txt.contains("wall-clock latency per disk"), "{txt}");
+        assert!(txt.contains("p50"), "{txt}");
+        assert!(txt.contains("read"), "{txt}");
+        assert!(txt.contains("64 SQEs over 4 submits (16.0/call)"), "{txt}");
+        assert!(txt.contains("2.0% of the 100.0ms run"), "{txt}");
+        assert!(txt.contains("3P2: merge"), "{txt}");
+        assert!(!txt.contains("NaN") && !txt.contains("inf"), "{txt}");
+        // write histogram is empty, so no write row is printed
+        assert!(!txt.contains("0     write"), "{txt}");
+    }
+
+    #[test]
+    fn wall_section_absent_without_samples_or_stalls() {
+        let art = sample_artifact();
+        let mut buf = Vec::new();
+        render_report(&art, &mut buf).unwrap();
+        let txt = String::from_utf8(buf).unwrap();
+        assert!(!txt.contains("wall-clock latency"), "{txt}");
+        assert!(!txt.contains("stalls:"), "{txt}");
+    }
+
+    #[test]
+    fn fmt_ns_picks_a_sane_unit() {
+        assert_eq!(fmt_ns(0), "0ns");
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_300_000), "2.3ms");
+        assert_eq!(fmt_ns(1_250_000_000), "1.25s");
     }
 
     #[test]

@@ -61,6 +61,7 @@ fn dispatch(cmd: Command, out: &mut dyn Write) -> std::result::Result<i32, Box<d
             scratch,
             stats,
             events,
+            trace_out,
             checkpoint_dir,
             resume,
             inject,
@@ -79,6 +80,7 @@ fn dispatch(cmd: Command, out: &mut dyn Write) -> std::result::Result<i32, Box<d
                 scratch: scratch.as_deref(),
                 stats_path: stats.as_deref(),
                 events_path: events.as_deref(),
+                trace_path: trace_out.as_deref(),
                 checkpoint_dir: checkpoint_dir.as_deref(),
                 resume,
                 inject: inject.as_deref(),
@@ -216,6 +218,7 @@ struct SortJob<'a> {
     scratch: Option<&'a str>,
     stats_path: Option<&'a str>,
     events_path: Option<&'a str>,
+    trace_path: Option<&'a str>,
     checkpoint_dir: Option<&'a str>,
     resume: bool,
     inject: Option<&'a str>,
@@ -370,6 +373,13 @@ fn sort(
     if job.events_path.is_some() {
         pdm.enable_probe(1 << 20);
     }
+    // Wall-clock trace: the sink outlives the machine (spans live in the
+    // Arc), so the trace file can be written after the sort regardless of
+    // whether the stats artifact consumes the machine.
+    let span_sink = job.trace_path.map(|_| std::sync::Arc::new(SpanSink::new(1 << 20)));
+    if let Some(sink) = &span_sink {
+        pdm.attach_span_sink(std::sync::Arc::clone(sink));
+    }
     let region = pdm.alloc_region_for_keys(n)?;
 
     // Stage the input file onto the disks (the model's "input resides on
@@ -464,6 +474,9 @@ fn sort(
         }
     };
     let elapsed = t0.elapsed();
+    // Stamp the run's wall time so stall shares have a denominator; like
+    // all of WallStats this never feeds back into the step counters.
+    pdm.stats_mut().wall.run_nanos = elapsed.as_nanos() as u64;
 
     // A deferred checkpoint failure (manifest write error, or frontier
     // drift on resume) makes the recovery state — and on drift, the output
@@ -533,6 +546,15 @@ fn sort(
             "{} events written to {path} ({} dropped past the cap)",
             probe.events().len(),
             probe.dropped
+        )?;
+    }
+    if let (Some(path), Some(sink)) = (job.trace_path, &span_sink) {
+        let spans = crate::trace::write_chrome_trace(path, sink)?;
+        writeln!(
+            out,
+            "{spans} trace spans written to {path} ({} dropped past the cap); \
+             open in Perfetto or chrome://tracing",
+            sink.dropped()
         )?;
     }
     if let Some(path) = job.stats_path {
@@ -1054,6 +1076,40 @@ mod tests {
         }
         std::fs::remove_dir_all(&scratch).ok();
         std::fs::remove_dir_all(&ckdir).ok();
+    }
+
+    #[test]
+    fn trace_out_writes_a_chrome_trace_without_changing_output() {
+        let inp = tmp("tr-in.keys");
+        let plain = tmp("tr-plain.keys");
+        let traced = tmp("tr-traced.keys");
+        let tracep = tmp("tr-trace.json");
+        run_args(&["gen", "4096", &inp, "--dist", "random", "--seed", "23"]);
+        let (c, log) = run_args(&[
+            "sort", &inp, &plain, "--disks", "2", "--b", "16", "--storage", "threaded",
+        ]);
+        assert_eq!(c, 0, "{log}");
+        let (c, log) = run_args(&[
+            "sort", &inp, &traced, "--disks", "2", "--b", "16", "--storage", "threaded",
+            "--overlap", "on", "--trace-out", &tracep,
+        ]);
+        assert_eq!(c, 0, "{log}");
+        assert!(log.contains("trace spans written"), "{log}");
+        assert_eq!(
+            std::fs::read(&plain).unwrap(),
+            std::fs::read(&traced).unwrap(),
+            "tracing must not change the sorted output"
+        );
+        let txt = std::fs::read_to_string(&tracep).unwrap();
+        assert!(txt.starts_with("{\"traceEvents\":["), "{txt}");
+        assert!(txt.contains("phases"), "phase track missing");
+        assert!(txt.contains("disk0 read") && txt.contains("disk1 write"));
+        let begins = txt.matches("\"ph\":\"B\"").count();
+        assert!(begins > 0, "no spans recorded");
+        assert_eq!(begins, txt.matches("\"ph\":\"E\"").count(), "unbalanced B/E");
+        for f in [&inp, &plain, &traced, &tracep] {
+            std::fs::remove_file(f).ok();
+        }
     }
 
     #[test]

@@ -53,6 +53,7 @@
 pub mod checkpoint;
 pub mod config;
 pub mod error;
+pub mod hist;
 pub mod key;
 pub mod layout;
 pub mod machine;
@@ -75,13 +76,17 @@ pub mod prelude {
     pub use crate::checkpoint::{fnv1a, Checkpoint, CheckpointStore, Manifest, FNV_OFFSET};
     pub use crate::config::PdmConfig;
     pub use crate::error::{PdmError, Result};
+    pub use crate::hist::{HistSnapshot, LatencyHist};
     pub use crate::key::{PdmKey, RankedKey, Tagged};
     pub use crate::layout::{BlockAddr, Region};
     pub use crate::machine::Pdm;
     pub use crate::mem::{MemGuard, MemTracker, TrackedBuf};
     pub use crate::pool::{BlockPool, PoolStats};
     pub use crate::probe::{replay, Probe, ProbeEvent, ReplayedPhase, ReplayedStats};
-    pub use crate::stats::{IoStats, OverlapCounters, PhaseStats, RetrySnapshot};
+    pub use crate::stats::{
+        DiskWall, IoStats, OverlapCounters, PhaseStall, PhaseStats, RetrySnapshot, Span, SpanSink,
+        UringWall, WallStats,
+    };
     pub use crate::storage::{MemStorage, Storage, StorageCaps};
     pub use crate::storage_async_file::AsyncFileStorage;
     pub use crate::storage_builder::{BackendKind, StorageBuilder};

@@ -18,10 +18,11 @@ use crate::key::PdmKey;
 use crate::layout::Region;
 use crate::mem::{MemTracker, TrackedBuf};
 use crate::overlap::{PendingGuard, TrackedRead, TrackedWrite};
-use crate::stats::IoStats;
+use crate::stats::{IoStats, SpanSink};
 use crate::storage::{MemStorage, Storage};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Checkpoint wiring of a machine: the store manifests are written to,
 /// how many phases to replay without I/O, and bookkeeping carried between
@@ -76,6 +77,12 @@ pub struct Pdm<K: PdmKey, S: Storage<K> = MemStorage<K>> {
     /// refuse to persist a manifest while this is non-zero — a pending
     /// write means the disks are not settled.
     pending_io: Arc<AtomicUsize>,
+    /// Span sink for wall-clock trace export, when attached (see
+    /// [`Pdm::attach_span_sink`]): the machine records one span per named
+    /// phase; the backend records per-service spans.
+    span_sink: Option<Arc<SpanSink>>,
+    /// The open phase's wall-clock span, closed at the next boundary.
+    open_phase_wall: Option<(String, Instant)>,
     _key: std::marker::PhantomData<K>,
 }
 
@@ -112,6 +119,8 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
             ckpt: None,
             overlap: false,
             pending_io: Arc::new(AtomicUsize::new(0)),
+            span_sink: None,
+            open_phase_wall: None,
             cfg,
             storage,
             _key: std::marker::PhantomData,
@@ -181,6 +190,40 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
         }
     }
 
+    /// Harvest the backend's cumulative wall-clock telemetry (per-disk
+    /// latency histograms, queue gauges, uring counters) into
+    /// [`IoStats::wall`]. The snapshot is cumulative, so each harvest
+    /// overwrites the previous one — mirroring the retry fold above.
+    /// Wall-clock only: no probe events, no step-counter effect.
+    fn refresh_wall_stats(&mut self) {
+        if let Some(w) = self.storage.wall_snapshot() {
+            self.stats.wall.disks = w.disks;
+            self.stats.wall.uring = w.uring;
+        }
+    }
+
+    /// Attach a shared span sink for wall-clock trace export: the machine
+    /// records one span per named phase on [`SpanSink::PHASE_TRACK`], and
+    /// backends that time their I/O record one span per service operation
+    /// on per-disk tracks. Purely observational — probe streams and step
+    /// counters are identical with and without a sink attached.
+    pub fn attach_span_sink(&mut self, sink: Arc<SpanSink>) {
+        sink.register_track(SpanSink::PHASE_TRACK, "phases");
+        self.storage.attach_span_sink(Arc::clone(&sink));
+        self.span_sink = Some(sink);
+    }
+
+    /// Close the open phase span (if tracing) and optionally open a new one.
+    fn roll_phase_span(&mut self, next: Option<String>) {
+        if let Some(sink) = &self.span_sink {
+            let now = Instant::now();
+            if let Some((name, t0)) = self.open_phase_wall.take() {
+                sink.record(SpanSink::PHASE_TRACK, &name, t0, now);
+            }
+            self.open_phase_wall = next.map(|n| (n, now));
+        }
+    }
+
     /// Block-buffer pool counters of the backend, when it has a pool
     /// (currently [`crate::storage_threaded::ThreadedStorage`]).
     pub fn pool_stats(&self) -> Option<crate::pool::PoolStats> {
@@ -224,6 +267,7 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
     /// per-phase residency shows up in reports and probe streams (and so
     /// checkpoint replay can count phases).
     pub fn begin_phase(&mut self, name: impl Into<String>) {
+        let name = name.into();
         let frontier = self.next_slot;
         if let Some(c) = self.ckpt.as_deref_mut() {
             c.phases_seen += 1;
@@ -249,6 +293,8 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
         }
         self.refresh_retry_stats();
         self.refresh_pool_stats();
+        self.refresh_wall_stats();
+        self.roll_phase_span(Some(name.clone()));
         let (cur, peak) = (self.mem.current(), self.mem.peak());
         self.stats.begin_phase_gauged(name, cur, peak);
         // Opening a phase auto-closes the previous one at the stats layer;
@@ -268,6 +314,8 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
         }
         self.refresh_retry_stats();
         self.refresh_pool_stats();
+        self.refresh_wall_stats();
+        self.roll_phase_span(None);
         let (cur, peak) = (self.mem.current(), self.mem.peak());
         self.stats.end_phase_gauged(cur, peak);
         self.write_checkpoint();
@@ -662,8 +710,13 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
         let live = !pending.is_replay();
         let stalled = !pending.is_ready();
         let id = pending.id();
+        let t0 = (live && stalled).then(Instant::now);
         pending.wait(out)?;
         if live {
+            if let Some(t0) = t0 {
+                self.stats
+                    .record_overlap_stall(false, t0.elapsed().as_nanos() as u64);
+            }
             self.stats.overlap_complete(false, id, stalled);
         }
         Ok(())
@@ -725,8 +778,13 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
         let live = !pending.is_replay();
         let stalled = !pending.is_ready();
         let id = pending.id();
+        let t0 = (live && stalled).then(Instant::now);
         pending.wait()?;
         if live {
+            if let Some(t0) = t0 {
+                self.stats
+                    .record_overlap_stall(true, t0.elapsed().as_nanos() as u64);
+            }
             self.stats.overlap_complete(true, id, stalled);
         }
         Ok(())
@@ -770,12 +828,15 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
     /// Flush the storage backend.
     pub fn sync(&mut self) -> Result<()> {
         self.refresh_retry_stats();
+        self.refresh_wall_stats();
         self.storage.sync()
     }
 
     /// Consume the machine, returning backend and final counters.
     pub fn into_parts(mut self) -> (S, IoStats) {
         self.refresh_retry_stats();
+        self.refresh_wall_stats();
+        self.roll_phase_span(None);
         (self.storage, self.stats)
     }
 }
@@ -1054,6 +1115,31 @@ mod tests {
         assert_eq!(replayed.per_disk_writes, pdm.stats().per_disk_writes);
         assert_eq!(replayed.phases.len(), 2);
         assert_eq!(replayed.phases[1].write_steps, 1, "grouped stripe is one step");
+    }
+
+    #[test]
+    fn wall_stats_harvest_from_threaded_backend() {
+        let cfg = PdmConfig::new(2, 8, 64);
+        let storage = crate::storage_threaded::ThreadedStorage::<u64>::new(2, 8);
+        let mut pdm = Pdm::with_storage(cfg, storage).unwrap();
+        let sink = Arc::new(SpanSink::new(1 << 10));
+        pdm.attach_span_sink(Arc::clone(&sink));
+        let r = pdm.alloc_region(4).unwrap();
+        pdm.begin_phase("p");
+        pdm.write_region(&r, &(0..32u64).collect::<Vec<_>>()).unwrap();
+        pdm.end_phase();
+        assert!(pdm.stats().wall.has_samples(), "end_phase harvests the backend");
+        let (_s, stats) = pdm.into_parts();
+        assert_eq!(stats.wall.disks.len(), 2);
+        assert!(stats.wall.disks.iter().all(|d| d.write.count == 2));
+        // the phase produced one span on the phase track, the workers one
+        // span per serviced block
+        let spans = sink.spans();
+        assert_eq!(
+            spans.iter().filter(|s| s.tid == SpanSink::PHASE_TRACK).count(),
+            1
+        );
+        assert_eq!(spans.iter().filter(|s| s.name == "write").count(), 4);
     }
 
     fn fresh_manifest(algo: &str, cfg: &PdmConfig, num_keys: usize) -> Manifest {

@@ -9,12 +9,21 @@
 //! parallel steps actually consumed (a batch touching one disk `k` times
 //! costs `k` steps — lost parallelism is visible, not hidden).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
 use serde::{Deserialize, Serialize};
 
+use crate::hist::HistSnapshot;
 use crate::probe::Probe;
 
 /// Cumulative I/O counters for a PDM machine.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Equality deliberately ignores [`IoStats::wall`]: the step-clocked
+/// counters must compare identical across backends and with telemetry on
+/// or off, while wall-clock telemetry is timing-dependent by nature.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct IoStats {
     /// Total blocks read.
     pub blocks_read: u64,
@@ -59,6 +68,273 @@ pub struct IoStats {
     /// Structured event probe, when enabled (see [`IoStats::enable_probe`]).
     #[serde(skip)]
     probe: Option<Box<Probe>>,
+    /// Wall-clock telemetry harvested from the storage backend at phase
+    /// boundaries and sync points (see [`WallStats`]). Timing-dependent by
+    /// nature, so — like [`OverlapCounters`] hit/stall splits — it lives
+    /// entirely outside the probe's deterministic event stream and is
+    /// ignored by [`crate::probe::replay`].
+    #[serde(default)]
+    pub wall: WallStats,
+}
+
+impl PartialEq for IoStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.blocks_read == other.blocks_read
+            && self.blocks_written == other.blocks_written
+            && self.read_steps == other.read_steps
+            && self.write_steps == other.write_steps
+            && self.per_disk_reads == other.per_disk_reads
+            && self.per_disk_writes == other.per_disk_writes
+            && self.phases == other.phases
+            && self.open_phase == other.open_phase
+            && self.group == other.group
+            && self.trace == other.trace
+            && self.trace_dropped == other.trace_dropped
+            && self.trace_cap == other.trace_cap
+            && self.overlap == other.overlap
+            && self.next_overlap_id == other.next_overlap_id
+            && self.retry == other.retry
+            && self.probe == other.probe
+    }
+}
+
+impl Eq for IoStats {}
+
+/// Wall-clock telemetry for one run: per-disk service-latency histograms,
+/// queue-depth high-water marks, io_uring batching counters, and wall time
+/// spent blocked in overlap waits. Everything here measures *when* I/O
+/// happened on the host, not *how much* — the step-clocked counters above
+/// are byte-identical whether or not any of this is recorded.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WallStats {
+    /// Per-disk latency histograms and queue gauges (length `D` once
+    /// harvested from a backend that records them; empty otherwise).
+    #[serde(default)]
+    pub disks: Vec<DiskWall>,
+    /// io_uring submit/reap batching counters (all zero unless the
+    /// async-file backend ran with a live ring).
+    #[serde(default)]
+    pub uring: UringWall,
+    /// Wall nanoseconds the consuming thread spent blocked waiting for an
+    /// overlapped *read* that had not completed when needed.
+    #[serde(default)]
+    pub read_stall_nanos: u64,
+    /// Wall nanoseconds blocked waiting for an overlapped *write*.
+    #[serde(default)]
+    pub write_stall_nanos: u64,
+    /// Stall time attributed to the phase that was open when the wait
+    /// happened, in phase-open order.
+    #[serde(default)]
+    pub phase_stalls: Vec<PhaseStall>,
+    /// Total wall nanoseconds of the run, stamped by the driver (CLI or
+    /// bench) after the sort returns; zero when nobody stamped it. Enables
+    /// stall-share computation in reports.
+    #[serde(default)]
+    pub run_nanos: u64,
+}
+
+impl WallStats {
+    /// Whether any disk recorded at least one latency sample.
+    pub fn has_samples(&self) -> bool {
+        self.disks.iter().any(|d| !d.read.is_empty() || !d.write.is_empty())
+    }
+
+    /// Total wall nanoseconds blocked in overlap waits (read + write).
+    pub fn total_stall_nanos(&self) -> u64 {
+        self.read_stall_nanos + self.write_stall_nanos
+    }
+
+    /// Fraction of the stamped run wall time spent blocked in overlap
+    /// waits; 0.0 when [`WallStats::run_nanos`] was never stamped.
+    pub fn stall_share(&self) -> f64 {
+        if self.run_nanos == 0 {
+            return 0.0;
+        }
+        self.total_stall_nanos() as f64 / self.run_nanos as f64
+    }
+}
+
+/// Wall-clock telemetry for one disk: service-time histograms split by
+/// direction plus the deepest submitted-not-completed queue observed.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskWall {
+    /// Read service-time histogram (nanoseconds per service unit; see the
+    /// recording backend for what one sample covers).
+    pub read: HistSnapshot,
+    /// Write service-time histogram.
+    pub write: HistSnapshot,
+    /// High-water mark of blocks submitted to this disk's workers but not
+    /// yet completed.
+    #[serde(default)]
+    pub queue_high_water: u64,
+}
+
+/// io_uring batching counters, summed across all disk workers. The
+/// interesting ratios are ops-per-submit (how well submissions batch) and
+/// ops-per-reap (how bursty completions are).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UringWall {
+    /// `io_uring_enter` calls that submitted at least one SQE.
+    pub submit_calls: u64,
+    /// SQEs submitted in total.
+    pub submitted_sqes: u64,
+    /// Completion-drain rounds that reaped at least one CQE.
+    pub reap_rounds: u64,
+    /// CQEs reaped in total.
+    pub reaped_cqes: u64,
+}
+
+/// Overlap stall wall time attributed to one named phase.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseStall {
+    /// Phase label (matches the [`PhaseStats`] entry of the same name).
+    pub name: String,
+    /// Nanoseconds blocked waiting on overlapped reads during the phase.
+    pub read_nanos: u64,
+    /// Nanoseconds blocked waiting on overlapped writes during the phase.
+    pub write_nanos: u64,
+}
+
+/// Live, thread-shared wall recorder for one disk: the mutable counterpart
+/// of [`DiskWall`]. A backend allocates one per disk, hands clones of the
+/// `Arc` to that disk's workers, and snapshots it on demand. All counters
+/// are relaxed atomics — this sits on the I/O service path.
+#[derive(Debug, Default)]
+pub struct DiskWallRec {
+    /// Read service-time histogram (nanoseconds).
+    pub read: crate::hist::LatencyHist,
+    /// Write service-time histogram (nanoseconds).
+    pub write: crate::hist::LatencyHist,
+    queue: AtomicU64,
+    queue_high: AtomicU64,
+}
+
+impl DiskWallRec {
+    /// Fresh recorder with empty histograms and a zero queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Note `n` blocks submitted to this disk's workers (dispatch side).
+    pub fn queue_add(&self, n: u64) {
+        let cur = self.queue.fetch_add(n, Ordering::Relaxed) + n;
+        self.queue_high.fetch_max(cur, Ordering::Relaxed);
+    }
+
+    /// Note `n` blocks completed by this disk's workers (service side).
+    pub fn queue_sub(&self, n: u64) {
+        self.queue.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Deepest submitted-not-completed queue observed so far.
+    pub fn queue_high_water(&self) -> u64 {
+        self.queue_high.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time serializable copy.
+    pub fn snapshot(&self) -> DiskWall {
+        DiskWall {
+            read: self.read.snapshot(),
+            write: self.write.snapshot(),
+            queue_high_water: self.queue_high_water(),
+        }
+    }
+}
+
+/// Storage-side wall-clock snapshot, harvested by the machine into
+/// [`WallStats`] at phase boundaries and sync points (cumulative: each
+/// harvest overwrites the previous one, mirroring how retry counters fold).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StorageWallSnapshot {
+    /// Per-disk histograms and gauges, indexed by disk.
+    pub disks: Vec<DiskWall>,
+    /// io_uring batching counters summed over workers (zero when the
+    /// backend has no ring).
+    pub uring: UringWall,
+}
+
+/// One completed wall-clock span destined for a trace track (Chrome
+/// trace-event `B`/`E` pair). Times are nanoseconds since the owning
+/// [`SpanSink`]'s epoch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// Track id: disk `d`'s read worker is `2d`, its write worker `2d + 1`;
+    /// higher layers use [`SpanSink::PHASE_TRACK`] and up.
+    pub tid: u32,
+    /// Span label (e.g. `"read 32"` for a 32-block service chunk).
+    pub name: String,
+    /// Start, nanoseconds since the sink's epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Shared collector for wall-clock spans, attached (optionally) to storage
+/// workers and the machine via `attach_span_sink`. Thread-safe and bounded:
+/// spans past the cap are dropped and counted rather than growing without
+/// limit. Purely observational — nothing in the deterministic step
+/// accounting reads it.
+#[derive(Debug)]
+pub struct SpanSink {
+    epoch: Instant,
+    spans: Mutex<Vec<Span>>,
+    tracks: Mutex<Vec<(u32, String)>>,
+    cap: usize,
+    dropped: AtomicU64,
+}
+
+impl SpanSink {
+    /// Track id used for algorithm phase spans (disk workers use `2d` /
+    /// `2d + 1`, far below this).
+    pub const PHASE_TRACK: u32 = 1_000_000;
+
+    /// New sink retaining at most `cap` spans.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            epoch: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+            tracks: Mutex::new(Vec::new()),
+            cap: cap.min(1 << 22),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Name a track so the trace writer can emit thread-name metadata.
+    /// Idempotent per tid (first registration wins).
+    pub fn register_track(&self, tid: u32, name: &str) {
+        let mut t = self.tracks.lock().unwrap();
+        if !t.iter().any(|(id, _)| *id == tid) {
+            t.push((tid, name.to_string()));
+        }
+    }
+
+    /// Record a span that ran from `start` to `end` on track `tid`.
+    pub fn record(&self, tid: u32, name: &str, start: Instant, end: Instant) {
+        let start_ns = start.saturating_duration_since(self.epoch).as_nanos() as u64;
+        let dur_ns = end.saturating_duration_since(start).as_nanos() as u64;
+        let mut s = self.spans.lock().unwrap();
+        if s.len() < self.cap {
+            s.push(Span { tid, name: name.to_string(), start_ns, dur_ns });
+        } else {
+            drop(s);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// All registered `(tid, name)` tracks, in registration order.
+    pub fn tracks(&self) -> Vec<(u32, String)> {
+        self.tracks.lock().unwrap().clone()
+    }
+
+    /// Copy out all recorded spans (recording may continue afterwards).
+    pub fn spans(&self) -> Vec<Span> {
+        self.spans.lock().unwrap().clone()
+    }
+
+    /// Spans dropped because the cap was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
 }
 
 /// Counters for the asynchronous-overlap layer: how often the double
@@ -189,6 +465,37 @@ impl IoStats {
             next_overlap_id: 0,
             retry: RetrySnapshot::default(),
             probe: None,
+            wall: WallStats::default(),
+        }
+    }
+
+    /// Add wall time spent blocked waiting for an overlapped batch (read
+    /// when `write` is false) to the stall totals, attributing it to the
+    /// currently open phase if any. Wall-clock only: no probe event, no
+    /// step-counter effect.
+    pub(crate) fn record_overlap_stall(&mut self, write: bool, nanos: u64) {
+        if write {
+            self.wall.write_stall_nanos += nanos;
+        } else {
+            self.wall.read_stall_nanos += nanos;
+        }
+        if let Some((name, _)) = &self.open_phase {
+            let entry = match self.wall.phase_stalls.last_mut() {
+                Some(e) if e.name == *name => e,
+                _ => {
+                    self.wall.phase_stalls.push(PhaseStall {
+                        name: name.clone(),
+                        read_nanos: 0,
+                        write_nanos: 0,
+                    });
+                    self.wall.phase_stalls.last_mut().unwrap()
+                }
+            };
+            if write {
+                entry.write_nanos += nanos;
+            } else {
+                entry.read_nanos += nanos;
+            }
         }
     }
 
@@ -764,5 +1071,68 @@ mod tests {
         let s = IoStats::new(3);
         assert_eq!(s.read_parallel_efficiency(3), 1.0);
         assert_eq!(s.write_parallel_efficiency(3), 1.0);
+    }
+
+    #[test]
+    fn overlap_stalls_attribute_to_open_phase() {
+        let mut s = IoStats::new(2);
+        s.record_overlap_stall(false, 100); // no phase open: totals only
+        s.begin_phase("a");
+        s.record_overlap_stall(false, 10);
+        s.record_overlap_stall(true, 20);
+        s.begin_phase("b");
+        s.record_overlap_stall(true, 5);
+        s.end_phase();
+        assert_eq!(s.wall.read_stall_nanos, 110);
+        assert_eq!(s.wall.write_stall_nanos, 25);
+        assert_eq!(s.wall.total_stall_nanos(), 135);
+        assert_eq!(s.wall.phase_stalls.len(), 2);
+        assert_eq!(s.wall.phase_stalls[0].name, "a");
+        assert_eq!(s.wall.phase_stalls[0].read_nanos, 10);
+        assert_eq!(s.wall.phase_stalls[0].write_nanos, 20);
+        assert_eq!(s.wall.phase_stalls[1].name, "b");
+        assert_eq!(s.wall.phase_stalls[1].write_nanos, 5);
+    }
+
+    #[test]
+    fn stall_share_requires_a_stamped_run_time() {
+        let mut s = IoStats::new(1);
+        s.record_overlap_stall(false, 500);
+        assert_eq!(s.wall.stall_share(), 0.0, "unstamped run divides safely");
+        s.wall.run_nanos = 1000;
+        assert!((s.wall.stall_share() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_without_wall_field_parse_json_to_default() {
+        // artifacts serialized before wall-clock telemetry existed must
+        // keep parsing: every WallStats field defaults, so the empty
+        // object (what a missing `wall` key decays to) parses cleanly
+        let w: WallStats = serde_json::from_str("{}").unwrap();
+        assert_eq!(w, WallStats::default());
+        // and today's IoStats carries the field for future readers
+        let s = IoStats::new(2);
+        assert!(serde_json::to_string(&s).unwrap().contains("\"wall\""));
+    }
+
+    #[test]
+    fn span_sink_records_caps_and_names_tracks() {
+        let sink = SpanSink::new(2);
+        sink.register_track(0, "disk0.read");
+        sink.register_track(0, "ignored-duplicate");
+        sink.register_track(SpanSink::PHASE_TRACK, "phases");
+        let t0 = Instant::now();
+        sink.record(0, "read 4", t0, t0 + std::time::Duration::from_micros(5));
+        sink.record(0, "read 2", t0, t0);
+        sink.record(0, "read 1", t0, t0); // past cap: dropped
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "read 4");
+        assert!(spans[0].dur_ns >= 5_000);
+        assert_eq!(sink.dropped(), 1);
+        assert_eq!(
+            sink.tracks(),
+            vec![(0, "disk0.read".to_string()), (SpanSink::PHASE_TRACK, "phases".to_string())]
+        );
     }
 }

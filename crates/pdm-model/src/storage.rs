@@ -103,11 +103,21 @@ pub trait Storage<K: PdmKey>: Send {
         StorageCaps::default()
     }
 
-    /// Whether this backend can genuinely overlap I/O with computation.
-    #[deprecated(note = "use `caps().overlap`; `StorageCaps` carries the full capability set")]
-    fn supports_overlap(&self) -> bool {
-        self.caps().overlap
+    /// Cumulative wall-clock telemetry recorded by this backend's workers
+    /// (per-disk latency histograms, queue high-water marks, uring
+    /// counters), or `None` for backends that do not time their I/O. The
+    /// machine harvests this into [`crate::stats::WallStats`] at phase
+    /// boundaries and sync points. Purely observational: nothing in the
+    /// step accounting depends on it.
+    fn wall_snapshot(&self) -> Option<crate::stats::StorageWallSnapshot> {
+        None
     }
+
+    /// Attach a shared span sink; backends that time their I/O record one
+    /// span per service operation into it (for Chrome trace export).
+    /// Default: ignored. Attach before issuing I/O that should be traced —
+    /// spans are timestamped against the sink's epoch.
+    fn attach_span_sink(&mut self, _sink: std::sync::Arc<crate::stats::SpanSink>) {}
 
     /// Begin an asynchronous batch read; the returned token is redeemed
     /// with [`crate::overlap::PendingRead::wait`]. The default performs the
@@ -184,9 +194,12 @@ impl<K: PdmKey, S: Storage<K> + ?Sized> Storage<K> for Box<S> {
         (**self).caps()
     }
 
-    #[allow(deprecated)]
-    fn supports_overlap(&self) -> bool {
-        (**self).supports_overlap()
+    fn wall_snapshot(&self) -> Option<crate::stats::StorageWallSnapshot> {
+        (**self).wall_snapshot()
+    }
+
+    fn attach_span_sink(&mut self, sink: std::sync::Arc<crate::stats::SpanSink>) {
+        (**self).attach_span_sink(sink)
     }
 
     fn start_read_batch(

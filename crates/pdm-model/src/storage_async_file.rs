@@ -41,6 +41,7 @@
 use crate::error::{PdmError, Result};
 use crate::key::PdmKey;
 use crate::pool::{BlockPool, PoolStats};
+use crate::stats::{DiskWallRec, SpanSink, StorageWallSnapshot, UringWall};
 use crate::storage::{Storage, StorageCaps};
 use crate::storage_file::{parse_meta, write_meta};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -48,8 +49,10 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Buffer-address / file-offset / transfer-length alignment `O_DIRECT`
 /// requires (the logical block size is at most this on any disk we care
@@ -130,6 +133,28 @@ enum Engine {
     Sync,
 }
 
+/// Cumulative io_uring submit/reap batching counters, summed over every
+/// worker ring of the storage (wall-clock telemetry; plain atomics so
+/// workers fold their per-ring deltas in without coordination).
+#[derive(Default)]
+struct UringShared {
+    submit_calls: AtomicU64,
+    submitted_sqes: AtomicU64,
+    reap_rounds: AtomicU64,
+    reaped_cqes: AtomicU64,
+}
+
+impl UringShared {
+    fn snapshot(&self) -> UringWall {
+        UringWall {
+            submit_calls: self.submit_calls.load(Ordering::Relaxed),
+            submitted_sqes: self.submitted_sqes.load(Ordering::Relaxed),
+            reap_rounds: self.reap_rounds.load(Ordering::Relaxed),
+            reaped_cqes: self.reaped_cqes.load(Ordering::Relaxed),
+        }
+    }
+}
+
 struct DiskWorker<K: PdmKey> {
     file: File,
     block_size: usize,
@@ -142,6 +167,14 @@ struct DiskWorker<K: PdmKey> {
     pending_writes: Arc<Mutex<HashMap<usize, usize>>>,
     staging: AlignedBuf,
     engine: Engine,
+    /// Wall-clock recorder shared with this disk's other worker and the
+    /// owning storage (latency histograms + queue gauge).
+    wall: Arc<DiskWallRec>,
+    /// Trace sink, attached after spawn (lock-free to poll once set).
+    sink: Arc<OnceLock<Arc<SpanSink>>>,
+    /// Trace track for this worker's kernel-round spans.
+    track: u32,
+    uring: Arc<UringShared>,
 }
 
 impl<K: PdmKey> DiskWorker<K> {
@@ -195,7 +228,24 @@ impl<K: PdmKey> DiskWorker<K> {
                         });
                     }
                 }
-                ring.run(&mut ops)
+                let before = ring.stats();
+                let results = ring.run(&mut ops);
+                let delta = |a: u64, b: u64| a.wrapping_sub(b);
+                let after = ring.stats();
+                self.uring
+                    .submit_calls
+                    .fetch_add(delta(after.submit_calls, before.submit_calls), Ordering::Relaxed);
+                self.uring.submitted_sqes.fetch_add(
+                    delta(after.submitted_sqes, before.submitted_sqes),
+                    Ordering::Relaxed,
+                );
+                self.uring
+                    .reap_rounds
+                    .fetch_add(delta(after.reap_rounds, before.reap_rounds), Ordering::Relaxed);
+                self.uring
+                    .reaped_cqes
+                    .fetch_add(delta(after.reaped_cqes, before.reaped_cqes), Ordering::Relaxed);
+                results
             }
             Engine::Sync => staged
                 .chunks_mut(bb)
@@ -212,6 +262,27 @@ impl<K: PdmKey> DiskWorker<K> {
         }
     }
 
+    /// One kernel round over `slots`, timed: its wall-clock service time
+    /// goes to this disk's latency histogram (one sample per round, not
+    /// per block), to the trace sink when one is attached, and the round's
+    /// blocks retire from the queue-depth gauge.
+    fn timed_transfer(&mut self, slots: &[usize], write: bool) -> Vec<std::io::Result<()>> {
+        let t0 = Instant::now();
+        let results = self.transfer(slots, write);
+        let t1 = Instant::now();
+        let ns = t1.saturating_duration_since(t0).as_nanos() as u64;
+        if write {
+            self.wall.write.record(ns);
+        } else {
+            self.wall.read.record(ns);
+        }
+        if let Some(sink) = self.sink.get() {
+            sink.record(self.track, if write { "write" } else { "read" }, t0, t1);
+        }
+        self.wall.queue_sub(slots.len() as u64);
+        results
+    }
+
     /// Serve one read request's slots, at most `QUEUE_DEPTH` per kernel
     /// submission; one decoded pooled buffer (or error) per slot, in
     /// request order.
@@ -220,7 +291,7 @@ impl<K: PdmKey> DiskWorker<K> {
         let bb = self.staging.block_bytes;
         for chunk in slots.chunks(QUEUE_DEPTH) {
             self.staging.ensure(chunk.len());
-            let results = self.transfer(chunk, false);
+            let results = self.timed_transfer(chunk, false);
             let off = self.staging.offset();
             for (i, res) in results.into_iter().enumerate() {
                 out.push(match res {
@@ -273,7 +344,7 @@ impl<K: PdmKey> DiskWorker<K> {
             }
         }
         let slots: Vec<usize> = chunk.iter().map(|(s, _)| *s).collect();
-        let results = self.transfer(&slots, true);
+        let results = self.timed_transfer(&slots, true);
         for ((slot, data), res) in chunk.drain(..).zip(results) {
             self.pool.put(data);
             // Retire the hazard only once the bytes are committed, so a
@@ -395,6 +466,11 @@ pub struct AsyncFileStorage<K: PdmKey> {
     /// Per-disk in-flight write slots, shared with that disk's write
     /// worker. Reads consult this before dispatch (see module docs).
     pending_writes: Vec<Arc<Mutex<HashMap<usize, usize>>>>,
+    /// Per-disk wall-clock recorders, shared with both of that disk's
+    /// workers (telemetry only — never consulted for correctness).
+    wall: Vec<Arc<DiskWallRec>>,
+    sink: Arc<OnceLock<Arc<SpanSink>>>,
+    uring: Arc<UringShared>,
     direct_io: bool,
     remove_on_drop: bool,
 }
@@ -464,6 +540,9 @@ impl<K: PdmKey> AsyncFileStorage<K> {
         // double-buffering, grown per dispatch via reserve_retained.
         let pool = Arc::new(BlockPool::for_blocks(4 * num_disks.max(1), block_size));
         let mut direct_io = num_disks > 0;
+        let mut wall = Vec::with_capacity(num_disks);
+        let sink: Arc<OnceLock<Arc<SpanSink>>> = Arc::new(OnceLock::new());
+        let uring = Arc::new(UringShared::default());
         for d in 0..num_disks {
             let path = dir.join(format!("disk-{d}.pdm"));
             // The first open probes O_DIRECT support; worker handles reuse
@@ -476,6 +555,7 @@ impl<K: PdmKey> AsyncFileStorage<K> {
                 None => allocated.push((main.metadata()?.len() / block_bytes as u64) as usize),
             }
             let pending = Arc::new(Mutex::new(HashMap::new()));
+            let rec = Arc::new(DiskWallRec::new());
             for (kind, senders) in [("r", &mut read_senders), ("w", &mut write_senders)] {
                 let (file, _) = open_disk(&path, false, direct)?;
                 let (tx, rx) = unbounded();
@@ -497,6 +577,10 @@ impl<K: PdmKey> AsyncFileStorage<K> {
                     pending_writes: Arc::clone(&pending),
                     staging: AlignedBuf::new(block_bytes, align),
                     engine,
+                    wall: Arc::clone(&rec),
+                    sink: Arc::clone(&sink),
+                    track: (2 * d + usize::from(kind == "w")) as u32,
+                    uring: Arc::clone(&uring),
                 };
                 let h = std::thread::Builder::new()
                     .name(format!("pdm-adisk-{d}{kind}"))
@@ -508,6 +592,7 @@ impl<K: PdmKey> AsyncFileStorage<K> {
             files.push(main);
             paths.push(path);
             pending_writes.push(pending);
+            wall.push(rec);
         }
         Ok(Self {
             files,
@@ -520,6 +605,9 @@ impl<K: PdmKey> AsyncFileStorage<K> {
             handles,
             pool,
             pending_writes,
+            wall,
+            sink,
+            uring,
             direct_io,
             remove_on_drop: false,
         })
@@ -597,6 +685,9 @@ impl<K: PdmKey> AsyncFileStorage<K> {
             if idx.is_empty() {
                 continue;
             }
+            // Gauge up before send: the worker retires each kernel round's
+            // blocks, so submitted-not-completed is exactly the difference.
+            self.wall[disk].queue_add(slots.len() as u64);
             let (tx, rx) = unbounded();
             self.read_senders[disk]
                 .send(Request::Read { slots, reply: tx })
@@ -640,6 +731,7 @@ impl<K: PdmKey> AsyncFileStorage<K> {
             if batch.is_empty() {
                 continue;
             }
+            self.wall[disk].queue_add(batch.len() as u64);
             let (tx, rx) = unbounded();
             self.write_senders[disk]
                 .send(Request::Write { batch, reply: tx })
@@ -762,6 +854,21 @@ impl<K: PdmKey> Storage<K> for AsyncFileStorage<K> {
 
     fn pool_stats(&self) -> Option<PoolStats> {
         Some(self.pool.stats())
+    }
+
+    fn wall_snapshot(&self) -> Option<StorageWallSnapshot> {
+        Some(StorageWallSnapshot {
+            disks: self.wall.iter().map(|w| w.snapshot()).collect(),
+            uring: self.uring.snapshot(),
+        })
+    }
+
+    fn attach_span_sink(&mut self, sink: Arc<SpanSink>) {
+        for d in 0..self.files.len() {
+            sink.register_track(2 * d as u32, &format!("disk{d} read"));
+            sink.register_track(2 * d as u32 + 1, &format!("disk{d} write"));
+        }
+        let _ = self.sink.set(sink);
     }
 
     /// Worker threads service real file I/O while the caller computes, so
@@ -984,5 +1091,42 @@ mod tests {
     fn drop_joins_workers_cleanly() {
         let s = AsyncFileStorage::<u64>::create_temp(8, 16).unwrap();
         drop(s); // must not hang or panic
+    }
+
+    #[test]
+    fn wall_telemetry_samples_per_kernel_round() {
+        let d = 2;
+        let b = 4;
+        let mut s = AsyncFileStorage::<u64>::create_temp(d, b).unwrap();
+        let sink = Arc::new(SpanSink::new(1 << 16));
+        s.attach_span_sink(Arc::clone(&sink));
+        for disk in 0..d {
+            s.ensure_capacity(disk, 4).unwrap();
+        }
+        // 4 distinct slots per disk, well under QUEUE_DEPTH: exactly one
+        // kernel round (= one histogram sample, one span) per disk per
+        // direction.
+        let reqs: Vec<(usize, usize)> = (0..8).map(|i| (i % d, i / d)).collect();
+        let data: Vec<u64> = (0..reqs.len() * b).map(|i| i as u64).collect();
+        s.write_batch(&reqs, &data).unwrap();
+        let mut out = vec![0u64; data.len()];
+        s.read_batch(&reqs, &mut out).unwrap();
+        assert_eq!(out, data);
+        let w = s.wall_snapshot().unwrap();
+        assert_eq!(w.disks.len(), d);
+        for dw in &w.disks {
+            assert_eq!(dw.read.count, 1, "one round per disk per direction");
+            assert_eq!(dw.write.count, 1);
+            assert!(dw.queue_high_water >= 4, "4 blocks dispatched at once");
+        }
+        let tracks = sink.tracks();
+        assert_eq!(tracks.len(), 2 * d);
+        assert!(tracks.iter().any(|(tid, n)| *tid == 1 && n == "disk0 write"));
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 2 * d);
+        assert_eq!(spans.iter().filter(|s| s.name == "read").count(), d);
+        // uring counters only move when a ring actually serviced the
+        // batch; when they do, submissions balance completions.
+        assert_eq!(w.uring.submitted_sqes, w.uring.reaped_cqes);
     }
 }

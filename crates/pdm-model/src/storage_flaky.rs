@@ -174,6 +174,14 @@ impl<K: PdmKey, S: Storage<K>> Storage<K> for FlakyStorage<S> {
         self.inner.pool_stats()
     }
 
+    fn wall_snapshot(&self) -> Option<crate::stats::StorageWallSnapshot> {
+        self.inner.wall_snapshot()
+    }
+
+    fn attach_span_sink(&mut self, sink: std::sync::Arc<crate::stats::SpanSink>) {
+        self.inner.attach_span_sink(sink)
+    }
+
     /// Inner caps with `overlap`/`duplex` forced off: fault injection must
     /// intercept every operation at issue time, which requires the eager
     /// `start_*_batch` defaults.

@@ -196,6 +196,14 @@ impl<K: PdmKey, S: Storage<K>> Storage<K> for RetryingStorage<S> {
         self.inner.pool_stats()
     }
 
+    fn wall_snapshot(&self) -> Option<crate::stats::StorageWallSnapshot> {
+        self.inner.wall_snapshot()
+    }
+
+    fn attach_span_sink(&mut self, sink: std::sync::Arc<crate::stats::SpanSink>) {
+        self.inner.attach_span_sink(sink)
+    }
+
     /// Inner caps with `overlap`/`duplex` forced off: the retry budget
     /// applies per block operation, which requires the eager
     /// `start_*_batch` defaults so every attempt happens at issue time.

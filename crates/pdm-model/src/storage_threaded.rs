@@ -26,11 +26,11 @@
 use crate::error::{PdmError, Result};
 use crate::key::PdmKey;
 use crate::pool::{BlockPool, PoolStats};
+use crate::stats::{DiskWallRec, SpanSink, StorageWallSnapshot};
 use crate::storage::Storage;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -69,10 +69,17 @@ struct DiskWorker<K: PdmKey> {
     /// Shared with the owning [`ThreadedStorage`]: read replies are drawn
     /// from here, retired write payloads go back here.
     pool: Arc<BlockPool<K>>,
-    /// Cumulative wall-clock service time (ns) for this disk, shared by
-    /// both of its workers and with
-    /// [`ThreadedStorage::per_disk_service_nanos`].
-    busy_nanos: Arc<AtomicU64>,
+    /// Wall-clock recorder for this disk (latency histograms + queue
+    /// gauge), shared by both of its workers and the dispatch side. One
+    /// histogram sample covers one serviced block, emulated access latency
+    /// included, queueing excluded.
+    wall: Arc<DiskWallRec>,
+    /// Span sink for trace export, set at most once after spawn; unset
+    /// costs one lock-free check per serviced request.
+    sink: Arc<OnceLock<Arc<SpanSink>>>,
+    /// Trace track id of this worker (`2·disk` read side, `2·disk + 1`
+    /// write side).
+    track: u32,
     /// In-flight write slots for this disk (slot → outstanding count);
     /// the write worker decrements *after* committing, before replying.
     pending_writes: Arc<Mutex<HashMap<usize, usize>>>,
@@ -85,15 +92,13 @@ impl<K: PdmKey> DiskWorker<K> {
                 Request::Read { slot, charge_latency, reply } => {
                     let t0 = Instant::now();
                     let res = self.read(slot, charge_latency);
-                    self.busy_nanos
-                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    self.retire(false, t0);
                     let _ = reply.send(res);
                 }
                 Request::Write { slot, data, charge_latency, reply } => {
                     let t0 = Instant::now();
                     let res = self.write(slot, &data, charge_latency);
-                    self.busy_nanos
-                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    self.retire(true, t0);
                     self.pool.put(data);
                     // Retire the hazard entry only once the bytes are
                     // committed, so a racing read check can never pass
@@ -119,6 +124,22 @@ impl<K: PdmKey> DiskWorker<K> {
                 Request::Shutdown => break,
             }
         }
+    }
+
+    /// Record one serviced block into the wall recorder (and the span sink
+    /// when trace export is live), then release its queue-gauge slot.
+    fn retire(&self, write: bool, t0: Instant) {
+        let t1 = Instant::now();
+        let ns = t1.saturating_duration_since(t0).as_nanos() as u64;
+        if write {
+            self.wall.write.record(ns);
+        } else {
+            self.wall.read.record(ns);
+        }
+        if let Some(sink) = self.sink.get() {
+            sink.record(self.track, if write { "write" } else { "read" }, t0, t1);
+        }
+        self.wall.queue_sub(1);
     }
 
     fn simulate_latency(&self, charge: bool) {
@@ -173,7 +194,8 @@ pub struct ThreadedStorage<K: PdmKey> {
     handles: Vec<JoinHandle<()>>,
     block_size: usize,
     pool: Arc<BlockPool<K>>,
-    busy_nanos: Vec<Arc<AtomicU64>>,
+    wall: Vec<Arc<DiskWallRec>>,
+    sink: Arc<OnceLock<Arc<SpanSink>>>,
     /// Per-disk in-flight write slots, shared with that disk's write
     /// worker. Reads consult this before dispatch (see module docs).
     pending_writes: Vec<Arc<Mutex<HashMap<usize, usize>>>>,
@@ -191,8 +213,9 @@ impl<K: PdmKey> ThreadedStorage<K> {
         let mut read_senders = Vec::with_capacity(num_disks);
         let mut write_senders = Vec::with_capacity(num_disks);
         let mut handles = Vec::with_capacity(2 * num_disks);
-        let mut busy_nanos = Vec::with_capacity(num_disks);
+        let mut wall = Vec::with_capacity(num_disks);
         let mut pending_writes = Vec::with_capacity(num_disks);
+        let sink: Arc<OnceLock<Arc<SpanSink>>> = Arc::new(OnceLock::new());
         // Steady state keeps ~2 buffers per disk in flight (one being
         // filled/drained on each side of the channel); 4×D gives slack for
         // the overlap layer's double-buffering without unbounded retention.
@@ -204,7 +227,7 @@ impl<K: PdmKey> ThreadedStorage<K> {
                 data: Vec::new(),
                 allocated: 0,
             }));
-            let busy = Arc::new(AtomicU64::new(0));
+            let rec = Arc::new(DiskWallRec::new());
             let pending = Arc::new(Mutex::new(HashMap::new()));
             for (kind, senders) in
                 [("r", &mut read_senders), ("w", &mut write_senders)]
@@ -216,7 +239,9 @@ impl<K: PdmKey> ThreadedStorage<K> {
                     latency,
                     rx,
                     pool: Arc::clone(&pool),
-                    busy_nanos: Arc::clone(&busy),
+                    wall: Arc::clone(&rec),
+                    sink: Arc::clone(&sink),
+                    track: (2 * d + usize::from(kind == "w")) as u32,
                     pending_writes: Arc::clone(&pending),
                 };
                 let h = std::thread::Builder::new()
@@ -226,7 +251,7 @@ impl<K: PdmKey> ThreadedStorage<K> {
                 senders.push(tx);
                 handles.push(h);
             }
-            busy_nanos.push(busy);
+            wall.push(rec);
             pending_writes.push(pending);
         }
         Self {
@@ -235,7 +260,8 @@ impl<K: PdmKey> ThreadedStorage<K> {
             handles,
             block_size,
             pool,
-            busy_nanos,
+            wall,
+            sink,
             pending_writes,
         }
     }
@@ -258,10 +284,13 @@ impl<K: PdmKey> ThreadedStorage<K> {
     /// latency included; queueing excluded). An imbalanced profile here is
     /// the wall-clock shadow of the step-count imbalance the
     /// [`crate::stats::IoStats`] per-disk counters record.
+    ///
+    /// Derived from the per-disk latency histograms (read sum + write sum),
+    /// which keep exact sums alongside their log-bucketed counts.
     pub fn per_disk_service_nanos(&self) -> Vec<u64> {
-        self.busy_nanos
+        self.wall
             .iter()
-            .map(|a| a.load(Ordering::Relaxed))
+            .map(|w| w.read.sum() + w.write.sum())
             .collect()
     }
 
@@ -312,6 +341,7 @@ impl<K: PdmKey> ThreadedStorage<K> {
             self.check_no_write_in_flight(disk, slot)?;
             let (tx, rx) = unbounded();
             let charge_latency = Self::first_touch(&mut seen, disk);
+            self.wall[disk].queue_add(1);
             self.read_senders[disk]
                 .send(Request::Read { slot, charge_latency, reply: tx })
                 .map_err(|_| PdmError::BadConfig("disk worker hung up".into()))?;
@@ -348,6 +378,7 @@ impl<K: PdmKey> ThreadedStorage<K> {
                 .unwrap()
                 .entry(slot)
                 .or_insert(0) += 1;
+            self.wall[disk].queue_add(1);
             self.write_senders[disk]
                 .send(Request::Write {
                     slot,
@@ -405,6 +436,7 @@ impl<K: PdmKey> Storage<K> for ThreadedStorage<K> {
         }
         self.check_no_write_in_flight(disk, slot)?;
         let (tx, rx) = unbounded();
+        self.wall[disk].queue_add(1);
         self.read_senders[disk]
             .send(Request::Read { slot, charge_latency: true, reply: tx })
             .map_err(|_| PdmError::BadConfig("disk worker hung up".into()))?;
@@ -422,6 +454,7 @@ impl<K: PdmKey> Storage<K> for ThreadedStorage<K> {
         let (tx, rx) = unbounded();
         let mut block = self.pool.get(data.len());
         block.extend_from_slice(data);
+        self.wall[disk].queue_add(1);
         self.write_senders[disk]
             .send(Request::Write {
                 slot,
@@ -466,6 +499,21 @@ impl<K: PdmKey> Storage<K> for ThreadedStorage<K> {
 
     fn pool_stats(&self) -> Option<PoolStats> {
         Some(self.pool.stats())
+    }
+
+    fn wall_snapshot(&self) -> Option<StorageWallSnapshot> {
+        Some(StorageWallSnapshot {
+            disks: self.wall.iter().map(|w| w.snapshot()).collect(),
+            uring: Default::default(),
+        })
+    }
+
+    fn attach_span_sink(&mut self, sink: Arc<SpanSink>) {
+        for d in 0..self.read_senders.len() {
+            sink.register_track(2 * d as u32, &format!("disk{d} read"));
+            sink.register_track(2 * d as u32 + 1, &format!("disk{d} write"));
+        }
+        let _ = self.sink.set(sink);
     }
 
     /// The worker threads service requests while the caller computes, so
@@ -674,6 +722,57 @@ mod tests {
         w.wait().unwrap();
         s.read_batch(&[(0, 0)], &mut out).unwrap();
         assert_eq!(out, payload);
+    }
+
+    #[test]
+    fn wall_telemetry_records_histograms_gauges_and_spans() {
+        let d = 2;
+        let lat = Duration::from_millis(2);
+        let mut s = ThreadedStorage::<u64>::with_latency(d, 4, lat);
+        let sink = Arc::new(SpanSink::new(1 << 12));
+        s.attach_span_sink(Arc::clone(&sink));
+        for disk in 0..d {
+            s.ensure_capacity(disk, 2).unwrap();
+        }
+        let reqs: Vec<(usize, usize)> = (0..2 * d).map(|i| (i % d, i / d)).collect();
+        let data = vec![1u64; reqs.len() * 4];
+        let mut out = vec![0u64; reqs.len() * 4];
+        s.write_batch(&reqs, &data).unwrap();
+        s.read_batch(&reqs, &mut out).unwrap();
+        assert_eq!(out, data);
+        let snap = s.wall_snapshot().unwrap();
+        assert_eq!(snap.disks.len(), d);
+        for (disk, dw) in snap.disks.iter().enumerate() {
+            assert_eq!(dw.read.count, 2, "disk {disk} read samples");
+            assert_eq!(dw.write.count, 2, "disk {disk} write samples");
+            // the first block of each batch charges the access latency
+            assert!(
+                dw.read.max >= lat.as_nanos() as u64,
+                "disk {disk} read max {} below access latency",
+                dw.read.max
+            );
+            // both blocks of a batch are queued before the first (which
+            // sleeps the access latency) retires
+            assert!(
+                dw.queue_high_water >= 2,
+                "disk {disk} queue high-water {} < 2",
+                dw.queue_high_water
+            );
+        }
+        // service totals derive from the histograms
+        let nanos = s.per_disk_service_nanos();
+        for (disk, dw) in snap.disks.iter().enumerate() {
+            assert_eq!(nanos[disk], dw.read.sum + dw.write.sum);
+        }
+        // one span per serviced block, on the right named tracks
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 2 * reqs.len());
+        let tracks = sink.tracks();
+        assert_eq!(tracks.len(), 2 * d);
+        assert!(tracks.contains(&(0, "disk0 read".to_string())));
+        assert!(tracks.contains(&(3, "disk1 write".to_string())));
+        assert!(spans.iter().any(|sp| sp.tid == 1 && sp.name == "write"));
+        assert!(spans.iter().any(|sp| sp.tid == 2 && sp.name == "read"));
     }
 
     #[test]

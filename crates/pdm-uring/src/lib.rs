@@ -23,6 +23,22 @@
 
 use std::io;
 
+/// Cumulative submit/reap batching counters of a [`Ring`], for wall-clock
+/// telemetry. The interesting ratios are SQEs per submit call (how well
+/// submissions batch) and CQEs per reap round (how bursty completions
+/// are); both are bounded above by the ring capacity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingStats {
+    /// `io_uring_enter` calls that submitted at least one SQE.
+    pub submit_calls: u64,
+    /// SQEs submitted in total.
+    pub submitted_sqes: u64,
+    /// Completion-drain rounds that reaped at least one CQE.
+    pub reap_rounds: u64,
+    /// CQEs reaped in total.
+    pub reaped_cqes: u64,
+}
+
 /// One block transfer for [`Ring::run`]. Offsets are absolute file byte
 /// offsets; buffer length is the transfer size.
 pub enum Op<'a> {
@@ -48,7 +64,7 @@ pub enum Op<'a> {
 
 #[cfg(target_os = "linux")]
 mod linux {
-    use super::Op;
+    use super::{Op, RingStats};
     use std::io;
     use std::os::raw::{c_int, c_long, c_uint, c_void};
     use std::sync::atomic::{AtomicU32, Ordering};
@@ -182,6 +198,7 @@ mod linux {
         cq_tail: *const AtomicU32,
         cq_mask: u32,
         cqes: *const Cqe,
+        stats: RingStats,
     }
 
     // The raw pointers all target the two mmap regions owned by this value,
@@ -269,6 +286,7 @@ mod linux {
                         _sq_map: sq_map,
                         _cq_map: cq_map,
                         _sqe_map: sqe_map,
+                        stats: RingStats::default(),
                     }
                 };
                 Ok(ring)
@@ -288,6 +306,11 @@ mod linux {
         /// [`Ring::run`] and submitted as slots free up).
         pub fn capacity(&self) -> usize {
             self.sq_entries as usize
+        }
+
+        /// Cumulative submit/reap batching counters since setup.
+        pub fn stats(&self) -> RingStats {
+            self.stats
         }
 
         fn sq_pending(&self) -> u32 {
@@ -421,7 +444,12 @@ mod linux {
                 if in_flight == 0 {
                     break; // everything completed or errored
                 }
-                if let Err(e) = self.enter(self.sq_pending(), in_flight) {
+                let to_submit = self.sq_pending();
+                if to_submit > 0 {
+                    self.stats.submit_calls += 1;
+                    self.stats.submitted_sqes += u64::from(to_submit);
+                }
+                if let Err(e) = self.enter(to_submit, in_flight) {
                     for (t, op) in track.iter_mut().zip(ops.iter()) {
                         if t.err.is_none() && t.done < op_len(op) {
                             t.err = Some(io::Error::new(e.kind(), e.to_string()));
@@ -429,7 +457,9 @@ mod linux {
                     }
                     break;
                 }
+                let mut reaped = 0u64;
                 while let Some(cqe) = self.pop_cqe() {
+                    reaped += 1;
                     let i = cqe.user_data as usize;
                     let t = &mut track[i];
                     t.in_flight = false;
@@ -443,6 +473,10 @@ mod linux {
                     } else {
                         t.done += cqe.res as usize;
                     }
+                }
+                if reaped > 0 {
+                    self.stats.reap_rounds += 1;
+                    self.stats.reaped_cqes += reaped;
                 }
             }
             track
@@ -486,6 +520,11 @@ impl Ring {
 
     /// Unreachable (a stub `Ring` cannot be constructed).
     pub fn capacity(&self) -> usize {
+        match self.never {}
+    }
+
+    /// Unreachable (a stub `Ring` cannot be constructed).
+    pub fn stats(&self) -> RingStats {
         match self.never {}
     }
 
@@ -572,6 +611,13 @@ mod tests {
             r.unwrap();
         }
         assert_eq!(bufs, blocks);
+        let st = ring.stats();
+        assert_eq!(st.submitted_sqes, 16, "8 writes + 8 reads");
+        assert_eq!(st.reaped_cqes, 16);
+        assert!(st.submit_calls >= 2, "at least one enter per run()");
+        assert!(st.submit_calls <= st.submitted_sqes);
+        assert!(st.reap_rounds >= 2);
+        assert!(st.reap_rounds <= st.reaped_cqes);
         drop(f);
         std::fs::remove_file(path).unwrap();
     }

@@ -22,7 +22,11 @@ still hiding a third of the wall clock, so the gate is set to catch
 near-total serialization (stall rate approaching 100%), not steady-state
 back-pressure. Pass counts in the artifact are
 recorded from legs the bench itself asserts identical, so no cross-leg
-check is needed here.
+check is needed here. Both A/B artifacts also fold the wall-clock
+telemetry of the overlap leg into each row — merged per-disk read/write
+service-latency p50/p99 plus the stall share of the run — and those are
+gated too: percentiles must be present and non-zero, p50 <= p99, and the
+stall share must be a valid fraction.
 
 Real-disk artifact (--real-disk BENCH_realdisk.json): validates the
 async-file backend A/B artifact and gates the headline real-disk claim —
@@ -129,6 +133,35 @@ OVERLAP_MIN_IMPROVEMENT = {"seven_pass": 0.20}
 OVERLAP_MAX_FLUSH_STALL_RATE = 0.75
 
 
+def check_wall_percentiles(row, ctx):
+    """Schema + sanity for the folded wall-clock latency fields.
+
+    Every A/B row carries the merged per-disk service-latency percentiles
+    of its overlap leg (or its only leg, for the baseline). The recording
+    backends time every kernel round, so a row that did I/O must report
+    non-zero read and write percentiles, each p50 must not exceed its
+    p99, and the stall share is a fraction of the stamped run wall time.
+    """
+    for key in ("read_p50_us", "read_p99_us", "write_p50_us",
+                "write_p99_us", "stall_share"):
+        require(row, key, float, ctx)
+    for d in ("read", "write"):
+        p50 = row.get(f"{d}_p50_us", 0.0)
+        p99 = row.get(f"{d}_p99_us", 0.0)
+        if p50 <= 0.0 or p99 <= 0.0:
+            fail(f"{ctx}: {d} latency percentiles are zero — the backend "
+                 f"recorded no wall-clock samples")
+        elif p50 > p99:
+            fail(f"{ctx}: {d} p50 {p50:.1f}µs exceeds p99 {p99:.1f}µs")
+        else:
+            print(f"  ok: {ctx}: {d} p50 {p50:.1f}µs <= p99 {p99:.1f}µs")
+    share = row.get("stall_share", 0.0)
+    if not 0.0 <= share <= 1.0:
+        fail(f"{ctx}: stall_share {share} outside [0, 1]")
+    else:
+        print(f"  ok: {ctx}: stall share {share:.1%} of run wall time")
+
+
 def check_overlap_schema(doc, path):
     require(doc, "schema_version", int, path)
     require(doc, "quick", bool, path)
@@ -146,6 +179,7 @@ def check_overlap_schema(doc, path):
         require(row, "prefetch_stalls", int, ctx)
         require(row, "flush_batches", int, ctx)
         require(row, "flush_stalls", int, ctx)
+        check_wall_percentiles(row, ctx)
 
 
 def check_overlap_invariants(doc, path):
@@ -196,6 +230,7 @@ def check_realdisk_row(row, ctx):
     require(row, "improvement", float, ctx)
     require(row, "read_passes", float, ctx)
     require(row, "write_passes", float, ctx)
+    check_wall_percentiles(row, ctx)
 
 
 def check_realdisk_schema(doc, path):

@@ -125,8 +125,8 @@ SERDE_SKIPS="--skip _json --skip json_round_trip --skip serde_round_trip --skip 
 
 run() { echo "-- run $1"; shift; "$@"; }
 run ut:pdm-uring "$O/ut_pdm_uring" -q
-run ut:pdm-model "$O/ut_pdm_model" -q --skip events_serialize_as_tagged_json
-run ut:pdm-model-uring "$O/ut_pdm_model_uring" -q --skip events_serialize_as_tagged_json
+run ut:pdm-model "$O/ut_pdm_model" -q --skip events_serialize_as_tagged_json $SERDE_SKIPS
+run ut:pdm-model-uring "$O/ut_pdm_model_uring" -q --skip events_serialize_as_tagged_json $SERDE_SKIPS
 run ut:pdm-sort "$O/ut_pdm_sort" -q
 run ut:pdm-sort-par "$O/ut_pdm_sort_par" -q
 run ut:pdm-lmm "$O/ut_pdm_lmm" -q

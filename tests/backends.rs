@@ -162,6 +162,82 @@ fn probe_event_streams_are_identical_across_backends_and_replay_exactly() {
     }
 }
 
+fn run_probed_telemetry<S: Storage<u64>>(
+    storage: S,
+    data: &[u64],
+    b: usize,
+    telemetry: bool,
+) -> (IoStats, Box<Probe>) {
+    let n = data.len();
+    let mut pdm = Pdm::with_storage(PdmConfig::square(4, b), storage).unwrap();
+    if telemetry {
+        pdm.attach_span_sink(std::sync::Arc::new(SpanSink::new(1 << 20)));
+    }
+    let input = pdm.alloc_region_for_keys(n).unwrap();
+    pdm.ingest(&input, data).unwrap();
+    pdm.reset_stats();
+    pdm.enable_probe(1 << 20);
+    pdm_sort::three_pass2(&mut pdm, &input, n).unwrap();
+    let (_, mut stats) = pdm.into_parts();
+    let probe = stats.take_probe().expect("probe was enabled");
+    (stats, probe)
+}
+
+#[test]
+fn telemetry_never_perturbs_the_event_stream_or_counters() {
+    // Wall-clock telemetry (latency histograms, queue gauges, span sinks)
+    // rides beside the step clock, never inside it: enabling it must leave
+    // the probe's structured event stream and every deterministic counter
+    // identical on every backend. `IoStats` equality deliberately ignores
+    // the `wall` field, so the whole-struct compares below encode exactly
+    // that contract.
+    let b = 16usize;
+    let n = b * b * b;
+    let data = workload(n);
+
+    let (base_stats, base_probe) = run_probed_telemetry(MemStorage::new(4, b), &data, b, false);
+
+    let (mem_on, p_mem_on) = run_probed_telemetry(MemStorage::new(4, b), &data, b, true);
+    assert_eq!(base_probe, p_mem_on, "telemetry changed the mem event stream");
+    assert_eq!(base_stats, mem_on, "telemetry changed the mem counters");
+    assert!(!mem_on.wall.has_samples(), "step-clocked mem backend records no wall samples");
+
+    let (thr_off, p_thr_off) =
+        run_probed_telemetry(ThreadedStorage::<u64>::new(4, b), &data, b, false);
+    let (thr_on, p_thr_on) =
+        run_probed_telemetry(ThreadedStorage::<u64>::new(4, b), &data, b, true);
+    assert_eq!(p_thr_off, p_thr_on, "telemetry changed the threaded event stream");
+    assert_eq!(thr_off, thr_on, "telemetry changed the threaded counters");
+    assert_eq!(base_probe, p_thr_on, "threaded event stream differs from mem");
+    assert!(thr_on.wall.has_samples(), "threaded backend should record latency samples");
+
+    let (af_off, p_af_off) = run_probed_telemetry(
+        AsyncFileStorage::<u64>::create_temp(4, b).unwrap(),
+        &data,
+        b,
+        false,
+    );
+    let (af_on, p_af_on) = run_probed_telemetry(
+        AsyncFileStorage::<u64>::create_temp(4, b).unwrap(),
+        &data,
+        b,
+        true,
+    );
+    assert_eq!(p_af_off, p_af_on, "telemetry changed the async-file event stream");
+    assert_eq!(af_off, af_on, "telemetry changed the async-file counters");
+    assert_eq!(base_probe, p_af_on, "async-file event stream differs from mem");
+    assert!(af_on.wall.has_samples(), "async-file backend should record latency samples");
+
+    // Replaying the telemetry-on stream still reconstructs the counters.
+    let rep = replay(p_af_on.events(), 4);
+    assert_eq!(rep.blocks_read, base_stats.blocks_read);
+    assert_eq!(rep.blocks_written, base_stats.blocks_written);
+    assert_eq!(rep.read_steps, base_stats.read_steps);
+    assert_eq!(rep.write_steps, base_stats.write_steps);
+    assert_eq!(rep.per_disk_reads, base_stats.per_disk_reads);
+    assert_eq!(rep.per_disk_writes, base_stats.per_disk_writes);
+}
+
 #[test]
 fn file_backend_survives_every_algorithm() {
     let b = 8usize;
