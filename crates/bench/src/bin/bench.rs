@@ -673,6 +673,167 @@ fn run_real_disk_suite(quick: bool, dir: Option<&str>, out_path: &str) {
     }
 }
 
+/// One timed overlap-on run of `name` over an async-file stack, optionally
+/// with the full fault-tolerance stack armed (file fault shim + completion
+/// retry in the disk workers; checksum verification rides on the
+/// compile-time `block-checksums` feature). `rate_ppm = 0` arms the
+/// machinery without ever firing a fault — the zero-fault leg the
+/// `check_bench.py --fault` overhead gate measures.
+fn fault_leg(
+    name: &str,
+    b: usize,
+    n: usize,
+    armed: bool,
+    rate_ppm: u32,
+    data: &[u64],
+) -> (f64, f64, f64, u64) {
+    let cfg = PdmConfig::square(4, b);
+    let mut builder = StorageBuilder::new(BackendKind::AsyncFile, cfg.num_disks, cfg.block_size);
+    if armed {
+        builder = builder
+            .inject_file(FileFaultMode::ShortRate { seed: 0xFA57, rate_ppm })
+            .retry(RetryPolicy::default());
+    }
+    let built = builder.build::<u64>().expect("async-file fault stack");
+    assert!(built.caps.overlap, "fault stack must keep overlap on");
+    let counters = built.retry_counters.clone();
+    let mut pdm: Pdm<u64, Box<dyn Storage<u64>>> = Pdm::with_storage(cfg, built.storage).unwrap();
+    pdm.set_overlap(true);
+    let region = pdm.alloc_region_for_keys(n).unwrap();
+    pdm.ingest(&region, data).unwrap();
+    pdm.reset_stats();
+    let t0 = Instant::now();
+    let (rp, wp) = match name {
+        "seven_pass" => {
+            let rep = pdm_sort::seven_pass(&mut pdm, &region, n).unwrap();
+            (rep.read_passes, rep.write_passes)
+        }
+        "three_pass2" => {
+            let rep = pdm_sort::three_pass2(&mut pdm, &region, n).unwrap();
+            (rep.read_passes, rep.write_passes)
+        }
+        other => panic!("unknown fault-suite algorithm {other}"),
+    };
+    let wall = t0.elapsed().as_secs_f64() * 1e3;
+    let retries = counters.map_or(0, |c| c.snapshot().total_retries());
+    (wall, rp, wp, retries)
+}
+
+struct FaultRow {
+    name: String,
+    n: usize,
+    wall_ms_plain: f64,
+    wall_ms_armed: f64,
+    overhead: f64,
+    wall_ms_injected: f64,
+    retries_healed: u64,
+    read_passes: f64,
+    write_passes: f64,
+}
+
+/// `BENCH_fault.json`: what fault tolerance costs when nothing goes
+/// wrong. Three legs per algorithm on the async real-disk backend with
+/// overlap on: plain stack, armed stack with a zero fault rate (the
+/// gated overhead figure), and armed stack healing a 1% transient rate
+/// (informative — shows the machinery actually firing).
+fn render_fault_json(quick: bool, rows: &[FaultRow]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema_version\": 1,\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str("  \"backend\": \"async-file\",\n");
+    s.push_str(&format!(
+        "  \"checksums\": {},\n",
+        cfg!(feature = "block-checksums")
+    ));
+    s.push_str("  \"fault\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"wall_ms_plain\": {}, \
+             \"wall_ms_armed\": {}, \"overhead\": {}, \"wall_ms_injected\": {}, \
+             \"retries_healed\": {}, \"read_passes\": {}, \"write_passes\": {}}}{}\n",
+            r.name,
+            r.n,
+            jf(r.wall_ms_plain),
+            jf(r.wall_ms_armed),
+            jf(r.overhead),
+            jf(r.wall_ms_injected),
+            r.retries_healed,
+            jf(r.read_passes),
+            jf(r.write_passes),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+fn run_fault_suite(quick: bool, out_path: &str) {
+    let b = if quick { 16 } else { 32 };
+    let n = b * b * b;
+    let reps = if quick { 5 } else { 7 };
+    let mut rows = Vec::new();
+    for name in ["seven_pass", "three_pass2"] {
+        let data = pdm_bench::data::permutation(n, 47);
+        let mut best_plain = f64::MAX;
+        let mut best_armed = f64::MAX;
+        let mut best_injected = f64::MAX;
+        let mut retries_healed = 0u64;
+        let mut passes = (0.0, 0.0);
+        // Legs alternate within each rep so cache warm-up and scheduler
+        // noise spread evenly instead of favoring whichever runs last.
+        for _ in 0..reps {
+            let (w0, rp, wp, r0) = fault_leg(name, b, n, false, 0, &data);
+            assert_eq!(r0, 0);
+            best_plain = best_plain.min(w0);
+            let (w1, rp1, wp1, r1) = fault_leg(name, b, n, true, 0, &data);
+            assert_eq!(r1, 0, "{name}: the zero-fault leg retried an operation");
+            assert_eq!(
+                (rp, wp),
+                (rp1, wp1),
+                "{name}: arming fault tolerance changed the pass counts"
+            );
+            best_armed = best_armed.min(w1);
+            let (w2, rp2, wp2, r2) = fault_leg(name, b, n, true, 10_000, &data);
+            assert_eq!(
+                (rp, wp),
+                (rp2, wp2),
+                "{name}: healed faults changed the pass counts"
+            );
+            best_injected = best_injected.min(w2);
+            retries_healed = retries_healed.max(r2);
+            passes = (rp, wp);
+        }
+        rows.push(FaultRow {
+            name: name.into(),
+            n,
+            wall_ms_plain: best_plain,
+            wall_ms_armed: best_armed,
+            overhead: (best_armed - best_plain) / best_plain.max(1e-9),
+            wall_ms_injected: best_injected,
+            retries_healed,
+            read_passes: passes.0,
+            write_passes: passes.1,
+        });
+    }
+    std::fs::write(out_path, render_fault_json(quick, &rows)).expect("write artifact");
+    eprintln!("wrote {out_path}");
+    for r in &rows {
+        eprintln!(
+            "  {:<16} [async-file] n = {:>7}  plain {:>8.2} ms vs armed {:>8.2} ms \
+             ({:+.1}% overhead; 1% faults {:>8.2} ms, {} retries healed)",
+            r.name,
+            r.n,
+            r.wall_ms_plain,
+            r.wall_ms_armed,
+            r.overhead * 100.0,
+            r.wall_ms_injected,
+            r.retries_healed,
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
@@ -680,6 +841,7 @@ fn main() {
     let mut overlap_out: Option<String> = None;
     let mut real_disk = false;
     let mut real_disk_dir: Option<String> = None;
+    let mut fault_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -697,9 +859,14 @@ fn main() {
                 i += 1;
                 real_disk_dir = Some(args.get(i).expect("--real-disk-dir needs a path").clone());
             }
+            "--fault-out" => {
+                i += 1;
+                fault_out = Some(args.get(i).expect("--fault-out needs a path").clone());
+            }
             other => {
                 eprintln!(
                     "usage: pdm-bench [--quick] [--out FILE.json] [--overlap-out FILE.json] \
+                     [--fault-out FILE.json] \
                      [--real-disk [--real-disk-dir DIR] [--out FILE.json]] (got '{other}')"
                 );
                 std::process::exit(2);
@@ -717,6 +884,12 @@ fn main() {
             out_path
         };
         run_real_disk_suite(quick, real_disk_dir.as_deref(), &out);
+        return;
+    }
+    if let Some(path) = &fault_out {
+        // Fault mode is its own suite: A/B the armed fault-tolerance
+        // stack against a plain one on the async backend, overlap on.
+        run_fault_suite(quick, path);
         return;
     }
     let reps = if quick { 3 } else { 7 };

@@ -253,8 +253,14 @@ Fault tolerance:
                          seven-pass)
   --inject SPEC          inject storage faults: nth-read:K | nth-write:K |
                          disk:D | disk-after:D:N | transient:SEED:RATE_PPM |
-                         every-nth:N
+                         every-nth:N; real-file faults (file/async-file
+                         backends only, injected inside the backend itself):
+                         file-transient:SEED:RATE_PPM (short reads/writes) |
+                         file-eio:N | torn-write:N (half block persisted,
+                         success reported) | fsync-fail:N
   --retry N              retry transient faults up to N attempts per block op
+                         (on async-file this also arms completion-time retry
+                         in the disk workers, so --overlap on stays on)
   --backoff STEPS        simulated steps charged per retry (default 1)
 
 Performance:

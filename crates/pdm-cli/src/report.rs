@@ -115,9 +115,30 @@ pub fn render_report(art: &StatsArtifact, out: &mut dyn Write) -> std::io::Resul
         writeln!(
             out,
             "fault tolerance: {} reads + {} writes reissued after transient \
-             faults, {} exhausted retry budgets, {} simulated backoff steps \
-             (charged beside the pass counters)",
-            rt.reads_retried, rt.writes_retried, rt.exhausted, rt.backoff_steps,
+             faults ({} at issue time, {} at completion time), {} exhausted \
+             retry budgets, {} simulated backoff steps (charged beside the \
+             pass counters)",
+            rt.reads_retried + rt.completion_reads_retried,
+            rt.writes_retried + rt.completion_writes_retried,
+            rt.issue_retries(),
+            rt.completion_retries(),
+            rt.exhausted,
+            rt.backoff_steps,
+        )?;
+    }
+    let verified: u64 = s.wall.disks.iter().map(|dw| dw.checksums_verified).sum();
+    if verified > 0 {
+        let per_disk: Vec<String> = s
+            .wall
+            .disks
+            .iter()
+            .enumerate()
+            .map(|(i, dw)| format!("disk {i}: {}", dw.checksums_verified))
+            .collect();
+        writeln!(
+            out,
+            "checksums verified on read completion: {verified} ({})",
+            per_disk.join(", ")
         )?;
     }
     let ov = &s.overlap;
@@ -551,6 +572,7 @@ mod tests {
             read: h.snapshot(),
             write: HistSnapshot::default(),
             queue_high_water: 7,
+            checksums_verified: 0,
         }];
         art.stats.wall.read_stall_nanos = 2_000_000;
         art.stats.wall.run_nanos = 100_000_000;
@@ -587,6 +609,56 @@ mod tests {
         let txt = String::from_utf8(buf).unwrap();
         assert!(!txt.contains("wall-clock latency"), "{txt}");
         assert!(!txt.contains("stalls:"), "{txt}");
+    }
+
+    #[test]
+    fn render_splits_issue_and_completion_retries_and_shows_checksums() {
+        let mut art = sample_artifact();
+        art.stats.retry = RetrySnapshot {
+            reads_retried: 3,
+            writes_retried: 1,
+            completion_reads_retried: 2,
+            completion_writes_retried: 4,
+            exhausted: 0,
+            backoff_steps: 10,
+            per_disk_retries: vec![5, 5, 0, 0],
+        };
+        art.stats.wall.disks = vec![
+            DiskWall {
+                read: HistSnapshot::default(),
+                write: HistSnapshot::default(),
+                queue_high_water: 0,
+                checksums_verified: 7,
+            },
+            DiskWall {
+                read: HistSnapshot::default(),
+                write: HistSnapshot::default(),
+                queue_high_water: 0,
+                checksums_verified: 9,
+            },
+        ];
+        let mut buf = Vec::new();
+        render_report(&art, &mut buf).unwrap();
+        let txt = String::from_utf8(buf).unwrap();
+        assert!(
+            txt.contains("5 reads + 5 writes reissued"),
+            "issue+completion totals: {txt}"
+        );
+        assert!(
+            txt.contains("(4 at issue time, 6 at completion time)"),
+            "{txt}"
+        );
+        assert!(
+            txt.contains("checksums verified on read completion: 16 (disk 0: 7, disk 1: 9)"),
+            "{txt}"
+        );
+        // Both lines are absent from a quiet artifact.
+        let quiet = sample_artifact();
+        let mut buf = Vec::new();
+        render_report(&quiet, &mut buf).unwrap();
+        let txt = String::from_utf8(buf).unwrap();
+        assert!(!txt.contains("fault tolerance"), "{txt}");
+        assert!(!txt.contains("checksums verified"), "{txt}");
     }
 
     #[test]

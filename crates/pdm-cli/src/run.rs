@@ -228,12 +228,26 @@ struct SortJob<'a> {
     storage: BackendKind,
 }
 
-/// Parse an `--inject` spec into a [`FailMode`].
-fn parse_inject(spec: &str) -> std::result::Result<FailMode, String> {
+/// A parsed `--inject` spec: either a logical fault applied by the
+/// [`FlakyStorage`] wrapper, or a real-file fault armed inside the
+/// file-backed base backend itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InjectSpec {
+    /// Wrapper-level fault ([`StorageBuilder::inject`]).
+    Logical(FailMode),
+    /// In-backend file fault ([`StorageBuilder::inject_file`]); only valid
+    /// with the `file` / `async-file` backends.
+    File(FileFaultMode),
+}
+
+/// Parse an `--inject` spec into an [`InjectSpec`].
+fn parse_inject(spec: &str) -> std::result::Result<InjectSpec, String> {
     let bad = || {
         format!(
             "bad --inject '{spec}' (nth-read:K | nth-write:K | disk:D | \
-             disk-after:D:N | transient:SEED:RATE_PPM | every-nth:N | never)"
+             disk-after:D:N | transient:SEED:RATE_PPM | every-nth:N | never | \
+             file-transient:SEED:RATE_PPM | file-eio:N | torn-write:N | \
+             fsync-fail:N)"
         )
     };
     let mut parts = spec.split(':');
@@ -242,16 +256,23 @@ fn parse_inject(spec: &str) -> std::result::Result<FailMode, String> {
         parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())
     };
     let mode = match kind {
-        "nth-read" => FailMode::NthRead(num("k")?),
-        "nth-write" => FailMode::NthWrite(num("k")?),
-        "disk" => FailMode::Disk(num("d")? as usize),
-        "disk-after" => FailMode::DiskAfter(num("d")? as usize, num("n")?),
-        "transient" => FailMode::TransientRate {
+        "nth-read" => InjectSpec::Logical(FailMode::NthRead(num("k")?)),
+        "nth-write" => InjectSpec::Logical(FailMode::NthWrite(num("k")?)),
+        "disk" => InjectSpec::Logical(FailMode::Disk(num("d")? as usize)),
+        "disk-after" => InjectSpec::Logical(FailMode::DiskAfter(num("d")? as usize, num("n")?)),
+        "transient" => InjectSpec::Logical(FailMode::TransientRate {
             seed: num("seed")?,
             rate_ppm: num("rate")? as u32,
-        },
-        "every-nth" => FailMode::EveryNth(num("n")?),
-        "never" => FailMode::Never,
+        }),
+        "every-nth" => InjectSpec::Logical(FailMode::EveryNth(num("n")?)),
+        "never" => InjectSpec::Logical(FailMode::Never),
+        "file-transient" => InjectSpec::File(FileFaultMode::ShortRate {
+            seed: num("seed")?,
+            rate_ppm: num("rate")? as u32,
+        }),
+        "file-eio" => InjectSpec::File(FileFaultMode::Eio(num("n")?)),
+        "torn-write" => InjectSpec::File(FileFaultMode::TornWrite(num("n")?)),
+        "fsync-fail" => InjectSpec::File(FileFaultMode::FsyncFail(num("n")?)),
         _ => return Err(bad()),
     };
     if parts.next().is_some() {
@@ -341,7 +362,10 @@ fn sort(
         builder = builder.dir(dir);
     }
     if let Some(spec) = job.inject {
-        builder = builder.inject(parse_inject(spec)?);
+        match parse_inject(spec)? {
+            InjectSpec::Logical(mode) => builder = builder.inject(mode),
+            InjectSpec::File(mode) => builder = builder.inject_file(mode),
+        }
     }
     if let Some(attempts) = job.retry {
         builder = builder.retry(RetryPolicy {
@@ -352,11 +376,13 @@ fn sort(
     let built = builder.build::<u64>()?;
     let retry_counters = built.retry_counters;
 
-    // Overlap resolves against the *assembled* stack's caps: wrapper
-    // layers (injection, retry) report no native overlap, so `auto` only
-    // turns it on when every layer genuinely completes I/O asynchronously.
-    // `on` still works anywhere — backends without support complete
-    // eagerly, with identical accounting and output.
+    // Overlap resolves against the *assembled* stack's caps. Wrapper
+    // layers (injection, retry) pass the base backend's overlap through —
+    // they apply their policies at issue time and the async-file backend
+    // heals transient completions in its workers — so `auto` keeps latency
+    // hiding even under the full robustness stack. `on` still works
+    // anywhere: backends without support complete eagerly, with identical
+    // accounting and output.
     let native_overlap = built.caps.overlap;
     let mut pdm = Pdm::with_storage(cfg, built.storage)?;
     pdm.set_overlap(match job.overlap {
@@ -500,8 +526,18 @@ fn sort(
                 out,
                 "retries: {} reads + {} writes reissued, {} exhausted, \
                  {} simulated backoff steps",
-                snap.reads_retried, snap.writes_retried, snap.exhausted, snap.backoff_steps
+                snap.reads_retried + snap.completion_reads_retried,
+                snap.writes_retried + snap.completion_writes_retried,
+                snap.exhausted,
+                snap.backoff_steps
             )?;
+            if snap.completion_retries() > 0 {
+                writeln!(
+                    out,
+                    "  of which at completion (async workers): {} reads + {} writes",
+                    snap.completion_reads_retried, snap.completion_writes_retried
+                )?;
+            }
         }
     }
 
@@ -909,21 +945,82 @@ mod tests {
 
     #[test]
     fn inject_specs_parse_and_reject() {
-        assert_eq!(parse_inject("nth-read:3").unwrap(), FailMode::NthRead(3));
-        assert_eq!(parse_inject("nth-write:0").unwrap(), FailMode::NthWrite(0));
-        assert_eq!(parse_inject("disk:1").unwrap(), FailMode::Disk(1));
+        use InjectSpec::{File, Logical};
+        assert_eq!(
+            parse_inject("nth-read:3").unwrap(),
+            Logical(FailMode::NthRead(3))
+        );
+        assert_eq!(
+            parse_inject("nth-write:0").unwrap(),
+            Logical(FailMode::NthWrite(0))
+        );
+        assert_eq!(parse_inject("disk:1").unwrap(), Logical(FailMode::Disk(1)));
         assert_eq!(
             parse_inject("disk-after:2:100").unwrap(),
-            FailMode::DiskAfter(2, 100)
+            Logical(FailMode::DiskAfter(2, 100))
         );
         assert_eq!(
             parse_inject("transient:42:10000").unwrap(),
-            FailMode::TransientRate { seed: 42, rate_ppm: 10_000 }
+            Logical(FailMode::TransientRate { seed: 42, rate_ppm: 10_000 })
         );
-        assert_eq!(parse_inject("every-nth:7").unwrap(), FailMode::EveryNth(7));
-        assert_eq!(parse_inject("never").unwrap(), FailMode::Never);
-        for bad in ["", "disk", "disk:x", "transient:1", "nth-read:1:2", "bogus:3"] {
+        assert_eq!(
+            parse_inject("every-nth:7").unwrap(),
+            Logical(FailMode::EveryNth(7))
+        );
+        assert_eq!(parse_inject("never").unwrap(), Logical(FailMode::Never));
+        assert_eq!(
+            parse_inject("file-transient:9:5000").unwrap(),
+            File(FileFaultMode::ShortRate { seed: 9, rate_ppm: 5_000 })
+        );
+        assert_eq!(
+            parse_inject("file-eio:12").unwrap(),
+            File(FileFaultMode::Eio(12))
+        );
+        assert_eq!(
+            parse_inject("torn-write:4").unwrap(),
+            File(FileFaultMode::TornWrite(4))
+        );
+        assert_eq!(
+            parse_inject("fsync-fail:0").unwrap(),
+            File(FileFaultMode::FsyncFail(0))
+        );
+        for bad in [
+            "", "disk", "disk:x", "transient:1", "nth-read:1:2", "bogus:3", "file-eio",
+            "torn-write:x", "file-transient:1",
+        ] {
             assert!(parse_inject(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn file_faults_heal_under_retry_and_reject_ram_backends() {
+        let inp = tmp("ff-in.keys");
+        let clean = tmp("ff-clean.keys");
+        let faulty = tmp("ff-faulty.keys");
+        run_args(&["gen", "4096", &inp, "--dist", "random", "--seed", "29"]);
+        let (c, log) =
+            run_args(&["sort", &inp, &clean, "--disks", "2", "--b", "16", "--algo", "three-pass2"]);
+        assert_eq!(c, 0, "{log}");
+        // Real-file short transfers at 1 %, healed by the retry layer.
+        let (c, log) = run_args(&[
+            "sort", &inp, &faulty, "--disks", "2", "--b", "16", "--algo", "three-pass2",
+            "--inject", "file-transient:42:10000", "--retry", "8",
+        ]);
+        assert_eq!(c, 0, "{log}");
+        assert_eq!(
+            std::fs::read(&clean).unwrap(),
+            std::fs::read(&faulty).unwrap(),
+            "file-fault run must produce byte-identical output"
+        );
+        // File faults need a file-backed base: mem is rejected cleanly.
+        let (c, log) = run_args(&[
+            "sort", &inp, &faulty, "--disks", "2", "--b", "16", "--storage", "mem",
+            "--inject", "file-eio:0",
+        ]);
+        assert_eq!(c, 1, "{log}");
+        assert!(log.contains("not file-backed"), "{log}");
+        for f in [&inp, &clean, &faulty] {
+            std::fs::remove_file(f).ok();
         }
     }
 

@@ -96,15 +96,22 @@ impl PdmError {
     /// whether a failed block operation is reissued.
     pub fn is_transient(&self) -> bool {
         match self {
-            PdmError::Io(e) => matches!(
-                e.kind(),
-                std::io::ErrorKind::Interrupted
-                    | std::io::ErrorKind::TimedOut
-                    | std::io::ErrorKind::WouldBlock
-            ),
+            PdmError::Io(e) => io_error_transient(e),
             _ => false,
         }
     }
+}
+
+/// Transience classification for a raw `std::io::Error`, shared between
+/// [`PdmError::is_transient`] and backend worker threads that must decide
+/// whether to reissue an operation *before* wrapping the error.
+pub(crate) fn io_error_transient(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::WouldBlock
+    )
 }
 
 impl fmt::Display for PdmError {

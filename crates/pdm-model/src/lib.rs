@@ -53,6 +53,7 @@
 pub mod checkpoint;
 pub mod config;
 pub mod error;
+pub mod file_faults;
 pub mod hist;
 pub mod key;
 pub mod layout;
@@ -76,6 +77,7 @@ pub mod prelude {
     pub use crate::checkpoint::{fnv1a, Checkpoint, CheckpointStore, Manifest, FNV_OFFSET};
     pub use crate::config::PdmConfig;
     pub use crate::error::{PdmError, Result};
+    pub use crate::file_faults::{FileFaultMode, FileFaults};
     pub use crate::hist::{HistSnapshot, LatencyHist};
     pub use crate::key::{PdmKey, RankedKey, Tagged};
     pub use crate::layout::{BlockAddr, Region};

@@ -176,6 +176,10 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
             if snap != self.stats.retry {
                 self.stats
                     .probe_gauge("retry.retries", snap.total_retries() as i64);
+                if snap.completion_retries() > 0 {
+                    self.stats
+                        .probe_gauge("retry.completion", snap.completion_retries() as i64);
+                }
                 self.stats.probe_gauge("retry.exhausted", snap.exhausted as i64);
                 self.stats
                     .probe_gauge("retry.backoff_steps", snap.backoff_steps as i64);

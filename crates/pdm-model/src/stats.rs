@@ -167,6 +167,12 @@ pub struct DiskWall {
     /// yet completed.
     #[serde(default)]
     pub queue_high_water: u64,
+    /// Block reads whose FNV-1a checksum was verified against the sidecar
+    /// on completion (only nonzero with the `block-checksums` feature on a
+    /// checksumming backend; a slot never written is unchecked, not
+    /// verified).
+    #[serde(default)]
+    pub checksums_verified: u64,
 }
 
 /// io_uring batching counters, summed across all disk workers. The
@@ -207,6 +213,7 @@ pub struct DiskWallRec {
     pub write: crate::hist::LatencyHist,
     queue: AtomicU64,
     queue_high: AtomicU64,
+    verified: AtomicU64,
 }
 
 impl DiskWallRec {
@@ -231,12 +238,23 @@ impl DiskWallRec {
         self.queue_high.load(Ordering::Relaxed)
     }
 
+    /// Note `n` block reads checksum-verified against the sidecar.
+    pub fn add_verified(&self, n: u64) {
+        self.verified.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Block reads checksum-verified so far.
+    pub fn checksums_verified(&self) -> u64 {
+        self.verified.load(Ordering::Relaxed)
+    }
+
     /// Point-in-time serializable copy.
     pub fn snapshot(&self) -> DiskWall {
         DiskWall {
             read: self.read.snapshot(),
             write: self.write.snapshot(),
             queue_high_water: self.queue_high_water(),
+            checksums_verified: self.checksums_verified(),
         }
     }
 }
@@ -365,25 +383,51 @@ pub struct OverlapCounters {
 /// retry layer is attached.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RetrySnapshot {
-    /// Block reads reissued after a transient failure.
+    /// Block reads reissued at *issue time* after a transient failure
+    /// (the retry wrapper re-calls the inner backend synchronously).
     pub reads_retried: u64,
-    /// Block writes reissued after a transient failure.
+    /// Block writes reissued at issue time after a transient failure.
     pub writes_retried: u64,
     /// Operations that kept failing until the attempt budget ran out.
     pub exhausted: u64,
     /// Simulated backoff parallel steps accumulated across all retries.
     pub backoff_steps: u64,
     /// Reissued operations charged to the disk that originated them,
-    /// indexed by disk. Batch retries land here too: the retry layer
-    /// reissues batches block by block, so each reissue knows its disk.
-    /// Empty when nothing was retried (the vector grows on demand).
+    /// indexed by disk (issue-time and completion-time retries alike;
+    /// issue-time retries of a failed batch *start* have no single disk
+    /// and are not attributed). Empty when nothing was retried (the
+    /// vector grows on demand).
     #[serde(default)]
     pub per_disk_retries: Vec<u64>,
+    /// Block reads reissued at *completion time*: the async backend's disk
+    /// workers classified a grouped-batch failure after the I/O had been
+    /// issued asynchronously and re-ran just the failed block, off the
+    /// caller's critical path.
+    #[serde(default)]
+    pub completion_reads_retried: u64,
+    /// Block writes reissued at completion time by the async backend's
+    /// disk workers.
+    #[serde(default)]
+    pub completion_writes_retried: u64,
 }
 
 impl RetrySnapshot {
-    /// Total reissued operations (reads + writes).
+    /// Total reissued operations (reads + writes, issue- and
+    /// completion-time).
     pub fn total_retries(&self) -> u64 {
+        self.reads_retried
+            + self.writes_retried
+            + self.completion_reads_retried
+            + self.completion_writes_retried
+    }
+
+    /// Reissued operations classified at completion time (async path).
+    pub fn completion_retries(&self) -> u64 {
+        self.completion_reads_retried + self.completion_writes_retried
+    }
+
+    /// Reissued operations classified at issue time (blocking path).
+    pub fn issue_retries(&self) -> u64 {
         self.reads_retried + self.writes_retried
     }
 }

@@ -18,9 +18,9 @@ use crate::key::PdmKey;
 /// in front of them really provides.
 ///
 /// Wrapper backends (fault injection, retry) report their inner backend's
-/// capabilities with `overlap` and `duplex` forced off: their per-block
-/// policies must apply at issue time, which requires the eager
-/// `start_*_batch` defaults.
+/// capabilities unchanged: they forward `start_*_batch` after applying
+/// their per-block policy at issue time, so `overlap`/`duplex` survive
+/// the full assembled stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StorageCaps {
     /// `start_read_batch` / `start_write_batch` return genuinely
@@ -97,8 +97,9 @@ pub trait Storage<K: PdmKey>: Send {
     /// [`Storage::start_write_batch`] fall back to the eager (blocking)
     /// paths — correct but with no latency hiding. The threaded and
     /// async-file backends override this; wrapper layers (fault injection,
-    /// retry) forward their inner backend's caps with `overlap`/`duplex`
-    /// forced off so their per-block policies apply at issue time.
+    /// retry) forward their inner backend's caps unchanged — they apply
+    /// their per-block policies inside forwarded `start_*_batch` calls
+    /// (and, on the async-file backend, again at completion time).
     fn caps(&self) -> StorageCaps {
         StorageCaps::default()
     }
@@ -121,9 +122,11 @@ pub trait Storage<K: PdmKey>: Send {
 
     /// Begin an asynchronous batch read; the returned token is redeemed
     /// with [`crate::overlap::PendingRead::wait`]. The default performs the
-    /// read eagerly via [`Storage::read_batch`] — wrapper backends (retry,
-    /// fault injection) thereby apply their per-operation policy at *issue*
-    /// time, so transient classification and retries cover overlap I/O too.
+    /// read eagerly via [`Storage::read_batch`]. Wrapper backends (retry,
+    /// fault injection) override this to apply their per-operation policy
+    /// at issue time and then *forward* to the inner backend, so overlap
+    /// survives the wrappers; failures that only materialise at `wait`
+    /// time are healed by the async-file backend's completion-time retry.
     fn start_read_batch(
         &mut self,
         reqs: &[(usize, usize)],

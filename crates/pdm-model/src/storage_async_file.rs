@@ -38,12 +38,16 @@
 //! manifest, giving this backend the same crash-consistency contract as
 //! [`crate::storage_file::FileStorage`].
 
+#[cfg(feature = "block-checksums")]
+use crate::checkpoint::{fnv1a, FNV_OFFSET};
 use crate::error::{PdmError, Result};
+use crate::file_faults::{BlockFault, FileFaults};
 use crate::key::PdmKey;
 use crate::pool::{BlockPool, PoolStats};
 use crate::stats::{DiskWallRec, SpanSink, StorageWallSnapshot, UringWall};
 use crate::storage::{Storage, StorageCaps};
 use crate::storage_file::{parse_meta, write_meta};
+use crate::storage_retry::{RetryCounters, RetryPolicy};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -175,6 +179,19 @@ struct DiskWorker<K: PdmKey> {
     /// Trace track for this worker's kernel-round spans.
     track: u32,
     uring: Arc<UringShared>,
+    /// Physical-file fault schedule, armed before any I/O is dispatched
+    /// (empty in production). Consulted per block transfer and per fsync.
+    faults: Arc<OnceLock<Arc<FileFaults>>>,
+    /// Completion-time retry config, armed by the builder when a retry
+    /// policy wraps this backend. Transient per-block failures are
+    /// reissued right here on the worker — after the async I/O completed,
+    /// off the caller's critical path — and folded into the same counters
+    /// as the issue-time retry layer's.
+    retry: Arc<OnceLock<(RetryPolicy, RetryCounters)>>,
+    /// This disk's live checksum table (slot → FNV-1a, 0 = unchecked),
+    /// shared between both of the disk's workers and the owning storage.
+    #[cfg(feature = "block-checksums")]
+    sums: Arc<Mutex<Vec<u64>>>,
 }
 
 impl<K: PdmKey> DiskWorker<K> {
@@ -183,7 +200,11 @@ impl<K: PdmKey> DiskWorker<K> {
             match req {
                 Request::Shutdown => return,
                 Request::Sync { reply } => {
-                    let _ = reply.send(self.file.sync_all().map_err(PdmError::Io));
+                    let res = match self.faults.get().map_or(Ok(()), |f| f.sync_fault()) {
+                        Ok(()) => self.file.sync_all(),
+                        Err(e) => Err(e),
+                    };
+                    let _ = reply.send(res.map_err(PdmError::Io));
                 }
                 Request::Read { slots, reply } => {
                     let results = self.serve_reads(&slots);
@@ -200,7 +221,17 @@ impl<K: PdmKey> DiskWorker<K> {
     /// Transfer `slots.len()` staged blocks to/from disk, one result per
     /// slot. The staging buffer holds the payloads (writes) or receives
     /// them (reads).
+    ///
+    /// When a fault schedule is armed, one verdict is drawn per block up
+    /// front (both engines share the schedule): faulted blocks never reach
+    /// the kernel — short transfers and EIO fail immediately, torn writes
+    /// submit only the first half of the block and report success.
     fn transfer(&mut self, slots: &[usize], write: bool) -> Vec<std::io::Result<()>> {
+        let verdicts: Option<Vec<BlockFault>> = self
+            .faults
+            .get()
+            .map(|f| slots.iter().map(|_| f.block_fault(write)).collect());
+        let verdict = |i: usize| verdicts.as_ref().map_or(BlockFault::None, |v| v[i]);
         let bb = self.staging.block_bytes;
         let off = self.staging.offset();
         let staged = &mut self.staging.raw[off..];
@@ -212,15 +243,23 @@ impl<K: PdmKey> DiskWorker<K> {
                 let fd = file.as_raw_fd();
                 let mut ops: Vec<pdm_uring::Op<'_>> = Vec::with_capacity(slots.len());
                 if write {
-                    for (chunk, &slot) in staged.chunks(bb).zip(slots) {
+                    for (i, (chunk, &slot)) in staged.chunks(bb).zip(slots).enumerate() {
+                        let buf = match verdict(i) {
+                            BlockFault::None => chunk,
+                            BlockFault::Torn => &chunk[..bb / 2],
+                            _ => continue,
+                        };
                         ops.push(pdm_uring::Op::Write {
                             fd,
-                            buf: chunk,
+                            buf,
                             offset: slot as u64 * bb as u64,
                         });
                     }
                 } else {
-                    for (chunk, &slot) in staged.chunks_mut(bb).zip(slots) {
+                    for (i, (chunk, &slot)) in staged.chunks_mut(bb).zip(slots).enumerate() {
+                        if verdict(i) != BlockFault::None {
+                            continue;
+                        }
                         ops.push(pdm_uring::Op::Read {
                             fd,
                             buf: chunk,
@@ -245,15 +284,38 @@ impl<K: PdmKey> DiskWorker<K> {
                 self.uring
                     .reaped_cqes
                     .fetch_add(delta(after.reaped_cqes, before.reaped_cqes), Ordering::Relaxed);
-                results
+                // Scatter ring completions back over the slots that were
+                // actually submitted; faulted slots get their injected
+                // error in place.
+                let mut ring_results = results.into_iter();
+                (0..slots.len())
+                    .map(|i| match verdict(i) {
+                        BlockFault::ShortTransfer => {
+                            Err(FileFaults::short_transfer_error(write))
+                        }
+                        BlockFault::Eio => Err(FileFaults::eio_error()),
+                        BlockFault::None | BlockFault::Torn => ring_results
+                            .next()
+                            .unwrap_or_else(|| Err(std::io::Error::other("lost ring completion"))),
+                    })
+                    .collect()
             }
             Engine::Sync => staged
                 .chunks_mut(bb)
                 .zip(slots)
-                .map(|(chunk, &slot)| {
+                .enumerate()
+                .map(|(i, (chunk, &slot))| {
+                    let len = match verdict(i) {
+                        BlockFault::None => chunk.len(),
+                        BlockFault::Torn => bb / 2,
+                        BlockFault::ShortTransfer => {
+                            return Err(FileFaults::short_transfer_error(write))
+                        }
+                        BlockFault::Eio => return Err(FileFaults::eio_error()),
+                    };
                     file.seek(SeekFrom::Start(slot as u64 * bb as u64))?;
                     if write {
-                        file.write_all(chunk)
+                        file.write_all(&chunk[..len])
                     } else {
                         file.read_exact(chunk)
                     }
@@ -283,31 +345,146 @@ impl<K: PdmKey> DiskWorker<K> {
         results
     }
 
+    /// The disk this worker serves (tracks are `2·disk + direction`).
+    fn disk(&self) -> usize {
+        (self.track / 2) as usize
+    }
+
+    /// Completion-time retry: given one block's transfer result, reissue
+    /// it while it keeps failing transiently, up to the armed policy's
+    /// attempt budget. Runs on the worker — the async I/O already
+    /// completed, so the caller's pipeline keeps draining other blocks
+    /// while this one is re-driven. Mirrors the issue-time layer's
+    /// accounting exactly: retry `k` charges `k · backoff_steps`, each
+    /// reissue lands on this disk's per-disk counter, and a spent budget
+    /// records one exhaustion.
+    fn complete_with_retry(
+        &mut self,
+        i: usize,
+        slot: usize,
+        write: bool,
+        first: std::io::Result<()>,
+    ) -> std::io::Result<()> {
+        let mut err = match first {
+            Ok(()) => return Ok(()),
+            Err(e) => e,
+        };
+        let Some((policy, counters)) = self.retry.get().cloned() else {
+            return Err(err);
+        };
+        let attempts = policy.max_attempts.max(1);
+        let mut attempt: u32 = 0;
+        loop {
+            if !crate::error::io_error_transient(&err) {
+                return Err(err);
+            }
+            attempt += 1;
+            if attempt >= attempts {
+                counters.record_exhausted();
+                return Err(err);
+            }
+            counters.record_completion_retry(write, self.disk(), u64::from(attempt), &policy);
+            match self.reissue(i, slot, write) {
+                Ok(()) => return Ok(()),
+                Err(e) => err = e,
+            }
+        }
+    }
+
+    /// Reissue one block at staging position `i` with plain positioned
+    /// I/O. Retries are rare, so they skip the batch engine; the fault
+    /// schedule still advances per attempt, which is what lets injected
+    /// transient faults heal on reissue.
+    fn reissue(&mut self, i: usize, slot: usize, write: bool) -> std::io::Result<()> {
+        let bb = self.staging.block_bytes;
+        let off = self.staging.offset();
+        let verdict = self
+            .faults
+            .get()
+            .map_or(BlockFault::None, |f| f.block_fault(write));
+        let chunk = &mut self.staging.raw[off + i * bb..off + (i + 1) * bb];
+        let len = match verdict {
+            BlockFault::None => bb,
+            BlockFault::Torn => bb / 2,
+            BlockFault::ShortTransfer => return Err(FileFaults::short_transfer_error(write)),
+            BlockFault::Eio => return Err(FileFaults::eio_error()),
+        };
+        self.file.seek(SeekFrom::Start(slot as u64 * bb as u64))?;
+        if write {
+            self.file.write_all(&chunk[..len])
+        } else {
+            self.file.read_exact(chunk)
+        }
+    }
+
     /// Serve one read request's slots, at most `QUEUE_DEPTH` per kernel
     /// submission; one decoded pooled buffer (or error) per slot, in
-    /// request order.
+    /// request order. Transient per-block failures are reissued here
+    /// (completion-time retry); with `block-checksums`, surviving reads
+    /// are verified against this disk's checksum table before decode —
+    /// off the caller's critical path — and mismatches surface as
+    /// [`PdmError::Corrupt`].
     fn serve_reads(&mut self, slots: &[usize]) -> Vec<Result<Vec<K>>> {
         let mut out = Vec::with_capacity(slots.len());
-        let bb = self.staging.block_bytes;
         for chunk in slots.chunks(QUEUE_DEPTH) {
             self.staging.ensure(chunk.len());
             let results = self.timed_transfer(chunk, false);
-            let off = self.staging.offset();
             for (i, res) in results.into_iter().enumerate() {
-                out.push(match res {
-                    Ok(()) => {
-                        let bytes = &self.staging.raw[off + i * bb..off + (i + 1) * bb];
-                        let mut buf = self.pool.get(self.block_size);
-                        for j in 0..self.block_size {
-                            buf.push(K::read_bytes(&bytes[j * K::WIDTH..]));
-                        }
-                        Ok(buf)
-                    }
+                let slot = chunk[i];
+                let item = match self.complete_with_retry(i, slot, false, res) {
+                    Ok(()) => self.decode_block(i, slot),
                     Err(e) => Err(PdmError::Io(e)),
-                });
+                };
+                out.push(item);
             }
         }
         out
+    }
+
+    /// Decode the staged block at position `i` into a pooled buffer,
+    /// verifying its checksum first when the feature is on.
+    fn decode_block(&self, i: usize, slot: usize) -> Result<Vec<K>> {
+        let bb = self.staging.block_bytes;
+        let off = self.staging.offset();
+        let bytes = &self.staging.raw[off + i * bb..off + (i + 1) * bb];
+        #[cfg(feature = "block-checksums")]
+        self.verify_checksum(slot, bytes)?;
+        #[cfg(not(feature = "block-checksums"))]
+        let _ = slot;
+        let mut buf = self.pool.get(self.block_size);
+        for j in 0..self.block_size {
+            buf.push(K::read_bytes(&bytes[j * K::WIDTH..]));
+        }
+        Ok(buf)
+    }
+
+    /// Compare one read block's bytes against the disk's checksum table.
+    /// A zero entry (or a slot beyond the table) was never written under
+    /// checksumming and stays unchecked; a nonzero mismatch is corruption.
+    #[cfg(feature = "block-checksums")]
+    fn verify_checksum(&self, slot: usize, bytes: &[u8]) -> Result<()> {
+        let stored = self
+            .sums
+            .lock()
+            .unwrap()
+            .get(slot)
+            .copied()
+            .unwrap_or(0);
+        if stored == 0 {
+            return Ok(());
+        }
+        let computed = fnv1a(FNV_OFFSET, bytes);
+        if stored != computed {
+            return Err(PdmError::Corrupt {
+                disk: self.disk(),
+                slot,
+                detail: format!(
+                    "block checksum mismatch: stored {stored:016x}, computed {computed:016x}"
+                ),
+            });
+        }
+        self.wall.add_verified(1);
+        Ok(())
     }
 
     /// Serve one write request's blocks in chunks of at most `QUEUE_DEPTH`.
@@ -345,6 +522,32 @@ impl<K: PdmKey> DiskWorker<K> {
         }
         let slots: Vec<usize> = chunk.iter().map(|(s, _)| *s).collect();
         let results = self.timed_transfer(&slots, true);
+        // Completion-time retry happens before checksums are recorded and
+        // hazards retire: the worker still holds the staged payload, so a
+        // failed write can be re-driven without any caller involvement.
+        let results: Vec<std::io::Result<()>> = results
+            .into_iter()
+            .enumerate()
+            .map(|(i, res)| self.complete_with_retry(i, slots[i], true, res))
+            .collect();
+        // Record the checksum of the *intended* bytes for every write that
+        // reported success. A torn write reports success too — that is the
+        // point: its sidecar entry won't match the half-written block, so
+        // the next read surfaces Corrupt instead of wrong data.
+        #[cfg(feature = "block-checksums")]
+        {
+            let mut sums = self.sums.lock().unwrap();
+            for (i, res) in results.iter().enumerate() {
+                if res.is_ok() {
+                    let slot = slots[i];
+                    let bytes = &self.staging.raw[off + i * bb..off + (i + 1) * bb];
+                    if sums.len() <= slot {
+                        sums.resize(slot + 1, 0);
+                    }
+                    sums[slot] = fnv1a(FNV_OFFSET, bytes);
+                }
+            }
+        }
         for ((slot, data), res) in chunk.drain(..).zip(results) {
             self.pool.put(data);
             // Retire the hazard only once the bytes are committed, so a
@@ -373,23 +576,49 @@ struct GroupedPending<K: PdmKey> {
 }
 
 impl<K: PdmKey> crate::overlap::PendingRead<K> for GroupedPending<K> {
+    /// Every receiver is drained and every delivered buffer goes back to
+    /// the pool even when a block failed: an early return on the first
+    /// error would abandon the remaining disks' pooled buffers inside
+    /// their reply channels (the PR 3 leak invariant, which used to be
+    /// audited only on issue-time paths). The first error — in request
+    /// order across disks — is reported after the drain.
     fn wait(self: Box<Self>, out: &mut [K]) -> Result<()> {
         let Self {
             parts,
             block_size: b,
             pool,
         } = *self;
+        let mut first_err = None;
         for (idx, rx) in parts {
-            let results = rx
-                .recv()
-                .map_err(|_| PdmError::BadConfig("disk worker hung up".into()))?;
-            for (i, res) in idx.into_iter().zip(results) {
-                let data = res?;
-                out[i * b..(i + 1) * b].copy_from_slice(&data);
-                pool.put(data);
+            match rx.recv() {
+                Ok(results) => {
+                    for (i, res) in idx.into_iter().zip(results) {
+                        match res {
+                            Ok(data) => {
+                                if first_err.is_none() {
+                                    out[i * b..(i + 1) * b].copy_from_slice(&data);
+                                }
+                                pool.put(data);
+                            }
+                            Err(e) => {
+                                if first_err.is_none() {
+                                    first_err = Some(e);
+                                }
+                            }
+                        }
+                    }
+                }
+                Err(_) => {
+                    if first_err.is_none() {
+                        first_err = Some(PdmError::BadConfig("disk worker hung up".into()));
+                    }
+                }
             }
         }
-        Ok(())
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     fn is_ready(&self) -> bool {
@@ -403,16 +632,34 @@ struct GroupedWritePending {
 }
 
 impl crate::overlap::PendingWrite for GroupedWritePending {
+    /// Drains every receiver before reporting the first error, so no
+    /// disk's completion is abandoned mid-batch (write payloads are
+    /// pool-returned worker-side, but an undrained receiver would leave
+    /// hazard retirement unobserved by the caller's error handling).
     fn wait(self: Box<Self>) -> Result<()> {
+        let mut first_err = None;
         for rx in self.parts {
-            let results = rx
-                .recv()
-                .map_err(|_| PdmError::BadConfig("disk worker hung up".into()))?;
-            for res in results {
-                res?;
+            match rx.recv() {
+                Ok(results) => {
+                    for res in results {
+                        if let Err(e) = res {
+                            if first_err.is_none() {
+                                first_err = Some(e);
+                            }
+                        }
+                    }
+                }
+                Err(_) => {
+                    if first_err.is_none() {
+                        first_err = Some(PdmError::BadConfig("disk worker hung up".into()));
+                    }
+                }
             }
         }
-        Ok(())
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     fn is_ready(&self) -> bool {
@@ -449,6 +696,38 @@ fn open_disk(path: &Path, truncate: bool, direct: bool) -> Result<(File, bool)> 
     Ok((f, false))
 }
 
+/// Load one disk's checksum sidecar: slot-indexed little-endian u64 words
+/// in the synchronous file backend's `disk-<d>.sum` format. A missing
+/// file means nothing was ever checksummed (empty table); short files
+/// simply leave later slots unchecked.
+#[cfg(feature = "block-checksums")]
+fn load_sums(dir: &Path, disk: usize) -> Result<Vec<u64>> {
+    match std::fs::read(dir.join(format!("disk-{disk}.sum"))) {
+        Ok(bytes) => Ok(bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Persist one disk's checksum table to its sidecar, fsynced: sums must
+/// be durable before the geometry manifest commits, or a crash could
+/// leave fresh data guarded by stale checksums (false corruption on
+/// resume).
+#[cfg(feature = "block-checksums")]
+fn store_sums(dir: &Path, disk: usize, table: &[u64]) -> Result<()> {
+    let mut bytes = Vec::with_capacity(table.len() * 8);
+    for s in table {
+        bytes.extend_from_slice(&s.to_le_bytes());
+    }
+    let mut f = File::create(dir.join(format!("disk-{disk}.sum")))?;
+    f.write_all(&bytes)?;
+    f.sync_all()?;
+    Ok(())
+}
+
 /// Asynchronous file-backed storage: real disk files, duplex per-disk
 /// worker threads, batched kernel submission (io_uring with the `uring`
 /// feature), `O_DIRECT` where the geometry and filesystem allow.
@@ -473,6 +752,17 @@ pub struct AsyncFileStorage<K: PdmKey> {
     uring: Arc<UringShared>,
     direct_io: bool,
     remove_on_drop: bool,
+    /// Physical-file fault schedule, armed via
+    /// [`AsyncFileStorage::set_file_faults`] before any I/O (testing only).
+    faults: Arc<OnceLock<Arc<FileFaults>>>,
+    /// Completion-time retry config, armed via
+    /// [`AsyncFileStorage::set_completion_retry`].
+    retry: Arc<OnceLock<(RetryPolicy, RetryCounters)>>,
+    /// Per-disk live checksum tables (slot → FNV-1a, 0 = unchecked),
+    /// shared with the disk's workers; persisted to `disk-<d>.sum`
+    /// sidecars at sync in the synchronous file backend's format.
+    #[cfg(feature = "block-checksums")]
+    sums: Vec<Arc<Mutex<Vec<u64>>>>,
 }
 
 impl<K: PdmKey> AsyncFileStorage<K> {
@@ -543,6 +833,10 @@ impl<K: PdmKey> AsyncFileStorage<K> {
         let mut wall = Vec::with_capacity(num_disks);
         let sink: Arc<OnceLock<Arc<SpanSink>>> = Arc::new(OnceLock::new());
         let uring = Arc::new(UringShared::default());
+        let faults: Arc<OnceLock<Arc<FileFaults>>> = Arc::new(OnceLock::new());
+        let retry: Arc<OnceLock<(RetryPolicy, RetryCounters)>> = Arc::new(OnceLock::new());
+        #[cfg(feature = "block-checksums")]
+        let mut sums: Vec<Arc<Mutex<Vec<u64>>>> = Vec::with_capacity(num_disks);
         for d in 0..num_disks {
             let path = dir.join(format!("disk-{d}.pdm"));
             // The first open probes O_DIRECT support; worker handles reuse
@@ -554,6 +848,17 @@ impl<K: PdmKey> AsyncFileStorage<K> {
                 None if truncate => allocated.push(0),
                 None => allocated.push((main.metadata()?.len() / block_bytes as u64) as usize),
             }
+            // A readback restores each disk's persisted checksum table; a
+            // fresh create starts unchecked (all-zero).
+            #[cfg(feature = "block-checksums")]
+            {
+                let table = if truncate {
+                    Vec::new()
+                } else {
+                    load_sums(&dir, d)?
+                };
+                sums.push(Arc::new(Mutex::new(table)));
+            }
             let pending = Arc::new(Mutex::new(HashMap::new()));
             let rec = Arc::new(DiskWallRec::new());
             for (kind, senders) in [("r", &mut read_senders), ("w", &mut write_senders)] {
@@ -561,11 +866,30 @@ impl<K: PdmKey> AsyncFileStorage<K> {
                 let (tx, rx) = unbounded();
                 let align = if direct { DIRECT_ALIGN } else { 1 };
                 #[cfg(all(feature = "uring", target_os = "linux"))]
-                let engine = match pdm_uring::Ring::new(QUEUE_DEPTH as u32) {
-                    Ok(ring) => Engine::Uring(ring),
-                    // No io_uring here (old kernel, seccomp): positioned
-                    // I/O gives identical behavior, just per-block syscalls.
-                    Err(_) => Engine::Sync,
+                let engine = {
+                    use std::sync::atomic::AtomicBool;
+                    // ENOSYS/seccomp verdicts are process-wide facts: once
+                    // one worker classifies setup as permanently
+                    // unavailable, later workers skip the doomed syscall.
+                    static URING_UNAVAILABLE: AtomicBool = AtomicBool::new(false);
+                    if URING_UNAVAILABLE.load(Ordering::Relaxed) {
+                        Engine::Sync
+                    } else {
+                        match pdm_uring::Ring::new(QUEUE_DEPTH as u32) {
+                            Ok(ring) => Engine::Uring(ring),
+                            // No io_uring here: positioned I/O gives
+                            // identical behavior, just per-block syscalls.
+                            // Transient setup failures (e.g. ENOMEM) only
+                            // downgrade this worker; permanent ones (old
+                            // kernel, seccomp) downgrade the process.
+                            Err(e) => {
+                                if pdm_uring::ring_unavailable(&e) {
+                                    URING_UNAVAILABLE.store(true, Ordering::Relaxed);
+                                }
+                                Engine::Sync
+                            }
+                        }
+                    }
                 };
                 #[cfg(not(all(feature = "uring", target_os = "linux")))]
                 let engine = Engine::Sync;
@@ -581,6 +905,10 @@ impl<K: PdmKey> AsyncFileStorage<K> {
                     sink: Arc::clone(&sink),
                     track: (2 * d + usize::from(kind == "w")) as u32,
                     uring: Arc::clone(&uring),
+                    faults: Arc::clone(&faults),
+                    retry: Arc::clone(&retry),
+                    #[cfg(feature = "block-checksums")]
+                    sums: Arc::clone(&sums[d]),
                 };
                 let h = std::thread::Builder::new()
                     .name(format!("pdm-adisk-{d}{kind}"))
@@ -610,7 +938,29 @@ impl<K: PdmKey> AsyncFileStorage<K> {
             uring,
             direct_io,
             remove_on_drop: false,
+            faults,
+            retry,
+            #[cfg(feature = "block-checksums")]
+            sums,
         })
+    }
+
+    /// Arm the physical-file fault schedule. Must be called before any
+    /// I/O is dispatched (the builder does this right after construction);
+    /// a second call is ignored.
+    pub fn set_file_faults(&mut self, faults: Arc<FileFaults>) {
+        let _ = self.faults.set(faults);
+    }
+
+    /// Arm completion-time retry: the per-disk workers will classify
+    /// failed blocks of asynchronously issued batches at completion and
+    /// reissue the transient ones under `policy`, recording into
+    /// `counters` — share the counter set with the issue-time
+    /// [`crate::storage_retry::RetryingStorage`] wrapper so
+    /// `IoStats.retry` sees one unified stream. Must be called before any
+    /// I/O is dispatched; a second call is ignored.
+    pub fn set_completion_retry(&mut self, policy: RetryPolicy, counters: RetryCounters) {
+        let _ = self.retry.set((policy, counters));
     }
 
     /// Paths of the disk files.
@@ -803,30 +1153,67 @@ impl<K: PdmKey> Storage<K> for AsyncFileStorage<K> {
     fn read_batch(&mut self, reqs: &[(usize, usize)], out: &mut [K]) -> Result<()> {
         let b = self.block_size;
         debug_assert_eq!(out.len(), reqs.len() * b);
+        // Same drain-everything discipline as GroupedPending::wait: every
+        // delivered buffer returns to the pool before the first error (in
+        // cross-disk request order) propagates.
+        let mut first_err = None;
         for (idx, rx) in self.dispatch_reads(reqs)? {
-            let results = rx
-                .recv()
-                .map_err(|_| PdmError::BadConfig("disk worker hung up".into()))?;
-            for (i, res) in idx.into_iter().zip(results) {
-                let data = res?;
-                out[i * b..(i + 1) * b].copy_from_slice(&data);
-                self.pool.put(data);
+            match rx.recv() {
+                Ok(results) => {
+                    for (i, res) in idx.into_iter().zip(results) {
+                        match res {
+                            Ok(data) => {
+                                if first_err.is_none() {
+                                    out[i * b..(i + 1) * b].copy_from_slice(&data);
+                                }
+                                self.pool.put(data);
+                            }
+                            Err(e) => {
+                                if first_err.is_none() {
+                                    first_err = Some(e);
+                                }
+                            }
+                        }
+                    }
+                }
+                Err(_) => {
+                    if first_err.is_none() {
+                        first_err = Some(PdmError::BadConfig("disk worker hung up".into()));
+                    }
+                }
             }
         }
-        Ok(())
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     fn write_batch(&mut self, reqs: &[(usize, usize)], data: &[K]) -> Result<()> {
         debug_assert_eq!(data.len(), reqs.len() * self.block_size);
+        let mut first_err = None;
         for rx in self.dispatch_writes(reqs, data)? {
-            let results = rx
-                .recv()
-                .map_err(|_| PdmError::BadConfig("disk worker hung up".into()))?;
-            for res in results {
-                res?;
+            match rx.recv() {
+                Ok(results) => {
+                    for res in results {
+                        if let Err(e) = res {
+                            if first_err.is_none() {
+                                first_err = Some(e);
+                            }
+                        }
+                    }
+                }
+                Err(_) => {
+                    if first_err.is_none() {
+                        first_err = Some(PdmError::BadConfig("disk worker hung up".into()));
+                    }
+                }
             }
         }
-        Ok(())
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     fn sync(&mut self) -> Result<()> {
@@ -842,6 +1229,12 @@ impl<K: PdmKey> Storage<K> for AsyncFileStorage<K> {
         for rx in replies {
             rx.recv()
                 .map_err(|_| PdmError::BadConfig("disk worker hung up".into()))??;
+        }
+        // Checksum sidecars go durable before the manifest: a resume must
+        // never see new data guarded by older checksums.
+        #[cfg(feature = "block-checksums")]
+        for (d, table) in self.sums.iter().enumerate() {
+            store_sums(&self.dir, d, &table.lock().unwrap())?;
         }
         write_meta(
             &self.dir,
@@ -874,13 +1267,15 @@ impl<K: PdmKey> Storage<K> for AsyncFileStorage<K> {
     /// Worker threads service real file I/O while the caller computes, so
     /// overlap genuinely hides disk latency; reads and writes of one disk
     /// drain in parallel (duplex); `direct_io` reports the actual open
-    /// outcome probed at creation.
+    /// outcome probed at creation; `checksums` follows the
+    /// `block-checksums` feature — read completions verify against the
+    /// per-disk FNV-1a tables on the workers, off the critical path.
     fn caps(&self) -> StorageCaps {
         StorageCaps {
             overlap: true,
             duplex: true,
             direct_io: self.direct_io,
-            checksums: false,
+            checksums: cfg!(feature = "block-checksums"),
             pooled: true,
         }
     }
@@ -918,8 +1313,9 @@ impl<K: PdmKey> Drop for AsyncFileStorage<K> {
             let _ = h.join();
         }
         if self.remove_on_drop {
-            for p in &self.paths {
+            for (d, p) in self.paths.iter().enumerate() {
                 let _ = std::fs::remove_file(p);
+                let _ = std::fs::remove_file(self.dir.join(format!("disk-{d}.sum")));
             }
             let _ = std::fs::remove_file(self.dir.join("meta.pdm"));
             let _ = std::fs::remove_file(self.dir.join("meta.pdm.tmp"));

@@ -24,12 +24,18 @@
 //!
 //! Overlap is deliberately *not* a builder layer: it is a machine setting,
 //! resolved by the caller from the assembled stack's [`StorageCaps`]
-//! (surfaced in [`BuiltStorage::caps`]) — wrappers force `overlap` off
-//! because they must intercept operations at issue time.
+//! (surfaced in [`BuiltStorage::caps`]). Wrappers pass `overlap` through:
+//! fault injection draws its schedule and retry classifies failures at
+//! *issue* time, and the async-file backend finishes the job at
+//! *completion* time — the builder arms it with the same shared retry
+//! counters it hands the issue-time layer, so `--overlap on --retry N`
+//! keeps latency hiding and fault tolerance together.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::error::{PdmError, Result};
+use crate::file_faults::{FileFaultMode, FileFaults};
 use crate::key::PdmKey;
 use crate::storage::{MemStorage, Storage, StorageCaps};
 use crate::storage_async_file::AsyncFileStorage;
@@ -119,6 +125,7 @@ pub struct StorageBuilder {
     dir: Option<PathBuf>,
     readback: bool,
     inject: Option<FailMode>,
+    inject_file: Option<FileFaultMode>,
     retry: Option<RetryPolicy>,
 }
 
@@ -132,6 +139,7 @@ impl StorageBuilder {
             dir: None,
             readback: false,
             inject: None,
+            inject_file: None,
             retry: None,
         }
     }
@@ -154,6 +162,16 @@ impl StorageBuilder {
     /// Stack a [`FlakyStorage`] fault-injection layer over the base.
     pub fn inject(mut self, mode: FailMode) -> Self {
         self.inject = Some(mode);
+        self
+    }
+
+    /// Arm *real-file* fault injection inside the base backend itself:
+    /// EIO, short transfers, torn writes, and fsync failures surface from
+    /// the actual `read`/`write`/`fsync` calls rather than from a wrapper.
+    /// Only meaningful for file-backed kinds; [`Self::build`] rejects it
+    /// otherwise.
+    pub fn inject_file(mut self, mode: FileFaultMode) -> Self {
+        self.inject_file = Some(mode);
         self
     }
 
@@ -185,28 +203,52 @@ impl StorageBuilder {
                 "readback needs a directory to read back from".into(),
             ));
         }
-        let mut storage: Box<dyn Storage<K>> = match (self.kind, &self.dir) {
-            (BackendKind::Mem, _) => Box::new(MemStorage::new(d, b)),
-            (BackendKind::Threaded, _) => Box::new(ThreadedStorage::new(d, b)),
-            (BackendKind::File, Some(dir)) if self.readback => {
-                Box::new(FileStorage::create_readback(dir, d, b)?)
+        if self.inject_file.is_some() && !self.kind.is_file_backed() {
+            return Err(PdmError::BadConfig(format!(
+                "the '{}' backend is not file-backed and cannot inject file faults",
+                self.kind
+            )));
+        }
+        // One counter set shared by the issue-time retry layer and (on the
+        // async-file backend) the completion-time retry in the workers, so
+        // `IoStats.retry` folds both together.
+        let counters = RetryCounters::new();
+        let mut storage: Box<dyn Storage<K>> = match self.kind {
+            BackendKind::Mem => Box::new(MemStorage::new(d, b)),
+            BackendKind::Threaded => Box::new(ThreadedStorage::new(d, b)),
+            BackendKind::File => {
+                let mut s = match (&self.dir, self.readback) {
+                    (Some(dir), true) => FileStorage::create_readback(dir, d, b)?,
+                    (Some(dir), false) => FileStorage::create(dir, d, b)?,
+                    (None, _) => FileStorage::create_temp(d, b)?,
+                };
+                if let Some(mode) = self.inject_file {
+                    s.set_file_faults(Arc::new(FileFaults::new(mode)));
+                }
+                Box::new(s)
             }
-            (BackendKind::File, Some(dir)) => Box::new(FileStorage::create(dir, d, b)?),
-            (BackendKind::File, None) => Box::new(FileStorage::create_temp(d, b)?),
-            (BackendKind::AsyncFile, Some(dir)) if self.readback => {
-                Box::new(AsyncFileStorage::create_readback(dir, d, b)?)
+            BackendKind::AsyncFile => {
+                let mut s = match (&self.dir, self.readback) {
+                    (Some(dir), true) => AsyncFileStorage::create_readback(dir, d, b)?,
+                    (Some(dir), false) => AsyncFileStorage::create(dir, d, b)?,
+                    (None, _) => AsyncFileStorage::create_temp(d, b)?,
+                };
+                if let Some(mode) = self.inject_file {
+                    s.set_file_faults(Arc::new(FileFaults::new(mode)));
+                }
+                if let Some(policy) = self.retry {
+                    s.set_completion_retry(policy, counters.clone());
+                }
+                Box::new(s)
             }
-            (BackendKind::AsyncFile, Some(dir)) => Box::new(AsyncFileStorage::create(dir, d, b)?),
-            (BackendKind::AsyncFile, None) => Box::new(AsyncFileStorage::create_temp(d, b)?),
         };
         if let Some(mode) = self.inject {
             storage = Box::new(FlakyStorage::new(storage, mode));
         }
         let mut retry_counters = None;
         if let Some(policy) = self.retry {
-            let layer = RetryingStorage::new(storage, policy);
-            retry_counters = Some(layer.counters());
-            storage = Box::new(layer);
+            retry_counters = Some(counters.clone());
+            storage = Box::new(RetryingStorage::with_counters(storage, policy, counters));
         }
         let caps = storage.caps();
         Ok(BuiltStorage {
@@ -251,15 +293,48 @@ mod tests {
             .build::<u64>()
             .unwrap();
         assert!(bare.caps.overlap, "threaded backend natively overlaps");
-        // Any wrapper forces overlap off: it must see every op at issue.
+        // Wrappers pass overlap through: fault/retry policy is applied at
+        // issue time inside start_*_batch, so latency hiding survives.
         let wrapped = StorageBuilder::new(BackendKind::Threaded, 2, 8)
             .retry(RetryPolicy::default())
             .build::<u64>()
             .unwrap();
-        assert!(!wrapped.caps.overlap);
+        assert!(wrapped.caps.overlap, "retry layer must not disable overlap");
         assert!(wrapped.caps.pooled, "inner facts still shine through");
         assert!(wrapped.retry_counters.is_some());
         assert!(bare.retry_counters.is_none());
+    }
+
+    #[test]
+    fn non_file_kinds_reject_file_fault_injection() {
+        for kind in [BackendKind::Mem, BackendKind::Threaded] {
+            let e = StorageBuilder::new(kind, 2, 8)
+                .inject_file(FileFaultMode::Eio(0))
+                .build::<u64>()
+                .unwrap_err();
+            assert!(matches!(e, PdmError::BadConfig(_)), "{kind}: {e}");
+        }
+    }
+
+    #[test]
+    fn file_faults_heal_under_the_stacked_retry_layer() {
+        for kind in [BackendKind::File, BackendKind::AsyncFile] {
+            let built = StorageBuilder::new(kind, 2, 8)
+                .inject_file(FileFaultMode::ShortRate {
+                    seed: 7,
+                    rate_ppm: 100_000,
+                })
+                .retry(RetryPolicy {
+                    max_attempts: 10,
+                    backoff_steps: 1,
+                })
+                .build::<u64>()
+                .unwrap();
+            let counters = built.retry_counters.clone().unwrap();
+            round_trip(built);
+            let snap = counters.snapshot();
+            assert_eq!(snap.exhausted, 0, "{kind}: retries must heal the faults");
+        }
     }
 
     #[test]

@@ -32,11 +32,13 @@
 #[cfg(feature = "block-checksums")]
 use crate::checkpoint::{fnv1a, FNV_OFFSET};
 use crate::error::{PdmError, Result};
+use crate::file_faults::{BlockFault, FileFaults};
 use crate::key::PdmKey;
 use crate::storage::Storage;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Magic first line of the `meta.pdm` geometry manifest.
 const META_MAGIC: &str = "pdm-disk-meta-v1";
@@ -137,6 +139,7 @@ pub struct FileStorage<K: PdmKey> {
     allocated: Vec<usize>,
     byte_buf: Vec<u8>,
     remove_on_drop: bool,
+    faults: Option<Arc<FileFaults>>,
     #[cfg(feature = "block-checksums")]
     sums: Vec<File>,
     #[cfg(feature = "block-checksums")]
@@ -173,6 +176,7 @@ impl<K: PdmKey> FileStorage<K> {
             allocated: vec![0; num_disks],
             byte_buf: vec![0; block_size * K::WIDTH],
             remove_on_drop: false,
+            faults: None,
             #[cfg(feature = "block-checksums")]
             sums,
             #[cfg(feature = "block-checksums")]
@@ -236,6 +240,7 @@ impl<K: PdmKey> FileStorage<K> {
             allocated,
             byte_buf: vec![0; block_size * K::WIDTH],
             remove_on_drop: false,
+            faults: None,
             #[cfg(feature = "block-checksums")]
             sums,
             #[cfg(feature = "block-checksums")]
@@ -263,6 +268,15 @@ impl<K: PdmKey> FileStorage<K> {
     /// Paths of the disk files.
     pub fn paths(&self) -> &[PathBuf] {
         &self.paths
+    }
+
+    /// Arm real-file fault injection: subsequent `read_block` /
+    /// `write_block` / `sync` calls consult `faults` and can surface
+    /// injected EIO, short transfers, torn writes, and fsync failures.
+    /// [`crate::storage_builder::StorageBuilder::inject_file`] calls this
+    /// right after construction, before any I/O.
+    pub fn set_file_faults(&mut self, faults: Arc<FileFaults>) {
+        self.faults = Some(faults);
     }
 
     #[cfg(feature = "block-checksums")]
@@ -343,6 +357,17 @@ impl<K: PdmKey> Storage<K> for FileStorage<K> {
                 expected: self.block_size,
             });
         }
+        match self
+            .faults
+            .as_ref()
+            .map_or(BlockFault::None, |f| f.block_fault(false))
+        {
+            BlockFault::ShortTransfer => {
+                return Err(FileFaults::short_transfer_error(false).into())
+            }
+            BlockFault::Eio => return Err(FileFaults::eio_error().into()),
+            BlockFault::None | BlockFault::Torn => {}
+        }
         let off = slot as u64 * self.block_bytes();
         self.files[disk].seek(SeekFrom::Start(off))?;
         self.files[disk].read_exact(&mut self.byte_buf)?;
@@ -380,9 +405,27 @@ impl<K: PdmKey> Storage<K> for FileStorage<K> {
         for (i, k) in data.iter().enumerate() {
             k.write_bytes(&mut self.byte_buf[i * K::WIDTH..]);
         }
+        let fault = self
+            .faults
+            .as_ref()
+            .map_or(BlockFault::None, |f| f.block_fault(true));
+        match fault {
+            BlockFault::ShortTransfer => return Err(FileFaults::short_transfer_error(true).into()),
+            BlockFault::Eio => return Err(FileFaults::eio_error().into()),
+            BlockFault::None | BlockFault::Torn => {}
+        }
         let off = slot as u64 * self.block_bytes();
         self.files[disk].seek(SeekFrom::Start(off))?;
-        self.files[disk].write_all(&self.byte_buf)?;
+        // A torn write persists only half the block yet reports success;
+        // the sidecar below still records the digest of the *intended*
+        // bytes, so the next read of this slot surfaces `Corrupt` instead
+        // of silently returning a half-stale block.
+        let persist = if fault == BlockFault::Torn {
+            &self.byte_buf[..self.byte_buf.len() / 2]
+        } else {
+            &self.byte_buf[..]
+        };
+        self.files[disk].write_all(persist)?;
         #[cfg(feature = "block-checksums")]
         {
             let sum = fnv1a(FNV_OFFSET, &self.byte_buf);
@@ -393,6 +436,9 @@ impl<K: PdmKey> Storage<K> for FileStorage<K> {
     }
 
     fn sync(&mut self) -> Result<()> {
+        if let Some(faults) = &self.faults {
+            faults.sync_fault()?;
+        }
         for f in &mut self.files {
             f.flush()?;
             // sync_all, not sync_data: ensure_capacity growth changes the
@@ -610,5 +656,70 @@ mod tests {
         // sidecar entry is the zero sentinel.
         s.read_block(0, 0, &mut out).unwrap();
         assert_eq!(out, [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn injected_eio_fires_once_then_heals() {
+        use crate::file_faults::{FileFaultMode, FileFaults};
+        let mut s: FileStorage<u64> = FileStorage::create_temp(1, 4).unwrap();
+        s.ensure_capacity(0, 1).unwrap();
+        s.write_block(0, 0, &[1, 2, 3, 4]).unwrap();
+        let faults = Arc::new(FileFaults::new(FileFaultMode::Eio(1)));
+        s.set_file_faults(Arc::clone(&faults));
+        let mut out = [0u64; 4];
+        s.read_block(0, 0, &mut out).unwrap();
+        let err = s.read_block(0, 0, &mut out).unwrap_err();
+        assert!(!err.is_transient(), "EIO is permanent: {err}");
+        assert_eq!(faults.injected(), 1);
+        // The op index advanced past the scheduled fault: retries succeed.
+        s.read_block(0, 0, &mut out).unwrap();
+        assert_eq!(out, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn injected_short_write_is_transient() {
+        use crate::file_faults::{FileFaultMode, FileFaults};
+        let mut s: FileStorage<u64> = FileStorage::create_temp(1, 4).unwrap();
+        s.ensure_capacity(0, 1).unwrap();
+        // rate_ppm = 1_000_000: every draw injects a short transfer.
+        s.set_file_faults(Arc::new(FileFaults::new(FileFaultMode::ShortRate {
+            seed: 1,
+            rate_ppm: 1_000_000,
+        })));
+        let err = s.write_block(0, 0, &[1, 2, 3, 4]).unwrap_err();
+        assert!(err.is_transient(), "short transfers retry: {err}");
+    }
+
+    #[test]
+    fn injected_fsync_failure_surfaces_and_heals() {
+        use crate::file_faults::{FileFaultMode, FileFaults};
+        let mut s: FileStorage<u64> = FileStorage::create_temp(1, 4).unwrap();
+        s.ensure_capacity(0, 1).unwrap();
+        s.set_file_faults(Arc::new(FileFaults::new(FileFaultMode::FsyncFail(0))));
+        let err = s.sync().unwrap_err();
+        assert!(err.is_transient(), "injected fsync failure: {err}");
+        s.sync().unwrap();
+    }
+
+    #[cfg(feature = "block-checksums")]
+    #[test]
+    fn torn_write_reports_success_but_read_detects_corruption() {
+        use crate::file_faults::{FileFaultMode, FileFaults};
+        let mut s: FileStorage<u64> = FileStorage::create_temp(1, 4).unwrap();
+        s.ensure_capacity(0, 1).unwrap();
+        s.write_block(0, 0, &[1, 2, 3, 4]).unwrap();
+        s.set_file_faults(Arc::new(FileFaults::new(FileFaultMode::TornWrite(0))));
+        // The torn write itself reports success — that is the failure model.
+        s.write_block(0, 0, &[9, 9, 9, 9]).unwrap();
+        let mut out = [0u64; 4];
+        let err = s.read_block(0, 0, &mut out).unwrap_err();
+        assert!(
+            matches!(err, PdmError::Corrupt { disk: 0, slot: 0, .. }),
+            "got: {err}"
+        );
+        // Rewriting (no fault scheduled at this index) heals the slot.
+        s.write_block(0, 0, &[9, 9, 9, 9]).unwrap();
+        s.read_block(0, 0, &mut out).unwrap();
+        assert_eq!(out, [9, 9, 9, 9]);
     }
 }

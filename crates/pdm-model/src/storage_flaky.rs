@@ -71,7 +71,7 @@ pub struct FlakyStorage<S> {
 
 /// SplitMix64 finalizer: a well-mixed pure hash of one word, good enough
 /// to turn (seed, op index) into an independent uniform draw.
-fn splitmix64(x: u64) -> u64 {
+pub(crate) fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -125,6 +125,36 @@ impl<S> FlakyStorage<S> {
             _ => Ok(()),
         }
     }
+
+    /// Advance the read schedule by one block and apply it. Called once per
+    /// block whether the block travels through `read_block` or inside a
+    /// `start_read_batch`, so overlapped and blocking runs draw identical
+    /// fault schedules.
+    fn check_read_op(&mut self, disk: usize) -> Result<()> {
+        let n = self.reads;
+        let op = self.reads + self.writes;
+        self.reads += 1;
+        if let FailMode::NthRead(k) = self.mode {
+            if n == k {
+                return Err(self.fail());
+            }
+        }
+        self.check_combined(disk, op)
+    }
+
+    /// Advance the write schedule by one block and apply it; see
+    /// [`FlakyStorage::check_read_op`].
+    fn check_write_op(&mut self, disk: usize) -> Result<()> {
+        let n = self.writes;
+        let op = self.reads + self.writes;
+        self.writes += 1;
+        if let FailMode::NthWrite(k) = self.mode {
+            if n == k {
+                return Err(self.fail());
+            }
+        }
+        self.check_combined(disk, op)
+    }
 }
 
 impl<K: PdmKey, S: Storage<K>> Storage<K> for FlakyStorage<S> {
@@ -141,28 +171,12 @@ impl<K: PdmKey, S: Storage<K>> Storage<K> for FlakyStorage<S> {
     }
 
     fn read_block(&mut self, disk: usize, slot: usize, out: &mut [K]) -> Result<()> {
-        let n = self.reads;
-        let op = self.reads + self.writes;
-        self.reads += 1;
-        if let FailMode::NthRead(k) = self.mode {
-            if n == k {
-                return Err(self.fail());
-            }
-        }
-        self.check_combined(disk, op)?;
+        self.check_read_op(disk)?;
         self.inner.read_block(disk, slot, out)
     }
 
     fn write_block(&mut self, disk: usize, slot: usize, data: &[K]) -> Result<()> {
-        let n = self.writes;
-        let op = self.reads + self.writes;
-        self.writes += 1;
-        if let FailMode::NthWrite(k) = self.mode {
-            if n == k {
-                return Err(self.fail());
-            }
-        }
-        self.check_combined(disk, op)?;
+        self.check_write_op(disk)?;
         self.inner.write_block(disk, slot, data)
     }
 
@@ -182,15 +196,39 @@ impl<K: PdmKey, S: Storage<K>> Storage<K> for FlakyStorage<S> {
         self.inner.attach_span_sink(sink)
     }
 
-    /// Inner caps with `overlap`/`duplex` forced off: fault injection must
-    /// intercept every operation at issue time, which requires the eager
-    /// `start_*_batch` defaults.
+    /// Inner caps, unchanged. Overlap survives fault injection: the
+    /// `start_*_batch` forwards below apply the per-block schedule at
+    /// issue time (advancing the same counters as the blocking path) and
+    /// then hand the whole batch to the inner backend asynchronously.
     fn caps(&self) -> crate::storage::StorageCaps {
-        crate::storage::StorageCaps {
-            overlap: false,
-            duplex: false,
-            ..self.inner.caps()
+        self.inner.caps()
+    }
+
+    /// Apply the per-block read schedule at issue time — one draw per
+    /// block, identical to the blocking decomposition — then forward the
+    /// intact batch to the inner backend. A scheduled fault fails the
+    /// whole start (nothing is issued), matching how a blocking batch
+    /// stops at its first failed block.
+    fn start_read_batch(
+        &mut self,
+        reqs: &[(usize, usize)],
+    ) -> Result<Box<dyn crate::overlap::PendingRead<K> + Send>> {
+        for &(disk, _) in reqs {
+            self.check_read_op(disk)?;
         }
+        self.inner.start_read_batch(reqs)
+    }
+
+    /// See [`FlakyStorage`]'s `start_read_batch`; same protocol for writes.
+    fn start_write_batch(
+        &mut self,
+        reqs: &[(usize, usize)],
+        data: &[K],
+    ) -> Result<Box<dyn crate::overlap::PendingWrite + Send>> {
+        for &(disk, _) in reqs {
+            self.check_write_op(disk)?;
+        }
+        self.inner.start_write_batch(reqs, data)
     }
 }
 

@@ -52,6 +52,8 @@ impl Default for RetryPolicy {
 struct RetryInner {
     reads_retried: AtomicU64,
     writes_retried: AtomicU64,
+    completion_reads: AtomicU64,
+    completion_writes: AtomicU64,
     exhausted: AtomicU64,
     backoff_steps: AtomicU64,
     /// Retries charged to the disk that originated the operation,
@@ -78,6 +80,8 @@ impl RetryCounters {
             exhausted: self.0.exhausted.load(Ordering::Relaxed),
             backoff_steps: self.0.backoff_steps.load(Ordering::Relaxed),
             per_disk_retries: self.0.per_disk.lock().unwrap().clone(),
+            completion_reads_retried: self.0.completion_reads.load(Ordering::Relaxed),
+            completion_writes_retried: self.0.completion_writes.load(Ordering::Relaxed),
         }
     }
 
@@ -88,6 +92,31 @@ impl RetryCounters {
             &self.0.reads_retried
         };
         ctr.fetch_add(1, Ordering::Relaxed);
+        self.charge(disk, attempt, policy);
+    }
+
+    /// Record one *completion-time* reissue: an async disk worker classified
+    /// a grouped-batch failure after the I/O completed and re-ran just the
+    /// failed block. Backoff and per-disk attribution are charged exactly
+    /// like issue-time retries; only the read/write counter differs, so
+    /// reports can split the two.
+    pub(crate) fn record_completion_retry(
+        &self,
+        write: bool,
+        disk: usize,
+        attempt: u64,
+        policy: &RetryPolicy,
+    ) {
+        let ctr = if write {
+            &self.0.completion_writes
+        } else {
+            &self.0.completion_reads
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
+        self.charge(Some(disk), attempt, policy);
+    }
+
+    fn charge(&self, disk: Option<usize>, attempt: u64, policy: &RetryPolicy) {
         self.0
             .backoff_steps
             .fetch_add(attempt * policy.backoff_steps, Ordering::Relaxed);
@@ -100,7 +129,7 @@ impl RetryCounters {
         }
     }
 
-    fn record_exhausted(&self) {
+    pub(crate) fn record_exhausted(&self) {
         self.0.exhausted.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -119,10 +148,19 @@ pub struct RetryingStorage<S> {
 impl<S> RetryingStorage<S> {
     /// Wrap `inner` with the given retry policy.
     pub fn new(inner: S, policy: RetryPolicy) -> Self {
+        Self::with_counters(inner, policy, RetryCounters::new())
+    }
+
+    /// Wrap `inner`, folding retries into an externally created counter
+    /// set. [`crate::storage_builder::StorageBuilder`] uses this to share
+    /// one counter set between this issue-time layer and a backend's
+    /// completion-time retry (the async path), so `IoStats.retry` sees a
+    /// single unified stream.
+    pub fn with_counters(inner: S, policy: RetryPolicy, counters: RetryCounters) -> Self {
         Self {
             inner,
             policy,
-            counters: RetryCounters::new(),
+            counters,
         }
     }
 
@@ -204,14 +242,59 @@ impl<K: PdmKey, S: Storage<K>> Storage<K> for RetryingStorage<S> {
         self.inner.attach_span_sink(sink)
     }
 
-    /// Inner caps with `overlap`/`duplex` forced off: the retry budget
-    /// applies per block operation, which requires the eager
-    /// `start_*_batch` defaults so every attempt happens at issue time.
+    /// Inner caps, unchanged. Overlap survives the retry layer: an
+    /// issue-time failure of a `start_*_batch` call degrades that one
+    /// batch to the blocking per-block path (see `start_read_batch`), and
+    /// backends that advertise `overlap` handle per-block *completion*
+    /// failures themselves (the async backend's workers reissue failed
+    /// blocks and fold them into the same shared [`RetryCounters`]).
     fn caps(&self) -> crate::storage::StorageCaps {
-        crate::storage::StorageCaps {
-            overlap: false,
-            duplex: false,
-            ..self.inner.caps()
+        self.inner.caps()
+    }
+
+    /// Forwarded to the inner backend so overlap stays live. A transient
+    /// failure of the *start* call itself (an injected issue-time fault)
+    /// fails the whole batch before anything was issued, so retrying the
+    /// start would re-draw *every* block's fault schedule per attempt —
+    /// the effective failure rate scales with the batch size and a budget
+    /// that is bulletproof per block can exhaust per batch. Instead the
+    /// one faulted batch degrades to the blocking per-block path (the
+    /// batch default decomposes through `read_block`, giving each block
+    /// its own budget) behind an eager completion token; only that batch
+    /// loses latency hiding. The degradation itself is recorded as one
+    /// unattributed retry so healing stays visible in the counters.
+    fn start_read_batch(
+        &mut self,
+        reqs: &[(usize, usize)],
+    ) -> Result<Box<dyn crate::overlap::PendingRead<K> + Send>> {
+        match self.inner.start_read_batch(reqs) {
+            Ok(pending) => Ok(pending),
+            Err(e) if e.is_transient() => {
+                self.counters.record_retry(false, None, 1, &self.policy);
+                let b = self.block_size();
+                let mut data = vec![K::MAX; reqs.len() * b];
+                self.read_batch(reqs, &mut data)?;
+                Ok(Box::new(crate::overlap::EagerPending::new(data)))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// See [`RetryingStorage`]'s `start_read_batch`; same protocol for
+    /// writes. Safe to re-drive because a failed start issued nothing.
+    fn start_write_batch(
+        &mut self,
+        reqs: &[(usize, usize)],
+        data: &[K],
+    ) -> Result<Box<dyn crate::overlap::PendingWrite + Send>> {
+        match self.inner.start_write_batch(reqs, data) {
+            Ok(pending) => Ok(pending),
+            Err(e) if e.is_transient() => {
+                self.counters.record_retry(true, None, 1, &self.policy);
+                self.write_batch(reqs, data)?;
+                Ok(Box::new(crate::overlap::EagerWriteDone))
+            }
+            Err(e) => Err(e),
         }
     }
 }

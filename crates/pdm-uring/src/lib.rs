@@ -23,6 +23,36 @@
 
 use std::io;
 
+/// True when `e` is a *transient* submission errno: EINTR (a signal
+/// landed mid-`io_uring_enter`) or EAGAIN (momentary kernel resource
+/// shortage). The submission should simply be re-attempted with the same
+/// arguments — [`Ring::run`] already does so internally; callers that see
+/// one of these escape should treat the op as retryable, not broken.
+///
+/// The check is by `io::ErrorKind` (`from_raw_os_error` maps EINTR →
+/// `Interrupted` and EAGAIN → `WouldBlock`), so it also classifies
+/// errors that were rewrapped on their way up.
+pub fn submit_errno_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock
+    )
+}
+
+/// True when `e` marks io_uring as *permanently unavailable* in this
+/// environment: ENOSYS (pre-5.1 kernel), EPERM/EACCES (seccomp policies
+/// that filter the io_uring syscalls, common in container runtimes), or
+/// the `Unsupported` kind (the non-Linux stub). Callers should stop
+/// attempting ring setup and stay on their synchronous fallback;
+/// anything else (e.g. ENOMEM) is worth retrying on a later setup.
+pub fn ring_unavailable(e: &io::Error) -> bool {
+    const EPERM: i32 = 1;
+    const EACCES: i32 = 13;
+    const ENOSYS: i32 = 38;
+    matches!(e.raw_os_error(), Some(EPERM | EACCES | ENOSYS))
+        || e.kind() == io::ErrorKind::Unsupported
+}
+
 /// Cumulative submit/reap batching counters of a [`Ring`], for wall-clock
 /// telemetry. The interesting ratios are SQEs per submit call (how well
 /// submissions batch) and CQEs per reap round (how bursty completions
@@ -366,8 +396,13 @@ mod linux {
                     return Ok(());
                 }
                 let err = io::Error::last_os_error();
-                if err.kind() != io::ErrorKind::Interrupted {
+                if !super::submit_errno_transient(&err) {
                     return Err(err);
+                }
+                // EAGAIN (unlike EINTR) means the kernel is briefly out of
+                // resources — yield instead of spinning hot on the retry.
+                if err.kind() == io::ErrorKind::WouldBlock {
+                    std::thread::yield_now();
                 }
             }
         }
@@ -685,6 +720,37 @@ mod tests {
         assert!(res[1].is_err(), "bad-fd read unexpectedly succeeded");
         drop(f);
         std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn submission_errnos_classify_transient_vs_unavailable() {
+        // EINTR and EAGAIN: retry the enter with the same arguments.
+        for errno in [1i32, 13, 38] {
+            let e = io::Error::from_raw_os_error(errno);
+            assert!(ring_unavailable(&e), "errno {errno} is permanent");
+            assert!(
+                !submit_errno_transient(&e),
+                "errno {errno} must not be retried"
+            );
+        }
+        for errno in [4i32, 11] {
+            let e = io::Error::from_raw_os_error(errno);
+            assert!(submit_errno_transient(&e), "errno {errno} is transient");
+            assert!(
+                !ring_unavailable(&e),
+                "errno {errno} must not disable io_uring"
+            );
+        }
+        // The non-Linux stub's setup error counts as unavailable too.
+        let stub = io::Error::new(io::ErrorKind::Unsupported, "no io_uring");
+        assert!(ring_unavailable(&stub));
+        // EIO: neither — a real, permanent, per-op failure.
+        let eio = io::Error::from_raw_os_error(5);
+        assert!(!submit_errno_transient(&eio));
+        assert!(!ring_unavailable(&eio));
+        // Kind-based classification survives rewrapping.
+        let rewrapped = io::Error::new(io::ErrorKind::Interrupted, "wrapped EINTR");
+        assert!(submit_errno_transient(&rewrapped));
     }
 
     #[test]

@@ -38,6 +38,13 @@ every sorter row must stay within the paper's constant pass budget (the
 baseline's own pass count grows with n, so at smoke sizes it is not a
 useful yardstick).
 
+Fault artifact (--fault BENCH_fault.json): validates the fault-tolerance
+overhead artifact and gates the "free when nothing fails" claim — arming
+the full stack (file fault shim at a zero rate, completion-time retry,
+checksums when compiled in) may cost at most 5% wall-clock over the
+plain async-file stack, and the injected leg must show the machinery
+actually healing retries.
+
 Regression check (only for rows whose identity — name plus n/k/backend —
 appears in both files): ns_per_key / loser_ns_per_key / wall_ms may not
 exceed baseline by more than --tolerance (default 25%). Quick-mode runs
@@ -291,6 +298,72 @@ def check_realdisk_invariants(doc, path):
                   f"the {REALDISK_PASS_BUDGET}-pass budget")
 
 
+# Fault tolerance must be (nearly) free when nothing goes wrong: arming
+# the full stack — file fault shim at a zero rate, completion-time retry,
+# checksum verification when compiled in — may cost at most this fraction
+# of the plain stack's wall clock.
+FAULT_MAX_OVERHEAD = 0.05
+# Page-cache-speed smoke runs finish in single-digit milliseconds, where
+# scheduler jitter alone exceeds 5%; a run within this absolute slack of
+# the plain leg passes regardless of the ratio. Full-size runs are long
+# enough that the relative ceiling is the binding constraint.
+FAULT_ABS_SLACK_MS = 1.0
+
+
+def check_fault_schema(doc, path):
+    require(doc, "schema_version", int, path)
+    require(doc, "quick", bool, path)
+    backend = require(doc, "backend", str, path)
+    if backend is not None and backend != "async-file":
+        fail(f"{path}: fault artifact backend is '{backend}', "
+             f"expected 'async-file'")
+    require(doc, "checksums", bool, path)
+    for row in require(doc, "fault", list, path) or []:
+        ctx = f"{path}:fault[{row.get('name', '?')}]"
+        require(row, "name", str, ctx)
+        require(row, "n", int, ctx)
+        require(row, "wall_ms_plain", float, ctx)
+        require(row, "wall_ms_armed", float, ctx)
+        require(row, "overhead", float, ctx)
+        require(row, "wall_ms_injected", float, ctx)
+        require(row, "retries_healed", int, ctx)
+        require(row, "read_passes", float, ctx)
+        require(row, "write_passes", float, ctx)
+
+
+def check_fault_invariants(doc, path):
+    rows = doc.get("fault", [])
+    if not rows:
+        fail(f"{path}: fault artifact has no rows")
+    for row in rows:
+        name, n = row.get("name", "?"), row.get("n", 0)
+        ident = f"{name} n={n}"
+        if row.get("read_passes", 0) <= 0 or row.get("write_passes", 0) <= 0:
+            fail(f"{path}: {ident}: pass counters are empty — the legs "
+                 f"did no I/O")
+        overhead = row.get("overhead", float("inf"))
+        delta_ms = row.get("wall_ms_armed", float("inf")) - row.get(
+            "wall_ms_plain", 0.0)
+        if overhead > FAULT_MAX_OVERHEAD and delta_ms > FAULT_ABS_SLACK_MS:
+            fail(f"{path}: {ident}: zero-fault overhead {overhead:.1%} "
+                 f"(+{delta_ms:.2f} ms) > {FAULT_MAX_OVERHEAD:.0%} and "
+                 f"beyond the {FAULT_ABS_SLACK_MS:.1f} ms jitter slack — "
+                 f"the armed stack is not free when nothing fails")
+        else:
+            print(f"  ok: {ident}: zero-fault overhead {overhead:.1%} "
+                  f"(+{delta_ms:.2f} ms; ceiling {FAULT_MAX_OVERHEAD:.0%} "
+                  f"or {FAULT_ABS_SLACK_MS:.1f} ms slack)")
+        # The injected leg proves the machinery actually fires: a 1%
+        # transient rate over thousands of block ops cannot heal nothing.
+        if row.get("retries_healed", 0) <= 0:
+            fail(f"{path}: {ident}: the injected leg healed zero retries — "
+                 f"fault injection never reached the async workers")
+        else:
+            print(f"  ok: {ident}: injected leg healed "
+                  f"{row['retries_healed']} retries "
+                  f"({row.get('wall_ms_injected', 0):.2f} ms)")
+
+
 def rows_by_identity(doc):
     out = {}
     for row in doc.get("kernels", []):
@@ -341,7 +414,22 @@ def main():
                     help="real-disk A/B artifact (BENCH_realdisk.json) to "
                          "validate and gate; exclusive mode, mirrors "
                          "`pdm-bench --real-disk`")
+    ap.add_argument("--fault", default=None,
+                    help="fault-tolerance overhead artifact "
+                         "(BENCH_fault.json) to validate and gate; exclusive "
+                         "mode, mirrors `pdm-bench --fault-out`")
     args = ap.parse_args()
+
+    if args.fault:
+        with open(args.fault) as f:
+            fault = json.load(f)
+        check_fault_schema(fault, args.fault)
+        check_fault_invariants(fault, args.fault)
+        if FAILURES:
+            print(f"\n{len(FAILURES)} check(s) failed")
+            return 1
+        print("\nall fault-tolerance checks passed")
+        return 0
 
     if args.real_disk:
         with open(args.real_disk) as f:

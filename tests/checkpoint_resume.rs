@@ -220,6 +220,89 @@ fn resume_refuses_a_mismatched_manifest() {
     std::fs::remove_dir_all(&ckdir).ok();
 }
 
+/// Torn-write sweep on the async real-disk backend: a torn write
+/// persists half a block but reports success, so only the checksum
+/// sidecar can catch it — and only at the next read of that block.
+/// Every outcome, in the interrupted run and after resume, must be
+/// either byte-correct output or a clean `Corrupt` error naming the
+/// block. Silently wrong bytes fail the sweep.
+#[cfg(feature = "block-checksums")]
+#[test]
+fn torn_writes_on_the_async_backend_surface_as_corrupt_never_wrong_bytes() {
+    use std::sync::Arc;
+    let data = workload();
+    let digest = digest_of(&data);
+    let (want, _) = reference_run(&data, true);
+    let cfg = PdmConfig::square(D, B);
+    let mut corrupt_seen = 0usize;
+    for torn_after in [0u64, 50, 130, 210, 300, 100_000] {
+        let scratch = unique_dir("torn-scratch");
+        let ckdir = unique_dir("torn-ck");
+        let outcome = {
+            let mut storage = AsyncFileStorage::<u64>::create(&scratch, D, B).unwrap();
+            storage.set_file_faults(Arc::new(FileFaults::new(FileFaultMode::TornWrite(torn_after))));
+            let mut pdm = Pdm::with_storage(cfg, storage).unwrap();
+            pdm.set_overlap(true);
+            let input = pdm.alloc_region_for_keys(N).unwrap();
+            let store = CheckpointStore::create(&ckdir).unwrap();
+            pdm.attach_checkpoint(store, fresh_manifest(&cfg, digest));
+            (|| {
+                pdm.ingest(&input, &data)?;
+                let rep = pdm_sort::three_pass1(&mut pdm, &input, N)?;
+                pdm.inspect_prefix(&rep.output, N)
+            })()
+        };
+        match outcome {
+            // The torn block was overwritten before any read saw it (a
+            // rewrite re-records the checksum over what was persisted),
+            // or the nth op landed past the run: output must be right.
+            Ok(got) => assert_eq!(got, want, "torn@{torn_after}: silently wrong bytes"),
+            Err(e) => {
+                assert!(
+                    matches!(e, PdmError::Corrupt { .. }),
+                    "torn@{torn_after}: expected Corrupt, got: {e}"
+                );
+                corrupt_seen += 1;
+                // Resume over the surviving files + sidecars. The torn
+                // block either gets rewritten by the re-executed pass
+                // (healed — output must be byte-correct) or is read
+                // again (the sidecar must re-detect the corruption).
+                let store = CheckpointStore::create(&ckdir).unwrap();
+                if let Some(manifest) = store.load_latest().unwrap() {
+                    if manifest.completed > 0 {
+                        manifest.check_compatible("three-pass1", &cfg, N, digest).unwrap();
+                        let storage = AsyncFileStorage::<u64>::create_readback(&scratch, D, B).unwrap();
+                        let mut pdm = Pdm::with_storage(cfg, storage).unwrap();
+                        pdm.set_overlap(true);
+                        let input = pdm.alloc_region_for_keys(N).unwrap();
+                        pdm.attach_checkpoint(store, manifest);
+                        let resumed = (|| {
+                            let rep = pdm_sort::three_pass1(&mut pdm, &input, N)?;
+                            pdm.inspect_prefix(&rep.output, N)
+                        })();
+                        match resumed {
+                            Ok(got) => assert_eq!(
+                                got, want,
+                                "torn@{torn_after}: resume produced wrong bytes"
+                            ),
+                            Err(e) => assert!(
+                                matches!(e, PdmError::Corrupt { .. }),
+                                "torn@{torn_after}: resume must re-detect corruption, got: {e}"
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+        std::fs::remove_dir_all(&scratch).ok();
+        std::fs::remove_dir_all(&ckdir).ok();
+    }
+    assert!(
+        corrupt_seen >= 1,
+        "sweep never tripped a checksum — torn-write points need retuning"
+    );
+}
+
 #[test]
 fn full_stack_transient_faults_retry_and_checkpoints_compose() {
     // The production CLI stack: FileStorage → FlakyStorage(transient) →

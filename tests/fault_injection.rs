@@ -212,6 +212,41 @@ fn retried_batches_charge_the_originating_disk_in_probe_stream() {
 }
 
 #[test]
+fn grouped_completion_errors_drain_every_pooled_buffer() {
+    // A permanent EIO surfacing at completion time aborts a grouped read
+    // batch on the async backend (no retry layer armed). Every block
+    // buffer the workers checked out of the pool while serving the batch
+    // — decoded before the failure or staged after it — must flow back:
+    // an error return hands the caller nothing, so the pool must balance.
+    use std::sync::Arc;
+    let d = 2usize;
+    let b = 8usize;
+    let mut s = AsyncFileStorage::<u64>::create_temp(d, b).unwrap();
+    for disk in 0..d {
+        s.ensure_capacity(disk, 4).unwrap();
+    }
+    let reqs: Vec<(usize, usize)> = (0..8).map(|i| (i % d, i / d)).collect();
+    let data: Vec<u64> = (0..(reqs.len() * b) as u64).collect();
+    s.write_batch(&reqs, &data).unwrap();
+    // Arm the fault after the writes: op indices restart at zero, so the
+    // EIO lands on the 4th block op of the read batch below.
+    s.set_file_faults(Arc::new(FileFaults::new(FileFaultMode::Eio(3))));
+    let mut out = vec![0u64; data.len()];
+    let err = s.read_batch(&reqs, &mut out).unwrap_err();
+    assert!(
+        !err.is_transient(),
+        "an injected EIO must classify as permanent, got: {err}"
+    );
+    let st = s.pool_stats().expect("async backend reports pool stats");
+    assert!(st.hits + st.misses > 0, "the batch never touched the pool");
+    assert_eq!(
+        st.returns,
+        st.hits + st.misses,
+        "grouped-completion error path leaked pooled buffers: {st:?}"
+    );
+}
+
+#[test]
 fn baseline_mergesort_fails_cleanly() {
     for k in [0u64, 64, 128] {
         check_fault_at(k, |pdm, r, n| {

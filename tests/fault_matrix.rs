@@ -256,6 +256,101 @@ fn disk_death_mid_run_resolves_cleanly_across_the_matrix() {
     }
 }
 
+/// Drive `three_pass2` with overlap enabled over a prebuilt storage
+/// stack; returns the sorted output and the final counters.
+fn overlap_run(storage: Box<dyn Storage<u64>>, data: &[u64], d: usize, b: usize) -> (Vec<u64>, IoStats) {
+    let n = data.len();
+    let mut pdm: DynPdm = Pdm::with_storage(PdmConfig::square(d, b), storage).unwrap();
+    pdm.set_overlap(true);
+    let input = pdm.alloc_region_for_keys(n).unwrap();
+    pdm.ingest(&input, data).unwrap();
+    pdm.reset_stats();
+    let rep = pdm_sort::three_pass2(&mut pdm, &input, n).unwrap();
+    let out = pdm.inspect_prefix(&rep.output, n).unwrap();
+    let (_, stats) = pdm.into_parts();
+    (out, stats)
+}
+
+#[test]
+fn overlap_stays_on_through_the_retry_stack_and_heals_faults() {
+    // The point of completion-time retry: `--overlap on --retry N` must
+    // keep genuinely overlapped batches AND heal transient faults, with
+    // output and pass counters identical to a clean in-memory run.
+    let d = 4usize;
+    let b = 16usize;
+    let n = b * b * b;
+    let mut rng = StdRng::seed_from_u64(0x0E11A);
+    let mut data: Vec<u64> = (0..n as u64).collect();
+    data.shuffle(&mut rng);
+    let policy = RetryPolicy { max_attempts: 8, backoff_steps: 1 };
+
+    let clean = StorageBuilder::new(BackendKind::Mem, d, b)
+        .build::<u64>()
+        .unwrap();
+    let (want, ref_stats) = overlap_run(clean.storage, &data, d, b);
+    assert!(
+        ref_stats.overlap.prefetch_batches + ref_stats.overlap.flush_batches > 0,
+        "reference leg never issued an overlapped batch"
+    );
+
+    // Leg 1: threaded backend, logical transient faults healed at issue
+    // time by the forwarding retry wrapper.
+    let built = StorageBuilder::new(BackendKind::Threaded, d, b)
+        .inject(FailMode::TransientRate { seed: 0xBEEF, rate_ppm: 20_000 })
+        .retry(policy)
+        .build::<u64>()
+        .unwrap();
+    assert!(
+        built.caps.overlap,
+        "flaky+retry wrappers must pass the threaded backend's overlap capability through"
+    );
+    let counters = built.retry_counters.clone().unwrap();
+    let (out, stats) = overlap_run(built.storage, &data, d, b);
+    let snap = counters.snapshot();
+    assert_eq!(out, want, "threaded overlap+retry leg corrupted output");
+    assert_eq!(stats.read_steps, ref_stats.read_steps, "threaded leg pass count drifted");
+    assert_eq!(stats.write_steps, ref_stats.write_steps, "threaded leg pass count drifted");
+    assert_eq!(stats.blocks_read, ref_stats.blocks_read);
+    assert_eq!(stats.blocks_written, ref_stats.blocks_written);
+    assert_eq!(stats.per_disk_reads, ref_stats.per_disk_reads);
+    assert_eq!(stats.per_disk_writes, ref_stats.per_disk_writes);
+    assert_eq!(snap.exhausted, 0, "threaded leg exhausted a retry budget");
+    assert!(snap.total_retries() > 0, "2% transient rate never fired on the threaded leg");
+
+    // Leg 2: async real-disk backend, real file-level faults (short
+    // transfers) healed at *completion time* inside the disk workers.
+    let built = StorageBuilder::new(BackendKind::AsyncFile, d, b)
+        .inject_file(FileFaultMode::ShortRate { seed: 0xF00D, rate_ppm: 20_000 })
+        .retry(policy)
+        .build::<u64>()
+        .unwrap();
+    assert!(
+        built.caps.overlap,
+        "completion-time retry must keep the async backend's overlap capability on"
+    );
+    let counters = built.retry_counters.clone().unwrap();
+    let (out, stats) = overlap_run(built.storage, &data, d, b);
+    let snap = counters.snapshot();
+    assert_eq!(out, want, "async-file overlap+retry leg corrupted output");
+    assert_eq!(stats.read_steps, ref_stats.read_steps, "async-file leg pass count drifted");
+    assert_eq!(stats.write_steps, ref_stats.write_steps, "async-file leg pass count drifted");
+    assert_eq!(stats.blocks_read, ref_stats.blocks_read);
+    assert_eq!(stats.blocks_written, ref_stats.blocks_written);
+    assert_eq!(stats.per_disk_reads, ref_stats.per_disk_reads);
+    assert_eq!(stats.per_disk_writes, ref_stats.per_disk_writes);
+    assert_eq!(snap.exhausted, 0, "async-file leg exhausted a retry budget");
+    assert!(
+        snap.completion_retries() > 0,
+        "2% file fault rate never triggered a completion-time retry"
+    );
+    #[cfg(feature = "block-checksums")]
+    {
+        assert!(built.caps.checksums, "async backend must checksum under the feature");
+        let verified: u64 = stats.wall.disks.iter().map(|dw| dw.checksums_verified).sum();
+        assert!(verified > 0, "checksummed reads were never verified on completion");
+    }
+}
+
 #[test]
 fn transient_faults_heal_under_retry_for_every_algorithm() {
     // 2 % per-op transient rate; 6 attempts give odds of full-run survival
