@@ -442,8 +442,10 @@ fn bench_overlap(name: &'static str, b: usize, n: usize, latency_us: u64, rows: 
         pdm.reset_stats();
         let t0 = Instant::now();
         let rep = match name {
+            "three_pass1" => pdm_sort::three_pass1(&mut pdm, &region, n).unwrap(),
             "three_pass2" => pdm_sort::three_pass2(&mut pdm, &region, n).unwrap(),
             "seven_pass" => pdm_sort::seven_pass(&mut pdm, &region, n).unwrap(),
+            "expected_two_pass" => pdm_sort::expected_two_pass(&mut pdm, &region, n).unwrap(),
             other => panic!("unknown algorithm {other}"),
         };
         let el = t0.elapsed();
@@ -929,6 +931,10 @@ fn main() {
         let ob = 64;
         bench_overlap("seven_pass", ob, ob * ob * ob, 100, &mut overlap_rows);
         bench_overlap("three_pass2", ob, ob * ob * ob, 100, &mut overlap_rows);
+        bench_overlap("three_pass1", ob, ob * ob * ob, 100, &mut overlap_rows);
+        // expected_two_pass caps out near M^1.5/√((α+2)lnM+2) ≈ 44k keys
+        // at M = 4096, so its row runs below the three-pass rows' N.
+        bench_overlap("expected_two_pass", ob, 1 << 15, 100, &mut overlap_rows);
         std::fs::write(path, render_overlap_json(quick, &overlap_rows)).expect("write artifact");
         eprintln!("wrote {path}");
     }

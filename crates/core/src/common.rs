@@ -420,7 +420,7 @@ impl RegionEmitter {
     pub fn emit_behind<K: PdmKey, S: Storage<K>>(
         &mut self,
         pdm: &mut Pdm<K, S>,
-        wb: &mut WriteBehind,
+        wb: &mut WriteBehind<K>,
         keys: &[K],
     ) -> Result<()> {
         let b = self.region.block_size();

@@ -132,14 +132,27 @@ pub(crate) fn pass2_stream<K: PdmKey, S: Storage<K>>(
 ) -> Result<(usize, bool)> {
     let RunsPlan { b, m, .. } = *p;
     let mut cleaner = Cleaner::new(pdm, m)?;
-    // a window holds n1 chunks of chunk_blocks blocks = b blocks = M keys
-    let all_blocks: Vec<usize> = (0..b).collect();
-    for w in windows {
-        cleaner.feed_blocks(pdm, w, &all_blocks)?;
+    // Speculative bucket prefetch: every window's location is known the
+    // moment pass 1 settles, so the reads are issued ahead of consumption
+    // — but *charged* only at consumption, because the cleanliness check
+    // below may abort mid-schedule and the blocking path never reads (or
+    // charges) past the aborting window. Dropping the read-ahead on abort
+    // abandons the unconsumed in-flight batches with zero accounting
+    // trace, so output, pass counts, and probe streams stay byte-identical
+    // to the blocking path. A window holds n1 chunks of chunk_blocks
+    // blocks = b blocks = M keys.
+    let steps: Vec<Vec<(Region, usize)>> = windows
+        .iter()
+        .map(|w| (0..b).map(|i| (*w, i)).collect())
+        .collect();
+    let mut ra = ReadAhead::new_speculative(pdm, steps)?;
+    for _ in windows {
+        cleaner.feed_from(pdm, &mut ra)?;
         cleaner.process(pdm, emit)?;
         if !cleaner.clean() {
             // Abort early, as the paper prescribes — the fallback re-sorts
-            // from the original input, so the partial output is discarded.
+            // from the original input, so the partial output is discarded
+            // (and `ra` drops its speculative in-flight batches uncharged).
             return Ok((cleaner.emitted(), false));
         }
     }
@@ -174,10 +187,12 @@ pub fn expected_two_pass<K: PdmKey, S: Storage<K>>(
 
     pdm.begin_phase("E2P: runs+shuffle");
     pass1_runs_shuffled(pdm, input, n, &p, &windows)?;
-    // Pass 2's reads stay blocking: its data-dependent early abort would
-    // make read-ahead issue batches the blocking path never charges. The
-    // emission, however, is issued at the same points either way, so it
-    // rides a write-behind safely — even on an aborted run.
+    // Pass 2's reads are issued speculatively inside `pass2_stream` (see
+    // there): its data-dependent early abort means an eagerly-*charged*
+    // read-ahead would count batches the blocking path never charges, so
+    // the charges ride with consumption instead. The emission is issued
+    // at the same points either way, so it rides a write-behind safely —
+    // even on an aborted run.
     pdm.begin_phase("E2P: stream+verify");
     let mut emitter = RegionEmitter::new(out);
     let mut wb = WriteBehind::new(pdm);

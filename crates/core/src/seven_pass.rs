@@ -58,7 +58,7 @@ struct UnshuffleEmitter<'a, K: PdmKey> {
     parts: &'a [Region],
     next_idx: usize,
     scratch: TrackedBuf<K>,
-    wb: WriteBehind,
+    wb: WriteBehind<K>,
     b: usize,
     d: usize,
 }

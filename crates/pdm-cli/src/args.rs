@@ -138,6 +138,46 @@ impl fmt::Display for Overlap {
     }
 }
 
+/// `--overlap-window` argument: how deep the overlap pipelines may run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverlapWindow {
+    /// Default window: `D × queue-depth` blocks (see
+    /// `pdm_model::DEFAULT_QUEUE_DEPTH`).
+    #[default]
+    Default,
+    /// Fixed budget of this many in-flight blocks per pipeline.
+    Blocks(usize),
+    /// Feedback-tuned: start at the default and widen/narrow from the
+    /// machine's live overlap stall telemetry.
+    Adaptive,
+}
+
+impl std::str::FromStr for OverlapWindow {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "default" => Ok(OverlapWindow::Default),
+            "adaptive" => Ok(OverlapWindow::Adaptive),
+            n => n
+                .parse::<usize>()
+                .map(|v| OverlapWindow::Blocks(v.max(1)))
+                .map_err(|_| {
+                    format!("unknown overlap window '{n}' (BLOCKS | default | adaptive)")
+                }),
+        }
+    }
+}
+
+impl fmt::Display for OverlapWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OverlapWindow::Default => f.write_str("default"),
+            OverlapWindow::Blocks(n) => write!(f, "{n}"),
+            OverlapWindow::Adaptive => f.write_str("adaptive"),
+        }
+    }
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -192,6 +232,18 @@ pub enum Command {
         /// Overlapped I/O (read-ahead + write-behind). Never changes
         /// output or pass counts — only wall-clock.
         overlap: Overlap,
+        /// Overlap pipeline depth budget in blocks (or adaptive). Never
+        /// changes output or pass counts — only wall-clock.
+        overlap_window: OverlapWindow,
+        /// Per-disk submission queue depth for the async-file backend
+        /// (blocks per kernel round; io_uring ring size when built in).
+        queue_depth: Option<usize>,
+        /// Ask the async-file backend's rings for kernel-side submission
+        /// polling (SQPOLL); falls back silently where refused.
+        uring_sqpoll: bool,
+        /// Register the async-file workers' staging buffers with the
+        /// kernel (fixed-buffer ops); falls back silently where refused.
+        uring_register_buffers: bool,
         /// Storage backend for the simulated disks (default: `file`).
         storage: BackendKind,
     },
@@ -236,6 +288,8 @@ USAGE:
                [--stats FILE.json] [--events FILE.jsonl] [--trace-out FILE.json]
                [--checkpoint-dir DIR] [--resume] [--inject SPEC]
                [--retry N] [--backoff STEPS] [--threads N] [--overlap auto|on|off]
+               [--overlap-window BLOCKS|default|adaptive] [--queue-depth N]
+               [--uring-sqpoll] [--uring-registered-buffers]
   pdmsort report <stats.json>
   pdmsort compare <in.keys> [--disks D] [--b SQRT_M] [--threads N]
   pdmsort verify <file.keys>
@@ -274,6 +328,23 @@ Performance:
                          overlaps (threaded, async-file); `on` forces the
                          wiring on any backend (eager completion elsewhere).
                          Output and pass counts are identical in every mode.
+  --overlap-window W     overlap pipeline depth budget, in in-flight blocks:
+                         a number fixes it, `default` derives it from the
+                         geometry (D x queue-depth blocks), `adaptive` starts
+                         at the default and widens/narrows from the live
+                         stall telemetry. Wall-clock only: output, pass
+                         counts, and the probe event stream are identical
+                         for every window.
+  --queue-depth N        async-file only: blocks per kernel submission per
+                         disk worker (io_uring ring size when built in;
+                         default 32)
+  --uring-sqpoll         async-file + uring only: request kernel-side
+                         submission polling (SQPOLL); needs kernel >= 5.11,
+                         silently falls back to plain rings elsewhere
+  --uring-registered-buffers
+                         async-file + uring only: pin worker staging buffers
+                         (IORING_REGISTER_BUFFERS) so transfers skip the
+                         per-op page pin; silently degrades where refused
   --storage KIND         disk backend: file (default, synchronous one file
                          per disk), async-file (duplex worker threads per
                          disk, io_uring where built in), threaded (RAM with
@@ -344,6 +415,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut backoff = 1u64;
             let mut threads = 1usize;
             let mut overlap = Overlap::Auto;
+            let mut overlap_window = OverlapWindow::Default;
+            let mut queue_depth = None;
+            let mut uring_sqpoll = false;
+            let mut uring_register_buffers = false;
             let mut storage = BackendKind::File;
             let mut i = 1;
             while i < args.len() {
@@ -370,6 +445,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--backoff" => backoff = parse_flag(args, &mut i, "--backoff")?,
                     "--threads" => threads = parse_flag(args, &mut i, "--threads")?,
                     "--overlap" => overlap = parse_flag(args, &mut i, "--overlap")?,
+                    "--overlap-window" => {
+                        overlap_window = parse_flag(args, &mut i, "--overlap-window")?
+                    }
+                    "--queue-depth" => {
+                        queue_depth = Some(parse_flag::<usize>(args, &mut i, "--queue-depth")?)
+                    }
+                    "--uring-sqpoll" => uring_sqpoll = true,
+                    "--uring-registered-buffers" => uring_register_buffers = true,
                     other => pos.push(other.to_string()),
                 }
                 i += 1;
@@ -391,6 +474,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                      file-backed backend (file or async-file)"
                 ));
             }
+            if queue_depth == Some(0) {
+                return Err("--queue-depth must be at least 1".into());
+            }
             Ok(Command::Sort {
                 input: pos[0].clone(),
                 out: pos[1].clone(),
@@ -407,6 +493,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 backoff,
                 threads,
                 overlap,
+                overlap_window,
+                queue_depth,
+                uring_sqpoll,
+                uring_register_buffers,
                 storage,
             })
         }
@@ -568,6 +658,68 @@ mod tests {
         for s in ["auto", "on", "off"] {
             let o: Overlap = s.parse().unwrap();
             assert_eq!(o.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parses_overlap_window_and_uring_flags() {
+        let c = parse(&v(&["sort", "a", "b"])).unwrap();
+        match c {
+            Command::Sort {
+                overlap_window,
+                queue_depth,
+                uring_sqpoll,
+                uring_register_buffers,
+                ..
+            } => {
+                assert_eq!(overlap_window, OverlapWindow::Default);
+                assert!(queue_depth.is_none());
+                assert!(!uring_sqpoll);
+                assert!(!uring_register_buffers);
+            }
+            _ => panic!(),
+        }
+        let c = parse(&v(&["sort", "a", "b", "--overlap-window", "96"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Sort { overlap_window: OverlapWindow::Blocks(96), .. }
+        ));
+        let c = parse(&v(&["sort", "a", "b", "--overlap-window", "adaptive"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Sort { overlap_window: OverlapWindow::Adaptive, .. }
+        ));
+        // 0 blocks clamps to the 1-block minimum instead of erroring.
+        let c = parse(&v(&["sort", "a", "b", "--overlap-window", "0"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Sort { overlap_window: OverlapWindow::Blocks(1), .. }
+        ));
+        assert!(parse(&v(&["sort", "a", "b", "--overlap-window", "wide"])).is_err());
+        assert!(parse(&v(&["sort", "a", "b", "--overlap-window"])).is_err());
+        let c = parse(&v(&[
+            "sort", "a", "b", "--storage", "async-file", "--queue-depth", "64",
+            "--uring-sqpoll", "--uring-registered-buffers",
+        ]))
+        .unwrap();
+        match c {
+            Command::Sort {
+                queue_depth,
+                uring_sqpoll,
+                uring_register_buffers,
+                ..
+            } => {
+                assert_eq!(queue_depth, Some(64));
+                assert!(uring_sqpoll);
+                assert!(uring_register_buffers);
+            }
+            _ => panic!(),
+        }
+        assert!(parse(&v(&["sort", "a", "b", "--queue-depth", "0"])).is_err());
+        assert!(parse(&v(&["sort", "a", "b", "--queue-depth"])).is_err());
+        for s in ["default", "adaptive", "17"] {
+            let w: OverlapWindow = s.parse().unwrap();
+            assert_eq!(w.to_string(), s);
         }
     }
 

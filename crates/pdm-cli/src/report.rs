@@ -278,6 +278,15 @@ pub fn render_report(art: &StatsArtifact, out: &mut dyn Write) -> std::io::Resul
                 u.reap_rounds,
                 u.reaped_cqes as f64 / u.reap_rounds.max(1) as f64
             )?;
+            if u.fixed_sqes > 0 {
+                writeln!(
+                    out,
+                    "    registered buffers: {} of {} SQEs used fixed opcodes ({:.1}%)",
+                    u.fixed_sqes,
+                    u.submitted_sqes,
+                    u.fixed_sqes as f64 / u.submitted_sqes as f64 * 100.0
+                )?;
+            }
         }
         let stalls = wall.total_stall_nanos();
         if stalls > 0 {
@@ -586,6 +595,7 @@ mod tests {
             submitted_sqes: 64,
             reap_rounds: 8,
             reaped_cqes: 64,
+            fixed_sqes: 48,
         };
         let mut buf = Vec::new();
         render_report(&art, &mut buf).unwrap();
@@ -594,6 +604,7 @@ mod tests {
         assert!(txt.contains("p50"), "{txt}");
         assert!(txt.contains("read"), "{txt}");
         assert!(txt.contains("64 SQEs over 4 submits (16.0/call)"), "{txt}");
+        assert!(txt.contains("48 of 64 SQEs used fixed opcodes (75.0%)"), "{txt}");
         assert!(txt.contains("2.0% of the 100.0ms run"), "{txt}");
         assert!(txt.contains("3P2: merge"), "{txt}");
         assert!(!txt.contains("NaN") && !txt.contains("inf"), "{txt}");

@@ -1,6 +1,6 @@
 //! Orchestration: wire key files through the file-backed PDM machine.
 
-use crate::args::{Algo, BackendKind, Command, Dist, Geometry, Overlap};
+use crate::args::{Algo, BackendKind, Command, Dist, Geometry, Overlap, OverlapWindow};
 use crate::keyfile;
 use pdm_model::prelude::*;
 use rand::rngs::StdRng;
@@ -69,6 +69,10 @@ fn dispatch(cmd: Command, out: &mut dyn Write) -> std::result::Result<i32, Box<d
             backoff,
             threads,
             overlap,
+            overlap_window,
+            queue_depth,
+            uring_sqpoll,
+            uring_register_buffers,
             storage,
         } => {
             pdm_sort::kernels::configure_threads(threads)?;
@@ -87,6 +91,10 @@ fn dispatch(cmd: Command, out: &mut dyn Write) -> std::result::Result<i32, Box<d
                 retry,
                 backoff,
                 overlap,
+                overlap_window,
+                queue_depth,
+                uring_sqpoll,
+                uring_register_buffers,
                 storage,
             };
             sort(job, out)?;
@@ -225,6 +233,10 @@ struct SortJob<'a> {
     retry: Option<u32>,
     backoff: u64,
     overlap: Overlap,
+    overlap_window: OverlapWindow,
+    queue_depth: Option<usize>,
+    uring_sqpoll: bool,
+    uring_register_buffers: bool,
     storage: BackendKind,
 }
 
@@ -361,6 +373,15 @@ fn sort(
     if let Some(dir) = job.scratch {
         builder = builder.dir(dir);
     }
+    if let Some(depth) = job.queue_depth {
+        builder = builder.queue_depth(depth);
+    }
+    if job.uring_sqpoll {
+        builder = builder.uring_sqpoll();
+    }
+    if job.uring_register_buffers {
+        builder = builder.uring_register_buffers();
+    }
     if let Some(spec) = job.inject {
         match parse_inject(spec)? {
             InjectSpec::Logical(mode) => builder = builder.inject(mode),
@@ -390,6 +411,13 @@ fn sort(
         Overlap::On => true,
         Overlap::Off => false,
     });
+    // The window shapes *when* blocks move, never *which* blocks move: pass
+    // counts, probe streams, and output bytes are identical for any budget.
+    match job.overlap_window {
+        OverlapWindow::Default => {}
+        OverlapWindow::Blocks(n) => pdm.set_overlap_window(Some(n)),
+        OverlapWindow::Adaptive => pdm.set_overlap_autotune(true),
+    }
     if let Some(c) = &retry_counters {
         pdm.attach_retry_counters(c.clone());
     }
@@ -1142,6 +1170,46 @@ mod tests {
             assert_eq!(legs[0], legs[2], "{algo}: --overlap auto changed output or passes");
         }
         std::fs::remove_file(&inp).ok();
+    }
+
+    #[test]
+    fn overlap_window_and_uring_flags_are_invisible_to_output() {
+        let inp = tmp("ow-in.keys");
+        run_args(&["gen", "4096", &inp, "--dist", "random", "--seed", "31"]);
+        let base = tmp("ow-base.keys");
+        let (c, log) = run_args(&[
+            "sort", &inp, &base, "--disks", "2", "--b", "16", "--algo", "seven-pass",
+            "--storage", "async-file", "--overlap", "on",
+        ]);
+        assert_eq!(c, 0, "{log}");
+        let baseline = std::fs::read(&base).unwrap();
+        // Every window shape — tiny, explicit, adaptive — and every uring
+        // tuning knob produces byte-identical output.
+        let legs: Vec<Vec<&str>> = vec![
+            vec!["--overlap-window", "1"],
+            vec!["--overlap-window", "96"],
+            vec!["--overlap-window", "adaptive"],
+            vec!["--queue-depth", "4", "--uring-registered-buffers"],
+            vec!["--queue-depth", "2", "--overlap-window", "adaptive", "--uring-sqpoll"],
+        ];
+        for extra in legs {
+            let outp = tmp("ow-leg.keys");
+            let mut args = vec![
+                "sort", &inp, &outp, "--disks", "2", "--b", "16", "--algo", "seven-pass",
+                "--storage", "async-file", "--overlap", "on",
+            ];
+            args.extend_from_slice(&extra);
+            let (c, log) = run_args(&args);
+            assert_eq!(c, 0, "{extra:?}: {log}");
+            assert_eq!(
+                std::fs::read(&outp).unwrap(),
+                baseline,
+                "{extra:?} changed the sorted output"
+            );
+            std::fs::remove_file(&outp).ok();
+        }
+        std::fs::remove_file(&inp).ok();
+        std::fs::remove_file(&base).ok();
     }
 
     #[test]

@@ -90,7 +90,7 @@ pub mod prelude {
         UringWall, WallStats,
     };
     pub use crate::storage::{MemStorage, Storage, StorageCaps};
-    pub use crate::storage_async_file::AsyncFileStorage;
+    pub use crate::storage_async_file::{AsyncFileOptions, AsyncFileStorage};
     pub use crate::storage_builder::{BackendKind, StorageBuilder};
     pub use crate::storage_file::FileStorage;
     pub use crate::storage_flaky::{FailMode, FlakyStorage};
@@ -98,7 +98,7 @@ pub mod prelude {
     pub use crate::storage_threaded::ThreadedStorage;
     pub use crate::overlap::{
         FlushBehindWriter, PendingRead, PendingWrite, PrefetchReader, ReadAhead, TrackedRead,
-        TrackedWrite, WriteBehind,
+        TrackedWrite, WriteBehind, DEFAULT_QUEUE_DEPTH,
     };
     pub use crate::stream::{kway_merge, RunReader, RunWriter};
 }

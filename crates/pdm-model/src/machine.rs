@@ -17,7 +17,9 @@ use crate::error::{PdmError, Result};
 use crate::key::PdmKey;
 use crate::layout::Region;
 use crate::mem::{MemTracker, TrackedBuf};
-use crate::overlap::{PendingGuard, TrackedRead, TrackedWrite};
+use crate::overlap::{
+    DeferredReadCharge, PendingGuard, TrackedRead, TrackedWrite, DEFAULT_QUEUE_DEPTH,
+};
 use crate::stats::{IoStats, SpanSink};
 use crate::storage::{MemStorage, Storage};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -43,6 +45,16 @@ struct CheckpointState {
     /// failure or frontier drift). Surfaced via
     /// [`Checkpoint::take_checkpoint_error`].
     deferred: Option<PdmError>,
+}
+
+/// Feedback state for the adaptive overlap window (see
+/// [`Pdm::set_overlap_autotune`]): the current budget plus the overlap
+/// completion counters as of the last phase boundary, so each boundary
+/// can steer on that phase's stall rate alone.
+struct OverlapTuner {
+    window_blocks: usize,
+    last_completions: u64,
+    last_stalls: u64,
 }
 
 /// A simulated parallel-disk machine over storage backend `S`.
@@ -73,6 +85,13 @@ pub struct Pdm<K: PdmKey, S: Storage<K> = MemStorage<K>> {
     /// (see [`Pdm::set_overlap`]). Off by default: overlap changes
     /// wall-clock only, never the accounted pass counts.
     overlap: bool,
+    /// Explicit overlap window budget in blocks, when configured (see
+    /// [`Pdm::set_overlap_window`]); `None` derives the default from the
+    /// disk count and [`DEFAULT_QUEUE_DEPTH`].
+    overlap_window: Option<usize>,
+    /// Stall-feedback controller for the window budget, when enabled
+    /// (see [`Pdm::set_overlap_autotune`]).
+    overlap_tuner: Option<OverlapTuner>,
     /// Overlap tokens issued but not yet retired. Checkpoint boundaries
     /// refuse to persist a manifest while this is non-zero — a pending
     /// write means the disks are not settled.
@@ -118,6 +137,8 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
             last_pool: crate::pool::PoolStats::default(),
             ckpt: None,
             overlap: false,
+            overlap_window: None,
+            overlap_tuner: None,
             pending_io: Arc::new(AtomicUsize::new(0)),
             span_sink: None,
             open_phase_wall: None,
@@ -298,6 +319,7 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
         self.refresh_retry_stats();
         self.refresh_pool_stats();
         self.refresh_wall_stats();
+        self.retune_overlap_window();
         self.roll_phase_span(Some(name.clone()));
         let (cur, peak) = (self.mem.current(), self.mem.peak());
         self.stats.begin_phase_gauged(name, cur, peak);
@@ -319,6 +341,7 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
         self.refresh_retry_stats();
         self.refresh_pool_stats();
         self.refresh_wall_stats();
+        self.retune_overlap_window();
         self.roll_phase_span(None);
         let (cur, peak) = (self.mem.current(), self.mem.peak());
         self.stats.end_phase_gauged(cur, peak);
@@ -655,6 +678,95 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
         self.overlap
     }
 
+    /// Override the overlap window budget, in **blocks** (`None` restores
+    /// the derived default, `D × DEFAULT_QUEUE_DEPTH`). The budget bounds
+    /// how much data [`crate::overlap::ReadAhead`] /
+    /// [`crate::overlap::WriteBehind`] keep in flight; like
+    /// [`Pdm::set_overlap`] it is purely a wall-clock lever — batches are
+    /// charged at issue with the blocking rules at every budget, so the
+    /// accounted pass and step counts never move. Values are clamped to at
+    /// least one block; a budget smaller than one batch still admits one
+    /// batch at a time (progress guarantee in the helpers).
+    pub fn set_overlap_window(&mut self, blocks: Option<usize>) {
+        self.overlap_window = blocks.map(|b| b.max(1));
+        if let Some(t) = self.overlap_tuner.as_mut() {
+            t.window_blocks = self
+                .overlap_window
+                .unwrap_or(self.cfg.num_disks * DEFAULT_QUEUE_DEPTH)
+                .max(1);
+        }
+    }
+
+    /// Enable (or disable) the stall-feedback controller: at every phase
+    /// boundary the machine inspects the just-finished phase's overlap
+    /// hit/stall counters and widens the window (×2, capped at 4× the
+    /// derived default) when most retirements stalled, or narrows it (÷2,
+    /// floored at one stripe) when stalls were rare — so a workload whose
+    /// batch grain the static default mispredicts converges on its own
+    /// budget. Wall-clock only: the tuner reads counters that overlap
+    /// accounting already maintains and steers future issue depth, never
+    /// the charging rules.
+    pub fn set_overlap_autotune(&mut self, on: bool) {
+        if !on {
+            self.overlap_tuner = None;
+            return;
+        }
+        let ov = &self.stats.overlap;
+        self.overlap_tuner = Some(OverlapTuner {
+            window_blocks: self.overlap_window_blocks(),
+            last_completions: ov.prefetch_hits
+                + ov.prefetch_stalls
+                + ov.flush_hits
+                + ov.flush_stalls,
+            last_stalls: ov.prefetch_stalls + ov.flush_stalls,
+        });
+    }
+
+    /// The current overlap window budget in blocks: the autotuned value
+    /// when the feedback controller is on, else the configured override,
+    /// else `D × DEFAULT_QUEUE_DEPTH` — deep enough that `D`-block
+    /// sub-batches pipeline `DEFAULT_QUEUE_DEPTH` deep per disk, while a
+    /// full-stripe pipeline at the same budget keeps the classic handful
+    /// of batches in flight.
+    pub fn overlap_window_blocks(&self) -> usize {
+        if let Some(t) = &self.overlap_tuner {
+            return t.window_blocks;
+        }
+        self.overlap_window
+            .unwrap_or(self.cfg.num_disks * DEFAULT_QUEUE_DEPTH)
+            .max(1)
+    }
+
+    /// Steer the adaptive window from the last phase's stall rate (see
+    /// [`Pdm::set_overlap_autotune`]). Called at phase boundaries, where
+    /// the pipelines' helpers have drained — the next phase's helpers
+    /// snapshot the adjusted budget at construction.
+    fn retune_overlap_window(&mut self) {
+        let default_window = (self.cfg.num_disks * DEFAULT_QUEUE_DEPTH).max(1);
+        let floor = self.cfg.num_disks.max(1);
+        let Some(t) = self.overlap_tuner.as_mut() else {
+            return;
+        };
+        let ov = &self.stats.overlap;
+        let completions =
+            ov.prefetch_hits + ov.prefetch_stalls + ov.flush_hits + ov.flush_stalls;
+        let stalls = ov.prefetch_stalls + ov.flush_stalls;
+        // saturating: reset_stats may have rewound the counters mid-run
+        let dc = completions.saturating_sub(t.last_completions);
+        let ds = stalls.saturating_sub(t.last_stalls);
+        t.last_completions = completions;
+        t.last_stalls = stalls;
+        if dc < 8 {
+            return; // too few retirements to steer on
+        }
+        let stall_rate = ds as f64 / dc as f64;
+        if stall_rate > 0.5 {
+            t.window_blocks = t.window_blocks.saturating_mul(2).min(4 * default_window);
+        } else if stall_rate < 0.05 {
+            t.window_blocks = (t.window_blocks / 2).max(floor);
+        }
+    }
+
     /// Overlap operations issued but not yet retired (reads and writes).
     pub fn pending_io(&self) -> usize {
         self.pending_io.load(Ordering::Relaxed)
@@ -706,14 +818,95 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
         ))
     }
 
+    /// Issue several schedule steps as **one** storage submission while
+    /// charging each step with the blocking batch rule, exactly as `k`
+    /// separate [`Pdm::start_read_blocks_multi`] calls would: `k` `Io`
+    /// probe events, `read_steps += Σ max(per-disk blocks)` over the
+    /// steps, per-disk totals summed per block. Only the *storage* layer
+    /// sees a single batch — emulated backends pay their per-batch seek
+    /// latency once for the whole group, and the real-disk backend gets
+    /// one deep submission instead of `k` shallow ones. The retired data
+    /// comes back concatenated in step order.
+    ///
+    /// This is the coalescing primitive behind [`crate::overlap::ReadAhead`];
+    /// speculative schedules must not use it (a data-dependent abort in
+    /// the middle of a group would have charged steps the blocking path
+    /// never reaches).
+    pub fn start_read_blocks_group(
+        &mut self,
+        steps: &[Vec<(Region, usize)>],
+    ) -> Result<TrackedRead<K>> {
+        debug_assert!(!steps.is_empty(), "empty read group");
+        let total_blocks: usize = steps.iter().map(|s| s.len()).sum();
+        let expected = total_blocks * self.cfg.block_size;
+        if self.replaying() {
+            return Ok(TrackedRead::replay(expected, PendingGuard::new(&self.pending_io)));
+        }
+        let mut addrs = Vec::with_capacity(total_blocks);
+        for step in steps {
+            self.gather_addrs_multi(step)?;
+            self.stats.record_read_batch(&self.disk_counts);
+            addrs.extend_from_slice(&self.addr_buf);
+        }
+        let pending = self.storage.start_read_batch(&addrs)?;
+        let id = self.stats.overlap_issue(false, total_blocks as u64);
+        Ok(TrackedRead::live(
+            pending,
+            expected,
+            id,
+            PendingGuard::new(&self.pending_io),
+        ))
+    }
+
+    /// Issue a batch of block reads *speculatively*: the physical reads
+    /// dispatch now, but **nothing is charged** — no step cost, no probe
+    /// event, no overlap counter — until the token is retired through
+    /// [`Pdm::finish_read_blocks`], which then charges the batch exactly
+    /// as a blocking read at the consumption point would have, followed by
+    /// the usual overlap issue/complete pair. Dropping an unconsumed token
+    /// abandons the read with zero accounting trace, which is what makes
+    /// this safe for schedules a data-dependent abort may cut short
+    /// (`expected_two_pass`'s pass 2): the blocking path never charges
+    /// batches past the abort, and neither does the speculative one.
+    pub fn start_read_blocks_multi_speculative(
+        &mut self,
+        sources: &[(Region, usize)],
+    ) -> Result<TrackedRead<K>> {
+        let expected = sources.len() * self.cfg.block_size;
+        if self.replaying() {
+            return Ok(TrackedRead::replay(expected, PendingGuard::new(&self.pending_io)));
+        }
+        self.gather_addrs_multi(sources)?;
+        let pending = self.storage.start_read_batch(&self.addr_buf)?;
+        let charge = DeferredReadCharge {
+            counts: self.disk_counts.clone(),
+            blocks: self.addr_buf.len() as u64,
+        };
+        Ok(TrackedRead::live_deferred(
+            pending,
+            expected,
+            charge,
+            PendingGuard::new(&self.pending_io),
+        ))
+    }
+
     /// Retire an overlapped read, writing its blocks (request order) into
     /// `out`, which must hold exactly the issued `blocks × B` keys.
     /// Records the hit/stall split in [`crate::stats::OverlapCounters`]
-    /// and emits the paired `OverlapComplete` probe event.
-    pub fn finish_read_blocks(&mut self, pending: TrackedRead<K>, out: &mut [K]) -> Result<()> {
+    /// and emits the paired `OverlapComplete` probe event. A speculative
+    /// token first charges its deferred batch cost here, so the step
+    /// counters and probe stream are position-identical to the blocking
+    /// path that would have read the batch at this point.
+    pub fn finish_read_blocks(&mut self, mut pending: TrackedRead<K>, out: &mut [K]) -> Result<()> {
         let live = !pending.is_replay();
+        let id = match pending.take_deferred() {
+            Some(charge) if live => {
+                self.stats.record_read_batch(&charge.counts);
+                self.stats.overlap_issue(false, charge.blocks)
+            }
+            _ => pending.id(),
+        };
         let stalled = !pending.is_ready();
-        let id = pending.id();
         let t0 = (live && stalled).then(Instant::now);
         pending.wait(out)?;
         if live {
@@ -774,6 +967,40 @@ impl<K: PdmKey, S: Storage<K>> Pdm<K, S> {
         let pending = self.storage.start_write_batch(&self.addr_buf, data)?;
         self.stats.record_write_batch(&self.disk_counts);
         let id = self.stats.overlap_issue(true, self.addr_buf.len() as u64);
+        Ok(TrackedWrite::live(pending, id, PendingGuard::new(&self.pending_io)))
+    }
+
+    /// Write-side twin of [`Pdm::start_read_blocks_group`]: `data` is the
+    /// concatenation of the steps' payloads in step order, each step is
+    /// charged exactly as its own [`Pdm::start_write_blocks_multi`] call,
+    /// and the storage layer sees one batch. The payload is copied (or
+    /// written) before this returns, so the caller's buffer is immediately
+    /// reusable; per-disk issue order follows step order, keeping same-slot
+    /// writes as ordered as they were unbatched.
+    pub fn start_write_blocks_group(
+        &mut self,
+        steps: &[Vec<(Region, usize)>],
+        data: &[K],
+    ) -> Result<TrackedWrite> {
+        debug_assert!(!steps.is_empty(), "empty write group");
+        let total_blocks: usize = steps.iter().map(|s| s.len()).sum();
+        if data.len() != total_blocks * self.cfg.block_size {
+            return Err(PdmError::BadBlockLen {
+                got: data.len(),
+                expected: total_blocks * self.cfg.block_size,
+            });
+        }
+        if self.replaying() {
+            return Ok(TrackedWrite::replay(PendingGuard::new(&self.pending_io)));
+        }
+        let mut addrs = Vec::with_capacity(total_blocks);
+        for step in steps {
+            self.gather_addrs_multi(step)?;
+            self.stats.record_write_batch(&self.disk_counts);
+            addrs.extend_from_slice(&self.addr_buf);
+        }
+        let pending = self.storage.start_write_batch(&addrs, data)?;
+        let id = self.stats.overlap_issue(true, total_blocks as u64);
         Ok(TrackedWrite::live(pending, id, PendingGuard::new(&self.pending_io)))
     }
 

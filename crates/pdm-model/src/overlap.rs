@@ -215,7 +215,23 @@ pub struct TrackedRead<K> {
     inner: Option<Box<dyn PendingRead<K> + Send>>,
     expected: usize,
     id: u64,
+    deferred: Option<Box<DeferredReadCharge>>,
     _guard: PendingGuard,
+}
+
+/// Accounting a *speculative* read postponed from issue to consumption
+/// (see [`Pdm::start_read_blocks_multi_speculative`]). The blocking path
+/// only ever charges batches it actually consumes — a data-dependent
+/// early abort (e.g. `expected_two_pass`'s pass-2 cleanliness check)
+/// never reads past the aborting window — so a speculative issue must
+/// not charge anything until the consumer commits to the batch. Dropping
+/// an unconsumed token abandons the physical read without touching any
+/// counter or probe stream.
+pub(crate) struct DeferredReadCharge {
+    /// Per-disk block multiplicities of the batch, captured at issue.
+    pub(crate) counts: Vec<u64>,
+    /// Total blocks in the batch.
+    pub(crate) blocks: u64,
 }
 
 impl<K: PdmKey> TrackedRead<K> {
@@ -229,6 +245,22 @@ impl<K: PdmKey> TrackedRead<K> {
             inner: Some(inner),
             expected,
             id,
+            deferred: None,
+            _guard: guard,
+        }
+    }
+
+    pub(crate) fn live_deferred(
+        inner: Box<dyn PendingRead<K> + Send>,
+        expected: usize,
+        charge: DeferredReadCharge,
+        guard: PendingGuard,
+    ) -> Self {
+        Self {
+            inner: Some(inner),
+            expected,
+            id: 0,
+            deferred: Some(Box::new(charge)),
             _guard: guard,
         }
     }
@@ -238,8 +270,13 @@ impl<K: PdmKey> TrackedRead<K> {
             inner: None,
             expected,
             id: 0,
+            deferred: None,
             _guard: guard,
         }
+    }
+
+    pub(crate) fn take_deferred(&mut self) -> Option<Box<DeferredReadCharge>> {
+        self.deferred.take()
     }
 
     pub(crate) fn is_replay(&self) -> bool {
@@ -327,37 +364,73 @@ impl TrackedWrite {
     }
 }
 
-/// How many batches the pipeline helpers keep in flight. Depth 1 (classic
-/// double buffering) only overlaps a batch with the compute *beside* it;
-/// a deeper window also lets batches that touch disjoint disk subsets
-/// service concurrently — crucial for the fine-grained sub-batch writes in
-/// `seven_pass`, where consecutive batches rarely stripe the full array —
-/// and keeps both directions of a duplex disk busy at once. Completion is
-/// still awaited in FIFO issue order, and writes to the same slot stay
-/// ordered (each disk's write stream is one FIFO queue), so deepening
-/// changes wall-clock only.
-pub(crate) const OVERLAP_DEPTH: usize = 4;
+/// Default per-disk submit-queue depth: the number of blocks one disk
+/// comfortably keeps in flight. It doubles as the default io_uring ring
+/// size on the real-disk backend and as the per-disk factor of the
+/// default overlap window budget (`D × DEFAULT_QUEUE_DEPTH` blocks).
+pub const DEFAULT_QUEUE_DEPTH: usize = 32;
 
+/// The pipeline helpers bound their in-flight window in **blocks**, not
+/// batches (see [`Pdm::overlap_window_blocks`]). A fixed batch count is
+/// the wrong unit: a coarse three-pass load issues full-stripe batches
+/// (where a couple of batches are already classic double buffering),
+/// while `seven_pass`'s fine-grained sub-batch emission issues `D`-block
+/// slivers — at the same batch depth it keeps an order of magnitude less
+/// data in flight and stalls on most retirements. A block budget gives
+/// both the same bytes-in-flight, so the fine-grained pipelines go deep
+/// enough to hide ~100µs device latency. One batch is always admitted
+/// even when it alone exceeds the budget (progress guarantee).
+///
+/// Deepening the window changes wall-clock only: step costs are charged
+/// at issue with the blocking batch rule, and writes to the same slot
+/// stay ordered (each disk's write stream is one FIFO queue).
+///
 /// Batch-schedule read-ahead: runs a precomputed list of read batches a
-/// small window ahead of the consumer. Each schedule entry is issued as
-/// exactly one machine batch (same shape a blocking pipeline would use),
-/// so pass and step accounting are byte-identical with overlap on or off —
-/// the only difference is *when* the data movement happens relative to
+/// bounded window ahead of the consumer. Every schedule entry keeps its
+/// own step charge (the blocking batch rule, applied per entry), so pass
+/// and step accounting are byte-identical with overlap on or off — the
+/// only difference is *when* the data movement happens relative to
 /// compute.
+///
+/// Consecutive entries are *coalesced* into one storage submission up to
+/// half the window budget ([`Pdm::start_read_blocks_group`]): emulated
+/// backends then pay their per-batch seek latency once per group instead
+/// of once per sliver, and the real-disk backend gets deep submissions.
+/// Half the budget keeps two groups alive — one being consumed while the
+/// next is in flight — which is the classic double buffer at group
+/// granularity. Speculative schedules never coalesce: a data-dependent
+/// abort mid-group would have charged steps the blocking path never
+/// reaches.
+///
+/// Completion stays FIFO here deliberately: the consumer needs batches in
+/// schedule order, so out-of-order retirement could only reorder waits,
+/// not deliveries, and would buy nothing.
 ///
 /// With overlap disabled ([`Pdm::overlap`](crate::machine::Pdm::overlap)
 /// is false) every `next_into` degenerates to a blocking
 /// `read_blocks_multi`, so pipelines wire this in unconditionally.
 ///
-/// Memory note: `next_into` resizes the *caller's* buffer and waits the
-/// pending read directly into its tail — the helper itself stages
-/// nothing, so a pipeline's tracked peak is unchanged by enabling
-/// overlap. In-flight data lives in backend-owned (untracked) buffers.
+/// Memory note: single-step groups wait the pending read directly into
+/// the *caller's* buffer; multi-step groups land in an untracked staging
+/// vector — the same accounting bucket as the backend-owned in-flight
+/// copies — so a pipeline's tracked peak is unchanged by enabling
+/// overlap.
 pub struct ReadAhead<K: PdmKey> {
     steps: Vec<Vec<(Region, usize)>>,
     next: usize,
-    inflight: std::collections::VecDeque<(TrackedRead<K>, usize)>,
-    depth: usize,
+    /// In-flight groups: the pending read, per-step key counts, and the
+    /// group's total block count.
+    inflight: std::collections::VecDeque<(TrackedRead<K>, Vec<usize>, usize)>,
+    inflight_blocks: usize,
+    budget_blocks: usize,
+    /// Retired multi-step group data not yet handed to the consumer
+    /// (untracked; served front to back).
+    staged: Vec<K>,
+    staged_pos: usize,
+    staged_steps: std::collections::VecDeque<usize>,
+    /// Defer batch accounting to consumption time (see
+    /// [`ReadAhead::new_speculative`]).
+    speculative: bool,
     enabled: bool,
 }
 
@@ -370,12 +443,39 @@ impl<K: PdmKey> ReadAhead<K> {
         pdm: &mut Pdm<K, S>,
         steps: Vec<Vec<(Region, usize)>>,
     ) -> Result<Self> {
+        Self::with_mode(pdm, steps, false)
+    }
+
+    /// Like [`ReadAhead::new`], but every batch is issued *speculatively*:
+    /// nothing is charged to the step counters or probe stream until the
+    /// consumer actually retires the batch, and dropping the helper
+    /// abandons unconsumed batches without a trace. This is the only safe
+    /// shape for schedules a data-dependent abort may cut short — the
+    /// blocking path never charges batches past the abort point, and
+    /// neither does this one.
+    pub fn new_speculative<S: Storage<K>>(
+        pdm: &mut Pdm<K, S>,
+        steps: Vec<Vec<(Region, usize)>>,
+    ) -> Result<Self> {
+        Self::with_mode(pdm, steps, true)
+    }
+
+    fn with_mode<S: Storage<K>>(
+        pdm: &mut Pdm<K, S>,
+        steps: Vec<Vec<(Region, usize)>>,
+        speculative: bool,
+    ) -> Result<Self> {
         debug_assert!(steps.iter().all(|s| !s.is_empty()), "empty read-ahead step");
         let mut ra = Self {
             steps,
             next: 0,
             inflight: std::collections::VecDeque::new(),
-            depth: OVERLAP_DEPTH,
+            inflight_blocks: 0,
+            budget_blocks: pdm.overlap_window_blocks(),
+            staged: Vec::new(),
+            staged_pos: 0,
+            staged_steps: std::collections::VecDeque::new(),
+            speculative,
             enabled: pdm.overlap(),
         };
         if ra.enabled {
@@ -385,11 +485,42 @@ impl<K: PdmKey> ReadAhead<K> {
     }
 
     fn top_up<S: Storage<K>>(&mut self, pdm: &mut Pdm<K, S>) -> Result<()> {
-        while self.inflight.len() < self.depth && self.next < self.steps.len() {
-            let keys = self.steps[self.next].len() * pdm.cfg().block_size;
-            let pending = pdm.start_read_blocks_multi(&self.steps[self.next])?;
-            self.inflight.push_back((pending, keys));
+        // Coalescing grain: half the window, so at least two groups stay
+        // alive. Speculative schedules submit step by step (see above).
+        let group_cap = if self.speculative { 0 } else { self.budget_blocks / 2 };
+        while self.next < self.steps.len() {
+            let blocks = self.steps[self.next].len();
+            if !self.inflight.is_empty() && self.inflight_blocks + blocks > self.budget_blocks {
+                break;
+            }
+            let start = self.next;
+            let mut group_blocks = blocks;
             self.next += 1;
+            while self.next < self.steps.len() {
+                let b = self.steps[self.next].len();
+                if group_blocks + b > group_cap
+                    || self.inflight_blocks + group_blocks + b > self.budget_blocks
+                {
+                    break;
+                }
+                group_blocks += b;
+                self.next += 1;
+            }
+            let (pending, step_keys) = {
+                let group = &self.steps[start..self.next];
+                let step_keys: Vec<usize> =
+                    group.iter().map(|s| s.len() * pdm.cfg().block_size).collect();
+                let pending = if self.speculative {
+                    pdm.start_read_blocks_multi_speculative(&group[0])?
+                } else if group.len() == 1 {
+                    pdm.start_read_blocks_multi(&group[0])?
+                } else {
+                    pdm.start_read_blocks_group(group)?
+                };
+                (pending, step_keys)
+            };
+            self.inflight.push_back((pending, step_keys, group_blocks));
+            self.inflight_blocks += group_blocks;
         }
         Ok(())
     }
@@ -420,61 +551,180 @@ impl<K: PdmKey> ReadAhead<K> {
             self.next += 1;
             return Ok(true);
         }
-        let Some((pending, keys)) = self.inflight.pop_front() else {
+        // Serve steps still staged from the last retired group first.
+        if let Some(keys) = self.staged_steps.pop_front() {
+            out.extend_from_slice(&self.staged[self.staged_pos..self.staged_pos + keys]);
+            self.staged_pos += keys;
+            if self.staged_steps.is_empty() {
+                self.staged.clear();
+                self.staged_pos = 0;
+            }
+            return Ok(true);
+        }
+        let Some((pending, step_keys, blocks)) = self.inflight.pop_front() else {
             return Ok(false);
         };
-        let base = out.len();
-        out.resize(base + keys, K::MAX);
-        pdm.finish_read_blocks(pending, &mut out[base..])?;
+        self.inflight_blocks -= blocks;
+        let keys: usize = step_keys.iter().sum();
+        if step_keys.len() == 1 {
+            let base = out.len();
+            out.resize(base + keys, K::MAX);
+            pdm.finish_read_blocks(pending, &mut out[base..])?;
+        } else {
+            self.staged.resize(keys, K::MAX);
+            pdm.finish_read_blocks(pending, &mut self.staged)?;
+            out.extend_from_slice(&self.staged[..step_keys[0]]);
+            self.staged_pos = step_keys[0];
+            self.staged_steps = step_keys[1..].iter().copied().collect();
+        }
         self.top_up(pdm)?;
         Ok(true)
     }
 }
 
-/// Write-behind for batch-shaped writers: each `write` issues
-/// asynchronously, retiring the oldest in-flight batch only once the
-/// window ([`OVERLAP_DEPTH`]) is full; `finish` drains the rest. The
-/// payload is copied at issue ([`Storage::start_write_batch`]'s contract),
-/// so the caller's buffer is immediately reusable and the helper holds no
-/// data. Batches retire in FIFO issue order, and each disk worker services
-/// its queue in order, so two windowed writes to the same block still land
-/// in program order.
+/// Write-behind for batch-shaped writers: each `write` is staged (the
+/// payload is copied immediately, so the caller's buffer is reusable the
+/// moment the call returns) and consecutive batches are *coalesced* into
+/// one storage submission up to half the window budget
+/// ([`Pdm::start_write_blocks_group`]) — every staged batch keeps its own
+/// step charge, but emulated backends pay per-batch seek latency once per
+/// group and the real-disk backend gets deep submissions. Once the
+/// in-flight window exceeds the machine's block budget
+/// ([`Pdm::overlap_window_blocks`]) the helper retires submissions to
+/// make room, and `finish` drains the rest.
+///
+/// Room is made in two sweeps. First, every in-flight submission whose
+/// backend reports it already completed ([`TrackedWrite::is_ready`]) is
+/// retired — in any queue position, since retiring a token only harvests
+/// its completion; the *disk* ordering of two writes to the same slot is
+/// fixed by the per-disk worker FIFO at issue time, not by retirement
+/// order (and within a coalesced group, by step order). Only if the
+/// window is still over budget does the helper block on the oldest
+/// submission (FIFO), so one slow disk no longer holds the whole window
+/// hostage behind a head-of-line wait while younger batches sit
+/// completed behind it.
+///
+/// The staging buffers are untracked, like the backend-owned in-flight
+/// copies the unstaged path already makes: a pipeline's tracked peak is
+/// unchanged by enabling overlap.
 ///
 /// With overlap disabled every call degenerates to the blocking
 /// `write_blocks` / `write_blocks_multi`.
-pub struct WriteBehind {
-    inflight: std::collections::VecDeque<TrackedWrite>,
-    depth: usize,
+pub struct WriteBehind<K: PdmKey> {
+    /// In-flight submissions with their block counts.
+    inflight: std::collections::VecDeque<(TrackedWrite, usize)>,
+    inflight_blocks: usize,
+    budget_blocks: usize,
+    /// Staged batches awaiting coalesced submission (untracked).
+    staged_steps: Vec<Vec<(Region, usize)>>,
+    staged_data: Vec<K>,
+    staged_blocks: usize,
+    /// Coalescing grain in blocks (half the window); 0 submits every
+    /// batch as soon as it is staged.
+    group_cap: usize,
     enabled: bool,
 }
 
-impl WriteBehind {
+impl<K: PdmKey> WriteBehind<K> {
     /// A writer gated on the machine's overlap switch.
-    pub fn new<K: PdmKey, S: Storage<K>>(pdm: &Pdm<K, S>) -> Self {
+    pub fn new<S: Storage<K>>(pdm: &Pdm<K, S>) -> Self {
+        let budget_blocks = pdm.overlap_window_blocks();
         Self {
             inflight: std::collections::VecDeque::new(),
-            depth: OVERLAP_DEPTH,
+            inflight_blocks: 0,
+            budget_blocks,
+            staged_steps: Vec::new(),
+            staged_data: Vec::new(),
+            staged_blocks: 0,
+            group_cap: budget_blocks / 2,
             enabled: pdm.overlap(),
         }
     }
 
-    fn retire_oldest<K: PdmKey, S: Storage<K>>(&mut self, pdm: &mut Pdm<K, S>) -> Result<()> {
-        if let Some(p) = self.inflight.pop_front() {
+    fn retire_oldest<S: Storage<K>>(&mut self, pdm: &mut Pdm<K, S>) -> Result<()> {
+        if let Some((p, blocks)) = self.inflight.pop_front() {
+            self.inflight_blocks -= blocks;
             pdm.finish_write_blocks(p)?;
         }
         Ok(())
     }
 
-    fn make_room<K: PdmKey, S: Storage<K>>(&mut self, pdm: &mut Pdm<K, S>) -> Result<()> {
-        while self.inflight.len() >= self.depth {
+    /// Retire every submission the backend has already completed,
+    /// regardless of queue position. Free on eager backends (everything
+    /// is always ready, so this is plain FIFO drainage) and pure win on
+    /// async ones.
+    fn retire_ready<S: Storage<K>>(&mut self, pdm: &mut Pdm<K, S>) -> Result<()> {
+        let mut i = 0;
+        while i < self.inflight.len() {
+            if self.inflight[i].0.is_ready() {
+                let (p, blocks) = self.inflight.remove(i).expect("index checked");
+                self.inflight_blocks -= blocks;
+                pdm.finish_write_blocks(p)?;
+            } else {
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Make room for an `incoming`-block submission: opportunistic sweep
+    /// first, then FIFO blocking. One submission is always admitted even
+    /// when it alone exceeds the budget (progress guarantee).
+    fn make_room<S: Storage<K>>(&mut self, pdm: &mut Pdm<K, S>, incoming: usize) -> Result<()> {
+        if self.inflight.is_empty() || self.inflight_blocks + incoming <= self.budget_blocks {
+            return Ok(());
+        }
+        self.retire_ready(pdm)?;
+        while !self.inflight.is_empty() && self.inflight_blocks + incoming > self.budget_blocks {
             self.retire_oldest(pdm)?;
+        }
+        Ok(())
+    }
+
+    /// Submit the staged group as one storage batch (each staged step
+    /// keeps its own charge).
+    fn flush_staged<S: Storage<K>>(&mut self, pdm: &mut Pdm<K, S>) -> Result<()> {
+        if self.staged_steps.is_empty() {
+            return Ok(());
+        }
+        self.make_room(pdm, self.staged_blocks)?;
+        let pending = if self.staged_steps.len() == 1 {
+            pdm.start_write_blocks_multi(&self.staged_steps[0], &self.staged_data)?
+        } else {
+            pdm.start_write_blocks_group(&self.staged_steps, &self.staged_data)?
+        };
+        self.inflight.push_back((pending, self.staged_blocks));
+        self.inflight_blocks += self.staged_blocks;
+        self.staged_steps.clear();
+        self.staged_data.clear();
+        self.staged_blocks = 0;
+        Ok(())
+    }
+
+    /// Stage one batch, submitting the accumulated group when it reaches
+    /// the coalescing grain.
+    fn push_step<S: Storage<K>>(
+        &mut self,
+        pdm: &mut Pdm<K, S>,
+        step: Vec<(Region, usize)>,
+        data: &[K],
+    ) -> Result<()> {
+        let blocks = step.len();
+        if self.staged_blocks > 0 && self.staged_blocks + blocks > self.group_cap {
+            self.flush_staged(pdm)?;
+        }
+        self.staged_steps.push(step);
+        self.staged_data.extend_from_slice(data);
+        self.staged_blocks += blocks;
+        if self.staged_blocks >= self.group_cap {
+            self.flush_staged(pdm)?;
         }
         Ok(())
     }
 
     /// Write one batch into `region` (see
     /// [`Pdm::write_blocks`](crate::machine::Pdm::write_blocks)).
-    pub fn write<K: PdmKey, S: Storage<K>>(
+    pub fn write<S: Storage<K>>(
         &mut self,
         pdm: &mut Pdm<K, S>,
         region: &Region,
@@ -484,15 +734,13 @@ impl WriteBehind {
         if !self.enabled {
             return pdm.write_blocks(region, indices, data);
         }
-        self.make_room(pdm)?;
-        let pending = pdm.start_write_blocks(region, indices, data)?;
-        self.inflight.push_back(pending);
-        Ok(())
+        let step: Vec<(Region, usize)> = indices.iter().map(|&i| (*region, i)).collect();
+        self.push_step(pdm, step, data)
     }
 
     /// Write one batch across multiple regions (see
     /// [`Pdm::write_blocks_multi`](crate::machine::Pdm::write_blocks_multi)).
-    pub fn write_multi<K: PdmKey, S: Storage<K>>(
+    pub fn write_multi<S: Storage<K>>(
         &mut self,
         pdm: &mut Pdm<K, S>,
         targets: &[(Region, usize)],
@@ -501,26 +749,26 @@ impl WriteBehind {
         if !self.enabled {
             return pdm.write_blocks_multi(targets, data);
         }
-        self.make_room(pdm)?;
-        let pending = pdm.start_write_blocks_multi(targets, data)?;
-        self.inflight.push_back(pending);
-        Ok(())
+        self.push_step(pdm, targets.to_vec(), data)
     }
 
-    /// Retire every in-flight batch without consuming the writer — for
-    /// writers that live across a phase boundary and keep emitting after
-    /// it. Must be called before the phase ends so the checkpoint boundary
-    /// sees a settled disk image.
-    pub fn drain<K: PdmKey, S: Storage<K>>(&mut self, pdm: &mut Pdm<K, S>) -> Result<()> {
+    /// Submit any staged batches and retire every in-flight submission
+    /// without consuming the writer — for writers that live across a
+    /// phase boundary and keep emitting after it. Must be called before
+    /// the phase ends so the checkpoint boundary sees a settled disk
+    /// image.
+    pub fn drain<S: Storage<K>>(&mut self, pdm: &mut Pdm<K, S>) -> Result<()> {
+        self.flush_staged(pdm)?;
         while !self.inflight.is_empty() {
             self.retire_oldest(pdm)?;
         }
         Ok(())
     }
 
-    /// Retire every remaining in-flight batch. Must be called before the
-    /// phase ends so the checkpoint boundary sees a settled disk image.
-    pub fn finish<K: PdmKey, S: Storage<K>>(mut self, pdm: &mut Pdm<K, S>) -> Result<()> {
+    /// Submit any staged batches and retire every remaining in-flight
+    /// submission. Must be called before the phase ends so the checkpoint
+    /// boundary sees a settled disk image.
+    pub fn finish<S: Storage<K>>(mut self, pdm: &mut Pdm<K, S>) -> Result<()> {
         self.drain(pdm)
     }
 }
@@ -530,6 +778,11 @@ impl WriteBehind {
 /// so block serialization overlaps the producer's computation. One
 /// tracked buffer — the payload is copied at issue, so no second staging
 /// buffer is needed.
+///
+/// Retirement is FIFO by construction: at most one batch is ever in
+/// flight (the previous flush is awaited before the next is issued), so
+/// there is no younger completed batch an opportunistic sweep could
+/// harvest — [`WriteBehind`]'s readiness polling would be dead code here.
 pub struct FlushBehindWriter<K: PdmKey> {
     region: Region,
     next_block: usize,
@@ -607,7 +860,10 @@ impl<K: PdmKey> FlushBehindWriter<K> {
 }
 
 /// Double-buffered sequential reader: always keeps the next batch of
-/// blocks in flight while the current one is being consumed.
+/// blocks in flight while the current one is being consumed. Strictly
+/// FIFO — the consumer needs the stream in order and the reader owns
+/// exactly two buffers, so a deeper or reordered window has nothing to
+/// attach to; pipelines that want depth use [`ReadAhead`] instead.
 pub struct PrefetchReader<K: PdmKey> {
     region: Region,
     batch_blocks: usize,
@@ -980,10 +1236,12 @@ mod tests {
         // identical accounting with overlap on or off
         assert_eq!(pdm_on.stats().blocks_read, pdm_off.stats().blocks_read);
         assert_eq!(pdm_on.stats().read_steps, pdm_off.stats().read_steps);
-        // the overlap leg actually went through the async machinery
+        // the overlap leg actually went through the async machinery; the
+        // 16 four-block steps coalesce into one 64-block submission under
+        // the 128-block default window (group grain = budget / 2)
         let ov = pdm_on.stats().overlap;
-        assert_eq!(ov.prefetch_batches, 16);
-        assert_eq!(ov.prefetch_hits + ov.prefetch_stalls, 16);
+        assert_eq!(ov.prefetch_batches, 1);
+        assert_eq!(ov.prefetch_hits + ov.prefetch_stalls, 1);
         assert_eq!(pdm_off.stats().overlap.prefetch_batches, 0);
     }
 
@@ -1009,9 +1267,11 @@ mod tests {
         assert_eq!(on, off);
         assert_eq!(pdm_on.stats().blocks_written, pdm_off.stats().blocks_written);
         assert_eq!(pdm_on.stats().write_steps, pdm_off.stats().write_steps);
+        // the 8 four-block batches coalesce into one 32-block submission
+        // under the 128-block default window (group grain = budget / 2)
         let ov = pdm_on.stats().overlap;
-        assert_eq!(ov.flush_batches, 8);
-        assert_eq!(ov.flush_hits + ov.flush_stalls, 8);
+        assert_eq!(ov.flush_batches, 1);
+        assert_eq!(ov.flush_hits + ov.flush_stalls, 1);
         assert_eq!(pdm_off.stats().overlap.flush_batches, 0);
     }
 

@@ -188,6 +188,11 @@ pub struct UringWall {
     pub reap_rounds: u64,
     /// CQEs reaped in total.
     pub reaped_cqes: u64,
+    /// SQEs that rode `READ_FIXED`/`WRITE_FIXED` against a registered
+    /// staging buffer (zero unless registered buffers were requested and
+    /// the kernel accepted the registration).
+    #[serde(default)]
+    pub fixed_sqes: u64,
 }
 
 /// Overlap stall wall time attributed to one named phase.

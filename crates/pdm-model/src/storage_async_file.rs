@@ -70,9 +70,43 @@ const O_DIRECT_FLAG: i32 = if cfg!(target_arch = "aarch64") {
     0x4000
 };
 
-/// Max batch one worker submits in a single kernel round-trip. Also the
-/// ring size requested with the `uring` feature.
+/// Default max batch one worker submits in a single kernel round-trip;
+/// also the default ring size requested with the `uring` feature. The
+/// per-storage value is tunable via [`AsyncFileOptions::queue_depth`].
 const QUEUE_DEPTH: usize = 32;
+
+/// Per-disk submission tuning for [`AsyncFileStorage`]; the plain
+/// constructors use [`AsyncFileOptions::default`], the `*_with` variants
+/// take an explicit value (the `StorageBuilder` surfaces these as
+/// `queue_depth` / `uring_sqpoll` / `uring_register_buffers`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsyncFileOptions {
+    /// Max blocks per kernel submission per worker, and the io_uring ring
+    /// size requested with the `uring` feature — each worker sizes its
+    /// submit chunks to its ring's actual capacity, so a deeper queue
+    /// means fewer, larger kernel round-trips.
+    pub queue_depth: usize,
+    /// Ask each worker ring for `IORING_SETUP_SQPOLL` (kernel-side
+    /// submission polling). Falls back to a plain ring when the kernel
+    /// refuses (pre-5.11, missing privileges) — behavior is identical,
+    /// only the submission mechanism differs.
+    pub sqpoll: bool,
+    /// Register each worker's staging buffer with
+    /// `IORING_REGISTER_BUFFERS` so batch transfers ride the fixed-buffer
+    /// opcodes (no per-op page pinning). Registration failing (memlock
+    /// rlimit, old kernel) silently degrades to unregistered ops.
+    pub register_buffers: bool,
+}
+
+impl Default for AsyncFileOptions {
+    fn default() -> Self {
+        Self {
+            queue_depth: QUEUE_DEPTH,
+            sqpoll: false,
+            register_buffers: false,
+        }
+    }
+}
 
 /// One request carries a whole per-disk share of a caller batch (not a
 /// single block): one channel allocation, one send, and one worker
@@ -146,6 +180,7 @@ struct UringShared {
     submitted_sqes: AtomicU64,
     reap_rounds: AtomicU64,
     reaped_cqes: AtomicU64,
+    fixed_sqes: AtomicU64,
 }
 
 impl UringShared {
@@ -155,6 +190,7 @@ impl UringShared {
             submitted_sqes: self.submitted_sqes.load(Ordering::Relaxed),
             reap_rounds: self.reap_rounds.load(Ordering::Relaxed),
             reaped_cqes: self.reaped_cqes.load(Ordering::Relaxed),
+            fixed_sqes: self.fixed_sqes.load(Ordering::Relaxed),
         }
     }
 }
@@ -162,6 +198,9 @@ impl UringShared {
 struct DiskWorker<K: PdmKey> {
     file: File,
     block_size: usize,
+    /// Max blocks per kernel submission — the ring's actual capacity when
+    /// a ring was set up, the configured queue depth otherwise.
+    depth: usize,
     rx: Receiver<Request<K>>,
     /// Shared with the owning storage: read replies are drawn from here,
     /// retired write payloads go back here.
@@ -284,6 +323,9 @@ impl<K: PdmKey> DiskWorker<K> {
                 self.uring
                     .reaped_cqes
                     .fetch_add(delta(after.reaped_cqes, before.reaped_cqes), Ordering::Relaxed);
+                self.uring
+                    .fixed_sqes
+                    .fetch_add(delta(after.fixed_sqes, before.fixed_sqes), Ordering::Relaxed);
                 // Scatter ring completions back over the slots that were
                 // actually submitted; faulted slots get their injected
                 // error in place.
@@ -417,16 +459,17 @@ impl<K: PdmKey> DiskWorker<K> {
         }
     }
 
-    /// Serve one read request's slots, at most `QUEUE_DEPTH` per kernel
-    /// submission; one decoded pooled buffer (or error) per slot, in
-    /// request order. Transient per-block failures are reissued here
+    /// Serve one read request's slots, at most `self.depth` (the ring's
+    /// actual capacity) per kernel submission; one decoded pooled buffer
+    /// (or error) per slot, in request order. Transient per-block
+    /// failures are reissued here
     /// (completion-time retry); with `block-checksums`, surviving reads
     /// are verified against this disk's checksum table before decode —
     /// off the caller's critical path — and mismatches surface as
     /// [`PdmError::Corrupt`].
     fn serve_reads(&mut self, slots: &[usize]) -> Vec<Result<Vec<K>>> {
         let mut out = Vec::with_capacity(slots.len());
-        for chunk in slots.chunks(QUEUE_DEPTH) {
+        for chunk in slots.chunks(self.depth) {
             self.staging.ensure(chunk.len());
             let results = self.timed_transfer(chunk, false);
             for (i, res) in results.into_iter().enumerate() {
@@ -487,17 +530,18 @@ impl<K: PdmKey> DiskWorker<K> {
         Ok(())
     }
 
-    /// Serve one write request's blocks in chunks of at most `QUEUE_DEPTH`.
-    /// Two writes to one slot must not share a kernel submission (the
-    /// kernel may reorder within a batch), so a chunk is also cut when the
-    /// next block would duplicate a slot already staged in it.
+    /// Serve one write request's blocks in chunks of at most `self.depth`
+    /// (the ring's actual capacity). Two writes to one slot must not share
+    /// a kernel submission (the kernel may reorder within a batch), so a
+    /// chunk is also cut when the next block would duplicate a slot
+    /// already staged in it.
     fn serve_writes(&mut self, batch: Vec<(usize, Vec<K>)>) -> Vec<Result<()>> {
         let mut out = Vec::with_capacity(batch.len());
         let mut iter = batch.into_iter().peekable();
-        let mut chunk: Vec<(usize, Vec<K>)> = Vec::with_capacity(QUEUE_DEPTH);
+        let mut chunk: Vec<(usize, Vec<K>)> = Vec::with_capacity(self.depth);
         while let Some(next) = iter.next() {
             chunk.push(next);
-            let cut = chunk.len() == QUEUE_DEPTH
+            let cut = chunk.len() == self.depth
                 || match iter.peek() {
                     Some((slot, _)) => chunk.iter().any(|(s, _)| s == slot),
                     None => true,
@@ -769,7 +813,17 @@ impl<K: PdmKey> AsyncFileStorage<K> {
     /// Create disk files `disk-0.pdm … disk-{D-1}.pdm` under `dir`
     /// (truncating existing ones) and spawn the worker threads.
     pub fn create(dir: impl AsRef<Path>, num_disks: usize, block_size: usize) -> Result<Self> {
-        Self::open_dir(dir.as_ref(), num_disks, block_size, true)
+        Self::create_with(dir, num_disks, block_size, AsyncFileOptions::default())
+    }
+
+    /// [`AsyncFileStorage::create`] with explicit submission tuning.
+    pub fn create_with(
+        dir: impl AsRef<Path>,
+        num_disks: usize,
+        block_size: usize,
+        opts: AsyncFileOptions,
+    ) -> Result<Self> {
+        Self::open_dir(dir.as_ref(), num_disks, block_size, true, opts)
     }
 
     /// Open existing disk files under `dir` without truncating. A
@@ -782,12 +836,32 @@ impl<K: PdmKey> AsyncFileStorage<K> {
         num_disks: usize,
         block_size: usize,
     ) -> Result<Self> {
-        Self::open_dir(dir.as_ref(), num_disks, block_size, false)
+        Self::create_readback_with(dir, num_disks, block_size, AsyncFileOptions::default())
+    }
+
+    /// [`AsyncFileStorage::create_readback`] with explicit submission
+    /// tuning.
+    pub fn create_readback_with(
+        dir: impl AsRef<Path>,
+        num_disks: usize,
+        block_size: usize,
+        opts: AsyncFileOptions,
+    ) -> Result<Self> {
+        Self::open_dir(dir.as_ref(), num_disks, block_size, false, opts)
     }
 
     /// Create under a fresh unique directory in the OS temp dir; the files
     /// are removed when the storage is dropped.
     pub fn create_temp(num_disks: usize, block_size: usize) -> Result<Self> {
+        Self::create_temp_with(num_disks, block_size, AsyncFileOptions::default())
+    }
+
+    /// [`AsyncFileStorage::create_temp`] with explicit submission tuning.
+    pub fn create_temp_with(
+        num_disks: usize,
+        block_size: usize,
+        opts: AsyncFileOptions,
+    ) -> Result<Self> {
         use std::sync::atomic::{AtomicU64, Ordering};
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let unique = format!(
@@ -796,12 +870,22 @@ impl<K: PdmKey> AsyncFileStorage<K> {
             COUNTER.fetch_add(1, Ordering::Relaxed)
         );
         let dir = std::env::temp_dir().join(unique);
-        let mut s = Self::create(dir, num_disks, block_size)?;
+        let mut s = Self::create_with(dir, num_disks, block_size, opts)?;
         s.remove_on_drop = true;
         Ok(s)
     }
 
-    fn open_dir(dir: &Path, num_disks: usize, block_size: usize, truncate: bool) -> Result<Self> {
+    fn open_dir(
+        dir: &Path,
+        num_disks: usize,
+        block_size: usize,
+        truncate: bool,
+        opts: AsyncFileOptions,
+    ) -> Result<Self> {
+        let opts = AsyncFileOptions {
+            queue_depth: opts.queue_depth.max(1),
+            ..opts
+        };
         let dir = dir.to_path_buf();
         std::fs::create_dir_all(&dir)?;
         let block_bytes = block_size * K::WIDTH;
@@ -865,6 +949,11 @@ impl<K: PdmKey> AsyncFileStorage<K> {
                 let (file, _) = open_disk(&path, false, direct)?;
                 let (tx, rx) = unbounded();
                 let align = if direct { DIRECT_ALIGN } else { 1 };
+                #[cfg_attr(
+                    not(all(feature = "uring", target_os = "linux")),
+                    allow(unused_mut)
+                )]
+                let mut staging = AlignedBuf::new(block_bytes, align);
                 #[cfg(all(feature = "uring", target_os = "linux"))]
                 let engine = {
                     use std::sync::atomic::AtomicBool;
@@ -875,8 +964,38 @@ impl<K: PdmKey> AsyncFileStorage<K> {
                     if URING_UNAVAILABLE.load(Ordering::Relaxed) {
                         Engine::Sync
                     } else {
-                        match pdm_uring::Ring::new(QUEUE_DEPTH as u32) {
-                            Ok(ring) => Engine::Uring(ring),
+                        // SQPOLL is best-effort: kernels/configurations
+                        // that refuse it usually still grant a plain ring.
+                        let setup = pdm_uring::Ring::with_config(pdm_uring::RingConfig {
+                            entries: opts.queue_depth as u32,
+                            sqpoll: opts.sqpoll,
+                            ..pdm_uring::RingConfig::default()
+                        })
+                        .or_else(|e| {
+                            if opts.sqpoll && !pdm_uring::ring_unavailable(&e) {
+                                pdm_uring::Ring::new(opts.queue_depth as u32)
+                            } else {
+                                Err(e)
+                            }
+                        });
+                        match setup {
+                            Ok(mut ring) => {
+                                if opts.register_buffers {
+                                    // Size the staging buffer to the full
+                                    // submit depth BEFORE registering: the
+                                    // serve paths never stage more than
+                                    // `depth` blocks per round, so the
+                                    // allocation can never grow (and thus
+                                    // never move) while registered.
+                                    staging.ensure(ring.capacity());
+                                    // Registration failing (memlock
+                                    // rlimit, pre-5.1 kernel) is a
+                                    // perf-only downgrade: ops simply stay
+                                    // on the unregistered opcodes.
+                                    let _ = ring.register_buffer(&mut staging.raw);
+                                }
+                                Engine::Uring(ring)
+                            }
                             // No io_uring here: positioned I/O gives
                             // identical behavior, just per-block syscalls.
                             // Transient setup failures (e.g. ENOMEM) only
@@ -893,13 +1012,22 @@ impl<K: PdmKey> AsyncFileStorage<K> {
                 };
                 #[cfg(not(all(feature = "uring", target_os = "linux")))]
                 let engine = Engine::Sync;
+                // Submit chunks are sized to the ring's *actual* capacity
+                // (the kernel rounds entries up to a power of two), so a
+                // submission never has to queue inside the ring driver.
+                let depth = match &engine {
+                    #[cfg(all(feature = "uring", target_os = "linux"))]
+                    Engine::Uring(ring) => ring.capacity().max(1),
+                    Engine::Sync => opts.queue_depth,
+                };
                 let worker = DiskWorker::<K> {
                     file,
                     block_size,
+                    depth,
                     rx,
                     pool: Arc::clone(&pool),
                     pending_writes: Arc::clone(&pending),
-                    staging: AlignedBuf::new(block_bytes, align),
+                    staging,
                     engine,
                     wall: Arc::clone(&rec),
                     sink: Arc::clone(&sink),
@@ -1149,7 +1277,8 @@ impl<K: PdmKey> Storage<K> for AsyncFileStorage<K> {
 
     /// Dispatch every disk's share as one message first, then collect the
     /// per-disk replies — different disks drain concurrently, and each
-    /// worker submits its share in kernel batches of up to `QUEUE_DEPTH`.
+    /// worker submits its share in kernel batches of up to its configured
+    /// queue depth (the ring's actual capacity on the uring path).
     fn read_batch(&mut self, reqs: &[(usize, usize)], out: &mut [K]) -> Result<()> {
         let b = self.block_size;
         debug_assert_eq!(out.len(), reqs.len() * b);
@@ -1487,6 +1616,57 @@ mod tests {
     fn drop_joins_workers_cleanly() {
         let s = AsyncFileStorage::<u64>::create_temp(8, 16).unwrap();
         drop(s); // must not hang or panic
+    }
+
+    #[test]
+    fn tuned_queue_depth_round_trips_with_registered_buffers() {
+        // Depth 4 against 32 slots per disk forces many kernel rounds;
+        // registered buffers must be invisible to the data path (they only
+        // change the opcode), and fixed SQEs can never exceed submissions.
+        let opts = AsyncFileOptions {
+            queue_depth: 4,
+            sqpoll: false,
+            register_buffers: true,
+        };
+        let d = 2;
+        let b = 8;
+        let mut s = AsyncFileStorage::<u64>::create_temp_with(d, b, opts).unwrap();
+        for disk in 0..d {
+            s.ensure_capacity(disk, 32).unwrap();
+        }
+        let reqs: Vec<(usize, usize)> = (0..64).map(|i| (i % d, i / d)).collect();
+        let data: Vec<u64> = (0..reqs.len() * b).map(|i| i as u64 * 13).collect();
+        s.write_batch(&reqs, &data).unwrap();
+        let mut out = vec![0u64; data.len()];
+        s.read_batch(&reqs, &mut out).unwrap();
+        assert_eq!(out, data);
+        let w = s.wall_snapshot().unwrap();
+        assert!(w.uring.fixed_sqes <= w.uring.submitted_sqes);
+        // When a ring serviced the batches AND registration stuck, every
+        // SQE stages through the registered buffer, so all of them ride
+        // the fixed opcodes.
+        if w.uring.submitted_sqes > 0 && w.uring.fixed_sqes > 0 {
+            assert_eq!(w.uring.fixed_sqes, w.uring.submitted_sqes);
+        }
+    }
+
+    #[test]
+    fn sqpoll_option_round_trips_or_falls_back() {
+        // SQPOLL may be refused (old kernel, privileges) — the storage
+        // must degrade to a plain ring or sync I/O, never fail outright.
+        let opts = AsyncFileOptions {
+            queue_depth: 8,
+            sqpoll: true,
+            register_buffers: false,
+        };
+        let mut s = AsyncFileStorage::<u64>::create_temp_with(1, 4, opts).unwrap();
+        s.ensure_capacity(0, 4).unwrap();
+        let reqs: Vec<(usize, usize)> = (0..4).map(|i| (0, i)).collect();
+        let data: Vec<u64> = (0..16).map(|i| i * 3).collect();
+        s.write_batch(&reqs, &data).unwrap();
+        let mut out = vec![0u64; 16];
+        s.read_batch(&reqs, &mut out).unwrap();
+        assert_eq!(out, data);
     }
 
     #[test]

@@ -38,7 +38,7 @@ use crate::error::{PdmError, Result};
 use crate::file_faults::{FileFaultMode, FileFaults};
 use crate::key::PdmKey;
 use crate::storage::{MemStorage, Storage, StorageCaps};
-use crate::storage_async_file::AsyncFileStorage;
+use crate::storage_async_file::{AsyncFileOptions, AsyncFileStorage};
 use crate::storage_file::FileStorage;
 use crate::storage_flaky::{FailMode, FlakyStorage};
 use crate::storage_retry::{RetryCounters, RetryPolicy, RetryingStorage};
@@ -127,6 +127,7 @@ pub struct StorageBuilder {
     inject: Option<FailMode>,
     inject_file: Option<FileFaultMode>,
     retry: Option<RetryPolicy>,
+    async_opts: AsyncFileOptions,
 }
 
 impl StorageBuilder {
@@ -141,7 +142,33 @@ impl StorageBuilder {
             inject: None,
             inject_file: None,
             retry: None,
+            async_opts: AsyncFileOptions::default(),
         }
+    }
+
+    /// Per-disk submission queue depth for the async-file backend: max
+    /// blocks per kernel round per worker, and the io_uring ring size with
+    /// the `uring` feature. Ignored by the other backends.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.async_opts.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Ask the async-file backend's worker rings for kernel-side
+    /// submission polling (`IORING_SETUP_SQPOLL`); silently falls back to
+    /// plain rings where refused. Ignored by the other backends.
+    pub fn uring_sqpoll(mut self) -> Self {
+        self.async_opts.sqpoll = true;
+        self
+    }
+
+    /// Register the async-file workers' staging buffers with
+    /// `IORING_REGISTER_BUFFERS` so transfers ride the fixed-buffer
+    /// opcodes; silently degrades where the kernel refuses. Ignored by
+    /// the other backends.
+    pub fn uring_register_buffers(mut self) -> Self {
+        self.async_opts.register_buffers = true;
+        self
     }
 
     /// Put the disk files under `dir` instead of a self-cleaning temp
@@ -228,10 +255,11 @@ impl StorageBuilder {
                 Box::new(s)
             }
             BackendKind::AsyncFile => {
+                let opts = self.async_opts;
                 let mut s = match (&self.dir, self.readback) {
-                    (Some(dir), true) => AsyncFileStorage::create_readback(dir, d, b)?,
-                    (Some(dir), false) => AsyncFileStorage::create(dir, d, b)?,
-                    (None, _) => AsyncFileStorage::create_temp(d, b)?,
+                    (Some(dir), true) => AsyncFileStorage::create_readback_with(dir, d, b, opts)?,
+                    (Some(dir), false) => AsyncFileStorage::create_with(dir, d, b, opts)?,
+                    (None, _) => AsyncFileStorage::create_temp_with(d, b, opts)?,
                 };
                 if let Some(mode) = self.inject_file {
                     s.set_file_faults(Arc::new(FileFaults::new(mode)));
@@ -303,6 +331,27 @@ mod tests {
         assert!(wrapped.caps.pooled, "inner facts still shine through");
         assert!(wrapped.retry_counters.is_some());
         assert!(bare.retry_counters.is_none());
+    }
+
+    #[test]
+    fn uring_tuning_knobs_build_and_round_trip() {
+        // The knobs are perf-only: whatever the kernel grants (SQPOLL,
+        // registered buffers, neither), data-path behavior is identical.
+        round_trip(
+            StorageBuilder::new(BackendKind::AsyncFile, 2, 8)
+                .queue_depth(4)
+                .uring_sqpoll()
+                .uring_register_buffers()
+                .build()
+                .unwrap(),
+        );
+        // Non-async kinds just ignore them.
+        round_trip(
+            StorageBuilder::new(BackendKind::Mem, 2, 8)
+                .queue_depth(7)
+                .build()
+                .unwrap(),
+        );
     }
 
     #[test]

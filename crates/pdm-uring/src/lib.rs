@@ -9,15 +9,23 @@
 //! * [`Ring::new`] sets up one ring (fails cleanly where io_uring is
 //!   unavailable — old kernels, seccomp-filtered containers, non-Linux —
 //!   so callers can fall back to synchronous I/O);
+//! * [`Ring::with_config`] additionally takes a [`RingConfig`] for tuned
+//!   submission: kernel-side submission polling (`IORING_SETUP_SQPOLL`,
+//!   so a dedicated kernel thread drains the SQ ring without an
+//!   `io_uring_enter` per batch) and an idle timeout for that thread;
+//! * [`Ring::register_buffer`] pins one staging region with
+//!   `IORING_REGISTER_BUFFERS`; ops whose buffers land inside it are
+//!   silently upgraded to `READ_FIXED`/`WRITE_FIXED`, skipping the
+//!   per-op get_user_pages walk;
 //! * [`Ring::run`] drives a batch of [`Op`]s to completion, handling
 //!   short reads/writes by resubmitting the remainder, and returns one
 //!   `io::Result` per op.
 //!
 //! All unsafe code in the workspace lives here; `pdm-model` itself stays
 //! `#![forbid(unsafe_code)]`. The implementation speaks the raw syscall
-//! ABI (`io_uring_setup` = 425, `io_uring_enter` = 426, both from the
-//! asm-generic table, plus `mmap` for the shared rings) through the libc
-//! symbols the standard library already links.
+//! ABI (`io_uring_setup` = 425, `io_uring_enter` = 426, `io_uring_register`
+//! = 427, all from the asm-generic table, plus `mmap` for the shared
+//! rings) through the libc symbols the standard library already links.
 
 #![warn(missing_docs)]
 
@@ -67,6 +75,41 @@ pub struct RingStats {
     pub reap_rounds: u64,
     /// CQEs reaped in total.
     pub reaped_cqes: u64,
+    /// SQEs that went out as `READ_FIXED`/`WRITE_FIXED` against a buffer
+    /// registered via [`Ring::register_buffer`]. Zero means every op fell
+    /// back to the unregistered path (nothing registered, or buffers
+    /// outside the pinned region).
+    pub fixed_sqes: u64,
+}
+
+/// Tuning knobs for [`Ring::with_config`]. [`Ring::new`] is shorthand for
+/// the defaults with a caller-chosen entry count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingConfig {
+    /// Submission slots in the ring (rounded up to a power of two by the
+    /// kernel). Ops beyond this are queued by [`Ring::run`] and submitted
+    /// as slots free up.
+    pub entries: u32,
+    /// Ask for `IORING_SETUP_SQPOLL`: a kernel thread polls the SQ ring
+    /// so steady-state submission needs no `io_uring_enter` syscall.
+    /// Needs kernel ≥ 5.11 for unregistered files (CAP_SYS_NICE before
+    /// 5.13 in some configs); setup fails cleanly where unsupported, so
+    /// callers should retry without it.
+    pub sqpoll: bool,
+    /// How long (ms) the SQPOLL kernel thread spins idle before it sleeps
+    /// and starts requiring `IORING_ENTER_SQ_WAKEUP` again. Only read
+    /// when `sqpoll` is set.
+    pub sqpoll_idle_ms: u32,
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        RingConfig {
+            entries: 32,
+            sqpoll: false,
+            sqpoll_idle_ms: 100,
+        }
+    }
 }
 
 /// One block transfer for [`Ring::run`]. Offsets are absolute file byte
@@ -94,18 +137,33 @@ pub enum Op<'a> {
 
 #[cfg(target_os = "linux")]
 mod linux {
-    use super::{Op, RingStats};
+    use super::{Op, RingConfig, RingStats};
     use std::io;
     use std::os::raw::{c_int, c_long, c_uint, c_void};
     use std::sync::atomic::{AtomicU32, Ordering};
 
     const SYS_IO_URING_SETUP: c_long = 425;
     const SYS_IO_URING_ENTER: c_long = 426;
+    const SYS_IO_URING_REGISTER: c_long = 427;
 
+    const IORING_OP_READ_FIXED: u8 = 4;
+    const IORING_OP_WRITE_FIXED: u8 = 5;
     const IORING_OP_READ: u8 = 22;
     const IORING_OP_WRITE: u8 = 23;
     const IORING_ENTER_GETEVENTS: c_uint = 1;
+    const IORING_ENTER_SQ_WAKEUP: c_uint = 2;
+    const IORING_SETUP_SQPOLL: u32 = 2;
+    const IORING_SQ_NEED_WAKEUP: u32 = 1;
     const IORING_FEAT_SINGLE_MMAP: u32 = 1;
+    const IORING_REGISTER_BUFFERS: c_uint = 0;
+    const IORING_UNREGISTER_BUFFERS: c_uint = 1;
+
+    /// `struct iovec` from the kernel UAPI, for `IORING_REGISTER_BUFFERS`.
+    #[repr(C)]
+    struct Iovec {
+        iov_base: *mut c_void,
+        iov_len: usize,
+    }
 
     const IORING_OFF_SQ_RING: i64 = 0;
     const IORING_OFF_CQ_RING: i64 = 0x0800_0000;
@@ -172,7 +230,9 @@ mod linux {
     }
 
     /// Submission queue entry, 64 bytes (the non-union fields this driver
-    /// uses; the rest stays zeroed).
+    /// uses; the rest stays zeroed). `buf_index` occupies the first u16 of
+    /// the trailing union in the kernel layout — it selects which
+    /// registered iovec a `READ_FIXED`/`WRITE_FIXED` op targets.
     #[repr(C)]
     #[derive(Clone, Copy)]
     struct Sqe {
@@ -185,7 +245,8 @@ mod linux {
         len: u32,
         rw_flags: u32,
         user_data: u64,
-        pad: [u64; 3],
+        buf_index: u16,
+        pad: [u16; 11],
     }
 
     /// Completion queue entry, 16 bytes.
@@ -220,6 +281,7 @@ mod linux {
         _sqe_map: Mapping,
         sq_head: *const AtomicU32,
         sq_tail: *const AtomicU32,
+        sq_flags: *const AtomicU32,
         sq_mask: u32,
         sq_entries: u32,
         sq_array: *mut u32,
@@ -228,6 +290,10 @@ mod linux {
         cq_tail: *const AtomicU32,
         cq_mask: u32,
         cqes: *const Cqe,
+        sqpoll: bool,
+        // Registered staging region as (base address, length); ops whose
+        // buffers fall inside it are submitted as fixed-buffer ops.
+        fixed: Option<(usize, usize)>,
         stats: RingStats,
     }
 
@@ -265,11 +331,26 @@ mod linux {
         /// io_uring syscalls (common in container runtimes) — so callers
         /// can detect unavailability at startup and fall back.
         pub fn new(entries: u32) -> io::Result<Ring> {
+            Ring::with_config(RingConfig {
+                entries,
+                ..RingConfig::default()
+            })
+        }
+
+        /// Set up a ring from a full [`RingConfig`]. SQPOLL setup can fail
+        /// on kernels/configurations that support plain rings (pre-5.11,
+        /// missing privileges) — callers wanting best-effort polling
+        /// should retry with `sqpoll: false` on error.
+        pub fn with_config(cfg: RingConfig) -> io::Result<Ring> {
             let mut p = SetupParams::default();
+            if cfg.sqpoll {
+                p.flags = IORING_SETUP_SQPOLL;
+                p.sq_thread_idle = cfg.sqpoll_idle_ms;
+            }
             let ret = unsafe {
                 syscall(
                     SYS_IO_URING_SETUP,
-                    entries as c_long,
+                    cfg.entries as c_long,
                     &mut p as *mut SetupParams,
                 )
             };
@@ -305,6 +386,7 @@ mod linux {
                         fd,
                         sq_head: sq.add(p.sq_off.head as usize).cast(),
                         sq_tail: sq.add(p.sq_off.tail as usize).cast(),
+                        sq_flags: sq.add(p.sq_off.flags as usize).cast(),
                         sq_mask: *sq.add(p.sq_off.ring_mask as usize).cast::<u32>(),
                         sq_entries: p.sq_entries,
                         sq_array: sq.add(p.sq_off.array as usize).cast(),
@@ -316,6 +398,8 @@ mod linux {
                         _sq_map: sq_map,
                         _cq_map: cq_map,
                         _sqe_map: sqe_map,
+                        sqpoll: cfg.sqpoll,
+                        fixed: None,
                         stats: RingStats::default(),
                     }
                 };
@@ -341,6 +425,87 @@ mod linux {
         /// Cumulative submit/reap batching counters since setup.
         pub fn stats(&self) -> RingStats {
             self.stats
+        }
+
+        /// True when the ring was set up with kernel-side submission
+        /// polling (`IORING_SETUP_SQPOLL`).
+        pub fn sqpoll(&self) -> bool {
+            self.sqpoll
+        }
+
+        /// True when a staging region is currently registered via
+        /// [`Ring::register_buffer`].
+        pub fn has_fixed_buffer(&self) -> bool {
+            self.fixed.is_some()
+        }
+
+        /// Pin `buf` with `IORING_REGISTER_BUFFERS` as the single
+        /// registered iovec (index 0). Subsequent ops whose buffers lie
+        /// entirely inside this region are submitted as
+        /// `READ_FIXED`/`WRITE_FIXED`, skipping the per-op page pin.
+        ///
+        /// Contract: the caller must keep `buf`'s allocation at this
+        /// address for as long as the registration stands (i.e. never let
+        /// the backing `Vec` reallocate) — otherwise fixed ops target the
+        /// stale pinned pages and transfers silently miss the live buffer.
+        /// The storage layer guarantees this by sizing its staging buffer
+        /// once, before registration, and never growing it after.
+        ///
+        /// Fails with EOPNOTSUPP on pre-5.1 kernels, ENOMEM/EFAULT when
+        /// the memlock rlimit cannot cover the region; callers should
+        /// treat failure as "run unregistered", not fatal.
+        pub fn register_buffer(&mut self, buf: &mut [u8]) -> io::Result<()> {
+            if self.fixed.is_some() {
+                self.unregister_buffers()?;
+            }
+            let iov = Iovec {
+                iov_base: buf.as_mut_ptr().cast(),
+                iov_len: buf.len(),
+            };
+            let ret = unsafe {
+                syscall(
+                    SYS_IO_URING_REGISTER,
+                    self.fd as c_long,
+                    IORING_REGISTER_BUFFERS as c_long,
+                    &iov as *const Iovec,
+                    1 as c_long,
+                )
+            };
+            if ret < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            self.fixed = Some((buf.as_ptr() as usize, buf.len()));
+            Ok(())
+        }
+
+        /// Drop the buffer registration; ops revert to the unregistered
+        /// opcodes. No-op when nothing is registered.
+        pub fn unregister_buffers(&mut self) -> io::Result<()> {
+            if self.fixed.is_none() {
+                return Ok(());
+            }
+            let ret = unsafe {
+                syscall(
+                    SYS_IO_URING_REGISTER,
+                    self.fd as c_long,
+                    IORING_UNREGISTER_BUFFERS as c_long,
+                    std::ptr::null::<c_void>(),
+                    0 as c_long,
+                )
+            };
+            if ret < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            self.fixed = None;
+            Ok(())
+        }
+
+        /// True when `[addr, addr+len)` sits inside the registered region.
+        fn in_fixed(&self, addr: usize, len: usize) -> bool {
+            match self.fixed {
+                Some((base, blen)) => addr >= base && addr + len <= base + blen,
+                None => false,
+            }
         }
 
         fn sq_pending(&self) -> u32 {
@@ -381,13 +546,23 @@ mod linux {
 
         fn enter(&mut self, to_submit: u32, min_complete: u32) -> io::Result<()> {
             loop {
+                // With SQPOLL the kernel thread consumes SQEs on its own;
+                // enter() is still needed to wait for completions, and must
+                // carry SQ_WAKEUP whenever the poll thread has gone idle.
+                let mut flags = IORING_ENTER_GETEVENTS;
+                if self.sqpoll {
+                    let sqf = unsafe { (*self.sq_flags).load(Ordering::Acquire) };
+                    if sqf & IORING_SQ_NEED_WAKEUP != 0 {
+                        flags |= IORING_ENTER_SQ_WAKEUP;
+                    }
+                }
                 let ret = unsafe {
                     syscall(
                         SYS_IO_URING_ENTER,
                         self.fd as c_long,
                         to_submit as c_long,
                         min_complete as c_long,
-                        IORING_ENTER_GETEVENTS as c_long,
+                        flags as c_long,
                         std::ptr::null::<c_void>(),
                         0usize,
                     )
@@ -433,6 +608,7 @@ mod linux {
                 // Fill the submission ring with every op that still has
                 // bytes outstanding and is not already in flight.
                 let mut in_flight = 0u32;
+                let mut pushed = 0u64;
                 for (i, op) in ops.iter_mut().enumerate() {
                     let t = &mut track[i];
                     if t.in_flight {
@@ -442,21 +618,31 @@ mod linux {
                     if t.err.is_some() || t.done >= op_len(op) {
                         continue;
                     }
-                    let (opcode, fd, addr, len, off) = match op {
+                    let (read, fd, addr, len, off) = match op {
                         Op::Read { fd, buf, offset } => (
-                            IORING_OP_READ,
+                            true,
                             *fd,
                             buf[t.done..].as_mut_ptr() as u64,
                             (buf.len() - t.done) as u32,
                             *offset + t.done as u64,
                         ),
                         Op::Write { fd, buf, offset } => (
-                            IORING_OP_WRITE,
+                            false,
                             *fd,
                             buf[t.done..].as_ptr() as u64,
                             (buf.len() - t.done) as u32,
                             *offset + t.done as u64,
                         ),
+                    };
+                    // Buffers inside the registered region ride the fixed
+                    // opcodes (kernel-validated against iovec 0); anything
+                    // else takes the ordinary pin-per-op path.
+                    let fixed = self.in_fixed(addr as usize, len as usize);
+                    let opcode = match (read, fixed) {
+                        (true, true) => IORING_OP_READ_FIXED,
+                        (true, false) => IORING_OP_READ,
+                        (false, true) => IORING_OP_WRITE_FIXED,
+                        (false, false) => IORING_OP_WRITE,
                     };
                     let sqe = Sqe {
                         opcode,
@@ -468,11 +654,16 @@ mod linux {
                         len,
                         rw_flags: 0,
                         user_data: i as u64,
-                        pad: [0; 3],
+                        buf_index: 0,
+                        pad: [0; 11],
                     };
                     if !self.push_sqe(sqe) {
                         break; // ring full — the rest submits next round
                     }
+                    if fixed {
+                        self.stats.fixed_sqes += 1;
+                    }
+                    pushed += 1;
                     t.in_flight = true;
                     in_flight += 1;
                 }
@@ -480,7 +671,14 @@ mod linux {
                     break; // everything completed or errored
                 }
                 let to_submit = self.sq_pending();
-                if to_submit > 0 {
+                if self.sqpoll {
+                    // The poll thread may have drained the SQ already, so
+                    // sq_pending() undercounts; credit what we pushed.
+                    if pushed > 0 {
+                        self.stats.submit_calls += 1;
+                        self.stats.submitted_sqes += pushed;
+                    }
+                } else if to_submit > 0 {
                     self.stats.submit_calls += 1;
                     self.stats.submitted_sqes += u64::from(to_submit);
                 }
@@ -553,8 +751,33 @@ impl Ring {
         ))
     }
 
+    /// io_uring is Linux-only; always errors here.
+    pub fn with_config(_cfg: RingConfig) -> io::Result<Ring> {
+        Ring::new(0)
+    }
+
     /// Unreachable (a stub `Ring` cannot be constructed).
     pub fn capacity(&self) -> usize {
+        match self.never {}
+    }
+
+    /// Unreachable (a stub `Ring` cannot be constructed).
+    pub fn sqpoll(&self) -> bool {
+        match self.never {}
+    }
+
+    /// Unreachable (a stub `Ring` cannot be constructed).
+    pub fn has_fixed_buffer(&self) -> bool {
+        match self.never {}
+    }
+
+    /// Unreachable (a stub `Ring` cannot be constructed).
+    pub fn register_buffer(&mut self, _buf: &mut [u8]) -> io::Result<()> {
+        match self.never {}
+    }
+
+    /// Unreachable (a stub `Ring` cannot be constructed).
+    pub fn unregister_buffers(&mut self) -> io::Result<()> {
         match self.never {}
     }
 
@@ -718,6 +941,126 @@ mod tests {
         let res = ring.run(&mut ops);
         assert!(res[0].is_ok(), "good write failed: {:?}", res[0]);
         assert!(res[1].is_err(), "bad-fd read unexpectedly succeeded");
+        drop(f);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn registered_buffer_upgrades_ops_to_fixed() {
+        let Some(mut ring) = ring_or_skip(8) else {
+            return;
+        };
+        // One staging allocation, sized once and never grown: the
+        // registration contract in a bottle.
+        let mut staging = vec![0u8; 4 * 512];
+        if let Err(e) = ring.register_buffer(&mut staging) {
+            eprintln!("skipping: buffer registration unavailable here ({e})");
+            return;
+        }
+        assert!(ring.has_fixed_buffer());
+        let (path, f) = temp_file("fixed");
+        let fd = raw_fd(&f);
+        for (i, chunk) in staging.chunks_mut(512).enumerate() {
+            chunk.fill(i as u8 + 1);
+        }
+        let mut writes: Vec<Op<'_>> = staging
+            .chunks(512)
+            .enumerate()
+            .map(|(i, b)| Op::Write {
+                fd,
+                buf: b,
+                offset: i as u64 * 512,
+            })
+            .collect();
+        for r in ring.run(&mut writes) {
+            r.unwrap();
+        }
+        // A buffer outside the registered region must still work (the
+        // ring silently falls back to the unregistered opcode for it).
+        let mut outside = vec![0u8; 512];
+        staging.fill(0);
+        {
+            let mut reads: Vec<Op<'_>> = staging
+                .chunks_mut(512)
+                .enumerate()
+                .map(|(i, b)| Op::Read {
+                    fd,
+                    buf: b,
+                    offset: i as u64 * 512,
+                })
+                .collect();
+            reads.push(Op::Read {
+                fd,
+                buf: &mut outside,
+                offset: 0,
+            });
+            for r in ring.run(&mut reads) {
+                r.unwrap();
+            }
+        }
+        for (i, chunk) in staging.chunks(512).enumerate() {
+            assert!(chunk.iter().all(|&b| b == i as u8 + 1));
+        }
+        assert!(outside.iter().all(|&b| b == 1));
+        let st = ring.stats();
+        // 4 fixed writes + 4 fixed reads; the outside read is not fixed.
+        assert_eq!(st.fixed_sqes, 8);
+        assert_eq!(st.submitted_sqes, 9);
+        ring.unregister_buffers().unwrap();
+        assert!(!ring.has_fixed_buffer());
+        // After unregistration everything takes the ordinary path again.
+        let mut reads = vec![Op::Read {
+            fd,
+            buf: &mut staging[..512],
+            offset: 0,
+        }];
+        for r in ring.run(&mut reads) {
+            r.unwrap();
+        }
+        assert_eq!(ring.stats().fixed_sqes, 8);
+        drop(f);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn sqpoll_ring_round_trips_or_skips() {
+        let ring = Ring::with_config(RingConfig {
+            entries: 8,
+            sqpoll: true,
+            sqpoll_idle_ms: 50,
+        });
+        let mut ring = match ring {
+            Ok(r) => r,
+            Err(e) => {
+                // Pre-5.11 kernels and unprivileged containers refuse
+                // SQPOLL; the storage layer falls back the same way.
+                eprintln!("skipping: SQPOLL unavailable here ({e})");
+                return;
+            }
+        };
+        assert!(ring.sqpoll());
+        let (path, f) = temp_file("sqpoll");
+        let fd = raw_fd(&f);
+        let payload: Vec<u8> = (0..2048u32).map(|i| i as u8).collect();
+        let mut ops = vec![Op::Write {
+            fd,
+            buf: &payload,
+            offset: 0,
+        }];
+        for r in ring.run(&mut ops) {
+            r.unwrap();
+        }
+        let mut back = vec![0u8; 2048];
+        let mut ops = vec![Op::Read {
+            fd,
+            buf: &mut back,
+            offset: 0,
+        }];
+        for r in ring.run(&mut ops) {
+            r.unwrap();
+        }
+        assert_eq!(back, payload);
+        assert_eq!(ring.stats().submitted_sqes, 2);
         drop(f);
         std::fs::remove_file(path).unwrap();
     }

@@ -136,8 +136,16 @@ def check_invariants(doc, path):
             print(f"  ok: {ident}: pool hit rate {rate:.3f}")
 
 
-OVERLAP_MIN_IMPROVEMENT = {"seven_pass": 0.20}
+# Floors on (blocking - overlap) / blocking. seven_pass holds the bar for
+# the coalesced deep pipeline; expected_two_pass must at least win, which
+# proves the speculative pass-2 prefetch is not a regression in disguise.
+OVERLAP_MIN_IMPROVEMENT = {"seven_pass": 0.45, "expected_two_pass": 0.0}
 OVERLAP_MAX_FLUSH_STALL_RATE = 0.75
+# Ceiling on the share of run wall time the overlap leg spends blocked in
+# retirement waits. With grouped submissions amortizing the per-batch seek
+# charge, seven_pass sits near 0.1; 0.45 catches a regression to the
+# serialized-seek regime (where it measured ~0.7).
+OVERLAP_MAX_STALL_SHARE = {"seven_pass": 0.45}
 
 
 def check_wall_percentiles(row, ctx):
@@ -220,6 +228,16 @@ def check_overlap_invariants(doc, path):
                      f"serializing instead of overlapping")
             else:
                 print(f"  ok: {ident}: flush stall rate {stall_rate:.1%}")
+        ceiling = OVERLAP_MAX_STALL_SHARE.get(name)
+        if ceiling is not None:
+            share = row.get("stall_share", 0.0)
+            if share > ceiling:
+                fail(f"{path}: {ident}: stall share {share:.1%} > "
+                     f"{ceiling:.0%} — the overlap leg is back to waiting "
+                     f"out per-batch seeks instead of hiding them")
+            else:
+                print(f"  ok: {ident}: stall share {share:.1%} "
+                      f"(ceiling {ceiling:.0%})")
 
 
 REALDISK_MUST_IMPROVE = {"seven_pass"}
