@@ -117,6 +117,38 @@ struct AlgoRow {
     pool_hit_rate: Option<f64>,
 }
 
+/// One workload's greedy-vs-up/down run-formation A/B. Both legs run the
+/// merge-based seven-pass sort on the mem backend; only the run-formation
+/// strategy differs, so any pass-count gap is the adaptive strategy's win.
+struct RunGenRow {
+    workload: &'static str,
+    n: usize,
+    /// Memory capacity in keys (M = B²) — the greedy run length.
+    m: usize,
+    greedy_runs: u64,
+    greedy_read_passes: f64,
+    greedy_write_passes: f64,
+    updown_runs: u64,
+    updown_avg_run_len: f64,
+    updown_merge_levels: u64,
+    updown_read_passes: f64,
+    updown_write_passes: f64,
+}
+
+/// The run-formation workloads, in the order they appear in the artifact.
+const RUN_GEN_WORKLOADS: [&str; 4] = ["random", "nearly-sorted", "dup-heavy", "zipf"];
+
+/// Exit with a usage error naming the valid algorithm spellings for a
+/// bench site. The suites dispatch on string names; a typo should produce
+/// an actionable message, not a panic with no survey of what would work.
+fn unknown_algorithm(site: &str, got: &str, valid: &[&str]) -> ! {
+    eprintln!(
+        "pdm-bench: unknown {site} algorithm '{got}' (valid: {})",
+        valid.join(", ")
+    );
+    std::process::exit(2);
+}
+
 /// Latency percentiles and stall share folded from the wall-clock
 /// telemetry the backend recorded during a leg (µs units; all zero when
 /// the backend recorded no samples). One sample covers one kernel round
@@ -195,6 +227,7 @@ fn render_json(
     merge_rows: &[MergeRow],
     cleaner: &(usize, usize, f64, f64),
     algo_rows: &[AlgoRow],
+    run_gen_rows: &[RunGenRow],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -255,6 +288,28 @@ fn render_json(
             jf(r.write_passes),
             pool,
             if i + 1 < algo_rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"run_gen\": [\n");
+    for (i, r) in run_gen_rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"n\": {}, \"m\": {}, \
+             \"greedy_runs\": {}, \"greedy_read_passes\": {}, \"greedy_write_passes\": {}, \
+             \"updown_runs\": {}, \"updown_avg_run_len\": {}, \"updown_merge_levels\": {}, \
+             \"updown_read_passes\": {}, \"updown_write_passes\": {}}}{}\n",
+            r.workload,
+            r.n,
+            r.m,
+            r.greedy_runs,
+            jf(r.greedy_read_passes),
+            jf(r.greedy_write_passes),
+            r.updown_runs,
+            jf(r.updown_avg_run_len),
+            r.updown_merge_levels,
+            jf(r.updown_read_passes),
+            jf(r.updown_write_passes),
+            if i + 1 < run_gen_rows.len() { "," } else { "" }
         ));
     }
     s.push_str("  ]\n}\n");
@@ -400,7 +455,11 @@ fn bench_algorithm(
             "three_pass2" => pdm_sort::three_pass2(pdm, &region, n).unwrap(),
             "seven_pass" => pdm_sort::seven_pass(pdm, &region, n).unwrap(),
             "expected_two_pass" => pdm_sort::expected_two_pass(pdm, &region, n).unwrap(),
-            other => panic!("unknown algorithm {other}"),
+            other => unknown_algorithm(
+                "kernel-suite",
+                other,
+                &["three_pass2", "seven_pass", "expected_two_pass"],
+            ),
         };
         let wall = t0.elapsed().as_secs_f64() * 1e3;
         assert!(!rep.fell_back, "{name}: unexpected fallback in benchmark");
@@ -419,6 +478,65 @@ fn bench_algorithm(
         read_passes,
         write_passes,
         pool_hit_rate: pdm.pool_stats().map(|p| p.hit_rate()),
+    });
+}
+
+/// A/B greedy vs up/down run formation for the seven-pass sort on one
+/// workload. The up/down leg's run census comes from the probe gauges the
+/// run-formation kernel emits (`rungen.runs`, `rungen.merge_levels`); the
+/// greedy leg always cuts ⌈n/M⌉ memory-sized runs.
+fn bench_run_gen(workload: &'static str, b: usize, n: usize, rows: &mut Vec<RunGenRow>) {
+    let m = b * b;
+    let data: Vec<u64> = match workload {
+        "random" => pdm_bench::data::permutation(n, 48),
+        "nearly-sorted" => pdm_bench::data::nearly_sorted(n, (n / 100).max(1), 48),
+        "dup-heavy" => pdm_bench::data::duplicate_heavy(n, (n as u64 / 64).max(1), 48),
+        "zipf" => pdm_bench::data::skewed(n, n as u64, 48),
+        other => unknown_algorithm("run-gen workload", other, &RUN_GEN_WORKLOADS),
+    };
+    let leg = |strategy: pdm_sort::RunGenStrategy| {
+        let cfg = PdmConfig::square(4, b);
+        let built = StorageBuilder::new(BackendKind::Mem, cfg.num_disks, cfg.block_size)
+            .build::<u64>()
+            .unwrap();
+        let mut pdm: Pdm<u64, Box<dyn Storage<u64>>> =
+            Pdm::with_storage(cfg, built.storage).unwrap();
+        pdm.enable_probe(1 << 16);
+        let region = pdm.alloc_region_for_keys(n).unwrap();
+        pdm.ingest(&region, &data).unwrap();
+        pdm.reset_stats();
+        let rep = pdm_sort::seven_pass_with(&mut pdm, &region, n, strategy).unwrap();
+        assert!(!rep.fell_back, "run-gen {workload}: unexpected fallback");
+        let gauge = |name: &str| {
+            pdm.stats().probe().and_then(|p| {
+                p.events().iter().rev().find_map(|e| match e {
+                    ProbeEvent::Gauge { name: g, value, .. } if g == name => Some(*value as u64),
+                    _ => None,
+                })
+            })
+        };
+        (
+            rep.read_passes,
+            rep.write_passes,
+            gauge("rungen.runs"),
+            gauge("rungen.merge_levels"),
+        )
+    };
+    let (grp, gwp, _, _) = leg(pdm_sort::RunGenStrategy::Greedy);
+    let (urp, uwp, uruns, ulevels) = leg(pdm_sort::RunGenStrategy::UpDown);
+    let uruns = uruns.expect("up/down leg emitted no rungen.runs gauge");
+    rows.push(RunGenRow {
+        workload,
+        n,
+        m,
+        greedy_runs: n.div_ceil(m) as u64,
+        greedy_read_passes: grp,
+        greedy_write_passes: gwp,
+        updown_runs: uruns,
+        updown_avg_run_len: n as f64 / uruns.max(1) as f64,
+        updown_merge_levels: ulevels.unwrap_or(0),
+        updown_read_passes: urp,
+        updown_write_passes: uwp,
     });
 }
 
@@ -446,7 +564,11 @@ fn bench_overlap(name: &'static str, b: usize, n: usize, latency_us: u64, rows: 
             "three_pass2" => pdm_sort::three_pass2(&mut pdm, &region, n).unwrap(),
             "seven_pass" => pdm_sort::seven_pass(&mut pdm, &region, n).unwrap(),
             "expected_two_pass" => pdm_sort::expected_two_pass(&mut pdm, &region, n).unwrap(),
-            other => panic!("unknown algorithm {other}"),
+            other => unknown_algorithm(
+                "overlap-suite",
+                other,
+                &["three_pass1", "three_pass2", "seven_pass", "expected_two_pass"],
+            ),
         };
         let el = t0.elapsed();
         assert!(!rep.fell_back, "{name}: unexpected fallback in overlap benchmark");
@@ -568,7 +690,7 @@ fn real_disk_leg(
             let (_, rp, wp) = pdm_baseline::merge_sort(&mut pdm, &region, n).unwrap();
             (rp, wp)
         }
-        other => panic!("unknown real-disk algorithm {other}"),
+        other => unknown_algorithm("real-disk", other, &["seven_pass", "three_pass2", "mergesort"]),
     };
     let el = t0.elapsed();
     pdm.stats_mut().wall.run_nanos = el.as_nanos() as u64;
@@ -714,7 +836,7 @@ fn fault_leg(
             let rep = pdm_sort::three_pass2(&mut pdm, &region, n).unwrap();
             (rep.read_passes, rep.write_passes)
         }
-        other => panic!("unknown fault-suite algorithm {other}"),
+        other => unknown_algorithm("fault-suite", other, &["seven_pass", "three_pass2"]),
     };
     let wall = t0.elapsed().as_secs_f64() * 1e3;
     let retries = counters.map_or(0, |c| c.snapshot().total_retries());
@@ -844,10 +966,23 @@ fn main() {
     let mut real_disk = false;
     let mut real_disk_dir: Option<String> = None;
     let mut fault_out: Option<String> = None;
+    let mut workload: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--workload" => {
+                i += 1;
+                let w = args.get(i).expect("--workload needs a name").clone();
+                if !RUN_GEN_WORKLOADS.contains(&w.as_str()) {
+                    eprintln!(
+                        "pdm-bench: unknown workload '{w}' (valid: {})",
+                        RUN_GEN_WORKLOADS.join(", ")
+                    );
+                    std::process::exit(2);
+                }
+                workload = Some(w);
+            }
             "--out" => {
                 i += 1;
                 out_path = args.get(i).expect("--out needs a path").clone();
@@ -868,7 +1003,7 @@ fn main() {
             other => {
                 eprintln!(
                     "usage: pdm-bench [--quick] [--out FILE.json] [--overlap-out FILE.json] \
-                     [--fault-out FILE.json] \
+                     [--fault-out FILE.json] [--workload NAME] \
                      [--real-disk [--real-disk-dir DIR] [--out FILE.json]] (got '{other}')"
                 );
                 std::process::exit(2);
@@ -919,6 +1054,15 @@ fn main() {
     bench_algorithm("seven_pass", BackendKind::Mem, b, n, &mut algo_rows);
     bench_algorithm("three_pass2", BackendKind::Threaded, b, n, &mut algo_rows);
 
+    // Run-formation A/B: greedy memory-sized runs vs the adaptive up/down
+    // strategy, across the skew spectrum. `--workload` narrows to one row.
+    let mut run_gen_rows = Vec::new();
+    for w in RUN_GEN_WORKLOADS {
+        if workload.as_deref().is_none_or(|sel| sel == w) {
+            bench_run_gen(w, b, n, &mut run_gen_rows);
+        }
+    }
+
     let mut overlap_rows = Vec::new();
     if let Some(path) = &overlap_out {
         // Overlap hides disk latency behind compute and behind the *other*
@@ -939,7 +1083,7 @@ fn main() {
         eprintln!("wrote {path}");
     }
 
-    let json = render_json(quick, &kernel_rows, &merge_rows, &cleaner, &algo_rows);
+    let json = render_json(quick, &kernel_rows, &merge_rows, &cleaner, &algo_rows, &run_gen_rows);
     std::fs::write(&out_path, &json).expect("write artifact");
     eprintln!("wrote {out_path}");
     // Human-readable one-liners for the log.
@@ -988,6 +1132,21 @@ fn main() {
             r.pool_hit_rate
                 .map(|h| format!("  pool hit rate {:.1}%", h * 100.0))
                 .unwrap_or_default()
+        );
+    }
+    for r in &run_gen_rows {
+        eprintln!(
+            "  run_gen {:<13} n = {:>7}  greedy {} runs {:.2}R vs updown {} runs \
+             (avg len {:.0} = {:.1}×M, {} merge levels) {:.2}R passes",
+            r.workload,
+            r.n,
+            r.greedy_runs,
+            r.greedy_read_passes,
+            r.updown_runs,
+            r.updown_avg_run_len,
+            r.updown_avg_run_len / r.m as f64,
+            r.updown_merge_levels,
+            r.updown_read_passes,
         );
     }
 }

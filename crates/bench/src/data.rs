@@ -58,6 +58,15 @@ pub fn skewed(n: usize, range: u64, seed: u64) -> Vec<u64> {
         .collect()
 }
 
+/// Duplicate-heavy input: `n` keys drawn uniformly from only `distinct`
+/// values, so long equal-key plateaus dominate and replacement selection
+/// can grow runs well past memory.
+pub fn duplicate_heavy(n: usize, distinct: u64, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let distinct = distinct.max(1);
+    (0..n).map(|_| rng.gen_range(0..distinct)).collect()
+}
+
 /// Check a slice is sorted non-decreasingly.
 pub fn is_sorted<K: Ord>(xs: &[K]) -> bool {
     xs.windows(2).all(|w| w[0] <= w[1])
@@ -102,5 +111,16 @@ mod tests {
         assert!(is_sorted(&ns));
         let sk = skewed(1000, 100, 4);
         assert!(sk.iter().all(|&x| x < 100));
+    }
+
+    #[test]
+    fn duplicate_heavy_uses_few_distinct_values() {
+        let v = duplicate_heavy(4096, 16, 9);
+        assert_eq!(v.len(), 4096);
+        let mut d = v.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert!(d.len() <= 16, "expected at most 16 distinct, got {}", d.len());
+        assert_eq!(duplicate_heavy(4096, 16, 9), v);
     }
 }

@@ -85,6 +85,120 @@ pub fn classify<K: Sync>(keys: &[K], bucket_of: impl Fn(&K) -> usize + Sync + Se
     keys.iter().map(bucket_of).collect()
 }
 
+/// One emission step of the alternating up/down run generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunChunk {
+    /// Number of keys moved into the caller's output buffer.
+    pub taken: usize,
+    /// `true` when this chunk *starts* a new run (the previous run could not
+    /// be extended with any resident key, so the direction flipped).
+    pub new_run: bool,
+    /// Direction of the run this chunk belongs to: `true` = ascending.
+    pub ascending: bool,
+}
+
+/// The in-memory policy of Bender, Farach-Colton et al.'s *alternating*
+/// run-generation algorithm ("Run Generation Revisited"): replacement
+/// selection that, when the current run can no longer be extended, flips
+/// direction and emits the next run in the opposite order. Alternating
+/// up/down is 2-competitive in the number of runs produced (no online
+/// strategy can beat it by more than a factor of 2 on any input) and, unlike
+/// ascending-only replacement selection, it turns *reverse-sorted* and
+/// duplicate-heavy inputs into a handful of runs far longer than `M`.
+///
+/// The policy is block-granular: each call removes up to `chunk` keys from
+/// the caller's **sorted ascending** resident buffer so emissions map onto
+/// full `D·B`-key stripes. Within a direction it is greedy (always the
+/// smallest key `≥ last` when ascending, the largest `≤ last` when
+/// descending), which at chunk granularity means taking a contiguous span
+/// of the sorted buffer — O(log M) to locate, O(chunk) to drain.
+///
+/// Every run drains at least the full buffer that was resident when it
+/// started: emitted keys only move `last` toward the still-eligible side,
+/// so a key eligible at run start stays eligible until emitted. With a
+/// buffer of `M` keys every run is therefore at least `M` keys long and a
+/// generator over `n` keys yields at most `⌈n/M⌉` runs — never more than
+/// greedy load-sort-store run formation.
+#[derive(Debug)]
+pub struct UpDownPolicy<K> {
+    ascending: bool,
+    last: Option<K>,
+    started: bool,
+}
+
+impl<K: Ord + Copy> UpDownPolicy<K> {
+    /// A fresh policy; the first run is ascending.
+    pub fn new() -> Self {
+        Self { ascending: true, last: None, started: false }
+    }
+
+    /// Remove the next chunk of at most `chunk` keys from `buf` (which the
+    /// caller keeps sorted ascending) and append them to `out` in run order.
+    /// Returns `None` when `buf` is empty.
+    pub fn take_chunk(
+        &mut self,
+        buf: &mut Vec<K>,
+        out: &mut Vec<K>,
+        chunk: usize,
+    ) -> Option<RunChunk> {
+        if buf.is_empty() || chunk == 0 {
+            return None;
+        }
+        let mut new_run = !self.started;
+        self.started = true;
+        // An empty eligible span means the current run is exhausted: flip
+        // direction and start a new run with the whole buffer eligible.
+        if self.eligible_span(buf) == 0 {
+            self.ascending = !self.ascending;
+            self.last = None;
+            new_run = true;
+        }
+        let span = self.eligible_span(buf);
+        debug_assert!(span > 0, "a fresh run makes every resident key eligible");
+        let take = span.min(chunk);
+        if self.ascending {
+            // Smallest eligible keys are the first `take` of the span, which
+            // starts right past the keys `< last`.
+            let lo = buf.len() - span;
+            out.extend_from_slice(&buf[lo..lo + take]);
+            self.last = Some(buf[lo + take - 1]);
+            buf.drain(lo..lo + take);
+        } else {
+            // Largest eligible keys are the last `take` of the span, emitted
+            // in descending order.
+            let hi = span;
+            out.extend(buf[hi - take..hi].iter().rev().copied());
+            self.last = Some(buf[hi - take]);
+            buf.drain(hi - take..hi);
+        }
+        Some(RunChunk { taken: take, new_run, ascending: self.ascending })
+    }
+
+    /// Whether the next [`UpDownPolicy::take_chunk`] on this buffer will
+    /// start a new run — lets block-aligned consumers seal the previous
+    /// run (pad its tail block) *before* the new run's keys are staged.
+    pub fn will_start_new_run(&self, buf: &[K]) -> bool {
+        !self.started || self.eligible_span(buf) == 0
+    }
+
+    /// Number of resident keys that can extend the current run: keys
+    /// `≥ last` when ascending (a suffix of the sorted buffer), keys
+    /// `≤ last` when descending (a prefix).
+    fn eligible_span(&self, buf: &[K]) -> usize {
+        match (&self.last, self.ascending) {
+            (None, _) => buf.len(),
+            (Some(last), true) => buf.len() - buf.partition_point(|k| k < last),
+            (Some(last), false) => buf.partition_point(|k| k <= last),
+        }
+    }
+}
+
+impl<K: Ord + Copy> Default for UpDownPolicy<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +217,103 @@ mod tests {
         let keys: Vec<u64> = (0..100).collect();
         let ids = classify(&keys, |k| (*k % 7) as usize);
         assert_eq!(ids, keys.iter().map(|k| (*k % 7) as usize).collect::<Vec<_>>());
+    }
+
+    /// Drive the policy over `input` with a resident buffer of `cap` keys,
+    /// refilling after each chunk, and return the emitted runs.
+    fn generate_runs(input: &[u64], cap: usize, chunk: usize) -> Vec<(Vec<u64>, bool)> {
+        let mut runs: Vec<(Vec<u64>, bool)> = Vec::new();
+        let mut policy = UpDownPolicy::new();
+        let mut buf: Vec<u64> = Vec::new();
+        let mut rest = input;
+        loop {
+            let refill = (cap - buf.len()).min(rest.len());
+            if refill > 0 {
+                buf.extend_from_slice(&rest[..refill]);
+                rest = &rest[refill..];
+                sort_keys(&mut buf);
+            }
+            let mut out = Vec::new();
+            match policy.take_chunk(&mut buf, &mut out, chunk) {
+                None => break,
+                Some(c) => {
+                    assert_eq!(c.taken, out.len());
+                    if c.new_run {
+                        runs.push((Vec::new(), c.ascending));
+                    }
+                    runs.last_mut().unwrap().0.extend_from_slice(&out);
+                }
+            }
+        }
+        runs
+    }
+
+    #[test]
+    fn updown_sorted_input_is_one_ascending_run() {
+        let input: Vec<u64> = (0..4096).collect();
+        let runs = generate_runs(&input, 256, 32);
+        assert_eq!(runs.len(), 1);
+        assert!(runs[0].1, "ascending");
+        assert_eq!(runs[0].0, input);
+    }
+
+    #[test]
+    fn updown_reversed_input_is_two_runs() {
+        // Ascending-only replacement selection degenerates to n/M runs on
+        // reverse-sorted input; alternating yields exactly two.
+        let input: Vec<u64> = (0..4096u64).rev().collect();
+        let runs = generate_runs(&input, 256, 32);
+        assert_eq!(runs.len(), 2, "one up-run of M keys, one down-run of the rest");
+        assert!(runs[0].1 && !runs[1].1);
+        assert_eq!(runs[0].0.len(), 256);
+        assert!(runs[0].0.windows(2).all(|w| w[0] <= w[1]));
+        assert!(runs[1].0.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn updown_duplicate_heavy_input_makes_few_long_runs() {
+        let input: Vec<u64> =
+            (0..8192u64).map(|i| (i.wrapping_mul(0x9E3779B9) >> 9) % 4).collect();
+        let runs = generate_runs(&input, 256, 32);
+        // Greedy load-sort-store would emit 8192/256 = 32 runs. Ties keep the
+        // boundary key eligible in both directions, so replacement selection
+        // sustains runs past the buffer size (the classic ≈2M behavior).
+        assert!(runs.len() < 32, "got {} runs, greedy would emit 32", runs.len());
+        let avg = input.len() / runs.len();
+        assert!(avg > 256, "average run {avg} should exceed the buffer size");
+    }
+
+    #[test]
+    fn updown_every_run_at_least_buffer_sized_and_loses_no_keys() {
+        let input: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x2545F491) >> 3).collect();
+        let cap = 512;
+        let runs = generate_runs(&input, cap, 64);
+        let mut all: Vec<u64> = Vec::new();
+        for (i, (run, asc)) in runs.iter().enumerate() {
+            if i + 1 < runs.len() {
+                assert!(run.len() >= cap, "run {i} has {} < {cap} keys", run.len());
+            }
+            if *asc {
+                assert!(run.windows(2).all(|w| w[0] <= w[1]));
+            } else {
+                assert!(run.windows(2).all(|w| w[0] >= w[1]));
+            }
+            all.extend_from_slice(run);
+        }
+        assert!(runs.len() <= input.len().div_ceil(cap));
+        sort_keys(&mut all);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn updown_directions_alternate() {
+        let input: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9E3779B9) >> 7).collect();
+        let runs = generate_runs(&input, 128, 16);
+        for (i, (_, asc)) in runs.iter().enumerate() {
+            assert_eq!(*asc, i % 2 == 0, "run {i} direction");
+        }
     }
 
     /// One test owns every transition of the global toggle, so parallel

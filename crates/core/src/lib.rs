@@ -59,6 +59,7 @@ pub mod integer_sort;
 pub mod kernels;
 pub mod merge;
 pub mod radix_sort;
+pub mod run_gen;
 pub mod seven_pass;
 pub mod three_pass1;
 pub mod three_pass2;
@@ -70,6 +71,7 @@ pub use expected_three_pass::expected_three_pass;
 pub use expected_two_pass::expected_two_pass;
 pub use integer_sort::{integer_sort, FlushMode};
 pub use radix_sort::{radix_sort, RadixReport};
+pub use run_gen::{seven_pass_with, updown_merge_sort, RunGenStrategy};
 pub use seven_pass::{expected_six_pass, seven_pass};
 pub use three_pass1::three_pass1;
 pub use three_pass2::three_pass2;

@@ -1,0 +1,540 @@
+//! Adaptive run formation + multi-way merging for the `seven_pass` family.
+//!
+//! The paper's `SevenPass` forms runs greedily (load `M√M` keys, sort with
+//! `ThreePass2`), which costs the same 7 passes on *every* input. This
+//! module wires the alternating up/down replacement-selection kernel
+//! ([`crate::kernels::UpDownPolicy`], after Bender et al., "Run Generation
+//! Revisited") into an external merge sort: nearly-sorted and
+//! duplicate-heavy inputs collapse to a handful of runs far longer than
+//! `M`, and the sort finishes in as few as 2 passes (1 to form a single
+//! run, 1 to stream it out — and when run formation already yields exactly
+//! one ascending run, its region *is* the output and the sort took 1 read
+//! + 1 write pass).
+//!
+//! Descending runs are stored exactly as emitted and read back in reverse
+//! block order at merge time (each batch of blocks is reversed in memory),
+//! so a down-run costs nothing extra on disk and merges as an ascending
+//! stream. Run boundaries are block-aligned; the tail block of each run is
+//! padded with `K::MAX` and the pad count is skipped by exact key
+//! accounting, never by sentinel comparison.
+
+use crate::common::{require_square_cfg, Algorithm, SortReport};
+use crate::kernels::{self, UpDownPolicy};
+use pdm_model::prelude::*;
+
+/// Which run-formation strategy the `seven_pass` family uses
+/// (CLI `--run-gen`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RunGenStrategy {
+    /// Load-sort-store runs of `M√M` keys via `ThreePass2` — the paper's
+    /// layout, exactly 7 passes on every input.
+    #[default]
+    Greedy,
+    /// Alternating up/down replacement selection (2-competitive in run
+    /// count); pass count adapts to the input's presortedness.
+    UpDown,
+}
+
+impl std::fmt::Display for RunGenStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunGenStrategy::Greedy => write!(f, "greedy"),
+            RunGenStrategy::UpDown => write!(f, "updown"),
+        }
+    }
+}
+
+/// `seven_pass` with a selectable run-formation strategy.
+pub fn seven_pass_with<K: PdmKey, S: Storage<K>>(
+    pdm: &mut Pdm<K, S>,
+    input: &Region,
+    n: usize,
+    strategy: RunGenStrategy,
+) -> Result<SortReport> {
+    match strategy {
+        RunGenStrategy::Greedy => crate::seven_pass::seven_pass(pdm, input, n),
+        RunGenStrategy::UpDown => updown_merge_sort(pdm, input, n),
+    }
+}
+
+/// One run on disk: `blocks_for(keys)` consecutive blocks starting at
+/// `start_block`, tail block padded with `K::MAX`.
+#[derive(Debug, Clone, Copy)]
+struct RunInfo {
+    start_block: usize,
+    keys: usize,
+    ascending: bool,
+}
+
+impl RunInfo {
+    fn blocks(&self, b: usize) -> usize {
+        self.keys.div_ceil(b)
+    }
+}
+
+/// External merge sort with up/down run formation. Pass count is
+/// `2·(1 + ⌈log_F(runs)⌉)` parallel passes where `F ≈ 2M/(D·B)` is the
+/// merge fan-in — e.g. 2 total passes on an already-sorted input, versus
+/// `seven_pass`'s unconditional 7.
+pub fn updown_merge_sort<K: PdmKey, S: Storage<K>>(
+    pdm: &mut Pdm<K, S>,
+    input: &Region,
+    n: usize,
+) -> Result<SortReport> {
+    if n == 0 {
+        return Err(PdmError::UnsupportedInput("empty input".into()));
+    }
+    require_square_cfg(pdm.cfg())?;
+    let cfg = *pdm.cfg();
+    let (d, b, m) = (cfg.num_disks, cfg.block_size, cfg.mem_capacity);
+    let stripe = d * b;
+    if n > input.len_keys() {
+        return Err(PdmError::RegionOutOfBounds {
+            index: n,
+            len: input.len_keys(),
+        });
+    }
+
+    // ---- Phase 1: alternating up/down run formation (1 read + 1 write) ----
+    pdm.begin_phase("RG: up/down runs");
+    // Every run is ≥ M keys except possibly the last, so padding wastes at
+    // most one block per run: `⌈n/M⌉` blocks of slack cover the worst case.
+    let scratch = pdm.alloc_region(cfg.blocks_for(n) + n.div_ceil(m))?;
+    let runs = form_runs(pdm, input, n, &scratch)?;
+    pdm.stats_mut().probe_gauge("rungen.runs", runs.len() as i64);
+
+    // A single ascending run means the scratch region is already the sorted
+    // output — the whole sort was 1 read + 1 write pass.
+    if runs.len() == 1 && runs[0].ascending {
+        pdm.end_phase();
+        pdm.stats_mut().probe_gauge("rungen.merge_levels", 0);
+        let out = scratch.sub(0, cfg.blocks_for(n))?;
+        return Ok(SortReport::from_stats(pdm, out, n, Algorithm::SevenPass, false));
+    }
+
+    // ---- Phase 2+: multi-way merge levels (1 read + 1 write each) --------
+    // Budget: F run cursors of one stripe each plus one output stage stripe
+    // inside the 2M workspace → F = 2M/(D·B) − 2, floored at a binary merge.
+    let fan = (2 * m / stripe).saturating_sub(2).max(2);
+    let mut level = 0usize;
+    let mut cur_region = scratch;
+    let mut cur_runs = runs;
+    while cur_runs.len() > 1 {
+        level += 1;
+        pdm.begin_phase(format!("RG: merge level {level}"));
+        let groups = cur_runs.len().div_ceil(fan);
+        let next_region = pdm.alloc_region(cfg.blocks_for(n) + groups)?;
+        let mut next_runs = Vec::with_capacity(groups);
+        let mut out_block = 0usize;
+        let verify = groups == 1; // final level: check output order inline
+        for group in cur_runs.chunks(fan) {
+            let merged =
+                merge_group(pdm, &cur_region, group, &next_region, out_block, verify)?;
+            out_block += merged.blocks(b);
+            next_runs.push(merged);
+        }
+        cur_region = next_region;
+        cur_runs = next_runs;
+    }
+    pdm.end_phase();
+    pdm.stats_mut().probe_gauge("rungen.merge_levels", level as i64);
+
+    let out = cur_region.sub(cur_runs[0].start_block, cfg.blocks_for(n))?;
+    Ok(SortReport::from_stats(pdm, out, n, Algorithm::SevenPass, false))
+}
+
+/// Drive the up/down policy over the striped input, writing block-aligned
+/// runs into `scratch`. The resident buffer holds `M` keys; refills and
+/// emissions move one `D·B`-key stripe at a time so every I/O batch spans
+/// all `D` disks.
+fn form_runs<K: PdmKey, S: Storage<K>>(
+    pdm: &mut Pdm<K, S>,
+    input: &Region,
+    n: usize,
+    scratch: &Region,
+) -> Result<Vec<RunInfo>> {
+    let cfg = *pdm.cfg();
+    let (d, b, m) = (cfg.num_disks, cfg.block_size, cfg.mem_capacity);
+    let stripe = d * b;
+    let in_blocks = cfg.blocks_for(n);
+
+    let mut resident = pdm.alloc_buf(m)?;
+    let mut stage = pdm.alloc_buf(stripe)?;
+    let mut policy = UpDownPolicy::new();
+    let mut runs: Vec<RunInfo> = Vec::new();
+    let mut cur: Option<RunInfo> = None;
+    let (mut rblock, mut read_keys, mut wblock) = (0usize, 0usize, 0usize);
+
+    loop {
+        // Refill the resident buffer up to M keys, D blocks per batch.
+        let mut grew = false;
+        while rblock < in_blocks {
+            let free_blocks = (m - resident.len()) / b;
+            let nb = d.min(in_blocks - rblock).min(free_blocks);
+            if nb == 0 {
+                break;
+            }
+            let before = resident.len();
+            pdm.read_range(input, rblock, nb, resident.as_vec_mut())?;
+            rblock += nb;
+            // The final input block is padded; keep only the real keys.
+            let real = (n - read_keys).min(resident.len() - before);
+            resident.as_vec_mut().truncate(before + real);
+            read_keys += real;
+            grew = true;
+        }
+        if grew {
+            kernels::sort_keys(resident.as_vec_mut());
+        }
+
+        if resident.is_empty() {
+            break;
+        }
+        // Seal the previous run (pad its tail block) before the new run's
+        // keys reach the stage, so run boundaries stay block-aligned.
+        if policy.will_start_new_run(resident.as_vec()) {
+            close_run(pdm, &mut cur, &mut runs, stage.as_vec_mut(), b);
+            if stage.len() == stripe {
+                pdm.write_range(scratch, wblock, stage.as_vec())?;
+                wblock += d;
+                stage.as_vec_mut().clear();
+            }
+        }
+        // Emit exactly enough to fill the stage to one stripe.
+        let want = stripe - stage.len();
+        let c = policy
+            .take_chunk(resident.as_vec_mut(), stage.as_vec_mut(), want)
+            .expect("resident buffer is non-empty");
+        if c.new_run {
+            let start_block = wblock + (stage.len() - c.taken) / b;
+            cur = Some(RunInfo { start_block, keys: 0, ascending: c.ascending });
+        }
+        cur.as_mut().expect("chunk always belongs to a run").keys += c.taken;
+        if stage.len() == stripe {
+            pdm.write_range(scratch, wblock, stage.as_vec())?;
+            wblock += d;
+            stage.as_vec_mut().clear();
+        }
+    }
+
+    close_run(pdm, &mut cur, &mut runs, stage.as_vec_mut(), b);
+    if !stage.is_empty() {
+        pdm.write_range(scratch, wblock, stage.as_vec())?;
+        stage.as_vec_mut().clear();
+    }
+    Ok(runs)
+}
+
+/// Seal the current run: pad its tail block with `K::MAX`, record it, and
+/// emit the probe gauge merge consumers use to verify run lengths.
+fn close_run<K: PdmKey, S: Storage<K>>(
+    pdm: &mut Pdm<K, S>,
+    cur: &mut Option<RunInfo>,
+    runs: &mut Vec<RunInfo>,
+    stage: &mut Vec<K>,
+    b: usize,
+) {
+    if let Some(run) = cur.take() {
+        let pad = (b - stage.len() % b) % b;
+        stage.resize(stage.len() + pad, K::MAX);
+        pdm.stats_mut().probe_gauge("rungen.run_len", run.keys as i64);
+        runs.push(run);
+    }
+}
+
+/// A buffered ascending view over one on-disk run. Ascending runs stream
+/// forward; descending runs read their blocks back to front, reverse each
+/// batch in memory, and skip the tail-block padding by count on the first
+/// refill. Refills fetch up to `D` consecutive blocks — one parallel step.
+struct RunCursor<K: PdmKey> {
+    info: RunInfo,
+    blocks: usize,
+    /// Blocks already fetched (from the front for ascending runs, from the
+    /// back for descending ones).
+    fetched: usize,
+    remaining: usize,
+    buf: TrackedBuf<K>,
+    pos: usize,
+}
+
+impl<K: PdmKey> RunCursor<K> {
+    fn new<S: Storage<K>>(pdm: &Pdm<K, S>, info: RunInfo) -> Result<Self> {
+        let b = pdm.cfg().block_size;
+        let stripe = pdm.cfg().num_disks * b;
+        Ok(Self {
+            blocks: info.blocks(b),
+            info,
+            fetched: 0,
+            remaining: info.keys,
+            buf: pdm.alloc_buf(stripe)?,
+            pos: 0,
+        })
+    }
+
+    fn refill<S: Storage<K>>(&mut self, pdm: &mut Pdm<K, S>, region: &Region) -> Result<()> {
+        let (d, b) = (pdm.cfg().num_disks, pdm.cfg().block_size);
+        let nb = d.min(self.blocks - self.fetched);
+        let buf = self.buf.as_vec_mut();
+        buf.clear();
+        self.pos = 0;
+        if self.info.ascending {
+            pdm.read_range(region, self.info.start_block + self.fetched, nb, buf)?;
+            // Trailing pads live in the run's last block; cap by count.
+            buf.truncate(self.remaining.min(nb * b));
+        } else {
+            // Last `nb` unfetched blocks, read forward then reversed: the
+            // reversal turns [lo..hi) into rev(hi-1) ++ … ++ rev(lo) — the
+            // ascending continuation of the stream.
+            let lo = self.blocks - self.fetched - nb;
+            pdm.read_range(region, self.info.start_block + lo, nb, buf)?;
+            buf.reverse();
+            if self.fetched == 0 {
+                // Tail-block padding surfaces at the front once reversed.
+                let pads = self.blocks * b - self.info.keys;
+                self.pos = pads;
+            }
+        }
+        self.fetched += nb;
+        Ok(())
+    }
+
+    fn peek(&self) -> Option<&K> {
+        if self.remaining == 0 {
+            None
+        } else {
+            self.buf.as_vec().get(self.pos)
+        }
+    }
+
+    /// Consume the head key; refills behind the scenes.
+    fn pop<S: Storage<K>>(&mut self, pdm: &mut Pdm<K, S>, region: &Region) -> Result<K> {
+        debug_assert!(self.remaining > 0);
+        let k = self.buf.as_vec()[self.pos];
+        self.pos += 1;
+        self.remaining -= 1;
+        if self.remaining > 0 && self.pos == self.buf.len() {
+            self.refill(pdm, region)?;
+        }
+        Ok(k)
+    }
+}
+
+/// Merge one group of runs from `region` into an ascending run of
+/// `next_region` starting at `out_block`.
+fn merge_group<K: PdmKey, S: Storage<K>>(
+    pdm: &mut Pdm<K, S>,
+    region: &Region,
+    group: &[RunInfo],
+    next_region: &Region,
+    out_block: usize,
+    verify: bool,
+) -> Result<RunInfo> {
+    let cfg = *pdm.cfg();
+    let (d, b) = (cfg.num_disks, cfg.block_size);
+    let stripe = d * b;
+    let total: usize = group.iter().map(|r| r.keys).sum();
+
+    let mut cursors = Vec::with_capacity(group.len());
+    for info in group {
+        let mut c = RunCursor::new(pdm, *info)?;
+        c.refill(pdm, region)?;
+        cursors.push(c);
+    }
+
+    let mut stage = pdm.alloc_buf(stripe)?;
+    let mut wblock = out_block;
+    let mut emitted = 0usize;
+    let mut prev: Option<K> = None;
+    while emitted < total {
+        // Linear scan over ≤ F heads — F is a few dozen at most.
+        let mut best: Option<usize> = None;
+        for (i, c) in cursors.iter().enumerate() {
+            if let Some(k) = c.peek() {
+                if best.map_or(true, |j| k < cursors[j].peek().unwrap()) {
+                    best = Some(i);
+                }
+            }
+        }
+        let i = best.ok_or_else(|| {
+            PdmError::UnsupportedInput("run cursors drained early".into())
+        })?;
+        let k = cursors[i].pop(pdm, region)?;
+        if verify {
+            if let Some(p) = prev {
+                if k < p {
+                    return Err(PdmError::UnsupportedInput(
+                        "up/down merge produced out-of-order output".into(),
+                    ));
+                }
+            }
+            prev = Some(k);
+        }
+        stage.as_vec_mut().push(k);
+        emitted += 1;
+        if stage.len() == stripe {
+            pdm.write_range(next_region, wblock, stage.as_vec())?;
+            wblock += d;
+            stage.as_vec_mut().clear();
+        }
+    }
+    if !stage.is_empty() {
+        let pad = (b - stage.len() % b) % b;
+        let len = stage.len();
+        stage.as_vec_mut().resize(len + pad, K::MAX);
+        pdm.write_range(next_region, wblock, stage.as_vec())?;
+    }
+    Ok(RunInfo { start_block: out_block, keys: total, ascending: true })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(d: usize, b: usize) -> Pdm<u64> {
+        Pdm::new(PdmConfig::square(d, b)).unwrap()
+    }
+
+    fn sort_and_check(pdm: &mut Pdm<u64>, keys: &[u64]) -> SortReport {
+        let input = pdm.alloc_region_for_keys(keys.len()).unwrap();
+        pdm.ingest(&input, keys).unwrap();
+        let rep = updown_merge_sort(pdm, &input, keys.len()).unwrap();
+        let got = pdm.inspect_prefix(&rep.output, keys.len()).unwrap();
+        let mut expect = keys.to_vec();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+        rep
+    }
+
+    #[test]
+    fn sorts_random_input() {
+        let mut pdm = machine(4, 16);
+        let keys: Vec<u64> = (0..40_000u64).map(|i| i.wrapping_mul(0x9E3779B9) >> 5).collect();
+        sort_and_check(&mut pdm, &keys);
+    }
+
+    #[test]
+    fn sorted_input_takes_two_passes() {
+        let mut pdm = machine(4, 16);
+        let keys: Vec<u64> = (0..8192).collect();
+        let rep = sort_and_check(&mut pdm, &keys);
+        assert!(
+            rep.read_passes <= 1.1 && rep.write_passes <= 1.1,
+            "one run ⇒ 1 read + 1 write pass, got {} + {}",
+            rep.read_passes,
+            rep.write_passes
+        );
+    }
+
+    #[test]
+    fn reversed_input_beats_seven_passes() {
+        let mut pdm = machine(4, 16);
+        let keys: Vec<u64> = (0..8192u64).rev().collect();
+        let rep = sort_and_check(&mut pdm, &keys);
+        // Two runs (one up, one down) and a single binary merge level.
+        assert!(
+            rep.read_passes <= 2.5,
+            "read passes {} should be ≈2",
+            rep.read_passes
+        );
+    }
+
+    #[test]
+    fn nearly_sorted_input_stays_under_three_passes() {
+        let mut pdm = machine(4, 16);
+        let mut keys: Vec<u64> = (0..16384).collect();
+        // A few hundred random transpositions, the bench's nearly-sorted shape.
+        let mut s = 0x1234_5678_u64;
+        for _ in 0..160 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let i = (s >> 33) as usize % keys.len();
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % keys.len();
+            keys.swap(i, j);
+        }
+        let rep = sort_and_check(&mut pdm, &keys);
+        assert!(
+            rep.read_passes <= 3.0,
+            "nearly-sorted should collapse to few runs, got {} read passes",
+            rep.read_passes
+        );
+    }
+
+    #[test]
+    fn duplicate_heavy_input_collapses() {
+        let mut pdm = machine(2, 16);
+        let keys: Vec<u64> =
+            (0..20_000u64).map(|i| (i.wrapping_mul(0x2545F491) >> 7) % 8).collect();
+        let rep = sort_and_check(&mut pdm, &keys);
+        // Duplicates sustain runs past M (≈2M), so run formation plus two
+        // merge levels land well under seven_pass's unconditional 7.
+        assert!(rep.read_passes <= 3.5, "got {} read passes", rep.read_passes);
+    }
+
+    #[test]
+    fn tiny_geometry_and_non_block_multiple_lengths() {
+        for n in [1usize, 7, 63, 64, 65, 1000] {
+            let mut pdm = machine(4, 8);
+            let keys: Vec<u64> =
+                (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B9) >> 11).collect();
+            sort_and_check(&mut pdm, &keys);
+        }
+    }
+
+    #[test]
+    fn works_on_tagged_records() {
+        let mut pdm: Pdm<Tagged> = Pdm::new(PdmConfig::square(2, 16)).unwrap();
+        let keys: Vec<Tagged> = (0..6000u64)
+            .map(|i| Tagged::new((i.wrapping_mul(0x9E3779B9) >> 9) % 100, i))
+            .collect();
+        let input = pdm.alloc_region_for_keys(keys.len()).unwrap();
+        pdm.ingest(&input, &keys).unwrap();
+        let rep = updown_merge_sort(&mut pdm, &input, keys.len()).unwrap();
+        let got = pdm.inspect_prefix(&rep.output, keys.len()).unwrap();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn strategy_dispatch_matches_direct_calls() {
+        let mut a = machine(4, 8);
+        let mut bm = machine(4, 8);
+        let keys: Vec<u64> = (0..512u64).map(|i| i.wrapping_mul(0x2545F491) >> 9).collect();
+        let ra = {
+            let input = a.alloc_region_for_keys(keys.len()).unwrap();
+            a.ingest(&input, &keys).unwrap();
+            seven_pass_with(&mut a, &input, keys.len(), RunGenStrategy::Greedy).unwrap()
+        };
+        let rb = {
+            let input = bm.alloc_region_for_keys(keys.len()).unwrap();
+            bm.ingest(&input, &keys).unwrap();
+            seven_pass_with(&mut bm, &input, keys.len(), RunGenStrategy::UpDown).unwrap()
+        };
+        assert_eq!(
+            a.inspect_prefix(&ra.output, keys.len()).unwrap(),
+            bm.inspect_prefix(&rb.output, keys.len()).unwrap()
+        );
+        assert!(rb.read_passes <= ra.read_passes);
+    }
+
+    #[test]
+    fn probe_records_run_lengths() {
+        let mut pdm = machine(4, 16);
+        pdm.enable_probe(1 << 16);
+        let keys: Vec<u64> = (0..4096u64).rev().collect();
+        let input = pdm.alloc_region_for_keys(keys.len()).unwrap();
+        pdm.ingest(&input, &keys).unwrap();
+        updown_merge_sort(&mut pdm, &input, keys.len()).unwrap();
+        let probe = pdm.stats().probe().expect("probe enabled");
+        let lens: Vec<i64> = probe
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                ProbeEvent::Gauge { name, value, .. } if name == "rungen.run_len" => Some(*value),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lens.iter().sum::<i64>(), keys.len() as i64, "gauges cover every key");
+        assert!(lens.iter().all(|&l| l >= 256), "every run ≥ M keys: {lens:?}");
+    }
+}

@@ -32,6 +32,11 @@ pub enum Dist {
     Sorted,
     /// Skewed: 80 % of keys from the bottom 20 % of a 32-bit range.
     Zipf,
+    /// Sorted `0..n` perturbed by `n/100` random transpositions.
+    NearlySorted,
+    /// Uniform random over a tiny value range (`n/64` distinct values),
+    /// so nearly every key repeats many times.
+    DupHeavy,
 }
 
 impl std::str::FromStr for Dist {
@@ -43,10 +48,101 @@ impl std::str::FromStr for Dist {
             "reversed" => Ok(Dist::Reversed),
             "sorted" => Ok(Dist::Sorted),
             "zipf" => Ok(Dist::Zipf),
+            "nearly-sorted" => Ok(Dist::NearlySorted),
+            "dup-heavy" => Ok(Dist::DupHeavy),
             other => Err(format!(
-                "unknown distribution '{other}' (random|permutation|reversed|sorted|zipf)"
+                "unknown distribution '{other}' \
+                 (random|permutation|reversed|sorted|zipf|nearly-sorted|dup-heavy)"
             )),
         }
+    }
+}
+
+/// Key shape for `gen` and `sort`: the record type a key file holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KeyKind {
+    /// Bare little-endian `u64` (8 bytes/record, headerless v0 files).
+    #[default]
+    U64,
+    /// `Tagged` key–payload record: u64 key + u64 payload (16 bytes).
+    Tagged,
+    /// `StrN<24>` fixed-width string key, memcmp-ordered (24 bytes).
+    Str24,
+}
+
+impl KeyKind {
+    /// Name written into / matched against the `pdm-keys-v1` header.
+    pub fn name(self) -> &'static str {
+        match self {
+            KeyKind::U64 => "u64",
+            KeyKind::Tagged => "tagged",
+            KeyKind::Str24 => "str24",
+        }
+    }
+
+    /// On-disk record width in bytes.
+    pub fn width(self) -> usize {
+        match self {
+            KeyKind::U64 => 8,
+            KeyKind::Tagged => 16,
+            KeyKind::Str24 => 24,
+        }
+    }
+
+    /// Resolve a header kind name back to a `KeyKind`.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "u64" => Some(KeyKind::U64),
+            "tagged" => Some(KeyKind::Tagged),
+            "str24" => Some(KeyKind::Str24),
+            _ => None,
+        }
+    }
+}
+
+impl std::str::FromStr for KeyKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        KeyKind::from_name(s)
+            .ok_or_else(|| format!("unknown key kind '{s}' (u64|tagged|str24)"))
+    }
+}
+
+impl fmt::Display for KeyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Run-formation strategy for the merge-based sorts (`--run-gen`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RunGen {
+    /// Fixed memory-loads: every run is exactly `M` keys (default).
+    #[default]
+    Greedy,
+    /// Alternating up/down replacement selection (Bender et al.):
+    /// 2-competitive in run count, so nearly-sorted and duplicate-heavy
+    /// inputs produce runs far longer than `M` and fewer merge steps.
+    UpDown,
+}
+
+impl std::str::FromStr for RunGen {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "greedy" => Ok(RunGen::Greedy),
+            "updown" => Ok(RunGen::UpDown),
+            other => Err(format!("unknown run-gen strategy '{other}' (greedy|updown)")),
+        }
+    }
+}
+
+impl fmt::Display for RunGen {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RunGen::Greedy => "greedy",
+            RunGen::UpDown => "updown",
+        })
     }
 }
 
@@ -181,7 +277,7 @@ impl fmt::Display for OverlapWindow {
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// `pdmsort gen <n> <out> [--dist D] [--seed S]`
+    /// `pdmsort gen <n> <out> [--dist D] [--seed S] [--key K]`
     Gen {
         /// Keys to generate.
         n: usize,
@@ -191,6 +287,8 @@ pub enum Command {
         dist: Dist,
         /// RNG seed.
         seed: u64,
+        /// Record shape to write (u64 files stay headerless v0).
+        key: KeyKind,
     },
     /// `pdmsort sort <in> <out> [--disks D] [--b B] [--algo A] [--scratch DIR]`
     Sort {
@@ -246,6 +344,12 @@ pub enum Command {
         uring_register_buffers: bool,
         /// Storage backend for the simulated disks (default: `file`).
         storage: BackendKind,
+        /// Expected record shape; `None` trusts the file's own header
+        /// (bare files sort as u64). An explicit `--key` is asserted
+        /// against the header before any work starts.
+        key: Option<KeyKind>,
+        /// Run-formation strategy for seven-pass (merge-based) sorting.
+        run_gen: RunGen,
     },
     /// `pdmsort report <stats.json>` — render phase table, per-disk
     /// heatmap, sparkline, and pass-budget waterfall from a stats artifact.
@@ -282,8 +386,10 @@ pub const USAGE: &str = "\
 pdmsort — out-of-core sorting on a simulated parallel-disk machine
 
 USAGE:
-  pdmsort gen <n> <out.keys> [--dist random|permutation|reversed|sorted|zipf] [--seed S]
+  pdmsort gen <n> <out.keys> [--dist random|permutation|reversed|sorted|zipf|
+               nearly-sorted|dup-heavy] [--seed S] [--key u64|tagged|str24]
   pdmsort sort <in.keys> <out.keys> [--disks D] [--b SQRT_M] [--algo A]
+               [--key u64|tagged|str24] [--run-gen greedy|updown]
                [--storage mem|file|threaded|async-file] [--scratch DIR]
                [--stats FILE.json] [--events FILE.jsonl] [--trace-out FILE.json]
                [--checkpoint-dir DIR] [--resume] [--inject SPEC]
@@ -295,9 +401,28 @@ USAGE:
   pdmsort verify <file.keys>
   pdmsort info [--disks D] [--b SQRT_M]
 
-Key files are flat little-endian u64. Defaults: --disks 4 --b 64 (M = 4096
-keys), --algo auto. The sorter stages data through D real files (one per
-simulated disk) and reports the pass counts of the chosen algorithm.
+Bare key files are flat little-endian u64 (v0). Files made with --key
+tagged|str24 start with a 32-byte pdm-keys-v1 header naming the record
+shape; sort and verify read it back, so --key is only needed when writing
+(gen) or to assert what you expect a file to hold. Defaults: --disks 4
+--b 64 (M = 4096 keys), --algo auto. The sorter stages data through D real
+files (one per simulated disk) and reports the pass counts of the chosen
+algorithm.
+
+Key shapes:
+  u64      bare 8-byte little-endian integers (default; headerless files)
+  tagged   16-byte key+payload records: sorts by the u64 key, carries a u64
+           payload untouched (gen fills it with the record's input index)
+  str24    24-byte fixed-width byte-string keys, memcmp order, NUL-padded
+           (radix/integer sorts need integer keys and reject tagged/str24)
+
+Run formation (merge-based sorts):
+  --run-gen greedy   fixed memory loads: every run is exactly M keys (default)
+  --run-gen updown   alternating up/down replacement selection, 2-competitive
+                     in run count: nearly-sorted or duplicate-heavy inputs
+                     yield runs far longer than M and fewer merge levels.
+                     Needs --algo seven-pass or auto (auto + updown always
+                     takes the merge path); not yet checkpointable.
 
 Fault tolerance:
   --checkpoint-dir DIR   write an atomic manifest after every completed pass
@@ -380,11 +505,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut pos = Vec::new();
             let mut dist = Dist::Random;
             let mut seed = 42u64;
+            let mut key = KeyKind::U64;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
                     "--dist" => dist = parse_flag(args, &mut i, "--dist")?,
                     "--seed" => seed = parse_flag(args, &mut i, "--seed")?,
+                    "--key" => key = parse_flag(args, &mut i, "--key")?,
                     other => pos.push(other.to_string()),
                 }
                 i += 1;
@@ -398,6 +525,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 out: pos[1].clone(),
                 dist,
                 seed,
+                key,
             })
         }
         "sort" => {
@@ -420,6 +548,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut uring_sqpoll = false;
             let mut uring_register_buffers = false;
             let mut storage = BackendKind::File;
+            let mut key = None;
+            let mut run_gen = RunGen::Greedy;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -453,6 +583,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     }
                     "--uring-sqpoll" => uring_sqpoll = true,
                     "--uring-registered-buffers" => uring_register_buffers = true,
+                    "--key" => key = Some(parse_flag(args, &mut i, "--key")?),
+                    "--run-gen" => run_gen = parse_flag(args, &mut i, "--run-gen")?,
                     other => pos.push(other.to_string()),
                 }
                 i += 1;
@@ -477,6 +609,22 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             if queue_depth == Some(0) {
                 return Err("--queue-depth must be at least 1".into());
             }
+            if run_gen == RunGen::UpDown {
+                if !matches!(algo, Algo::Auto | Algo::SevenPass) {
+                    return Err(format!(
+                        "--run-gen updown only applies to the merge-based seven-pass sort \
+                         (got --algo {algo}); use --algo seven-pass or auto"
+                    ));
+                }
+                if checkpoint_dir.is_some() {
+                    return Err(
+                        "--run-gen updown does not checkpoint yet (its runs are data-dependent, \
+                         so pass replay is unimplemented); drop --checkpoint-dir or use \
+                         --run-gen greedy"
+                            .into(),
+                    );
+                }
+            }
             Ok(Command::Sort {
                 input: pos[0].clone(),
                 out: pos[1].clone(),
@@ -498,6 +646,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 uring_sqpoll,
                 uring_register_buffers,
                 storage,
+                key,
+                run_gen,
             })
         }
         "report" => {
@@ -573,9 +723,65 @@ mod tests {
                 n: 1000,
                 out: "x.keys".into(),
                 dist: Dist::Zipf,
-                seed: 7
+                seed: 7,
+                key: KeyKind::U64,
             }
         );
+    }
+
+    #[test]
+    fn parses_key_kind_flags() {
+        let c = parse(&v(&["gen", "10", "x.keys", "--key", "tagged"])).unwrap();
+        assert!(matches!(c, Command::Gen { key: KeyKind::Tagged, .. }));
+        let c = parse(&v(&["gen", "10", "x.keys", "--key", "str24", "--dist", "nearly-sorted"]))
+            .unwrap();
+        assert!(matches!(
+            c,
+            Command::Gen { key: KeyKind::Str24, dist: Dist::NearlySorted, .. }
+        ));
+        // sort defaults to trusting the file header; --key asserts a shape
+        let c = parse(&v(&["sort", "a", "b"])).unwrap();
+        assert!(matches!(c, Command::Sort { key: None, .. }));
+        let c = parse(&v(&["sort", "a", "b", "--key", "str24"])).unwrap();
+        assert!(matches!(c, Command::Sort { key: Some(KeyKind::Str24), .. }));
+        assert!(parse(&v(&["gen", "10", "x", "--key", "utf8"])).is_err());
+        assert!(parse(&v(&["sort", "a", "b", "--key"])).is_err());
+        for s in ["u64", "tagged", "str24"] {
+            let k: KeyKind = s.parse().unwrap();
+            assert_eq!(k.to_string(), s);
+            assert_eq!(KeyKind::from_name(s), Some(k));
+        }
+        assert_eq!(KeyKind::U64.width(), 8);
+        assert_eq!(KeyKind::Tagged.width(), 16);
+        assert_eq!(KeyKind::Str24.width(), 24);
+    }
+
+    #[test]
+    fn parses_run_gen_flag() {
+        let c = parse(&v(&["sort", "a", "b"])).unwrap();
+        assert!(matches!(c, Command::Sort { run_gen: RunGen::Greedy, .. }));
+        let c = parse(&v(&["sort", "a", "b", "--run-gen", "updown"])).unwrap();
+        assert!(matches!(c, Command::Sort { run_gen: RunGen::UpDown, .. }));
+        let c =
+            parse(&v(&["sort", "a", "b", "--algo", "seven-pass", "--run-gen", "updown"])).unwrap();
+        assert!(matches!(c, Command::Sort { run_gen: RunGen::UpDown, .. }));
+        // up/down is a merge-sort strategy: the fixed-pass and radix
+        // algorithms have no run-formation phase to swap out.
+        assert!(parse(&v(&["sort", "a", "b", "--algo", "radix", "--run-gen", "updown"])).is_err());
+        assert!(
+            parse(&v(&["sort", "a", "b", "--algo", "three-pass1", "--run-gen", "updown"]))
+                .is_err()
+        );
+        // ...and its data-dependent runs cannot be replayed from a manifest.
+        assert!(parse(&v(&[
+            "sort", "a", "b", "--run-gen", "updown", "--checkpoint-dir", "/tmp/ck",
+        ]))
+        .is_err());
+        assert!(parse(&v(&["sort", "a", "b", "--run-gen", "sideways"])).is_err());
+        for s in ["greedy", "updown"] {
+            let g: RunGen = s.parse().unwrap();
+            assert_eq!(g.to_string(), s);
+        }
     }
 
     #[test]
@@ -807,7 +1013,15 @@ mod tests {
 
     #[test]
     fn dist_and_algo_round_trip_strings() {
-        for s in ["random", "permutation", "reversed", "sorted", "zipf"] {
+        for s in [
+            "random",
+            "permutation",
+            "reversed",
+            "sorted",
+            "zipf",
+            "nearly-sorted",
+            "dup-heavy",
+        ] {
             assert!(s.parse::<Dist>().is_ok());
         }
         for s in [

@@ -1,12 +1,141 @@
 //! Orchestration: wire key files through the file-backed PDM machine.
+//!
+//! Every subcommand is generic over the key shape ([`CliKey`]): the file's
+//! `pdm-keys-v1` header (or its absence, meaning bare `u64`) picks the
+//! monomorphized code path, so `sort`, `verify`, and `compare` handle
+//! key–payload records and string keys without the caller saying anything.
 
-use crate::args::{Algo, BackendKind, Command, Dist, Geometry, Overlap, OverlapWindow};
+use crate::args::{
+    Algo, BackendKind, Command, Dist, Geometry, KeyKind, Overlap, OverlapWindow, RunGen,
+};
 use crate::keyfile;
 use pdm_model::prelude::*;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::io::Write;
+
+/// A key shape the CLI can drive end-to-end: a [`PdmKey`] plus the glue
+/// the subcommands need — its [`KeyKind`] tag, how `gen` maps a sampled
+/// `u64` into it, and whether the rank-based radix sort applies.
+trait CliKey: PdmKey {
+    /// The `--key` tag and header name for this shape.
+    const KIND: KeyKind;
+
+    /// Build a key from `gen`'s distribution sample and its running record
+    /// index. The mapping must be order-preserving in `sample` so every
+    /// distribution keeps its shape across key types.
+    fn from_sample(sample: u64, index: u64) -> Self;
+
+    /// Run the radix sort, for shapes with a faithful integer rank.
+    /// Comparison-only shapes return `UnsupportedInput`.
+    fn radix(
+        pdm: &mut Pdm<Self, Box<dyn Storage<Self>>>,
+        input: &Region,
+        n: usize,
+    ) -> pdm_model::Result<pdm_sort::RadixReport>;
+}
+
+impl CliKey for u64 {
+    const KIND: KeyKind = KeyKind::U64;
+
+    fn from_sample(sample: u64, _index: u64) -> Self {
+        sample
+    }
+
+    fn radix(
+        pdm: &mut Pdm<Self, Box<dyn Storage<Self>>>,
+        input: &Region,
+        n: usize,
+    ) -> pdm_model::Result<pdm_sort::RadixReport> {
+        pdm_sort::radix_sort(pdm, input, n, 64)
+    }
+}
+
+impl CliKey for Tagged {
+    const KIND: KeyKind = KeyKind::Tagged;
+
+    fn from_sample(sample: u64, index: u64) -> Self {
+        Tagged::new(sample, index)
+    }
+
+    fn radix(
+        _pdm: &mut Pdm<Self, Box<dyn Storage<Self>>>,
+        _input: &Region,
+        _n: usize,
+    ) -> pdm_model::Result<pdm_sort::RadixReport> {
+        // Tagged orders by (key, payload) but its rank covers the key
+        // alone, so radix would scramble equal-key payload order.
+        Err(PdmError::UnsupportedInput(
+            "radix sort needs a faithful integer rank; tagged records are comparison-only".into(),
+        ))
+    }
+}
+
+impl CliKey for StrN<24> {
+    const KIND: KeyKind = KeyKind::Str24;
+
+    fn from_sample(sample: u64, _index: u64) -> Self {
+        // Zero-padded fixed-width decimal: memcmp order == numeric order,
+        // so the distribution's shape survives the mapping.
+        StrN::from_str_padded(&format!("{sample:020}"))
+    }
+
+    fn radix(
+        _pdm: &mut Pdm<Self, Box<dyn Storage<Self>>>,
+        _input: &Region,
+        _n: usize,
+    ) -> pdm_model::Result<pdm_sort::RadixReport> {
+        Err(PdmError::UnsupportedInput(
+            "radix sort needs integer keys; str24 keys are comparison-only".into(),
+        ))
+    }
+}
+
+/// Monomorphize `$body` over the key type `$K` named by a [`KeyKind`].
+macro_rules! with_key_kind {
+    ($kind:expr, $K:ident, $body:expr) => {
+        match $kind {
+            KeyKind::U64 => {
+                type $K = u64;
+                $body
+            }
+            KeyKind::Tagged => {
+                type $K = Tagged;
+                $body
+            }
+            KeyKind::Str24 => {
+                type $K = StrN<24>;
+                $body
+            }
+        }
+    };
+}
+
+/// Resolve the key kind a file holds (its header, or bare-`u64`), and check
+/// it against an explicit `--key` assertion if one was given.
+fn resolve_kind(
+    path: &str,
+    expect: Option<KeyKind>,
+) -> std::result::Result<KeyKind, Box<dyn std::error::Error>> {
+    let meta = keyfile::read_meta(path)?;
+    let kind = KeyKind::from_name(&meta.kind).ok_or_else(|| {
+        format!(
+            "{path} holds '{}' records ({} bytes each), which this build does not know \
+             (known kinds: u64, tagged, str24)",
+            meta.kind, meta.width
+        )
+    })?;
+    if let Some(want) = expect {
+        if want != kind {
+            return Err(format!(
+                "{path} holds '{kind}' records, but --key {want} was requested"
+            )
+            .into());
+        }
+    }
+    Ok(kind)
+}
 
 /// Top-level driver; returns a process exit code.
 pub fn run(cmd: Command, out: &mut dyn Write) -> i32 {
@@ -25,25 +154,28 @@ fn dispatch(cmd: Command, out: &mut dyn Write) -> std::result::Result<i32, Box<d
             writeln!(out, "{}", crate::args::USAGE)?;
             Ok(0)
         }
-        Command::Gen { n, out: path, dist, seed } => {
-            gen(n, &path, dist, seed)?;
-            writeln!(out, "wrote {n} keys to {path}")?;
+        Command::Gen { n, out: path, dist, seed, key } => {
+            with_key_kind!(key, K, gen_typed::<K>(n, &path, dist, seed))?;
+            writeln!(out, "wrote {n} {key} keys to {path}")?;
             Ok(0)
         }
         Command::Compare { input, geo, threads } => {
             pdm_sort::kernels::configure_threads(threads)?;
-            compare(&input, geo, out)?;
+            let kind = resolve_kind(&input, None)?;
+            with_key_kind!(kind, K, compare::<K>(&input, geo, out))?;
             Ok(0)
         }
         Command::Verify { file } => {
-            let (ok, n, violation) = keyfile::check_sorted(&file)?;
+            let kind = resolve_kind(&file, None)?;
+            let (ok, n, violation) =
+                with_key_kind!(kind, K, keyfile::check_sorted::<K>(&file))?;
             if ok {
-                writeln!(out, "{file}: {n} keys, sorted ✓")?;
+                writeln!(out, "{file}: {n} {kind} keys, sorted ✓")?;
                 Ok(0)
             } else {
                 writeln!(
                     out,
-                    "{file}: {n} keys, NOT sorted (first violation at index {})",
+                    "{file}: {n} {kind} keys, NOT sorted (first violation at index {})",
                     violation.unwrap()
                 )?;
                 Ok(1)
@@ -74,8 +206,18 @@ fn dispatch(cmd: Command, out: &mut dyn Write) -> std::result::Result<i32, Box<d
             uring_sqpoll,
             uring_register_buffers,
             storage,
+            key,
+            run_gen,
         } => {
             pdm_sort::kernels::configure_threads(threads)?;
+            let kind = resolve_kind(&input, key)?;
+            if algo == Algo::Radix && kind != KeyKind::U64 {
+                return Err(format!(
+                    "--algo radix sorts by integer rank, which '{kind}' records lack; \
+                     use a comparison algorithm (auto, seven-pass, three-pass1, …)"
+                )
+                .into());
+            }
             let job = SortJob {
                 input: &input,
                 output: &output,
@@ -96,8 +238,9 @@ fn dispatch(cmd: Command, out: &mut dyn Write) -> std::result::Result<i32, Box<d
                 uring_sqpoll,
                 uring_register_buffers,
                 storage,
+                run_gen,
             };
-            sort(job, out)?;
+            with_key_kind!(kind, K, sort::<K>(job, out))?;
             Ok(0)
         }
         Command::Report { stats } => {
@@ -107,9 +250,21 @@ fn dispatch(cmd: Command, out: &mut dyn Write) -> std::result::Result<i32, Box<d
     }
 }
 
-fn gen(n: usize, path: &str, dist: Dist, seed: u64) -> std::io::Result<()> {
-    let mut w = keyfile::KeyFileWriter::create(path)?;
+fn gen_typed<K: CliKey>(n: usize, path: &str, dist: Dist, seed: u64) -> std::io::Result<()> {
+    let mut w = keyfile::KeyFileWriter::<K>::create(path, K::KIND.name())?;
     let mut rng = StdRng::seed_from_u64(seed);
+    let mut index = 0u64;
+    let mut keys: Vec<K> = Vec::with_capacity(keyfile::STREAM_KEYS);
+    // Each distribution produces u64 samples; `from_sample` lifts them into
+    // the key shape (identity for u64, so bare files are byte-stable).
+    let mut emit = |w: &mut keyfile::KeyFileWriter<K>, samples: &[u64]| -> std::io::Result<()> {
+        keys.clear();
+        for &s in samples {
+            keys.push(K::from_sample(s, index));
+            index += 1;
+        }
+        w.write_keys(&keys)
+    };
     match dist {
         Dist::Random => {
             let mut buf = vec![0u64; keyfile::STREAM_KEYS];
@@ -119,7 +274,7 @@ fn gen(n: usize, path: &str, dist: Dist, seed: u64) -> std::io::Result<()> {
                 for k in &mut buf[..take] {
                     *k = rng.gen::<u64>() >> 1;
                 }
-                w.write_keys(&buf[..take])?;
+                emit(&mut w, &buf[..take])?;
                 left -= take;
             }
         }
@@ -128,7 +283,7 @@ fn gen(n: usize, path: &str, dist: Dist, seed: u64) -> std::io::Result<()> {
             let mut v: Vec<u64> = (0..n as u64).collect();
             v.shuffle(&mut rng);
             for chunk in v.chunks(keyfile::STREAM_KEYS) {
-                w.write_keys(chunk)?;
+                emit(&mut w, chunk)?;
             }
         }
         Dist::Reversed => {
@@ -141,7 +296,7 @@ fn gen(n: usize, path: &str, dist: Dist, seed: u64) -> std::io::Result<()> {
                     next -= 1;
                     buf.push(next);
                 }
-                w.write_keys(&buf)?;
+                emit(&mut w, &buf)?;
             }
         }
         Dist::Sorted => {
@@ -154,7 +309,7 @@ fn gen(n: usize, path: &str, dist: Dist, seed: u64) -> std::io::Result<()> {
                     buf.push(next);
                     next += 1;
                 }
-                w.write_keys(&buf)?;
+                emit(&mut w, &buf)?;
             }
         }
         Dist::Zipf => {
@@ -169,7 +324,37 @@ fn gen(n: usize, path: &str, dist: Dist, seed: u64) -> std::io::Result<()> {
                         rng.gen_range(0..(1u64 << 32))
                     };
                 }
-                w.write_keys(&buf[..take])?;
+                emit(&mut w, &buf[..take])?;
+                left -= take;
+            }
+        }
+        Dist::NearlySorted => {
+            // Sorted 0..n with n/100 random transpositions — the workload
+            // where up/down run formation shines (runs ≫ M).
+            let mut v: Vec<u64> = (0..n as u64).collect();
+            let swaps = (n / 100).max(1);
+            if n > 1 {
+                for _ in 0..swaps {
+                    let i = rng.gen_range(0..n);
+                    let j = rng.gen_range(0..n);
+                    v.swap(i, j);
+                }
+            }
+            for chunk in v.chunks(keyfile::STREAM_KEYS) {
+                emit(&mut w, chunk)?;
+            }
+        }
+        Dist::DupHeavy => {
+            // Tiny value range: every key repeats ~64 times on average.
+            let distinct = ((n / 64).max(1)) as u64;
+            let mut buf = vec![0u64; keyfile::STREAM_KEYS];
+            let mut left = n;
+            while left > 0 {
+                let take = left.min(buf.len());
+                for k in &mut buf[..take] {
+                    *k = rng.gen_range(0..distinct);
+                }
+                emit(&mut w, &buf[..take])?;
                 left -= take;
             }
         }
@@ -238,6 +423,7 @@ struct SortJob<'a> {
     uring_sqpoll: bool,
     uring_register_buffers: bool,
     storage: BackendKind,
+    run_gen: RunGen,
 }
 
 /// A parsed `--inject` spec: either a logical fault applied by the
@@ -315,14 +501,14 @@ fn digest_file(path: &str) -> std::io::Result<u64> {
     }
 }
 
-fn sort(
+fn sort<K: CliKey>(
     job: SortJob<'_>,
     out: &mut dyn Write,
 ) -> std::result::Result<(), Box<dyn std::error::Error>> {
     let SortJob { input, output, geo, algo, .. } = job;
-    let n = keyfile::count_keys(input)?;
+    let n = keyfile::count_keys::<K>(input)?;
     if n == 0 {
-        keyfile::KeyFileWriter::create(output)?.finish()?;
+        keyfile::KeyFileWriter::<K>::create(output, K::KIND.name())?.finish()?;
         writeln!(out, "0 keys: wrote empty {output}")?;
         return Ok(());
     }
@@ -394,7 +580,7 @@ fn sort(
             backoff_steps: job.backoff,
         });
     }
-    let built = builder.build::<u64>()?;
+    let built = builder.build::<K>()?;
     let retry_counters = built.retry_counters;
 
     // Overlap resolves against the *assembled* stack's caps. Wrapper
@@ -441,8 +627,8 @@ fn sort(
     if !resuming {
         let mut off_blocks = 0usize;
         let b = cfg.block_size;
-        let mut pending: Vec<u64> = Vec::with_capacity(keyfile::STREAM_KEYS + b);
-        keyfile::for_each_chunk(input, |keys| {
+        let mut pending: Vec<K> = Vec::with_capacity(keyfile::STREAM_KEYS + b);
+        keyfile::for_each_chunk::<K>(input, |keys| {
             pending.extend_from_slice(keys);
             let full = pending.len() / b * b;
             if full > 0 {
@@ -475,56 +661,80 @@ fn sort(
     let checkpointing = job.checkpoint_dir.is_some();
 
     let t0 = std::time::Instant::now();
-    let (out_region, label, fell_back, read_passes, write_passes) = match algo {
-        Algo::Auto => {
-            let rep = pdm_sort::pdm_sort(&mut pdm, &region, n)?;
-            writeln!(out, "algorithm: {} (auto)", rep.algorithm)?;
-            report(out, &rep, &pdm)?;
-            (rep.output, rep.algorithm.to_string(), rep.fell_back, rep.read_passes, rep.write_passes)
-        }
-        Algo::ThreePass1 => {
-            let rep = pdm_sort::three_pass1(&mut pdm, &region, n)?;
-            report(out, &rep, &pdm)?;
-            (rep.output, "ThreePass1".into(), rep.fell_back, rep.read_passes, rep.write_passes)
-        }
-        Algo::ThreePass2 => {
-            let rep = pdm_sort::three_pass2(&mut pdm, &region, n)?;
-            report(out, &rep, &pdm)?;
-            (rep.output, "ThreePass2".into(), rep.fell_back, rep.read_passes, rep.write_passes)
-        }
-        Algo::ExpectedTwoPass => {
-            let rep = pdm_sort::expected_two_pass(&mut pdm, &region, n)?;
-            report(out, &rep, &pdm)?;
-            (rep.output, "ExpectedTwoPass".into(), rep.fell_back, rep.read_passes, rep.write_passes)
-        }
-        Algo::SevenPass => {
-            let rep = pdm_sort::seven_pass(&mut pdm, &region, n)?;
-            report(out, &rep, &pdm)?;
-            (rep.output, "SevenPass".into(), rep.fell_back, rep.read_passes, rep.write_passes)
-        }
-        Algo::Radix => {
-            let rep = pdm_sort::radix_sort(&mut pdm, &region, n, 64)?;
-            writeln!(
-                out,
-                "rounds: {} (predicted {:.2}), segments: {}",
-                rep.max_rounds,
-                pdm_sort::radix_sort::predicted_rounds(&cfg, n, 64),
-                rep.segments_sorted
-            )?;
-            report(out, &rep.report, &pdm)?;
-            (
-                rep.report.output,
-                "RadixSort".into(),
-                rep.report.fell_back,
-                rep.report.read_passes,
-                rep.report.write_passes,
-            )
-        }
-        Algo::Mergesort => {
-            let (o, rp, wp) = pdm_baseline::merge_sort(&mut pdm, &region, n)?;
-            writeln!(out, "read passes:  {rp:.3}")?;
-            writeln!(out, "write passes: {wp:.3}")?;
-            (o, "mergesort".into(), false, rp, wp)
+    let (out_region, label, fell_back, read_passes, write_passes) = if job.run_gen
+        == RunGen::UpDown
+    {
+        // Up/down run formation replaces seven-pass's fixed memory-load
+        // runs; with --algo auto it takes the merge path unconditionally.
+        let rep =
+            pdm_sort::seven_pass_with(&mut pdm, &region, n, pdm_sort::RunGenStrategy::UpDown)?;
+        writeln!(out, "algorithm: SevenPass (up/down run formation)")?;
+        report(out, &rep, &pdm)?;
+        (rep.output, "SevenPass".into(), rep.fell_back, rep.read_passes, rep.write_passes)
+    } else {
+        match algo {
+            Algo::Auto => {
+                let rep = pdm_sort::pdm_sort(&mut pdm, &region, n)?;
+                writeln!(out, "algorithm: {} (auto)", rep.algorithm)?;
+                report(out, &rep, &pdm)?;
+                (
+                    rep.output,
+                    rep.algorithm.to_string(),
+                    rep.fell_back,
+                    rep.read_passes,
+                    rep.write_passes,
+                )
+            }
+            Algo::ThreePass1 => {
+                let rep = pdm_sort::three_pass1(&mut pdm, &region, n)?;
+                report(out, &rep, &pdm)?;
+                (rep.output, "ThreePass1".into(), rep.fell_back, rep.read_passes, rep.write_passes)
+            }
+            Algo::ThreePass2 => {
+                let rep = pdm_sort::three_pass2(&mut pdm, &region, n)?;
+                report(out, &rep, &pdm)?;
+                (rep.output, "ThreePass2".into(), rep.fell_back, rep.read_passes, rep.write_passes)
+            }
+            Algo::ExpectedTwoPass => {
+                let rep = pdm_sort::expected_two_pass(&mut pdm, &region, n)?;
+                report(out, &rep, &pdm)?;
+                (
+                    rep.output,
+                    "ExpectedTwoPass".into(),
+                    rep.fell_back,
+                    rep.read_passes,
+                    rep.write_passes,
+                )
+            }
+            Algo::SevenPass => {
+                let rep = pdm_sort::seven_pass(&mut pdm, &region, n)?;
+                report(out, &rep, &pdm)?;
+                (rep.output, "SevenPass".into(), rep.fell_back, rep.read_passes, rep.write_passes)
+            }
+            Algo::Radix => {
+                let rep = K::radix(&mut pdm, &region, n)?;
+                writeln!(
+                    out,
+                    "rounds: {} (predicted {:.2}), segments: {}",
+                    rep.max_rounds,
+                    pdm_sort::radix_sort::predicted_rounds(&cfg, n, 64),
+                    rep.segments_sorted
+                )?;
+                report(out, &rep.report, &pdm)?;
+                (
+                    rep.report.output,
+                    "RadixSort".into(),
+                    rep.report.fell_back,
+                    rep.report.read_passes,
+                    rep.report.write_passes,
+                )
+            }
+            Algo::Mergesort => {
+                let (o, rp, wp) = pdm_baseline::merge_sort(&mut pdm, &region, n)?;
+                writeln!(out, "read passes:  {rp:.3}")?;
+                writeln!(out, "write passes: {wp:.3}")?;
+                (o, "mergesort".into(), false, rp, wp)
+            }
         }
     };
     let elapsed = t0.elapsed();
@@ -570,12 +780,12 @@ fn sort(
     }
 
     // Stream the sorted region back out to the output file.
-    let mut w = keyfile::KeyFileWriter::create(output)?;
+    let mut w = keyfile::KeyFileWriter::<K>::create(output, K::KIND.name())?;
     {
         let b = cfg.block_size;
         let mut remaining = n;
         let mut blk = 0usize;
-        let mut buf: Vec<u64> = Vec::new();
+        let mut buf: Vec<K> = Vec::new();
         let chunk_blocks = (keyfile::STREAM_KEYS / b).max(1);
         while remaining > 0 {
             buf.clear();
@@ -644,21 +854,21 @@ fn sort(
 }
 
 /// Stage a key file into a fresh file-backed machine.
-fn stage(
+fn stage<K: CliKey>(
     input: &str,
     geo: Geometry,
-) -> std::result::Result<(Pdm<u64, Box<dyn Storage<u64>>>, Region, usize), Box<dyn std::error::Error>>
+) -> std::result::Result<(Pdm<K, Box<dyn Storage<K>>>, Region, usize), Box<dyn std::error::Error>>
 {
-    let n = keyfile::count_keys(input)?;
+    let n = keyfile::count_keys::<K>(input)?;
     let cfg = PdmConfig::square(geo.disks, geo.b);
     cfg.validate()?;
-    let built = StorageBuilder::new(BackendKind::File, geo.disks, geo.b).build::<u64>()?;
+    let built = StorageBuilder::new(BackendKind::File, geo.disks, geo.b).build::<K>()?;
     let mut pdm = Pdm::with_storage(cfg, built.storage)?;
     let region = pdm.alloc_region_for_keys(n.max(1))?;
     let b = cfg.block_size;
     let mut off_blocks = 0usize;
-    let mut pending: Vec<u64> = Vec::with_capacity(keyfile::STREAM_KEYS + b);
-    keyfile::for_each_chunk(input, |keys| {
+    let mut pending: Vec<K> = Vec::with_capacity(keyfile::STREAM_KEYS + b);
+    keyfile::for_each_chunk::<K>(input, |keys| {
         pending.extend_from_slice(keys);
         let full = pending.len() / b * b;
         if full > 0 {
@@ -678,12 +888,12 @@ fn stage(
     Ok((pdm, region, n))
 }
 
-fn compare(
+fn compare<K: CliKey>(
     input: &str,
     geo: Geometry,
     out: &mut dyn Write,
 ) -> std::result::Result<(), Box<dyn std::error::Error>> {
-    let n = keyfile::count_keys(input)?;
+    let n = keyfile::count_keys::<K>(input)?;
     if n == 0 {
         writeln!(out, "empty input")?;
         return Ok(());
@@ -691,19 +901,21 @@ fn compare(
     let m = geo.b * geo.b;
     writeln!(
         out,
-        "comparing algorithms on {n} keys (D = {}, B = √M = {}, M = {m}):",
-        geo.disks, geo.b
+        "comparing algorithms on {n} {} keys (D = {}, B = √M = {}, M = {m}):",
+        K::KIND,
+        geo.disks,
+        geo.b
     )?;
     writeln!(
         out,
         "{:<20} {:>12} {:>13} {:>10} {:>10}",
         "algorithm", "read passes", "write passes", "peak mem", "wall"
     )?;
-    type Entry = (
+    type Entry<K> = (
         &'static str,
-        fn(&mut Pdm<u64, Box<dyn Storage<u64>>>, &Region, usize) -> pdm_model::Result<(f64, f64, usize)>,
+        fn(&mut Pdm<K, Box<dyn Storage<K>>>, &Region, usize) -> pdm_model::Result<(f64, f64, usize)>,
     );
-    let candidates: Vec<Entry> = vec![
+    let candidates: Vec<Entry<K>> = vec![
         ("auto (dispatcher)", |p, r, n| {
             pdm_sort::pdm_sort(p, r, n).map(|rep| (rep.read_passes, rep.write_passes, rep.peak_mem))
         }),
@@ -723,8 +935,13 @@ fn compare(
             pdm_sort::seven_pass(p, r, n)
                 .map(|rep| (rep.read_passes, rep.write_passes, rep.peak_mem))
         }),
+        ("seven-pass (updown)", |p, r, n| {
+            pdm_sort::updown_merge_sort(p, r, n)
+                .map(|rep| (rep.read_passes, rep.write_passes, rep.peak_mem))
+        }),
+        // Comparison-only key shapes report "not applicable" here.
         ("radix (64-bit)", |p, r, n| {
-            pdm_sort::radix_sort(p, r, n, 64)
+            K::radix(p, r, n)
                 .map(|rep| (rep.report.read_passes, rep.report.write_passes, rep.report.peak_mem))
         }),
         ("mergesort", |p, r, n| {
@@ -732,7 +949,7 @@ fn compare(
         }),
     ];
     for (name, f) in candidates {
-        let (mut pdm, region, n) = stage(input, geo)?;
+        let (mut pdm, region, n) = stage::<K>(input, geo)?;
         pdm.reset_stats();
         let t0 = std::time::Instant::now();
         match f(&mut pdm, &region, n) {
@@ -755,10 +972,10 @@ fn compare(
     Ok(())
 }
 
-fn report<S: Storage<u64>>(
+fn report<K: PdmKey, S: Storage<K>>(
     out: &mut dyn Write,
     rep: &pdm_sort::SortReport,
-    pdm: &Pdm<u64, S>,
+    pdm: &Pdm<K, S>,
 ) -> std::io::Result<()> {
     writeln!(out, "read passes:  {:.3}", rep.read_passes)?;
     writeln!(out, "write passes: {:.3}", rep.write_passes)?;
@@ -1297,13 +1514,25 @@ mod tests {
         let cases: Vec<(&str, fn(&[u64]) -> bool)> = vec![
             ("sorted", |v| v.windows(2).all(|w| w[0] <= w[1])),
             ("reversed", |v| v.windows(2).all(|w| w[0] >= w[1])),
+            // nearly-sorted: at most 2·(n/100) positions disturbed
+            ("nearly-sorted", |v| {
+                v.windows(2).filter(|w| w[0] > w[1]).count() <= 20
+                    && v.windows(2).any(|w| w[0] > w[1])
+            }),
+            // dup-heavy: far fewer distinct values than keys
+            ("dup-heavy", |v| {
+                let mut u: Vec<u64> = v.to_vec();
+                u.sort_unstable();
+                u.dedup();
+                u.len() <= 1000 / 64 + 1
+            }),
         ];
         for (dist, check) in cases {
             let p = tmp(&format!("dist-{dist}.keys"));
             let (c, _) = run_args(&["gen", "1000", &p, "--dist", dist]);
             assert_eq!(c, 0);
-            let mut got = Vec::new();
-            keyfile::for_each_chunk(&p, |ks| {
+            let mut got: Vec<u64> = Vec::new();
+            keyfile::for_each_chunk::<u64>(&p, |ks| {
                 got.extend_from_slice(ks);
                 Ok(())
             })
@@ -1312,5 +1541,188 @@ mod tests {
             assert!(check(&got), "{dist} shape wrong");
             std::fs::remove_file(&p).ok();
         }
+    }
+
+    /// The pass counters logged by `sort` ("read passes: X").
+    fn logged_passes(log: &str) -> Vec<String> {
+        log.lines().filter(|l| l.contains("passes")).map(|l| l.to_string()).collect()
+    }
+
+    fn read_passes_of(log: &str) -> f64 {
+        log.lines()
+            .find(|l| l.starts_with("read passes:"))
+            .expect("no read-pass line")
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn tagged_and_str24_sort_identically_across_real_disk_backends() {
+        // The issue's acceptance bar: non-u64 records complete on the real
+        // async-file path with byte-identical output and identical pass
+        // counters versus the in-RAM reference backend.
+        for key in ["tagged", "str24"] {
+            let inp = tmp(&format!("kk-in-{key}.keys"));
+            let (c, log) = run_args(&[
+                "gen", "4096", &inp, "--dist", "random", "--seed", "41", "--key", key,
+            ]);
+            assert_eq!(c, 0, "{log}");
+            let mut legs = Vec::new();
+            for backend in ["mem", "file", "async-file"] {
+                let outp = tmp(&format!("kk-out-{key}-{backend}.keys"));
+                let (c, log) = run_args(&[
+                    "sort", &inp, &outp, "--disks", "2", "--b", "16", "--storage", backend,
+                ]);
+                assert_eq!(c, 0, "{key}/{backend}: {log}");
+                legs.push((std::fs::read(&outp).unwrap(), logged_passes(&log)));
+                // the sorted file advertises its own kind
+                let (c, vlog) = run_args(&["verify", &outp]);
+                assert_eq!(c, 0, "{key}/{backend}: {vlog}");
+                assert!(vlog.contains(&format!("{key} keys, sorted ✓")), "{vlog}");
+                std::fs::remove_file(&outp).ok();
+            }
+            for leg in &legs[1..] {
+                assert_eq!(leg, &legs[0], "{key}: backends disagree");
+            }
+            std::fs::remove_file(&inp).ok();
+        }
+    }
+
+    #[test]
+    fn key_flag_asserts_against_the_file_header() {
+        let inp = tmp("ka-in.keys");
+        let outp = tmp("ka-out.keys");
+        let (c, log) = run_args(&["gen", "256", &inp, "--key", "tagged", "--seed", "3"]);
+        assert_eq!(c, 0, "{log}");
+        // wrong assertion: clean error naming both kinds
+        let (c, log) = run_args(&["sort", &inp, &outp, "--b", "16", "--key", "u64"]);
+        assert_eq!(c, 1);
+        assert!(log.contains("holds 'tagged'"), "{log}");
+        // right assertion (and no assertion) both work
+        let (c, log) =
+            run_args(&["sort", &inp, &outp, "--disks", "2", "--b", "16", "--key", "tagged"]);
+        assert_eq!(c, 0, "{log}");
+        // rank-based sorts reject comparison-only shapes up front
+        let (c, log) =
+            run_args(&["sort", &inp, &outp, "--disks", "2", "--b", "16", "--algo", "radix"]);
+        assert_eq!(c, 1);
+        assert!(log.contains("radix"), "{log}");
+        std::fs::remove_file(&inp).ok();
+        std::fs::remove_file(&outp).ok();
+    }
+
+    #[test]
+    fn tagged_sentinel_records_survive_a_file_backed_sort() {
+        // Tagged::MIN/MAX double as block-padding sentinels inside the
+        // sorter. Real records holding those exact values must still come
+        // back — count tracking, not value filtering, separates pads from
+        // payload. 1000 keys on B = 16 forces padded tail blocks.
+        let inp = tmp("sen-in.keys");
+        let outp = tmp("sen-out.keys");
+        let mut data: Vec<Tagged> = Vec::new();
+        for i in 0..5u64 {
+            data.push(Tagged::MAX);
+            data.push(Tagged::MIN);
+            data.push(Tagged::new(u64::MAX, i));
+            data.push(Tagged::new(0, i + 1));
+        }
+        let mut x = 11u64;
+        while data.len() < 1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            data.push(Tagged::new(x >> 1, x & 0xffff));
+        }
+        let mut w = keyfile::KeyFileWriter::<Tagged>::create(&inp, "tagged").unwrap();
+        w.write_keys(&data).unwrap();
+        w.finish().unwrap();
+
+        let (c, log) =
+            run_args(&["sort", &inp, &outp, "--disks", "2", "--b", "16", "--algo", "seven-pass"]);
+        assert_eq!(c, 0, "{log}");
+
+        let mut got: Vec<Tagged> = Vec::new();
+        keyfile::for_each_chunk::<Tagged>(&outp, |ks| {
+            got.extend_from_slice(ks);
+            Ok(())
+        })
+        .unwrap();
+        data.sort();
+        assert_eq!(got, data, "sentinel-valued records were dropped or duplicated");
+
+        // Byte-level: the output is exactly the header plus the sorted
+        // records' encodings — no pad records leaked into the file.
+        let expect = tmp("sen-expect.keys");
+        let mut w = keyfile::KeyFileWriter::<Tagged>::create(&expect, "tagged").unwrap();
+        w.write_keys(&data).unwrap();
+        w.finish().unwrap();
+        assert_eq!(std::fs::read(&outp).unwrap(), std::fs::read(&expect).unwrap());
+        for f in [&inp, &outp, &expect] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn updown_run_gen_beats_greedy_on_nearly_sorted_input() {
+        let inp = tmp("ud-in.keys");
+        let outg = tmp("ud-greedy.keys");
+        let outu = tmp("ud-updown.keys");
+        run_args(&["gen", "8192", &inp, "--dist", "nearly-sorted", "--seed", "7"]);
+        let (c, log_g) =
+            run_args(&["sort", &inp, &outg, "--disks", "2", "--b", "16", "--algo", "seven-pass"]);
+        assert_eq!(c, 0, "{log_g}");
+        let (c, log_u) = run_args(&[
+            "sort", &inp, &outu, "--disks", "2", "--b", "16", "--algo", "seven-pass",
+            "--run-gen", "updown",
+        ]);
+        assert_eq!(c, 0, "{log_u}");
+        assert!(log_u.contains("up/down run formation"), "{log_u}");
+        let (rg, ru) = (read_passes_of(&log_g), read_passes_of(&log_u));
+        assert!(
+            ru < rg,
+            "updown should beat greedy's fixed {rg} read passes on nearly-sorted input, got {ru}"
+        );
+        assert_eq!(
+            std::fs::read(&outg).unwrap(),
+            std::fs::read(&outu).unwrap(),
+            "run-formation strategy must not change the sorted output"
+        );
+        for f in [&inp, &outg, &outu] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn updown_works_with_auto_and_async_file_storage() {
+        let inp = tmp("uda-in.keys");
+        let out1 = tmp("uda-out1.keys");
+        let out2 = tmp("uda-out2.keys");
+        run_args(&["gen", "4096", &inp, "--dist", "dup-heavy", "--seed", "5", "--key", "tagged"]);
+        let (c, log) = run_args(&["sort", &inp, &out1, "--disks", "2", "--b", "16"]);
+        assert_eq!(c, 0, "{log}");
+        let (c, log) = run_args(&[
+            "sort", &inp, &out2, "--disks", "2", "--b", "16", "--run-gen", "updown",
+            "--storage", "async-file",
+        ]);
+        assert_eq!(c, 0, "{log}");
+        assert_eq!(std::fs::read(&out1).unwrap(), std::fs::read(&out2).unwrap());
+        for f in [&inp, &out1, &out2] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn compare_runs_on_tagged_files_and_skips_radix() {
+        let inp = tmp("cmp-tagged.keys");
+        run_args(&["gen", "2048", &inp, "--key", "tagged", "--seed", "13"]);
+        let (c, log) = run_args(&["compare", &inp, "--disks", "2", "--b", "16"]);
+        assert_eq!(c, 0, "{log}");
+        assert!(log.contains("tagged keys"), "{log}");
+        assert!(log.contains("seven-pass (updown)"), "{log}");
+        // radix has no faithful rank for key–payload records
+        let radix_line = log.lines().find(|l| l.starts_with("radix")).unwrap();
+        assert!(radix_line.contains("not applicable"), "{radix_line}");
+        std::fs::remove_file(&inp).ok();
     }
 }

@@ -122,6 +122,64 @@ impl PdmKey for Tagged {
     }
 }
 
+/// A fixed-width string key: `W` bytes compared as an unsigned byte array
+/// (memcmp order). Shorter strings are padded with `0x00`, which sorts before
+/// every printable byte, so prefix order matches lexicographic order on the
+/// original strings. There is no meaningful numeric distance between string
+/// keys, so `gauge_distance` keeps the trait's zero default.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct StrN<const W: usize> {
+    /// Raw key bytes; compared left to right as unsigned bytes.
+    pub bytes: [u8; W],
+}
+
+impl<const W: usize> StrN<W> {
+    /// Build a key from a string, truncating to `W` bytes and padding the
+    /// remainder with `0x00`.
+    pub fn from_str_padded(s: &str) -> Self {
+        let mut bytes = [0u8; W];
+        let take = s.len().min(W);
+        bytes[..take].copy_from_slice(&s.as_bytes()[..take]);
+        Self { bytes }
+    }
+
+    /// The key as a string slice with trailing NUL padding stripped, or
+    /// `None` if the payload bytes are not valid UTF-8.
+    pub fn as_str(&self) -> Option<&str> {
+        let end = self
+            .bytes
+            .iter()
+            .rposition(|&b| b != 0)
+            .map_or(0, |i| i + 1);
+        std::str::from_utf8(&self.bytes[..end]).ok()
+    }
+}
+
+impl<const W: usize> Debug for StrN<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.as_str() {
+            Some(s) => write!(f, "StrN<{W}>({s:?})"),
+            None => write!(f, "StrN<{W}>({:02x?})", self.bytes),
+        }
+    }
+}
+
+impl<const W: usize> PdmKey for StrN<W> {
+    const WIDTH: usize = W;
+    const MIN: Self = StrN { bytes: [0x00; W] };
+    const MAX: Self = StrN { bytes: [0xff; W] };
+
+    fn write_bytes(&self, out: &mut [u8]) {
+        out[..W].copy_from_slice(&self.bytes);
+    }
+
+    fn read_bytes(bytes: &[u8]) -> Self {
+        let mut buf = [0u8; W];
+        buf.copy_from_slice(&bytes[..W]);
+        StrN { bytes: buf }
+    }
+}
+
 /// An integer key whose *rank* in a bounded range is known — required by the
 /// paper's `IntegerSort`/`RadixSort` (§7), which bucket keys by value.
 pub trait RankedKey: PdmKey {
@@ -260,6 +318,34 @@ mod tests {
         assert_eq!(u128::MAX.gauge_distance(&0), i64::MAX);
         assert_eq!(i128::MIN.gauge_distance(&i128::MAX), i64::MIN + 1);
         assert_eq!(Tagged::new(9, 0).gauge_distance(&Tagged::new(2, 7)), 7);
+    }
+
+    #[test]
+    fn strn_orders_like_memcmp_and_round_trips() {
+        type S = StrN<24>;
+        let a = S::from_str_padded("apple");
+        let b = S::from_str_padded("applesauce");
+        let c = S::from_str_padded("banana");
+        assert!(a < b, "prefix sorts first under NUL padding");
+        assert!(b < c);
+        assert!(<S as PdmKey>::MIN <= a && c <= <S as PdmKey>::MAX);
+        assert_eq!(<S as PdmKey>::WIDTH, 24);
+
+        let mut buf = [0u8; 24];
+        b.write_bytes(&mut buf);
+        assert_eq!(S::read_bytes(&buf), b);
+        assert_eq!(b.as_str(), Some("applesauce"));
+        assert_eq!(format!("{a:?}"), "StrN<24>(\"apple\")");
+        // gauge_distance keeps the trait's zero default for strings
+        assert_eq!(c.gauge_distance(&a), 0);
+    }
+
+    #[test]
+    fn strn_truncates_at_width() {
+        type S = StrN<4>;
+        let long = S::from_str_padded("abcdefgh");
+        assert_eq!(long.bytes, *b"abcd");
+        assert_eq!(<S as PdmKey>::MAX.as_str(), None, "0xff is not UTF-8");
     }
 
     #[test]

@@ -79,7 +79,7 @@ pub mod prelude {
     pub use crate::error::{PdmError, Result};
     pub use crate::file_faults::{FileFaultMode, FileFaults};
     pub use crate::hist::{HistSnapshot, LatencyHist};
-    pub use crate::key::{PdmKey, RankedKey, Tagged};
+    pub use crate::key::{PdmKey, RankedKey, StrN, Tagged};
     pub use crate::layout::{BlockAddr, Region};
     pub use crate::machine::Pdm;
     pub use crate::mem::{MemGuard, MemTracker, TrackedBuf};

@@ -9,7 +9,12 @@ Structural invariants (always checked on the current file):
   * the loser-tree merge must beat the BinaryHeap reference on every
     `kway_merge_*` row — the whole point of the kernel;
   * every threaded-backend algorithm row that reports a block-pool hit
-    rate must stay above 90% (steady state recycles buffers).
+    rate must stay above 90% (steady state recycles buffers);
+  * the run-formation A/B section: up/down run formation may never read
+    more passes than greedy on any benched workload, and on the
+    nearly-sorted workload it must strictly win with an average run
+    length above memory (that is the 2-competitive strategy's whole
+    claim — adaptive runs ≫ M on favorable inputs).
 
 Overlap artifact (--overlap BENCH_overlap.json): validates the schema of
 the read-ahead/write-behind A/B rows and gates the headline claim —
@@ -110,6 +115,19 @@ def check_schema(doc, path):
         require(row, "wall_ms", float, ctx)
         require(row, "read_passes", float, ctx)
         require(row, "write_passes", float, ctx)
+    for row in require(doc, "run_gen", list, path) or []:
+        ctx = f"{path}:run_gen[{row.get('workload', '?')}]"
+        require(row, "workload", str, ctx)
+        require(row, "n", int, ctx)
+        require(row, "m", int, ctx)
+        require(row, "greedy_runs", int, ctx)
+        require(row, "greedy_read_passes", float, ctx)
+        require(row, "greedy_write_passes", float, ctx)
+        require(row, "updown_runs", int, ctx)
+        require(row, "updown_avg_run_len", float, ctx)
+        require(row, "updown_merge_levels", int, ctx)
+        require(row, "updown_read_passes", float, ctx)
+        require(row, "updown_write_passes", float, ctx)
 
 
 def check_invariants(doc, path):
@@ -134,6 +152,57 @@ def check_invariants(doc, path):
             fail(f"{path}: {ident}: pool hit rate {rate:.3f} <= 0.9")
         else:
             print(f"  ok: {ident}: pool hit rate {rate:.3f}")
+    check_run_gen_invariants(doc, path)
+
+
+def check_run_gen_invariants(doc, path):
+    """Gate the greedy-vs-up/down run-formation A/B.
+
+    Up/down replacement selection is 2-competitive in run count, so on
+    every benched workload its merge phase may not read more passes than
+    greedy's fixed seven. On nearly-sorted input the strategy must
+    actually cash in: strictly fewer read passes than greedy, runs
+    strictly fewer than greedy's ⌈n/M⌉, and an average run length above
+    memory capacity M.
+    """
+    rows = doc.get("run_gen", [])
+    if not rows:
+        fail(f"{path}: run_gen section is missing or empty")
+        return
+    by_workload = {row.get("workload"): row for row in rows}
+    if "nearly-sorted" not in by_workload:
+        fail(f"{path}: no run_gen row for the nearly-sorted workload")
+    for row in rows:
+        w, n = row.get("workload", "?"), row.get("n", 0)
+        ident = f"run_gen {w} n={n}"
+        grp = row.get("greedy_read_passes", 0.0)
+        urp = row.get("updown_read_passes", float("inf"))
+        if row.get("greedy_runs", 0) <= 0 or row.get("updown_runs", 0) <= 0:
+            fail(f"{path}: {ident}: a leg produced zero runs")
+        if grp <= 0 or urp <= 0:
+            fail(f"{path}: {ident}: pass counters are empty — a leg did no I/O")
+        if urp > grp:
+            fail(f"{path}: {ident}: up/down reads {urp} passes > greedy's "
+                 f"{grp} — the adaptive strategy lost its 2-competitive edge")
+        else:
+            print(f"  ok: {ident}: up/down {urp} <= greedy {grp} read passes "
+                  f"({row.get('updown_runs')} vs {row.get('greedy_runs')} runs)")
+    ns = by_workload.get("nearly-sorted")
+    if ns is not None:
+        ident = f"run_gen nearly-sorted n={ns.get('n', 0)}"
+        if not ns.get("updown_read_passes", float("inf")) < ns.get(
+                "greedy_read_passes", 0.0):
+            fail(f"{path}: {ident}: up/down does not strictly beat greedy "
+                 f"on the workload built for it")
+        if not ns.get("updown_runs", float("inf")) < ns.get("greedy_runs", 0):
+            fail(f"{path}: {ident}: up/down cut no fewer runs than greedy")
+        avg, m = ns.get("updown_avg_run_len", 0.0), ns.get("m", 0)
+        if avg <= m:
+            fail(f"{path}: {ident}: average up/down run length {avg:.0f} "
+                 f"<= M={m} — runs never grew past memory")
+        else:
+            print(f"  ok: {ident}: avg run length {avg:.0f} = "
+                  f"{avg / max(m, 1):.1f}x memory capacity")
 
 
 # Floors on (blocking - overlap) / blocking. seven_pass holds the bar for
@@ -392,6 +461,9 @@ def rows_by_identity(doc):
     for row in doc.get("algorithms", []):
         out[("algo", row.get("name"), row.get("backend"), row.get("n"))] = (
             "wall_ms", row)
+    for row in doc.get("run_gen", []):
+        out[("run_gen", row.get("workload"), row.get("n"))] = (
+            "updown_read_passes", row)
     return out
 
 

@@ -106,7 +106,7 @@ step ut:pdm-baseline rustc $E $OPT -L dependency=$O --test --crate-name pdm_base
 step ut:pdm-cli rustc $E $OPT -L dependency=$O --test --crate-name pdm_cli_t "$R/pdm-cli/src/lib.rs" $PM $PS $PB $PMESH $PT $RAND $SERDE $JSON -o "$O/ut_pdm_cli"
 
 # ---- integration-test binaries (skip properties.rs: needs proptest) ---------
-for t in end_to_end cross_algorithm backends fault_injection fault_matrix checkpoint_resume determinism stress zero_one_certificates kernel_equivalence overlap_depth_sweep; do
+for t in end_to_end cross_algorithm backends fault_injection fault_matrix checkpoint_resume determinism stress zero_one_certificates kernel_equivalence overlap_depth_sweep records; do
   [ -f "$REPO/tests/$t.rs" ] || continue
   step "it:$t" rustc $E $OPT -L dependency=$O --test --crate-name "t_$t" "$REPO/tests/$t.rs" $PM $PS $PB $PMESH $PT $PL $RAND $JSON -o "$O/t_$t"
 done
@@ -134,7 +134,7 @@ run ut:pdm-theory "$O/ut_pdm_theory" -q
 run ut:pdm-mesh "$O/ut_pdm_mesh" -q
 run ut:pdm-baseline "$O/ut_pdm_baseline" -q
 run ut:pdm-cli "$O/ut_pdm_cli" -q $SERDE_SKIPS
-for t in end_to_end cross_algorithm backends fault_injection fault_matrix checkpoint_resume determinism stress zero_one_certificates kernel_equivalence overlap_depth_sweep; do
+for t in end_to_end cross_algorithm backends fault_injection fault_matrix checkpoint_resume determinism stress zero_one_certificates kernel_equivalence overlap_depth_sweep records; do
   [ -x "$O/t_$t" ] || continue
   run "it:$t" "$O/t_$t" -q $SERDE_SKIPS
 done
